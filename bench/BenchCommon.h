@@ -1,0 +1,87 @@
+//===- bench/BenchCommon.h - Shared harness plumbing ------------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Helpers shared by the table/figure regeneration binaries: the standard
+/// full-corpus pipeline (with on-disk label caching so the suite of
+/// benches labels the corpus only once), paper-vs-measured row printing,
+/// and the ORC-baseline prediction collection used by Table 2.
+///
+/// Every bench accepts --quick to run on a reduced corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_BENCH_BENCHCOMMON_H
+#define METAOPT_BENCH_BENCHCOMMON_H
+
+#include "core/driver/Heuristics.h"
+#include "core/driver/Pipeline.h"
+#include "heuristics/OrcLikeHeuristic.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+#include "support/TablePrinter.h"
+
+#include <cstdio>
+#include <map>
+#include <memory>
+
+namespace metaopt {
+
+/// Builds the standard pipeline; --quick shrinks the corpus and disables
+/// the disk cache.
+inline std::unique_ptr<Pipeline> makePipeline(const CommandLine &Args) {
+  PipelineOptions Options;
+  if (Args.has("quick")) {
+    Options.Corpus.MinLoopsPerBenchmark = 6;
+    Options.Corpus.MaxLoopsPerBenchmark = 10;
+    Options.CacheDir = "";
+  }
+  return std::make_unique<Pipeline>(Options);
+}
+
+/// Index from loop name to the corpus entry (for heuristics that need the
+/// Loop itself rather than the feature vector).
+inline std::map<std::string, const CorpusLoop *>
+indexCorpusLoops(const std::vector<Benchmark> &Corpus) {
+  std::map<std::string, const CorpusLoop *> Index;
+  for (const Benchmark &Bench : Corpus)
+    for (const CorpusLoop &Entry : Bench.Loops)
+      Index[Entry.TheLoop.name()] = &Entry;
+  return Index;
+}
+
+/// The ORC-like baseline's predictions aligned with a dataset.
+inline std::vector<unsigned>
+orcPredictions(const Dataset &Data,
+               const std::map<std::string, const CorpusLoop *> &Index,
+               const UnrollHeuristic &Orc) {
+  std::vector<unsigned> Predictions;
+  Predictions.reserve(Data.size());
+  for (const Example &Ex : Data.examples())
+    Predictions.push_back(Orc.chooseFactor(Index.at(Ex.LoopName)->TheLoop));
+  return Predictions;
+}
+
+/// Prints one "paper vs measured" comparison line.
+inline void printComparison(const char *What, const std::string &Paper,
+                            const std::string &Measured) {
+  std::printf("  %-46s paper: %-10s measured: %s\n", What, Paper.c_str(),
+              Measured.c_str());
+}
+
+/// Prints the standard header naming the experiment.
+inline void printBenchHeader(const char *Id, const char *Description) {
+  std::printf("==============================================================="
+              "=\n%s - %s\n"
+              "================================================================"
+              "\n",
+              Id, Description);
+}
+
+} // namespace metaopt
+
+#endif // METAOPT_BENCH_BENCHCOMMON_H

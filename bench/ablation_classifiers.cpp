@@ -1,0 +1,118 @@
+//===- bench/ablation_classifiers.cpp - Learning algorithm shoot-out ------===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+// "There are many different classification techniques that one could
+// choose to employ" (Section 4.6). This ablation runs the full menu on
+// the same data: the paper's NN and LS-SVM, the decision tree its related
+// work favors (Monsifrot et al., Calder et al.), kernel ridge regression
+// (the Section 8 future-work extension), LSH-approximate NN (the Section
+// 5.1 scalability route), and two trivial baselines for calibration.
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "support/Statistics.h"
+
+#include "core/ml/CrossValidation.h"
+#include "core/ml/DecisionTree.h"
+#include "core/ml/Evaluation.h"
+#include "core/ml/Lsh.h"
+#include "core/ml/Regression.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace metaopt;
+
+int main(int Argc, char **Argv) {
+  CommandLine Args(Argc, Argv);
+  printBenchHeader("Ablation: learning algorithms",
+                   "NN vs SVM vs decision tree vs regression vs LSH "
+                   "(same data, same features)");
+
+  std::unique_ptr<Pipeline> Pipe = makePipeline(Args);
+  const Dataset &Full = Pipe->dataset(/*EnableSwp=*/false);
+  Rng Subsampler(17);
+  Dataset Data = Full.subsample(
+      static_cast<size_t>(Args.getInt("cap", 1000)), Subsampler);
+  std::printf("evaluating on %zu loops (LOOCV)\n\n", Data.size());
+  FeatureSet Features = paperReducedFeatureSet();
+
+  TablePrinter Table("Classifier comparison (LOOCV)");
+  Table.addHeader({"classifier", "optimal", "top-2", "mean cost"});
+  std::vector<std::pair<std::string, double>> Accuracies;
+  auto AddRow = [&](const std::string &Name,
+                    const std::vector<unsigned> &Pred) {
+    RankDistribution Rank = rankDistribution(Data, Pred);
+    Table.addRow({Name, formatPercent(Rank.accuracy(), 1),
+                  formatPercent(Rank.topTwoAccuracy(), 1),
+                  formatDouble(meanCostOfPredictions(Data, Pred), 3) +
+                      "x"});
+    Accuracies.emplace_back(Name, Rank.accuracy());
+  };
+
+  // The paper's two learners (fast exact LOOCV paths).
+  NearNeighborClassifier Nn(Features, 0.3);
+  AddRow("near-neighbor (paper)", loocvPredictions(Nn, Data));
+  SvmClassifier Svm(Features);
+  AddRow("LS-SVM output codes (paper)", loocvPredictions(Svm, Data));
+
+  // Decision tree and LSH: training is cheap, so brute-force LOOCV.
+  AddRow("decision tree (CART)",
+         bruteForceLoocv(
+             [](const FeatureSet &F) {
+               return std::make_unique<DecisionTreeClassifier>(F);
+             },
+             Features, Data));
+  AddRow("LSH approximate NN",
+         bruteForceLoocv(
+             [](const FeatureSet &F) {
+               return std::make_unique<LshNearNeighborClassifier>(F);
+             },
+             Features, Data));
+
+  // Kernel ridge regression: exact LOO values, rounded to factors.
+  {
+    KrrUnrollRegressor Krr(Features);
+    Krr.train(Data);
+    std::vector<double> Loo = Krr.looValues();
+    std::vector<unsigned> Pred;
+    Pred.reserve(Loo.size());
+    for (double Value : Loo)
+      Pred.push_back(static_cast<unsigned>(
+          std::clamp<long>(std::lround(Value), 1, MaxUnrollFactor)));
+    AddRow("kernel ridge regression (Sec. 8)", Pred);
+  }
+
+  // Trivial baselines for calibration.
+  auto Histogram = Data.labelHistogram();
+  unsigned Majority = 1 + static_cast<unsigned>(argMax(
+      std::vector<double>(Histogram.begin(), Histogram.end())));
+  AddRow("always-" + std::to_string(Majority) + " (majority class)",
+         std::vector<unsigned>(Data.size(), Majority));
+  AddRow("always-1 (never unroll)",
+         std::vector<unsigned>(Data.size(), 1));
+  Table.print();
+
+  std::printf("\nShape checks:\n");
+  double PaperBest =
+      std::max(Accuracies[0].second, Accuracies[1].second);
+  double Tree = Accuracies[2].second;
+  double Lsh = Accuracies[3].second;
+  printComparison("paper's learners competitive with the tree",
+                  "NN/SVM chosen for a reason",
+                  PaperBest + 0.03 >= Tree ? "yes" : "no");
+  printComparison("LSH close to exact NN",
+                  "approximate lookup works (Sec. 5.1)",
+                  std::abs(Lsh - Accuracies[0].second) < 0.05 ? "yes"
+                                                              : "no");
+  printComparison("every learner beats the majority baseline", "yes",
+                  std::min({Accuracies[0].second, Accuracies[1].second,
+                            Tree, Lsh}) > Accuracies[5].second
+                      ? "yes"
+                      : "no");
+  return 0;
+}

@@ -1,0 +1,67 @@
+//===- bench/table4_greedy.cpp - Regenerates Table 4 ----------------------===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+// Table 4: "The top five features chosen by greedy feature selection for
+// two different classifiers." Paper's NN column: #operands (0.48), live
+// range size (0.06), critical path length (0.03), #operations (0.02),
+// known tripcount (0.02). SVM column: #floating point ops (0.59), loop
+// nest level (0.49), #operands (0.34), #branches (0.20), #memory ops
+// (0.13). "Notice that the choice of classifier affects the list."
+//
+//===----------------------------------------------------------------------===//
+
+#include "BenchCommon.h"
+
+#include "core/ml/FeatureSelection.h"
+
+using namespace metaopt;
+
+int main(int Argc, char **Argv) {
+  CommandLine Args(Argc, Argv);
+  printBenchHeader("Table 4",
+                   "greedy forward feature selection, NN vs SVM training "
+                   "error");
+
+  std::unique_ptr<Pipeline> Pipe = makePipeline(Args);
+  const Dataset &Data = Pipe->dataset(/*EnableSwp=*/false);
+  unsigned Steps = static_cast<unsigned>(Args.getInt("steps", 5));
+
+  // NN greedy runs on the full dataset (leave-self-out 1-NN); the SVM
+  // column retrains an LS-SVM per candidate feature, so it uses a
+  // subsample to stay tractable (38 features x 5 steps solves).
+  Rng Subsampler(11);
+  Dataset SvmData = Data.subsample(
+      static_cast<size_t>(Args.getInt("svm-cap", 500)), Subsampler);
+
+  auto NnSteps = greedyFeatureSelection(Data, nearNeighborTrainError,
+                                        Steps);
+  auto SvmSteps = greedyFeatureSelection(SvmData, svmTrainError, Steps);
+
+  TablePrinter Table("Greedy feature selection");
+  Table.addHeader({"Rank", "NN", "Error", "SVM", "Error"});
+  for (unsigned R = 0; R < Steps; ++R)
+    Table.addRow({std::to_string(R + 1), featureName(NnSteps[R].Feature),
+                  formatDouble(NnSteps[R].TrainError, 2),
+                  featureName(SvmSteps[R].Feature),
+                  formatDouble(SvmSteps[R].TrainError, 2)});
+  Table.print();
+
+  std::printf("\nShape checks:\n");
+  bool ErrorsDecrease = true;
+  for (unsigned R = 1; R < Steps; ++R)
+    ErrorsDecrease &= NnSteps[R].TrainError <=
+                      NnSteps[R - 1].TrainError + 1e-9;
+  printComparison("training error non-increasing along steps", "yes",
+                  ErrorsDecrease ? "yes" : "no");
+  bool ListsDiffer = false;
+  for (unsigned R = 0; R < Steps; ++R)
+    ListsDiffer |= NnSteps[R].Feature != SvmSteps[R].Feature;
+  printComparison("classifier choice affects the selected list", "yes",
+                  ListsDiffer ? "yes" : "no");
+  printComparison("paper's observation: numOps ranks below the top",
+                  "\"only once, far down the list\"",
+                  "inspect the table above");
+  return 0;
+}

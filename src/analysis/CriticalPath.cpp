@@ -1,0 +1,138 @@
+//===- analysis/CriticalPath.cpp ------------------------------------------===//
+
+#include "analysis/CriticalPath.h"
+
+#include "analysis/Latency.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+
+using namespace metaopt;
+
+int metaopt::dependenceDelay(const DepEdge &Edge, const Instruction &Src) {
+  switch (Edge.Kind) {
+  case DepKind::Data:
+    return defaultLatency(Src.Op);
+  case DepKind::Memory:
+    return 1;
+  case DepKind::Control:
+    return 0;
+  }
+  return 0;
+}
+
+int metaopt::criticalPathLatency(const Loop &L, const DependenceGraph &DG) {
+  size_t N = DG.numNodes();
+  // Body order is a topological order of the distance-0 subgraph.
+  std::vector<int> Start(N, 0);
+  int Critical = 0;
+  for (uint32_t Node = 0; Node < N; ++Node) {
+    const Instruction &Instr = L.body()[Node];
+    for (uint32_t EdgeIdx : DG.predecessors(Node)) {
+      const DepEdge &Edge = DG.edge(EdgeIdx);
+      if (Edge.Distance != 0)
+        continue;
+      int Ready = Start[Edge.Src] + dependenceDelay(Edge, L.body()[Edge.Src]);
+      Start[Node] = std::max(Start[Node], Ready);
+    }
+    if (!Instr.isLoopControl())
+      Critical = std::max(Critical, Start[Node] + defaultLatency(Instr.Op));
+  }
+  return Critical;
+}
+
+namespace {
+
+/// Union-find over body instruction indices.
+class UnionFind {
+public:
+  explicit UnionFind(size_t N) : Parent(N) {
+    std::iota(Parent.begin(), Parent.end(), 0);
+  }
+  uint32_t find(uint32_t X) {
+    while (Parent[X] != X) {
+      Parent[X] = Parent[Parent[X]];
+      X = Parent[X];
+    }
+    return X;
+  }
+  void merge(uint32_t A, uint32_t B) { Parent[find(A)] = find(B); }
+
+private:
+  std::vector<uint32_t> Parent;
+};
+
+} // namespace
+
+ComputationInfo metaopt::analyzeComputations(const Loop &L,
+                                             const DependenceGraph &DG) {
+  size_t N = DG.numNodes();
+  ComputationInfo Info;
+
+  auto IsComputation = [&](uint32_t Node) {
+    return !L.body()[Node].isLoopControl();
+  };
+
+  // Components over all non-speculatable edges between computation nodes
+  // (any distance: a loop-carried recurrence still ties ops together).
+  UnionFind Components(N);
+  for (const DepEdge &Edge : DG.edges()) {
+    if (Edge.Speculatable)
+      continue;
+    if (!IsComputation(Edge.Src) || !IsComputation(Edge.Dst))
+      continue;
+    Components.merge(Edge.Src, Edge.Dst);
+  }
+
+  // Longest intra-iteration paths: overall (honoring non-speculatable
+  // edges), memory-only, and control-only; plus max fan-in.
+  std::vector<int> Start(N, 0), MemFinish(N, 0), CtlStart(N, 0);
+  std::vector<int> ComponentHeight(N, 0);
+  for (uint32_t Node = 0; Node < N; ++Node) {
+    const Instruction &Instr = L.body()[Node];
+    int FanIn = 0;
+    for (uint32_t EdgeIdx : DG.predecessors(Node)) {
+      const DepEdge &Edge = DG.edge(EdgeIdx);
+      if (Edge.Distance != 0)
+        continue;
+      const Instruction &Src = L.body()[Edge.Src];
+      if (!Edge.Speculatable && IsComputation(Edge.Src) &&
+          IsComputation(Node))
+        Start[Node] = std::max(Start[Node],
+                               Start[Edge.Src] +
+                                   dependenceDelay(Edge, Src));
+      if (Edge.Kind == DepKind::Memory)
+        MemFinish[Node] = std::max(MemFinish[Node], MemFinish[Edge.Src]);
+      if (Edge.Kind == DepKind::Control && IsComputation(Edge.Src) &&
+          IsComputation(Node))
+        CtlStart[Node] = std::max(CtlStart[Node], CtlStart[Edge.Src] + 1);
+      if (Edge.Kind == DepKind::Data)
+        ++FanIn;
+    }
+    if (!IsComputation(Node))
+      continue;
+    Info.MaxFanIn = std::max(Info.MaxFanIn, FanIn);
+    int Finish = Start[Node] + defaultLatency(Instr.Op);
+    Info.MaxHeight = std::max(Info.MaxHeight, Finish);
+    if (Instr.isMemory()) {
+      MemFinish[Node] += defaultLatency(Instr.Op);
+      Info.MaxMemoryHeight = std::max(Info.MaxMemoryHeight, MemFinish[Node]);
+    }
+    Info.MaxControlHeight = std::max(Info.MaxControlHeight, CtlStart[Node]);
+    uint32_t Root = Components.find(Node);
+    ComponentHeight[Root] = std::max(ComponentHeight[Root], Finish);
+  }
+
+  // Count components and average their heights.
+  double HeightSum = 0.0;
+  for (uint32_t Node = 0; Node < N; ++Node) {
+    if (!IsComputation(Node) || Components.find(Node) != Node)
+      continue;
+    ++Info.NumComputations;
+    HeightSum += ComponentHeight[Node];
+  }
+  if (Info.NumComputations > 0)
+    Info.AvgHeight = HeightSum / Info.NumComputations;
+  return Info;
+}

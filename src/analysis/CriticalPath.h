@@ -1,0 +1,52 @@
+//===- analysis/CriticalPath.h - Path and computation analysis --*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Latency-weighted longest-path analyses over the intra-iteration
+/// dependence graph: the loop's critical path, and the paper's
+/// "computations" (independent connected components of the dependence
+/// graph) with their dependence heights (overall, memory-only,
+/// control-only). All are features from Table 1 of the paper.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_ANALYSIS_CRITICALPATH_H
+#define METAOPT_ANALYSIS_CRITICALPATH_H
+
+#include "analysis/DependenceGraph.h"
+#include "ir/Loop.h"
+
+namespace metaopt {
+
+/// Summary of the loop's independent computations (paper terminology for
+/// the connected components of the dependence graph, ignoring the loop
+/// control tail and speculatable ordering edges).
+struct ComputationInfo {
+  unsigned NumComputations = 0; ///< "number of parallel computations".
+  int MaxHeight = 0;            ///< "max dependence height".
+  int MaxMemoryHeight = 0;      ///< "max height of memory dependencies".
+  int MaxControlHeight = 0;     ///< "max height of control dependencies".
+  double AvgHeight = 0.0;       ///< "average dependence height".
+  int MaxFanIn = 0;             ///< "instruction fan-in in DAG" (Table 3).
+};
+
+/// Returns the estimated latency of the loop's critical path: the longest
+/// latency-weighted intra-iteration dependence chain, in cycles.
+int criticalPathLatency(const Loop &L, const DependenceGraph &DG);
+
+/// Analyzes the loop's computations; see ComputationInfo.
+ComputationInfo analyzeComputations(const Loop &L,
+                                    const DependenceGraph &DG);
+
+/// Returns the delay a scheduler must respect along \p Edge given the
+/// producing instruction \p Src: full latency for data dependences, one
+/// cycle for memory ordering, zero for control ordering.
+int dependenceDelay(const DepEdge &Edge, const Instruction &Src);
+
+} // namespace metaopt
+
+#endif // METAOPT_ANALYSIS_CRITICALPATH_H

@@ -1,0 +1,53 @@
+//===- analysis/Latency.cpp -----------------------------------------------===//
+
+#include "analysis/Latency.h"
+
+using namespace metaopt;
+
+int metaopt::defaultLatency(Opcode Op) {
+  switch (Op) {
+  case Opcode::IAdd:
+  case Opcode::ISub:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor:
+  case Opcode::ICmp:
+  case Opcode::IConst:
+  case Opcode::Copy:
+  case Opcode::Select:
+  case Opcode::AddrGen:
+  case Opcode::PredSet:
+  case Opcode::IvAdd:
+  case Opcode::IvCmp:
+    return 1;
+  case Opcode::IMul:
+    return 4;
+  case Opcode::IDiv:
+  case Opcode::IRem:
+    return 16;
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FMA:
+  case Opcode::FCvt:
+  case Opcode::FCmp:
+  case Opcode::FConst:
+    return 4;
+  case Opcode::FDiv:
+    return 12;
+  case Opcode::FSqrt:
+    return 14;
+  case Opcode::Load:
+    return 3;
+  case Opcode::Store:
+    return 1;
+  case Opcode::ExitIf:
+  case Opcode::BackBr:
+    return 1;
+  case Opcode::Call:
+    return 40;
+  }
+  return 1;
+}

@@ -1,0 +1,30 @@
+//===- analysis/Latency.h - Abstract operation latencies --------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Abstract (machine-independent) operation latencies used by the analyses
+/// that feed the feature vector (critical path, dependence heights,
+/// recurrence MII). The concrete machine models in src/machine carry their
+/// own latency tables; keeping an abstract table here mirrors how a
+/// compiler's mid-level analyses estimate cost before code generation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_ANALYSIS_LATENCY_H
+#define METAOPT_ANALYSIS_LATENCY_H
+
+#include "ir/Opcode.h"
+
+namespace metaopt {
+
+/// Returns an abstract latency (cycles) for \p Op, loosely modeled on an
+/// Itanium-2-class in-order machine.
+int defaultLatency(Opcode Op);
+
+} // namespace metaopt
+
+#endif // METAOPT_ANALYSIS_LATENCY_H

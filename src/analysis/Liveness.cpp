@@ -1,0 +1,146 @@
+//===- analysis/Liveness.cpp ----------------------------------------------===//
+
+#include "analysis/Liveness.h"
+
+#include <algorithm>
+#include <cassert>
+#include <map>
+#include <numeric>
+#include <set>
+
+using namespace metaopt;
+
+LivenessInfo metaopt::analyzeLiveness(const Loop &L,
+                                      const std::vector<uint32_t> &Order) {
+  const std::vector<Instruction> &Body = L.body();
+  size_t N = Body.size();
+
+  std::vector<uint32_t> Sequence = Order;
+  if (Sequence.empty()) {
+    Sequence.resize(N);
+    std::iota(Sequence.begin(), Sequence.end(), 0);
+  }
+  assert(Sequence.size() == N && "order must cover the whole body");
+
+  // Position of each body instruction in the evaluation order.
+  std::vector<uint32_t> Position(N, 0);
+  for (uint32_t Pos = 0; Pos < Sequence.size(); ++Pos)
+    Position[Sequence[Pos]] = Pos;
+
+  // Which registers recur into the next iteration (live to the end).
+  std::map<RegId, bool> LiveAcrossBack;
+  for (const PhiNode &Phi : L.phis())
+    LiveAcrossBack[Phi.Recur] = true;
+
+  LivenessInfo Info;
+
+  // Live interval per register: [DefPos, LastUsePos]. Phi destinations are
+  // live from position 0; recurrence sources extend to the end; live-ins
+  // are live everywhere and counted separately.
+  struct Interval {
+    uint32_t Begin = 0;
+    uint32_t End = 0;
+    RegClass RC = RegClass::Int;
+  };
+  std::vector<Interval> Intervals;
+
+  // Loop-control registers (the induction variable and trip-test
+  // predicate) live in dedicated machine state (counted-branch registers)
+  // and do not contribute to allocatable pressure.
+  std::map<RegId, uint32_t> DefPos;
+  for (uint32_t I = 0; I < N; ++I)
+    if (Body[I].hasDest() && !Body[I].isLoopControl())
+      DefPos[Body[I].Dest] = Position[I];
+
+  std::map<RegId, uint32_t> LastUse;
+  auto NoteUse = [&](RegId Reg, uint32_t Pos) {
+    auto It = LastUse.find(Reg);
+    if (It == LastUse.end())
+      LastUse[Reg] = Pos;
+    else
+      It->second = std::max(It->second, Pos);
+  };
+  for (uint32_t I = 0; I < N; ++I) {
+    if (Body[I].isLoopControl())
+      continue;
+    for (RegId Operand : Body[I].Operands)
+      NoteUse(Operand, Position[I]);
+    if (Body[I].Pred != NoReg)
+      NoteUse(Body[I].Pred, Position[I]);
+  }
+
+  uint32_t EndPos = static_cast<uint32_t>(N);
+
+  // Registers defined by the loop-control tail are excluded entirely.
+  std::set<RegId> ControlRegs;
+  for (const Instruction &Instr : Body)
+    if (Instr.isLoopControl()) {
+      if (Instr.hasDest())
+        ControlRegs.insert(Instr.Dest);
+      for (RegId Operand : Instr.Operands)
+        ControlRegs.insert(Operand);
+    }
+
+  for (RegId Reg = 0; Reg < L.numRegs(); ++Reg) {
+    if (ControlRegs.count(Reg))
+      continue;
+    if (L.isLiveIn(Reg)) {
+      // Invariant inputs occupy a register for the whole loop; only count
+      // ones that are actually read (phi initial values are consumed
+      // before the steady state and are not loop-long pressure).
+      if (LastUse.count(Reg))
+        ++Info.NumLiveIn;
+      continue;
+    }
+    Interval Iv;
+    Iv.RC = L.regClass(Reg);
+    if (L.isPhiDest(Reg)) {
+      Iv.Begin = 0;
+      auto Use = LastUse.find(Reg);
+      Iv.End = Use == LastUse.end() ? 0 : Use->second;
+    } else {
+      auto Def = DefPos.find(Reg);
+      if (Def == DefPos.end())
+        continue; // Unused register id.
+      Iv.Begin = Def->second;
+      auto Use = LastUse.find(Reg);
+      Iv.End = Use == LastUse.end() ? Iv.Begin : std::max(Iv.Begin,
+                                                          Use->second);
+    }
+    if (LiveAcrossBack.count(Reg)) {
+      Iv.End = EndPos;
+      ++Info.NumAcrossBack;
+    }
+    Intervals.push_back(Iv);
+  }
+
+  // Sweep the positions counting overlaps per class.
+  double LiveSum = 0.0;
+  for (uint32_t Pos = 0; Pos < EndPos; ++Pos) {
+    unsigned LiveInt = 0, LiveFloat = 0, LivePred = 0;
+    for (const Interval &Iv : Intervals) {
+      if (Pos < Iv.Begin || Pos > Iv.End)
+        continue;
+      switch (Iv.RC) {
+      case RegClass::Int:
+        ++LiveInt;
+        break;
+      case RegClass::Float:
+        ++LiveFloat;
+        break;
+      case RegClass::Pred:
+        ++LivePred;
+        break;
+      }
+    }
+    Info.MaxLiveInt = std::max(Info.MaxLiveInt, LiveInt);
+    Info.MaxLiveFloat = std::max(Info.MaxLiveFloat, LiveFloat);
+    Info.MaxLivePred = std::max(Info.MaxLivePred, LivePred);
+    Info.MaxLiveTotal =
+        std::max(Info.MaxLiveTotal, LiveInt + LiveFloat + LivePred);
+    LiveSum += LiveInt + LiveFloat + LivePred;
+  }
+  if (EndPos > 0)
+    Info.AvgLiveTotal = LiveSum / EndPos;
+  return Info;
+}

@@ -1,0 +1,43 @@
+//===- analysis/Recurrence.h - Recurrence-constrained MII -------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Recurrence-constrained minimum initiation interval (RecMII): the lower
+/// bound software pipelining can reach given the loop-carried dependence
+/// cycles. Used both as a paper-style feature and by the modulo scheduler.
+///
+/// Cycles are enumerated through their loop-carried edges: for a carried
+/// edge u -> v with distance d, the candidate II is
+///   (longest intra-iteration delay path v ->* u  +  delay(u -> v)) / d.
+/// Multi-carried-edge cycles are not enumerated; for the loop shapes this
+/// IR produces (phis with distance 1 plus affine memory recurrences) the
+/// single-carried-edge bound is exact or within one cycle.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_ANALYSIS_RECURRENCE_H
+#define METAOPT_ANALYSIS_RECURRENCE_H
+
+#include "analysis/DependenceGraph.h"
+#include "ir/Loop.h"
+
+#include <functional>
+
+namespace metaopt {
+
+/// Returns the recurrence-constrained MII of \p L in cycles (>= 1), using
+/// the abstract latencies from analysis/Latency.h.
+double recurrenceMII(const Loop &L, const DependenceGraph &DG);
+
+/// As above, but computes delays from \p LatencyFn (e.g. a machine model's
+/// latency table) instead of the abstract defaults.
+double recurrenceMII(const Loop &L, const DependenceGraph &DG,
+                     const std::function<int(Opcode)> &LatencyFn);
+
+} // namespace metaopt
+
+#endif // METAOPT_ANALYSIS_RECURRENCE_H

@@ -1,0 +1,32 @@
+//===- core/driver/Heuristics.cpp -----------------------------------------===//
+
+#include "core/driver/Heuristics.h"
+
+#include "core/features/FeatureExtractor.h"
+
+using namespace metaopt;
+
+LearnedHeuristic::LearnedHeuristic(const Classifier &TrainedIn)
+    : Trained(TrainedIn) {}
+
+std::string LearnedHeuristic::name() const {
+  return "learned-" + Trained.name();
+}
+
+unsigned LearnedHeuristic::chooseFactor(const Loop &L) const {
+  return Trained.predict(extractFeatures(L));
+}
+
+OracleHeuristic::OracleHeuristic(const Dataset &Labels,
+                                 unsigned FallbackFactorIn)
+    : FallbackFactor(FallbackFactorIn) {
+  for (const Example &Ex : Labels.examples())
+    BestFactor[Ex.LoopName] = Ex.Label;
+}
+
+std::string OracleHeuristic::name() const { return "oracle"; }
+
+unsigned OracleHeuristic::chooseFactor(const Loop &L) const {
+  auto It = BestFactor.find(L.name());
+  return It == BestFactor.end() ? FallbackFactor : It->second;
+}

@@ -1,0 +1,56 @@
+//===- core/driver/Heuristics.h - Learned & oracle policies -----*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Adapters that close the loop from learning back into the compiler: a
+/// trained classifier exposed as an UnrollHeuristic ("the learned
+/// classifier can easily be incorporated into a compiler", §4.1), and the
+/// label-backed oracle policy used for the headroom bars of Figures 4/5.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_CORE_DRIVER_HEURISTICS_H
+#define METAOPT_CORE_DRIVER_HEURISTICS_H
+
+#include "core/ml/Classifier.h"
+#include "heuristics/UnrollHeuristic.h"
+
+#include <map>
+
+namespace metaopt {
+
+/// Wraps a trained classifier: extract features, predict, unroll.
+class LearnedHeuristic : public UnrollHeuristic {
+public:
+  /// Does not take ownership; \p Trained must outlive this object and must
+  /// already be trained.
+  explicit LearnedHeuristic(const Classifier &Trained);
+
+  std::string name() const override;
+  unsigned chooseFactor(const Loop &L) const override;
+
+private:
+  const Classifier &Trained;
+};
+
+/// Replays the empirically best factor per loop (by loop name). Loops
+/// without a label (filtered from the dataset) fall back to a default.
+class OracleHeuristic : public UnrollHeuristic {
+public:
+  OracleHeuristic(const Dataset &Labels, unsigned FallbackFactor = 1);
+
+  std::string name() const override;
+  unsigned chooseFactor(const Loop &L) const override;
+
+private:
+  std::map<std::string, unsigned> BestFactor;
+  unsigned FallbackFactor;
+};
+
+} // namespace metaopt
+
+#endif // METAOPT_CORE_DRIVER_HEURISTICS_H

@@ -1,0 +1,76 @@
+//===- core/driver/LabelCollector.cpp -------------------------------------===//
+
+#include "core/driver/LabelCollector.h"
+
+#include "core/features/FeatureExtractor.h"
+#include "sim/Simulator.h"
+#include "support/Statistics.h"
+
+#include <cassert>
+
+using namespace metaopt;
+
+std::array<double, MaxUnrollFactor>
+metaopt::measureLoopAtAllFactors(const CorpusLoop &Entry,
+                                 const MachineModel &Machine,
+                                 const LabelingOptions &Options) {
+  // One deterministic noise stream per loop: re-labeling the corpus
+  // reproduces identical datasets.
+  Rng Noise(Options.MeasurementSeed ^
+            Rng::hashString(Entry.TheLoop.name()));
+  std::array<double, MaxUnrollFactor> Medians = {};
+  for (unsigned Factor = 1; Factor <= MaxUnrollFactor; ++Factor) {
+    SimResult Sim = simulateLoop(Entry.TheLoop, Factor, Machine, Entry.Ctx,
+                                 Options.EnableSwp);
+    double TotalCycles = Sim.Cycles * static_cast<double>(Entry.Executions);
+    Medians[Factor - 1] = measureMedian(TotalCycles, Options.Protocol,
+                                        Noise);
+  }
+  return Medians;
+}
+
+Dataset metaopt::collectLabels(const std::vector<Benchmark> &Corpus,
+                               const LabelingOptions &Options,
+                               size_t *OutTotalLoops) {
+  MachineModel Machine(Options.Machine);
+  Dataset Data;
+  size_t TotalLoops = 0;
+  for (const Benchmark &Bench : Corpus) {
+    for (const CorpusLoop &Entry : Bench.Loops) {
+      ++TotalLoops;
+      std::array<double, MaxUnrollFactor> Medians =
+          measureLoopAtAllFactors(Entry, Machine, Options);
+
+      unsigned Best = 1;
+      double BestCycles = Medians[0];
+      double Sum = 0.0;
+      for (unsigned Factor = 1; Factor <= MaxUnrollFactor; ++Factor) {
+        double Cycles = Medians[Factor - 1];
+        Sum += Cycles;
+        if (Cycles < BestCycles) {
+          BestCycles = Cycles;
+          Best = Factor;
+        }
+      }
+      double Average = Sum / MaxUnrollFactor;
+
+      // Paper filters: the 50k-cycle noise floor and the 1.05x
+      // best-vs-average sensitivity requirement.
+      if (!isReliablyMeasurable(BestCycles, Options.Protocol))
+        continue;
+      if (BestCycles * Options.MinBestVsAverage > Average)
+        continue;
+
+      Example Ex;
+      Ex.Features = extractFeatures(Entry.TheLoop);
+      Ex.Label = Best;
+      Ex.CyclesPerFactor = Medians;
+      Ex.LoopName = Entry.TheLoop.name();
+      Ex.BenchmarkName = Bench.Name;
+      Data.add(std::move(Ex));
+    }
+  }
+  if (OutTotalLoops)
+    *OutTotalLoops = TotalLoops;
+  return Data;
+}

@@ -1,0 +1,54 @@
+//===- core/driver/LabelCollector.h - Empirical labeling --------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the labeled training set: every loop in the corpus is compiled
+/// and "run" at unroll factors 1..8, each configuration is measured 30
+/// times through the noisy instrumentation model and the median kept, and
+/// the factor with the fewest cycles becomes the label. The paper's usable-
+/// loop filters apply: the loop must run at least 50,000 cycles, and its
+/// best factor must beat the average over all factors by at least 1.05x.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_CORE_DRIVER_LABELCOLLECTOR_H
+#define METAOPT_CORE_DRIVER_LABELCOLLECTOR_H
+
+#include "core/ml/Dataset.h"
+#include "corpus/BenchmarkSuite.h"
+#include "machine/Machine.h"
+#include "sim/Measurement.h"
+
+namespace metaopt {
+
+/// Label-collection configuration.
+struct LabelingOptions {
+  bool EnableSwp = false;           ///< Figure 4 (off) vs Figure 5 (on).
+  MachineConfig Machine = itanium2Config();
+  MeasurementProtocol Protocol = {};
+  /// Paper filter: keep loops "whose optimal unroll factor is measurably
+  /// better than the average (1.05x) over all unroll factors".
+  double MinBestVsAverage = 1.05;
+  uint64_t MeasurementSeed = 0x10adedD1CEull; // Per-loop noise streams.
+};
+
+/// Labels one loop; returns the measured medians per factor.
+std::array<double, MaxUnrollFactor>
+measureLoopAtAllFactors(const CorpusLoop &Entry, const MachineModel &Machine,
+                        const LabelingOptions &Options);
+
+/// Labels every usable loop in the corpus into a Dataset. Unusable loops
+/// (too short or too insensitive) are dropped, mirroring the paper's
+/// dataset construction. \p OutTotalLoops optionally receives the raw
+/// (pre-filter) loop count.
+Dataset collectLabels(const std::vector<Benchmark> &Corpus,
+                      const LabelingOptions &Options,
+                      size_t *OutTotalLoops = nullptr);
+
+} // namespace metaopt
+
+#endif // METAOPT_CORE_DRIVER_LABELCOLLECTOR_H

@@ -1,0 +1,70 @@
+//===- core/driver/OutlierTriage.cpp --------------------------------------===//
+
+#include "core/driver/OutlierTriage.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace metaopt;
+
+TriageReport metaopt::triageOutliers(const Dataset &Data,
+                                     const FeatureSet &Features,
+                                     const TriageOptions &Options) {
+  assert(Options.ConfidenceThreshold >= 0.0 &&
+         Options.ConfidenceThreshold <= 1.0 &&
+         "confidence threshold out of range");
+  TriageReport Report;
+  Report.TotalExamples = Data.size();
+  if (Data.empty())
+    return Report;
+
+  NearNeighborClassifier Nn(Features, Options.Radius);
+  Nn.train(Data);
+
+  size_t ConfidentCorrect = 0, ConfidentTotal = 0;
+  size_t OutlierCorrect = 0;
+  for (size_t Index = 0; Index < Data.size(); ++Index) {
+    NearNeighborClassifier::Vote Vote = Nn.voteExcluding(Index);
+    const Example &Ex = Data[Index];
+    bool Correct = Vote.Factor == Ex.Label;
+
+    bool Empty = Vote.NeighborCount == 0;
+    Report.EmptyNeighborhoods += Empty;
+    bool Flag = (Empty && Options.FlagEmptyNeighborhoods) ||
+                (!Empty &&
+                 Vote.confidence() < Options.ConfidenceThreshold);
+    if (!Flag) {
+      ++ConfidentTotal;
+      ConfidentCorrect += Correct;
+      continue;
+    }
+    OutlierCorrect += Correct;
+    OutlierRecord Record;
+    Record.LoopName = Ex.LoopName;
+    Record.BenchmarkName = Ex.BenchmarkName;
+    Record.Label = Ex.Label;
+    Record.Predicted = Vote.Factor;
+    Record.NeighborCount = Vote.NeighborCount;
+    Record.Confidence = Vote.confidence();
+    Record.MispredictCost = Ex.CyclesPerFactor[Vote.Factor - 1] /
+                            Ex.CyclesPerFactor[Ex.Label - 1];
+    Report.Outliers.push_back(std::move(Record));
+  }
+
+  std::sort(Report.Outliers.begin(), Report.Outliers.end(),
+            [](const OutlierRecord &A, const OutlierRecord &B) {
+              if (A.Confidence != B.Confidence)
+                return A.Confidence < B.Confidence;
+              if (A.MispredictCost != B.MispredictCost)
+                return A.MispredictCost > B.MispredictCost;
+              return A.LoopName < B.LoopName;
+            });
+
+  if (ConfidentTotal > 0)
+    Report.ConfidentAccuracy =
+        static_cast<double>(ConfidentCorrect) / ConfidentTotal;
+  if (!Report.Outliers.empty())
+    Report.OutlierAccuracy =
+        static_cast<double>(OutlierCorrect) / Report.Outliers.size();
+  return Report;
+}

@@ -1,0 +1,66 @@
+//===- core/driver/OutlierTriage.h - Confidence triage ----------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The outlier-inspection tool Section 5.1 imagines: "One can imagine a
+/// tool that automatically detects outliers by setting low confidence
+/// examples aside. An engineer could then visually inspect outlier loops
+/// to determine why they are hard to classify."
+///
+/// For every loop in the dataset the near-neighbor vote is replayed with
+/// the loop itself excluded; loops with empty or contested neighborhoods
+/// are flagged, together with the facts an engineer would look at first
+/// (neighbor count, agreement, whether the prediction was right, and the
+/// cost of the miss).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_CORE_DRIVER_OUTLIERTRIAGE_H
+#define METAOPT_CORE_DRIVER_OUTLIERTRIAGE_H
+
+#include "core/ml/NearNeighbor.h"
+
+namespace metaopt {
+
+/// One flagged loop.
+struct OutlierRecord {
+  std::string LoopName;
+  std::string BenchmarkName;
+  unsigned Label = 1;          ///< Empirically best factor.
+  unsigned Predicted = 1;      ///< Leave-self-out NN prediction.
+  unsigned NeighborCount = 0;  ///< Database entries within the radius.
+  double Confidence = 0.0;     ///< Agreeing-neighbor fraction (0 if none).
+  double MispredictCost = 1.0; ///< cycles(predicted) / cycles(best).
+};
+
+/// Triage configuration.
+struct TriageOptions {
+  double Radius = 0.3;
+  /// Flag examples whose vote confidence falls below this.
+  double ConfidenceThreshold = 0.5;
+  /// Also flag examples with no neighbors at all (1-NN fallback fired).
+  bool FlagEmptyNeighborhoods = true;
+};
+
+/// Triage summary.
+struct TriageReport {
+  std::vector<OutlierRecord> Outliers; ///< Sorted, lowest confidence first.
+  size_t TotalExamples = 0;
+  size_t EmptyNeighborhoods = 0;
+  /// Accuracy split the tool motivates: confident predictions should be
+  /// much more accurate than flagged ones.
+  double ConfidentAccuracy = 0.0;
+  double OutlierAccuracy = 0.0;
+};
+
+/// Runs the triage over \p Data with a leave-self-out NN vote.
+TriageReport triageOutliers(const Dataset &Data, const FeatureSet &Features,
+                            const TriageOptions &Options = {});
+
+} // namespace metaopt
+
+#endif // METAOPT_CORE_DRIVER_OUTLIERTRIAGE_H

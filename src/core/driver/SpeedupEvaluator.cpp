@@ -1,0 +1,125 @@
+//===- core/driver/SpeedupEvaluator.cpp -----------------------------------===//
+
+#include "core/driver/SpeedupEvaluator.h"
+
+#include "core/driver/Heuristics.h"
+#include "core/ml/NearNeighbor.h"
+#include "core/ml/OutputCode.h"
+#include "heuristics/OrcLikeHeuristic.h"
+#include "sim/Simulator.h"
+
+#include <cassert>
+
+using namespace metaopt;
+
+double metaopt::benchmarkCycles(const Benchmark &Bench,
+                                const UnrollHeuristic &Policy,
+                                const MachineModel &Machine, bool EnableSwp,
+                                double NonLoopCycles) {
+  double Total = NonLoopCycles;
+  for (const CorpusLoop &Entry : Bench.Loops) {
+    unsigned Factor = Policy.chooseFactor(Entry.TheLoop);
+    assert(Factor >= 1 && Factor <= MaxUnrollFactor &&
+           "policy produced an out-of-range factor");
+    SimResult Sim = simulateLoop(Entry.TheLoop, Factor, Machine, Entry.Ctx,
+                                 EnableSwp);
+    Total += Sim.Cycles * static_cast<double>(Entry.Executions);
+  }
+  return Total;
+}
+
+double metaopt::nonLoopCycles(const Benchmark &Bench,
+                              const UnrollHeuristic &Baseline,
+                              const MachineModel &Machine, bool EnableSwp) {
+  double LoopCycles =
+      benchmarkCycles(Bench, Baseline, Machine, EnableSwp,
+                      /*NonLoopCycles=*/0.0);
+  assert(Bench.NonLoopFraction >= 0.0 && Bench.NonLoopFraction < 1.0 &&
+         "non-loop fraction must be a proper fraction");
+  return LoopCycles * Bench.NonLoopFraction / (1.0 - Bench.NonLoopFraction);
+}
+
+SpeedupReport
+metaopt::evaluateSpeedups(const std::vector<Benchmark> &Corpus,
+                          const std::vector<std::string> &EvalNames,
+                          const Dataset &FullData,
+                          const FeatureSet &Features,
+                          const SpeedupOptions &Options) {
+  MachineModel Machine(Options.Labeling.Machine);
+  bool EnableSwp = Options.Labeling.EnableSwp;
+  OrcLikeHeuristic Orc(Machine, EnableSwp);
+
+  SpeedupReport Report;
+  double SumNn = 0, SumSvm = 0, SumOracle = 0;
+  double SumNnFp = 0, SumSvmFp = 0, SumOracleFp = 0;
+  unsigned FpCount = 0;
+
+  for (const std::string &Name : EvalNames) {
+    const Benchmark *Bench = nullptr;
+    for (const Benchmark &Candidate : Corpus)
+      if (Candidate.Name == Name)
+        Bench = &Candidate;
+    assert(Bench && "evaluation benchmark missing from the corpus");
+
+    // Leave-one-benchmark-out training sets ("when compiling a benchmark,
+    // we exclude all examples in that benchmark", §6.1).
+    Dataset Train = FullData.excludingBenchmark(Name);
+    Rng Subsampler(Options.SubsampleSeed ^ Rng::hashString(Name));
+    Dataset SvmTrain = Train.subsample(Options.SvmTrainCap, Subsampler);
+
+    NearNeighborClassifier Nn(Features, Options.NnRadius);
+    Nn.train(Train);
+    SvmClassifier Svm(Features);
+    Svm.train(SvmTrain);
+
+    LearnedHeuristic NnPolicy(Nn);
+    LearnedHeuristic SvmPolicy(Svm);
+    // The oracle replays this benchmark's own labels.
+    OracleHeuristic Oracle(FullData, /*FallbackFactor=*/1);
+
+    double NonLoop = nonLoopCycles(*Bench, Orc, Machine, EnableSwp);
+    double OrcTime =
+        benchmarkCycles(*Bench, Orc, Machine, EnableSwp, NonLoop);
+    double NnTime =
+        benchmarkCycles(*Bench, NnPolicy, Machine, EnableSwp, NonLoop);
+    double SvmTime =
+        benchmarkCycles(*Bench, SvmPolicy, Machine, EnableSwp, NonLoop);
+    double OracleTime =
+        benchmarkCycles(*Bench, Oracle, Machine, EnableSwp, NonLoop);
+
+    SpeedupRow Row;
+    Row.Benchmark = Name;
+    Row.FloatingPoint = Bench->FloatingPoint;
+    Row.NnVsOrc = OrcTime / NnTime - 1.0;
+    Row.SvmVsOrc = OrcTime / SvmTime - 1.0;
+    Row.OracleVsOrc = OrcTime / OracleTime - 1.0;
+    Report.Rows.push_back(Row);
+
+    SumNn += Row.NnVsOrc;
+    SumSvm += Row.SvmVsOrc;
+    SumOracle += Row.OracleVsOrc;
+    if (Row.FloatingPoint) {
+      SumNnFp += Row.NnVsOrc;
+      SumSvmFp += Row.SvmVsOrc;
+      SumOracleFp += Row.OracleVsOrc;
+      ++FpCount;
+    }
+    if (Row.NnVsOrc > 0.0)
+      ++Report.NnWins;
+    if (Row.SvmVsOrc > 0.0)
+      ++Report.SvmWins;
+  }
+
+  size_t N = Report.Rows.size();
+  if (N > 0) {
+    Report.MeanNn = SumNn / N;
+    Report.MeanSvm = SumSvm / N;
+    Report.MeanOracle = SumOracle / N;
+  }
+  if (FpCount > 0) {
+    Report.MeanNnFp = SumNnFp / FpCount;
+    Report.MeanSvmFp = SumSvmFp / FpCount;
+    Report.MeanOracleFp = SumOracleFp / FpCount;
+  }
+  return Report;
+}

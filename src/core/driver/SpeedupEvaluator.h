@@ -1,0 +1,77 @@
+//===- core/driver/SpeedupEvaluator.h - Whole-program speedups --*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Whole-program evaluation (Figures 4 and 5): compiles every loop of a
+/// benchmark with the unroll factor a policy chooses, sums the simulated
+/// loop runtimes weighted by executions, adds the benchmark's non-loop
+/// time, and reports speedup relative to the ORC-like baseline. Matches
+/// the paper's protocol: training excludes the benchmark being evaluated
+/// (leave-one-benchmark-out), and compiled code is not instrumented.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_CORE_DRIVER_SPEEDUPEVALUATOR_H
+#define METAOPT_CORE_DRIVER_SPEEDUPEVALUATOR_H
+
+#include "core/driver/LabelCollector.h"
+#include "corpus/BenchmarkSuite.h"
+#include "heuristics/UnrollHeuristic.h"
+
+namespace metaopt {
+
+/// Per-benchmark speedup rows for one policy column.
+struct SpeedupRow {
+  std::string Benchmark;
+  bool FloatingPoint = false;
+  double NnVsOrc = 0.0;     ///< (t_orc / t_nn) - 1.
+  double SvmVsOrc = 0.0;    ///< (t_orc / t_svm) - 1.
+  double OracleVsOrc = 0.0; ///< (t_orc / t_oracle) - 1.
+};
+
+/// Figure 4/5 evaluation result.
+struct SpeedupReport {
+  std::vector<SpeedupRow> Rows;
+  double MeanNn = 0.0, MeanSvm = 0.0, MeanOracle = 0.0;
+  double MeanNnFp = 0.0, MeanSvmFp = 0.0, MeanOracleFp = 0.0;
+  unsigned NnWins = 0, SvmWins = 0; ///< Benchmarks beating the baseline.
+};
+
+/// Evaluation configuration.
+struct SpeedupOptions {
+  LabelingOptions Labeling; ///< Machine + SWP mode; noise not used here.
+  /// Training subsample cap per left-out benchmark: keeps the 24 LS-SVM
+  /// retrainings tractable without visibly moving the results.
+  size_t SvmTrainCap = 1000;
+  double NnRadius = 0.3;
+  uint64_t SubsampleSeed = 7;
+};
+
+/// Total modeled runtime of \p Bench when loops are unrolled per
+/// \p Policy. \p NonLoopCycles is the benchmark's fixed non-loop time.
+double benchmarkCycles(const Benchmark &Bench, const UnrollHeuristic &Policy,
+                       const MachineModel &Machine, bool EnableSwp,
+                       double NonLoopCycles);
+
+/// Non-loop time derived from the baseline policy's loop time and the
+/// benchmark's NonLoopFraction.
+double nonLoopCycles(const Benchmark &Bench, const UnrollHeuristic &Baseline,
+                     const MachineModel &Machine, bool EnableSwp);
+
+/// Runs the full Figure 4/5 protocol over the benchmarks named in
+/// \p EvalNames (normally the 24 SPEC 2000 programs): per benchmark,
+/// train NN and SVM on \p FullData minus that benchmark's examples, then
+/// compare against the ORC-like baseline and the oracle.
+SpeedupReport evaluateSpeedups(const std::vector<Benchmark> &Corpus,
+                               const std::vector<std::string> &EvalNames,
+                               const Dataset &FullData,
+                               const FeatureSet &Features,
+                               const SpeedupOptions &Options);
+
+} // namespace metaopt
+
+#endif // METAOPT_CORE_DRIVER_SPEEDUPEVALUATOR_H

@@ -1,0 +1,101 @@
+//===- core/features/FeatureCatalog.cpp -----------------------------------===//
+
+#include "core/features/FeatureCatalog.h"
+
+#include <cassert>
+
+using namespace metaopt;
+
+namespace {
+
+struct FeatureInfo {
+  const char *Name;
+  const char *Description;
+};
+
+const FeatureInfo Infos[NumFeatures] = {
+    {"nestLevel", "The loop nest level"},
+    {"numOps", "The number of ops. in loop body"},
+    {"numFloatOps", "The number of floating point ops. in loop body"},
+    {"numBranches", "The number of branches in loop body"},
+    {"numMemOps", "The number of memory ops. in loop body"},
+    {"numOperands", "The number of operands in loop body"},
+    {"numImplicitOps", "The number of implicit instructions in loop body"},
+    {"numUniquePredicates",
+     "The number of unique predicates in loop body"},
+    {"criticalPathLatency",
+     "The estimated latency of the critical path of loop"},
+    {"estCycleLength", "The estimated cycle length of loop body"},
+    {"language", "The language (C or Fortran)"},
+    {"numParallelComputations",
+     "The number of parallel \"computations\" in loop"},
+    {"maxDependenceHeight", "The max. dependence height of computations"},
+    {"maxMemDependenceHeight",
+     "The max. height of memory dependencies of computations"},
+    {"maxControlDependenceHeight",
+     "The max. height of control dependencies of computations"},
+    {"avgDependenceHeight", "The average dependence height of computations"},
+    {"numIndirectRefs", "The number of indirect references in loop body"},
+    {"minMemCarriedDistance",
+     "The min. memory-to-memory loop-carried dependence"},
+    {"numMemDeps", "The number of memory-to-memory dependencies"},
+    {"tripCount", "The tripcount of the loop (-1 if unknown)"},
+    {"numUses", "The number of uses in the loop"},
+    {"numDefs", "The number of defs. in the loop"},
+    {"liveRangeSize", "The live range size (peak live values)"},
+    {"instructionFanIn", "The instruction fan-in in the dependence DAG"},
+    {"knownTripCount", "Whether the tripcount is known at compile time"},
+    {"numIntOps", "The number of integer ops. in loop body"},
+    {"numCalls", "The number of calls in loop body"},
+    {"numLoads", "The number of loads in loop body"},
+    {"numStores", "The number of stores in loop body"},
+    {"numEarlyExits", "The number of early-exit branches in loop body"},
+    {"sumExitProbability", "The static estimate of early-exit likelihood"},
+    {"recMii", "The recurrence-constrained min. initiation interval"},
+    {"numLoopCarriedValues", "The number of loop-carried scalar values"},
+    {"numLiveIns", "The number of loop-invariant register inputs"},
+    {"maxLiveFloat", "The peak number of live floating point values"},
+    {"maxLiveInt", "The peak number of live integer values"},
+    {"codeSizeBytes", "The estimated code bytes of the loop body"},
+    {"numLongLatencyOps",
+     "The number of long latency ops. (div, sqrt, rem)"},
+};
+
+} // namespace
+
+const char *metaopt::featureName(FeatureId Id) {
+  unsigned Index = static_cast<unsigned>(Id);
+  assert(Index < NumFeatures && "feature id out of range");
+  return Infos[Index].Name;
+}
+
+const char *metaopt::featureDescription(FeatureId Id) {
+  unsigned Index = static_cast<unsigned>(Id);
+  assert(Index < NumFeatures && "feature id out of range");
+  return Infos[Index].Description;
+}
+
+FeatureSet metaopt::fullFeatureSet() {
+  FeatureSet Set;
+  Set.reserve(NumFeatures);
+  for (unsigned I = 0; I < NumFeatures; ++I)
+    Set.push_back(static_cast<FeatureId>(I));
+  return Set;
+}
+
+FeatureSet metaopt::paperReducedFeatureSet() {
+  // Union of Table 3 (MIS ranking) and Table 4 (greedy selection for NN
+  // and the SVM): the ten features the paper actually classified with.
+  return {
+      FeatureId::NumFloatOps,        // Table 3 #1, Table 4 (SVM) #1.
+      FeatureId::NumOperands,        // Table 3 #2, Table 4 (both).
+      FeatureId::InstructionFanIn,   // Table 3 #3.
+      FeatureId::LiveRangeSize,      // Table 3 #4, Table 4 (NN) #2.
+      FeatureId::NumMemOps,          // Table 3 #5, Table 4 (SVM) #5.
+      FeatureId::CriticalPathLatency, // Table 4 (NN) #3.
+      FeatureId::NumOps,             // Table 4 (NN) #4.
+      FeatureId::KnownTripCount,     // Table 4 (NN) #5.
+      FeatureId::NestLevel,          // Table 4 (SVM) #2.
+      FeatureId::NumBranches,        // Table 4 (SVM) #4.
+  };
+}

@@ -1,0 +1,131 @@
+//===- core/features/FeatureExtractor.cpp ---------------------------------===//
+
+#include "core/features/FeatureExtractor.h"
+
+#include "analysis/CriticalPath.h"
+#include "analysis/DependenceGraph.h"
+#include "analysis/Liveness.h"
+#include "analysis/Recurrence.h"
+
+#include <algorithm>
+#include <set>
+
+using namespace metaopt;
+
+FeatureVector metaopt::extractFeatures(const Loop &L) {
+  FeatureVector Features;
+  Features.fill(0.0);
+  auto Set = [&](FeatureId Id, double Value) {
+    Features[static_cast<unsigned>(Id)] = Value;
+  };
+
+  // Plain instruction-count features.
+  unsigned Ops = 0, FloatOps = 0, IntOps = 0, MemOps = 0, Loads = 0;
+  unsigned Stores = 0, Branches = 0, Calls = 0, Exits = 0, Implicit = 0;
+  unsigned Operands = 0, Uses = 0, Defs = 0, Indirect = 0, LongLatency = 0;
+  double ExitProbability = 0.0;
+  std::set<RegId> Predicates;
+
+  for (const Instruction &Instr : L.body()) {
+    if (Instr.isLoopControl())
+      continue;
+    ++Ops;
+    if (Instr.isFloat())
+      ++FloatOps;
+    if (Instr.isMemory()) {
+      ++MemOps;
+      if (Instr.isLoad())
+        ++Loads;
+      else
+        ++Stores;
+      if (Instr.Mem.Indirect)
+        ++Indirect;
+    } else if (!Instr.isFloat() && !Instr.isBranchLike()) {
+      ++IntOps;
+    }
+    if (Instr.isBranchLike())
+      ++Branches;
+    if (Instr.isCall())
+      ++Calls;
+    if (Instr.Op == Opcode::ExitIf) {
+      ++Exits;
+      ExitProbability += Instr.TakenProb;
+    }
+    if (Instr.isImplicit())
+      ++Implicit;
+    if (Instr.Op == Opcode::FDiv || Instr.Op == Opcode::FSqrt ||
+        Instr.Op == Opcode::IDiv || Instr.Op == Opcode::IRem)
+      ++LongLatency;
+    Operands += static_cast<unsigned>(Instr.Operands.size());
+    Uses += static_cast<unsigned>(Instr.Operands.size());
+    if (Instr.Pred != NoReg) {
+      Predicates.insert(Instr.Pred);
+      ++Uses;
+      ++Operands;
+    }
+    if (Instr.hasDest())
+      ++Defs;
+  }
+
+  Set(FeatureId::NestLevel, L.nestLevel());
+  Set(FeatureId::NumOps, Ops);
+  Set(FeatureId::NumFloatOps, FloatOps);
+  Set(FeatureId::NumBranches, Branches);
+  Set(FeatureId::NumMemOps, MemOps);
+  Set(FeatureId::NumOperands, Operands);
+  Set(FeatureId::NumImplicitOps, Implicit);
+  Set(FeatureId::NumUniquePredicates,
+      static_cast<double>(Predicates.size()));
+  Set(FeatureId::Language, L.language() == SourceLanguage::C ? 0.0
+                           : L.language() == SourceLanguage::Fortran
+                               ? 1.0
+                               : 2.0);
+  Set(FeatureId::NumIndirectRefs, Indirect);
+  Set(FeatureId::TripCount, static_cast<double>(L.tripCount()));
+  Set(FeatureId::NumUses, Uses);
+  Set(FeatureId::NumDefs, Defs);
+  Set(FeatureId::KnownTripCount, L.hasKnownTripCount() ? 1.0 : 0.0);
+  Set(FeatureId::NumIntOps, IntOps);
+  Set(FeatureId::NumCalls, Calls);
+  Set(FeatureId::NumLoads, Loads);
+  Set(FeatureId::NumStores, Stores);
+  Set(FeatureId::NumEarlyExits, Exits);
+  Set(FeatureId::SumExitProbability, ExitProbability);
+  Set(FeatureId::NumLongLatencyOps, LongLatency);
+
+  // Resource-bound cycle estimate over an abstract 6-issue EPIC machine
+  // (4 memory slots, 2 FP, 3 branch), mirroring how a mid-level pass
+  // estimates the schedule before code generation.
+  double CycleEstimate = std::max(
+      {Ops / 6.0, MemOps / 4.0, FloatOps / 2.0, Branches / 3.0, 1.0});
+  Set(FeatureId::EstCycleLength, CycleEstimate);
+
+  // Code size: three instruction slots per 16-byte bundle.
+  Set(FeatureId::CodeSizeBytes, ((Ops + 2) / 3) * 16.0);
+
+  // Dependence-graph-derived features.
+  DependenceGraph DG(L);
+  ComputationInfo Computations = analyzeComputations(L, DG);
+  Set(FeatureId::CriticalPathLatency, criticalPathLatency(L, DG));
+  Set(FeatureId::NumParallelComputations, Computations.NumComputations);
+  Set(FeatureId::MaxDependenceHeight, Computations.MaxHeight);
+  Set(FeatureId::MaxMemDependenceHeight, Computations.MaxMemoryHeight);
+  Set(FeatureId::MaxControlDependenceHeight,
+      Computations.MaxControlHeight);
+  Set(FeatureId::AvgDependenceHeight, Computations.AvgHeight);
+  Set(FeatureId::InstructionFanIn, Computations.MaxFanIn);
+  Set(FeatureId::MinMemCarriedDistance, DG.minCarriedMemoryDistance());
+  Set(FeatureId::NumMemDeps, DG.numMemoryDeps());
+  Set(FeatureId::RecMii, recurrenceMII(L, DG));
+
+  // Liveness-derived features.
+  LivenessInfo Live = analyzeLiveness(L);
+  Set(FeatureId::LiveRangeSize, Live.MaxLiveTotal);
+  Set(FeatureId::MaxLiveFloat, Live.MaxLiveFloat);
+  Set(FeatureId::MaxLiveInt, Live.MaxLiveInt);
+  Set(FeatureId::NumLiveIns, Live.NumLiveIn);
+  Set(FeatureId::NumLoopCarriedValues,
+      static_cast<double>(L.phis().size()));
+
+  return Features;
+}

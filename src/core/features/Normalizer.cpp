@@ -1,0 +1,101 @@
+//===- core/features/Normalizer.cpp ---------------------------------------===//
+
+#include "core/features/Normalizer.h"
+
+#include "support/Statistics.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cmath>
+
+using namespace metaopt;
+
+void Normalizer::fit(const std::vector<FeatureVector> &Vectors,
+                     const FeatureSet &FeatureSubset,
+                     NormalizationKind KindIn) {
+  assert(!FeatureSubset.empty() && "cannot fit on an empty feature set");
+  Features = FeatureSubset;
+  Kind = KindIn;
+  Shift.assign(Features.size(), 0.0);
+  Scale.assign(Features.size(), 1.0);
+  if (Vectors.empty())
+    return;
+
+  for (size_t Dim = 0; Dim < Features.size(); ++Dim) {
+    unsigned Index = static_cast<unsigned>(Features[Dim]);
+    std::vector<double> Column;
+    Column.reserve(Vectors.size());
+    for (const FeatureVector &Vector : Vectors)
+      Column.push_back(Vector[Index]);
+    if (Kind == NormalizationKind::ZScore) {
+      Shift[Dim] = mean(Column);
+      double Dev = stdDev(Column);
+      Scale[Dim] = Dev > 1e-12 ? Dev : 1.0;
+    } else {
+      double Lo = minValue(Column);
+      double Hi = maxValue(Column);
+      Shift[Dim] = Lo;
+      Scale[Dim] = (Hi - Lo) > 1e-12 ? (Hi - Lo) : 1.0;
+    }
+  }
+}
+
+std::vector<double> Normalizer::apply(const FeatureVector &Vector) const {
+  assert(fitted() && "normalizer must be fitted before use");
+  std::vector<double> Out(Features.size());
+  for (size_t Dim = 0; Dim < Features.size(); ++Dim) {
+    unsigned Index = static_cast<unsigned>(Features[Dim]);
+    Out[Dim] = (Vector[Index] - Shift[Dim]) / Scale[Dim];
+  }
+  return Out;
+}
+
+std::string Normalizer::serialize() const {
+  // %.17g round-trips IEEE doubles exactly.
+  char Buffer[128];
+  std::string Out = "normalizer ";
+  Out += Kind == NormalizationKind::ZScore ? "zscore" : "minmax";
+  Out += " " + std::to_string(Features.size()) + "\n";
+  for (size_t Dim = 0; Dim < Features.size(); ++Dim) {
+    std::snprintf(Buffer, sizeof(Buffer), "%u %.17g %.17g\n",
+                  static_cast<unsigned>(Features[Dim]), Shift[Dim],
+                  Scale[Dim]);
+    Out += Buffer;
+  }
+  return Out;
+}
+
+std::optional<Normalizer> Normalizer::deserialize(const std::string &Text) {
+  std::vector<std::string> Lines = split(Text, '\n');
+  if (Lines.empty())
+    return std::nullopt;
+  std::vector<std::string> Header = splitWhitespace(Lines[0]);
+  if (Header.size() != 3 || Header[0] != "normalizer")
+    return std::nullopt;
+  Normalizer Result;
+  if (Header[1] == "zscore")
+    Result.Kind = NormalizationKind::ZScore;
+  else if (Header[1] == "minmax")
+    Result.Kind = NormalizationKind::MinMax;
+  else
+    return std::nullopt;
+  auto Count = parseInt(Header[2]);
+  if (!Count || *Count < 1 || Lines.size() < 1 + static_cast<size_t>(*Count))
+    return std::nullopt;
+  for (int64_t Dim = 0; Dim < *Count; ++Dim) {
+    std::vector<std::string> Parts = splitWhitespace(Lines[1 + Dim]);
+    if (Parts.size() != 3)
+      return std::nullopt;
+    auto Feature = parseInt(Parts[0]);
+    auto Shift = parseDouble(Parts[1]);
+    auto Scale = parseDouble(Parts[2]);
+    if (!Feature || *Feature < 0 ||
+        *Feature >= static_cast<int64_t>(NumFeatures) || !Shift || !Scale)
+      return std::nullopt;
+    Result.Features.push_back(static_cast<FeatureId>(*Feature));
+    Result.Shift.push_back(*Shift);
+    Result.Scale.push_back(*Scale);
+  }
+  return Result;
+}

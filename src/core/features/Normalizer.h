@@ -1,0 +1,64 @@
+//===- core/features/Normalizer.h - Feature normalization -------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Feature scaling fitted on a training set and applied to queries: "The
+/// feature vector is normalized to weigh all features equally; otherwise,
+/// features with large values such as loop tripcount would grossly
+/// outweigh small-valued features in the distance calculation." (§5.1).
+/// Z-score is the default; min-max is available for comparison.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_CORE_FEATURES_NORMALIZER_H
+#define METAOPT_CORE_FEATURES_NORMALIZER_H
+
+#include "core/features/FeatureCatalog.h"
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace metaopt {
+
+/// Scaling flavor.
+enum class NormalizationKind { ZScore, MinMax };
+
+/// Fits per-feature scaling statistics on training vectors and projects
+/// (feature-subset + scale) raw FeatureVectors into classifier space.
+class Normalizer {
+public:
+  Normalizer() = default;
+
+  /// Fits on the given vectors over \p Features, which also fixes the
+  /// output dimensionality and ordering.
+  void fit(const std::vector<FeatureVector> &Vectors,
+           const FeatureSet &Features,
+           NormalizationKind Kind = NormalizationKind::ZScore);
+
+  /// Projects a raw vector into the fitted space.
+  std::vector<double> apply(const FeatureVector &Vector) const;
+
+  bool fitted() const { return !Features.empty(); }
+  size_t dimension() const { return Features.size(); }
+  const FeatureSet &featureSet() const { return Features; }
+
+  /// Serializes the fitted statistics to a text block (one line per
+  /// dimension); deserialize() reads it back bit-exactly.
+  std::string serialize() const;
+  static std::optional<Normalizer> deserialize(const std::string &Text);
+
+private:
+  FeatureSet Features;
+  NormalizationKind Kind = NormalizationKind::ZScore;
+  std::vector<double> Shift; ///< Mean (z-score) or min (min-max).
+  std::vector<double> Scale; ///< Stddev or range; 1 when degenerate.
+};
+
+} // namespace metaopt
+
+#endif // METAOPT_CORE_FEATURES_NORMALIZER_H

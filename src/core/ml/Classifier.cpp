@@ -1,0 +1,17 @@
+//===- core/ml/Classifier.cpp ---------------------------------------------===//
+
+#include "core/ml/Classifier.h"
+
+using namespace metaopt;
+
+Classifier::~Classifier() = default;
+
+double Classifier::accuracyOn(const Dataset &Data) const {
+  if (Data.empty())
+    return 0.0;
+  size_t Correct = 0;
+  for (const Example &Ex : Data.examples())
+    if (predict(Ex.Features) == Ex.Label)
+      ++Correct;
+  return static_cast<double>(Correct) / Data.size();
+}

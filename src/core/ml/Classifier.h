@@ -1,0 +1,53 @@
+//===- core/ml/Classifier.h - Multi-class classifier interface --*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface shared by the learned multi-class classifiers (near
+/// neighbor, LS-SVM with output codes). A classifier owns its feature
+/// subset and normalizer: train() fits them on the training set, and
+/// predict() maps a raw 38-entry feature vector to an unroll factor.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_CORE_ML_CLASSIFIER_H
+#define METAOPT_CORE_ML_CLASSIFIER_H
+
+#include "core/features/Normalizer.h"
+#include "core/ml/Dataset.h"
+
+#include <functional>
+#include <memory>
+#include <string>
+
+namespace metaopt {
+
+/// A trainable unroll-factor classifier.
+class Classifier {
+public:
+  virtual ~Classifier();
+
+  virtual std::string name() const = 0;
+
+  /// Fits the classifier (including its normalizer) on \p Train.
+  virtual void train(const Dataset &Train) = 0;
+
+  /// Predicts an unroll factor in 1..MaxUnrollFactor for a raw feature
+  /// vector. Must only be called after train().
+  virtual unsigned predict(const FeatureVector &Features) const = 0;
+
+  /// Fraction of \p Data classified correctly (prediction == label).
+  double accuracyOn(const Dataset &Data) const;
+};
+
+/// Creates fresh untrained classifiers; used by cross-validation and
+/// greedy feature selection, which retrain many times.
+using ClassifierFactory =
+    std::function<std::unique_ptr<Classifier>(const FeatureSet &)>;
+
+} // namespace metaopt
+
+#endif // METAOPT_CORE_ML_CLASSIFIER_H

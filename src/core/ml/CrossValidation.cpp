@@ -1,0 +1,79 @@
+//===- core/ml/CrossValidation.cpp ----------------------------------------===//
+
+#include "core/ml/CrossValidation.h"
+
+#include <cassert>
+#include <numeric>
+
+using namespace metaopt;
+
+std::vector<unsigned>
+metaopt::loocvPredictions(NearNeighborClassifier &Classifier,
+                          const Dataset &Data) {
+  Classifier.train(Data);
+  std::vector<unsigned> Predictions(Data.size());
+  for (size_t I = 0; I < Data.size(); ++I)
+    Predictions[I] = Classifier.predictExcluding(I);
+  return Predictions;
+}
+
+std::vector<unsigned> metaopt::loocvPredictions(SvmClassifier &Classifier,
+                                                const Dataset &Data) {
+  Classifier.train(Data);
+  return Classifier.loocvPredictions();
+}
+
+std::vector<unsigned>
+metaopt::bruteForceLoocv(const ClassifierFactory &Factory,
+                         const FeatureSet &Features, const Dataset &Data) {
+  std::vector<unsigned> Predictions(Data.size());
+  for (size_t I = 0; I < Data.size(); ++I) {
+    Dataset Train = Data.withoutExample(I);
+    std::unique_ptr<Classifier> Fresh = Factory(Features);
+    Fresh->train(Train);
+    Predictions[I] = Fresh->predict(Data[I].Features);
+  }
+  return Predictions;
+}
+
+double metaopt::predictionAccuracy(const Dataset &Data,
+                                   const std::vector<unsigned> &Predictions) {
+  assert(Predictions.size() == Data.size() &&
+         "prediction vector size mismatch");
+  if (Data.empty())
+    return 0.0;
+  size_t Correct = 0;
+  for (size_t I = 0; I < Data.size(); ++I)
+    if (Predictions[I] == Data[I].Label)
+      ++Correct;
+  return static_cast<double>(Correct) / Data.size();
+}
+
+std::vector<unsigned>
+metaopt::kFoldPredictions(const ClassifierFactory &Factory,
+                          const FeatureSet &Features, const Dataset &Data,
+                          unsigned K, uint64_t Seed) {
+  assert(K >= 2 && K <= Data.size() && "fold count out of range");
+  std::vector<size_t> Order(Data.size());
+  std::iota(Order.begin(), Order.end(), 0);
+  Rng Generator(Seed);
+  Generator.shuffle(Order);
+
+  std::vector<unsigned> FoldOf(Data.size());
+  for (size_t Position = 0; Position < Order.size(); ++Position)
+    FoldOf[Order[Position]] = static_cast<unsigned>(Position % K);
+
+  std::vector<unsigned> Predictions(Data.size(), 1);
+  for (unsigned Fold = 0; Fold < K; ++Fold) {
+    Dataset Train;
+    for (size_t I = 0; I < Data.size(); ++I)
+      if (FoldOf[I] != Fold)
+        Train.add(Data[I]);
+    std::unique_ptr<Classifier> Fresh = Factory(Features);
+    Fresh->train(Train);
+    for (size_t I = 0; I < Data.size(); ++I)
+      if (FoldOf[I] == Fold)
+        Predictions[I] = Fresh->predict(Data[I].Features);
+  }
+  return Predictions;
+}

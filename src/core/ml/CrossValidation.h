@@ -1,0 +1,60 @@
+//===- core/ml/CrossValidation.h - LOOCV harness ----------------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Leave-one-out cross-validation (§4.2): "On each iteration i, the
+/// technique removes the i-th example, trains the classifier using the
+/// remaining N-1 examples, and then sees how well the resulting classifier
+/// categorizes the left-out example." Both classifiers have exact fast
+/// paths (database exclusion for NN, the closed-form LS-SVM identity for
+/// the SVM); a brute-force retraining harness exists so tests can verify
+/// the fast paths are exact.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_CORE_ML_CROSSVALIDATION_H
+#define METAOPT_CORE_ML_CROSSVALIDATION_H
+
+#include "core/ml/NearNeighbor.h"
+#include "core/ml/OutputCode.h"
+
+namespace metaopt {
+
+/// LOOCV predictions for the NN classifier (fast path: the left-out
+/// example simply does not vote).
+std::vector<unsigned> loocvPredictions(NearNeighborClassifier &Classifier,
+                                       const Dataset &Data);
+
+/// LOOCV predictions for the output-code LS-SVM (fast path: closed-form
+/// leave-one-out decisions from one factorization).
+std::vector<unsigned> loocvPredictions(SvmClassifier &Classifier,
+                                       const Dataset &Data);
+
+/// Brute-force LOOCV: retrains a fresh classifier N times. Exact but
+/// O(N * train cost); used by tests to validate the fast paths and by
+/// ablations on small subsets.
+std::vector<unsigned> bruteForceLoocv(const ClassifierFactory &Factory,
+                                      const FeatureSet &Features,
+                                      const Dataset &Data);
+
+/// Fraction of predictions equal to the label.
+double predictionAccuracy(const Dataset &Data,
+                          const std::vector<unsigned> &Predictions);
+
+/// K-fold cross-validation: deterministic shuffled split into K folds,
+/// each predicted by a classifier trained on the other K-1. The paper
+/// prefers LOOCV because its dataset is small (Section 4.2: "there are
+/// other methods available"); k-fold is that other method, used by
+/// ablations to show the estimates agree.
+std::vector<unsigned> kFoldPredictions(const ClassifierFactory &Factory,
+                                       const FeatureSet &Features,
+                                       const Dataset &Data, unsigned K,
+                                       uint64_t Seed = 1);
+
+} // namespace metaopt
+
+#endif // METAOPT_CORE_ML_CROSSVALIDATION_H

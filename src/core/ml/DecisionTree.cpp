@@ -1,0 +1,185 @@
+//===- core/ml/DecisionTree.cpp -------------------------------------------===//
+
+#include "core/ml/DecisionTree.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace metaopt;
+
+DecisionTreeClassifier::DecisionTreeClassifier(FeatureSet FeaturesIn,
+                                               DecisionTreeOptions OptionsIn)
+    : Features(std::move(FeaturesIn)), Options(OptionsIn) {
+  assert(!Features.empty() && "feature set must not be empty");
+  assert(Options.MaxDepth >= 1 && Options.MinLeafSize >= 1 &&
+         "degenerate growth limits");
+}
+
+std::string DecisionTreeClassifier::name() const { return "decision-tree"; }
+
+namespace {
+
+/// Class counts over a subset of examples.
+std::array<unsigned, MaxUnrollFactor>
+countLabels(const std::vector<unsigned> &Labels,
+            const std::vector<uint32_t> &Indices) {
+  std::array<unsigned, MaxUnrollFactor> Counts = {};
+  for (uint32_t Index : Indices)
+    ++Counts[Labels[Index] - 1];
+  return Counts;
+}
+
+unsigned majority(const std::array<unsigned, MaxUnrollFactor> &Counts) {
+  unsigned Best = 0;
+  for (unsigned Class = 1; Class < MaxUnrollFactor; ++Class)
+    if (Counts[Class] > Counts[Best])
+      Best = Class;
+  return Best + 1;
+}
+
+double purity(const std::array<unsigned, MaxUnrollFactor> &Counts,
+              size_t Total) {
+  unsigned Max = 0;
+  for (unsigned Count : Counts)
+    Max = std::max(Max, Count);
+  return Total ? static_cast<double>(Max) / Total : 1.0;
+}
+
+/// Gini impurity of a count vector.
+double gini(const std::array<unsigned, MaxUnrollFactor> &Counts,
+            double Total) {
+  if (Total <= 0.0)
+    return 0.0;
+  double SumSquares = 0.0;
+  for (unsigned Count : Counts) {
+    double P = Count / Total;
+    SumSquares += P * P;
+  }
+  return 1.0 - SumSquares;
+}
+
+} // namespace
+
+int32_t DecisionTreeClassifier::grow(
+    const std::vector<std::vector<double>> &Points,
+    const std::vector<unsigned> &Labels, std::vector<uint32_t> Indices,
+    unsigned Depth) {
+  Node Current;
+  Current.Depth = Depth;
+  auto Counts = countLabels(Labels, Indices);
+  Current.Label = majority(Counts);
+
+  bool MustStop = Depth >= Options.MaxDepth ||
+                  Indices.size() < 2 * Options.MinLeafSize ||
+                  purity(Counts, Indices.size()) >=
+                      Options.PurityThreshold;
+
+  unsigned BestDim = 0;
+  double BestThreshold = 0.0;
+  double BestImpurity = 1e300;
+  if (!MustStop) {
+    size_t Dims = Points[0].size();
+    std::vector<uint32_t> Sorted = Indices;
+    for (unsigned Dim = 0; Dim < Dims; ++Dim) {
+      std::sort(Sorted.begin(), Sorted.end(),
+                [&](uint32_t A, uint32_t B) {
+                  if (Points[A][Dim] != Points[B][Dim])
+                    return Points[A][Dim] < Points[B][Dim];
+                  return A < B;
+                });
+      // Sweep split positions, maintaining left/right counts.
+      std::array<unsigned, MaxUnrollFactor> LeftCounts = {};
+      std::array<unsigned, MaxUnrollFactor> RightCounts = Counts;
+      for (size_t Position = 0; Position + 1 < Sorted.size(); ++Position) {
+        unsigned Class = Labels[Sorted[Position]] - 1;
+        ++LeftCounts[Class];
+        --RightCounts[Class];
+        double Here = Points[Sorted[Position]][Dim];
+        double Next = Points[Sorted[Position + 1]][Dim];
+        if (Here == Next)
+          continue; // Cannot split between equal values.
+        size_t LeftSize = Position + 1;
+        size_t RightSize = Sorted.size() - LeftSize;
+        if (LeftSize < Options.MinLeafSize ||
+            RightSize < Options.MinLeafSize)
+          continue;
+        double Weighted =
+            (LeftSize * gini(LeftCounts, LeftSize) +
+             RightSize * gini(RightCounts, RightSize)) /
+            Sorted.size();
+        if (Weighted < BestImpurity) {
+          BestImpurity = Weighted;
+          BestDim = Dim;
+          BestThreshold = 0.5 * (Here + Next);
+        }
+      }
+    }
+    // Require an actual improvement over the parent.
+    if (BestImpurity >= gini(Counts, Indices.size()) - 1e-12)
+      MustStop = true;
+  }
+
+  int32_t Self = static_cast<int32_t>(Nodes.size());
+  Nodes.push_back(Current);
+  if (MustStop)
+    return Self;
+
+  std::vector<uint32_t> LeftIndices, RightIndices;
+  for (uint32_t Index : Indices) {
+    if (Points[Index][BestDim] <= BestThreshold)
+      LeftIndices.push_back(Index);
+    else
+      RightIndices.push_back(Index);
+  }
+  assert(!LeftIndices.empty() && !RightIndices.empty() &&
+         "split produced an empty side");
+
+  Nodes[Self].IsLeaf = false;
+  Nodes[Self].SplitDim = BestDim;
+  Nodes[Self].Threshold = BestThreshold;
+  int32_t Left = grow(Points, Labels, std::move(LeftIndices), Depth + 1);
+  Nodes[Self].Left = Left;
+  int32_t Right = grow(Points, Labels, std::move(RightIndices), Depth + 1);
+  Nodes[Self].Right = Right;
+  return Self;
+}
+
+void DecisionTreeClassifier::train(const Dataset &Train) {
+  assert(!Train.empty() && "cannot train on an empty dataset");
+  Norm.fit(Train.featureMatrix(), Features);
+  std::vector<std::vector<double>> Points;
+  std::vector<unsigned> Labels;
+  Points.reserve(Train.size());
+  Labels.reserve(Train.size());
+  for (const Example &Ex : Train.examples()) {
+    Points.push_back(Norm.apply(Ex.Features));
+    Labels.push_back(Ex.Label);
+  }
+  Nodes.clear();
+  std::vector<uint32_t> All(Train.size());
+  for (uint32_t I = 0; I < Train.size(); ++I)
+    All[I] = I;
+  Root = grow(Points, Labels, std::move(All), 0);
+}
+
+unsigned DecisionTreeClassifier::predict(
+    const FeatureVector &FeaturesIn) const {
+  assert(Root >= 0 && "classifier queried before training");
+  std::vector<double> Query = Norm.apply(FeaturesIn);
+  int32_t NodeIndex = Root;
+  for (;;) {
+    const Node &Current = Nodes[NodeIndex];
+    if (Current.IsLeaf)
+      return Current.Label;
+    NodeIndex = Query[Current.SplitDim] <= Current.Threshold
+                    ? Current.Left
+                    : Current.Right;
+  }
+}
+
+unsigned DecisionTreeClassifier::depth() const {
+  unsigned Max = 0;
+  for (const Node &Current : Nodes)
+    Max = std::max(Max, Current.Depth);
+  return Max;
+}

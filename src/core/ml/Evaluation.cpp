@@ -1,0 +1,89 @@
+//===- core/ml/Evaluation.cpp ---------------------------------------------===//
+
+#include "core/ml/Evaluation.h"
+
+#include "support/TablePrinter.h"
+
+#include <cassert>
+
+using namespace metaopt;
+
+RankDistribution
+metaopt::rankDistribution(const Dataset &Data,
+                          const std::vector<unsigned> &Predictions) {
+  assert(Predictions.size() == Data.size() &&
+         "prediction vector size mismatch");
+  RankDistribution Result;
+  if (Data.empty())
+    return Result;
+  for (size_t I = 0; I < Data.size(); ++I) {
+    unsigned Factor = Predictions[I];
+    assert(Factor >= 1 && Factor <= MaxUnrollFactor &&
+           "prediction out of range");
+    std::array<unsigned, MaxUnrollFactor> Ranks = factorRanks(Data[I]);
+    Result.Fraction[Ranks[Factor - 1]] += 1.0;
+  }
+  for (double &Share : Result.Fraction)
+    Share /= static_cast<double>(Data.size());
+  return Result;
+}
+
+std::array<double, MaxUnrollFactor> metaopt::costByRank(const Dataset &Data) {
+  std::array<double, MaxUnrollFactor> Cost = {};
+  if (Data.empty())
+    return Cost;
+  for (const Example &Ex : Data.examples()) {
+    std::array<unsigned, MaxUnrollFactor> Ranks = factorRanks(Ex);
+    double Best = Ex.CyclesPerFactor[Ex.Label - 1];
+    assert(Best > 0.0 && "labels must carry positive cycle counts");
+    for (unsigned Factor = 0; Factor < MaxUnrollFactor; ++Factor)
+      Cost[Ranks[Factor]] += Ex.CyclesPerFactor[Factor] / Best;
+  }
+  for (double &Value : Cost)
+    Value /= static_cast<double>(Data.size());
+  return Cost;
+}
+
+double
+metaopt::meanCostOfPredictions(const Dataset &Data,
+                               const std::vector<unsigned> &Predictions) {
+  assert(Predictions.size() == Data.size() &&
+         "prediction vector size mismatch");
+  if (Data.empty())
+    return 1.0;
+  double Sum = 0.0;
+  for (size_t I = 0; I < Data.size(); ++I) {
+    const Example &Ex = Data[I];
+    double Best = Ex.CyclesPerFactor[Ex.Label - 1];
+    Sum += Ex.CyclesPerFactor[Predictions[I] - 1] / Best;
+  }
+  return Sum / static_cast<double>(Data.size());
+}
+
+ConfusionMatrix
+metaopt::confusionMatrix(const Dataset &Data,
+                         const std::vector<unsigned> &Predictions) {
+  assert(Predictions.size() == Data.size() &&
+         "prediction vector size mismatch");
+  ConfusionMatrix Confusion = {};
+  for (size_t I = 0; I < Data.size(); ++I)
+    ++Confusion[Data[I].Label - 1][Predictions[I] - 1];
+  return Confusion;
+}
+
+std::string
+metaopt::renderConfusionMatrix(const ConfusionMatrix &Confusion) {
+  TablePrinter Table("Confusion matrix (rows: empirical best; columns: "
+                     "predicted)");
+  std::vector<std::string> Header = {"best \\ pred"};
+  for (unsigned F = 1; F <= MaxUnrollFactor; ++F)
+    Header.push_back("u" + std::to_string(F));
+  Table.addHeader(Header);
+  for (unsigned Row = 0; Row < MaxUnrollFactor; ++Row) {
+    std::vector<std::string> Cells = {"u" + std::to_string(Row + 1)};
+    for (unsigned Col = 0; Col < MaxUnrollFactor; ++Col)
+      Cells.push_back(std::to_string(Confusion[Row][Col]));
+    Table.addRow(Cells);
+  }
+  return Table.render();
+}

@@ -1,0 +1,57 @@
+//===- core/ml/Evaluation.h - Prediction-rank statistics --------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The machinery behind Table 2: for a set of predictions, the fraction
+/// that picked the optimal / second-best / ... / worst unroll factor, and
+/// the average runtime cost of mispredicting at each rank (the table's
+/// rightmost column).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_CORE_ML_EVALUATION_H
+#define METAOPT_CORE_ML_EVALUATION_H
+
+#include "core/ml/Dataset.h"
+
+namespace metaopt {
+
+/// Rank-bucketed prediction quality.
+struct RankDistribution {
+  /// Fraction[r] = share of predictions whose chosen factor was the
+  /// (r+1)-th best for the loop.
+  std::array<double, MaxUnrollFactor> Fraction = {};
+  double accuracy() const { return Fraction[0]; }
+  double topTwoAccuracy() const { return Fraction[0] + Fraction[1]; }
+};
+
+/// Buckets \p Predictions by the rank of the chosen factor.
+RankDistribution rankDistribution(const Dataset &Data,
+                                  const std::vector<unsigned> &Predictions);
+
+/// Cost[r]: mean over the dataset of cycles(r-th best factor) divided by
+/// cycles(best factor) — the "Cost" column of Table 2 (1x for rank 0).
+std::array<double, MaxUnrollFactor> costByRank(const Dataset &Data);
+
+/// Mean of cycles(predicted) / cycles(best) over the dataset: how far from
+/// optimal the policy's choices run on average.
+double meanCostOfPredictions(const Dataset &Data,
+                             const std::vector<unsigned> &Predictions);
+
+/// Confusion[true-1][predicted-1]: counts of each (label, prediction)
+/// pair; the standard companion view to Table 2's rank buckets.
+using ConfusionMatrix =
+    std::array<std::array<size_t, MaxUnrollFactor>, MaxUnrollFactor>;
+ConfusionMatrix confusionMatrix(const Dataset &Data,
+                                const std::vector<unsigned> &Predictions);
+
+/// Renders the confusion matrix as an aligned console table.
+std::string renderConfusionMatrix(const ConfusionMatrix &Confusion);
+
+} // namespace metaopt
+
+#endif // METAOPT_CORE_ML_EVALUATION_H

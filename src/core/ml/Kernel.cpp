@@ -1,0 +1,43 @@
+//===- core/ml/Kernel.cpp -------------------------------------------------===//
+
+#include "core/ml/Kernel.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace metaopt;
+
+RbfKernel::RbfKernel(double SigmaSquaredIn) : SigmaSquared(SigmaSquaredIn) {
+  assert(SigmaSquared > 0.0 && "kernel width must be positive");
+}
+
+double RbfKernel::operator()(const std::vector<double> &A,
+                             const std::vector<double> &B) const {
+  return std::exp(-squaredDistance(A, B) / (2.0 * SigmaSquared));
+}
+
+Matrix metaopt::kernelMatrix(
+    const RbfKernel &Kernel,
+    const std::vector<std::vector<double>> &Points) {
+  size_t N = Points.size();
+  Matrix K(N, N);
+  for (size_t I = 0; I < N; ++I) {
+    K.at(I, I) = 1.0; // RBF kernel of a point with itself.
+    for (size_t J = I + 1; J < N; ++J) {
+      double Value = Kernel(Points[I], Points[J]);
+      K.at(I, J) = Value;
+      K.at(J, I) = Value;
+    }
+  }
+  return K;
+}
+
+std::vector<double> metaopt::kernelVector(
+    const RbfKernel &Kernel, const std::vector<std::vector<double>> &Points,
+    const std::vector<double> &Query) {
+  std::vector<double> Values;
+  Values.reserve(Points.size());
+  for (const std::vector<double> &Point : Points)
+    Values.push_back(Kernel(Point, Query));
+  return Values;
+}

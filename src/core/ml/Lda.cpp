@@ -1,0 +1,112 @@
+//===- core/ml/Lda.cpp ----------------------------------------------------===//
+
+#include "core/ml/Lda.h"
+
+#include "linalg/Eigen.h"
+
+#include <cassert>
+#include <cmath>
+#include <map>
+
+using namespace metaopt;
+
+std::vector<double>
+LdaProjection::project(const FeatureVector &Features) const {
+  std::vector<double> Normalized = Norm.apply(Features);
+  assert(Normalized.size() == Directions.rows() &&
+         "projection dimensionality mismatch");
+  std::vector<double> Out(Directions.cols(), 0.0);
+  for (size_t K = 0; K < Directions.cols(); ++K)
+    for (size_t D = 0; D < Directions.rows(); ++D)
+      Out[K] += Normalized[D] * Directions.at(D, K);
+  return Out;
+}
+
+LdaProjection metaopt::fitLda(const Dataset &Data,
+                              const FeatureSet &Features, unsigned OutDims,
+                              double Ridge) {
+  assert(!Data.empty() && "cannot fit LDA on an empty dataset");
+  size_t D = Features.size();
+  assert(OutDims >= 1 && OutDims <= D && "output dimension out of range");
+
+  LdaProjection Result;
+  Result.Norm.fit(Data.featureMatrix(), Features);
+
+  std::vector<std::vector<double>> Points;
+  Points.reserve(Data.size());
+  for (const Example &Ex : Data.examples())
+    Points.push_back(Result.Norm.apply(Ex.Features));
+
+  // Global and per-class means.
+  std::vector<double> GlobalMean(D, 0.0);
+  std::map<unsigned, std::vector<double>> ClassMean;
+  std::map<unsigned, size_t> ClassCount;
+  for (size_t I = 0; I < Points.size(); ++I) {
+    unsigned Label = Data[I].Label;
+    auto [It, Fresh] = ClassMean.try_emplace(Label,
+                                             std::vector<double>(D, 0.0));
+    (void)Fresh;
+    addScaled(It->second, 1.0, Points[I]);
+    ++ClassCount[Label];
+    addScaled(GlobalMean, 1.0, Points[I]);
+  }
+  for (auto &[Label, Mean] : ClassMean)
+    for (double &Coord : Mean)
+      Coord /= static_cast<double>(ClassCount[Label]);
+  for (double &Coord : GlobalMean)
+    Coord /= static_cast<double>(Points.size());
+
+  // Scatter matrices.
+  Matrix Sw(D, D), Sb(D, D);
+  std::vector<double> Diff(D);
+  for (size_t I = 0; I < Points.size(); ++I) {
+    const std::vector<double> &Mean = ClassMean[Data[I].Label];
+    for (size_t A = 0; A < D; ++A)
+      Diff[A] = Points[I][A] - Mean[A];
+    for (size_t A = 0; A < D; ++A)
+      for (size_t B = 0; B < D; ++B)
+        Sw.at(A, B) += Diff[A] * Diff[B];
+  }
+  for (const auto &[Label, Mean] : ClassMean) {
+    double Count = static_cast<double>(ClassCount[Label]);
+    for (size_t A = 0; A < D; ++A)
+      Diff[A] = Mean[A] - GlobalMean[A];
+    for (size_t A = 0; A < D; ++A)
+      for (size_t B = 0; B < D; ++B)
+        Sb.at(A, B) += Count * Diff[A] * Diff[B];
+  }
+  Sw.addToDiagonal(Ridge * Points.size());
+
+  // Whitening: W = Sw^{-1/2} from Sw's eigendecomposition; then the
+  // symmetric M = W Sb W shares eigenvectors with the generalized
+  // problem, and directions are W * eigvec.
+  EigenDecomposition SwEigen = symmetricEigen(Sw);
+  Matrix W(D, D);
+  for (size_t K = 0; K < D; ++K) {
+    double Value = std::max(SwEigen.Values[K], Ridge);
+    double InverseSqrt = 1.0 / std::sqrt(Value);
+    for (size_t A = 0; A < D; ++A)
+      for (size_t B = 0; B < D; ++B)
+        W.at(A, B) += InverseSqrt * SwEigen.Vectors.at(A, K) *
+                      SwEigen.Vectors.at(B, K);
+  }
+  Matrix M = W.multiply(Sb).multiply(W);
+  EigenDecomposition MEigen = symmetricEigen(M);
+
+  Result.Directions = Matrix(D, OutDims);
+  Result.Eigenvalues.assign(MEigen.Values.begin(),
+                            MEigen.Values.begin() + OutDims);
+  for (unsigned K = 0; K < OutDims; ++K) {
+    // Direction = W * eigenvector K, normalized for stable plotting.
+    std::vector<double> Col(D, 0.0);
+    for (size_t A = 0; A < D; ++A)
+      for (size_t B = 0; B < D; ++B)
+        Col[A] += W.at(A, B) * MEigen.Vectors.at(B, K);
+    double Norm = vectorNorm(Col);
+    if (Norm < 1e-12)
+      Norm = 1.0;
+    for (size_t A = 0; A < D; ++A)
+      Result.Directions.at(A, K) = Col[A] / Norm;
+  }
+  return Result;
+}

@@ -1,0 +1,46 @@
+//===- core/ml/Lda.h - Linear discriminant analysis -------------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Fisher linear discriminant analysis, used to find the "good plane" the
+/// paper projects loops onto for Figures 1 and 2 ("we use the linear
+/// discriminant analysis algorithm described in [8]"). Solves the
+/// generalized eigenproblem Sb v = lambda Sw v through symmetric
+/// whitening, so only the Jacobi symmetric eigensolver is needed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_CORE_ML_LDA_H
+#define METAOPT_CORE_ML_LDA_H
+
+#include "core/features/Normalizer.h"
+#include "core/ml/Dataset.h"
+#include "linalg/Matrix.h"
+
+namespace metaopt {
+
+/// A fitted LDA projection.
+struct LdaProjection {
+  /// Normalizer fitted on the dataset (projection inputs are normalized).
+  Normalizer Norm;
+  /// D x K projection directions (columns).
+  Matrix Directions;
+  /// Discriminability of each direction (generalized eigenvalues).
+  std::vector<double> Eigenvalues;
+
+  /// Projects a raw feature vector to K coordinates.
+  std::vector<double> project(const FeatureVector &Features) const;
+};
+
+/// Fits LDA on \p Data over \p Features, producing \p OutDims directions.
+/// A small ridge keeps the within-class scatter invertible.
+LdaProjection fitLda(const Dataset &Data, const FeatureSet &Features,
+                     unsigned OutDims = 2, double Ridge = 1e-6);
+
+} // namespace metaopt
+
+#endif // METAOPT_CORE_ML_LDA_H

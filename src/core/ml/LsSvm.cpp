@@ -1,0 +1,73 @@
+//===- core/ml/LsSvm.cpp --------------------------------------------------===//
+
+#include "core/ml/LsSvm.h"
+
+#include <cassert>
+
+using namespace metaopt;
+
+double LsSvmBinary::decision(const std::vector<double> &KernelValues) const {
+  assert(KernelValues.size() == Alpha.size() &&
+         "kernel vector size mismatch");
+  return dotProduct(Alpha, KernelValues) + Bias;
+}
+
+LsSvmSolver::LsSvmSolver(Cholesky FactorIn, std::vector<double> VIn,
+                         double SIn)
+    : Factor(std::move(FactorIn)), V(std::move(VIn)), S(SIn) {}
+
+std::optional<LsSvmSolver>
+LsSvmSolver::create(const std::vector<std::vector<double>> &Points,
+                    const RbfKernel &Kernel, double Gamma) {
+  assert(!Points.empty() && "cannot train on an empty set");
+  assert(Gamma > 0.0 && "regularization must be positive");
+  Matrix A = kernelMatrix(Kernel, Points);
+  A.addToDiagonal(1.0 / Gamma);
+  std::optional<Cholesky> Factor = Cholesky::factor(A);
+  if (!Factor)
+    return std::nullopt;
+  std::vector<double> Ones(Points.size(), 1.0);
+  std::vector<double> V = Factor->solve(Ones);
+  double S = 0.0;
+  for (double Value : V)
+    S += Value;
+  if (S <= 0.0)
+    return std::nullopt; // A^{-1} is PD, so s > 0 always holds.
+  return LsSvmSolver(std::move(*Factor), std::move(V), S);
+}
+
+LsSvmBinary LsSvmSolver::solve(const std::vector<double> &Y) const {
+  assert(Y.size() == V.size() && "label vector size mismatch");
+  // eta = A^{-1} y; b = (1^T eta) / (1^T A^{-1} 1); alpha = eta - b * v.
+  std::vector<double> Eta = Factor.solve(Y);
+  double EtaSum = 0.0;
+  for (double Value : Eta)
+    EtaSum += Value;
+  LsSvmBinary Result;
+  Result.Bias = EtaSum / S;
+  Result.Alpha = std::move(Eta);
+  addScaled(Result.Alpha, -Result.Bias, V);
+  return Result;
+}
+
+std::vector<double>
+LsSvmSolver::looDecisions(const std::vector<double> &Y,
+                          const LsSvmBinary &Trained) {
+  assert(Y.size() == V.size() && Trained.Alpha.size() == V.size() &&
+         "LOOCV input size mismatch");
+  if (BorderedInverseDiag.empty()) {
+    // One-time O(n^3): diag(C^{-1}) from the block inverse of the bordered
+    // system, diag(A^{-1}) - v_i^2 / s.
+    Matrix Inverse = Factor.inverse();
+    BorderedInverseDiag.resize(V.size());
+    for (size_t I = 0; I < V.size(); ++I)
+      BorderedInverseDiag[I] = Inverse.at(I, I) - V[I] * V[I] / S;
+  }
+  std::vector<double> Decisions(V.size());
+  for (size_t I = 0; I < V.size(); ++I) {
+    assert(BorderedInverseDiag[I] > 0.0 &&
+           "bordered inverse diagonal must stay positive");
+    Decisions[I] = Y[I] - Trained.Alpha[I] / BorderedInverseDiag[I];
+  }
+  return Decisions;
+}

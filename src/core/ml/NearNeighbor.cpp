@@ -1,0 +1,184 @@
+//===- core/ml/NearNeighbor.cpp -------------------------------------------===//
+
+#include "core/ml/NearNeighbor.h"
+
+#include "linalg/Matrix.h"
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <cstdio>
+#include <cmath>
+#include <limits>
+
+using namespace metaopt;
+
+NearNeighborClassifier::NearNeighborClassifier(FeatureSet FeaturesIn,
+                                               double RadiusIn)
+    : Features(std::move(FeaturesIn)), Radius(RadiusIn) {
+  assert(!Features.empty() && "feature set must not be empty");
+  assert(Radius > 0.0 && "radius must be positive");
+}
+
+std::string NearNeighborClassifier::name() const { return "near-neighbor"; }
+
+void NearNeighborClassifier::train(const Dataset &Train) {
+  Norm.fit(Train.featureMatrix(), Features);
+  Points.clear();
+  Labels.clear();
+  Points.reserve(Train.size());
+  Labels.reserve(Train.size());
+  for (const Example &Ex : Train.examples()) {
+    Points.push_back(Norm.apply(Ex.Features));
+    Labels.push_back(Ex.Label);
+  }
+}
+
+NearNeighborClassifier::Vote
+NearNeighborClassifier::voteFor(const std::vector<double> &Query,
+                                size_t ExcludedIndex) const {
+  assert(!Points.empty() && "classifier queried before training");
+  double Dimensions = static_cast<double>(Query.size());
+  // RMS-per-dimension radius: compare squared Euclidean distance against
+  // radius^2 * D, keeping the 0.3 radius meaningful for any subset size.
+  double RadiusSquared = Radius * Radius * Dimensions;
+
+  std::array<unsigned, MaxUnrollFactor> Votes = {};
+  unsigned NeighborCount = 0;
+  size_t NearestIndex = 0;
+  double NearestDistance = std::numeric_limits<double>::infinity();
+
+  for (size_t I = 0; I < Points.size(); ++I) {
+    if (I == ExcludedIndex)
+      continue;
+    double DistanceSquared = squaredDistance(Query, Points[I]);
+    if (DistanceSquared < NearestDistance) {
+      NearestDistance = DistanceSquared;
+      NearestIndex = I;
+    }
+    if (DistanceSquared <= RadiusSquared) {
+      ++NeighborCount;
+      ++Votes[Labels[I] - 1];
+    }
+  }
+
+  Vote Result;
+  Result.NeighborCount = NeighborCount;
+  if (NeighborCount == 0) {
+    // Low confidence: fall back to the single nearest neighbor.
+    Result.Factor = Labels[NearestIndex];
+    Result.AgreeingCount = 0;
+    return Result;
+  }
+  unsigned Best = 0;
+  for (unsigned F = 1; F < MaxUnrollFactor; ++F)
+    if (Votes[F] > Votes[Best])
+      Best = F; // Ties keep the smaller factor: cheaper on mispredict.
+  Result.Factor = Best + 1;
+  Result.AgreeingCount = Votes[Best];
+  return Result;
+}
+
+unsigned NearNeighborClassifier::predict(
+    const FeatureVector &FeaturesIn) const {
+  return voteFor(Norm.apply(FeaturesIn), Points.size()).Factor;
+}
+
+NearNeighborClassifier::Vote NearNeighborClassifier::predictWithVote(
+    const FeatureVector &FeaturesIn) const {
+  return voteFor(Norm.apply(FeaturesIn), Points.size());
+}
+
+unsigned NearNeighborClassifier::predictExcluding(size_t Index) const {
+  assert(Index < Points.size() && "database index out of range");
+  return voteFor(Points[Index], Index).Factor;
+}
+
+NearNeighborClassifier::Vote
+NearNeighborClassifier::voteExcluding(size_t Index) const {
+  assert(Index < Points.size() && "database index out of range");
+  return voteFor(Points[Index], Index);
+}
+
+std::string NearNeighborClassifier::serialize() const {
+  assert(!Points.empty() && "serialize() requires a trained classifier");
+  char Buffer[64];
+  std::string Out = "nn-model 1\n";
+  std::snprintf(Buffer, sizeof(Buffer), "radius %.17g\n", Radius);
+  Out += Buffer;
+  Out += Norm.serialize();
+  Out += "points " + std::to_string(Points.size()) + " " +
+         std::to_string(Points[0].size()) + "\n";
+  for (size_t I = 0; I < Points.size(); ++I) {
+    Out += std::to_string(Labels[I]);
+    for (double Coord : Points[I]) {
+      std::snprintf(Buffer, sizeof(Buffer), " %.17g", Coord);
+      Out += Buffer;
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+std::optional<NearNeighborClassifier>
+NearNeighborClassifier::deserialize(const std::string &Text) {
+  std::vector<std::string> Lines = split(Text, '\n');
+  if (Lines.size() < 4 || trim(Lines[0]) != "nn-model 1")
+    return std::nullopt;
+  std::vector<std::string> RadiusParts = splitWhitespace(Lines[1]);
+  if (RadiusParts.size() != 2 || RadiusParts[0] != "radius")
+    return std::nullopt;
+  auto Radius = parseDouble(RadiusParts[1]);
+  if (!Radius || *Radius <= 0.0)
+    return std::nullopt;
+
+  // The normalizer block starts at line 2; its header carries its size.
+  std::vector<std::string> NormHeader = splitWhitespace(Lines[2]);
+  if (NormHeader.size() != 3 || NormHeader[0] != "normalizer")
+    return std::nullopt;
+  auto NormDims = parseInt(NormHeader[2]);
+  if (!NormDims || *NormDims < 1)
+    return std::nullopt;
+  size_t NormEnd = 3 + static_cast<size_t>(*NormDims);
+  if (Lines.size() <= NormEnd)
+    return std::nullopt;
+  std::string NormBlock;
+  for (size_t I = 2; I < NormEnd; ++I)
+    NormBlock += Lines[I] + "\n";
+  std::optional<Normalizer> Norm = Normalizer::deserialize(NormBlock);
+  if (!Norm)
+    return std::nullopt;
+
+  std::vector<std::string> PointsHeader = splitWhitespace(Lines[NormEnd]);
+  if (PointsHeader.size() != 3 || PointsHeader[0] != "points")
+    return std::nullopt;
+  auto NumPoints = parseInt(PointsHeader[1]);
+  auto Dims = parseInt(PointsHeader[2]);
+  if (!NumPoints || !Dims || *NumPoints < 1 ||
+      *Dims != static_cast<int64_t>(Norm->dimension()) ||
+      Lines.size() < NormEnd + 1 + static_cast<size_t>(*NumPoints))
+    return std::nullopt;
+
+  NearNeighborClassifier Result(Norm->featureSet(), *Radius);
+  Result.Norm = std::move(*Norm);
+  for (int64_t I = 0; I < *NumPoints; ++I) {
+    std::vector<std::string> Parts =
+        splitWhitespace(Lines[NormEnd + 1 + I]);
+    if (Parts.size() != 1 + static_cast<size_t>(*Dims))
+      return std::nullopt;
+    auto Label = parseInt(Parts[0]);
+    if (!Label || *Label < 1 ||
+        *Label > static_cast<int64_t>(MaxUnrollFactor))
+      return std::nullopt;
+    std::vector<double> Point;
+    Point.reserve(static_cast<size_t>(*Dims));
+    for (int64_t D = 0; D < *Dims; ++D) {
+      auto Coord = parseDouble(Parts[1 + D]);
+      if (!Coord)
+        return std::nullopt;
+      Point.push_back(*Coord);
+    }
+    Result.Points.push_back(std::move(Point));
+    Result.Labels.push_back(static_cast<unsigned>(*Label));
+  }
+  return Result;
+}

@@ -1,0 +1,88 @@
+//===- core/ml/NearNeighbor.h - Radius-vote NN classifier -------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The paper's near neighbor (NN) classifier (§5.1): training populates a
+/// database of normalized (feature vector, unroll factor) pairs; a query
+/// takes the majority label among database entries within a fixed radius
+/// (the paper uses 0.3), falling back to the single nearest neighbor when
+/// the ball is empty. A confidence (agreeing-neighbor fraction) is exposed
+/// for the outlier-triage workflow the paper sketches.
+///
+/// Distances are Euclidean over normalized features, divided by sqrt(D) so
+/// the radius keeps the same meaning whichever feature subset is active.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_CORE_ML_NEARNEIGHBOR_H
+#define METAOPT_CORE_ML_NEARNEIGHBOR_H
+
+#include "core/ml/Classifier.h"
+
+#include <optional>
+
+namespace metaopt {
+
+/// Radius-voting near neighbor classifier.
+class NearNeighborClassifier : public Classifier {
+public:
+  /// \p Radius in RMS-per-dimension distance units; \p KNearestFallback
+  /// configures the 1-NN fallback pool used when the radius is empty.
+  explicit NearNeighborClassifier(FeatureSet Features,
+                                  double Radius = 0.3);
+
+  std::string name() const override;
+  void train(const Dataset &Train) override;
+  unsigned predict(const FeatureVector &Features) const override;
+
+  /// Prediction plus vote context for confidence assessment.
+  struct Vote {
+    unsigned Factor = 1;      ///< Predicted unroll factor.
+    unsigned NeighborCount = 0; ///< Entries within the radius.
+    unsigned AgreeingCount = 0; ///< Entries voting for Factor.
+    /// AgreeingCount / NeighborCount, 0 when the ball was empty (the
+    /// 1-NN fallback decided).
+    double confidence() const {
+      return NeighborCount ? static_cast<double>(AgreeingCount) /
+                                 NeighborCount
+                           : 0.0;
+    }
+  };
+  Vote predictWithVote(const FeatureVector &Features) const;
+
+  /// Leave-one-out prediction for database entry \p Index: the entry
+  /// itself does not vote. This is how LOOCV over the NN database runs in
+  /// O(n) per example instead of retraining.
+  unsigned predictExcluding(size_t Index) const;
+
+  /// Leave-one-out vote details for entry \p Index (confidence triage).
+  Vote voteExcluding(size_t Index) const;
+
+  double radius() const { return Radius; }
+  size_t databaseSize() const { return Points.size(); }
+
+  /// Serializes the trained database (radius, normalizer, normalized
+  /// points and labels) so a compiler can ship and load the model without
+  /// retraining; deserialize() restores a predict-equivalent classifier.
+  std::string serialize() const;
+  static std::optional<NearNeighborClassifier>
+  deserialize(const std::string &Text);
+
+private:
+  Vote voteFor(const std::vector<double> &Query,
+               size_t ExcludedIndex) const;
+
+  FeatureSet Features;
+  double Radius;
+  Normalizer Norm;
+  std::vector<std::vector<double>> Points;
+  std::vector<unsigned> Labels;
+};
+
+} // namespace metaopt
+
+#endif // METAOPT_CORE_ML_NEARNEIGHBOR_H

@@ -1,0 +1,73 @@
+//===- corpus/BenchmarkSuite.h - The 72-benchmark corpus --------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Builds the synthetic stand-in for the paper's training corpus: 72
+/// benchmarks spanning SPEC 2000 (the 24 evaluated in Figures 4/5), SPEC
+/// '95, SPEC '92, Mediabench, the Perfect suite, and a handful of kernels,
+/// in C / Fortran / Fortran90, together containing ~3,000 innermost loops.
+/// Each loop carries its program context (effective i-cache share, d-cache
+/// behaviour, executions per run) and a runtime weight, so whole-program
+/// speedups can be computed the way SPEC dilutes per-loop gains.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_CORPUS_BENCHMARKSUITE_H
+#define METAOPT_CORPUS_BENCHMARKSUITE_H
+
+#include "corpus/LoopGenerators.h"
+#include "sim/Simulator.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace metaopt {
+
+/// One innermost loop plus its program context.
+struct CorpusLoop {
+  Loop TheLoop;
+  SimContext Ctx;
+  /// How many times the program enters this loop per run; multiplies the
+  /// per-entry simulated cycles into the loop's total runtime.
+  int64_t Executions = 1;
+  LoopKind Kind = LoopKind::Mixed;
+};
+
+/// A synthetic benchmark: a bag of weighted loops plus non-loop time.
+struct Benchmark {
+  std::string Name;
+  std::string Suite; ///< "SPEC2000", "SPEC95", "SPEC92", "Mediabench",
+                     ///< "Perfect", or "Kernels".
+  SourceLanguage Lang = SourceLanguage::C;
+  bool FloatingPoint = false; ///< SPECfp-style vs SPECint-style.
+  std::vector<CorpusLoop> Loops;
+  /// Fraction of total runtime spent outside instrumentable innermost
+  /// loops; dilutes whole-program speedups realistically.
+  double NonLoopFraction = 0.4;
+};
+
+/// Corpus construction knobs.
+struct CorpusOptions {
+  uint64_t Seed = 20050320; ///< CGO 2005 :-).
+  int MinLoopsPerBenchmark = 30;
+  int MaxLoopsPerBenchmark = 55;
+};
+
+/// Builds all 72 benchmarks deterministically from the options.
+std::vector<Benchmark> buildCorpus(const CorpusOptions &Options = {});
+
+/// Returns the names of the 24 SPEC 2000 benchmarks evaluated in the
+/// paper's Figures 4 and 5, in the figures' order.
+const std::vector<std::string> &spec2000BenchmarkNames();
+
+/// True when \p Name is one of the SPEC 2000 floating point benchmarks.
+bool isSpecFp(const std::string &Name);
+
+} // namespace metaopt
+
+#endif // METAOPT_CORPUS_BENCHMARKSUITE_H

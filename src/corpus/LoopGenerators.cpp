@@ -1,0 +1,488 @@
+//===- corpus/LoopGenerators.cpp ------------------------------------------===//
+
+#include "corpus/LoopGenerators.h"
+
+#include "ir/LoopBuilder.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace metaopt;
+
+const char *metaopt::loopKindName(LoopKind Kind) {
+  switch (Kind) {
+  case LoopKind::Daxpy:
+    return "daxpy";
+  case LoopKind::DotReduce:
+    return "dot";
+  case LoopKind::Stencil:
+    return "stencil";
+  case LoopKind::MatmulInner:
+    return "matmul";
+  case LoopKind::Fir:
+    return "fir";
+  case LoopKind::IirRecurrence:
+    return "iir";
+  case LoopKind::StreamCopy:
+    return "copy";
+  case LoopKind::Gather:
+    return "gather";
+  case LoopKind::Histogram:
+    return "histogram";
+  case LoopKind::PointerChase:
+    return "chase";
+  case LoopKind::Branchy:
+    return "branchy";
+  case LoopKind::Predicated:
+    return "predicated";
+  case LoopKind::CallBearing:
+    return "call";
+  case LoopKind::DivHeavy:
+    return "div";
+  case LoopKind::Mixed:
+    return "mixed";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Shared state while emitting one loop.
+struct GenState {
+  LoopBuilder Builder;
+  Rng &Generator;
+  int32_t NextSym = 0;
+
+  GenState(const LoopGenParams &Params, Rng &Generator)
+      : Builder(Params.Name, Params.Lang, Params.NestLevel,
+                Params.TripCount),
+        Generator(Generator) {
+    Builder.loop().setRuntimeTripCount(Params.RuntimeTripCount);
+  }
+
+  int32_t freshSym() { return NextSym++; }
+
+  /// A unit- or occasionally non-unit-stride FP reference.
+  MemRef fpRef(int32_t Sym, int64_t ElemOffset = 0) {
+    int64_t Stride = Generator.nextBool(0.15) ? 16 : 8;
+    return MemRef{Sym, Stride, ElemOffset * Stride, false, 8};
+  }
+
+  MemRef intRef(int32_t Sym, int64_t ElemOffset = 0) {
+    int64_t Stride = Generator.nextBool(0.2) ? 8 : 4;
+    return MemRef{Sym, Stride, ElemOffset * Stride, false,
+                  static_cast<int32_t>(Stride == 8 ? 8 : 4)};
+  }
+
+  Loop finish() { return Builder.finalize(); }
+};
+
+Loop generateDaxpy(const LoopGenParams &Params, Rng &Generator) {
+  GenState S(Params, Generator);
+  LoopBuilder &B = S.Builder;
+  int Streams = 1 + static_cast<int>(Generator.nextBelow(
+                        1 + std::min(Params.SizeScale * 2, 7)));
+  RegId Alpha = B.liveIn(RegClass::Float, "alpha");
+  for (int Stream = 0; Stream < Streams; ++Stream) {
+    int32_t XSym = S.freshSym();
+    int32_t YSym = S.freshSym();
+    RegId X = B.load(RegClass::Float, S.fpRef(XSym));
+    MemRef YRef = S.fpRef(YSym);
+    RegId Y = B.load(RegClass::Float, YRef);
+    RegId R = B.fma(Alpha, X, Y);
+    B.store(R, YRef);
+  }
+  return S.finish();
+}
+
+Loop generateDotReduce(const LoopGenParams &Params, Rng &Generator) {
+  GenState S(Params, Generator);
+  LoopBuilder &B = S.Builder;
+  int Accumulators = 1 + static_cast<int>(Generator.nextBelow(4));
+  for (int A = 0; A < Accumulators; ++A) {
+    RegId Acc = B.phi(RegClass::Float, "acc" + std::to_string(A));
+    RegId X = B.load(RegClass::Float, S.fpRef(S.freshSym()));
+    RegId Y = B.load(RegClass::Float, S.fpRef(S.freshSym()));
+    RegId Next = Generator.nextBool(0.7) ? B.fma(X, Y, Acc)
+                                         : B.fadd(Acc, B.fmul(X, Y));
+    B.setPhiRecur(Acc, Next);
+  }
+  return S.finish();
+}
+
+Loop generateStencil(const LoopGenParams &Params, Rng &Generator) {
+  GenState S(Params, Generator);
+  LoopBuilder &B = S.Builder;
+  int Taps = 3 + static_cast<int>(Generator.nextBelow(
+                     static_cast<uint64_t>(2 + 2 * Params.SizeScale)));
+  int32_t XSym = S.freshSym();
+  int32_t YSym = S.freshSym();
+  RegId Sum = NoReg;
+  for (int Tap = 0; Tap < Taps; ++Tap) {
+    RegId Coef = B.liveIn(RegClass::Float, "c" + std::to_string(Tap));
+    MemRef Ref{XSym, 8, (Tap - Taps / 2) * 8, false, 8};
+    RegId X = B.load(RegClass::Float, Ref);
+    Sum = Sum == NoReg ? B.fmul(Coef, X) : B.fma(Coef, X, Sum);
+  }
+  B.store(Sum, MemRef{YSym, 8, 0, false, 8});
+  return S.finish();
+}
+
+Loop generateMatmulInner(const LoopGenParams &Params, Rng &Generator) {
+  GenState S(Params, Generator);
+  LoopBuilder &B = S.Builder;
+  RegId Acc = B.phi(RegClass::Float, "c");
+  RegId A = B.load(RegClass::Float, MemRef{S.freshSym(), 8, 0, false, 8});
+  // The B matrix walks a column: non-unit stride.
+  int64_t RowBytes = 8 * (8 + static_cast<int64_t>(Generator.nextBelow(120)));
+  RegId Bv = B.load(RegClass::Float,
+                    MemRef{S.freshSym(), RowBytes, 0, false, 8});
+  B.setPhiRecur(Acc, B.fma(A, Bv, Acc));
+  return S.finish();
+}
+
+Loop generateFir(const LoopGenParams &Params, Rng &Generator) {
+  GenState S(Params, Generator);
+  LoopBuilder &B = S.Builder;
+  int Taps = 4 + static_cast<int>(Generator.nextBelow(8));
+  int32_t XSym = S.freshSym();
+  RegId Sum = NoReg;
+  for (int Tap = 0; Tap < Taps; ++Tap) {
+    RegId Coef = B.liveIn(RegClass::Float, "h" + std::to_string(Tap));
+    RegId X = B.load(RegClass::Float, MemRef{XSym, 8, Tap * 8, false, 8});
+    Sum = Sum == NoReg ? B.fmul(Coef, X) : B.fma(Coef, X, Sum);
+  }
+  B.store(Sum, MemRef{S.freshSym(), 8, 0, false, 8});
+  return S.finish();
+}
+
+Loop generateIirRecurrence(const LoopGenParams &Params, Rng &Generator) {
+  GenState S(Params, Generator);
+  LoopBuilder &B = S.Builder;
+  RegId A = B.liveIn(RegClass::Float, "a");
+  int32_t XSym = S.freshSym();
+  int32_t YSym = S.freshSym();
+  RegId X = B.load(RegClass::Float, MemRef{XSym, 8, 0, false, 8});
+  if (Generator.nextBool(0.5)) {
+    // Register-carried form: y[i] = a * y[i-1] + x[i] via a phi.
+    RegId YPrev = B.phi(RegClass::Float, "yprev");
+    RegId Y = B.fma(A, YPrev, X);
+    B.store(Y, MemRef{YSym, 8, 0, false, 8});
+    B.setPhiRecur(YPrev, Y);
+  } else {
+    // Memory-carried form: the load of y[i-1] collides with the store of
+    // y[i] one iteration later (distance-1 memory dependence).
+    RegId YPrev = B.load(RegClass::Float, MemRef{YSym, 8, -8, false, 8});
+    RegId Y = B.fma(A, YPrev, X);
+    B.store(Y, MemRef{YSym, 8, 0, false, 8});
+  }
+  return S.finish();
+}
+
+Loop generateStreamCopy(const LoopGenParams &Params, Rng &Generator) {
+  GenState S(Params, Generator);
+  LoopBuilder &B = S.Builder;
+  int Streams = 1 + static_cast<int>(Generator.nextBelow(4));
+  for (int Stream = 0; Stream < Streams; ++Stream) {
+    bool Fp = Generator.nextBool(0.5);
+    if (Fp) {
+      RegId V = B.load(RegClass::Float, S.fpRef(S.freshSym()));
+      B.store(V, S.fpRef(S.freshSym()));
+    } else {
+      RegId V = B.load(RegClass::Int, S.intRef(S.freshSym()));
+      B.store(V, S.intRef(S.freshSym()));
+    }
+  }
+  return S.finish();
+}
+
+Loop generateGather(const LoopGenParams &Params, Rng &Generator) {
+  GenState S(Params, Generator);
+  LoopBuilder &B = S.Builder;
+  RegId Alpha = B.liveIn(RegClass::Float, "alpha");
+  RegId Index = B.load(RegClass::Int, S.intRef(S.freshSym()));
+  RegId Value = B.load(RegClass::Float,
+                       MemRef{S.freshSym(), 0, 0, true, 8}, Index);
+  RegId R = Generator.nextBool(0.5) ? B.fmul(Alpha, Value)
+                                    : B.fadd(Alpha, Value);
+  B.store(R, S.fpRef(S.freshSym()));
+  return S.finish();
+}
+
+Loop generateHistogram(const LoopGenParams &Params, Rng &Generator) {
+  GenState S(Params, Generator);
+  LoopBuilder &B = S.Builder;
+  RegId Index = B.load(RegClass::Int, S.intRef(S.freshSym()));
+  int32_t HistSym = S.freshSym();
+  RegId Count = B.load(RegClass::Int, MemRef{HistSym, 0, 0, true, 8},
+                       Index);
+  RegId One = B.iconst(1);
+  RegId Bumped = B.iadd(Count, One);
+  B.store(Bumped, MemRef{HistSym, 0, 0, true, 8}, Index);
+  return S.finish();
+}
+
+Loop generatePointerChase(const LoopGenParams &Params, Rng &Generator) {
+  GenState S(Params, Generator);
+  LoopBuilder &B = S.Builder;
+  RegId Node = B.phi(RegClass::Int, "node");
+  int32_t HeapSym = S.freshSym();
+  RegId Next = B.load(RegClass::Int, MemRef{HeapSym, 0, 0, true, 8}, Node);
+  if (Generator.nextBool(0.6)) {
+    // Also accumulate a payload field.
+    RegId Acc = B.phi(RegClass::Float, "sum");
+    RegId Payload = B.load(RegClass::Float,
+                           MemRef{HeapSym, 0, 8, true, 8}, Node);
+    B.setPhiRecur(Acc, B.fadd(Acc, Payload));
+  }
+  B.setPhiRecur(Node, Next);
+  return S.finish();
+}
+
+Loop generateBranchy(const LoopGenParams &Params, Rng &Generator) {
+  GenState S(Params, Generator);
+  LoopBuilder &B = S.Builder;
+  RegId Value = B.load(RegClass::Int, S.intRef(S.freshSym()));
+  RegId Limit = B.liveIn(RegClass::Int, "limit");
+  RegId ExitCond = B.icmp(Value, Limit);
+  B.exitIf(ExitCond, 0.0005 + Generator.nextDouble() * 0.004);
+  int Work = 2 + static_cast<int>(Generator.nextBelow(5));
+  RegId Current = Value;
+  for (int Op = 0; Op < Work; ++Op) {
+    switch (Generator.nextBelow(4)) {
+    case 0:
+      Current = B.iadd(Current, Value);
+      break;
+    case 1:
+      Current = B.bitXor(Current, Value);
+      break;
+    case 2:
+      Current = B.shl(Current, Limit);
+      break;
+    default:
+      Current = B.isub(Current, Limit);
+      break;
+    }
+  }
+  if (Generator.nextBool(0.4)) {
+    RegId SecondCond = B.icmp(Current, Limit);
+    B.exitIf(SecondCond, 0.0005 + Generator.nextDouble() * 0.002);
+  }
+  B.store(Current, S.intRef(S.freshSym()));
+  return S.finish();
+}
+
+Loop generatePredicated(const LoopGenParams &Params, Rng &Generator) {
+  GenState S(Params, Generator);
+  LoopBuilder &B = S.Builder;
+  RegId Threshold = B.liveIn(RegClass::Float, "threshold");
+  RegId X = B.load(RegClass::Float, S.fpRef(S.freshSym()));
+  RegId Cond = B.fcmp(X, Threshold);
+  B.setPredicate(Cond);
+  RegId Scaled = B.fmul(X, Threshold);
+  RegId Adjusted = B.fadd(Scaled, X);
+  B.clearPredicate();
+  RegId Chosen = B.select(Cond, Adjusted, X);
+  if (Generator.nextBool(0.5)) {
+    B.setPredicate(Cond);
+    B.store(Chosen, S.fpRef(S.freshSym()));
+    B.clearPredicate();
+  } else {
+    B.store(Chosen, S.fpRef(S.freshSym()));
+  }
+  return S.finish();
+}
+
+Loop generateCallBearing(const LoopGenParams &Params, Rng &Generator) {
+  GenState S(Params, Generator);
+  LoopBuilder &B = S.Builder;
+  RegId X = B.load(RegClass::Float, S.fpRef(S.freshSym()));
+  B.call({X});
+  if (Generator.nextBool(0.6)) {
+    RegId Alpha = B.liveIn(RegClass::Float, "alpha");
+    RegId R = B.fadd(X, Alpha);
+    B.store(R, S.fpRef(S.freshSym()));
+  }
+  return S.finish();
+}
+
+Loop generateDivHeavy(const LoopGenParams &Params, Rng &Generator) {
+  GenState S(Params, Generator);
+  LoopBuilder &B = S.Builder;
+  RegId X = B.load(RegClass::Float, S.fpRef(S.freshSym()));
+  RegId Y = B.load(RegClass::Float, S.fpRef(S.freshSym()));
+  RegId Quotient = B.fdiv(X, Y);
+  RegId Result = Quotient;
+  if (Generator.nextBool(0.5))
+    Result = B.fsqrt(Quotient);
+  if (Generator.nextBool(0.5)) {
+    RegId Alpha = B.liveIn(RegClass::Float, "alpha");
+    Result = B.fma(Result, Alpha, X);
+  }
+  B.store(Result, S.fpRef(S.freshSym()));
+  return S.finish();
+}
+
+Loop generateMixed(const LoopGenParams &Params, Rng &Generator) {
+  GenState S(Params, Generator);
+  LoopBuilder &B = S.Builder;
+
+  std::vector<RegId> IntVals;
+  std::vector<RegId> FloatVals;
+  IntVals.push_back(B.liveIn(RegClass::Int, "k0"));
+  FloatVals.push_back(B.liveIn(RegClass::Float, "a0"));
+
+  int Streams = 1 + static_cast<int>(
+                        Generator.nextBelow(2 + std::min(Params.SizeScale,
+                                                         5) * 2));
+  for (int Stream = 0; Stream < Streams; ++Stream) {
+    if (Generator.nextBool(0.55))
+      FloatVals.push_back(B.load(RegClass::Float, S.fpRef(S.freshSym())));
+    else
+      IntVals.push_back(B.load(RegClass::Int, S.intRef(S.freshSym())));
+  }
+
+  // Optional reduction.
+  RegId Phi = NoReg;
+  bool FloatPhi = Generator.nextBool(0.6);
+  if (Generator.nextBool(0.35)) {
+    Phi = B.phi(FloatPhi ? RegClass::Float : RegClass::Int, "red");
+    (FloatPhi ? FloatVals : IntVals).push_back(Phi);
+  }
+
+  auto PickInt = [&] {
+    return IntVals[Generator.nextBelow(IntVals.size())];
+  };
+  auto PickFloat = [&] {
+    return FloatVals[Generator.nextBelow(FloatVals.size())];
+  };
+
+  int Ops = 3 + static_cast<int>(Generator.nextBelow(
+                    static_cast<uint64_t>(5 + 13 * Params.SizeScale)));
+  for (int Op = 0; Op < Ops; ++Op) {
+    bool FloatOp = Generator.nextBool(0.55) && !FloatVals.empty();
+    if (FloatOp) {
+      RegId A = PickFloat();
+      RegId Bv = PickFloat();
+      RegId R;
+      switch (Generator.nextBelow(5)) {
+      case 0:
+        R = B.fadd(A, Bv);
+        break;
+      case 1:
+        R = B.fsub(A, Bv);
+        break;
+      case 2:
+        R = B.fmul(A, Bv);
+        break;
+      case 3:
+        R = B.fma(A, Bv, PickFloat());
+        break;
+      default:
+        R = Generator.nextBool(0.2) ? B.fdiv(A, Bv) : B.fmul(A, Bv);
+        break;
+      }
+      FloatVals.push_back(R);
+    } else {
+      RegId A = PickInt();
+      RegId Bv = PickInt();
+      RegId R;
+      switch (Generator.nextBelow(6)) {
+      case 0:
+        R = B.iadd(A, Bv);
+        break;
+      case 1:
+        R = B.isub(A, Bv);
+        break;
+      case 2:
+        R = B.imul(A, Bv);
+        break;
+      case 3:
+        R = B.bitAnd(A, Bv);
+        break;
+      case 4:
+        R = B.bitXor(A, Bv);
+        break;
+      default:
+        R = B.shr(A, Bv);
+        break;
+      }
+      IntVals.push_back(R);
+    }
+  }
+
+  // Optional predicated tail.
+  if (Generator.nextBool(0.2) && FloatVals.size() >= 2) {
+    RegId Cond = B.fcmp(PickFloat(), PickFloat());
+    B.setPredicate(Cond);
+    FloatVals.push_back(B.fadd(PickFloat(), PickFloat()));
+    B.clearPredicate();
+  }
+
+  // Optional early exit.
+  if (Generator.nextBool(0.12) && IntVals.size() >= 2) {
+    RegId Cond = B.icmp(PickInt(), PickInt());
+    B.exitIf(Cond, 0.0005 + Generator.nextDouble() * 0.003);
+  }
+
+  // Stores.
+  int Stores = static_cast<int>(Generator.nextBelow(3));
+  for (int Store = 0; Store < Stores; ++Store) {
+    if (Generator.nextBool(0.6))
+      B.store(PickFloat(), S.fpRef(S.freshSym()));
+    else
+      B.store(PickInt(), S.intRef(S.freshSym()));
+  }
+
+  if (Phi != NoReg) {
+    RegId Next;
+    if (FloatPhi) {
+      // Fold fresh work into the accumulator so the recurrence is real.
+      Next = B.fadd(Phi, FloatVals.back());
+    } else {
+      Next = B.iadd(Phi, IntVals.back());
+    }
+    B.setPhiRecur(Phi, Next);
+  }
+  return S.finish();
+}
+
+} // namespace
+
+Loop metaopt::generateLoop(LoopKind Kind, const LoopGenParams &Params,
+                           Rng &Generator) {
+  switch (Kind) {
+  case LoopKind::Daxpy:
+    return generateDaxpy(Params, Generator);
+  case LoopKind::DotReduce:
+    return generateDotReduce(Params, Generator);
+  case LoopKind::Stencil:
+    return generateStencil(Params, Generator);
+  case LoopKind::MatmulInner:
+    return generateMatmulInner(Params, Generator);
+  case LoopKind::Fir:
+    return generateFir(Params, Generator);
+  case LoopKind::IirRecurrence:
+    return generateIirRecurrence(Params, Generator);
+  case LoopKind::StreamCopy:
+    return generateStreamCopy(Params, Generator);
+  case LoopKind::Gather:
+    return generateGather(Params, Generator);
+  case LoopKind::Histogram:
+    return generateHistogram(Params, Generator);
+  case LoopKind::PointerChase:
+    return generatePointerChase(Params, Generator);
+  case LoopKind::Branchy:
+    return generateBranchy(Params, Generator);
+  case LoopKind::Predicated:
+    return generatePredicated(Params, Generator);
+  case LoopKind::CallBearing:
+    return generateCallBearing(Params, Generator);
+  case LoopKind::DivHeavy:
+    return generateDivHeavy(Params, Generator);
+  case LoopKind::Mixed:
+    return generateMixed(Params, Generator);
+  }
+  assert(false && "unknown loop kind");
+  return Loop();
+}

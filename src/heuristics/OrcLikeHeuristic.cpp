@@ -1,0 +1,199 @@
+//===- heuristics/OrcLikeHeuristic.cpp ------------------------------------===//
+
+#include "heuristics/OrcLikeHeuristic.h"
+
+#include "analysis/DependenceGraph.h"
+#include "analysis/Latency.h"
+#include "analysis/Liveness.h"
+#include "analysis/Recurrence.h"
+#include "sched/ModuloScheduler.h"
+#include "transform/Unroller.h"
+
+#include <algorithm>
+#include <cmath>
+
+using namespace metaopt;
+
+OrcLikeHeuristic::OrcLikeHeuristic(const MachineModel &Machine, bool SwpMode)
+    : Machine(Machine), SwpMode(SwpMode) {}
+
+std::string OrcLikeHeuristic::name() const {
+  return SwpMode ? "orc-swp" : "orc";
+}
+
+unsigned OrcLikeHeuristic::chooseFactor(const Loop &L) const {
+  return SwpMode ? chooseSwp(L) : chooseNoSwp(L);
+}
+
+namespace {
+
+/// Structural facts both policies look at.
+struct LoopShape {
+  unsigned BodyOps = 0; // Without the loop-control tail.
+  unsigned MemOps = 0;
+  unsigned FpOps = 0;
+  unsigned Exits = 0;
+  unsigned Calls = 0;
+  unsigned LongLatencyOps = 0; // Divides, square roots.
+  bool HasRecurrence = false;
+};
+
+LoopShape shapeOf(const Loop &L) {
+  LoopShape Shape;
+  for (const Instruction &Instr : L.body()) {
+    if (Instr.isLoopControl())
+      continue;
+    ++Shape.BodyOps;
+    if (Instr.isMemory())
+      ++Shape.MemOps;
+    if (Instr.isFloat())
+      ++Shape.FpOps;
+    if (Instr.Op == Opcode::ExitIf)
+      ++Shape.Exits;
+    if (Instr.isCall())
+      ++Shape.Calls;
+    if (Instr.Op == Opcode::FDiv || Instr.Op == Opcode::FSqrt ||
+        Instr.Op == Opcode::IDiv || Instr.Op == Opcode::IRem)
+      ++Shape.LongLatencyOps;
+  }
+  Shape.HasRecurrence = !L.phis().empty();
+  return Shape;
+}
+
+/// Rounds down to a power of two in [1, MaxUnrollFactor].
+unsigned floorPowerOfTwo(unsigned Value) {
+  unsigned Power = 1;
+  while (Power * 2 <= std::min(Value, MaxUnrollFactor))
+    Power *= 2;
+  return Power;
+}
+
+} // namespace
+
+unsigned OrcLikeHeuristic::chooseNoSwp(const Loop &L) const {
+  LoopShape Shape = shapeOf(L);
+
+  // Rule 1: never unroll around calls; the call dominates anyway and the
+  // register pressure across the call is already painful.
+  if (Shape.Calls > 0)
+    return 1;
+
+  // Rule 2: big bodies do not unroll - the classic code-size guard.
+  // (The threshold is generous because the post-unroll memory optimizer
+  // shrinks and pairs references, so big bodies often still profit.)
+  if (Shape.BodyOps > 80)
+    return 1;
+
+  // Rule 3: fully unroll tiny known trip counts (the remainder loop would
+  // otherwise dominate).
+  if (L.hasKnownTripCount() && L.tripCount() >= 1 &&
+      L.tripCount() <= static_cast<int64_t>(MaxUnrollFactor))
+    return static_cast<unsigned>(L.tripCount());
+
+  // Rule 4: aim to fill the machine. The target is enough operations to
+  // keep the issue slots busy for a handful of cycles; small bodies get
+  // large factors, large bodies small ones.
+  unsigned TargetOps =
+      static_cast<unsigned>(Machine.issueWidth()) * 8; // ~8 full cycles.
+  unsigned Factor = 1;
+  if (Shape.BodyOps > 0)
+    Factor = std::max(1u, TargetOps / Shape.BodyOps);
+
+  // Rule 5: loops with early exits replicate their exit branches when
+  // unrolled; keep the copy count low.
+  if (Shape.Exits > 0)
+    Factor = std::min(Factor, 2u);
+
+  // Rule 6: long-latency serial math caps the benefit of more copies
+  // unless there is independent work.
+  if (Shape.LongLatencyOps * 2 >= Shape.BodyOps)
+    Factor = std::min(Factor, 4u);
+
+  // Rule 7: memory-bound bodies saturate the M units quickly.
+  if (Shape.MemOps * 3 > Shape.BodyOps * 2)
+    Factor = std::min(Factor, 4u);
+
+  // Rule 8: respect the trip count - no point unrolling past it.
+  if (L.hasKnownTripCount() && L.tripCount() > 0)
+    Factor = std::min<unsigned>(
+        Factor, static_cast<unsigned>(
+                    std::min<int64_t>(L.tripCount(), MaxUnrollFactor)));
+
+  // Rule 9: keep the unrolled body inside a comfortable code budget.
+  while (Factor > 1 &&
+         Machine.codeBytes(static_cast<int>(Shape.BodyOps * Factor)) >
+             Machine.config().L1ICapacityBytes / 4)
+    Factor /= 2;
+
+  // ORC-style heuristics round to powers of two: remainder handling is
+  // cheapest and the schedule shapes tile evenly.
+  return floorPowerOfTwo(std::clamp(Factor, 1u, MaxUnrollFactor));
+}
+
+unsigned OrcLikeHeuristic::chooseSwp(const Loop &L) const {
+  LoopShape Shape = shapeOf(L);
+
+  // The pipeliner will reject these; use the plain policy.
+  if (Shape.Calls > 0 || Shape.Exits > 0)
+    return chooseNoSwp(L);
+
+  if (Shape.BodyOps == 0 || Shape.BodyOps > 64)
+    return 1;
+
+  DependenceGraph DG(L);
+  double ResMII = resourceMIIForLoop(L, Machine);
+  double RecMII = recurrenceMII(
+      L, DG, [this](Opcode Op) { return Machine.latency(Op); });
+
+  // A recurrence only constrains unrolling when the unroller cannot break
+  // it: splittable reductions get one accumulator per copy, so their II
+  // does not grow with the factor; memory-carried recurrences and
+  // non-associative chains do scale with it.
+  bool Breakable = DG.minCarriedMemoryDistance() == 0;
+  for (const PhiNode &Phi : L.phis())
+    Breakable &= isSplittableReduction(L, Phi);
+
+  // Unbreakably recurrence-bound loops gain nothing from unrolling: the
+  // cycle grows as fast as the work does.
+  if (!Breakable && RecMII >= ResMII * 1.5)
+    return 1;
+
+  // Chase a fractional II: find the factor whose integral II wastes the
+  // fewest issue slots per original iteration. The useful work is
+  // ResMII * U cycles; an unbreakable recurrence scales with the factor,
+  // while a breakable one leaves only the trivial II >= 1 floor.
+  bool HasRecurrence = RecMII > 1.0 + 1e-9 && !Breakable;
+  unsigned BestFactor = 1;
+  double BestWaste = 1e9;
+  LivenessInfo Live = analyzeLiveness(L);
+  for (unsigned Factor : {1u, 2u, 4u, 8u}) { // Remainder handling and
+                                             // code layout favor powers
+                                             // of two.
+    if (L.hasKnownTripCount() &&
+        static_cast<int64_t>(Factor) > L.tripCount())
+      break;
+    // Unknown trip counts risk paying the version check and remainder for
+    // nothing; stay conservative.
+    if (!L.hasKnownTripCount() && Factor > 2)
+      break;
+    // Keep the pipelined body inside a comfortable code budget.
+    if (Machine.codeBytes(static_cast<int>(Shape.BodyOps * Factor)) >
+        Machine.config().L1ICapacityBytes / 8)
+      break;
+    double Work = ResMII * Factor;
+    double Floor = HasRecurrence ? RecMII * Factor : 1.0;
+    double II = std::ceil(std::max({Work, Floor, 1.0}) - 1e-9);
+    double Waste = (II - Work) / Factor;
+    // Estimate pressure growth: each copy adds its temporaries.
+    double PressureEstimate =
+        static_cast<double>(Live.MaxLiveTotal) * Factor;
+    if (PressureEstimate >
+        0.8 * (Machine.config().IntRegs + Machine.config().FloatRegs))
+      break;
+    if (Waste + 1e-9 < BestWaste) {
+      BestWaste = Waste;
+      BestFactor = Factor;
+    }
+  }
+  return BestFactor;
+}

@@ -1,0 +1,50 @@
+//===- heuristics/OrcLikeHeuristic.h - Hand-written baseline ----*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A hand-written unroll heuristic in the spirit of ORC v2.1's, the
+/// baseline the paper's learned classifiers are compared against. ORC ships
+/// two separate policies - one used when software pipelining is disabled
+/// and one tuned for the pipeliner (the paper notes the latter was ~205
+/// lines of C++ after years of tuning) - so this class has two modes.
+///
+/// The SWP-off policy reasons about body size, trip counts, early exits,
+/// calls, recurrences and code growth. The SWP-on policy additionally
+/// chases fractional initiation intervals: it unrolls until U * ResMII is
+/// close to an integer so no resource slots are wasted, while watching
+/// register pressure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_HEURISTICS_ORCLIKEHEURISTIC_H
+#define METAOPT_HEURISTICS_ORCLIKEHEURISTIC_H
+
+#include "heuristics/UnrollHeuristic.h"
+#include "machine/Machine.h"
+
+namespace metaopt {
+
+/// The hand-written production-style baseline.
+class OrcLikeHeuristic : public UnrollHeuristic {
+public:
+  /// \p SwpMode selects the software-pipelining-aware variant.
+  OrcLikeHeuristic(const MachineModel &Machine, bool SwpMode);
+
+  std::string name() const override;
+  unsigned chooseFactor(const Loop &L) const override;
+
+private:
+  unsigned chooseNoSwp(const Loop &L) const;
+  unsigned chooseSwp(const Loop &L) const;
+
+  const MachineModel &Machine;
+  bool SwpMode;
+};
+
+} // namespace metaopt
+
+#endif // METAOPT_HEURISTICS_ORCLIKEHEURISTIC_H

@@ -1,0 +1,23 @@
+//===- heuristics/UnrollHeuristic.cpp -------------------------------------===//
+
+#include "heuristics/UnrollHeuristic.h"
+
+#include <cassert>
+
+using namespace metaopt;
+
+UnrollHeuristic::~UnrollHeuristic() = default;
+
+FixedFactorHeuristic::FixedFactorHeuristic(unsigned Factor)
+    : Factor(Factor) {
+  assert(Factor >= 1 && Factor <= MaxUnrollFactor &&
+         "fixed factor out of range");
+}
+
+std::string FixedFactorHeuristic::name() const {
+  return "fixed-" + std::to_string(Factor);
+}
+
+unsigned FixedFactorHeuristic::chooseFactor(const Loop &) const {
+  return Factor;
+}

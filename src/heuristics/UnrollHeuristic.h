@@ -1,0 +1,50 @@
+//===- heuristics/UnrollHeuristic.h - Heuristic interface -------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The interface every unroll-factor policy implements — the hand-written
+/// ORC-like baseline, fixed factors, and (in src/core) the learned
+/// classifiers — so the evaluation harness can compare them uniformly.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_HEURISTICS_UNROLLHEURISTIC_H
+#define METAOPT_HEURISTICS_UNROLLHEURISTIC_H
+
+#include "ir/Loop.h"
+
+#include <string>
+
+namespace metaopt {
+
+/// A policy that picks an unroll factor (1..MaxUnrollFactor) for a loop.
+class UnrollHeuristic {
+public:
+  virtual ~UnrollHeuristic();
+
+  /// Human-readable policy name for tables.
+  virtual std::string name() const = 0;
+
+  /// Chooses the unroll factor for \p L.
+  virtual unsigned chooseFactor(const Loop &L) const = 0;
+};
+
+/// Always answers the same factor. Factor 1 is the "never unroll"
+/// baseline; factor 8 approximates "always unroll as much as allowed".
+class FixedFactorHeuristic : public UnrollHeuristic {
+public:
+  explicit FixedFactorHeuristic(unsigned Factor);
+  std::string name() const override;
+  unsigned chooseFactor(const Loop &L) const override;
+
+private:
+  unsigned Factor;
+};
+
+} // namespace metaopt
+
+#endif // METAOPT_HEURISTICS_UNROLLHEURISTIC_H

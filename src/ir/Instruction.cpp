@@ -1,0 +1,5 @@
+//===- ir/Instruction.cpp -------------------------------------------------===//
+// Instruction is a plain aggregate; this file intentionally only anchors
+// the translation unit for the library.
+
+#include "ir/Instruction.h"

@@ -1,0 +1,86 @@
+//===- ir/Instruction.h - Loop IR instructions ------------------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Instruction, memory reference, and loop-carried phi representations.
+///
+/// A loop body is a straight-line sequence of (optionally predicated)
+/// instructions; internal control flow is expressed Itanium-style through
+/// predicate registers, and early exits through ExitIf instructions. Memory
+/// addresses are symbolic linear functions of the loop induction variable
+/// (base symbol + stride * i + offset), which is what both the dependence
+/// analysis and the unroller's address rewriting consume.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_IR_INSTRUCTION_H
+#define METAOPT_IR_INSTRUCTION_H
+
+#include "ir/Opcode.h"
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace metaopt {
+
+/// Virtual register id. Register classes live in the owning Loop.
+using RegId = uint32_t;
+
+/// Sentinel for "no register" (absent destination / unpredicated).
+constexpr RegId NoReg = std::numeric_limits<RegId>::max();
+
+/// A symbolic memory address: BaseSym + Stride * i + Offset (bytes), where
+/// i is the innermost induction variable. Indirect references (a[b[i]])
+/// additionally consume an index register operand and defeat dependence
+/// distance computation.
+struct MemRef {
+  int32_t BaseSym = 0;   ///< Array/base identity; equal syms may alias.
+  int64_t Stride = 0;    ///< Bytes advanced per loop iteration.
+  int64_t Offset = 0;    ///< Constant byte offset.
+  bool Indirect = false; ///< Address depends on a run-time value.
+  int32_t SizeBytes = 8; ///< Access width in bytes.
+
+  bool operator==(const MemRef &Other) const = default;
+};
+
+/// A single (optionally predicated) instruction.
+struct Instruction {
+  Opcode Op = Opcode::IAdd;
+  RegId Dest = NoReg;          ///< Defined register, NoReg if none.
+  std::vector<RegId> Operands; ///< Register operands.
+  RegId Pred = NoReg;          ///< Guarding predicate, NoReg if always-on.
+  int64_t Imm = 0;             ///< Immediate (constants, shift counts).
+  MemRef Mem;                  ///< Valid when Op is Load/Store.
+  double TakenProb = 0.0;      ///< ExitIf: per-iteration exit probability.
+  /// Load only: second half of a merged wide access (Itanium ldfpd); it
+  /// rides along with its partner and occupies no issue slot or M unit.
+  bool Paired = false;
+
+  bool isMemory() const { return opcodeInfo(Op).IsMemory; }
+  bool isFloat() const { return opcodeInfo(Op).IsFloat; }
+  bool isBranchLike() const { return opcodeInfo(Op).IsBranchLike; }
+  bool isImplicit() const { return opcodeInfo(Op).IsImplicit; }
+  bool isLoopControl() const { return opcodeInfo(Op).IsLoopControl; }
+  bool hasDest() const { return Dest != NoReg; }
+  bool isLoad() const { return Op == Opcode::Load; }
+  bool isStore() const { return Op == Opcode::Store; }
+  bool isCall() const { return Op == Opcode::Call; }
+};
+
+/// A loop-carried value: at the top of every iteration, \c Dest holds the
+/// loop-live-in \c Init on the first iteration and the previous iteration's
+/// \c Recur afterwards (dependence distance 1).
+struct PhiNode {
+  RegId Dest = NoReg;  ///< Register the body reads.
+  RegId Init = NoReg;  ///< Live-in initial value.
+  RegId Recur = NoReg; ///< Value computed by the body each iteration.
+};
+
+} // namespace metaopt
+
+#endif // METAOPT_IR_INSTRUCTION_H

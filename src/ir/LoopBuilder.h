@@ -1,0 +1,119 @@
+//===- ir/LoopBuilder.h - Fluent loop construction --------------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A convenience builder for constructing well-formed loops. The corpus
+/// generators, the tests, and the examples all construct loops through this
+/// class; finalize() appends the canonical loop-control tail (induction
+/// increment, trip test, backedge branch) that the unroller amortizes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_IR_LOOPBUILDER_H
+#define METAOPT_IR_LOOPBUILDER_H
+
+#include "ir/Loop.h"
+
+#include <string>
+#include <vector>
+
+namespace metaopt {
+
+/// Builds a Loop instruction by instruction.
+///
+/// Typical usage:
+/// \code
+///   LoopBuilder B("daxpy", SourceLanguage::C, 1, 1024);
+///   RegId Alpha = B.liveIn(RegClass::Float, "alpha");
+///   RegId X = B.load(RegClass::Float, {/*BaseSym=*/0, /*Stride=*/8});
+///   RegId Y = B.load(RegClass::Float, {/*BaseSym=*/1, /*Stride=*/8});
+///   RegId R = B.fma(Alpha, X, Y);
+///   B.store(R, {/*BaseSym=*/1, /*Stride=*/8});
+///   Loop L = B.finalize();
+/// \endcode
+class LoopBuilder {
+public:
+  LoopBuilder(std::string Name, SourceLanguage Lang, int NestLevel,
+              int64_t TripCount);
+
+  /// Creates a live-in (loop-invariant) register.
+  RegId liveIn(RegClass RC, std::string Name = "");
+
+  /// Opens a loop-carried phi of class \p RC; returns the register the body
+  /// reads. A fresh live-in is created as the initial value. The recurrence
+  /// source must be provided later via setPhiRecur.
+  RegId phi(RegClass RC, std::string Name = "");
+
+  /// Closes the phi whose destination is \p PhiDest by naming the value the
+  /// body computes for the next iteration.
+  void setPhiRecur(RegId PhiDest, RegId Recur);
+
+  /// Sets/clears the predicate guarding subsequently emitted instructions.
+  void setPredicate(RegId Pred);
+  void clearPredicate();
+
+  // Integer arithmetic.
+  RegId iadd(RegId A, RegId B) { return emitBinary(Opcode::IAdd, A, B); }
+  RegId isub(RegId A, RegId B) { return emitBinary(Opcode::ISub, A, B); }
+  RegId imul(RegId A, RegId B) { return emitBinary(Opcode::IMul, A, B); }
+  RegId idiv(RegId A, RegId B) { return emitBinary(Opcode::IDiv, A, B); }
+  RegId irem(RegId A, RegId B) { return emitBinary(Opcode::IRem, A, B); }
+  RegId shl(RegId A, RegId B) { return emitBinary(Opcode::Shl, A, B); }
+  RegId shr(RegId A, RegId B) { return emitBinary(Opcode::Shr, A, B); }
+  RegId bitAnd(RegId A, RegId B) { return emitBinary(Opcode::And, A, B); }
+  RegId bitOr(RegId A, RegId B) { return emitBinary(Opcode::Or, A, B); }
+  RegId bitXor(RegId A, RegId B) { return emitBinary(Opcode::Xor, A, B); }
+  RegId icmp(RegId A, RegId B) { return emitBinary(Opcode::ICmp, A, B); }
+  RegId iconst(int64_t Value);
+
+  // Floating point.
+  RegId fadd(RegId A, RegId B) { return emitBinary(Opcode::FAdd, A, B); }
+  RegId fsub(RegId A, RegId B) { return emitBinary(Opcode::FSub, A, B); }
+  RegId fmul(RegId A, RegId B) { return emitBinary(Opcode::FMul, A, B); }
+  RegId fdiv(RegId A, RegId B) { return emitBinary(Opcode::FDiv, A, B); }
+  RegId fcmp(RegId A, RegId B) { return emitBinary(Opcode::FCmp, A, B); }
+  RegId fma(RegId A, RegId B, RegId C);
+  RegId fsqrt(RegId A);
+  RegId fcvt(RegId IntValue);
+  RegId fconst(int64_t Bits);
+
+  // Data movement and predication.
+  RegId copy(RegId Src);
+  RegId select(RegId Pred, RegId A, RegId B);
+  RegId predAnd(RegId A, RegId B);
+
+  // Memory. \p Index must be an integer register when Ref.Indirect.
+  RegId load(RegClass DestClass, MemRef Ref, RegId Index = NoReg);
+  void store(RegId Value, MemRef Ref, RegId Index = NoReg);
+  RegId addrGen(RegId A, RegId B = NoReg);
+
+  // Control.
+  void exitIf(RegId Pred, double TakenProb);
+  void call(std::vector<RegId> Args = {});
+
+  /// Returns a mutable view of the loop under construction (e.g. to tweak
+  /// metadata before finalize()).
+  Loop &loop() { return Result; }
+
+  /// Appends the loop-control tail and returns the finished loop. All phis
+  /// must have been closed. The builder must not be reused afterwards.
+  Loop finalize();
+
+private:
+  RegId emitBinary(Opcode Op, RegId A, RegId B);
+  RegId emitTo(Opcode Op, RegClass DestClass, std::vector<RegId> Operands,
+               int64_t Imm = 0);
+
+  Loop Result;
+  RegId CurrentPred = NoReg;
+  std::vector<RegId> OpenPhis;
+  bool Finalized = false;
+};
+
+} // namespace metaopt
+
+#endif // METAOPT_IR_LOOPBUILDER_H

@@ -1,0 +1,379 @@
+//===- ir/Parser.cpp ------------------------------------------------------===//
+
+#include "ir/Parser.h"
+
+#include "support/StringUtils.h"
+
+#include <map>
+
+using namespace metaopt;
+
+namespace {
+
+/// Line-oriented recursive-descent parser for the loop format.
+class LoopParser {
+public:
+  explicit LoopParser(std::string_view Text) : Lines(split(Text, '\n')) {}
+
+  ParseResult run() {
+    ParseResult Result;
+    while (true) {
+      std::string_view Line = nextMeaningfulLine();
+      if (AtEnd)
+        break;
+      Loop L;
+      if (!parseHeader(Line, L) || !parseBody(L)) {
+        Result.Error = ErrorMessage;
+        Result.ErrorLine = CurrentLine;
+        return Result;
+      }
+      Result.Loops.push_back(std::move(L));
+    }
+    return Result;
+  }
+
+private:
+  std::vector<std::string> Lines;
+  size_t NextLine = 0;
+  size_t CurrentLine = 0;
+  bool AtEnd = false;
+  std::string ErrorMessage;
+
+  std::map<std::string, RegId> RegByName;
+
+  bool fail(const std::string &Message) {
+    ErrorMessage = Message;
+    return false;
+  }
+
+  /// Returns the next non-empty, non-comment line (comment stripped),
+  /// or sets AtEnd.
+  std::string_view nextMeaningfulLine() {
+    while (NextLine < Lines.size()) {
+      CurrentLine = NextLine + 1;
+      std::string_view Line = Lines[NextLine++];
+      size_t Hash = Line.find('#');
+      if (Hash != std::string_view::npos)
+        Line = Line.substr(0, Hash);
+      Line = trim(Line);
+      if (!Line.empty())
+        return Line;
+    }
+    AtEnd = true;
+    return {};
+  }
+
+  /// Resolves "%f_name" to a register, creating it on first sight.
+  bool parseReg(std::string_view Token, Loop &L, RegId &Out) {
+    Token = trim(Token);
+    if (Token.size() < 4 || Token[0] != '%' || Token[2] != '_')
+      return fail("malformed register '" + std::string(Token) +
+                  "' (expected %<c>_<name>)");
+    RegClass RC;
+    switch (Token[1]) {
+    case 'i':
+      RC = RegClass::Int;
+      break;
+    case 'f':
+      RC = RegClass::Float;
+      break;
+    case 'p':
+      RC = RegClass::Pred;
+      break;
+    default:
+      return fail("unknown register class prefix in '" + std::string(Token) +
+                  "'");
+    }
+    std::string Key(Token);
+    auto It = RegByName.find(Key);
+    if (It != RegByName.end()) {
+      if (L.regClass(It->second) != RC)
+        return fail("register '" + Key + "' used with two classes");
+      Out = It->second;
+      return true;
+    }
+    Out = L.addReg(RC, std::string(Token.substr(3)));
+    RegByName.emplace(std::move(Key), Out);
+    return true;
+  }
+
+  bool parseKeyValue(std::string_view Token, std::string_view ExpectedKey,
+                     std::string &Value) {
+    size_t Eq = Token.find('=');
+    if (Eq == std::string_view::npos ||
+        trim(Token.substr(0, Eq)) != ExpectedKey)
+      return fail("expected '" + std::string(ExpectedKey) + "=<value>', got '" +
+                  std::string(Token) + "'");
+    Value = std::string(trim(Token.substr(Eq + 1)));
+    return true;
+  }
+
+  bool parseHeader(std::string_view Line, Loop &L) {
+    RegByName.clear();
+    if (Line.substr(0, 4) != "loop")
+      return fail("expected 'loop' header");
+    Line = trim(Line.substr(4));
+    if (Line.empty() || Line[0] != '"')
+      return fail("expected quoted loop name");
+    size_t CloseQuote = Line.find('"', 1);
+    if (CloseQuote == std::string_view::npos)
+      return fail("unterminated loop name");
+    L.setName(std::string(Line.substr(1, CloseQuote - 1)));
+    Line = trim(Line.substr(CloseQuote + 1));
+    if (Line.empty() || Line.back() != '{')
+      return fail("expected '{' at end of loop header");
+    Line = trim(Line.substr(0, Line.size() - 1));
+
+    for (const std::string &Token : splitWhitespace(Line)) {
+      size_t Eq = Token.find('=');
+      if (Eq == std::string::npos)
+        return fail("malformed header attribute '" + Token + "'");
+      std::string Key = Token.substr(0, Eq);
+      std::string Value = Token.substr(Eq + 1);
+      if (Key == "lang") {
+        SourceLanguage Lang;
+        if (!parseSourceLanguage(Value, Lang))
+          return fail("unknown language '" + Value + "'");
+        L.setLanguage(Lang);
+      } else if (Key == "nest") {
+        auto Parsed = parseInt(Value);
+        if (!Parsed)
+          return fail("malformed nest level '" + Value + "'");
+        L.setNestLevel(static_cast<int>(*Parsed));
+      } else if (Key == "trip") {
+        auto Parsed = parseInt(Value);
+        if (!Parsed)
+          return fail("malformed trip count '" + Value + "'");
+        L.setTripCount(*Parsed);
+      } else if (Key == "rtrip") {
+        auto Parsed = parseInt(Value);
+        if (!Parsed)
+          return fail("malformed runtime trip count '" + Value + "'");
+        L.setRuntimeTripCount(*Parsed);
+      } else {
+        return fail("unknown header attribute '" + Key + "'");
+      }
+    }
+    return true;
+  }
+
+  bool parseMemRef(std::string_view &Line, MemRef &Ref) {
+    Line = trim(Line);
+    if (Line.empty() || Line[0] != '@')
+      return fail("expected memory reference '@sym[...]'");
+    size_t Bracket = Line.find('[');
+    if (Bracket == std::string_view::npos)
+      return fail("expected '[' in memory reference");
+    auto Sym = parseInt(Line.substr(1, Bracket - 1));
+    if (!Sym)
+      return fail("malformed memory base symbol");
+    Ref.BaseSym = static_cast<int32_t>(*Sym);
+    size_t CloseBracket = Line.find(']', Bracket);
+    if (CloseBracket == std::string_view::npos)
+      return fail("expected ']' in memory reference");
+    std::string_view Attrs = Line.substr(Bracket + 1,
+                                         CloseBracket - Bracket - 1);
+    Line = Line.substr(CloseBracket + 1);
+
+    for (const std::string &Attr : split(Attrs, ',')) {
+      std::string_view Token = trim(Attr);
+      if (Token == "indirect") {
+        Ref.Indirect = true;
+        continue;
+      }
+      size_t Eq = Token.find('=');
+      if (Eq == std::string_view::npos)
+        return fail("malformed memory attribute '" + std::string(Token) +
+                    "'");
+      std::string_view Key = trim(Token.substr(0, Eq));
+      auto Value = parseInt(Token.substr(Eq + 1));
+      if (!Value)
+        return fail("malformed memory attribute value in '" +
+                    std::string(Token) + "'");
+      if (Key == "stride")
+        Ref.Stride = *Value;
+      else if (Key == "offset")
+        Ref.Offset = *Value;
+      else if (Key == "size")
+        Ref.SizeBytes = static_cast<int32_t>(*Value);
+      else
+        return fail("unknown memory attribute '" + std::string(Key) + "'");
+    }
+    return true;
+  }
+
+  /// Parses a trailing " ind(%i_x)" clause if present.
+  bool parseIndexClause(std::string_view &Line, Loop &L, bool Expected,
+                        Instruction &Instr) {
+    Line = trim(Line);
+    if (Line.empty())
+      return !Expected ||
+             fail("indirect memory reference requires an ind(...) clause");
+    if (Line.substr(0, 4) != "ind(" || Line.back() != ')')
+      return fail("trailing garbage '" + std::string(Line) + "'");
+    if (!Expected)
+      return fail("ind(...) clause on a non-indirect memory reference");
+    RegId Index;
+    if (!parseReg(Line.substr(4, Line.size() - 5), L, Index))
+      return false;
+    Instr.Operands.push_back(Index);
+    return true;
+  }
+
+  bool parsePhi(std::string_view Line, Loop &L) {
+    // phi %f_x = [%f_init, %f_next]
+    Line = trim(Line.substr(3));
+    size_t Eq = Line.find('=');
+    if (Eq == std::string_view::npos)
+      return fail("expected '=' in phi");
+    PhiNode Phi;
+    if (!parseReg(Line.substr(0, Eq), L, Phi.Dest))
+      return false;
+    std::string_view Rest = trim(Line.substr(Eq + 1));
+    if (Rest.size() < 2 || Rest.front() != '[' || Rest.back() != ']')
+      return fail("expected '[init, recur]' in phi");
+    std::vector<std::string> Parts = split(Rest.substr(1, Rest.size() - 2),
+                                           ',');
+    if (Parts.size() != 2)
+      return fail("phi requires exactly two sources");
+    if (!parseReg(Parts[0], L, Phi.Init) || !parseReg(Parts[1], L, Phi.Recur))
+      return false;
+    if (L.regClass(Phi.Dest) != L.regClass(Phi.Init) ||
+        L.regClass(Phi.Dest) != L.regClass(Phi.Recur))
+      return fail("phi register class mismatch");
+    L.addPhi(Phi);
+    return true;
+  }
+
+  bool parseInstruction(std::string_view Line, Loop &L) {
+    Instruction Instr;
+
+    // Optional "(%p_x) " predicate guard.
+    if (!Line.empty() && Line[0] == '(') {
+      size_t Close = Line.find(')');
+      if (Close == std::string_view::npos)
+        return fail("unterminated predicate guard");
+      if (!parseReg(Line.substr(1, Close - 1), L, Instr.Pred))
+        return false;
+      if (L.regClass(Instr.Pred) != RegClass::Pred)
+        return fail("guard register is not a predicate");
+      Line = trim(Line.substr(Close + 1));
+    }
+
+    // Optional "%x = " destination.
+    std::string_view DestToken;
+    if (!Line.empty() && Line[0] == '%') {
+      size_t Eq = Line.find('=');
+      if (Eq == std::string_view::npos)
+        return fail("register at start of line but no '='");
+      DestToken = trim(Line.substr(0, Eq));
+      Line = trim(Line.substr(Eq + 1));
+    }
+
+    // Mnemonic.
+    size_t MnemonicEnd = 0;
+    while (MnemonicEnd < Line.size() && Line[MnemonicEnd] != ' ')
+      ++MnemonicEnd;
+    std::string Mnemonic(Line.substr(0, MnemonicEnd));
+    if (!parseOpcode(Mnemonic, Instr.Op))
+      return fail("unknown opcode '" + Mnemonic + "'");
+    Line = trim(Line.substr(MnemonicEnd));
+
+    const OpcodeInfo &Info = opcodeInfo(Instr.Op);
+    if (Info.HasDest != !DestToken.empty())
+      return fail(std::string("opcode '") + Mnemonic +
+                  (Info.HasDest ? "' requires" : "' forbids") +
+                  " a destination");
+    if (Info.HasDest && !parseReg(DestToken, L, Instr.Dest))
+      return false;
+
+    switch (Instr.Op) {
+    case Opcode::Load: {
+      if (!parseMemRef(Line, Instr.Mem))
+        return false;
+      Line = trim(Line);
+      if (Line.size() >= 6 && Line.substr(Line.size() - 6) == "paired") {
+        Instr.Paired = true;
+        Line = trim(Line.substr(0, Line.size() - 6));
+      }
+      if (!parseIndexClause(Line, L, Instr.Mem.Indirect, Instr))
+        return false;
+      break;
+    }
+    case Opcode::Store: {
+      size_t Comma = Line.find(',');
+      if (Comma == std::string_view::npos)
+        return fail("store requires '<value>, @sym[...]'");
+      RegId Value;
+      if (!parseReg(Line.substr(0, Comma), L, Value))
+        return false;
+      Instr.Operands.push_back(Value);
+      Line = Line.substr(Comma + 1);
+      if (!parseMemRef(Line, Instr.Mem))
+        return false;
+      if (!parseIndexClause(Line, L, Instr.Mem.Indirect, Instr))
+        return false;
+      break;
+    }
+    case Opcode::IConst:
+    case Opcode::FConst: {
+      auto Value = parseInt(Line);
+      if (!Value)
+        return fail("malformed constant '" + std::string(Line) + "'");
+      Instr.Imm = *Value;
+      break;
+    }
+    case Opcode::ExitIf: {
+      std::vector<std::string> Tokens = splitWhitespace(Line);
+      if (Tokens.size() != 2)
+        return fail("exit_if requires '<pred> prob=<p>'");
+      RegId Pred;
+      if (!parseReg(Tokens[0], L, Pred))
+        return false;
+      Instr.Operands.push_back(Pred);
+      std::string ProbValue;
+      if (!parseKeyValue(Tokens[1], "prob", ProbValue))
+        return false;
+      auto Prob = parseDouble(ProbValue);
+      if (!Prob || *Prob < 0.0 || *Prob > 1.0)
+        return fail("exit probability must be in [0,1]");
+      Instr.TakenProb = *Prob;
+      break;
+    }
+    default: {
+      if (!Line.empty()) {
+        for (const std::string &Token : split(Line, ',')) {
+          RegId Operand;
+          if (!parseReg(Token, L, Operand))
+            return false;
+          Instr.Operands.push_back(Operand);
+        }
+      }
+      break;
+    }
+    }
+
+    L.addInstruction(std::move(Instr));
+    return true;
+  }
+
+  bool parseBody(Loop &L) {
+    while (true) {
+      std::string_view Line = nextMeaningfulLine();
+      if (AtEnd)
+        return fail("unexpected end of input inside loop body");
+      if (Line == "}")
+        return true;
+      bool Ok = Line.substr(0, 4) == "phi " ? parsePhi(Line, L)
+                                            : parseInstruction(Line, L);
+      if (!Ok)
+        return false;
+    }
+  }
+};
+
+} // namespace
+
+ParseResult metaopt::parseLoops(std::string_view Text) {
+  return LoopParser(Text).run();
+}

@@ -1,0 +1,41 @@
+//===- ir/Parser.h - Textual loop format parsing ----------------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Parses the textual loop format produced by Printer.h. A file may contain
+/// any number of loops; '#' starts a comment. The parser reports the first
+/// syntax error with its line number; semantic well-formedness is the
+/// Verifier's job.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_IR_PARSER_H
+#define METAOPT_IR_PARSER_H
+
+#include "ir/Loop.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace metaopt {
+
+/// Result of parsing a loop file.
+struct ParseResult {
+  std::vector<Loop> Loops;
+  std::string Error; ///< Empty on success.
+  size_t ErrorLine = 0;
+
+  bool succeeded() const { return Error.empty(); }
+};
+
+/// Parses all loops in \p Text.
+ParseResult parseLoops(std::string_view Text);
+
+} // namespace metaopt
+
+#endif // METAOPT_IR_PARSER_H

@@ -1,0 +1,126 @@
+//===- ir/Printer.cpp -----------------------------------------------------===//
+
+#include "ir/Printer.h"
+
+#include "support/StringUtils.h"
+
+#include <cassert>
+#include <map>
+#include <set>
+
+using namespace metaopt;
+
+namespace {
+
+/// Assigns every register a unique printable name of the form
+/// %<classprefix>_<name>. Register base names may collide; collisions get a
+/// ".<id>" suffix.
+class NameTable {
+public:
+  explicit NameTable(const Loop &L) {
+    std::set<std::string> Used;
+    for (RegId Reg = 0; Reg < L.numRegs(); ++Reg) {
+      std::string Candidate = std::string("%") +
+                              regClassPrefix(L.regClass(Reg)) + "_" +
+                              L.regName(Reg);
+      if (!Used.insert(Candidate).second) {
+        Candidate += "." + std::to_string(Reg);
+        bool Inserted = Used.insert(Candidate).second;
+        assert(Inserted && "suffixed register name still collides");
+        (void)Inserted;
+      }
+      Names[Reg] = Candidate;
+    }
+  }
+
+  const std::string &name(RegId Reg) const {
+    auto It = Names.find(Reg);
+    assert(It != Names.end() && "register has no name");
+    return It->second;
+  }
+
+private:
+  std::map<RegId, std::string> Names;
+};
+
+std::string printMemRef(const MemRef &Ref) {
+  std::string Out = "@" + std::to_string(Ref.BaseSym) + "[";
+  if (Ref.Indirect)
+    Out += "indirect, ";
+  Out += "stride=" + std::to_string(Ref.Stride);
+  Out += ", offset=" + std::to_string(Ref.Offset);
+  Out += ", size=" + std::to_string(Ref.SizeBytes);
+  Out += "]";
+  return Out;
+}
+
+std::string printOneInstruction(const Instruction &Instr,
+                                const NameTable &Names) {
+  std::string Out;
+  if (Instr.Pred != NoReg)
+    Out += "(" + Names.name(Instr.Pred) + ") ";
+  if (Instr.hasDest())
+    Out += Names.name(Instr.Dest) + " = ";
+  Out += opcodeName(Instr.Op);
+
+  auto AppendOperands = [&](size_t Begin, size_t End) {
+    for (size_t I = Begin; I < End; ++I) {
+      Out += I == Begin ? " " : ", ";
+      Out += Names.name(Instr.Operands[I]);
+    }
+  };
+
+  switch (Instr.Op) {
+  case Opcode::Load:
+    Out += " " + printMemRef(Instr.Mem);
+    if (Instr.Mem.Indirect)
+      Out += " ind(" + Names.name(Instr.Operands[0]) + ")";
+    if (Instr.Paired)
+      Out += " paired";
+    break;
+  case Opcode::Store:
+    Out += " " + Names.name(Instr.Operands[0]) + ", " +
+           printMemRef(Instr.Mem);
+    if (Instr.Mem.Indirect)
+      Out += " ind(" + Names.name(Instr.Operands[1]) + ")";
+    break;
+  case Opcode::IConst:
+  case Opcode::FConst:
+    Out += " " + std::to_string(Instr.Imm);
+    break;
+  case Opcode::ExitIf:
+    AppendOperands(0, Instr.Operands.size());
+    Out += " prob=" + formatDouble(Instr.TakenProb, 6);
+    break;
+  default:
+    AppendOperands(0, Instr.Operands.size());
+    break;
+  }
+  return Out;
+}
+
+} // namespace
+
+std::string metaopt::printInstruction(const Loop &L,
+                                      const Instruction &Instr) {
+  NameTable Names(L);
+  return printOneInstruction(Instr, Names);
+}
+
+std::string metaopt::printLoop(const Loop &L) {
+  NameTable Names(L);
+  std::string Out = "loop \"" + L.name() + "\"";
+  Out += " lang=" + std::string(sourceLanguageName(L.language()));
+  Out += " nest=" + std::to_string(L.nestLevel());
+  Out += " trip=" + std::to_string(L.tripCount());
+  Out += " rtrip=" + std::to_string(L.runtimeTripCount());
+  Out += " {\n";
+  for (const PhiNode &Phi : L.phis()) {
+    Out += "  phi " + Names.name(Phi.Dest) + " = [" + Names.name(Phi.Init) +
+           ", " + Names.name(Phi.Recur) + "]\n";
+  }
+  for (const Instruction &Instr : L.body())
+    Out += "  " + printOneInstruction(Instr, Names) + "\n";
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,290 @@
+//===- ir/Verifier.cpp ----------------------------------------------------===//
+
+#include "ir/Verifier.h"
+
+#include "ir/Printer.h"
+
+#include <set>
+
+using namespace metaopt;
+
+namespace {
+
+class VerifierImpl {
+public:
+  VerifierImpl(const Loop &L, const VerifyOptions &Options)
+      : L(L), Options(Options) {}
+
+  std::vector<std::string> run() {
+    checkRegisterIds();
+    if (!Errors.empty())
+      return Errors; // Out-of-range ids make later checks unsafe.
+    checkSingleDefinitions();
+    checkPhis();
+    checkInstructions();
+    checkLoopControl();
+    return Errors;
+  }
+
+private:
+  const Loop &L;
+  const VerifyOptions &Options;
+  std::vector<std::string> Errors;
+
+  void error(const std::string &Message) { Errors.push_back(Message); }
+
+  void errorAt(size_t BodyIndex, const std::string &Message) {
+    error("instruction " + std::to_string(BodyIndex) + " (" +
+          printInstruction(L, L.body()[BodyIndex]) + "): " + Message);
+  }
+
+  bool validReg(RegId Reg) const { return Reg < L.numRegs(); }
+
+  void checkRegisterIds() {
+    auto Check = [&](RegId Reg, const std::string &What) {
+      if (Reg != NoReg && !validReg(Reg))
+        error(What + " references out-of-range register " +
+              std::to_string(Reg));
+    };
+    for (const PhiNode &Phi : L.phis()) {
+      Check(Phi.Dest, "phi dest");
+      Check(Phi.Init, "phi init");
+      Check(Phi.Recur, "phi recur");
+      if (Phi.Dest == NoReg || Phi.Init == NoReg || Phi.Recur == NoReg)
+        error("phi has an unset register");
+    }
+    for (size_t I = 0; I < L.body().size(); ++I) {
+      const Instruction &Instr = L.body()[I];
+      Check(Instr.Dest, "dest of instruction " + std::to_string(I));
+      Check(Instr.Pred, "predicate of instruction " + std::to_string(I));
+      for (RegId Operand : Instr.Operands)
+        Check(Operand, "operand of instruction " + std::to_string(I));
+    }
+  }
+
+  void checkSingleDefinitions() {
+    std::set<RegId> Defined;
+    for (const PhiNode &Phi : L.phis())
+      if (!Defined.insert(Phi.Dest).second)
+        error("register " + L.regName(Phi.Dest) + " defined more than once");
+    for (size_t I = 0; I < L.body().size(); ++I) {
+      const Instruction &Instr = L.body()[I];
+      if (Instr.hasDest() && !Defined.insert(Instr.Dest).second)
+        errorAt(I, "register " + L.regName(Instr.Dest) +
+                       " defined more than once");
+    }
+  }
+
+  void checkPhis() {
+    for (const PhiNode &Phi : L.phis()) {
+      if (Phi.Dest == NoReg || Phi.Init == NoReg || Phi.Recur == NoReg)
+        continue; // Reported already.
+      RegClass RC = L.regClass(Phi.Dest);
+      if (L.regClass(Phi.Init) != RC || L.regClass(Phi.Recur) != RC)
+        error("phi " + L.regName(Phi.Dest) + " mixes register classes");
+      if (!L.isLiveIn(Phi.Init))
+        error("phi " + L.regName(Phi.Dest) +
+              " initial value must be live-in");
+      if (Phi.Recur == Phi.Dest)
+        error("phi " + L.regName(Phi.Dest) + " recurs on itself directly");
+      // The recurrence source must be computed by the body.
+      bool DefinedInBody = false;
+      for (const Instruction &Instr : L.body())
+        if (Instr.Dest == Phi.Recur)
+          DefinedInBody = true;
+      if (!DefinedInBody && !L.isPhiDest(Phi.Recur))
+        error("phi " + L.regName(Phi.Dest) +
+              " recurrence source is not computed in the loop");
+    }
+  }
+
+  /// True when \p Reg may be read by instruction \p BodyIndex: live-in,
+  /// phi destination, or defined earlier in the body.
+  bool availableAt(RegId Reg, size_t BodyIndex) const {
+    if (L.isLiveIn(Reg) || L.isPhiDest(Reg))
+      return true;
+    for (size_t I = 0; I < BodyIndex; ++I)
+      if (L.body()[I].Dest == Reg)
+        return true;
+    return false;
+  }
+
+  void checkOperandClass(size_t I, RegId Operand, RegClass Expected) {
+    if (L.regClass(Operand) != Expected)
+      errorAt(I, "operand " + L.regName(Operand) + " has wrong class");
+  }
+
+  void checkInstructions() {
+    for (size_t I = 0; I < L.body().size(); ++I) {
+      const Instruction &Instr = L.body()[I];
+      const OpcodeInfo &Info = opcodeInfo(Instr.Op);
+
+      if (Info.HasDest != Instr.hasDest())
+        errorAt(I, Info.HasDest ? "missing destination"
+                                : "unexpected destination");
+
+      if (Instr.Pred != NoReg) {
+        if (L.regClass(Instr.Pred) != RegClass::Pred)
+          errorAt(I, "guard is not a predicate register");
+        else if (!availableAt(Instr.Pred, I))
+          errorAt(I, "guard used before definition");
+        if (Instr.isLoopControl() || Instr.Op == Opcode::ExitIf)
+          errorAt(I, "control instructions must not be predicated");
+      }
+
+      for (RegId Operand : Instr.Operands)
+        if (!availableAt(Operand, I))
+          errorAt(I, "operand " + L.regName(Operand) +
+                         " used before definition");
+
+      checkSignature(I, Instr, Info);
+    }
+  }
+
+  void checkSignature(size_t I, const Instruction &Instr,
+                      const OpcodeInfo &Info) {
+    size_t NumOperands = Instr.Operands.size();
+    switch (Instr.Op) {
+    case Opcode::Load: {
+      size_t Expected = Instr.Mem.Indirect ? 1 : 0;
+      if (NumOperands != Expected) {
+        errorAt(I, "load operand count mismatch");
+        return;
+      }
+      if (Instr.Mem.Indirect)
+        checkOperandClass(I, Instr.Operands[0], RegClass::Int);
+      if (Instr.hasDest() && L.regClass(Instr.Dest) == RegClass::Pred)
+        errorAt(I, "load destination must be int or float");
+      if (Instr.Mem.SizeBytes <= 0)
+        errorAt(I, "load size must be positive");
+      return;
+    }
+    case Opcode::Store: {
+      size_t Expected = Instr.Mem.Indirect ? 2 : 1;
+      if (NumOperands != Expected) {
+        errorAt(I, "store operand count mismatch");
+        return;
+      }
+      if (L.regClass(Instr.Operands[0]) == RegClass::Pred)
+        errorAt(I, "stored value must be int or float");
+      if (Instr.Mem.Indirect)
+        checkOperandClass(I, Instr.Operands[1], RegClass::Int);
+      if (Instr.Mem.SizeBytes <= 0)
+        errorAt(I, "store size must be positive");
+      return;
+    }
+    case Opcode::Copy: {
+      if (NumOperands != 1) {
+        errorAt(I, "copy takes exactly one operand");
+        return;
+      }
+      if (Instr.hasDest() &&
+          L.regClass(Instr.Dest) != L.regClass(Instr.Operands[0]))
+        errorAt(I, "copy register class mismatch");
+      return;
+    }
+    case Opcode::Select: {
+      if (NumOperands != 3) {
+        errorAt(I, "select takes exactly three operands");
+        return;
+      }
+      checkOperandClass(I, Instr.Operands[0], RegClass::Pred);
+      if (L.regClass(Instr.Operands[1]) != L.regClass(Instr.Operands[2]))
+        errorAt(I, "select arms have mismatched classes");
+      else if (Instr.hasDest() &&
+               L.regClass(Instr.Dest) != L.regClass(Instr.Operands[1]))
+        errorAt(I, "select destination class mismatch");
+      return;
+    }
+    case Opcode::PredSet: {
+      if (NumOperands < 1 || NumOperands > 2) {
+        errorAt(I, "predset takes one or two operands");
+        return;
+      }
+      for (RegId Operand : Instr.Operands)
+        checkOperandClass(I, Operand, RegClass::Pred);
+      return;
+    }
+    case Opcode::AddrGen: {
+      if (NumOperands < 1 || NumOperands > 2) {
+        errorAt(I, "addrgen takes one or two operands");
+        return;
+      }
+      for (RegId Operand : Instr.Operands)
+        checkOperandClass(I, Operand, RegClass::Int);
+      return;
+    }
+    case Opcode::Call: {
+      if (NumOperands > 4)
+        errorAt(I, "call takes at most four operands");
+      return;
+    }
+    case Opcode::ExitIf: {
+      if (NumOperands != 1) {
+        errorAt(I, "exit_if takes exactly one operand");
+        return;
+      }
+      checkOperandClass(I, Instr.Operands[0], RegClass::Pred);
+      if (Instr.TakenProb < 0.0 || Instr.TakenProb > 1.0)
+        errorAt(I, "exit probability out of [0,1]");
+      return;
+    }
+    default: {
+      if (Info.NumOperands >= 0 &&
+          NumOperands != static_cast<size_t>(Info.NumOperands)) {
+        errorAt(I, "operand count mismatch");
+        return;
+      }
+      for (size_t Slot = 0; Slot < NumOperands; ++Slot)
+        checkOperandClass(
+            I, Instr.Operands[Slot],
+            opcodeOperandClass(Instr.Op, static_cast<int>(Slot)));
+      if (Instr.hasDest() && L.regClass(Instr.Dest) != Info.DestClass &&
+          Instr.Op != Opcode::Select && Instr.Op != Opcode::Copy)
+        errorAt(I, "destination register class mismatch");
+      return;
+    }
+    }
+  }
+
+  void checkLoopControl() {
+    size_t NumControl = 0;
+    for (const Instruction &Instr : L.body())
+      if (Instr.isLoopControl())
+        ++NumControl;
+
+    if (!Options.RequireLoopControl) {
+      if (NumControl != 0 && NumControl != 3)
+        error("loop control tail must be complete (IvAdd, IvCmp, BackBr)");
+      if (NumControl == 0)
+        return;
+    } else if (NumControl != 3) {
+      error("missing canonical loop control tail");
+      return;
+    }
+
+    size_t N = L.body().size();
+    if (N < 3 || L.body()[N - 3].Op != Opcode::IvAdd ||
+        L.body()[N - 2].Op != Opcode::IvCmp ||
+        L.body()[N - 1].Op != Opcode::BackBr) {
+      error("loop control tail must be the final IvAdd, IvCmp, BackBr "
+            "sequence");
+      return;
+    }
+    if (L.body()[N - 2].Operands[0] != L.body()[N - 3].Dest)
+      error("IvCmp must test the incremented induction variable");
+    if (L.body()[N - 1].Operands[0] != L.body()[N - 2].Dest)
+      error("BackBr must branch on the trip test predicate");
+  }
+};
+
+} // namespace
+
+std::vector<std::string> metaopt::verifyLoop(const Loop &L,
+                                             const VerifyOptions &Options) {
+  return VerifierImpl(L, Options).run();
+}
+
+bool metaopt::isWellFormed(const Loop &L, const VerifyOptions &Options) {
+  return verifyLoop(L, Options).empty();
+}

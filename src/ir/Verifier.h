@@ -1,0 +1,43 @@
+//===- ir/Verifier.h - Loop well-formedness checks --------------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Structural verification of loops: SSA-style single definitions, ordered
+/// uses, class-correct operands, well-formed memory references and loop
+/// control. Every loop that enters the measurement or learning pipeline is
+/// expected to verify cleanly; the corpus generators and the unroller are
+/// tested to only produce verifying loops.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_IR_VERIFIER_H
+#define METAOPT_IR_VERIFIER_H
+
+#include "ir/Loop.h"
+
+#include <string>
+#include <vector>
+
+namespace metaopt {
+
+/// Options controlling strictness.
+struct VerifyOptions {
+  /// Require the canonical IvAdd/IvCmp/BackBr tail (present after
+  /// LoopBuilder::finalize and preserved by the unroller).
+  bool RequireLoopControl = true;
+};
+
+/// Returns all well-formedness violations in \p L (empty if none).
+std::vector<std::string> verifyLoop(const Loop &L,
+                                    const VerifyOptions &Options = {});
+
+/// Convenience: true when verifyLoop reports no violations.
+bool isWellFormed(const Loop &L, const VerifyOptions &Options = {});
+
+} // namespace metaopt
+
+#endif // METAOPT_IR_VERIFIER_H

@@ -1,0 +1,105 @@
+//===- linalg/Cholesky.cpp ------------------------------------------------===//
+
+#include "linalg/Cholesky.h"
+
+#include <cmath>
+
+using namespace metaopt;
+
+std::optional<Cholesky> Cholesky::factor(const Matrix &A) {
+  assert(A.rows() == A.cols() && "Cholesky requires a square matrix");
+  size_t N = A.rows();
+  Matrix L(N, N);
+  for (size_t J = 0; J < N; ++J) {
+    double Diag = A.at(J, J);
+    const double *LRowJ = L.rowPtr(J);
+    for (size_t K = 0; K < J; ++K)
+      Diag -= LRowJ[K] * LRowJ[K];
+    if (Diag <= 0.0 || !std::isfinite(Diag))
+      return std::nullopt;
+    double Pivot = std::sqrt(Diag);
+    L.at(J, J) = Pivot;
+    for (size_t I = J + 1; I < N; ++I) {
+      double Sum = A.at(I, J);
+      const double *LRowI = L.rowPtr(I);
+      for (size_t K = 0; K < J; ++K)
+        Sum -= LRowI[K] * LRowJ[K];
+      L.at(I, J) = Sum / Pivot;
+    }
+  }
+  return Cholesky(std::move(L));
+}
+
+std::vector<double> Cholesky::solve(const std::vector<double> &B) const {
+  size_t N = order();
+  assert(B.size() == N && "right-hand side size mismatch");
+  // Forward substitution: L y = b.
+  std::vector<double> Y(N);
+  for (size_t I = 0; I < N; ++I) {
+    double Sum = B[I];
+    const double *Row = Factor.rowPtr(I);
+    for (size_t K = 0; K < I; ++K)
+      Sum -= Row[K] * Y[K];
+    Y[I] = Sum / Row[I];
+  }
+  // Backward substitution: L^T x = y.
+  std::vector<double> X(N);
+  for (size_t I = N; I-- > 0;) {
+    double Sum = Y[I];
+    for (size_t K = I + 1; K < N; ++K)
+      Sum -= Factor.at(K, I) * X[K];
+    X[I] = Sum / Factor.at(I, I);
+  }
+  return X;
+}
+
+Matrix Cholesky::solve(const Matrix &B) const {
+  assert(B.rows() == order() && "right-hand side rows mismatch");
+  Matrix X(B.rows(), B.cols());
+  std::vector<double> Column(B.rows());
+  for (size_t J = 0; J < B.cols(); ++J) {
+    for (size_t I = 0; I < B.rows(); ++I)
+      Column[I] = B.at(I, J);
+    std::vector<double> Solved = solve(Column);
+    for (size_t I = 0; I < B.rows(); ++I)
+      X.at(I, J) = Solved[I];
+  }
+  return X;
+}
+
+Matrix Cholesky::inverse() const {
+  size_t N = order();
+  // First invert the lower-triangular factor in place, then form
+  // A^-1 = L^-T * L^-1. This halves the work versus N triangular solves
+  // against identity columns done naively.
+  Matrix Linv(N, N);
+  for (size_t J = 0; J < N; ++J) {
+    Linv.at(J, J) = 1.0 / Factor.at(J, J);
+    for (size_t I = J + 1; I < N; ++I) {
+      double Sum = 0.0;
+      const double *Row = Factor.rowPtr(I);
+      for (size_t K = J; K < I; ++K)
+        Sum -= Row[K] * Linv.at(K, J);
+      Linv.at(I, J) = Sum / Row[I];
+    }
+  }
+  Matrix Result(N, N);
+  for (size_t I = 0; I < N; ++I) {
+    for (size_t J = 0; J <= I; ++J) {
+      double Sum = 0.0;
+      // (L^-T L^-1)_{ij} = sum_k Linv_{ki} * Linv_{kj}, k >= max(i,j) = I.
+      for (size_t K = I; K < N; ++K)
+        Sum += Linv.at(K, I) * Linv.at(K, J);
+      Result.at(I, J) = Sum;
+      Result.at(J, I) = Sum;
+    }
+  }
+  return Result;
+}
+
+double Cholesky::logDeterminant() const {
+  double Sum = 0.0;
+  for (size_t I = 0; I < order(); ++I)
+    Sum += 2.0 * std::log(Factor.at(I, I));
+  return Sum;
+}

@@ -1,0 +1,56 @@
+//===- linalg/Cholesky.h - Cholesky factorization ---------------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cholesky factorization of symmetric positive-definite matrices, used to
+/// train the LS-SVM (the regularized kernel system (K + I/gamma) a = y) and
+/// to compute the inverse diagonal needed by the exact leave-one-out
+/// shortcut.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_LINALG_CHOLESKY_H
+#define METAOPT_LINALG_CHOLESKY_H
+
+#include "linalg/Matrix.h"
+
+#include <optional>
+#include <vector>
+
+namespace metaopt {
+
+/// Holds the lower-triangular Cholesky factor L with A = L * L^T.
+class Cholesky {
+public:
+  /// Factors the symmetric positive-definite matrix \p A. Returns
+  /// std::nullopt if A is not (numerically) positive definite.
+  static std::optional<Cholesky> factor(const Matrix &A);
+
+  /// Solves A x = b given the factorization.
+  std::vector<double> solve(const std::vector<double> &B) const;
+
+  /// Solves A X = B column-wise.
+  Matrix solve(const Matrix &B) const;
+
+  /// Returns the full inverse of A. O(n^3); used by the exact LOOCV
+  /// shortcut which needs the inverse's diagonal and rows.
+  Matrix inverse() const;
+
+  /// Returns the log-determinant of A (sum of 2*log(L_ii)).
+  double logDeterminant() const;
+
+  size_t order() const { return Factor.rows(); }
+  const Matrix &factorMatrix() const { return Factor; }
+
+private:
+  explicit Cholesky(Matrix L) : Factor(std::move(L)) {}
+  Matrix Factor;
+};
+
+} // namespace metaopt
+
+#endif // METAOPT_LINALG_CHOLESKY_H

@@ -1,0 +1,90 @@
+//===- linalg/Eigen.cpp ---------------------------------------------------===//
+
+#include "linalg/Eigen.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+using namespace metaopt;
+
+EigenDecomposition metaopt::symmetricEigen(const Matrix &A, int MaxSweeps) {
+  assert(A.rows() == A.cols() && "symmetricEigen requires a square matrix");
+  size_t N = A.rows();
+
+  // Work on a symmetrized copy to be robust to tiny asymmetries from
+  // accumulated floating point error in scatter-matrix construction.
+  Matrix M(N, N);
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = 0; J < N; ++J)
+      M.at(I, J) = 0.5 * (A.at(I, J) + A.at(J, I));
+
+  Matrix V = Matrix::identity(N);
+
+  for (int Sweep = 0; Sweep < MaxSweeps; ++Sweep) {
+    double OffDiagonal = 0.0;
+    for (size_t I = 0; I < N; ++I)
+      for (size_t J = I + 1; J < N; ++J)
+        OffDiagonal += M.at(I, J) * M.at(I, J);
+    if (OffDiagonal < 1e-24)
+      break;
+
+    for (size_t P = 0; P < N; ++P) {
+      for (size_t Q = P + 1; Q < N; ++Q) {
+        double Apq = M.at(P, Q);
+        if (std::fabs(Apq) < 1e-300)
+          continue;
+        double App = M.at(P, P);
+        double Aqq = M.at(Q, Q);
+        double Theta = (Aqq - App) / (2.0 * Apq);
+        double T = (Theta >= 0.0 ? 1.0 : -1.0) /
+                   (std::fabs(Theta) + std::sqrt(Theta * Theta + 1.0));
+        double C = 1.0 / std::sqrt(T * T + 1.0);
+        double S = T * C;
+
+        // Apply the rotation to rows/columns P and Q of M.
+        for (size_t K = 0; K < N; ++K) {
+          double Mkp = M.at(K, P);
+          double Mkq = M.at(K, Q);
+          M.at(K, P) = C * Mkp - S * Mkq;
+          M.at(K, Q) = S * Mkp + C * Mkq;
+        }
+        for (size_t K = 0; K < N; ++K) {
+          double Mpk = M.at(P, K);
+          double Mqk = M.at(Q, K);
+          M.at(P, K) = C * Mpk - S * Mqk;
+          M.at(Q, K) = S * Mpk + C * Mqk;
+        }
+        // Accumulate the rotation into the eigenvector matrix.
+        for (size_t K = 0; K < N; ++K) {
+          double Vkp = V.at(K, P);
+          double Vkq = V.at(K, Q);
+          V.at(K, P) = C * Vkp - S * Vkq;
+          V.at(K, Q) = S * Vkp + C * Vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue.
+  std::vector<size_t> Order(N);
+  std::iota(Order.begin(), Order.end(), 0);
+  std::vector<double> Diagonal(N);
+  for (size_t I = 0; I < N; ++I)
+    Diagonal[I] = M.at(I, I);
+  std::sort(Order.begin(), Order.end(), [&](size_t Lhs, size_t Rhs) {
+    if (Diagonal[Lhs] != Diagonal[Rhs])
+      return Diagonal[Lhs] > Diagonal[Rhs];
+    return Lhs < Rhs; // Deterministic tie-break.
+  });
+
+  EigenDecomposition Result;
+  Result.Values.resize(N);
+  Result.Vectors = Matrix(N, N);
+  for (size_t Col = 0; Col < N; ++Col) {
+    Result.Values[Col] = Diagonal[Order[Col]];
+    for (size_t Row = 0; Row < N; ++Row)
+      Result.Vectors.at(Row, Col) = V.at(Row, Order[Col]);
+  }
+  return Result;
+}

@@ -1,0 +1,38 @@
+//===- linalg/Eigen.h - Symmetric eigendecomposition ------------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Cyclic Jacobi eigendecomposition for symmetric matrices. Used by the
+/// linear discriminant analysis projection that reproduces the 2-D scatter
+/// plots of Figures 1 and 2.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_LINALG_EIGEN_H
+#define METAOPT_LINALG_EIGEN_H
+
+#include "linalg/Matrix.h"
+
+#include <vector>
+
+namespace metaopt {
+
+/// Eigendecomposition of a symmetric matrix.
+struct EigenDecomposition {
+  /// Eigenvalues sorted in descending order.
+  std::vector<double> Values;
+  /// Eigenvectors as matrix columns, in the same order as Values.
+  Matrix Vectors;
+};
+
+/// Computes all eigenpairs of the symmetric matrix \p A with the cyclic
+/// Jacobi method. Asymmetry within a small tolerance is symmetrized first.
+EigenDecomposition symmetricEigen(const Matrix &A, int MaxSweeps = 64);
+
+} // namespace metaopt
+
+#endif // METAOPT_LINALG_EIGEN_H

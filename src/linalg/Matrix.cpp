@@ -1,0 +1,100 @@
+//===- linalg/Matrix.cpp --------------------------------------------------===//
+
+#include "linalg/Matrix.h"
+
+#include <cmath>
+
+using namespace metaopt;
+
+Matrix Matrix::identity(size_t N) {
+  Matrix Result(N, N);
+  for (size_t I = 0; I < N; ++I)
+    Result.at(I, I) = 1.0;
+  return Result;
+}
+
+Matrix Matrix::multiply(const Matrix &Other) const {
+  assert(NumCols == Other.NumRows && "dimension mismatch in multiply");
+  Matrix Result(NumRows, Other.NumCols);
+  for (size_t I = 0; I < NumRows; ++I) {
+    for (size_t K = 0; K < NumCols; ++K) {
+      double Scale = at(I, K);
+      if (Scale == 0.0)
+        continue;
+      const double *OtherRow = Other.rowPtr(K);
+      double *OutRow = Result.rowPtr(I);
+      for (size_t J = 0; J < Other.NumCols; ++J)
+        OutRow[J] += Scale * OtherRow[J];
+    }
+  }
+  return Result;
+}
+
+Matrix Matrix::transpose() const {
+  Matrix Result(NumCols, NumRows);
+  for (size_t I = 0; I < NumRows; ++I)
+    for (size_t J = 0; J < NumCols; ++J)
+      Result.at(J, I) = at(I, J);
+  return Result;
+}
+
+std::vector<double> Matrix::multiply(const std::vector<double> &V) const {
+  assert(V.size() == NumCols && "dimension mismatch in matrix-vector");
+  std::vector<double> Result(NumRows, 0.0);
+  for (size_t I = 0; I < NumRows; ++I) {
+    const double *Row = rowPtr(I);
+    double Sum = 0.0;
+    for (size_t J = 0; J < NumCols; ++J)
+      Sum += Row[J] * V[J];
+    Result[I] = Sum;
+  }
+  return Result;
+}
+
+void Matrix::addToDiagonal(double Value) {
+  assert(NumRows == NumCols && "addToDiagonal requires a square matrix");
+  for (size_t I = 0; I < NumRows; ++I)
+    at(I, I) += Value;
+}
+
+double Matrix::distanceFrom(const Matrix &Other) const {
+  assert(NumRows == Other.NumRows && NumCols == Other.NumCols &&
+         "dimension mismatch in distanceFrom");
+  double Sum = 0.0;
+  for (size_t I = 0; I < Data.size(); ++I) {
+    double Diff = Data[I] - Other.Data[I];
+    Sum += Diff * Diff;
+  }
+  return std::sqrt(Sum);
+}
+
+double metaopt::dotProduct(const std::vector<double> &A,
+                           const std::vector<double> &B) {
+  assert(A.size() == B.size() && "dotProduct size mismatch");
+  double Sum = 0.0;
+  for (size_t I = 0; I < A.size(); ++I)
+    Sum += A[I] * B[I];
+  return Sum;
+}
+
+double metaopt::squaredDistance(const std::vector<double> &A,
+                                const std::vector<double> &B) {
+  assert(A.size() == B.size() && "squaredDistance size mismatch");
+  double Sum = 0.0;
+  for (size_t I = 0; I < A.size(); ++I) {
+    double Diff = A[I] - B[I];
+    Sum += Diff * Diff;
+  }
+  return Sum;
+}
+
+double metaopt::vectorNorm(const std::vector<double> &A) {
+  return std::sqrt(dotProduct(A, A));
+}
+
+void metaopt::addScaled(std::vector<double> &A, double Scale,
+                        const std::vector<double> &B) {
+  assert(A.size() == B.size() && "addScaled size mismatch");
+  for (size_t I = 0; I < A.size(); ++I)
+    A[I] += Scale * B[I];
+}

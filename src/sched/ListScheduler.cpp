@@ -1,0 +1,229 @@
+//===- sched/ListScheduler.cpp --------------------------------------------===//
+
+#include "sched/ListScheduler.h"
+
+#include <algorithm>
+#include <cassert>
+
+using namespace metaopt;
+
+namespace {
+
+/// Per-node latencies as the code generator sees them. Two -O3 effects
+/// soften raw latencies inside a steady-state loop iteration:
+///  - direct (affine-address) loads are pipelined across the backedge by
+///    loop rotation: the address of the next iteration's load is known,
+///    so its latency is hidden and consumers see it as ready quickly;
+///    indirect loads and loads fed by a carried store cannot be hoisted;
+///  - a store's data operand drains through the store buffer, so the
+///    store issues without waiting out the producer's full latency.
+std::vector<int> effectiveLatencies(const Loop &L,
+                                    const DependenceGraph &DG,
+                                    const MachineModel &Machine) {
+  size_t N = DG.numNodes();
+  std::vector<int> Latency(N);
+  bool SawExit = false;
+  for (uint32_t Node = 0; Node < N; ++Node) {
+    const Instruction &Instr = L.body()[Node];
+    Latency[Node] = Machine.latency(Instr.Op);
+    if (Instr.Op == Opcode::ExitIf)
+      SawExit = true;
+    if (!Instr.isLoad() || Instr.Mem.Indirect)
+      continue;
+    // Hoisting a load across an earlier (replicated) early exit would be
+    // control speculation with recovery cost; the code generator declines,
+    // so such loads keep their full latency. This is one of the paper's
+    // listed drawbacks of unrolling loops with internal control flow.
+    if (SawExit)
+      continue;
+    bool FedByCarriedStore = false;
+    for (uint32_t EdgeIdx : DG.predecessors(Node)) {
+      const DepEdge &Edge = DG.edge(EdgeIdx);
+      if (Edge.Kind == DepKind::Memory && Edge.Distance >= 1)
+        FedByCarriedStore = true;
+    }
+    if (!FedByCarriedStore)
+      Latency[Node] = 1; // Rotated/pipelined load.
+  }
+  return Latency;
+}
+
+/// Scheduling delay of an edge: data dependences wait out the producer's
+/// effective latency (one cycle into a store's data operand — the store
+/// buffer absorbs the rest), memory ordering needs one cycle
+/// (store-to-load forwarding), control ordering allows same-cycle issue.
+int machineDelay(const DepEdge &Edge, const Loop &L,
+                 const std::vector<int> &EffectiveLatency) {
+  switch (Edge.Kind) {
+  case DepKind::Data: {
+    const Instruction &Dst = L.body()[Edge.Dst];
+    if (Dst.isStore() && !Dst.Operands.empty() &&
+        L.body()[Edge.Src].Dest == Dst.Operands[0])
+      return 1;
+    return EffectiveLatency[Edge.Src];
+  }
+  case DepKind::Memory:
+    return 1;
+  case DepKind::Control:
+    return 0;
+  }
+  return 0;
+}
+
+/// Per-cycle resource bookkeeping.
+class ResourceTable {
+public:
+  explicit ResourceTable(const MachineModel &Machine) : Machine(Machine) {}
+
+  /// Tries to issue \p Instr in the current cycle; returns false when
+  /// the required unit pool or the issue width is exhausted.
+  bool tryIssue(const Instruction &Instr) {
+    // Folded loop control and paired wide-load halves are free.
+    if (!occupiesIssueSlot(Instr))
+      return true;
+    Opcode Op = Instr.Op;
+    if (Issued >= Machine.issueWidth())
+      return false;
+    UnitKind Primary = Machine.unitFor(Op);
+    if (take(Primary)) {
+      ++Issued;
+      return true;
+    }
+    // A-type integer operations may fall over to a free memory slot.
+    if (Primary == UnitKind::Int && Machine.canUseMemUnit(Op) &&
+        take(UnitKind::Mem)) {
+      ++Issued;
+      return true;
+    }
+    return false;
+  }
+
+  void nextCycle() {
+    Used.fill(0);
+    Issued = 0;
+  }
+
+private:
+  bool take(UnitKind Kind) {
+    unsigned Index = static_cast<unsigned>(Kind);
+    if (Used[Index] >= Machine.unitCount(Kind))
+      return false;
+    ++Used[Index];
+    return true;
+  }
+
+  const MachineModel &Machine;
+  std::array<int, NumUnitKinds> Used = {};
+  int Issued = 0;
+};
+
+} // namespace
+
+Schedule metaopt::listSchedule(const Loop &L, const DependenceGraph &DG,
+                               const MachineModel &Machine) {
+  size_t N = DG.numNodes();
+  Schedule Result;
+  Result.CycleOf.assign(N, 0);
+  if (N == 0)
+    return Result;
+
+  // An edge is enforced unless it is a speculatable control edge (pure
+  // computation hoisted above a potential early exit). The backedge branch
+  // is nevertheless kept last via its incoming speculatable edges being
+  // re-enforced: the loop cannot branch back before its work is issued.
+  auto Enforced = [&](const DepEdge &Edge) {
+    if (Edge.Distance != 0)
+      return false; // Cross-iteration constraints are the simulator's job.
+    if (!Edge.Speculatable)
+      return true;
+    return L.body()[Edge.Dst].Op == Opcode::BackBr;
+  };
+
+  std::vector<int> EffectiveLatency = effectiveLatencies(L, DG, Machine);
+
+  // Priority: longest latency-weighted path to any sink over enforced
+  // edges ("height"). Computed backwards in body order (a reverse
+  // topological order of the distance-0 subgraph).
+  std::vector<int> Height(N, 0);
+  for (uint32_t Node = static_cast<uint32_t>(N); Node-- > 0;) {
+    Height[Node] = EffectiveLatency[Node];
+    for (uint32_t EdgeIdx : DG.successors(Node)) {
+      const DepEdge &Edge = DG.edge(EdgeIdx);
+      if (!Enforced(Edge))
+        continue;
+      int Delay = machineDelay(Edge, L, EffectiveLatency);
+      Height[Node] = std::max(Height[Node], Delay + Height[Edge.Dst]);
+    }
+  }
+
+  // Remaining enforced predecessor counts and earliest-issue constraints.
+  std::vector<int> PredsLeft(N, 0);
+  for (const DepEdge &Edge : DG.edges())
+    if (Enforced(Edge))
+      ++PredsLeft[Edge.Dst];
+
+  std::vector<uint32_t> EarliestCycle(N, 0);
+  std::vector<bool> Done(N, false);
+  std::vector<uint32_t> Ready;
+  for (uint32_t Node = 0; Node < N; ++Node)
+    if (PredsLeft[Node] == 0)
+      Ready.push_back(Node);
+
+  ResourceTable Resources(Machine);
+  size_t Scheduled = 0;
+  uint32_t Cycle = 0;
+  // Guard against livelock; any body schedules in far fewer cycles.
+  uint32_t CycleCap = static_cast<uint32_t>(64 * N + 1024);
+
+  while (Scheduled < N && Cycle < CycleCap) {
+    // Candidates ready this cycle, highest priority first.
+    std::vector<uint32_t> Candidates;
+    for (uint32_t Node : Ready)
+      if (!Done[Node] && EarliestCycle[Node] <= Cycle)
+        Candidates.push_back(Node);
+    std::sort(Candidates.begin(), Candidates.end(),
+              [&](uint32_t A, uint32_t B) {
+                if (Height[A] != Height[B])
+                  return Height[A] > Height[B];
+                return A < B;
+              });
+
+    for (uint32_t Node : Candidates) {
+      if (!Resources.tryIssue(L.body()[Node]))
+        continue;
+      Done[Node] = true;
+      Result.CycleOf[Node] = Cycle;
+      ++Scheduled;
+      for (uint32_t EdgeIdx : DG.successors(Node)) {
+        const DepEdge &Edge = DG.edge(EdgeIdx);
+        if (!Enforced(Edge))
+          continue;
+        uint32_t ReadyAt =
+            Cycle +
+            static_cast<uint32_t>(machineDelay(Edge, L, EffectiveLatency));
+        EarliestCycle[Edge.Dst] =
+            std::max(EarliestCycle[Edge.Dst], ReadyAt);
+        if (--PredsLeft[Edge.Dst] == 0)
+          Ready.push_back(Edge.Dst);
+      }
+    }
+    Resources.nextCycle();
+    ++Cycle;
+  }
+  assert(Scheduled == N && "list scheduler failed to place all operations");
+
+  Result.Order.resize(N);
+  for (uint32_t Node = 0; Node < N; ++Node)
+    Result.Order[Node] = Node;
+  std::sort(Result.Order.begin(), Result.Order.end(),
+            [&](uint32_t A, uint32_t B) {
+              if (Result.CycleOf[A] != Result.CycleOf[B])
+                return Result.CycleOf[A] < Result.CycleOf[B];
+              return A < B;
+            });
+  uint32_t LastCycle = 0;
+  for (uint32_t Node = 0; Node < N; ++Node)
+    LastCycle = std::max(LastCycle, Result.CycleOf[Node]);
+  Result.Length = LastCycle + 1;
+  return Result;
+}

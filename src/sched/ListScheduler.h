@@ -1,0 +1,35 @@
+//===- sched/ListScheduler.h - Cycle-driven list scheduling -----*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A classic cycle-driven list scheduler for the acyclic (intra-iteration)
+/// dependence graph, targeting the EPIC machine model: per-cycle unit
+/// pools, issue-width limit, critical-path priority, and speculation of
+/// pure operations above early exits (speculatable control edges are
+/// ignored, mirroring an aggressively speculating compiler). This is the
+/// code generator used when software pipelining is disabled.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_SCHED_LISTSCHEDULER_H
+#define METAOPT_SCHED_LISTSCHEDULER_H
+
+#include "analysis/DependenceGraph.h"
+#include "ir/Loop.h"
+#include "machine/Machine.h"
+#include "sched/Schedule.h"
+
+namespace metaopt {
+
+/// Schedules the body of \p L onto \p Machine. The dependence graph must
+/// belong to \p L.
+Schedule listSchedule(const Loop &L, const DependenceGraph &DG,
+                      const MachineModel &Machine);
+
+} // namespace metaopt
+
+#endif // METAOPT_SCHED_LISTSCHEDULER_H

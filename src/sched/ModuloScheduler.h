@@ -1,0 +1,53 @@
+//===- sched/ModuloScheduler.h - Software pipelining model ------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The software pipelining (modulo scheduling) model used for the paper's
+/// "SWP enabled" experiments (Figure 5). The initiation interval is derived
+/// analytically as II = max(ceil(ResMII), ceil(RecMII)) followed by
+/// register-pressure-driven II bumps (the average number of simultaneously
+/// live values in a modulo schedule is the sum of value lifetimes divided
+/// by II); residual overflow becomes spill code. Loops containing early
+/// exits or calls are rejected, as in production pipeliners, and fall back
+/// to the list scheduler.
+///
+/// Unrolling interacts with this model exactly as the paper describes:
+/// unrolling by U multiplies the resource work per (unrolled) iteration,
+/// letting the pipeline reach a fractional II per original iteration,
+/// while raising register pressure.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_SCHED_MODULOSCHEDULER_H
+#define METAOPT_SCHED_MODULOSCHEDULER_H
+
+#include "analysis/DependenceGraph.h"
+#include "ir/Loop.h"
+#include "machine/Machine.h"
+#include "sched/Schedule.h"
+
+namespace metaopt {
+
+/// Register budget a modulo schedule must fit into; defaults to the whole
+/// machine file, but the program context usually grants a loop less.
+struct RegBudget {
+  int IntRegs = 1 << 30;
+  int FpRegs = 1 << 30;
+};
+
+/// Attempts to software pipeline \p L on \p Machine.
+SwpResult moduloSchedule(const Loop &L, const DependenceGraph &DG,
+                         const MachineModel &Machine,
+                         const RegBudget &Budget = {});
+
+/// Returns the resource-constrained MII of \p L's body on \p Machine,
+/// accounting for A-type operations' ability to use either I or M slots.
+double resourceMIIForLoop(const Loop &L, const MachineModel &Machine);
+
+} // namespace metaopt
+
+#endif // METAOPT_SCHED_MODULOSCHEDULER_H

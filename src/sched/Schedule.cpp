@@ -1,0 +1,5 @@
+//===- sched/Schedule.cpp -------------------------------------------------===//
+// Schedule and SwpResult are plain aggregates; this file anchors the
+// translation unit.
+
+#include "sched/Schedule.h"

@@ -1,0 +1,41 @@
+//===- sched/SchedulePrinter.h - Human-readable schedules -------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Renders schedules as cycle-by-cycle issue tables — what a compiler
+/// engineer reads when judging whether an unroll factor paid off. Used by
+/// the compiler_driver example (--show-schedule) and by diagnostics in
+/// tests.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_SCHED_SCHEDULEPRINTER_H
+#define METAOPT_SCHED_SCHEDULEPRINTER_H
+
+#include "ir/Loop.h"
+#include "machine/Machine.h"
+#include "sched/IterativeModulo.h"
+#include "sched/Schedule.h"
+
+#include <string>
+
+namespace metaopt {
+
+/// Renders a list schedule: one line per cycle, the instructions issued
+/// in it, and their unit bindings.
+std::string printSchedule(const Loop &L, const Schedule &Sched,
+                          const MachineModel &Machine);
+
+/// Renders a modulo schedule kernel: II lines (slots), each showing the
+/// operations resident in that slot with their stage numbers.
+std::string printModuloSchedule(const Loop &L,
+                                const ModuloScheduleResult &Sched,
+                                const MachineModel &Machine);
+
+} // namespace metaopt
+
+#endif // METAOPT_SCHED_SCHEDULEPRINTER_H

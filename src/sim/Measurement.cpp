@@ -1,0 +1,37 @@
+//===- sim/Measurement.cpp ------------------------------------------------===//
+
+#include "sim/Measurement.h"
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+
+using namespace metaopt;
+
+double metaopt::measureOnce(double TrueCycles,
+                            const MeasurementProtocol &Protocol,
+                            Rng &Generator) {
+  double Measured = TrueCycles + Protocol.InstrumentationCycles;
+  Measured *= 1.0 + Generator.nextGaussian(0.0, Protocol.NoiseStdDev);
+  if (Generator.nextBool(Protocol.OutlierProb)) {
+    // A code or data placement hiccup (e.g. the loop straddling an i-cache
+    // line boundary this run) inflates the measurement.
+    Measured *= 1.0 + Generator.nextDouble() * Protocol.OutlierScale;
+  }
+  return std::max(Measured, 0.0);
+}
+
+double metaopt::measureMedian(double TrueCycles,
+                              const MeasurementProtocol &Protocol,
+                              Rng &Generator) {
+  std::vector<double> Trials;
+  Trials.reserve(Protocol.Trials);
+  for (int Trial = 0; Trial < Protocol.Trials; ++Trial)
+    Trials.push_back(measureOnce(TrueCycles, Protocol, Generator));
+  return median(std::move(Trials));
+}
+
+bool metaopt::isReliablyMeasurable(double Cycles,
+                                   const MeasurementProtocol &Protocol) {
+  return Cycles >= Protocol.MinReliableCycles;
+}

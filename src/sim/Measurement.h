@@ -1,0 +1,51 @@
+//===- sim/Measurement.h - Instrumented measurement protocol ----*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Reproduces the paper's loop instrumentation protocol (Section 4.4): the
+/// cycle counter is read around each loop execution, the measurement is
+/// noisy (multiplicative jitter plus occasional cache-boundary outliers),
+/// each configuration is "run" 30 times, and the median is kept. Loops
+/// that run for fewer than 50,000 cycles are considered too noisy to label.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_SIM_MEASUREMENT_H
+#define METAOPT_SIM_MEASUREMENT_H
+
+#include "support/Rng.h"
+
+#include <vector>
+
+namespace metaopt {
+
+/// Knobs of the measurement protocol.
+struct MeasurementProtocol {
+  int Trials = 30;            ///< Paper: "We run each benchmark 30 times".
+  double NoiseStdDev = 0.008; ///< Multiplicative Gaussian measurement noise.
+  double OutlierProb = 0.02;  ///< Chance of a cache-boundary outlier trial.
+  double OutlierScale = 0.08; ///< Outlier magnitude (fraction of runtime).
+  double InstrumentationCycles = 8.0; ///< Fixed per-measurement overhead of
+                                      ///< the inserted timer instructions.
+  double MinReliableCycles = 50000.0; ///< Paper's 50k-cycle noise floor.
+};
+
+/// Draws one noisy measurement of a loop whose true cost is \p TrueCycles.
+double measureOnce(double TrueCycles, const MeasurementProtocol &Protocol,
+                   Rng &Generator);
+
+/// Runs the protocol: Trials noisy measurements, median kept.
+double measureMedian(double TrueCycles, const MeasurementProtocol &Protocol,
+                     Rng &Generator);
+
+/// True when the measured runtime clears the paper's 50k-cycle floor.
+bool isReliablyMeasurable(double Cycles,
+                          const MeasurementProtocol &Protocol);
+
+} // namespace metaopt
+
+#endif // METAOPT_SIM_MEASUREMENT_H

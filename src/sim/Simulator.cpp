@@ -1,0 +1,234 @@
+//===- sim/Simulator.cpp --------------------------------------------------===//
+
+#include "sim/Simulator.h"
+
+#include "analysis/DependenceGraph.h"
+#include "analysis/Liveness.h"
+#include "sched/ListScheduler.h"
+#include "sched/ModuloScheduler.h"
+#include "transform/MemoryOpt.h"
+#include "transform/Unroller.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace metaopt;
+
+namespace {
+
+/// Code-layout tax of non-power-of-two unroll factors: bundle padding,
+/// modulo-variable-expansion copies, and remainder-loop structure all tile
+/// evenly only for power-of-two bodies (the paper observes that "non-power
+/// of two unroll factors are rarely optimal"). Charged per unrolled
+/// iteration; bench/ablation_align_tax quantifies its effect.
+double alignmentTax(unsigned Factor) {
+  bool PowerOfTwo = (Factor & (Factor - 1)) == 0;
+  return PowerOfTwo ? 0.0 : 1.4;
+}
+
+/// Cost of one steady-state execution of a list-scheduled body, including
+/// cross-iteration recurrence stalls: consecutive iterations issue
+/// back-to-back, but a loop-carried dependence u -> v (distance d) forces
+/// iteration spacing of at least (cycle(u) + latency(u) - cycle(v)) / d.
+double listScheduledIterationCycles(const Loop &L, const DependenceGraph &DG,
+                                    const Schedule &Sched,
+                                    const MachineModel &Machine) {
+  double Interval = Sched.Length;
+  for (const DepEdge &Edge : DG.edges()) {
+    if (Edge.Distance == 0)
+      continue;
+    int Delay = 0;
+    switch (Edge.Kind) {
+    case DepKind::Data:
+      Delay = Machine.latency(L.body()[Edge.Src].Op);
+      break;
+    case DepKind::Memory:
+      Delay = 1;
+      break;
+    case DepKind::Control:
+      // Serialization across iterations (calls) waits out the operation.
+      Delay = Machine.latency(L.body()[Edge.Src].Op);
+      break;
+    }
+    double Needed =
+        (static_cast<double>(Sched.CycleOf[Edge.Src]) + Delay -
+         Sched.CycleOf[Edge.Dst]) /
+        Edge.Distance;
+    Interval = std::max(Interval, Needed);
+  }
+  return Interval;
+}
+
+/// Per-iteration penalty for a body whose code no longer fits in the
+/// loop's effective share of the instruction cache.
+double icachePenaltyPerIteration(int CodeBytes, const MachineModel &Machine,
+                                 const SimContext &Ctx) {
+  int Effective = std::min(Ctx.EffectiveIcacheBytes,
+                           Machine.config().L1ICapacityBytes);
+  if (CodeBytes <= Effective)
+    return 0.0;
+  int OverflowLines = (CodeBytes - Effective +
+                       Machine.config().L1ILineBytes - 1) /
+                      Machine.config().L1ILineBytes;
+  return static_cast<double>(OverflowLines) *
+         Machine.config().L1IMissCycles;
+}
+
+/// Expected visible d-cache stall cycles per body execution. The second
+/// half of a merged wide load shares its partner's cache access.
+double dcacheStallPerIteration(const Loop &L, const SimContext &Ctx) {
+  unsigned Loads = 0;
+  for (const Instruction &Instr : L.body())
+    if (Instr.isLoad() && !Instr.Paired)
+      ++Loads;
+  return Loads * Ctx.DcacheMissRate * Ctx.DcacheMissCycles *
+         Ctx.DcacheVisibleFraction;
+}
+
+/// Expected mispredict cost per body execution from replicated early
+/// exits: the rare taken exit flushes the pipe, and every replicated
+/// side-exit branch also occupies branch-predictor capacity that the rest
+/// of the program wants (a fixed per-branch tax).
+double exitPenaltyPerIteration(const Loop &L, const MachineModel &Machine) {
+  double Probability = 0.0;
+  unsigned Exits = 0;
+  for (const Instruction &Instr : L.body()) {
+    if (Instr.Op == Opcode::ExitIf) {
+      Probability += Instr.TakenProb;
+      ++Exits;
+    }
+  }
+  return Probability * Machine.config().MispredictPenalty + 0.15 * Exits;
+}
+
+/// Spill pairs needed once the scheduled body's live values exceed the
+/// register budget (machine file capped by the loop's program context).
+unsigned spillPairs(const Loop &L, const Schedule &Sched,
+                    const MachineModel &Machine, const SimContext &Ctx) {
+  LivenessInfo Live = analyzeLiveness(L, Sched.Order);
+  unsigned IntBudget = static_cast<unsigned>(
+      std::min(Machine.config().IntRegs, Ctx.IntRegBudget));
+  unsigned FpBudget = static_cast<unsigned>(
+      std::min(Machine.config().FloatRegs, Ctx.FpRegBudget));
+  unsigned Spills = 0;
+  if (Live.MaxLiveInt > IntBudget)
+    Spills += Live.MaxLiveInt - IntBudget;
+  if (Live.MaxLiveFloat > FpBudget)
+    Spills += Live.MaxLiveFloat - FpBudget;
+  return Spills;
+}
+
+/// Full cost of executing \p Iterations repetitions of \p L's body with the
+/// list-scheduling pipeline (no SWP). Returns per-iteration cycles too.
+struct BodyCost {
+  double PerIteration = 0.0;
+  unsigned Spills = 0;
+  uint32_t Length = 0;
+  int CodeBytes = 0;
+};
+
+BodyCost listScheduledBodyCost(const Loop &L, const MachineModel &Machine,
+                               const SimContext &Ctx) {
+  DependenceGraph DG(L);
+  Schedule Sched = listSchedule(L, DG, Machine);
+  BodyCost Cost;
+  Cost.Length = Sched.Length;
+  Cost.Spills = spillPairs(L, Sched, Machine, Ctx);
+  Cost.CodeBytes = Machine.codeBytes(
+      static_cast<int>(L.body().size() + 2 * Cost.Spills));
+  Cost.PerIteration =
+      listScheduledIterationCycles(L, DG, Sched, Machine) +
+      Cost.Spills * Machine.config().SpillCycles +
+      icachePenaltyPerIteration(Cost.CodeBytes, Machine, Ctx) +
+      dcacheStallPerIteration(L, Ctx) +
+      exitPenaltyPerIteration(L, Machine);
+  return Cost;
+}
+
+} // namespace
+
+SimResult metaopt::simulateLoop(const Loop &L, unsigned Factor,
+                                const MachineModel &Machine,
+                                const SimContext &Ctx, bool EnableSwp) {
+  assert(Factor >= 1 && Factor <= MaxUnrollFactor &&
+         "unroll factor out of range");
+  int64_t Trip = L.runtimeTripCount();
+  assert(Trip >= 0 && "loops need a concrete runtime trip count to run");
+
+  UnrolledTripInfo TripInfo = unrolledTripInfo(Trip, Factor);
+  Loop Unrolled = unrollLoop(L, Factor);
+  // The memory cleanups unrolling enables (Section 3 of the paper):
+  // store-to-load forwarding, redundant load elimination, wide-load
+  // pairing across the copies.
+  optimizeMemory(Unrolled);
+
+  SimResult Result;
+  double MainCycles = 0.0;
+
+  bool Pipelined = false;
+  if (EnableSwp) {
+    DependenceGraph DG(Unrolled);
+    RegBudget Budget{Ctx.IntRegBudget, Ctx.FpRegBudget};
+    SwpResult Swp = moduloSchedule(Unrolled, DG, Machine, Budget);
+    if (Swp.Pipelined) {
+      Pipelined = true;
+      Result.UsedSwp = true;
+      Result.II = Swp.II;
+      Result.SpillPairs = Swp.SpillsPerIteration;
+      Result.CodeBytes = Machine.codeBytes(static_cast<int>(
+          Unrolled.body().size() + 2 * Swp.SpillsPerIteration));
+      double PerIteration =
+          Swp.II + Swp.SpillsPerIteration * Machine.config().SpillCycles +
+          icachePenaltyPerIteration(Result.CodeBytes, Machine, Ctx) +
+          dcacheStallPerIteration(Unrolled, Ctx) + alignmentTax(Factor);
+      MainCycles = PerIteration * TripInfo.MainIterations +
+                   static_cast<double>(Swp.StageCount - 1) * Swp.II * 2.0;
+      Result.CyclesPerIteration = PerIteration / Factor;
+    }
+  }
+
+  if (!Pipelined) {
+    BodyCost Cost = listScheduledBodyCost(Unrolled, Machine, Ctx);
+    Result.SpillPairs = Cost.Spills;
+    Result.ScheduleLength = Cost.Length;
+    Result.CodeBytes = Cost.CodeBytes;
+    double PerIteration = Cost.PerIteration + alignmentTax(Factor);
+    MainCycles = PerIteration * TripInfo.MainIterations;
+    Result.CyclesPerIteration = PerIteration / Factor;
+  }
+
+  // Epilogue: the N mod U leftover iterations run the original body (never
+  // software pipelined - it is short by construction). Entering it costs a
+  // mispredicted backedge plus setup, which is what makes factors that
+  // divide the trip count preferable.
+  double EpilogueCycles = 0.0;
+  if (TripInfo.EpilogueIterations > 0) {
+    Loop EpilogueLoop = L;
+    optimizeMemory(EpilogueLoop);
+    BodyCost Epilogue = listScheduledBodyCost(EpilogueLoop, Machine, Ctx);
+    EpilogueCycles = Epilogue.PerIteration * TripInfo.EpilogueIterations +
+                     Machine.config().MispredictPenalty + 2.0;
+  }
+
+  // Fixed overheads: loop setup, plus a trip-count check and a mispredict
+  // risk when unrolling a loop whose trip count is unknown at compile time
+  // (the runtime must select between the unrolled and rolled versions).
+  double Overhead = 10.0;
+  if (Factor > 1 && !L.hasKnownTripCount())
+    Overhead += 10.0 + Machine.config().MispredictPenalty;
+  // Final exit mispredicts once per execution.
+  Overhead += Machine.config().MispredictPenalty;
+  // Cold-entry refill: each entry touches the loop's code, and part of it
+  // was evicted since the last entry (more of it the smaller this loop's
+  // effective cache share). Code expansion multiplies this cost, which is
+  // what makes unrolling short-trip, frequently re-entered loops a loss.
+  double ColdFraction = std::clamp(
+      64.0 / std::max(1, Ctx.EffectiveIcacheBytes), 0.01, 0.5);
+  Overhead += static_cast<double>(Result.CodeBytes) /
+              Machine.config().L1ILineBytes *
+              Machine.config().L1IMissCycles * ColdFraction;
+
+  Result.Cycles = MainCycles + EpilogueCycles + Overhead;
+  return Result;
+}

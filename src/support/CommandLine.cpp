@@ -1,0 +1,57 @@
+//===- support/CommandLine.cpp --------------------------------------------===//
+
+#include "support/CommandLine.h"
+
+#include "support/StringUtils.h"
+
+using namespace metaopt;
+
+CommandLine::CommandLine(int Argc, const char *const *Argv) {
+  if (Argc > 0)
+    ProgramName = Argv[0];
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.size() < 3 || Arg.substr(0, 2) != "--") {
+      Positional.push_back(Arg);
+      continue;
+    }
+    // Only "--key=value" carries a value; a bare "--flag" is boolean.
+    // ("--key value" is deliberately unsupported: it is ambiguous with a
+    // following positional argument, e.g. "--orc file.loop".)
+    std::string Body = Arg.substr(2);
+    size_t Eq = Body.find('=');
+    if (Eq != std::string::npos) {
+      Options[Body.substr(0, Eq)] = Body.substr(Eq + 1);
+      continue;
+    }
+    Options[Body] = "";
+  }
+}
+
+bool CommandLine::has(const std::string &Key) const {
+  return Options.count(Key) != 0;
+}
+
+std::string CommandLine::getString(const std::string &Key,
+                                   const std::string &Default) const {
+  auto It = Options.find(Key);
+  return It == Options.end() ? Default : It->second;
+}
+
+int64_t CommandLine::getInt(const std::string &Key, int64_t Default) const {
+  auto It = Options.find(Key);
+  if (It == Options.end())
+    return Default;
+  if (auto Value = parseInt(It->second))
+    return *Value;
+  return Default;
+}
+
+double CommandLine::getDouble(const std::string &Key, double Default) const {
+  auto It = Options.find(Key);
+  if (It == Options.end())
+    return Default;
+  if (auto Value = parseDouble(It->second))
+    return *Value;
+  return Default;
+}

@@ -1,0 +1,58 @@
+//===- support/CommandLine.h - Tiny flag parser -----------------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deliberately small command-line flag parser for the example programs
+/// and benchmark harnesses (--flag and --key=value; "--key value" is
+/// deliberately not supported - it is ambiguous with positionals).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_SUPPORT_COMMANDLINE_H
+#define METAOPT_SUPPORT_COMMANDLINE_H
+
+#include <map>
+#include <string>
+#include <vector>
+
+namespace metaopt {
+
+/// Parses argv into named options and positional arguments.
+///
+/// "--key=value" binds a value; a bare "--flag" binds the empty string
+/// (test with has()). Everything else is positional.
+class CommandLine {
+public:
+  CommandLine(int Argc, const char *const *Argv);
+
+  /// Returns true if the option was present (with or without a value).
+  bool has(const std::string &Key) const;
+
+  /// Returns the option's string value or \p Default when absent.
+  std::string getString(const std::string &Key,
+                        const std::string &Default = "") const;
+
+  /// Returns the option parsed as integer, or \p Default when absent or
+  /// malformed.
+  int64_t getInt(const std::string &Key, int64_t Default) const;
+
+  /// Returns the option parsed as double, or \p Default when absent or
+  /// malformed.
+  double getDouble(const std::string &Key, double Default) const;
+
+  const std::vector<std::string> &positional() const { return Positional; }
+  const std::string &programName() const { return ProgramName; }
+
+private:
+  std::string ProgramName;
+  std::map<std::string, std::string> Options;
+  std::vector<std::string> Positional;
+};
+
+} // namespace metaopt
+
+#endif // METAOPT_SUPPORT_COMMANDLINE_H

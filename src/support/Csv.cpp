@@ -1,0 +1,55 @@
+//===- support/Csv.cpp ----------------------------------------------------===//
+
+#include "support/Csv.h"
+
+#include <cstdio>
+
+using namespace metaopt;
+
+void CsvWriter::addRow(const std::vector<std::string> &Cells) {
+  Rows.push_back(Cells);
+}
+
+static bool needsQuoting(const std::string &Cell) {
+  for (char C : Cell)
+    if (C == ',' || C == '"' || C == '\n' || C == '\r')
+      return true;
+  return false;
+}
+
+static void appendQuoted(std::string &Out, const std::string &Cell) {
+  Out += '"';
+  for (char C : Cell) {
+    if (C == '"')
+      Out += '"';
+    Out += C;
+  }
+  Out += '"';
+}
+
+std::string CsvWriter::str() const {
+  std::string Out;
+  for (const auto &Row : Rows) {
+    for (size_t I = 0; I < Row.size(); ++I) {
+      if (I)
+        Out += ',';
+      if (needsQuoting(Row[I]))
+        appendQuoted(Out, Row[I]);
+      else
+        Out += Row[I];
+    }
+    Out += '\n';
+  }
+  return Out;
+}
+
+bool CsvWriter::writeToFile(const std::string &Path) const {
+  std::FILE *File = std::fopen(Path.c_str(), "w");
+  if (!File)
+    return false;
+  std::string Data = str();
+  size_t Written = std::fwrite(Data.data(), 1, Data.size(), File);
+  bool Ok = Written == Data.size();
+  Ok &= std::fclose(File) == 0;
+  return Ok;
+}

@@ -1,0 +1,119 @@
+//===- support/Rng.cpp ----------------------------------------------------===//
+
+#include "support/Rng.h"
+
+#include <cassert>
+#include <cmath>
+
+using namespace metaopt;
+
+static uint64_t splitMix64(uint64_t &X) {
+  X += 0x9e3779b97f4a7c15ULL;
+  uint64_t Z = X;
+  Z = (Z ^ (Z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Z = (Z ^ (Z >> 27)) * 0x94d049bb133111ebULL;
+  return Z ^ (Z >> 31);
+}
+
+static uint64_t rotl(uint64_t X, int K) { return (X << K) | (X >> (64 - K)); }
+
+Rng::Rng(uint64_t Seed) {
+  uint64_t S = Seed;
+  for (auto &Word : State)
+    Word = splitMix64(S);
+}
+
+Rng::Rng(const std::string &SeedString) : Rng(hashString(SeedString)) {}
+
+uint64_t Rng::hashString(const std::string &Str) {
+  uint64_t Hash = 0xcbf29ce484222325ULL;
+  for (unsigned char C : Str) {
+    Hash ^= C;
+    Hash *= 0x100000001b3ULL;
+  }
+  return Hash;
+}
+
+uint64_t Rng::next() {
+  uint64_t Result = rotl(State[0] + State[3], 23) + State[0];
+  uint64_t T = State[1] << 17;
+  State[2] ^= State[0];
+  State[3] ^= State[1];
+  State[1] ^= State[2];
+  State[0] ^= State[3];
+  State[2] ^= T;
+  State[3] = rotl(State[3], 45);
+  return Result;
+}
+
+uint64_t Rng::nextBelow(uint64_t Bound) {
+  assert(Bound != 0 && "nextBelow() requires a nonzero bound");
+  // Rejection sampling to avoid modulo bias.
+  uint64_t Threshold = (0ULL - Bound) % Bound;
+  for (;;) {
+    uint64_t Value = next();
+    if (Value >= Threshold)
+      return Value % Bound;
+  }
+}
+
+int64_t Rng::nextInRange(int64_t Lo, int64_t Hi) {
+  assert(Lo <= Hi && "nextInRange() requires Lo <= Hi");
+  uint64_t Span = static_cast<uint64_t>(Hi - Lo) + 1;
+  if (Span == 0) // Full 64-bit range.
+    return static_cast<int64_t>(next());
+  return Lo + static_cast<int64_t>(nextBelow(Span));
+}
+
+double Rng::nextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::nextDoubleInRange(double Lo, double Hi) {
+  assert(Lo <= Hi && "nextDoubleInRange() requires Lo <= Hi");
+  return Lo + (Hi - Lo) * nextDouble();
+}
+
+double Rng::nextGaussian(double Mean, double StdDev) {
+  if (HasSpareGaussian) {
+    HasSpareGaussian = false;
+    return Mean + StdDev * SpareGaussian;
+  }
+  double U, V, S;
+  do {
+    U = 2.0 * nextDouble() - 1.0;
+    V = 2.0 * nextDouble() - 1.0;
+    S = U * U + V * V;
+  } while (S >= 1.0 || S == 0.0);
+  double Factor = std::sqrt(-2.0 * std::log(S) / S);
+  SpareGaussian = V * Factor;
+  HasSpareGaussian = true;
+  return Mean + StdDev * U * Factor;
+}
+
+bool Rng::nextBool(double P) {
+  if (P <= 0.0)
+    return false;
+  if (P >= 1.0)
+    return true;
+  return nextDouble() < P;
+}
+
+size_t Rng::pickWeighted(const std::vector<double> &Weights) {
+  assert(!Weights.empty() && "pickWeighted() requires at least one weight");
+  double Total = 0.0;
+  for (double W : Weights) {
+    assert(W >= 0.0 && "weights must be non-negative");
+    Total += W;
+  }
+  assert(Total > 0.0 && "weights must not all be zero");
+  double Target = nextDouble() * Total;
+  double Running = 0.0;
+  for (size_t I = 0; I < Weights.size(); ++I) {
+    Running += Weights[I];
+    if (Target < Running)
+      return I;
+  }
+  return Weights.size() - 1;
+}

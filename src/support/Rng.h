@@ -1,0 +1,89 @@
+//===- support/Rng.h - Deterministic random number generation --*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Deterministic, seedable random number generation used throughout the
+/// corpus generators and the instrumentation-noise model. All randomness in
+/// the repository flows through this class so experiments are reproducible
+/// bit-for-bit from a seed.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_SUPPORT_RNG_H
+#define METAOPT_SUPPORT_RNG_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace metaopt {
+
+/// A xoshiro256++ pseudo random generator seeded through splitmix64.
+///
+/// The generator is tiny, fast, and has well-understood statistical
+/// behaviour; it is not cryptographic and does not need to be. Two Rng
+/// instances constructed from the same seed produce identical streams on
+/// every platform.
+class Rng {
+public:
+  /// Constructs a generator from a 64-bit seed.
+  explicit Rng(uint64_t Seed = 0x9e3779b97f4a7c15ULL);
+
+  /// Constructs a generator from a string (e.g. a benchmark name) by
+  /// hashing it with FNV-1a; convenient for per-benchmark determinism.
+  explicit Rng(const std::string &SeedString);
+
+  /// Returns the next raw 64-bit value.
+  uint64_t next();
+
+  /// Returns a uniformly distributed integer in [0, Bound). \p Bound must
+  /// be nonzero.
+  uint64_t nextBelow(uint64_t Bound);
+
+  /// Returns a uniformly distributed integer in [Lo, Hi] inclusive.
+  int64_t nextInRange(int64_t Lo, int64_t Hi);
+
+  /// Returns a uniformly distributed double in [0, 1).
+  double nextDouble();
+
+  /// Returns a uniformly distributed double in [Lo, Hi).
+  double nextDoubleInRange(double Lo, double Hi);
+
+  /// Returns a normally distributed double with the given mean and
+  /// standard deviation (Box-Muller).
+  double nextGaussian(double Mean = 0.0, double StdDev = 1.0);
+
+  /// Returns true with probability \p P (clamped to [0,1]).
+  bool nextBool(double P = 0.5);
+
+  /// Picks an index in [0, Weights.size()) with probability proportional
+  /// to the weights. Weights must be non-negative and not all zero.
+  size_t pickWeighted(const std::vector<double> &Weights);
+
+  /// Shuffles \p Values in place (Fisher-Yates).
+  template <typename T> void shuffle(std::vector<T> &Values) {
+    if (Values.empty())
+      return;
+    for (size_t I = Values.size() - 1; I > 0; --I) {
+      size_t J = static_cast<size_t>(nextBelow(I + 1));
+      std::swap(Values[I], Values[J]);
+    }
+  }
+
+  /// Hashes a string with FNV-1a; exposed so callers can derive child
+  /// seeds ("benchmarkName/loop17") deterministically.
+  static uint64_t hashString(const std::string &Str);
+
+private:
+  uint64_t State[4];
+  bool HasSpareGaussian = false;
+  double SpareGaussian = 0.0;
+};
+
+} // namespace metaopt
+
+#endif // METAOPT_SUPPORT_RNG_H

@@ -1,0 +1,104 @@
+//===- support/Statistics.cpp ---------------------------------------------===//
+
+#include "support/Statistics.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+using namespace metaopt;
+
+double metaopt::mean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += V;
+  return Sum / static_cast<double>(Values.size());
+}
+
+double metaopt::stdDev(const std::vector<double> &Values) {
+  if (Values.size() < 2)
+    return 0.0;
+  double M = mean(Values);
+  double Sum = 0.0;
+  for (double V : Values)
+    Sum += (V - M) * (V - M);
+  return std::sqrt(Sum / static_cast<double>(Values.size()));
+}
+
+double metaopt::median(std::vector<double> Values) {
+  if (Values.empty())
+    return 0.0;
+  size_t Mid = Values.size() / 2;
+  std::nth_element(Values.begin(), Values.begin() + Mid, Values.end());
+  double Upper = Values[Mid];
+  if (Values.size() % 2 == 1)
+    return Upper;
+  double Lower = *std::max_element(Values.begin(), Values.begin() + Mid);
+  return 0.5 * (Lower + Upper);
+}
+
+double metaopt::quantile(std::vector<double> Values, double Q) {
+  if (Values.empty())
+    return 0.0;
+  assert(Q >= 0.0 && Q <= 1.0 && "quantile requires Q in [0,1]");
+  std::sort(Values.begin(), Values.end());
+  double Pos = Q * static_cast<double>(Values.size() - 1);
+  size_t Lo = static_cast<size_t>(Pos);
+  size_t Hi = std::min(Lo + 1, Values.size() - 1);
+  double Frac = Pos - static_cast<double>(Lo);
+  return Values[Lo] * (1.0 - Frac) + Values[Hi] * Frac;
+}
+
+double metaopt::geometricMean(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 1.0;
+  double LogSum = 0.0;
+  for (double V : Values) {
+    assert(V > 0.0 && "geometricMean requires positive values");
+    LogSum += std::log(V);
+  }
+  return std::exp(LogSum / static_cast<double>(Values.size()));
+}
+
+double metaopt::minValue(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  return *std::min_element(Values.begin(), Values.end());
+}
+
+double metaopt::maxValue(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0.0;
+  return *std::max_element(Values.begin(), Values.end());
+}
+
+size_t metaopt::argMin(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0;
+  return static_cast<size_t>(
+      std::min_element(Values.begin(), Values.end()) - Values.begin());
+}
+
+size_t metaopt::argMax(const std::vector<double> &Values) {
+  if (Values.empty())
+    return 0;
+  return static_cast<size_t>(
+      std::max_element(Values.begin(), Values.end()) - Values.begin());
+}
+
+void RunningStats::add(double Value) {
+  ++Count;
+  double Delta = Value - Mean;
+  Mean += Delta / static_cast<double>(Count);
+  M2 += Delta * (Value - Mean);
+}
+
+double RunningStats::variance() const {
+  if (Count < 2)
+    return 0.0;
+  return M2 / static_cast<double>(Count);
+}
+
+double RunningStats::stdDev() const { return std::sqrt(variance()); }

@@ -1,0 +1,68 @@
+//===- support/Statistics.h - Small descriptive statistics -----*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Descriptive statistics used by the measurement protocol (median of 30
+/// trials), the speedup evaluation (means over benchmarks), and the feature
+/// normalizers (mean/stddev, min/max).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_SUPPORT_STATISTICS_H
+#define METAOPT_SUPPORT_STATISTICS_H
+
+#include <cstddef>
+#include <vector>
+
+namespace metaopt {
+
+/// Returns the arithmetic mean; 0 for an empty range.
+double mean(const std::vector<double> &Values);
+
+/// Returns the population standard deviation; 0 for fewer than two values.
+double stdDev(const std::vector<double> &Values);
+
+/// Returns the median. Copies and partially sorts; 0 for an empty range.
+double median(std::vector<double> Values);
+
+/// Returns the Q-th quantile for Q in [0,1] with linear interpolation.
+double quantile(std::vector<double> Values, double Q);
+
+/// Returns the geometric mean; all inputs must be positive. 1 for empty.
+double geometricMean(const std::vector<double> &Values);
+
+/// Returns the smallest element; 0 for an empty range.
+double minValue(const std::vector<double> &Values);
+
+/// Returns the largest element; 0 for an empty range.
+double maxValue(const std::vector<double> &Values);
+
+/// Returns the index of the smallest element (first on ties); 0 if empty.
+size_t argMin(const std::vector<double> &Values);
+
+/// Returns the index of the largest element (first on ties); 0 if empty.
+size_t argMax(const std::vector<double> &Values);
+
+/// Running mean/variance accumulator (Welford's algorithm). Used where
+/// streaming values would make materializing a vector wasteful.
+class RunningStats {
+public:
+  void add(double Value);
+  size_t count() const { return Count; }
+  double mean() const { return Count ? Mean : 0.0; }
+  double variance() const;
+  double stdDev() const;
+
+private:
+  size_t Count = 0;
+  double Mean = 0.0;
+  double M2 = 0.0;
+};
+
+} // namespace metaopt
+
+#endif // METAOPT_SUPPORT_STATISTICS_H

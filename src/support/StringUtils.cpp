@@ -1,0 +1,108 @@
+//===- support/StringUtils.cpp --------------------------------------------===//
+
+#include "support/StringUtils.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace metaopt;
+
+std::string_view metaopt::trim(std::string_view Str) {
+  size_t Begin = 0;
+  size_t End = Str.size();
+  while (Begin < End && std::isspace(static_cast<unsigned char>(Str[Begin])))
+    ++Begin;
+  while (End > Begin &&
+         std::isspace(static_cast<unsigned char>(Str[End - 1])))
+    --End;
+  return Str.substr(Begin, End - Begin);
+}
+
+std::vector<std::string> metaopt::split(std::string_view Str, char Sep) {
+  std::vector<std::string> Pieces;
+  size_t Start = 0;
+  for (size_t I = 0; I <= Str.size(); ++I) {
+    if (I == Str.size() || Str[I] == Sep) {
+      Pieces.emplace_back(Str.substr(Start, I - Start));
+      Start = I + 1;
+    }
+  }
+  return Pieces;
+}
+
+std::vector<std::string> metaopt::splitWhitespace(std::string_view Str) {
+  std::vector<std::string> Pieces;
+  size_t I = 0;
+  while (I < Str.size()) {
+    while (I < Str.size() &&
+           std::isspace(static_cast<unsigned char>(Str[I])))
+      ++I;
+    size_t Start = I;
+    while (I < Str.size() &&
+           !std::isspace(static_cast<unsigned char>(Str[I])))
+      ++I;
+    if (I > Start)
+      Pieces.emplace_back(Str.substr(Start, I - Start));
+  }
+  return Pieces;
+}
+
+std::optional<int64_t> metaopt::parseInt(std::string_view Str) {
+  Str = trim(Str);
+  if (Str.empty())
+    return std::nullopt;
+  std::string Buffer(Str);
+  char *End = nullptr;
+  long long Value = std::strtoll(Buffer.c_str(), &End, 10);
+  if (End != Buffer.c_str() + Buffer.size())
+    return std::nullopt;
+  return static_cast<int64_t>(Value);
+}
+
+std::optional<double> metaopt::parseDouble(std::string_view Str) {
+  Str = trim(Str);
+  if (Str.empty())
+    return std::nullopt;
+  std::string Buffer(Str);
+  char *End = nullptr;
+  double Value = std::strtod(Buffer.c_str(), &End);
+  if (End != Buffer.c_str() + Buffer.size())
+    return std::nullopt;
+  return Value;
+}
+
+std::string metaopt::formatDouble(double Value, int Digits) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.*f", Digits, Value);
+  return Buffer;
+}
+
+std::string metaopt::formatPercent(double Ratio, int Digits) {
+  return formatDouble(Ratio * 100.0, Digits) + "%";
+}
+
+bool metaopt::isIdentifier(std::string_view Str) {
+  if (Str.empty())
+    return false;
+  unsigned char First = static_cast<unsigned char>(Str[0]);
+  if (!std::isalpha(First) && Str[0] != '_')
+    return false;
+  for (char C : Str.substr(1)) {
+    unsigned char U = static_cast<unsigned char>(C);
+    if (!std::isalnum(U) && C != '_' && C != '.')
+      return false;
+  }
+  return true;
+}
+
+std::string metaopt::join(const std::vector<std::string> &Pieces,
+                          std::string_view Sep) {
+  std::string Result;
+  for (size_t I = 0; I < Pieces.size(); ++I) {
+    if (I)
+      Result += Sep;
+    Result += Pieces[I];
+  }
+  return Result;
+}

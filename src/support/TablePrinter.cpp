@@ -1,0 +1,107 @@
+//===- support/TablePrinter.cpp -------------------------------------------===//
+
+#include "support/TablePrinter.h"
+
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+using namespace metaopt;
+
+void TablePrinter::addHeader(std::vector<std::string> Cells) {
+  Header = std::move(Cells);
+}
+
+void TablePrinter::addRow(std::vector<std::string> Cells) {
+  Rows.push_back(std::move(Cells));
+}
+
+/// Returns true if the cell looks like a number (possibly a percentage or a
+/// trailing multiplier like "1.07x"), in which case it is right-aligned.
+static bool looksNumeric(const std::string &Cell) {
+  std::string_view Trimmed = trim(Cell);
+  if (Trimmed.empty())
+    return false;
+  size_t End = Trimmed.size();
+  if (Trimmed.back() == '%' || Trimmed.back() == 'x')
+    --End;
+  if (End == 0)
+    return false;
+  bool SawDigit = false;
+  for (size_t I = 0; I < End; ++I) {
+    char C = Trimmed[I];
+    if (std::isdigit(static_cast<unsigned char>(C))) {
+      SawDigit = true;
+      continue;
+    }
+    if (C == '+' || C == '-' || C == '.' || C == ',')
+      continue;
+    return false;
+  }
+  return SawDigit;
+}
+
+std::string TablePrinter::render() const {
+  size_t NumCols = Header.size();
+  for (const auto &Row : Rows)
+    NumCols = std::max(NumCols, Row.size());
+
+  std::vector<size_t> Widths(NumCols, 0);
+  auto Widen = [&](const std::vector<std::string> &Row) {
+    for (size_t I = 0; I < Row.size(); ++I)
+      Widths[I] = std::max(Widths[I], Row[I].size());
+  };
+  if (!Header.empty())
+    Widen(Header);
+  for (const auto &Row : Rows)
+    Widen(Row);
+
+  auto RenderRow = [&](const std::vector<std::string> &Row) {
+    std::string Line;
+    for (size_t I = 0; I < NumCols; ++I) {
+      const std::string Cell = I < Row.size() ? Row[I] : "";
+      size_t Pad = Widths[I] - Cell.size();
+      if (I)
+        Line += "  ";
+      if (looksNumeric(Cell)) {
+        Line.append(Pad, ' ');
+        Line += Cell;
+      } else {
+        Line += Cell;
+        Line.append(Pad, ' ');
+      }
+    }
+    // Trim trailing padding.
+    while (!Line.empty() && Line.back() == ' ')
+      Line.pop_back();
+    return Line;
+  };
+
+  std::string Out;
+  if (!Title.empty()) {
+    Out += Title;
+    Out += '\n';
+    Out.append(Title.size(), '=');
+    Out += '\n';
+  }
+  if (!Header.empty()) {
+    std::string HeaderLine = RenderRow(Header);
+    Out += HeaderLine;
+    Out += '\n';
+    Out.append(HeaderLine.size(), '-');
+    Out += '\n';
+  }
+  for (const auto &Row : Rows) {
+    Out += RenderRow(Row);
+    Out += '\n';
+  }
+  return Out;
+}
+
+void TablePrinter::print() const {
+  std::string Rendered = render();
+  std::fwrite(Rendered.data(), 1, Rendered.size(), stdout);
+  std::fflush(stdout);
+}

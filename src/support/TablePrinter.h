@@ -1,0 +1,51 @@
+//===- support/TablePrinter.h - Aligned console tables ---------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A tiny aligned-column table renderer used by the benchmark harnesses to
+/// print the paper's tables (Table 2, Table 3, Table 4, ...) on stdout.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_SUPPORT_TABLEPRINTER_H
+#define METAOPT_SUPPORT_TABLEPRINTER_H
+
+#include <string>
+#include <vector>
+
+namespace metaopt {
+
+/// Collects rows of string cells and renders them with aligned columns.
+///
+/// Numeric-looking cells are right-aligned, everything else left-aligned.
+/// The first row added with addHeader() is separated from the body by a
+/// rule. Rendering returns a string so callers can print or log it.
+class TablePrinter {
+public:
+  explicit TablePrinter(std::string Title = "") : Title(std::move(Title)) {}
+
+  /// Sets the header row (column names).
+  void addHeader(std::vector<std::string> Cells);
+
+  /// Appends a body row. Rows may be ragged; short rows are padded.
+  void addRow(std::vector<std::string> Cells);
+
+  /// Renders the table with a title, header rule, and aligned columns.
+  std::string render() const;
+
+  /// Renders and writes to stdout.
+  void print() const;
+
+private:
+  std::string Title;
+  std::vector<std::string> Header;
+  std::vector<std::vector<std::string>> Rows;
+};
+
+} // namespace metaopt
+
+#endif // METAOPT_SUPPORT_TABLEPRINTER_H

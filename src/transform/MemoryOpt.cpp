@@ -1,0 +1,211 @@
+//===- transform/MemoryOpt.cpp --------------------------------------------===//
+
+#include "transform/MemoryOpt.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+#include <map>
+
+using namespace metaopt;
+
+namespace {
+
+/// Exact-address key for forwarding and redundancy: two direct references
+/// with equal keys touch the same bytes every iteration.
+struct AddressKey {
+  int32_t Sym;
+  int64_t Stride;
+  int64_t Offset;
+  int32_t Size;
+
+  auto operator<=>(const AddressKey &) const = default;
+};
+
+AddressKey keyOf(const MemRef &Ref) {
+  return {Ref.BaseSym, Ref.Stride, Ref.Offset, Ref.SizeBytes};
+}
+
+/// True when two same-iteration references may touch common bytes.
+bool mayOverlap(const MemRef &A, const MemRef &B) {
+  if (A.BaseSym != B.BaseSym)
+    return false;
+  if (A.Indirect || B.Indirect)
+    return true;
+  if (A.Stride != B.Stride)
+    return true; // Conservative: different walks can cross.
+  int64_t Delta = std::llabs(A.Offset - B.Offset);
+  return Delta < std::max(A.SizeBytes, B.SizeBytes);
+}
+
+/// Availability tables for one forward walk.
+class AvailabilityState {
+public:
+  /// Kills every entry a write to \p Ref could touch, then (for a clean
+  /// direct store) records the stored value.
+  void onStore(const Instruction &Store) {
+    killOverlapping(Store.Mem);
+    if (!Store.Mem.Indirect && Store.Pred == NoReg)
+      StoredValue[keyOf(Store.Mem)] = {Store.Operands[0], Store.Mem};
+  }
+
+  void onCall() {
+    StoredValue.clear();
+    LoadedValue.clear();
+  }
+
+  /// Returns the register already holding the bytes \p Ref would load, or
+  /// NoReg.
+  RegId lookup(const MemRef &Ref, bool &FromStore) const {
+    auto Store = StoredValue.find(keyOf(Ref));
+    if (Store != StoredValue.end()) {
+      FromStore = true;
+      return Store->second.Value;
+    }
+    auto Load = LoadedValue.find(keyOf(Ref));
+    if (Load != LoadedValue.end()) {
+      FromStore = false;
+      return Load->second.Value;
+    }
+    return NoReg;
+  }
+
+  void recordLoad(const Instruction &Load) {
+    LoadedValue[keyOf(Load.Mem)] = {Load.Dest, Load.Mem};
+  }
+
+private:
+  struct Entry {
+    RegId Value = NoReg;
+    MemRef Ref;
+  };
+
+  void killOverlapping(const MemRef &Ref) {
+    auto Sweep = [&](std::map<AddressKey, Entry> &Table) {
+      for (auto It = Table.begin(); It != Table.end();) {
+        if (mayOverlap(It->second.Ref, Ref))
+          It = Table.erase(It);
+        else
+          ++It;
+      }
+    };
+    Sweep(StoredValue);
+    Sweep(LoadedValue);
+  }
+
+  std::map<AddressKey, Entry> StoredValue;
+  std::map<AddressKey, Entry> LoadedValue;
+};
+
+} // namespace
+
+MemoryOptStats metaopt::optimizeMemory(Loop &L) {
+  MemoryOptStats Stats;
+
+  //===------------------------------------------------------------------===
+  // Pass 1: store-to-load forwarding and redundant load elimination.
+  //===------------------------------------------------------------------===
+  AvailabilityState Avail;
+  std::map<RegId, RegId> Replacement;
+  auto Resolve = [&](RegId Reg) {
+    while (true) {
+      auto It = Replacement.find(Reg);
+      if (It == Replacement.end())
+        return Reg;
+      Reg = It->second;
+    }
+  };
+
+  std::vector<Instruction> NewBody;
+  NewBody.reserve(L.body().size());
+  for (Instruction Instr : L.body()) {
+    // Rewrite operands through the replacement map first.
+    for (RegId &Operand : Instr.Operands)
+      Operand = Resolve(Operand);
+    if (Instr.Pred != NoReg)
+      Instr.Pred = Resolve(Instr.Pred);
+
+    if (Instr.isCall()) {
+      Avail.onCall();
+      NewBody.push_back(std::move(Instr));
+      continue;
+    }
+    if (Instr.isStore()) {
+      Avail.onStore(Instr);
+      NewBody.push_back(std::move(Instr));
+      continue;
+    }
+    if (!Instr.isLoad() || Instr.Mem.Indirect || Instr.Pred != NoReg) {
+      NewBody.push_back(std::move(Instr));
+      continue;
+    }
+
+    bool FromStore = false;
+    RegId Known = Avail.lookup(Instr.Mem, FromStore);
+    if (Known != NoReg && L.regClass(Known) == L.regClass(Instr.Dest)) {
+      // The bytes are already in a register: drop the load.
+      Replacement[Instr.Dest] = Known;
+      if (FromStore)
+        ++Stats.ForwardedLoads;
+      else
+        ++Stats.RedundantLoads;
+      continue;
+    }
+    Avail.recordLoad(Instr);
+    NewBody.push_back(std::move(Instr));
+  }
+  L.body() = std::move(NewBody);
+  for (PhiNode &Phi : L.phis())
+    Phi.Recur = Resolve(Phi.Recur);
+
+  //===------------------------------------------------------------------===
+  // Pass 2: pair adjacent 8-byte loads into one wide access.
+  //===------------------------------------------------------------------===
+  // Candidates grouped by (sym, stride); each entry is (offset, index).
+  std::map<std::pair<int32_t, int64_t>,
+           std::vector<std::pair<int64_t, uint32_t>>>
+      Groups;
+  for (uint32_t Index = 0; Index < L.body().size(); ++Index) {
+    const Instruction &Instr = L.body()[Index];
+    if (!Instr.isLoad() || Instr.Mem.Indirect || Instr.Pred != NoReg ||
+        Instr.Paired || Instr.Mem.SizeBytes != 8 || Instr.Mem.Stride == 0)
+      continue;
+    Groups[{Instr.Mem.BaseSym, Instr.Mem.Stride}].emplace_back(
+        Instr.Mem.Offset, Index);
+  }
+
+  // A pair is only legal when no store to the same symbol sits between
+  // the two loads (the wide access would read stale bytes).
+  auto StoreBetween = [&](int32_t Sym, uint32_t Lo, uint32_t Hi) {
+    for (uint32_t Index = Lo + 1; Index < Hi; ++Index) {
+      const Instruction &Instr = L.body()[Index];
+      if (Instr.isCall())
+        return true;
+      if (Instr.isStore() &&
+          (Instr.Mem.BaseSym == Sym || Instr.Mem.Indirect))
+        return true;
+    }
+    return false;
+  };
+
+  for (auto &[Key, Loads] : Groups) {
+    std::sort(Loads.begin(), Loads.end());
+    for (size_t I = 0; I + 1 < Loads.size(); ++I) {
+      auto [OffsetA, IndexA] = Loads[I];
+      auto [OffsetB, IndexB] = Loads[I + 1];
+      if (OffsetB - OffsetA != 8)
+        continue;
+      if (L.body()[IndexA].Paired || L.body()[IndexB].Paired)
+        continue;
+      uint32_t Lo = std::min(IndexA, IndexB);
+      uint32_t Hi = std::max(IndexA, IndexB);
+      if (StoreBetween(Key.first, Lo, Hi))
+        continue;
+      // The later body position rides along with the earlier one.
+      L.body()[Hi].Paired = true;
+      ++Stats.PairedLoads;
+      ++I; // Neither half may join another pair.
+    }
+  }
+  return Stats;
+}

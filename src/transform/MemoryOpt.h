@@ -1,0 +1,46 @@
+//===- transform/MemoryOpt.h - Post-unroll memory optimization --*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The memory cleanups Section 3 credits unrolling with enabling:
+///
+///  - "If the loop accesses the same memory locations on consecutive
+///    iterations, many of these references can be eliminated altogether
+///    with scalar replacement" - store-to-load forwarding and redundant
+///    load elimination across the unrolled copies;
+///  - "Unrolling is key to exposing adjacent memory references so that
+///    they can be merged into a single wide reference" - pairing adjacent
+///    8-byte loads into one two-register access (Itanium's ldfpd), modeled
+///    by marking the second load of a pair as riding along for free.
+///
+/// The simulator runs this pass right after unrolling, so these benefits
+/// (and their interaction with the unroll factor) are part of every label.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_TRANSFORM_MEMORYOPT_H
+#define METAOPT_TRANSFORM_MEMORYOPT_H
+
+#include "ir/Loop.h"
+
+namespace metaopt {
+
+/// What the pass did (diagnostics/tests).
+struct MemoryOptStats {
+  unsigned ForwardedLoads = 0; ///< Loads replaced by a stored value.
+  unsigned RedundantLoads = 0; ///< Loads replaced by an earlier load.
+  unsigned PairedLoads = 0;    ///< Loads merged into a wide access.
+};
+
+/// Optimizes \p L in place; the result remains well-formed. Only
+/// unpredicated direct references participate; indirect references and
+/// anything across a call are left alone.
+MemoryOptStats optimizeMemory(Loop &L);
+
+} // namespace metaopt
+
+#endif // METAOPT_TRANSFORM_MEMORYOPT_H

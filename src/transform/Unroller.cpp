@@ -1,0 +1,241 @@
+//===- transform/Unroller.cpp ---------------------------------------------===//
+
+#include "transform/Unroller.h"
+
+#include <cassert>
+#include <map>
+
+using namespace metaopt;
+
+UnrolledTripInfo metaopt::unrolledTripInfo(int64_t TripCount,
+                                           unsigned Factor) {
+  assert(Factor >= 1 && "unroll factor must be at least one");
+  UnrolledTripInfo Info;
+  if (TripCount <= 0)
+    return Info;
+  Info.MainIterations = TripCount / Factor;
+  Info.EpilogueIterations = TripCount % Factor;
+  return Info;
+}
+
+bool metaopt::isSplittableReduction(const Loop &L, const PhiNode &Phi) {
+  // Reassociation is only sound when the running value is not observed:
+  // the phi must feed exactly the accumulating operation and the new value
+  // must feed only the phi (not, say, a store of the running total).
+  unsigned DestUses = 0, RecurUses = 0;
+  for (const Instruction &Instr : L.body()) {
+    for (RegId Operand : Instr.Operands) {
+      DestUses += Operand == Phi.Dest;
+      RecurUses += Operand == Phi.Recur;
+    }
+    if (Instr.Pred == Phi.Dest)
+      ++DestUses;
+  }
+  if (DestUses != 1 || RecurUses != 0)
+    return false;
+  for (const Instruction &Instr : L.body()) {
+    if (Instr.Dest != Phi.Recur)
+      continue;
+    switch (Instr.Op) {
+    case Opcode::FAdd:
+    case Opcode::FMul:
+    case Opcode::IAdd:
+    case Opcode::IMul:
+      return Instr.Operands.size() == 2 &&
+             (Instr.Operands[0] == Phi.Dest ||
+              Instr.Operands[1] == Phi.Dest);
+    case Opcode::FMA:
+      return Instr.Operands.size() == 3 && Instr.Operands[2] == Phi.Dest;
+    default:
+      return false;
+    }
+  }
+  return false;
+}
+
+namespace {
+
+/// Carries the register renaming state across body copies.
+class UnrollContext {
+public:
+  UnrollContext(const Loop &Source, Loop &Target, unsigned Factor)
+      : Source(Source), Target(Target), Factor(Factor) {
+    for (const PhiNode &Phi : Source.phis())
+      RecurOf[Phi.Dest] = Phi.Recur;
+  }
+
+  /// Declares that source phi \p Dest was split: copy k reads its own
+  /// per-copy phi destination.
+  void setSplitPhiDest(RegId SourceDest, unsigned Copy, RegId TargetDest) {
+    SplitPhiDest[{SourceDest, Copy}] = TargetDest;
+  }
+
+  /// Maps a live-in register of the source into the target, creating it on
+  /// first use.
+  RegId mapLiveIn(RegId Reg) {
+    auto It = LiveInMap.find(Reg);
+    if (It != LiveInMap.end())
+      return It->second;
+    RegId NewReg = Target.addReg(Source.regClass(Reg), Source.regName(Reg));
+    LiveInMap.emplace(Reg, NewReg);
+    return NewReg;
+  }
+
+  /// Registers the target-side phi destination for source phi \p Dest.
+  void setPhiDest(RegId SourceDest, RegId TargetDest) {
+    PhiDestMap[SourceDest] = TargetDest;
+  }
+
+  /// Records that copy \p Copy renamed defined register \p Reg to \p New.
+  void setDef(unsigned Copy, RegId Reg, RegId New) {
+    DefMap[Copy][Reg] = New;
+  }
+
+  /// Resolves the target register holding the value of source register
+  /// \p Reg as seen by body copy \p Copy.
+  RegId resolve(RegId Reg, unsigned Copy) {
+    auto Split = SplitPhiDest.find({Reg, Copy});
+    if (Split != SplitPhiDest.end())
+      return Split->second;
+    auto Recur = RecurOf.find(Reg);
+    if (Recur != RecurOf.end()) {
+      // A phi destination: copy 0 reads the (single) target phi; copy k>0
+      // reads the value the previous copy computed for the recurrence.
+      if (Copy == 0) {
+        auto It = PhiDestMap.find(Reg);
+        assert(It != PhiDestMap.end() && "phi not pre-created");
+        return It->second;
+      }
+      return resolve(Recur->second, Copy - 1);
+    }
+    auto &Defs = DefMap[Copy];
+    auto Def = Defs.find(Reg);
+    if (Def != Defs.end())
+      return Def->second;
+    assert(Source.isLiveIn(Reg) &&
+           "operand neither live-in, phi, nor defined in an earlier copy");
+    return mapLiveIn(Reg);
+  }
+
+private:
+  const Loop &Source;
+  Loop &Target;
+  [[maybe_unused]] unsigned Factor;
+  std::map<RegId, RegId> LiveInMap;
+  std::map<RegId, RegId> PhiDestMap;
+  std::map<std::pair<RegId, unsigned>, RegId> SplitPhiDest;
+  std::map<RegId, RegId> RecurOf;
+  std::map<unsigned, std::map<RegId, RegId>> DefMap;
+};
+
+} // namespace
+
+Loop metaopt::unrollLoop(const Loop &L, unsigned Factor) {
+  assert(Factor >= 1 && Factor <= MaxUnrollFactor &&
+         "unroll factor out of range");
+
+  int64_t NewTrip = L.hasKnownTripCount()
+                        ? L.tripCount() / static_cast<int64_t>(Factor)
+                        : Loop::UnknownTripCount;
+  Loop Result(L.name() + ".u" + std::to_string(Factor), L.language(),
+              L.nestLevel(), NewTrip);
+  Result.setRuntimeTripCount(
+      unrolledTripInfo(L.runtimeTripCount(), Factor).MainIterations);
+
+  UnrollContext Ctx(L, Result, Factor);
+
+  // Pre-create the phis; the recurrences are wired up after the copies
+  // are emitted. Associative accumulations are split into one independent
+  // accumulator per copy (reassociation) — this is how unrolling breaks a
+  // reduction's recurrence and exposes ILP; the extra accumulators are
+  // combined once after the loop, which the epilogue accounting absorbs.
+  struct PendingPhi {
+    RegId SourceRecur;
+    size_t TargetIndex;
+    unsigned Copy; ///< Which copy feeds this phi (Factor-1 when unsplit).
+  };
+  std::vector<PendingPhi> Pending;
+  for (const PhiNode &Phi : L.phis()) {
+    if (Factor > 1 && isSplittableReduction(L, Phi)) {
+      for (unsigned Copy = 0; Copy < Factor; ++Copy) {
+        PhiNode NewPhi;
+        std::string Suffix = "." + std::to_string(Copy);
+        NewPhi.Dest = Result.addReg(L.regClass(Phi.Dest),
+                                    L.regName(Phi.Dest) + Suffix);
+        // Copy 0 continues from the original initial value; the other
+        // accumulators start from the operation's identity element,
+        // modeled as fresh live-ins.
+        NewPhi.Init =
+            Copy == 0 ? Ctx.mapLiveIn(Phi.Init)
+                      : Result.addReg(L.regClass(Phi.Init),
+                                      L.regName(Phi.Init) + Suffix);
+        NewPhi.Recur = NoReg;
+        Ctx.setSplitPhiDest(Phi.Dest, Copy, NewPhi.Dest);
+        Result.addPhi(NewPhi);
+        Pending.push_back({Phi.Recur, Result.phis().size() - 1, Copy});
+      }
+      continue;
+    }
+    PhiNode NewPhi;
+    NewPhi.Dest = Result.addReg(L.regClass(Phi.Dest), L.regName(Phi.Dest));
+    NewPhi.Init = Ctx.mapLiveIn(Phi.Init);
+    NewPhi.Recur = NoReg;
+    Ctx.setPhiDest(Phi.Dest, NewPhi.Dest);
+    Result.addPhi(NewPhi);
+    Pending.push_back({Phi.Recur, Result.phis().size() - 1, Factor - 1});
+  }
+
+  for (unsigned Copy = 0; Copy < Factor; ++Copy) {
+    for (const Instruction &Instr : L.body()) {
+      if (Instr.isLoopControl())
+        continue; // A single fresh tail is appended below.
+      Instruction Clone = Instr;
+      Clone.Operands.clear();
+      for (RegId Operand : Instr.Operands)
+        Clone.Operands.push_back(Ctx.resolve(Operand, Copy));
+      if (Instr.Pred != NoReg)
+        Clone.Pred = Ctx.resolve(Instr.Pred, Copy);
+      if (Instr.hasDest()) {
+        std::string NewName = L.regName(Instr.Dest);
+        if (Factor > 1)
+          NewName += "." + std::to_string(Copy);
+        Clone.Dest = Result.addReg(L.regClass(Instr.Dest), NewName);
+        Ctx.setDef(Copy, Instr.Dest, Clone.Dest);
+      }
+      if (Instr.isMemory()) {
+        Clone.Mem.Offset =
+            Instr.Mem.Offset +
+            Instr.Mem.Stride * static_cast<int64_t>(Copy);
+        Clone.Mem.Stride = Instr.Mem.Stride * static_cast<int64_t>(Factor);
+      }
+      Result.addInstruction(std::move(Clone));
+    }
+  }
+
+  // Wire the phi recurrences: split accumulators recur on their own
+  // copy's value, unsplit phis on the last copy's.
+  for (const PendingPhi &P : Pending)
+    Result.phis()[P.TargetIndex].Recur =
+        Ctx.resolve(P.SourceRecur, P.Copy);
+
+  // Fresh canonical loop-control tail.
+  RegId Iv = Result.addReg(RegClass::Int, "iv");
+  Instruction Inc;
+  Inc.Op = Opcode::IvAdd;
+  Inc.Operands.push_back(Iv);
+  Inc.Dest = Result.addReg(RegClass::Int, "iv.next");
+  Result.addInstruction(Inc);
+
+  Instruction Cmp;
+  Cmp.Op = Opcode::IvCmp;
+  Cmp.Operands.push_back(Result.body().back().Dest);
+  Cmp.Dest = Result.addReg(RegClass::Pred, "iv.cond");
+  Result.addInstruction(Cmp);
+
+  Instruction Br;
+  Br.Op = Opcode::BackBr;
+  Br.Operands.push_back(Result.body().back().Dest);
+  Result.addInstruction(Br);
+
+  return Result;
+}

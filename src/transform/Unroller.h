@@ -1,0 +1,51 @@
+//===- transform/Unroller.h - Loop unrolling --------------------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The loop unroller. Unrolling by factor U replicates the body U times
+/// with full register renaming, chains loop-carried phi values through the
+/// copies, rewrites the symbolic memory addresses (stride *= U, copy k
+/// gets offset += stride_orig * k), replicates early exits (the compiler
+/// cannot prove they are not taken), and keeps a single loop-control tail
+/// — which is exactly the branch-overhead amortization unrolling buys.
+///
+/// The unrolled loop executes floor(N/U) iterations of the new body; the
+/// remaining N mod U original iterations form the epilogue, which the
+/// measurement layer accounts for by running the original body.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_TRANSFORM_UNROLLER_H
+#define METAOPT_TRANSFORM_UNROLLER_H
+
+#include "ir/Loop.h"
+
+namespace metaopt {
+
+/// True when \p Phi is a plain associative accumulation (acc = acc + x,
+/// acc = acc * x, or acc = fma(a, b, acc)) whose running value is not
+/// otherwise observed. The unroller splits such phis into one independent
+/// accumulator per copy (reassociation), which is how unrolling breaks a
+/// reduction's recurrence; heuristics consult the same predicate.
+bool isSplittableReduction(const Loop &L, const PhiNode &Phi);
+
+/// Returns \p L unrolled by \p Factor (1 returns a plain copy). The input
+/// must be well-formed (verifyLoop) and end in the canonical loop-control
+/// tail; the result is well-formed again.
+Loop unrollLoop(const Loop &L, unsigned Factor);
+
+/// Returns how many iterations the unrolled body executes and how many
+/// original iterations remain for the epilogue, given a runtime trip count.
+struct UnrolledTripInfo {
+  int64_t MainIterations = 0;     ///< Unrolled-body executions.
+  int64_t EpilogueIterations = 0; ///< Leftover original iterations.
+};
+UnrolledTripInfo unrolledTripInfo(int64_t TripCount, unsigned Factor);
+
+} // namespace metaopt
+
+#endif // METAOPT_TRANSFORM_UNROLLER_H

@@ -1,0 +1,247 @@
+//===- tests/corpus_test.cpp - Unit tests for src/corpus ------------------===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/BenchmarkSuite.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+using namespace metaopt;
+
+namespace {
+
+CorpusOptions smallCorpus() {
+  CorpusOptions Options;
+  Options.MinLoopsPerBenchmark = 4;
+  Options.MaxLoopsPerBenchmark = 6;
+  return Options;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Generators (property tests across seeds)
+//===----------------------------------------------------------------------===//
+
+/// Every family produces well-formed loops across many seeds.
+class GeneratorWellFormed : public ::testing::TestWithParam<int> {};
+
+TEST_P(GeneratorWellFormed, ManySeeds) {
+  LoopKind Kind = static_cast<LoopKind>(GetParam());
+  for (uint64_t Seed = 0; Seed < 200; ++Seed) {
+    Rng Generator(Seed * 131071 + GetParam());
+    LoopGenParams Params;
+    Params.Name = std::string(loopKindName(Kind)) + std::to_string(Seed);
+    Params.Lang = Seed % 2 ? SourceLanguage::Fortran : SourceLanguage::C;
+    Params.NestLevel = 1 + static_cast<int>(Seed % 4);
+    Params.TripCount =
+        Seed % 3 == 0 ? Loop::UnknownTripCount
+                      : static_cast<int64_t>(16 + Seed % 100);
+    Params.RuntimeTripCount = 16 + static_cast<int64_t>(Seed % 100);
+    Params.SizeScale = 1 + static_cast<int>(Seed % 6);
+    Loop L = generateLoop(Kind, Params, Generator);
+    std::vector<std::string> Errors = verifyLoop(L);
+    ASSERT_TRUE(Errors.empty())
+        << loopKindName(Kind) << " seed " << Seed << ": " << Errors[0];
+    EXPECT_GT(L.bodySizeWithoutControl(), 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKinds, GeneratorWellFormed,
+                         ::testing::Range(0,
+                                          static_cast<int>(NumLoopKinds)));
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  LoopGenParams Params;
+  Params.Name = "det";
+  Params.TripCount = 64;
+  Params.RuntimeTripCount = 64;
+  Rng A(42), B(42);
+  Loop LoopA = generateLoop(LoopKind::Mixed, Params, A);
+  Loop LoopB = generateLoop(LoopKind::Mixed, Params, B);
+  EXPECT_EQ(LoopA.body().size(), LoopB.body().size());
+  EXPECT_EQ(LoopA.phis().size(), LoopB.phis().size());
+  for (size_t I = 0; I < LoopA.body().size(); ++I)
+    EXPECT_EQ(LoopA.body()[I].Op, LoopB.body()[I].Op) << I;
+}
+
+TEST(GeneratorTest, KindCharacteristics) {
+  Rng Generator(1);
+  LoopGenParams Params;
+  Params.Name = "traits";
+  Params.TripCount = 128;
+  Params.RuntimeTripCount = 128;
+
+  auto Has = [](const Loop &L, auto Predicate) {
+    for (const Instruction &Instr : L.body())
+      if (Predicate(Instr))
+        return true;
+    return false;
+  };
+
+  Loop Chase = generateLoop(LoopKind::PointerChase, Params, Generator);
+  EXPECT_TRUE(Has(Chase, [](const Instruction &I) {
+    return I.isLoad() && I.Mem.Indirect;
+  }));
+  EXPECT_FALSE(Chase.phis().empty());
+
+  Loop Call = generateLoop(LoopKind::CallBearing, Params, Generator);
+  EXPECT_TRUE(Has(Call, [](const Instruction &I) { return I.isCall(); }));
+
+  Loop Branchy = generateLoop(LoopKind::Branchy, Params, Generator);
+  EXPECT_TRUE(Has(Branchy, [](const Instruction &I) {
+    return I.Op == Opcode::ExitIf;
+  }));
+
+  Loop Div = generateLoop(LoopKind::DivHeavy, Params, Generator);
+  EXPECT_TRUE(Has(Div, [](const Instruction &I) {
+    return I.Op == Opcode::FDiv;
+  }));
+
+  Loop Dot = generateLoop(LoopKind::DotReduce, Params, Generator);
+  EXPECT_FALSE(Dot.phis().empty());
+}
+
+TEST(GeneratorTest, KindNamesAreUniqueAndNonEmpty) {
+  std::set<std::string> Names;
+  for (unsigned I = 0; I < NumLoopKinds; ++I) {
+    std::string Name = loopKindName(static_cast<LoopKind>(I));
+    EXPECT_FALSE(Name.empty());
+    EXPECT_TRUE(Names.insert(Name).second) << Name;
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Benchmark suite
+//===----------------------------------------------------------------------===//
+
+TEST(BenchmarkSuiteTest, SeventyTwoBenchmarks) {
+  std::vector<Benchmark> Corpus = buildCorpus(smallCorpus());
+  EXPECT_EQ(Corpus.size(), 72u);
+}
+
+TEST(BenchmarkSuiteTest, NamesAreUnique) {
+  std::vector<Benchmark> Corpus = buildCorpus(smallCorpus());
+  std::set<std::string> Names;
+  for (const Benchmark &Bench : Corpus)
+    EXPECT_TRUE(Names.insert(Bench.Name).second) << Bench.Name;
+}
+
+TEST(BenchmarkSuiteTest, AllLoopsVerify) {
+  std::vector<Benchmark> Corpus = buildCorpus(smallCorpus());
+  for (const Benchmark &Bench : Corpus)
+    for (const CorpusLoop &Entry : Bench.Loops) {
+      std::vector<std::string> Errors = verifyLoop(Entry.TheLoop);
+      ASSERT_TRUE(Errors.empty())
+          << Entry.TheLoop.name() << ": " << Errors[0];
+    }
+}
+
+TEST(BenchmarkSuiteTest, LoopCountsWithinBounds) {
+  CorpusOptions Options = smallCorpus();
+  std::vector<Benchmark> Corpus = buildCorpus(Options);
+  for (const Benchmark &Bench : Corpus) {
+    EXPECT_GE(Bench.Loops.size(),
+              static_cast<size_t>(Options.MinLoopsPerBenchmark));
+    EXPECT_LE(Bench.Loops.size(),
+              static_cast<size_t>(Options.MaxLoopsPerBenchmark));
+  }
+}
+
+TEST(BenchmarkSuiteTest, DefaultScaleMatchesPaper) {
+  // The paper: "more than 2,500 loops - drawn from 72 benchmarks". The
+  // default corpus produces ~3,000 raw loops so the usable set after the
+  // paper's filters lands above 2,500.
+  std::vector<Benchmark> Corpus = buildCorpus();
+  size_t Total = 0;
+  for (const Benchmark &Bench : Corpus)
+    Total += Bench.Loops.size();
+  EXPECT_GT(Total, 2500u);
+  EXPECT_LT(Total, 4000u);
+}
+
+TEST(BenchmarkSuiteTest, DeterministicAcrossBuilds) {
+  std::vector<Benchmark> A = buildCorpus(smallCorpus());
+  std::vector<Benchmark> B = buildCorpus(smallCorpus());
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    ASSERT_EQ(A[I].Loops.size(), B[I].Loops.size()) << A[I].Name;
+    for (size_t J = 0; J < A[I].Loops.size(); ++J) {
+      EXPECT_EQ(A[I].Loops[J].TheLoop.name(),
+                B[I].Loops[J].TheLoop.name());
+      EXPECT_EQ(A[I].Loops[J].Executions, B[I].Loops[J].Executions);
+      EXPECT_EQ(A[I].Loops[J].Ctx.EffectiveIcacheBytes,
+                B[I].Loops[J].Ctx.EffectiveIcacheBytes);
+    }
+  }
+}
+
+TEST(BenchmarkSuiteTest, SeedChangesCorpus) {
+  CorpusOptions Options = smallCorpus();
+  std::vector<Benchmark> A = buildCorpus(Options);
+  Options.Seed ^= 0xdeadbeef;
+  std::vector<Benchmark> B = buildCorpus(Options);
+  // Some benchmark must differ in loop count or first loop shape.
+  bool Different = false;
+  for (size_t I = 0; I < A.size() && !Different; ++I) {
+    if (A[I].Loops.size() != B[I].Loops.size())
+      Different = true;
+    else if (!A[I].Loops.empty() &&
+             A[I].Loops[0].TheLoop.body().size() !=
+                 B[I].Loops[0].TheLoop.body().size())
+      Different = true;
+  }
+  EXPECT_TRUE(Different);
+}
+
+TEST(BenchmarkSuiteTest, Spec2000ListMatchesPaper) {
+  const std::vector<std::string> &Names = spec2000BenchmarkNames();
+  EXPECT_EQ(Names.size(), 24u);
+  // The paper excludes 252.eon (C++) and 191.fma3d (instrumentation bug).
+  for (const std::string &Name : Names) {
+    EXPECT_NE(Name, "252.eon");
+    EXPECT_NE(Name, "191.fma3d");
+  }
+  EXPECT_EQ(Names.front(), "164.gzip");
+  EXPECT_EQ(Names.back(), "301.apsi");
+}
+
+TEST(BenchmarkSuiteTest, SpecFpClassification) {
+  EXPECT_TRUE(isSpecFp("171.swim"));
+  EXPECT_TRUE(isSpecFp("179.art"));
+  EXPECT_FALSE(isSpecFp("164.gzip"));
+  EXPECT_FALSE(isSpecFp("181.mcf"));
+  EXPECT_FALSE(isSpecFp("not-a-benchmark"));
+}
+
+TEST(BenchmarkSuiteTest, ContextsAreSane) {
+  std::vector<Benchmark> Corpus = buildCorpus(smallCorpus());
+  for (const Benchmark &Bench : Corpus) {
+    EXPECT_GE(Bench.NonLoopFraction, 0.0);
+    EXPECT_LT(Bench.NonLoopFraction, 1.0);
+    for (const CorpusLoop &Entry : Bench.Loops) {
+      EXPECT_GE(Entry.Ctx.EffectiveIcacheBytes, 128);
+      EXPECT_LE(Entry.Ctx.EffectiveIcacheBytes, 16 * 1024);
+      EXPECT_GT(Entry.Ctx.DcacheMissRate, 0.0);
+      EXPECT_LT(Entry.Ctx.DcacheMissRate, 0.5);
+      EXPECT_GE(Entry.Ctx.IntRegBudget, 8);
+      EXPECT_GE(Entry.Ctx.FpRegBudget, 8);
+      EXPECT_GE(Entry.Executions, 1);
+      EXPECT_GT(Entry.TheLoop.runtimeTripCount(), 0);
+    }
+  }
+}
+
+TEST(BenchmarkSuiteTest, LanguageMixSpansAllThree) {
+  std::vector<Benchmark> Corpus = buildCorpus(smallCorpus());
+  std::set<SourceLanguage> Langs;
+  for (const Benchmark &Bench : Corpus)
+    Langs.insert(Bench.Lang);
+  EXPECT_EQ(Langs.size(), 3u); // C, Fortran, Fortran90.
+}

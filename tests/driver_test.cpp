@@ -1,0 +1,249 @@
+//===- tests/driver_test.cpp - Unit tests for core/driver -----------------===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/driver/Heuristics.h"
+#include "core/driver/Pipeline.h"
+#include "core/driver/SpeedupEvaluator.h"
+#include "core/ml/NearNeighbor.h"
+#include "heuristics/OrcLikeHeuristic.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+using namespace metaopt;
+
+namespace {
+
+/// A small corpus that labels in well under a second.
+CorpusOptions tinyCorpus() {
+  CorpusOptions Options;
+  Options.MinLoopsPerBenchmark = 2;
+  Options.MaxLoopsPerBenchmark = 3;
+  return Options;
+}
+
+LabelingOptions tinyLabeling() {
+  LabelingOptions Options;
+  Options.EnableSwp = false;
+  return Options;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Label collection
+//===----------------------------------------------------------------------===//
+
+TEST(LabelCollectorTest, ProducesValidExamples) {
+  std::vector<Benchmark> Corpus = buildCorpus(tinyCorpus());
+  size_t Raw = 0;
+  Dataset Data = collectLabels(Corpus, tinyLabeling(), &Raw);
+  EXPECT_GT(Raw, 100u);
+  EXPECT_GT(Data.size(), 50u);
+  EXPECT_LE(Data.size(), Raw);
+  for (const Example &Ex : Data.examples()) {
+    EXPECT_GE(Ex.Label, 1u);
+    EXPECT_LE(Ex.Label, MaxUnrollFactor);
+    // The label is the argmin of the measured cycles.
+    double Best = Ex.CyclesPerFactor[Ex.Label - 1];
+    for (double Cycles : Ex.CyclesPerFactor)
+      EXPECT_GE(Cycles + 1e-9, Best);
+    EXPECT_FALSE(Ex.LoopName.empty());
+    EXPECT_FALSE(Ex.BenchmarkName.empty());
+  }
+}
+
+TEST(LabelCollectorTest, AppliesTheNoiseFloor) {
+  std::vector<Benchmark> Corpus = buildCorpus(tinyCorpus());
+  LabelingOptions Options = tinyLabeling();
+  Dataset Data = collectLabels(Corpus, Options);
+  for (const Example &Ex : Data.examples())
+    EXPECT_GE(Ex.CyclesPerFactor[Ex.Label - 1],
+              Options.Protocol.MinReliableCycles);
+}
+
+TEST(LabelCollectorTest, AppliesTheSensitivityFilter) {
+  std::vector<Benchmark> Corpus = buildCorpus(tinyCorpus());
+  LabelingOptions Options = tinyLabeling();
+  Dataset Data = collectLabels(Corpus, Options);
+  for (const Example &Ex : Data.examples()) {
+    double Sum = 0.0;
+    for (double Cycles : Ex.CyclesPerFactor)
+      Sum += Cycles;
+    double Average = Sum / MaxUnrollFactor;
+    EXPECT_LE(Ex.CyclesPerFactor[Ex.Label - 1] * Options.MinBestVsAverage,
+              Average + 1e-6);
+  }
+}
+
+TEST(LabelCollectorTest, DeterministicAcrossRuns) {
+  std::vector<Benchmark> Corpus = buildCorpus(tinyCorpus());
+  Dataset A = collectLabels(Corpus, tinyLabeling());
+  Dataset B = collectLabels(Corpus, tinyLabeling());
+  ASSERT_EQ(A.size(), B.size());
+  for (size_t I = 0; I < A.size(); ++I) {
+    EXPECT_EQ(A[I].Label, B[I].Label);
+    EXPECT_DOUBLE_EQ(A[I].CyclesPerFactor[0], B[I].CyclesPerFactor[0]);
+  }
+}
+
+TEST(LabelCollectorTest, SwpConfigurationDiffers) {
+  std::vector<Benchmark> Corpus = buildCorpus(tinyCorpus());
+  LabelingOptions NoSwp = tinyLabeling();
+  LabelingOptions Swp = tinyLabeling();
+  Swp.EnableSwp = true;
+  Dataset A = collectLabels(Corpus, NoSwp);
+  Dataset B = collectLabels(Corpus, Swp);
+  // The two configurations must produce different label distributions.
+  auto HistA = A.labelHistogram();
+  auto HistB = B.labelHistogram();
+  EXPECT_NE(HistA, HistB);
+}
+
+//===----------------------------------------------------------------------===//
+// Learned and oracle policies
+//===----------------------------------------------------------------------===//
+
+TEST(LearnedHeuristicTest, DelegatesToClassifier) {
+  std::vector<Benchmark> Corpus = buildCorpus(tinyCorpus());
+  Dataset Data = collectLabels(Corpus, tinyLabeling());
+  NearNeighborClassifier Nn(paperReducedFeatureSet());
+  Nn.train(Data);
+  LearnedHeuristic Policy(Nn);
+  EXPECT_EQ(Policy.name(), "learned-near-neighbor");
+  for (const Benchmark &Bench : Corpus) {
+    for (const CorpusLoop &Entry : Bench.Loops) {
+      unsigned Factor = Policy.chooseFactor(Entry.TheLoop);
+      EXPECT_GE(Factor, 1u);
+      EXPECT_LE(Factor, MaxUnrollFactor);
+    }
+  }
+}
+
+TEST(OracleHeuristicTest, ReplaysLabels) {
+  std::vector<Benchmark> Corpus = buildCorpus(tinyCorpus());
+  Dataset Data = collectLabels(Corpus, tinyLabeling());
+  OracleHeuristic Oracle(Data, 1);
+  for (const Benchmark &Bench : Corpus) {
+    for (const CorpusLoop &Entry : Bench.Loops) {
+      unsigned Factor = Oracle.chooseFactor(Entry.TheLoop);
+      // Labeled loops replay their label; filtered loops fall back to 1.
+      bool Found = false;
+      for (const Example &Ex : Data.examples()) {
+        if (Ex.LoopName == Entry.TheLoop.name()) {
+          EXPECT_EQ(Factor, Ex.Label);
+          Found = true;
+        }
+      }
+      if (!Found) {
+        EXPECT_EQ(Factor, 1u);
+      }
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Speedup evaluation
+//===----------------------------------------------------------------------===//
+
+TEST(SpeedupEvaluatorTest, OracleNeverLosesToBaselineLoopTime) {
+  // On pure loop time (no noise, same simulator), the oracle's per-loop
+  // choices are by construction at least as good as any other policy for
+  // labeled loops; whole-benchmark times include unlabeled loops where
+  // oracle falls back, so allow slack but demand rough sanity.
+  std::vector<Benchmark> Corpus = buildCorpus(tinyCorpus());
+  Dataset Data = collectLabels(Corpus, tinyLabeling());
+  SpeedupOptions Options;
+  Options.Labeling = tinyLabeling();
+  std::vector<std::string> Eval = {"164.gzip", "171.swim", "179.art"};
+  SpeedupReport Report =
+      evaluateSpeedups(Corpus, Eval, Data, paperReducedFeatureSet(),
+                       Options);
+  ASSERT_EQ(Report.Rows.size(), 3u);
+  for (const SpeedupRow &Row : Report.Rows) {
+    EXPECT_GT(Row.OracleVsOrc, -0.25) << Row.Benchmark;
+    EXPECT_LT(Row.OracleVsOrc, 3.0) << Row.Benchmark;
+  }
+}
+
+TEST(SpeedupEvaluatorTest, FpFlagsMatchSuite) {
+  std::vector<Benchmark> Corpus = buildCorpus(tinyCorpus());
+  Dataset Data = collectLabels(Corpus, tinyLabeling());
+  SpeedupOptions Options;
+  Options.Labeling = tinyLabeling();
+  std::vector<std::string> Eval = {"164.gzip", "171.swim"};
+  SpeedupReport Report =
+      evaluateSpeedups(Corpus, Eval, Data, paperReducedFeatureSet(),
+                       Options);
+  EXPECT_FALSE(Report.Rows[0].FloatingPoint); // gzip.
+  EXPECT_TRUE(Report.Rows[1].FloatingPoint);  // swim.
+}
+
+TEST(SpeedupEvaluatorTest, NonLoopTimeDilutes) {
+  std::vector<Benchmark> Corpus = buildCorpus(tinyCorpus());
+  MachineModel Machine(itanium2Config());
+  OrcLikeHeuristic Orc(Machine, false);
+  const Benchmark &Bench = Corpus.front();
+  double NonLoop = nonLoopCycles(Bench, Orc, Machine, false);
+  double LoopOnly = benchmarkCycles(Bench, Orc, Machine, false, 0.0);
+  EXPECT_GT(NonLoop, 0.0);
+  EXPECT_NEAR(NonLoop / (NonLoop + LoopOnly), Bench.NonLoopFraction,
+              1e-9);
+}
+
+//===----------------------------------------------------------------------===//
+// Pipeline
+//===----------------------------------------------------------------------===//
+
+TEST(PipelineTest, LazyAndConsistent) {
+  PipelineOptions Options;
+  Options.Corpus = tinyCorpus();
+  Options.CacheDir = "";
+  Pipeline Pipe(Options);
+  EXPECT_EQ(Pipe.corpus().size(), 72u);
+  const Dataset &First = Pipe.dataset(false);
+  const Dataset &Second = Pipe.dataset(false);
+  EXPECT_EQ(&First, &Second); // Same object: labeled once.
+  EXPECT_GT(Pipe.totalLoops(false), First.size());
+}
+
+TEST(PipelineTest, DiskCacheRoundTrips) {
+  std::string CacheDir =
+      ::testing::TempDir() + "/metaopt_pipeline_cache_test";
+  std::filesystem::remove_all(CacheDir);
+
+  PipelineOptions Options;
+  Options.Corpus = tinyCorpus();
+  Options.CacheDir = CacheDir;
+
+  Pipeline First(Options);
+  const Dataset &Fresh = First.dataset(false);
+  size_t FreshSize = Fresh.size();
+
+  Pipeline Second(Options);
+  const Dataset &Cached = Second.dataset(false);
+  ASSERT_EQ(Cached.size(), FreshSize);
+  for (size_t I = 0; I < FreshSize; ++I) {
+    EXPECT_EQ(Cached[I].Label, Fresh[I].Label);
+    EXPECT_EQ(Cached[I].LoopName, Fresh[I].LoopName);
+  }
+  std::filesystem::remove_all(CacheDir);
+}
+
+TEST(PipelineTest, ExportWritesCsv) {
+  PipelineOptions Options;
+  Options.Corpus = tinyCorpus();
+  Options.CacheDir = "";
+  Pipeline Pipe(Options);
+  std::string Path = ::testing::TempDir() + "/metaopt_export_test.csv";
+  ASSERT_TRUE(Pipe.exportDatasetCsv(false, Path));
+  std::FILE *File = std::fopen(Path.c_str(), "rb");
+  ASSERT_NE(File, nullptr);
+  std::fclose(File);
+  std::filesystem::remove(Path);
+}

@@ -1,0 +1,281 @@
+//===- tests/features_test.cpp - Unit tests for core/features -------------===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/features/FeatureExtractor.h"
+#include "core/features/Normalizer.h"
+#include "corpus/LoopGenerators.h"
+#include "ir/LoopBuilder.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+using namespace metaopt;
+
+namespace {
+
+double get(const FeatureVector &Features, FeatureId Id) {
+  return Features[static_cast<unsigned>(Id)];
+}
+
+Loop makeDaxpy(int64_t Trip = 1024) {
+  LoopBuilder B("daxpy", SourceLanguage::C, 1, Trip);
+  RegId Alpha = B.liveIn(RegClass::Float, "alpha");
+  MemRef X{0, 8, 0, false, 8};
+  MemRef Y{1, 8, 0, false, 8};
+  RegId Xv = B.load(RegClass::Float, X);
+  RegId Yv = B.load(RegClass::Float, Y);
+  B.store(B.fma(Alpha, Xv, Yv), Y);
+  return B.finalize();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Catalogue
+//===----------------------------------------------------------------------===//
+
+TEST(FeatureCatalogTest, ThirtyEightUniqueNames) {
+  std::set<std::string> Names;
+  for (unsigned I = 0; I < NumFeatures; ++I) {
+    FeatureId Id = static_cast<FeatureId>(I);
+    EXPECT_TRUE(Names.insert(featureName(Id)).second) << featureName(Id);
+    EXPECT_NE(std::string(featureDescription(Id)), "");
+  }
+  EXPECT_EQ(Names.size(), 38u);
+}
+
+TEST(FeatureCatalogTest, FullSetCoversEverything) {
+  FeatureSet Full = fullFeatureSet();
+  EXPECT_EQ(Full.size(), NumFeatures);
+  std::set<FeatureId> Unique(Full.begin(), Full.end());
+  EXPECT_EQ(Unique.size(), NumFeatures);
+}
+
+TEST(FeatureCatalogTest, ReducedSetIsTablesUnion) {
+  FeatureSet Reduced = paperReducedFeatureSet();
+  EXPECT_EQ(Reduced.size(), 10u);
+  std::set<FeatureId> Set(Reduced.begin(), Reduced.end());
+  // Spot-check members named in Tables 3 and 4.
+  EXPECT_TRUE(Set.count(FeatureId::NumFloatOps));
+  EXPECT_TRUE(Set.count(FeatureId::LiveRangeSize));
+  EXPECT_TRUE(Set.count(FeatureId::KnownTripCount));
+  EXPECT_TRUE(Set.count(FeatureId::NestLevel));
+}
+
+//===----------------------------------------------------------------------===//
+// Extraction on hand-built loops
+//===----------------------------------------------------------------------===//
+
+TEST(FeatureExtractorTest, DaxpyCounts) {
+  FeatureVector F = extractFeatures(makeDaxpy());
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::NumOps), 4.0); // 2 ld + fma + st.
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::NumFloatOps), 1.0);
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::NumMemOps), 3.0);
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::NumLoads), 2.0);
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::NumStores), 1.0);
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::NumBranches), 0.0);
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::NumDefs), 3.0);
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::TripCount), 1024.0);
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::KnownTripCount), 1.0);
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::Language), 0.0);
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::NestLevel), 1.0);
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::NumIndirectRefs), 0.0);
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::NumLoopCarriedValues), 0.0);
+}
+
+TEST(FeatureExtractorTest, UnknownTripEncodedAsMinusOne) {
+  LoopBuilder B("u", SourceLanguage::Fortran90, 3,
+                Loop::UnknownTripCount);
+  RegId V = B.load(RegClass::Int, {0, 4, 0, false, 4});
+  B.store(V, {1, 4, 0, false, 4});
+  Loop L = B.finalize();
+  FeatureVector F = extractFeatures(L);
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::TripCount), -1.0);
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::KnownTripCount), 0.0);
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::Language), 2.0);
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::NestLevel), 3.0);
+}
+
+TEST(FeatureExtractorTest, BranchAndCallCounts) {
+  LoopBuilder B("bc", SourceLanguage::C, 1, 64);
+  RegId V = B.load(RegClass::Int, {0, 4, 0, false, 4});
+  RegId Lim = B.liveIn(RegClass::Int, "lim");
+  B.exitIf(B.icmp(V, Lim), 0.25);
+  B.call({});
+  Loop L = B.finalize();
+  FeatureVector F = extractFeatures(L);
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::NumBranches), 2.0); // exit + call.
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::NumCalls), 1.0);
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::NumEarlyExits), 1.0);
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::SumExitProbability), 0.25);
+}
+
+TEST(FeatureExtractorTest, PredicatesCounted) {
+  LoopBuilder B("pred", SourceLanguage::C, 1, 64);
+  RegId T = B.liveIn(RegClass::Float, "t");
+  RegId X = B.load(RegClass::Float, {0, 8, 0, false, 8});
+  RegId C1 = B.fcmp(X, T);
+  RegId C2 = B.fcmp(T, X);
+  B.setPredicate(C1);
+  B.fadd(X, T);
+  B.setPredicate(C2);
+  B.fadd(T, X);
+  B.setPredicate(C1); // Reuse: still only two unique predicates.
+  B.fadd(X, X);
+  B.clearPredicate();
+  Loop L = B.finalize();
+  FeatureVector F = extractFeatures(L);
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::NumUniquePredicates), 2.0);
+}
+
+TEST(FeatureExtractorTest, IndirectRefsAndRecurrence) {
+  LoopBuilder B("gather", SourceLanguage::C, 1, 64);
+  RegId Acc = B.phi(RegClass::Float, "acc");
+  RegId Index = B.load(RegClass::Int, {0, 4, 0, false, 4});
+  RegId V = B.load(RegClass::Float, {1, 0, 0, true, 8}, Index);
+  B.setPhiRecur(Acc, B.fadd(Acc, V));
+  Loop L = B.finalize();
+  FeatureVector F = extractFeatures(L);
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::NumIndirectRefs), 1.0);
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::NumLoopCarriedValues), 1.0);
+  EXPECT_GE(get(F, FeatureId::RecMii), 4.0); // fadd-latency-bound.
+}
+
+TEST(FeatureExtractorTest, CriticalPathGrowsWithChains) {
+  LoopBuilder Short("short", SourceLanguage::C, 1, 64);
+  RegId X = Short.load(RegClass::Float, {0, 8, 0, false, 8});
+  Short.store(X, {1, 8, 0, false, 8});
+  Loop ShortLoop = Short.finalize();
+
+  LoopBuilder Long("long", SourceLanguage::C, 1, 64);
+  RegId Y = Long.load(RegClass::Float, {0, 8, 0, false, 8});
+  for (int I = 0; I < 5; ++I)
+    Y = Long.fmul(Y, Y);
+  Long.store(Y, {1, 8, 0, false, 8});
+  Loop LongLoop = Long.finalize();
+
+  EXPECT_GT(get(extractFeatures(LongLoop), FeatureId::CriticalPathLatency),
+            get(extractFeatures(ShortLoop),
+                FeatureId::CriticalPathLatency));
+}
+
+TEST(FeatureExtractorTest, MoreStreamsMoreParallelComputations) {
+  auto Streams = [](int Count) {
+    LoopBuilder B("par", SourceLanguage::C, 1, 64);
+    for (int S = 0; S < Count; ++S) {
+      RegId X = B.load(RegClass::Float,
+                       {static_cast<int32_t>(2 * S), 8, 0, false, 8});
+      B.store(X, {static_cast<int32_t>(2 * S + 1), 8, 0, false, 8});
+    }
+    return extractFeatures(B.finalize());
+  };
+  EXPECT_GT(get(Streams(5), FeatureId::NumParallelComputations),
+            get(Streams(2), FeatureId::NumParallelComputations));
+}
+
+TEST(FeatureExtractorTest, ExtractionIsDeterministic) {
+  Rng Generator(3);
+  LoopGenParams Params;
+  Params.Name = "det";
+  Params.TripCount = 128;
+  Params.RuntimeTripCount = 128;
+  Loop L = generateLoop(LoopKind::Mixed, Params, Generator);
+  FeatureVector A = extractFeatures(L);
+  FeatureVector B = extractFeatures(L);
+  EXPECT_EQ(A, B);
+}
+
+TEST(FeatureExtractorTest, AllFeaturesFiniteAcrossGenerators) {
+  for (unsigned Kind = 0; Kind < NumLoopKinds; ++Kind) {
+    Rng Generator(Kind * 7 + 1);
+    LoopGenParams Params;
+    Params.Name = "finite";
+    Params.TripCount = 100;
+    Params.RuntimeTripCount = 100;
+    Loop L = generateLoop(static_cast<LoopKind>(Kind), Params, Generator);
+    FeatureVector F = extractFeatures(L);
+    for (unsigned I = 0; I < NumFeatures; ++I)
+      EXPECT_TRUE(std::isfinite(F[I]))
+          << loopKindName(static_cast<LoopKind>(Kind)) << " feature "
+          << featureName(static_cast<FeatureId>(I));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Normalizer
+//===----------------------------------------------------------------------===//
+
+TEST(NormalizerTest, ZScoreProducesZeroMeanUnitVariance) {
+  std::vector<FeatureVector> Vectors(50);
+  Rng Generator(5);
+  for (FeatureVector &V : Vectors) {
+    V.fill(0.0);
+    V[0] = Generator.nextGaussian(100.0, 25.0);
+    V[1] = Generator.nextGaussian(-2.0, 0.5);
+  }
+  FeatureSet Features = {static_cast<FeatureId>(0),
+                         static_cast<FeatureId>(1)};
+  Normalizer Norm;
+  Norm.fit(Vectors, Features);
+  double Sum0 = 0, Sum1 = 0, Sq0 = 0, Sq1 = 0;
+  for (const FeatureVector &V : Vectors) {
+    std::vector<double> Out = Norm.apply(V);
+    Sum0 += Out[0];
+    Sum1 += Out[1];
+    Sq0 += Out[0] * Out[0];
+    Sq1 += Out[1] * Out[1];
+  }
+  EXPECT_NEAR(Sum0 / 50, 0.0, 1e-9);
+  EXPECT_NEAR(Sum1 / 50, 0.0, 1e-9);
+  EXPECT_NEAR(Sq0 / 50, 1.0, 1e-9);
+  EXPECT_NEAR(Sq1 / 50, 1.0, 1e-9);
+}
+
+TEST(NormalizerTest, MinMaxMapsToUnitInterval) {
+  std::vector<FeatureVector> Vectors(20);
+  for (size_t I = 0; I < 20; ++I) {
+    Vectors[I].fill(0.0);
+    Vectors[I][3] = static_cast<double>(I) * 10.0;
+  }
+  Normalizer Norm;
+  Norm.fit(Vectors, {static_cast<FeatureId>(3)},
+           NormalizationKind::MinMax);
+  EXPECT_DOUBLE_EQ(Norm.apply(Vectors[0])[0], 0.0);
+  EXPECT_DOUBLE_EQ(Norm.apply(Vectors[19])[0], 1.0);
+  EXPECT_NEAR(Norm.apply(Vectors[10])[0], 10.0 / 19.0, 1e-12);
+}
+
+TEST(NormalizerTest, ConstantFeatureDoesNotDivideByZero) {
+  std::vector<FeatureVector> Vectors(5);
+  for (FeatureVector &V : Vectors)
+    V.fill(7.0);
+  Normalizer Norm;
+  Norm.fit(Vectors, {static_cast<FeatureId>(0)});
+  std::vector<double> Out = Norm.apply(Vectors[0]);
+  EXPECT_TRUE(std::isfinite(Out[0]));
+  EXPECT_DOUBLE_EQ(Out[0], 0.0);
+}
+
+TEST(NormalizerTest, SubsetSelectsAndOrders) {
+  FeatureVector V;
+  V.fill(0.0);
+  V[static_cast<unsigned>(FeatureId::NumOps)] = 11.0;
+  V[static_cast<unsigned>(FeatureId::NumMemOps)] = 22.0;
+  Normalizer Norm;
+  // Fit on a spread so scaling is identity-ish but nonzero.
+  std::vector<FeatureVector> Fit(2, V);
+  Fit[1][static_cast<unsigned>(FeatureId::NumOps)] = 13.0;
+  Fit[1][static_cast<unsigned>(FeatureId::NumMemOps)] = 26.0;
+  Norm.fit(Fit, {FeatureId::NumMemOps, FeatureId::NumOps});
+  std::vector<double> Out = Norm.apply(V);
+  ASSERT_EQ(Out.size(), 2u);
+  // First output dimension must be NumMemOps (the subset's order).
+  EXPECT_LT(Out[0], 0.0); // 22 below the fit mean 24.
+  EXPECT_LT(Out[1], 0.0); // 11 below the fit mean 12.
+}

@@ -1,0 +1,163 @@
+//===- tests/heuristics_test.cpp - Unit tests for src/heuristics ----------===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/LoopGenerators.h"
+#include "heuristics/OrcLikeHeuristic.h"
+#include "ir/LoopBuilder.h"
+
+#include <gtest/gtest.h>
+
+using namespace metaopt;
+
+namespace {
+
+Loop makeDaxpy(int64_t Trip = 1024) {
+  LoopBuilder B("daxpy", SourceLanguage::C, 1, Trip);
+  RegId Alpha = B.liveIn(RegClass::Float, "alpha");
+  MemRef X{0, 8, 0, false, 8};
+  MemRef Y{1, 8, 0, false, 8};
+  RegId Xv = B.load(RegClass::Float, X);
+  RegId Yv = B.load(RegClass::Float, Y);
+  B.store(B.fma(Alpha, Xv, Yv), Y);
+  return B.finalize();
+}
+
+Loop makeCallLoop() {
+  LoopBuilder B("call", SourceLanguage::C, 1, 512);
+  RegId X = B.load(RegClass::Float, {0, 8, 0, false, 8});
+  B.call({X});
+  return B.finalize();
+}
+
+Loop makeFatLoop(int Ops) {
+  LoopBuilder B("fat", SourceLanguage::C, 1, 512);
+  RegId X = B.liveIn(RegClass::Float, "x");
+  for (int I = 0; I < Ops; ++I)
+    B.fadd(X, X);
+  return B.finalize();
+}
+
+} // namespace
+
+TEST(FixedFactorTest, AlwaysAnswersItsFactor) {
+  FixedFactorHeuristic Two(2);
+  EXPECT_EQ(Two.chooseFactor(makeDaxpy()), 2u);
+  EXPECT_EQ(Two.chooseFactor(makeCallLoop()), 2u);
+  EXPECT_EQ(Two.name(), "fixed-2");
+}
+
+TEST(OrcLikeTest, NamesDifferByMode) {
+  MachineModel M(itanium2Config());
+  EXPECT_EQ(OrcLikeHeuristic(M, false).name(), "orc");
+  EXPECT_EQ(OrcLikeHeuristic(M, true).name(), "orc-swp");
+}
+
+TEST(OrcLikeTest, NeverUnrollsCalls) {
+  MachineModel M(itanium2Config());
+  OrcLikeHeuristic Orc(M, false);
+  EXPECT_EQ(Orc.chooseFactor(makeCallLoop()), 1u);
+  OrcLikeHeuristic OrcSwp(M, true);
+  EXPECT_EQ(OrcSwp.chooseFactor(makeCallLoop()), 1u);
+}
+
+TEST(OrcLikeTest, BigBodiesStayRolled) {
+  MachineModel M(itanium2Config());
+  OrcLikeHeuristic Orc(M, false);
+  EXPECT_EQ(Orc.chooseFactor(makeFatLoop(60)), 1u);
+}
+
+TEST(OrcLikeTest, SmallBodiesUnrollMore) {
+  MachineModel M(itanium2Config());
+  OrcLikeHeuristic Orc(M, false);
+  unsigned SmallBody = Orc.chooseFactor(makeDaxpy());
+  unsigned MediumBody = Orc.chooseFactor(makeFatLoop(20));
+  EXPECT_GT(SmallBody, MediumBody);
+}
+
+TEST(OrcLikeTest, FullyUnrollsTinyTripCounts) {
+  MachineModel M(itanium2Config());
+  OrcLikeHeuristic Orc(M, false);
+  EXPECT_EQ(Orc.chooseFactor(makeDaxpy(6)), 6u);
+  EXPECT_EQ(Orc.chooseFactor(makeDaxpy(3)), 3u);
+}
+
+TEST(OrcLikeTest, NeverExceedsTripCount) {
+  MachineModel M(itanium2Config());
+  OrcLikeHeuristic Orc(M, false);
+  EXPECT_LE(Orc.chooseFactor(makeDaxpy(10)), 10u);
+}
+
+TEST(OrcLikeTest, ExitLoopsCapLow) {
+  MachineModel M(itanium2Config());
+  OrcLikeHeuristic Orc(M, false);
+  LoopBuilder B("branchy", SourceLanguage::C, 1, 512);
+  RegId V = B.load(RegClass::Int, {0, 4, 0, false, 4});
+  RegId Lim = B.liveIn(RegClass::Int, "lim");
+  B.exitIf(B.icmp(V, Lim), 0.01);
+  B.store(V, {1, 4, 0, false, 4});
+  Loop L = B.finalize();
+  EXPECT_LE(Orc.chooseFactor(L), 2u);
+}
+
+TEST(OrcLikeTest, PowerOfTwoFactors) {
+  MachineModel M(itanium2Config());
+  OrcLikeHeuristic Orc(M, false);
+  Rng Generator(5);
+  for (unsigned I = 0; I < NumLoopKinds; ++I) {
+    LoopGenParams Params;
+    Params.Name = "orc";
+    Params.TripCount = 500; // Not a tiny trip: rule 3 does not apply.
+    Params.RuntimeTripCount = 500;
+    Loop L = generateLoop(static_cast<LoopKind>(I), Params, Generator);
+    unsigned Factor = Orc.chooseFactor(L);
+    EXPECT_TRUE(Factor == 1 || Factor == 2 || Factor == 4 || Factor == 8)
+        << loopKindName(static_cast<LoopKind>(I)) << " got " << Factor;
+  }
+}
+
+TEST(OrcLikeTest, SwpModeAvoidsRecurrenceBoundLoops) {
+  MachineModel M(itanium2Config());
+  OrcLikeHeuristic OrcSwp(M, true);
+  // Tight serial recurrence: unrolling cannot lower II per iteration.
+  LoopBuilder B("iir", SourceLanguage::C, 1, 512);
+  RegId A = B.liveIn(RegClass::Float, "a");
+  RegId Y = B.phi(RegClass::Float, "y");
+  RegId X = B.load(RegClass::Float, {0, 8, 0, false, 8});
+  RegId Next = B.fma(A, Y, X);
+  B.store(Next, {1, 8, 0, false, 8});
+  B.setPhiRecur(Y, Next);
+  Loop L = B.finalize();
+  EXPECT_EQ(OrcSwp.chooseFactor(L), 1u);
+}
+
+TEST(OrcLikeTest, SwpModeChasesFractionalII) {
+  MachineModel M(itanium2Config());
+  OrcLikeHeuristic OrcSwp(M, true);
+  // daxpy: 3 mem ops -> ResMII 0.75; unrolling by 4 makes the scaled MII
+  // integral (3.0) with zero wasted slots, so the heuristic unrolls.
+  EXPECT_GT(OrcSwp.chooseFactor(makeDaxpy()), 1u);
+}
+
+TEST(OrcLikeTest, AllChoicesInRange) {
+  MachineModel M(itanium2Config());
+  for (bool Swp : {false, true}) {
+    OrcLikeHeuristic Orc(M, Swp);
+    Rng Generator(17);
+    for (int Trial = 0; Trial < 60; ++Trial) {
+      LoopGenParams Params;
+      Params.Name = "range";
+      Params.TripCount = 1 + static_cast<int64_t>(Trial) * 7;
+      Params.RuntimeTripCount = Params.TripCount;
+      LoopKind Kind =
+          static_cast<LoopKind>(Generator.nextBelow(NumLoopKinds));
+      Loop L = generateLoop(Kind, Params, Generator);
+      unsigned Factor = Orc.chooseFactor(L);
+      EXPECT_GE(Factor, 1u);
+      EXPECT_LE(Factor, MaxUnrollFactor);
+    }
+  }
+}

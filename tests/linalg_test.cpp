@@ -1,0 +1,265 @@
+//===- tests/linalg_test.cpp - Unit tests for src/linalg ------------------===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "linalg/Cholesky.h"
+#include "linalg/Eigen.h"
+#include "linalg/Matrix.h"
+#include "support/Rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace metaopt;
+
+namespace {
+
+/// Random symmetric positive-definite matrix A = B^T B + eps I.
+Matrix randomSpd(size_t N, Rng &Generator, double Ridge = 0.5) {
+  Matrix B(N, N);
+  for (size_t I = 0; I < N; ++I)
+    for (size_t J = 0; J < N; ++J)
+      B.at(I, J) = Generator.nextGaussian();
+  Matrix A = B.transpose().multiply(B);
+  A.addToDiagonal(Ridge);
+  return A;
+}
+
+std::vector<double> randomVector(size_t N, Rng &Generator) {
+  std::vector<double> V(N);
+  for (double &X : V)
+    X = Generator.nextGaussian();
+  return V;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Matrix
+//===----------------------------------------------------------------------===//
+
+TEST(MatrixTest, IdentityMultiplication) {
+  Rng Generator(1);
+  Matrix A = randomSpd(5, Generator);
+  Matrix I = Matrix::identity(5);
+  EXPECT_LT(A.multiply(I).distanceFrom(A), 1e-12);
+  EXPECT_LT(I.multiply(A).distanceFrom(A), 1e-12);
+}
+
+TEST(MatrixTest, MultiplyKnownValues) {
+  Matrix A(2, 3);
+  A.at(0, 0) = 1;
+  A.at(0, 1) = 2;
+  A.at(0, 2) = 3;
+  A.at(1, 0) = 4;
+  A.at(1, 1) = 5;
+  A.at(1, 2) = 6;
+  Matrix B(3, 1);
+  B.at(0, 0) = 7;
+  B.at(1, 0) = 8;
+  B.at(2, 0) = 9;
+  Matrix C = A.multiply(B);
+  EXPECT_DOUBLE_EQ(C.at(0, 0), 50.0);
+  EXPECT_DOUBLE_EQ(C.at(1, 0), 122.0);
+}
+
+TEST(MatrixTest, TransposeInvolution) {
+  Rng Generator(2);
+  Matrix A(3, 7);
+  for (size_t I = 0; I < 3; ++I)
+    for (size_t J = 0; J < 7; ++J)
+      A.at(I, J) = Generator.nextGaussian();
+  EXPECT_LT(A.transpose().transpose().distanceFrom(A), 1e-15);
+}
+
+TEST(MatrixTest, MatrixVectorAgainstMatrixMatrix) {
+  Rng Generator(3);
+  Matrix A = randomSpd(6, Generator);
+  std::vector<double> V = randomVector(6, Generator);
+  std::vector<double> Direct = A.multiply(V);
+  Matrix Column(6, 1);
+  for (size_t I = 0; I < 6; ++I)
+    Column.at(I, 0) = V[I];
+  Matrix Product = A.multiply(Column);
+  for (size_t I = 0; I < 6; ++I)
+    EXPECT_NEAR(Direct[I], Product.at(I, 0), 1e-12);
+}
+
+TEST(MatrixTest, VectorHelpers) {
+  std::vector<double> A = {1, 2, 3};
+  std::vector<double> B = {4, -5, 6};
+  EXPECT_DOUBLE_EQ(dotProduct(A, B), 12.0);
+  EXPECT_DOUBLE_EQ(squaredDistance(A, B), 9 + 49 + 9);
+  EXPECT_DOUBLE_EQ(vectorNorm({3, 4}), 5.0);
+  addScaled(A, 2.0, B);
+  EXPECT_DOUBLE_EQ(A[0], 9.0);
+  EXPECT_DOUBLE_EQ(A[1], -8.0);
+}
+
+//===----------------------------------------------------------------------===//
+// Cholesky
+//===----------------------------------------------------------------------===//
+
+TEST(CholeskyTest, FactorReconstructs) {
+  Rng Generator(4);
+  Matrix A = randomSpd(8, Generator);
+  auto Factor = Cholesky::factor(A);
+  ASSERT_TRUE(Factor.has_value());
+  const Matrix &L = Factor->factorMatrix();
+  Matrix Reconstructed = L.multiply(L.transpose());
+  EXPECT_LT(Reconstructed.distanceFrom(A), 1e-9);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix A(2, 2);
+  A.at(0, 0) = 1;
+  A.at(0, 1) = 2;
+  A.at(1, 0) = 2;
+  A.at(1, 1) = 1; // Eigenvalues 3 and -1.
+  EXPECT_FALSE(Cholesky::factor(A).has_value());
+}
+
+TEST(CholeskyTest, SolveSatisfiesSystem) {
+  Rng Generator(5);
+  for (size_t N : {1u, 2u, 5u, 20u}) {
+    Matrix A = randomSpd(N, Generator);
+    std::vector<double> B = randomVector(N, Generator);
+    auto Factor = Cholesky::factor(A);
+    ASSERT_TRUE(Factor.has_value());
+    std::vector<double> X = Factor->solve(B);
+    std::vector<double> Residual = A.multiply(X);
+    addScaled(Residual, -1.0, B);
+    EXPECT_LT(vectorNorm(Residual), 1e-8) << "order " << N;
+  }
+}
+
+TEST(CholeskyTest, MatrixSolveMatchesColumnSolves) {
+  Rng Generator(6);
+  Matrix A = randomSpd(6, Generator);
+  Matrix B(6, 3);
+  for (size_t I = 0; I < 6; ++I)
+    for (size_t J = 0; J < 3; ++J)
+      B.at(I, J) = Generator.nextGaussian();
+  auto Factor = Cholesky::factor(A);
+  ASSERT_TRUE(Factor.has_value());
+  Matrix X = Factor->solve(B);
+  for (size_t J = 0; J < 3; ++J) {
+    std::vector<double> Column(6);
+    for (size_t I = 0; I < 6; ++I)
+      Column[I] = B.at(I, J);
+    std::vector<double> Xj = Factor->solve(Column);
+    for (size_t I = 0; I < 6; ++I)
+      EXPECT_NEAR(X.at(I, J), Xj[I], 1e-10);
+  }
+}
+
+TEST(CholeskyTest, InverseTimesOriginalIsIdentity) {
+  Rng Generator(7);
+  Matrix A = randomSpd(10, Generator);
+  auto Factor = Cholesky::factor(A);
+  ASSERT_TRUE(Factor.has_value());
+  Matrix Inverse = Factor->inverse();
+  Matrix Product = A.multiply(Inverse);
+  EXPECT_LT(Product.distanceFrom(Matrix::identity(10)), 1e-8);
+}
+
+TEST(CholeskyTest, LogDeterminantMatchesKnown) {
+  Matrix A(2, 2);
+  A.at(0, 0) = 4;
+  A.at(1, 1) = 9; // det = 36.
+  auto Factor = Cholesky::factor(A);
+  ASSERT_TRUE(Factor.has_value());
+  EXPECT_NEAR(Factor->logDeterminant(), std::log(36.0), 1e-12);
+}
+
+/// Property: solve(A, A*x) == x for random systems of several orders.
+class CholeskyRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(CholeskyRoundTrip, SolveInvertsMultiply) {
+  Rng Generator(100 + GetParam());
+  size_t N = static_cast<size_t>(GetParam());
+  Matrix A = randomSpd(N, Generator);
+  std::vector<double> X = randomVector(N, Generator);
+  std::vector<double> B = A.multiply(X);
+  auto Factor = Cholesky::factor(A);
+  ASSERT_TRUE(Factor.has_value());
+  std::vector<double> Solved = Factor->solve(B);
+  addScaled(Solved, -1.0, X);
+  EXPECT_LT(vectorNorm(Solved), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, CholeskyRoundTrip,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+//===----------------------------------------------------------------------===//
+// Eigen
+//===----------------------------------------------------------------------===//
+
+TEST(EigenTest, DiagonalMatrix) {
+  Matrix A(3, 3);
+  A.at(0, 0) = 3;
+  A.at(1, 1) = 1;
+  A.at(2, 2) = 2;
+  EigenDecomposition E = symmetricEigen(A);
+  ASSERT_EQ(E.Values.size(), 3u);
+  EXPECT_NEAR(E.Values[0], 3.0, 1e-12);
+  EXPECT_NEAR(E.Values[1], 2.0, 1e-12);
+  EXPECT_NEAR(E.Values[2], 1.0, 1e-12);
+}
+
+TEST(EigenTest, KnownTwoByTwo) {
+  // [[2,1],[1,2]] has eigenvalues 3 and 1.
+  Matrix A(2, 2);
+  A.at(0, 0) = 2;
+  A.at(0, 1) = 1;
+  A.at(1, 0) = 1;
+  A.at(1, 1) = 2;
+  EigenDecomposition E = symmetricEigen(A);
+  EXPECT_NEAR(E.Values[0], 3.0, 1e-10);
+  EXPECT_NEAR(E.Values[1], 1.0, 1e-10);
+}
+
+TEST(EigenTest, ReconstructionProperty) {
+  Rng Generator(8);
+  Matrix A = randomSpd(7, Generator);
+  EigenDecomposition E = symmetricEigen(A);
+  // A == V diag(w) V^T.
+  Matrix D(7, 7);
+  for (size_t I = 0; I < 7; ++I)
+    D.at(I, I) = E.Values[I];
+  Matrix Reconstructed =
+      E.Vectors.multiply(D).multiply(E.Vectors.transpose());
+  EXPECT_LT(Reconstructed.distanceFrom(A), 1e-8);
+}
+
+TEST(EigenTest, VectorsAreOrthonormal) {
+  Rng Generator(9);
+  Matrix A = randomSpd(6, Generator);
+  EigenDecomposition E = symmetricEigen(A);
+  Matrix Gram = E.Vectors.transpose().multiply(E.Vectors);
+  EXPECT_LT(Gram.distanceFrom(Matrix::identity(6)), 1e-9);
+}
+
+TEST(EigenTest, TraceEqualsEigenvalueSum) {
+  Rng Generator(10);
+  Matrix A = randomSpd(9, Generator);
+  EigenDecomposition E = symmetricEigen(A);
+  double Trace = 0.0, Sum = 0.0;
+  for (size_t I = 0; I < 9; ++I) {
+    Trace += A.at(I, I);
+    Sum += E.Values[I];
+  }
+  EXPECT_NEAR(Trace, Sum, 1e-9);
+}
+
+TEST(EigenTest, SpdMatrixHasPositiveEigenvalues) {
+  Rng Generator(11);
+  Matrix A = randomSpd(8, Generator);
+  EigenDecomposition E = symmetricEigen(A);
+  for (double Value : E.Values)
+    EXPECT_GT(Value, 0.0);
+}

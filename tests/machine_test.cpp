@@ -1,0 +1,100 @@
+//===- tests/machine_test.cpp - Unit tests for src/machine ----------------===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "machine/Machine.h"
+
+#include <gtest/gtest.h>
+
+using namespace metaopt;
+
+TEST(MachineTest, Itanium2Shape) {
+  MachineModel M(itanium2Config());
+  EXPECT_EQ(M.name(), "itanium2");
+  EXPECT_EQ(M.issueWidth(), 6);
+  EXPECT_EQ(M.unitCount(UnitKind::Mem), 4);
+  EXPECT_EQ(M.unitCount(UnitKind::Fp), 2);
+  EXPECT_EQ(M.unitCount(UnitKind::Br), 3);
+}
+
+TEST(MachineTest, EveryOpcodeHasPositiveLatency) {
+  MachineModel M(itanium2Config());
+  for (unsigned I = 0; I < NumOpcodes; ++I)
+    EXPECT_GE(M.latency(static_cast<Opcode>(I)), 1) << I;
+}
+
+TEST(MachineTest, LatencyOrderingMakesSense) {
+  MachineModel M(itanium2Config());
+  EXPECT_GT(M.latency(Opcode::FDiv), M.latency(Opcode::FMul));
+  EXPECT_GT(M.latency(Opcode::FMul), M.latency(Opcode::IAdd));
+  EXPECT_GT(M.latency(Opcode::Load), M.latency(Opcode::Store));
+  EXPECT_GT(M.latency(Opcode::Call), M.latency(Opcode::FDiv));
+}
+
+TEST(MachineTest, UnitBindings) {
+  MachineModel M(itanium2Config());
+  EXPECT_EQ(M.unitFor(Opcode::Load), UnitKind::Mem);
+  EXPECT_EQ(M.unitFor(Opcode::Store), UnitKind::Mem);
+  EXPECT_EQ(M.unitFor(Opcode::FAdd), UnitKind::Fp);
+  EXPECT_EQ(M.unitFor(Opcode::IMul), UnitKind::Fp); // Itanium quirk.
+  EXPECT_EQ(M.unitFor(Opcode::IAdd), UnitKind::Int);
+  EXPECT_EQ(M.unitFor(Opcode::ExitIf), UnitKind::Br);
+  EXPECT_EQ(M.unitFor(Opcode::BackBr), UnitKind::Br);
+}
+
+TEST(MachineTest, ATypeFlexibility) {
+  MachineModel M(itanium2Config());
+  EXPECT_TRUE(M.canUseMemUnit(Opcode::IAdd));
+  EXPECT_TRUE(M.canUseMemUnit(Opcode::Copy));
+  EXPECT_FALSE(M.canUseMemUnit(Opcode::FAdd));
+  EXPECT_FALSE(M.canUseMemUnit(Opcode::IMul));
+  EXPECT_FALSE(M.canUseMemUnit(Opcode::Shl)); // Shifts are I-only.
+}
+
+TEST(MachineTest, CodeBytesBundling) {
+  MachineModel M(itanium2Config());
+  // Three slots per 16-byte bundle.
+  EXPECT_EQ(M.codeBytes(0), 0);
+  EXPECT_EQ(M.codeBytes(1), 16);
+  EXPECT_EQ(M.codeBytes(3), 16);
+  EXPECT_EQ(M.codeBytes(4), 32);
+  EXPECT_EQ(M.codeBytes(9), 48);
+}
+
+TEST(MachineTest, ResourceMiiBottleneck) {
+  MachineModel M(itanium2Config());
+  // 8 FP ops on 2 FP units -> at least 4 cycles even if total/width is 2.
+  std::array<int, NumUnitKinds> Ops = {};
+  Ops[static_cast<unsigned>(UnitKind::Fp)] = 8;
+  EXPECT_DOUBLE_EQ(M.resourceMII(Ops, 8), 4.0);
+}
+
+TEST(MachineTest, ResourceMiiIssueWidthBound) {
+  MachineModel M(itanium2Config());
+  std::array<int, NumUnitKinds> Ops = {};
+  Ops[static_cast<unsigned>(UnitKind::Int)] = 1;
+  // 30 total ops on a 6-wide machine need 5 cycles.
+  EXPECT_DOUBLE_EQ(M.resourceMII(Ops, 30), 5.0);
+}
+
+TEST(MachineTest, ResourceMiiNeverBelowOne) {
+  MachineModel M(itanium2Config());
+  std::array<int, NumUnitKinds> Ops = {};
+  EXPECT_DOUBLE_EQ(M.resourceMII(Ops, 1), 1.0);
+}
+
+TEST(MachineTest, AltVliwIsDifferent) {
+  MachineConfig Alt = altVliwConfig();
+  MachineConfig It2 = itanium2Config();
+  EXPECT_NE(Alt.Name, It2.Name);
+  EXPECT_LT(Alt.IssueWidth, It2.IssueWidth);
+  EXPECT_LT(Alt.IntRegs, It2.IntRegs);
+  EXPECT_GT(Alt.Latency[static_cast<unsigned>(Opcode::Load)],
+            It2.Latency[static_cast<unsigned>(Opcode::Load)]);
+  // Both are valid machines.
+  MachineModel A(Alt), B(It2);
+  EXPECT_EQ(A.issueWidth(), 4);
+}

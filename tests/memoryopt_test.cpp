@@ -1,0 +1,268 @@
+//===- tests/memoryopt_test.cpp - Post-unroll memory optimization ---------===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+// Section 3 of the paper credits unrolling with enabling scalar
+// replacement and wide-reference merging; these tests pin down the pass
+// that models both.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/LoopGenerators.h"
+#include "ir/LoopBuilder.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "transform/MemoryOpt.h"
+#include "transform/Unroller.h"
+
+#include <gtest/gtest.h>
+
+using namespace metaopt;
+
+namespace {
+
+unsigned countLoads(const Loop &L) {
+  unsigned Count = 0;
+  for (const Instruction &Instr : L.body())
+    Count += Instr.isLoad();
+  return Count;
+}
+
+unsigned countPaired(const Loop &L) {
+  unsigned Count = 0;
+  for (const Instruction &Instr : L.body())
+    Count += Instr.isLoad() && Instr.Paired;
+  return Count;
+}
+
+} // namespace
+
+TEST(MemoryOptTest, ForwardsStoreToLoad) {
+  LoopBuilder B("fwd", SourceLanguage::C, 1, 64);
+  RegId V = B.load(RegClass::Float, {0, 8, 0, false, 8});
+  B.store(V, {1, 8, 0, false, 8});
+  RegId W = B.load(RegClass::Float, {1, 8, 0, false, 8}); // Same bytes.
+  B.store(W, {2, 8, 0, false, 8});
+  Loop L = B.finalize();
+  MemoryOptStats Stats = optimizeMemory(L);
+  EXPECT_EQ(Stats.ForwardedLoads, 1u);
+  EXPECT_EQ(countLoads(L), 1u);
+  EXPECT_TRUE(isWellFormed(L));
+  // The second store now stores the first load's value directly.
+  unsigned Stores = 0;
+  for (const Instruction &Instr : L.body())
+    if (Instr.isStore()) {
+      EXPECT_EQ(Instr.Operands[0], V);
+      ++Stores;
+    }
+  EXPECT_EQ(Stores, 2u);
+}
+
+TEST(MemoryOptTest, EliminatesRedundantLoad) {
+  LoopBuilder B("rle", SourceLanguage::C, 1, 64);
+  RegId A = B.load(RegClass::Float, {0, 8, 0, false, 8});
+  RegId C = B.load(RegClass::Float, {0, 8, 0, false, 8}); // Duplicate.
+  B.store(B.fadd(A, C), {1, 8, 0, false, 8});
+  Loop L = B.finalize();
+  MemoryOptStats Stats = optimizeMemory(L);
+  EXPECT_EQ(Stats.RedundantLoads, 1u);
+  EXPECT_EQ(countLoads(L), 1u);
+  EXPECT_TRUE(isWellFormed(L));
+}
+
+TEST(MemoryOptTest, InterveningStoreBlocksForwarding) {
+  LoopBuilder B("blocked", SourceLanguage::C, 1, 64);
+  RegId A = B.load(RegClass::Float, {0, 8, 0, false, 8});
+  B.store(A, {1, 8, 0, false, 8});
+  // A store to the same array at the same address: must kill the entry.
+  RegId C = B.load(RegClass::Float, {2, 8, 0, false, 8});
+  B.store(C, {1, 8, 0, false, 8});
+  RegId D = B.load(RegClass::Float, {1, 8, 0, false, 8});
+  B.store(D, {3, 8, 0, false, 8});
+  Loop L = B.finalize();
+  optimizeMemory(L);
+  // The final load of @1 must forward from the SECOND store (value C).
+  for (const Instruction &Instr : L.body())
+    if (Instr.isStore() && Instr.Mem.BaseSym == 3) {
+      EXPECT_EQ(Instr.Operands[0], C);
+    }
+  EXPECT_TRUE(isWellFormed(L));
+}
+
+TEST(MemoryOptTest, DifferentOffsetsDoNotForward) {
+  LoopBuilder B("offsets", SourceLanguage::C, 1, 64);
+  RegId A = B.load(RegClass::Float, {0, 8, 0, false, 8});
+  B.store(A, {1, 8, 0, false, 8});
+  RegId C = B.load(RegClass::Float, {1, 8, 8, false, 8}); // Next element.
+  B.store(C, {2, 8, 0, false, 8});
+  Loop L = B.finalize();
+  MemoryOptStats Stats = optimizeMemory(L);
+  EXPECT_EQ(Stats.ForwardedLoads, 0u);
+  EXPECT_EQ(countLoads(L), 2u);
+}
+
+TEST(MemoryOptTest, CallsKillAvailability) {
+  LoopBuilder B("call", SourceLanguage::C, 1, 64);
+  RegId A = B.load(RegClass::Float, {0, 8, 0, false, 8});
+  B.store(A, {1, 8, 0, false, 8});
+  B.call({});
+  RegId C = B.load(RegClass::Float, {1, 8, 0, false, 8});
+  B.store(C, {2, 8, 0, false, 8});
+  Loop L = B.finalize();
+  MemoryOptStats Stats = optimizeMemory(L);
+  EXPECT_EQ(Stats.ForwardedLoads, 0u);
+}
+
+TEST(MemoryOptTest, IndirectStoresKillTheSymbol) {
+  LoopBuilder B("indirect", SourceLanguage::C, 1, 64);
+  RegId Index = B.load(RegClass::Int, {3, 4, 0, false, 4});
+  RegId A = B.load(RegClass::Float, {1, 8, 0, false, 8});
+  B.store(A, {1, 0, 0, true, 8}, Index); // May hit any element of @1.
+  RegId C = B.load(RegClass::Float, {1, 8, 0, false, 8});
+  B.store(C, {2, 8, 0, false, 8});
+  Loop L = B.finalize();
+  MemoryOptStats Stats = optimizeMemory(L);
+  EXPECT_EQ(Stats.RedundantLoads, 0u);
+  EXPECT_EQ(Stats.ForwardedLoads, 0u);
+}
+
+TEST(MemoryOptTest, PredicatedLoadsLeftAlone) {
+  LoopBuilder B("pred", SourceLanguage::C, 1, 64);
+  RegId T = B.liveIn(RegClass::Float, "t");
+  RegId A = B.load(RegClass::Float, {0, 8, 0, false, 8});
+  RegId Cond = B.fcmp(A, T);
+  B.setPredicate(Cond);
+  RegId C = B.load(RegClass::Float, {0, 8, 0, false, 8});
+  B.clearPredicate();
+  B.store(B.fadd(A, C), {1, 8, 0, false, 8});
+  Loop L = B.finalize();
+  MemoryOptStats Stats = optimizeMemory(L);
+  EXPECT_EQ(Stats.RedundantLoads, 0u); // The guarded load must stay.
+  EXPECT_TRUE(isWellFormed(L));
+}
+
+TEST(MemoryOptTest, UnrolledStencilDropsOverlappingLoads) {
+  // x[i-1], x[i], x[i+1] at factor 2: copy 1's left tap equals copy 0's
+  // right tap, so one load per overlap disappears.
+  LoopBuilder B("stencil", SourceLanguage::C, 1, 256);
+  RegId C0 = B.liveIn(RegClass::Float, "c0");
+  RegId Sum = NoReg;
+  for (int Tap = -1; Tap <= 1; ++Tap) {
+    RegId X = B.load(RegClass::Float,
+                     {0, 8, static_cast<int64_t>(Tap) * 8, false, 8});
+    Sum = Sum == NoReg ? B.fmul(C0, X) : B.fma(C0, X, Sum);
+  }
+  B.store(Sum, {1, 8, 0, false, 8});
+  Loop L = B.finalize();
+
+  Loop U2 = unrollLoop(L, 2);
+  unsigned Before = countLoads(U2);
+  MemoryOptStats Stats = optimizeMemory(U2);
+  EXPECT_GE(Stats.RedundantLoads, 2u); // Two taps shared between copies.
+  EXPECT_LT(countLoads(U2), Before);
+  EXPECT_TRUE(isWellFormed(U2));
+}
+
+TEST(MemoryOptTest, ForwardingBreaksMemoryCarriedChainInUnrolledBody) {
+  // Memory-carried IIR: y[i] = f(y[i-1]). At factor 4, copies 1..3 load
+  // what the previous copy just stored: three forwards.
+  LoopBuilder B("iir", SourceLanguage::C, 1, 256);
+  RegId Prev = B.load(RegClass::Float, {1, 8, -8, false, 8});
+  RegId Next = B.fadd(Prev, Prev);
+  B.store(Next, {1, 8, 0, false, 8});
+  Loop L = B.finalize();
+  Loop U4 = unrollLoop(L, 4);
+  MemoryOptStats Stats = optimizeMemory(U4);
+  EXPECT_EQ(Stats.ForwardedLoads, 3u);
+  EXPECT_EQ(countLoads(U4), 1u);
+  EXPECT_TRUE(isWellFormed(U4));
+}
+
+TEST(MemoryOptTest, PairsAdjacentLoadsAfterUnrolling) {
+  // A pure streaming load: unrolling by 4 creates offsets 0,8,16,24 -
+  // two wide pairs.
+  LoopBuilder B("stream", SourceLanguage::C, 1, 256);
+  RegId X = B.load(RegClass::Float, {0, 8, 0, false, 8});
+  B.store(X, {1, 8, 0, false, 8});
+  Loop L = B.finalize();
+  Loop U4 = unrollLoop(L, 4);
+  MemoryOptStats Stats = optimizeMemory(U4);
+  EXPECT_EQ(Stats.PairedLoads, 2u);
+  EXPECT_EQ(countPaired(U4), 2u);
+  EXPECT_TRUE(isWellFormed(U4));
+}
+
+TEST(MemoryOptTest, PairingSkipsWhenStoreIntervenes) {
+  LoopBuilder B("storesplit", SourceLanguage::C, 1, 256);
+  RegId A = B.load(RegClass::Float, {0, 16, 0, false, 8});
+  B.store(A, {0, 16, 4, false, 4}); // Same symbol, between the loads.
+  RegId C = B.load(RegClass::Float, {0, 16, 8, false, 8});
+  B.store(B.fadd(A, C), {1, 8, 0, false, 8});
+  Loop L = B.finalize();
+  MemoryOptStats Stats = optimizeMemory(L);
+  EXPECT_EQ(Stats.PairedLoads, 0u);
+}
+
+TEST(MemoryOptTest, PairedFlagRoundTripsThroughText) {
+  LoopBuilder B("stream", SourceLanguage::C, 1, 256);
+  RegId X = B.load(RegClass::Float, {0, 8, 0, false, 8});
+  B.store(X, {1, 8, 0, false, 8});
+  Loop L = B.finalize();
+  Loop U2 = unrollLoop(L, 2);
+  optimizeMemory(U2);
+  ASSERT_EQ(countPaired(U2), 1u);
+  ParseResult Result = parseLoops(printLoop(U2));
+  ASSERT_TRUE(Result.succeeded()) << Result.Error;
+  EXPECT_EQ(countPaired(Result.Loops[0]), 1u);
+  EXPECT_EQ(printLoop(Result.Loops[0]), printLoop(U2));
+}
+
+TEST(MemoryOptTest, IdempotentSecondRun) {
+  LoopBuilder B("idem", SourceLanguage::C, 1, 256);
+  RegId X = B.load(RegClass::Float, {0, 8, 0, false, 8});
+  B.store(X, {1, 8, 0, false, 8});
+  RegId Y = B.load(RegClass::Float, {1, 8, 0, false, 8});
+  B.store(Y, {2, 8, 0, false, 8});
+  Loop L = B.finalize();
+  Loop U = unrollLoop(L, 4);
+  optimizeMemory(U);
+  std::string After = printLoop(U);
+  MemoryOptStats Second = optimizeMemory(U);
+  EXPECT_EQ(Second.ForwardedLoads + Second.RedundantLoads +
+                Second.PairedLoads,
+            0u);
+  EXPECT_EQ(printLoop(U), After);
+}
+
+/// Property: the pass preserves well-formedness and never grows the body
+/// across every generator family and factor.
+class MemoryOptAllKinds : public ::testing::TestWithParam<int> {};
+
+TEST_P(MemoryOptAllKinds, PreservesWellFormedness) {
+  LoopKind Kind = static_cast<LoopKind>(GetParam());
+  for (uint64_t Seed = 0; Seed < 20; ++Seed) {
+    Rng Generator(Seed * 43 + GetParam());
+    LoopGenParams Params;
+    Params.Name = "memopt";
+    Params.TripCount = 128;
+    Params.RuntimeTripCount = 128;
+    Params.SizeScale = 1 + static_cast<int>(Seed % 5);
+    Loop L = generateLoop(Kind, Params, Generator);
+    for (unsigned Factor : {1u, 2u, 8u}) {
+      Loop U = unrollLoop(L, Factor);
+      size_t Before = U.body().size();
+      optimizeMemory(U);
+      std::vector<std::string> Errors = verifyLoop(U);
+      ASSERT_TRUE(Errors.empty())
+          << loopKindName(Kind) << " seed " << Seed << " factor " << Factor
+          << ": " << Errors[0];
+      EXPECT_LE(U.body().size(), Before);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, MemoryOptAllKinds,
+                         ::testing::Range(0,
+                                          static_cast<int>(NumLoopKinds)));

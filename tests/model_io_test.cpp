@@ -1,0 +1,265 @@
+//===- tests/model_io_test.cpp - Model serialization and CV utilities -----===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+// A compiler does not retrain at startup: it ships a trained model. These
+// tests pin down the serialize/deserialize round trips for the normalizer
+// and both paper classifiers, plus the k-fold validation and confusion
+// matrix utilities.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ml/CrossValidation.h"
+#include "core/ml/Evaluation.h"
+#include "core/ml/NearNeighbor.h"
+#include "core/ml/OutputCode.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace metaopt;
+
+namespace {
+
+Dataset cleanDataset(size_t N, uint64_t Seed, double LabelNoise = 0.0) {
+  Rng Generator(Seed);
+  Dataset Data;
+  for (size_t I = 0; I < N; ++I) {
+    Example Ex;
+    Ex.Features.fill(0.0);
+    double F0 = Generator.nextGaussian();
+    double F1 = Generator.nextGaussian();
+    Ex.Features[0] = F0;
+    Ex.Features[1] = F1;
+    Ex.Features[2] = Generator.nextGaussian() * 10.0;
+    unsigned Label = 1 + (F0 > 0 ? 1 : 0) + (F1 > 0 ? 2 : 0);
+    if (Generator.nextBool(LabelNoise))
+      Label = 1 + static_cast<unsigned>(Generator.nextBelow(8));
+    Ex.Label = Label;
+    for (unsigned F = 0; F < MaxUnrollFactor; ++F)
+      Ex.CyclesPerFactor[F] =
+          1000.0 + 100.0 * std::abs(static_cast<int>(F + 1) -
+                                    static_cast<int>(Label));
+    Ex.LoopName = "loop" + std::to_string(I);
+    Ex.BenchmarkName = "bench" + std::to_string(I % 4);
+    Data.add(std::move(Ex));
+  }
+  return Data;
+}
+
+FeatureSet firstTwoFeatures() {
+  return {static_cast<FeatureId>(0), static_cast<FeatureId>(1)};
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Normalizer serialization
+//===----------------------------------------------------------------------===//
+
+TEST(NormalizerIoTest, RoundTripIsBitExact) {
+  Dataset Data = cleanDataset(60, 1);
+  Normalizer Norm;
+  Norm.fit(Data.featureMatrix(),
+           {static_cast<FeatureId>(0), static_cast<FeatureId>(2)});
+  std::optional<Normalizer> Loaded =
+      Normalizer::deserialize(Norm.serialize());
+  ASSERT_TRUE(Loaded.has_value());
+  for (const Example &Ex : Data.examples()) {
+    std::vector<double> A = Norm.apply(Ex.Features);
+    std::vector<double> B = Loaded->apply(Ex.Features);
+    ASSERT_EQ(A.size(), B.size());
+    for (size_t D = 0; D < A.size(); ++D)
+      EXPECT_EQ(A[D], B[D]); // Bit-exact via %.17g.
+  }
+}
+
+TEST(NormalizerIoTest, RejectsGarbage) {
+  EXPECT_FALSE(Normalizer::deserialize("").has_value());
+  EXPECT_FALSE(Normalizer::deserialize("normalizer zscore x").has_value());
+  EXPECT_FALSE(
+      Normalizer::deserialize("normalizer sigmoid 1\n0 1 1\n").has_value());
+  EXPECT_FALSE(
+      Normalizer::deserialize("normalizer zscore 2\n0 1 1\n").has_value());
+  EXPECT_FALSE(
+      Normalizer::deserialize("normalizer zscore 1\n999 1 1\n").has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// NearNeighbor serialization
+//===----------------------------------------------------------------------===//
+
+TEST(NnIoTest, RoundTripPredictsIdentically) {
+  Dataset Train = cleanDataset(200, 2, 0.1);
+  NearNeighborClassifier Nn(firstTwoFeatures(), 0.3);
+  Nn.train(Train);
+  std::optional<NearNeighborClassifier> Loaded =
+      NearNeighborClassifier::deserialize(Nn.serialize());
+  ASSERT_TRUE(Loaded.has_value());
+  EXPECT_EQ(Loaded->databaseSize(), Nn.databaseSize());
+  EXPECT_DOUBLE_EQ(Loaded->radius(), Nn.radius());
+  Dataset Queries = cleanDataset(120, 3);
+  for (const Example &Ex : Queries.examples())
+    EXPECT_EQ(Loaded->predict(Ex.Features), Nn.predict(Ex.Features));
+}
+
+TEST(NnIoTest, SerializationIsStable) {
+  Dataset Train = cleanDataset(50, 4);
+  NearNeighborClassifier Nn(firstTwoFeatures(), 0.3);
+  Nn.train(Train);
+  std::string First = Nn.serialize();
+  std::optional<NearNeighborClassifier> Loaded =
+      NearNeighborClassifier::deserialize(First);
+  ASSERT_TRUE(Loaded.has_value());
+  EXPECT_EQ(Loaded->serialize(), First);
+}
+
+TEST(NnIoTest, RejectsCorruptedInput) {
+  Dataset Train = cleanDataset(30, 5);
+  NearNeighborClassifier Nn(firstTwoFeatures(), 0.3);
+  Nn.train(Train);
+  std::string Good = Nn.serialize();
+  EXPECT_FALSE(NearNeighborClassifier::deserialize("").has_value());
+  EXPECT_FALSE(
+      NearNeighborClassifier::deserialize("nn-model 2\n").has_value());
+  // Truncate the points section.
+  std::string Truncated = Good.substr(0, Good.size() / 2);
+  EXPECT_FALSE(
+      NearNeighborClassifier::deserialize(Truncated).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// SVM serialization
+//===----------------------------------------------------------------------===//
+
+TEST(SvmIoTest, RoundTripPredictsIdentically) {
+  Dataset Train = cleanDataset(150, 6, 0.1);
+  SvmClassifier Svm(firstTwoFeatures());
+  Svm.train(Train);
+  std::optional<SvmClassifier> Loaded =
+      SvmClassifier::deserialize(Svm.serialize());
+  ASSERT_TRUE(Loaded.has_value());
+  Dataset Queries = cleanDataset(120, 7);
+  for (const Example &Ex : Queries.examples())
+    EXPECT_EQ(Loaded->predict(Ex.Features), Svm.predict(Ex.Features));
+}
+
+TEST(SvmIoTest, EcocVariantRoundTrips) {
+  Dataset Train = cleanDataset(120, 8);
+  SvmOptions Options;
+  Options.CodeKind = SvmOptions::Code::RandomEcoc;
+  Options.EcocBits = 15;
+  Options.Decode = SvmOptions::Decoding::Loss;
+  SvmClassifier Svm(firstTwoFeatures(), Options);
+  Svm.train(Train);
+  std::optional<SvmClassifier> Loaded =
+      SvmClassifier::deserialize(Svm.serialize());
+  ASSERT_TRUE(Loaded.has_value());
+  EXPECT_EQ(Loaded->options().EcocBits, 15u);
+  EXPECT_EQ(Loaded->options().Decode, SvmOptions::Decoding::Loss);
+  Dataset Queries = cleanDataset(80, 9);
+  for (const Example &Ex : Queries.examples())
+    EXPECT_EQ(Loaded->predict(Ex.Features), Svm.predict(Ex.Features));
+}
+
+TEST(SvmIoTest, RejectsCorruptedInput) {
+  EXPECT_FALSE(SvmClassifier::deserialize("").has_value());
+  EXPECT_FALSE(SvmClassifier::deserialize("svm-model 9\n").has_value());
+  Dataset Train = cleanDataset(40, 10);
+  SvmClassifier Svm(firstTwoFeatures());
+  Svm.train(Train);
+  std::string Good = Svm.serialize();
+  EXPECT_FALSE(
+      SvmClassifier::deserialize(Good.substr(0, Good.size() / 3))
+          .has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// K-fold cross-validation
+//===----------------------------------------------------------------------===//
+
+TEST(KFoldTest, AgreesWithLoocvOnCleanData) {
+  Dataset Data = cleanDataset(300, 11);
+  ClassifierFactory Factory = [](const FeatureSet &F) {
+    return std::make_unique<NearNeighborClassifier>(F, 0.3);
+  };
+  std::vector<unsigned> KFold =
+      kFoldPredictions(Factory, firstTwoFeatures(), Data, 10);
+  NearNeighborClassifier Nn(firstTwoFeatures(), 0.3);
+  std::vector<unsigned> Loocv = loocvPredictions(Nn, Data);
+  double KAcc = predictionAccuracy(Data, KFold);
+  double LAcc = predictionAccuracy(Data, Loocv);
+  EXPECT_NEAR(KAcc, LAcc, 0.05);
+  EXPECT_GT(KAcc, 0.85);
+}
+
+TEST(KFoldTest, DeterministicForFixedSeed) {
+  Dataset Data = cleanDataset(100, 12, 0.2);
+  ClassifierFactory Factory = [](const FeatureSet &F) {
+    return std::make_unique<NearNeighborClassifier>(F, 0.3);
+  };
+  std::vector<unsigned> A =
+      kFoldPredictions(Factory, firstTwoFeatures(), Data, 5, 42);
+  std::vector<unsigned> B =
+      kFoldPredictions(Factory, firstTwoFeatures(), Data, 5, 42);
+  EXPECT_EQ(A, B);
+}
+
+TEST(KFoldTest, EveryExampleGetsPredicted) {
+  Dataset Data = cleanDataset(97, 13); // Not divisible by K.
+  ClassifierFactory Factory = [](const FeatureSet &F) {
+    return std::make_unique<NearNeighborClassifier>(F, 0.3);
+  };
+  std::vector<unsigned> Pred =
+      kFoldPredictions(Factory, firstTwoFeatures(), Data, 7);
+  ASSERT_EQ(Pred.size(), Data.size());
+  for (unsigned Factor : Pred) {
+    EXPECT_GE(Factor, 1u);
+    EXPECT_LE(Factor, MaxUnrollFactor);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Confusion matrix
+//===----------------------------------------------------------------------===//
+
+TEST(ConfusionTest, CountsSumToDatasetSize) {
+  Dataset Data = cleanDataset(200, 14, 0.3);
+  NearNeighborClassifier Nn(firstTwoFeatures(), 0.3);
+  std::vector<unsigned> Pred = loocvPredictions(Nn, Data);
+  ConfusionMatrix Confusion = confusionMatrix(Data, Pred);
+  size_t Total = 0, Diagonal = 0;
+  for (unsigned R = 0; R < MaxUnrollFactor; ++R)
+    for (unsigned C = 0; C < MaxUnrollFactor; ++C) {
+      Total += Confusion[R][C];
+      if (R == C)
+        Diagonal += Confusion[R][C];
+    }
+  EXPECT_EQ(Total, Data.size());
+  EXPECT_NEAR(static_cast<double>(Diagonal) / Total,
+              predictionAccuracy(Data, Pred), 1e-12);
+}
+
+TEST(ConfusionTest, PerfectPredictionsAreDiagonal) {
+  Dataset Data = cleanDataset(80, 15);
+  std::vector<unsigned> Perfect;
+  for (const Example &Ex : Data.examples())
+    Perfect.push_back(Ex.Label);
+  ConfusionMatrix Confusion = confusionMatrix(Data, Perfect);
+  for (unsigned R = 0; R < MaxUnrollFactor; ++R)
+    for (unsigned C = 0; C < MaxUnrollFactor; ++C)
+      if (R != C) {
+        EXPECT_EQ(Confusion[R][C], 0u);
+      }
+}
+
+TEST(ConfusionTest, RenderedTableContainsCounts) {
+  Dataset Data = cleanDataset(50, 16);
+  std::vector<unsigned> Pred(Data.size(), 3);
+  ConfusionMatrix Confusion = confusionMatrix(Data, Pred);
+  std::string Text = renderConfusionMatrix(Confusion);
+  EXPECT_NE(Text.find("u3"), std::string::npos);
+  EXPECT_NE(Text.find("Confusion matrix"), std::string::npos);
+}

@@ -1,0 +1,162 @@
+//===- tests/schedprinter_test.cpp - Schedule rendering + round trips -----===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+// Covers the schedule pretty-printer, the resource treatment of paired
+// wide loads, and a corpus-wide print->parse->print round-trip property.
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/BenchmarkSuite.h"
+#include "ir/LoopBuilder.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "sched/IterativeModulo.h"
+#include "sched/ListScheduler.h"
+#include "sched/ModuloScheduler.h"
+#include "sched/SchedulePrinter.h"
+#include "transform/MemoryOpt.h"
+#include "transform/Unroller.h"
+
+#include <gtest/gtest.h>
+
+using namespace metaopt;
+
+namespace {
+
+Loop makeStream() {
+  LoopBuilder B("stream", SourceLanguage::C, 1, 512);
+  RegId X = B.load(RegClass::Float, {0, 8, 0, false, 8});
+  B.store(X, {1, 8, 0, false, 8});
+  return B.finalize();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// occupiesIssueSlot / paired-load scheduling
+//===----------------------------------------------------------------------===//
+
+TEST(PairedLoadTest, OccupiesIssueSlotClassification) {
+  Loop L = makeStream();
+  for (const Instruction &Instr : L.body()) {
+    if (Instr.Op == Opcode::IvAdd || Instr.Op == Opcode::IvCmp)
+      EXPECT_FALSE(occupiesIssueSlot(Instr));
+    else
+      EXPECT_TRUE(occupiesIssueSlot(Instr));
+  }
+  Instruction PairedLoad;
+  PairedLoad.Op = Opcode::Load;
+  PairedLoad.Paired = true;
+  EXPECT_FALSE(occupiesIssueSlot(PairedLoad));
+}
+
+TEST(PairedLoadTest, PairingShortensMemBoundSchedules) {
+  // Eight streaming loads saturate the 4 M units; after unroll+pairing,
+  // half of them ride free, so the schedule must shrink.
+  MachineModel M(itanium2Config());
+  Loop L = makeStream();
+  Loop Plain = unrollLoop(L, 8);
+  Loop Optimized = unrollLoop(L, 8);
+  optimizeMemory(Optimized);
+
+  DependenceGraph DgPlain(Plain), DgOpt(Optimized);
+  Schedule SchedPlain = listSchedule(Plain, DgPlain, M);
+  Schedule SchedOpt = listSchedule(Optimized, DgOpt, M);
+  EXPECT_LT(SchedOpt.Length, SchedPlain.Length);
+}
+
+TEST(PairedLoadTest, PairingLowersResourceMii) {
+  MachineModel M(itanium2Config());
+  Loop L = makeStream();
+  Loop Plain = unrollLoop(L, 8);
+  Loop Optimized = unrollLoop(L, 8);
+  optimizeMemory(Optimized);
+  EXPECT_LT(resourceMIIForLoop(Optimized, M),
+            resourceMIIForLoop(Plain, M));
+}
+
+//===----------------------------------------------------------------------===//
+// SchedulePrinter
+//===----------------------------------------------------------------------===//
+
+TEST(SchedulePrinterTest, ListScheduleShowsEveryInstruction) {
+  MachineModel M(itanium2Config());
+  Loop L = makeStream();
+  DependenceGraph DG(L);
+  Schedule Sched = listSchedule(L, DG, M);
+  std::string Text = printSchedule(L, Sched, M);
+  EXPECT_NE(Text.find("c0:"), std::string::npos);
+  EXPECT_NE(Text.find("load"), std::string::npos);
+  EXPECT_NE(Text.find("store"), std::string::npos);
+  EXPECT_NE(Text.find("back_br"), std::string::npos);
+  // Unit tags appear.
+  EXPECT_NE(Text.find("[M]"), std::string::npos);
+  EXPECT_NE(Text.find("[B]"), std::string::npos);
+}
+
+TEST(SchedulePrinterTest, ModuloKernelShowsSlotsAndStages) {
+  MachineModel M(itanium2Config());
+  Loop L = unrollLoop(makeStream(), 4);
+  DependenceGraph DG(L);
+  ModuloScheduleResult Kernel = iterativeModuloSchedule(L, DG, M);
+  ASSERT_TRUE(Kernel.Succeeded);
+  std::string Text = printModuloSchedule(L, Kernel, M);
+  EXPECT_NE(Text.find("II=" + std::to_string(Kernel.II)),
+            std::string::npos);
+  EXPECT_NE(Text.find("s0:"), std::string::npos);
+  EXPECT_NE(Text.find("stage"), std::string::npos);
+}
+
+TEST(SchedulePrinterTest, FailedModuloScheduleSaysSo) {
+  MachineModel M(itanium2Config());
+  ModuloScheduleResult Nothing;
+  Loop L = makeStream();
+  EXPECT_EQ(printModuloSchedule(L, Nothing, M), "no modulo schedule\n");
+}
+
+//===----------------------------------------------------------------------===//
+// Corpus-wide textual round trip
+//===----------------------------------------------------------------------===//
+
+TEST(RoundTripTest, EveryCorpusLoopSurvivesPrintParsePrint) {
+  CorpusOptions Options;
+  Options.MinLoopsPerBenchmark = 3;
+  Options.MaxLoopsPerBenchmark = 4;
+  std::vector<Benchmark> Corpus = buildCorpus(Options);
+  size_t Checked = 0;
+  for (const Benchmark &Bench : Corpus) {
+    for (const CorpusLoop &Entry : Bench.Loops) {
+      std::string First = printLoop(Entry.TheLoop);
+      ParseResult Result = parseLoops(First);
+      ASSERT_TRUE(Result.succeeded())
+          << Entry.TheLoop.name() << ": " << Result.Error;
+      ASSERT_EQ(Result.Loops.size(), 1u);
+      EXPECT_EQ(printLoop(Result.Loops[0]), First)
+          << Entry.TheLoop.name();
+      ++Checked;
+    }
+  }
+  EXPECT_GT(Checked, 200u);
+}
+
+TEST(RoundTripTest, OptimizedUnrolledLoopsSurviveToo) {
+  CorpusOptions Options;
+  Options.MinLoopsPerBenchmark = 1;
+  Options.MaxLoopsPerBenchmark = 1;
+  std::vector<Benchmark> Corpus = buildCorpus(Options);
+  size_t Checked = 0;
+  for (const Benchmark &Bench : Corpus) {
+    for (const CorpusLoop &Entry : Bench.Loops) {
+      Loop U = unrollLoop(Entry.TheLoop, 4);
+      optimizeMemory(U);
+      std::string First = printLoop(U);
+      ParseResult Result = parseLoops(First);
+      ASSERT_TRUE(Result.succeeded()) << U.name() << ": " << Result.Error;
+      EXPECT_EQ(printLoop(Result.Loops[0]), First) << U.name();
+      ++Checked;
+    }
+  }
+  EXPECT_EQ(Checked, 72u);
+}

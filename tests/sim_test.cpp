@@ -1,0 +1,236 @@
+//===- tests/sim_test.cpp - Unit tests for src/sim ------------------------===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/LoopBuilder.h"
+#include "sim/Measurement.h"
+#include "sim/Simulator.h"
+#include "support/Statistics.h"
+#include "transform/Unroller.h"
+
+#include <gtest/gtest.h>
+
+using namespace metaopt;
+
+namespace {
+
+Loop makeDaxpy(int64_t Trip = 1024) {
+  LoopBuilder B("daxpy", SourceLanguage::C, 1, Trip);
+  RegId Alpha = B.liveIn(RegClass::Float, "alpha");
+  MemRef X{0, 8, 0, false, 8};
+  MemRef Y{1, 8, 0, false, 8};
+  RegId Xv = B.load(RegClass::Float, X);
+  RegId Yv = B.load(RegClass::Float, Y);
+  B.store(B.fma(Alpha, Xv, Yv), Y);
+  return B.finalize();
+}
+
+Loop makeIir() {
+  LoopBuilder B("iir", SourceLanguage::C, 1, 512);
+  RegId A = B.liveIn(RegClass::Float, "a");
+  RegId Y = B.phi(RegClass::Float, "y");
+  RegId X = B.load(RegClass::Float, {0, 8, 0, false, 8});
+  RegId Next = B.fma(A, Y, X);
+  B.store(Next, {1, 8, 0, false, 8});
+  B.setPhiRecur(Y, Next);
+  return B.finalize();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Simulator
+//===----------------------------------------------------------------------===//
+
+TEST(SimulatorTest, CyclesArePositiveAndScaleWithTrip) {
+  MachineModel M(itanium2Config());
+  SimContext Ctx;
+  SimResult Short = simulateLoop(makeDaxpy(128), 1, M, Ctx, false);
+  SimResult Long = simulateLoop(makeDaxpy(4096), 1, M, Ctx, false);
+  EXPECT_GT(Short.Cycles, 0.0);
+  // 32x the iterations: roughly 32x the cycles (fixed overheads aside).
+  EXPECT_NEAR(Long.Cycles / Short.Cycles, 32.0, 4.0);
+}
+
+TEST(SimulatorTest, UnrollingHelpsCleanStreamingLoop) {
+  MachineModel M(itanium2Config());
+  SimContext Ctx; // Generous default context.
+  SimResult U1 = simulateLoop(makeDaxpy(), 1, M, Ctx, false);
+  SimResult U8 = simulateLoop(makeDaxpy(), 8, M, Ctx, false);
+  EXPECT_LT(U8.Cycles, U1.Cycles);
+}
+
+TEST(SimulatorTest, TinyIcacheSharePunishesBigFactors) {
+  MachineModel M(itanium2Config());
+  SimContext Tight;
+  Tight.EffectiveIcacheBytes = 128;
+  // A fat body: 24 independent fp adds.
+  LoopBuilder B("fat", SourceLanguage::C, 1, 512);
+  RegId X = B.liveIn(RegClass::Float, "x");
+  for (int I = 0; I < 24; ++I)
+    B.fadd(X, X);
+  Loop L = B.finalize();
+  SimResult U1 = simulateLoop(L, 1, M, Tight, false);
+  SimResult U8 = simulateLoop(L, 8, M, Tight, false);
+  EXPECT_LT(U1.Cycles, U8.Cycles);
+}
+
+TEST(SimulatorTest, TightRegisterBudgetCausesSpills) {
+  MachineModel M(itanium2Config());
+  SimContext Tight;
+  Tight.FpRegBudget = 4;
+  SimContext Ample;
+  Loop L = makeDaxpy();
+  SimResult Constrained = simulateLoop(L, 8, M, Tight, false);
+  SimResult Free = simulateLoop(L, 8, M, Ample, false);
+  EXPECT_GT(Constrained.SpillPairs, Free.SpillPairs);
+  EXPECT_GT(Constrained.Cycles, Free.Cycles);
+}
+
+TEST(SimulatorTest, RecurrenceBoundLoopSeesNoBigWin) {
+  MachineModel M(itanium2Config());
+  SimContext Ctx;
+  Loop L = makeIir();
+  SimResult U1 = simulateLoop(L, 1, M, Ctx, false);
+  SimResult U8 = simulateLoop(L, 8, M, Ctx, false);
+  // The serial fma chain survives unrolling (the running value is stored,
+  // so it cannot be reassociated); gains must be modest.
+  EXPECT_GT(U8.Cycles, U1.Cycles * 0.7);
+}
+
+TEST(SimulatorTest, EpilogueChargedForNonDivisors) {
+  MachineModel M(itanium2Config());
+  SimContext Ctx;
+  // Identical loops, trips 96 vs 97: u=8 divides 96 but leaves a
+  // remainder for 97.
+  SimResult Divides = simulateLoop(makeDaxpy(96), 8, M, Ctx, false);
+  SimResult Leftover = simulateLoop(makeDaxpy(97), 8, M, Ctx, false);
+  EXPECT_GT(Leftover.Cycles, Divides.Cycles);
+}
+
+TEST(SimulatorTest, UnknownTripPaysCheckOverhead) {
+  MachineModel M(itanium2Config());
+  SimContext Ctx;
+  Loop Known = makeDaxpy(256);
+  LoopBuilder B("daxpy_u", SourceLanguage::C, 1, Loop::UnknownTripCount);
+  RegId Alpha = B.liveIn(RegClass::Float, "alpha");
+  MemRef X{0, 8, 0, false, 8};
+  MemRef Y{1, 8, 0, false, 8};
+  RegId Xv = B.load(RegClass::Float, X);
+  RegId Yv = B.load(RegClass::Float, Y);
+  B.store(B.fma(Alpha, Xv, Yv), Y);
+  Loop Unknown = B.finalize();
+  Unknown.setRuntimeTripCount(256);
+  SimResult K = simulateLoop(Known, 4, M, Ctx, false);
+  SimResult U = simulateLoop(Unknown, 4, M, Ctx, false);
+  EXPECT_GT(U.Cycles, K.Cycles);
+}
+
+TEST(SimulatorTest, SwpPipelinesCleanLoops) {
+  MachineModel M(itanium2Config());
+  SimContext Ctx;
+  Loop L = makeDaxpy();
+  SimResult NoSwp = simulateLoop(L, 1, M, Ctx, false);
+  SimResult Swp = simulateLoop(L, 1, M, Ctx, true);
+  EXPECT_TRUE(Swp.UsedSwp);
+  EXPECT_GT(Swp.II, 0);
+  // Software pipelining must not lose to the plain schedule here.
+  EXPECT_LE(Swp.Cycles, NoSwp.Cycles);
+}
+
+TEST(SimulatorTest, SwpFallsBackOnExits) {
+  MachineModel M(itanium2Config());
+  SimContext Ctx;
+  LoopBuilder B("exit", SourceLanguage::C, 1, 512);
+  RegId V = B.load(RegClass::Int, {0, 4, 0, false, 4});
+  RegId Lim = B.liveIn(RegClass::Int, "lim");
+  B.exitIf(B.icmp(V, Lim), 0.001);
+  B.store(V, {1, 4, 0, false, 4});
+  Loop L = B.finalize();
+  SimResult Result = simulateLoop(L, 2, M, Ctx, true);
+  EXPECT_FALSE(Result.UsedSwp);
+  EXPECT_GT(Result.ScheduleLength, 0u);
+}
+
+TEST(SimulatorTest, DeterministicAcrossCalls) {
+  MachineModel M(itanium2Config());
+  SimContext Ctx;
+  Loop L = makeDaxpy();
+  SimResult A = simulateLoop(L, 4, M, Ctx, false);
+  SimResult B = simulateLoop(L, 4, M, Ctx, false);
+  EXPECT_DOUBLE_EQ(A.Cycles, B.Cycles);
+}
+
+TEST(SimulatorTest, AlternateMachineChangesCosts) {
+  MachineModel It2(itanium2Config());
+  MachineModel Alt(altVliwConfig());
+  SimContext Ctx;
+  Loop L = makeDaxpy();
+  SimResult OnIt2 = simulateLoop(L, 4, It2, Ctx, false);
+  SimResult OnAlt = simulateLoop(L, 4, Alt, Ctx, false);
+  // The narrower machine with the slower cache must be slower.
+  EXPECT_GT(OnAlt.Cycles, OnIt2.Cycles);
+}
+
+//===----------------------------------------------------------------------===//
+// Measurement protocol
+//===----------------------------------------------------------------------===//
+
+TEST(MeasurementTest, MedianNearTruth) {
+  MeasurementProtocol Protocol;
+  Rng Generator(1);
+  double True = 1e6;
+  double Measured = measureMedian(True, Protocol, Generator);
+  EXPECT_NEAR(Measured, True, True * 0.01);
+}
+
+TEST(MeasurementTest, MedianSuppressesOutliers) {
+  MeasurementProtocol Protocol;
+  Protocol.OutlierProb = 0.2;
+  Protocol.OutlierScale = 2.0;
+  Rng Generator(2);
+  double True = 1e6;
+  std::vector<double> Trials;
+  for (int I = 0; I < Protocol.Trials; ++I)
+    Trials.push_back(measureOnce(True, Protocol, Generator));
+  Rng Generator2(2);
+  double Med = measureMedian(True, Protocol, Generator2);
+  EXPECT_LT(std::abs(Med - True), std::abs(maxValue(Trials) - True));
+}
+
+TEST(MeasurementTest, InstrumentationOverheadAdded) {
+  MeasurementProtocol Protocol;
+  Protocol.NoiseStdDev = 0.0;
+  Protocol.OutlierProb = 0.0;
+  Rng Generator(3);
+  EXPECT_DOUBLE_EQ(measureOnce(1000.0, Protocol, Generator),
+                   1000.0 + Protocol.InstrumentationCycles);
+}
+
+TEST(MeasurementTest, ReliabilityFloor) {
+  MeasurementProtocol Protocol;
+  EXPECT_FALSE(isReliablyMeasurable(49999.0, Protocol));
+  EXPECT_TRUE(isReliablyMeasurable(50000.0, Protocol));
+}
+
+TEST(MeasurementTest, SameSeedReproduces) {
+  MeasurementProtocol Protocol;
+  Rng A(7), B(7);
+  EXPECT_DOUBLE_EQ(measureMedian(12345.0, Protocol, A),
+                   measureMedian(12345.0, Protocol, B));
+}
+
+TEST(MeasurementTest, NoiseScalesWithRuntime) {
+  MeasurementProtocol Protocol;
+  Rng Generator(9);
+  RunningStats Small, Large;
+  for (int I = 0; I < 200; ++I) {
+    Small.add(measureOnce(1e3, Protocol, Generator));
+    Large.add(measureOnce(1e6, Protocol, Generator));
+  }
+  // Multiplicative noise: absolute spread grows with the true value.
+  EXPECT_GT(Large.stdDev(), Small.stdDev() * 100);
+}

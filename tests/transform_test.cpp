@@ -1,0 +1,283 @@
+//===- tests/transform_test.cpp - Unit tests for src/transform ------------===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/LoopGenerators.h"
+#include "ir/LoopBuilder.h"
+#include "ir/Verifier.h"
+#include "transform/Unroller.h"
+
+#include <gtest/gtest.h>
+
+using namespace metaopt;
+
+namespace {
+
+Loop makeDaxpy(int64_t Trip = 1024) {
+  LoopBuilder B("daxpy", SourceLanguage::C, 1, Trip);
+  RegId Alpha = B.liveIn(RegClass::Float, "alpha");
+  MemRef X{0, 8, 0, false, 8};
+  MemRef Y{1, 8, 0, false, 8};
+  RegId Xv = B.load(RegClass::Float, X);
+  RegId Yv = B.load(RegClass::Float, Y);
+  B.store(B.fma(Alpha, Xv, Yv), Y);
+  return B.finalize();
+}
+
+Loop makeReduction() {
+  LoopBuilder B("dot", SourceLanguage::Fortran, 1, 512);
+  RegId Acc = B.phi(RegClass::Float, "acc");
+  RegId X = B.load(RegClass::Float, {0, 8, 0, false, 8});
+  RegId Y = B.load(RegClass::Float, {1, 8, 0, false, 8});
+  B.setPhiRecur(Acc, B.fma(X, Y, Acc));
+  return B.finalize();
+}
+
+/// Running value observed each iteration (prefix-sum store): must NOT be
+/// reassociated by the unroller.
+Loop makeObservedReduction() {
+  LoopBuilder B("prefix", SourceLanguage::C, 1, 256);
+  RegId Acc = B.phi(RegClass::Float, "acc");
+  RegId X = B.load(RegClass::Float, {0, 8, 0, false, 8});
+  RegId Next = B.fadd(Acc, X);
+  B.store(Next, {1, 8, 0, false, 8});
+  B.setPhiRecur(Acc, Next);
+  return B.finalize();
+}
+
+unsigned countOpcode(const Loop &L, Opcode Op) {
+  unsigned Count = 0;
+  for (const Instruction &Instr : L.body())
+    Count += Instr.Op == Op;
+  return Count;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Trip accounting
+//===----------------------------------------------------------------------===//
+
+TEST(UnrolledTripInfoTest, ExactDivision) {
+  UnrolledTripInfo Info = unrolledTripInfo(1024, 4);
+  EXPECT_EQ(Info.MainIterations, 256);
+  EXPECT_EQ(Info.EpilogueIterations, 0);
+}
+
+TEST(UnrolledTripInfoTest, Remainder) {
+  UnrolledTripInfo Info = unrolledTripInfo(100, 8);
+  EXPECT_EQ(Info.MainIterations, 12);
+  EXPECT_EQ(Info.EpilogueIterations, 4);
+}
+
+TEST(UnrolledTripInfoTest, TripSmallerThanFactor) {
+  UnrolledTripInfo Info = unrolledTripInfo(3, 8);
+  EXPECT_EQ(Info.MainIterations, 0);
+  EXPECT_EQ(Info.EpilogueIterations, 3);
+}
+
+TEST(UnrolledTripInfoTest, WorkIsConserved) {
+  for (int64_t Trip : {1, 7, 63, 64, 65, 1000}) {
+    for (unsigned Factor = 1; Factor <= MaxUnrollFactor; ++Factor) {
+      UnrolledTripInfo Info = unrolledTripInfo(Trip, Factor);
+      EXPECT_EQ(Info.MainIterations * Factor + Info.EpilogueIterations,
+                Trip);
+    }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Basic unrolling structure
+//===----------------------------------------------------------------------===//
+
+TEST(UnrollerTest, FactorOneIsACopy) {
+  Loop L = makeDaxpy();
+  Loop U = unrollLoop(L, 1);
+  EXPECT_EQ(U.body().size(), L.body().size());
+  EXPECT_EQ(U.tripCount(), L.tripCount());
+  EXPECT_TRUE(isWellFormed(U));
+}
+
+TEST(UnrollerTest, BodyReplicationCount) {
+  Loop L = makeDaxpy();
+  size_t Payload = L.bodySizeWithoutControl();
+  for (unsigned Factor = 2; Factor <= MaxUnrollFactor; ++Factor) {
+    Loop U = unrollLoop(L, Factor);
+    EXPECT_EQ(U.bodySizeWithoutControl(), Payload * Factor) << Factor;
+    // Exactly one loop-control tail survives.
+    EXPECT_EQ(countOpcode(U, Opcode::BackBr), 1u);
+    EXPECT_EQ(countOpcode(U, Opcode::IvAdd), 1u);
+  }
+}
+
+TEST(UnrollerTest, TripCountDivided) {
+  Loop L = makeDaxpy(1000);
+  Loop U = unrollLoop(L, 4);
+  EXPECT_EQ(U.tripCount(), 250);
+  EXPECT_EQ(U.runtimeTripCount(), 250);
+}
+
+TEST(UnrollerTest, UnknownTripStaysUnknown) {
+  LoopBuilder B("wild", SourceLanguage::C, 1, Loop::UnknownTripCount);
+  RegId V = B.load(RegClass::Int, {0, 4, 0, false, 4});
+  B.store(V, {1, 4, 0, false, 4});
+  Loop L = B.finalize();
+  L.setRuntimeTripCount(103);
+  Loop U = unrollLoop(L, 4);
+  EXPECT_FALSE(U.hasKnownTripCount());
+  EXPECT_EQ(U.runtimeTripCount(), 25); // floor(103/4).
+}
+
+//===----------------------------------------------------------------------===//
+// Address rewriting
+//===----------------------------------------------------------------------===//
+
+TEST(UnrollerTest, AddressStrideAndOffsets) {
+  Loop L = makeDaxpy();
+  Loop U = unrollLoop(L, 4);
+  // Collect the loads of base symbol 0 in copy order.
+  std::vector<MemRef> Refs;
+  for (const Instruction &Instr : U.body())
+    if (Instr.isLoad() && Instr.Mem.BaseSym == 0)
+      Refs.push_back(Instr.Mem);
+  ASSERT_EQ(Refs.size(), 4u);
+  for (unsigned Copy = 0; Copy < 4; ++Copy) {
+    EXPECT_EQ(Refs[Copy].Stride, 32) << "copy " << Copy;
+    EXPECT_EQ(Refs[Copy].Offset, 8 * Copy) << "copy " << Copy;
+  }
+}
+
+TEST(UnrollerTest, AddressesCoverSameLocations) {
+  // The union of addresses touched by the unrolled loop's first main
+  // iteration must equal those of the first U original iterations:
+  // {stride*i + offset : i in [0,U)} == {U*stride*0 + offset + stride*k}.
+  Loop L = makeDaxpy();
+  unsigned Factor = 8;
+  Loop U = unrollLoop(L, Factor);
+  std::vector<int64_t> Expected, Actual;
+  for (unsigned I = 0; I < Factor; ++I)
+    Expected.push_back(8 * I); // Original load @0: stride 8, offset 0.
+  for (const Instruction &Instr : U.body())
+    if (Instr.isLoad() && Instr.Mem.BaseSym == 0)
+      Actual.push_back(Instr.Mem.Offset);
+  std::sort(Actual.begin(), Actual.end());
+  EXPECT_EQ(Actual, Expected);
+}
+
+//===----------------------------------------------------------------------===//
+// Phi handling
+//===----------------------------------------------------------------------===//
+
+TEST(UnrollerTest, ReductionIsSplitIntoAccumulators) {
+  Loop L = makeReduction();
+  Loop U = unrollLoop(L, 4);
+  // Reassociation: one independent accumulator per copy.
+  EXPECT_EQ(U.phis().size(), 4u);
+  EXPECT_TRUE(isWellFormed(U));
+  // Each phi's recurrence is a distinct fma.
+  std::set<RegId> Recurs;
+  for (const PhiNode &Phi : U.phis())
+    Recurs.insert(Phi.Recur);
+  EXPECT_EQ(Recurs.size(), 4u);
+}
+
+TEST(UnrollerTest, ObservedReductionIsNotSplit) {
+  Loop L = makeObservedReduction();
+  Loop U = unrollLoop(L, 4);
+  // The running total is stored every iteration: the chain must stay
+  // serial, one phi total.
+  EXPECT_EQ(U.phis().size(), 1u);
+  EXPECT_TRUE(isWellFormed(U));
+}
+
+TEST(UnrollerTest, NonAssociativePhiChainsThroughCopies) {
+  // y = a * yprev + x is an fma whose *first* operands are not the phi;
+  // fma(A, YPrev, X) accumulates into X, not the phi slot, so it must not
+  // be split.
+  LoopBuilder B("iir", SourceLanguage::C, 1, 256);
+  RegId A = B.liveIn(RegClass::Float, "a");
+  RegId YPrev = B.phi(RegClass::Float, "yprev");
+  RegId X = B.load(RegClass::Float, {0, 8, 0, false, 8});
+  RegId Y = B.fma(A, YPrev, X);
+  B.store(Y, {1, 8, 0, false, 8});
+  B.setPhiRecur(YPrev, Y);
+  Loop L = B.finalize();
+  Loop U = unrollLoop(L, 4);
+  EXPECT_EQ(U.phis().size(), 1u);
+  EXPECT_TRUE(isWellFormed(U));
+}
+
+//===----------------------------------------------------------------------===//
+// Exits and predication
+//===----------------------------------------------------------------------===//
+
+TEST(UnrollerTest, ExitsAreReplicated) {
+  LoopBuilder B("branchy", SourceLanguage::C, 1, 256);
+  RegId V = B.load(RegClass::Int, {0, 4, 0, false, 4});
+  RegId Lim = B.liveIn(RegClass::Int, "lim");
+  B.exitIf(B.icmp(V, Lim), 0.01);
+  B.store(V, {1, 4, 0, false, 4});
+  Loop L = B.finalize();
+  Loop U = unrollLoop(L, 4);
+  EXPECT_EQ(countOpcode(U, Opcode::ExitIf), 4u);
+  EXPECT_TRUE(isWellFormed(U));
+}
+
+TEST(UnrollerTest, PredicatesRenamedPerCopy) {
+  LoopBuilder B("pred", SourceLanguage::C, 1, 256);
+  RegId T = B.liveIn(RegClass::Float, "t");
+  RegId X = B.load(RegClass::Float, {0, 8, 0, false, 8});
+  RegId C = B.fcmp(X, T);
+  B.setPredicate(C);
+  B.store(X, {1, 8, 0, false, 8});
+  B.clearPredicate();
+  Loop L = B.finalize();
+  Loop U = unrollLoop(L, 3);
+  // Each copy's store is guarded by its own copy's compare.
+  std::set<RegId> Guards;
+  for (const Instruction &Instr : U.body())
+    if (Instr.isStore())
+      Guards.insert(Instr.Pred);
+  EXPECT_EQ(Guards.size(), 3u);
+  EXPECT_EQ(Guards.count(NoReg), 0u);
+  EXPECT_TRUE(isWellFormed(U));
+}
+
+//===----------------------------------------------------------------------===//
+// Property tests over the corpus generators
+//===----------------------------------------------------------------------===//
+
+/// Every generator family x every factor produces a well-formed loop with
+/// the right replication arithmetic.
+class UnrollAllKinds
+    : public ::testing::TestWithParam<std::tuple<int, unsigned>> {};
+
+TEST_P(UnrollAllKinds, WellFormedAndSized) {
+  auto [KindIndex, Factor] = GetParam();
+  LoopKind Kind = static_cast<LoopKind>(KindIndex);
+  for (uint64_t Seed = 0; Seed < 12; ++Seed) {
+    Rng Generator(Seed * 977 + KindIndex);
+    LoopGenParams Params;
+    Params.Name = std::string(loopKindName(Kind)) + std::to_string(Seed);
+    Params.TripCount = 64 + static_cast<int64_t>(Seed) * 13;
+    Params.RuntimeTripCount = Params.TripCount;
+    Params.SizeScale = 1 + static_cast<int>(Seed % 4);
+    Loop L = generateLoop(Kind, Params, Generator);
+    ASSERT_TRUE(isWellFormed(L)) << L.name();
+    Loop U = unrollLoop(L, Factor);
+    std::vector<std::string> Errors = verifyLoop(U);
+    ASSERT_TRUE(Errors.empty())
+        << "kind " << loopKindName(Kind) << " seed " << Seed << " factor "
+        << Factor << ": " << Errors.front();
+    EXPECT_EQ(U.bodySizeWithoutControl(),
+              L.bodySizeWithoutControl() * Factor);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, UnrollAllKinds,
+    ::testing::Combine(::testing::Range(0, static_cast<int>(NumLoopKinds)),
+                       ::testing::Values(1u, 2u, 3u, 4u, 8u)));
