@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_nn_radius.dir/ablation_nn_radius.cpp.o"
+  "CMakeFiles/ablation_nn_radius.dir/ablation_nn_radius.cpp.o.d"
+  "ablation_nn_radius"
+  "ablation_nn_radius.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_nn_radius.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_output_codes.dir/ablation_output_codes.cpp.o"
+  "CMakeFiles/ablation_output_codes.dir/ablation_output_codes.cpp.o.d"
+  "ablation_output_codes"
+  "ablation_output_codes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_output_codes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

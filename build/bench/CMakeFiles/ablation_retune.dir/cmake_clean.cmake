@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_retune.dir/ablation_retune.cpp.o"
+  "CMakeFiles/ablation_retune.dir/ablation_retune.cpp.o.d"
+  "ablation_retune"
+  "ablation_retune.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_retune.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

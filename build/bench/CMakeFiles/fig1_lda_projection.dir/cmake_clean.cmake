@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_lda_projection.dir/fig1_lda_projection.cpp.o"
+  "CMakeFiles/fig1_lda_projection.dir/fig1_lda_projection.cpp.o.d"
+  "fig1_lda_projection"
+  "fig1_lda_projection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_lda_projection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig4_speedup_noswp.dir/fig4_speedup_noswp.cpp.o"
+  "CMakeFiles/fig4_speedup_noswp.dir/fig4_speedup_noswp.cpp.o.d"
+  "fig4_speedup_noswp"
+  "fig4_speedup_noswp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig4_speedup_noswp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

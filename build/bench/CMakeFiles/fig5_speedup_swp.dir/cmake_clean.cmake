@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_speedup_swp.dir/fig5_speedup_swp.cpp.o"
+  "CMakeFiles/fig5_speedup_swp.dir/fig5_speedup_swp.cpp.o.d"
+  "fig5_speedup_swp"
+  "fig5_speedup_swp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_speedup_swp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

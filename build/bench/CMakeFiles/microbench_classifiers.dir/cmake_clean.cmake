@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_classifiers.dir/microbench_classifiers.cpp.o"
+  "CMakeFiles/microbench_classifiers.dir/microbench_classifiers.cpp.o.d"
+  "microbench_classifiers"
+  "microbench_classifiers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_classifiers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

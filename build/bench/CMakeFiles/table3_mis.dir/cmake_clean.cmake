@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_mis.dir/table3_mis.cpp.o"
+  "CMakeFiles/table3_mis.dir/table3_mis.cpp.o.d"
+  "table3_mis"
+  "table3_mis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_mis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_greedy.dir/table4_greedy.cpp.o"
+  "CMakeFiles/table4_greedy.dir/table4_greedy.cpp.o.d"
+  "table4_greedy"
+  "table4_greedy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_greedy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/outlier_triage.dir/outlier_triage.cpp.o"
+  "CMakeFiles/outlier_triage.dir/outlier_triage.cpp.o.d"
+  "outlier_triage"
+  "outlier_triage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/outlier_triage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/train_and_evaluate.dir/train_and_evaluate.cpp.o"
+  "CMakeFiles/train_and_evaluate.dir/train_and_evaluate.cpp.o.d"
+  "train_and_evaluate"
+  "train_and_evaluate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/train_and_evaluate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

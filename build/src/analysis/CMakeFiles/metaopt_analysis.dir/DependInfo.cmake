@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/analysis/CriticalPath.cpp" "src/analysis/CMakeFiles/metaopt_analysis.dir/CriticalPath.cpp.o" "gcc" "src/analysis/CMakeFiles/metaopt_analysis.dir/CriticalPath.cpp.o.d"
+  "/root/repo/src/analysis/DependenceGraph.cpp" "src/analysis/CMakeFiles/metaopt_analysis.dir/DependenceGraph.cpp.o" "gcc" "src/analysis/CMakeFiles/metaopt_analysis.dir/DependenceGraph.cpp.o.d"
+  "/root/repo/src/analysis/Latency.cpp" "src/analysis/CMakeFiles/metaopt_analysis.dir/Latency.cpp.o" "gcc" "src/analysis/CMakeFiles/metaopt_analysis.dir/Latency.cpp.o.d"
+  "/root/repo/src/analysis/Liveness.cpp" "src/analysis/CMakeFiles/metaopt_analysis.dir/Liveness.cpp.o" "gcc" "src/analysis/CMakeFiles/metaopt_analysis.dir/Liveness.cpp.o.d"
+  "/root/repo/src/analysis/Recurrence.cpp" "src/analysis/CMakeFiles/metaopt_analysis.dir/Recurrence.cpp.o" "gcc" "src/analysis/CMakeFiles/metaopt_analysis.dir/Recurrence.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/metaopt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/metaopt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaopt_analysis.dir/CriticalPath.cpp.o"
+  "CMakeFiles/metaopt_analysis.dir/CriticalPath.cpp.o.d"
+  "CMakeFiles/metaopt_analysis.dir/DependenceGraph.cpp.o"
+  "CMakeFiles/metaopt_analysis.dir/DependenceGraph.cpp.o.d"
+  "CMakeFiles/metaopt_analysis.dir/Latency.cpp.o"
+  "CMakeFiles/metaopt_analysis.dir/Latency.cpp.o.d"
+  "CMakeFiles/metaopt_analysis.dir/Liveness.cpp.o"
+  "CMakeFiles/metaopt_analysis.dir/Liveness.cpp.o.d"
+  "CMakeFiles/metaopt_analysis.dir/Recurrence.cpp.o"
+  "CMakeFiles/metaopt_analysis.dir/Recurrence.cpp.o.d"
+  "libmetaopt_analysis.a"
+  "libmetaopt_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaopt_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

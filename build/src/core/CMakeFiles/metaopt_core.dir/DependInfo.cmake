@@ -1,0 +1,49 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/driver/Heuristics.cpp" "src/core/CMakeFiles/metaopt_core.dir/driver/Heuristics.cpp.o" "gcc" "src/core/CMakeFiles/metaopt_core.dir/driver/Heuristics.cpp.o.d"
+  "/root/repo/src/core/driver/LabelCollector.cpp" "src/core/CMakeFiles/metaopt_core.dir/driver/LabelCollector.cpp.o" "gcc" "src/core/CMakeFiles/metaopt_core.dir/driver/LabelCollector.cpp.o.d"
+  "/root/repo/src/core/driver/OutlierTriage.cpp" "src/core/CMakeFiles/metaopt_core.dir/driver/OutlierTriage.cpp.o" "gcc" "src/core/CMakeFiles/metaopt_core.dir/driver/OutlierTriage.cpp.o.d"
+  "/root/repo/src/core/driver/Pipeline.cpp" "src/core/CMakeFiles/metaopt_core.dir/driver/Pipeline.cpp.o" "gcc" "src/core/CMakeFiles/metaopt_core.dir/driver/Pipeline.cpp.o.d"
+  "/root/repo/src/core/driver/SpeedupEvaluator.cpp" "src/core/CMakeFiles/metaopt_core.dir/driver/SpeedupEvaluator.cpp.o" "gcc" "src/core/CMakeFiles/metaopt_core.dir/driver/SpeedupEvaluator.cpp.o.d"
+  "/root/repo/src/core/features/FeatureCatalog.cpp" "src/core/CMakeFiles/metaopt_core.dir/features/FeatureCatalog.cpp.o" "gcc" "src/core/CMakeFiles/metaopt_core.dir/features/FeatureCatalog.cpp.o.d"
+  "/root/repo/src/core/features/FeatureExtractor.cpp" "src/core/CMakeFiles/metaopt_core.dir/features/FeatureExtractor.cpp.o" "gcc" "src/core/CMakeFiles/metaopt_core.dir/features/FeatureExtractor.cpp.o.d"
+  "/root/repo/src/core/features/Normalizer.cpp" "src/core/CMakeFiles/metaopt_core.dir/features/Normalizer.cpp.o" "gcc" "src/core/CMakeFiles/metaopt_core.dir/features/Normalizer.cpp.o.d"
+  "/root/repo/src/core/ml/Classifier.cpp" "src/core/CMakeFiles/metaopt_core.dir/ml/Classifier.cpp.o" "gcc" "src/core/CMakeFiles/metaopt_core.dir/ml/Classifier.cpp.o.d"
+  "/root/repo/src/core/ml/CrossValidation.cpp" "src/core/CMakeFiles/metaopt_core.dir/ml/CrossValidation.cpp.o" "gcc" "src/core/CMakeFiles/metaopt_core.dir/ml/CrossValidation.cpp.o.d"
+  "/root/repo/src/core/ml/Dataset.cpp" "src/core/CMakeFiles/metaopt_core.dir/ml/Dataset.cpp.o" "gcc" "src/core/CMakeFiles/metaopt_core.dir/ml/Dataset.cpp.o.d"
+  "/root/repo/src/core/ml/DecisionTree.cpp" "src/core/CMakeFiles/metaopt_core.dir/ml/DecisionTree.cpp.o" "gcc" "src/core/CMakeFiles/metaopt_core.dir/ml/DecisionTree.cpp.o.d"
+  "/root/repo/src/core/ml/Evaluation.cpp" "src/core/CMakeFiles/metaopt_core.dir/ml/Evaluation.cpp.o" "gcc" "src/core/CMakeFiles/metaopt_core.dir/ml/Evaluation.cpp.o.d"
+  "/root/repo/src/core/ml/FeatureSelection.cpp" "src/core/CMakeFiles/metaopt_core.dir/ml/FeatureSelection.cpp.o" "gcc" "src/core/CMakeFiles/metaopt_core.dir/ml/FeatureSelection.cpp.o.d"
+  "/root/repo/src/core/ml/Kernel.cpp" "src/core/CMakeFiles/metaopt_core.dir/ml/Kernel.cpp.o" "gcc" "src/core/CMakeFiles/metaopt_core.dir/ml/Kernel.cpp.o.d"
+  "/root/repo/src/core/ml/Lda.cpp" "src/core/CMakeFiles/metaopt_core.dir/ml/Lda.cpp.o" "gcc" "src/core/CMakeFiles/metaopt_core.dir/ml/Lda.cpp.o.d"
+  "/root/repo/src/core/ml/LsSvm.cpp" "src/core/CMakeFiles/metaopt_core.dir/ml/LsSvm.cpp.o" "gcc" "src/core/CMakeFiles/metaopt_core.dir/ml/LsSvm.cpp.o.d"
+  "/root/repo/src/core/ml/Lsh.cpp" "src/core/CMakeFiles/metaopt_core.dir/ml/Lsh.cpp.o" "gcc" "src/core/CMakeFiles/metaopt_core.dir/ml/Lsh.cpp.o.d"
+  "/root/repo/src/core/ml/NearNeighbor.cpp" "src/core/CMakeFiles/metaopt_core.dir/ml/NearNeighbor.cpp.o" "gcc" "src/core/CMakeFiles/metaopt_core.dir/ml/NearNeighbor.cpp.o.d"
+  "/root/repo/src/core/ml/OutputCode.cpp" "src/core/CMakeFiles/metaopt_core.dir/ml/OutputCode.cpp.o" "gcc" "src/core/CMakeFiles/metaopt_core.dir/ml/OutputCode.cpp.o.d"
+  "/root/repo/src/core/ml/Regression.cpp" "src/core/CMakeFiles/metaopt_core.dir/ml/Regression.cpp.o" "gcc" "src/core/CMakeFiles/metaopt_core.dir/ml/Regression.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/corpus/CMakeFiles/metaopt_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/heuristics/CMakeFiles/metaopt_heuristics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/metaopt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/metaopt_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/metaopt_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/metaopt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/metaopt_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/metaopt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/metaopt_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/metaopt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaopt_corpus.dir/BenchmarkSuite.cpp.o"
+  "CMakeFiles/metaopt_corpus.dir/BenchmarkSuite.cpp.o.d"
+  "CMakeFiles/metaopt_corpus.dir/LoopGenerators.cpp.o"
+  "CMakeFiles/metaopt_corpus.dir/LoopGenerators.cpp.o.d"
+  "libmetaopt_corpus.a"
+  "libmetaopt_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaopt_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

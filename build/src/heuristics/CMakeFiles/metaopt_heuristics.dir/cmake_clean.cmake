@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaopt_heuristics.dir/OrcLikeHeuristic.cpp.o"
+  "CMakeFiles/metaopt_heuristics.dir/OrcLikeHeuristic.cpp.o.d"
+  "CMakeFiles/metaopt_heuristics.dir/UnrollHeuristic.cpp.o"
+  "CMakeFiles/metaopt_heuristics.dir/UnrollHeuristic.cpp.o.d"
+  "libmetaopt_heuristics.a"
+  "libmetaopt_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaopt_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

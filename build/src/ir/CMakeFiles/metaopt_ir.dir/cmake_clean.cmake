@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaopt_ir.dir/Instruction.cpp.o"
+  "CMakeFiles/metaopt_ir.dir/Instruction.cpp.o.d"
+  "CMakeFiles/metaopt_ir.dir/Loop.cpp.o"
+  "CMakeFiles/metaopt_ir.dir/Loop.cpp.o.d"
+  "CMakeFiles/metaopt_ir.dir/LoopBuilder.cpp.o"
+  "CMakeFiles/metaopt_ir.dir/LoopBuilder.cpp.o.d"
+  "CMakeFiles/metaopt_ir.dir/Opcode.cpp.o"
+  "CMakeFiles/metaopt_ir.dir/Opcode.cpp.o.d"
+  "CMakeFiles/metaopt_ir.dir/Parser.cpp.o"
+  "CMakeFiles/metaopt_ir.dir/Parser.cpp.o.d"
+  "CMakeFiles/metaopt_ir.dir/Printer.cpp.o"
+  "CMakeFiles/metaopt_ir.dir/Printer.cpp.o.d"
+  "CMakeFiles/metaopt_ir.dir/Verifier.cpp.o"
+  "CMakeFiles/metaopt_ir.dir/Verifier.cpp.o.d"
+  "libmetaopt_ir.a"
+  "libmetaopt_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaopt_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

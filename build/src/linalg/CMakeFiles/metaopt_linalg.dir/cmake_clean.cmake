@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaopt_linalg.dir/Cholesky.cpp.o"
+  "CMakeFiles/metaopt_linalg.dir/Cholesky.cpp.o.d"
+  "CMakeFiles/metaopt_linalg.dir/Eigen.cpp.o"
+  "CMakeFiles/metaopt_linalg.dir/Eigen.cpp.o.d"
+  "CMakeFiles/metaopt_linalg.dir/Matrix.cpp.o"
+  "CMakeFiles/metaopt_linalg.dir/Matrix.cpp.o.d"
+  "libmetaopt_linalg.a"
+  "libmetaopt_linalg.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaopt_linalg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaopt_machine.dir/Machine.cpp.o"
+  "CMakeFiles/metaopt_machine.dir/Machine.cpp.o.d"
+  "libmetaopt_machine.a"
+  "libmetaopt_machine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaopt_machine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

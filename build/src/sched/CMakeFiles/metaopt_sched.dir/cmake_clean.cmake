@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaopt_sched.dir/IterativeModulo.cpp.o"
+  "CMakeFiles/metaopt_sched.dir/IterativeModulo.cpp.o.d"
+  "CMakeFiles/metaopt_sched.dir/ListScheduler.cpp.o"
+  "CMakeFiles/metaopt_sched.dir/ListScheduler.cpp.o.d"
+  "CMakeFiles/metaopt_sched.dir/ModuloScheduler.cpp.o"
+  "CMakeFiles/metaopt_sched.dir/ModuloScheduler.cpp.o.d"
+  "CMakeFiles/metaopt_sched.dir/Schedule.cpp.o"
+  "CMakeFiles/metaopt_sched.dir/Schedule.cpp.o.d"
+  "CMakeFiles/metaopt_sched.dir/SchedulePrinter.cpp.o"
+  "CMakeFiles/metaopt_sched.dir/SchedulePrinter.cpp.o.d"
+  "libmetaopt_sched.a"
+  "libmetaopt_sched.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaopt_sched.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaopt_sim.dir/Measurement.cpp.o"
+  "CMakeFiles/metaopt_sim.dir/Measurement.cpp.o.d"
+  "CMakeFiles/metaopt_sim.dir/Simulator.cpp.o"
+  "CMakeFiles/metaopt_sim.dir/Simulator.cpp.o.d"
+  "libmetaopt_sim.a"
+  "libmetaopt_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaopt_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

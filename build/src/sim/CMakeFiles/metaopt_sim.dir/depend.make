@@ -1,0 +1,2 @@
+# Empty dependencies file for metaopt_sim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaopt_support.dir/CommandLine.cpp.o"
+  "CMakeFiles/metaopt_support.dir/CommandLine.cpp.o.d"
+  "CMakeFiles/metaopt_support.dir/Csv.cpp.o"
+  "CMakeFiles/metaopt_support.dir/Csv.cpp.o.d"
+  "CMakeFiles/metaopt_support.dir/Rng.cpp.o"
+  "CMakeFiles/metaopt_support.dir/Rng.cpp.o.d"
+  "CMakeFiles/metaopt_support.dir/Statistics.cpp.o"
+  "CMakeFiles/metaopt_support.dir/Statistics.cpp.o.d"
+  "CMakeFiles/metaopt_support.dir/StringUtils.cpp.o"
+  "CMakeFiles/metaopt_support.dir/StringUtils.cpp.o.d"
+  "CMakeFiles/metaopt_support.dir/TablePrinter.cpp.o"
+  "CMakeFiles/metaopt_support.dir/TablePrinter.cpp.o.d"
+  "libmetaopt_support.a"
+  "libmetaopt_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaopt_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

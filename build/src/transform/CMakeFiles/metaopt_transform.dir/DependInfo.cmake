@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/transform/MemoryOpt.cpp" "src/transform/CMakeFiles/metaopt_transform.dir/MemoryOpt.cpp.o" "gcc" "src/transform/CMakeFiles/metaopt_transform.dir/MemoryOpt.cpp.o.d"
+  "/root/repo/src/transform/Unroller.cpp" "src/transform/CMakeFiles/metaopt_transform.dir/Unroller.cpp.o" "gcc" "src/transform/CMakeFiles/metaopt_transform.dir/Unroller.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/metaopt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/metaopt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

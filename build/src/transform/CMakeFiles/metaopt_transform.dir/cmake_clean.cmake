@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/metaopt_transform.dir/MemoryOpt.cpp.o"
+  "CMakeFiles/metaopt_transform.dir/MemoryOpt.cpp.o.d"
+  "CMakeFiles/metaopt_transform.dir/Unroller.cpp.o"
+  "CMakeFiles/metaopt_transform.dir/Unroller.cpp.o.d"
+  "libmetaopt_transform.a"
+  "libmetaopt_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/metaopt_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/ims_test.cpp" "tests/CMakeFiles/ims_test.dir/ims_test.cpp.o" "gcc" "tests/CMakeFiles/ims_test.dir/ims_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/metaopt_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/metaopt_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/heuristics/CMakeFiles/metaopt_heuristics.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/metaopt_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sched/CMakeFiles/metaopt_sched.dir/DependInfo.cmake"
+  "/root/repo/build/src/transform/CMakeFiles/metaopt_transform.dir/DependInfo.cmake"
+  "/root/repo/build/src/analysis/CMakeFiles/metaopt_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/machine/CMakeFiles/metaopt_machine.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/metaopt_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/linalg/CMakeFiles/metaopt_linalg.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/metaopt_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/memoryopt_test.dir/memoryopt_test.cpp.o"
+  "CMakeFiles/memoryopt_test.dir/memoryopt_test.cpp.o.d"
+  "memoryopt_test"
+  "memoryopt_test.pdb"
+  "memoryopt_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/memoryopt_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schedprinter_test.dir/schedprinter_test.cpp.o"
+  "CMakeFiles/schedprinter_test.dir/schedprinter_test.cpp.o.d"
+  "schedprinter_test"
+  "schedprinter_test.pdb"
+  "schedprinter_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schedprinter_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
