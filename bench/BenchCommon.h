@@ -18,6 +18,7 @@
 #ifndef METAOPT_BENCH_BENCHCOMMON_H
 #define METAOPT_BENCH_BENCHCOMMON_H
 
+#include "concurrency/ThreadPool.h"
 #include "core/driver/Heuristics.h"
 #include "core/driver/Pipeline.h"
 #include "heuristics/OrcLikeHeuristic.h"
@@ -31,9 +32,20 @@
 
 namespace metaopt {
 
+/// Applies the shared --threads=<n> flag: resizes the global pool that
+/// labeling, LOOCV, speedup evaluation, and feature selection run on.
+/// Without the flag the pool keeps its default (METAOPT_THREADS env var
+/// or hardware concurrency); --threads=1 forces the serial golden path.
+inline void applyThreadsFlag(const CommandLine &Args) {
+  if (Args.has("threads"))
+    ThreadPool::setGlobalThreads(
+        static_cast<unsigned>(Args.getInt("threads", 0)));
+}
+
 /// Builds the standard pipeline; --quick shrinks the corpus and disables
-/// the disk cache.
+/// the disk cache, --threads=<n> sets the parallelism.
 inline std::unique_ptr<Pipeline> makePipeline(const CommandLine &Args) {
+  applyThreadsFlag(Args);
   PipelineOptions Options;
   if (Args.has("quick")) {
     Options.Corpus.MinLoopsPerBenchmark = 6;

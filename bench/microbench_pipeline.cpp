@@ -1,0 +1,107 @@
+//===- bench/microbench_pipeline.cpp - Labeling scaling -------------------===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+// Wall-clock scaling of the pipeline's dominant cost — empirical labeling,
+// the step the paper spent ~a week of machine time on — across the
+// work-stealing pool at 1/2/4/8 threads, printed as JSON rows (one object
+// per line) so dashboards can ingest them directly. Also re-verifies the
+// determinism contract: every thread count must produce the byte-identical
+// dataset CSV the serial run produces.
+//
+// Flags:
+//   --full           label the whole 72-benchmark corpus (default: a
+//                    reduced slice so the bench finishes quickly)
+//   --swp            also time the software-pipelining configuration
+//   --threads=<csv>  comma-separated thread counts (default "1,2,4,8")
+//
+//===----------------------------------------------------------------------===//
+
+#include "concurrency/ThreadPool.h"
+#include "core/driver/LabelCollector.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace metaopt;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+std::vector<unsigned> parseThreadList(const std::string &Csv) {
+  std::vector<unsigned> Threads;
+  for (const std::string &Part : split(Csv, ',')) {
+    int Value = std::atoi(Part.c_str());
+    if (Value >= 1)
+      Threads.push_back(static_cast<unsigned>(Value));
+  }
+  if (Threads.empty())
+    Threads = {1, 2, 4, 8};
+  return Threads;
+}
+
+void benchLabeling(const std::vector<Benchmark> &Corpus, bool EnableSwp,
+                   const std::vector<unsigned> &ThreadCounts, bool Full) {
+  LabelingOptions Options;
+  Options.EnableSwp = EnableSwp;
+
+  // The first requested thread count is the baseline for both the speedup
+  // column and the determinism check, so the check is meaningful even when
+  // 1 is not in the list.
+  double BaselineSeconds = 0.0;
+  std::string BaselineCsv;
+  for (unsigned Threads : ThreadCounts) {
+    ThreadPool::setGlobalThreads(Threads);
+    auto Start = std::chrono::steady_clock::now();
+    size_t TotalLoops = 0;
+    Dataset Data = collectLabels(Corpus, Options, &TotalLoops);
+    double Seconds = secondsSince(Start);
+
+    std::string Csv = Data.toCsv();
+    if (BaselineCsv.empty()) {
+      BaselineSeconds = Seconds;
+      BaselineCsv = Csv;
+    }
+    bool Deterministic = Csv == BaselineCsv;
+    double Speedup = BaselineSeconds > 0.0 ? BaselineSeconds / Seconds : 1.0;
+    std::printf("{\"experiment\": \"labeling\", \"corpus\": \"%s\", "
+                "\"swp\": %s, \"threads\": %u, \"loops\": %zu, "
+                "\"usable\": %zu, \"seconds\": %.3f, "
+                "\"speedup_vs_serial\": %.2f, \"csv_matches_serial\": %s}\n",
+                Full ? "full" : "quick", EnableSwp ? "true" : "false",
+                Threads, TotalLoops, Data.size(), Seconds, Speedup,
+                Deterministic ? "true" : "false");
+    std::fflush(stdout);
+  }
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine Args(Argc, Argv);
+  bool Full = Args.has("full");
+  std::vector<unsigned> ThreadCounts =
+      parseThreadList(Args.getString("threads", "1,2,4,8"));
+
+  CorpusOptions CorpusOpts;
+  if (!Full) {
+    CorpusOpts.MinLoopsPerBenchmark = 4;
+    CorpusOpts.MaxLoopsPerBenchmark = 6;
+  }
+  std::vector<Benchmark> Corpus = buildCorpus(CorpusOpts);
+
+  benchLabeling(Corpus, /*EnableSwp=*/false, ThreadCounts, Full);
+  if (Args.has("swp"))
+    benchLabeling(Corpus, /*EnableSwp=*/true, ThreadCounts, Full);
+  return 0;
+}

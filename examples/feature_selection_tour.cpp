@@ -8,10 +8,12 @@
 // greedy forward selection under the NN and SVM classifiers (Table 4),
 // then shows how a reduced feature set affects LOOCV accuracy.
 //
-// Flags: --full (whole corpus), --bins=<n>, --steps=<n>
+// Flags: --full (whole corpus), --bins=<n>, --steps=<n>,
+//        --threads=<n> (parallelism; 1 = serial)
 //
 //===----------------------------------------------------------------------===//
 
+#include "concurrency/ThreadPool.h"
 #include "core/driver/Pipeline.h"
 #include "core/ml/CrossValidation.h"
 #include "core/ml/FeatureSelection.h"
@@ -28,6 +30,9 @@ int main(int Argc, char **Argv) {
   bool Full = Args.has("full");
   int Bins = static_cast<int>(Args.getInt("bins", 10));
   unsigned Steps = static_cast<unsigned>(Args.getInt("steps", 5));
+  if (Args.has("threads"))
+    ThreadPool::setGlobalThreads(
+        static_cast<unsigned>(Args.getInt("threads", 0)));
 
   PipelineOptions Options;
   if (!Full) {

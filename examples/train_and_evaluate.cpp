@@ -12,9 +12,12 @@
 //   --full             the whole 72-benchmark corpus
 //   --swp              enable the software pipelining configuration
 //   --radius=<r>       NN radius (default 0.3)
+//   --threads=<n>      parallelism for labeling/evaluation (1 = serial;
+//                      default: METAOPT_THREADS or hardware concurrency)
 //
 //===----------------------------------------------------------------------===//
 
+#include "concurrency/ThreadPool.h"
 #include "core/driver/Pipeline.h"
 #include "core/driver/SpeedupEvaluator.h"
 #include "core/ml/CrossValidation.h"
@@ -33,6 +36,9 @@ int main(int Argc, char **Argv) {
   bool Full = Args.has("full");
   bool EnableSwp = Args.has("swp");
   double Radius = Args.getDouble("radius", 0.3);
+  if (Args.has("threads"))
+    ThreadPool::setGlobalThreads(
+        static_cast<unsigned>(Args.getInt("threads", 0)));
 
   PipelineOptions Options;
   if (!Full) {

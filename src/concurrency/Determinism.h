@@ -1,0 +1,42 @@
+//===- concurrency/Determinism.h - Parallel == serial contract --*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The determinism contract for parallel call sites. Every parallel run of
+/// the pipeline must be bit-identical to the --threads=1 serial run, which
+/// requires exactly three disciplines (docs/CONCURRENCY.md elaborates):
+///
+///  1. Stable task identity: each task is an index into an ordered
+///     work-list built up front; never "whatever the queue yields next".
+///  2. Private RNG streams: a task derives its generator from a base seed
+///     plus its stable identity via Rng::splitStream — never by drawing
+///     from a generator shared across tasks, whose interleaving would
+///     depend on scheduling.
+///  3. Ordered reduction: per-task results land in an index-addressed
+///     slot (parallelMap) and any reduction over them runs serially in
+///     index order afterwards, so floating-point accumulation order never
+///     changes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_CONCURRENCY_DETERMINISM_H
+#define METAOPT_CONCURRENCY_DETERMINISM_H
+
+#include "support/Rng.h"
+
+namespace metaopt {
+
+/// The task-stream rule in one helper: the RNG for the task with stable
+/// identity \p TaskIndex under \p BaseSeed. Equivalent streams come out
+/// whether the task runs on a worker, on the caller, or serially.
+inline Rng taskRng(uint64_t BaseSeed, uint64_t TaskIndex) {
+  return Rng::splitStream(BaseSeed, TaskIndex);
+}
+
+} // namespace metaopt
+
+#endif // METAOPT_CONCURRENCY_DETERMINISM_H

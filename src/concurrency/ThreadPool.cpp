@@ -1,0 +1,442 @@
+//===- concurrency/ThreadPool.cpp -----------------------------------------===//
+
+#include "concurrency/ThreadPool.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <condition_variable>
+#include <cstdlib>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+using namespace metaopt;
+using namespace metaopt::detail;
+
+namespace metaopt {
+namespace detail {
+
+struct Task;
+
+/// One parallel region: a parallelFor range or a TaskGroup. Lives on the
+/// waiter's stack (run()) or inside the TaskGroup; tasks reference it and
+/// are all consumed before the waiter returns, so no refcounting is
+/// needed. Completion is signalled through the pool-wide event channel
+/// (the pool always outlives its jobs), which avoids the classic
+/// destroy-while-notifying race of a per-job condition variable.
+struct Job {
+  std::function<void(size_t)> Body; ///< Null for task groups.
+  std::atomic<size_t> Pending{0};   ///< Indices not yet finished.
+  std::mutex ErrorMutex;
+  std::exception_ptr Error;
+  size_t ErrorIndex = static_cast<size_t>(-1);
+
+  void recordError(size_t Index, std::exception_ptr E) {
+    std::lock_guard<std::mutex> Lock(ErrorMutex);
+    if (!Error || Index < ErrorIndex) {
+      Error = std::move(E);
+      ErrorIndex = Index;
+    }
+  }
+
+  void rethrowIfError() {
+    if (Error)
+      std::rethrow_exception(Error);
+  }
+};
+
+/// A unit of work: either a chunk [Begin, End) of a parallel-for job, or
+/// one spawned TaskGroup closure (End == Begin + 1, GroupFn set).
+struct Task {
+  Job *Parent = nullptr;
+  size_t Begin = 0;
+  size_t End = 0;
+  std::function<void()> GroupFn;
+};
+
+/// Chase-Lev work-stealing deque of Task pointers. The owner pushes and
+/// pops at the bottom; any other thread steals from the top. All atomics
+/// use seq_cst rather than the weakest correct orders: the tasks here are
+/// milliseconds of simulation or training each, so deque overhead is
+/// irrelevant, and seq_cst avoids the standalone fences of the
+/// weak-memory formulation (which ThreadSanitizer does not model).
+class WorkDeque {
+public:
+  WorkDeque() : Buffer(new Ring(InitialCapacity)) {}
+  ~WorkDeque() {
+    delete Buffer.load();
+    for (Ring *Old : Retired)
+      delete Old;
+  }
+
+  /// Owner only.
+  void push(Task *T) {
+    int64_t B = Bottom.load();
+    int64_t F = Top.load();
+    Ring *R = Buffer.load();
+    if (B - F >= R->Capacity) {
+      R = grow(R, F, B);
+      Buffer.store(R);
+    }
+    R->slot(B).store(T);
+    Bottom.store(B + 1);
+  }
+
+  /// Owner only. Returns nullptr when empty.
+  Task *pop() {
+    int64_t B = Bottom.load() - 1;
+    Ring *R = Buffer.load();
+    Bottom.store(B);
+    int64_t F = Top.load();
+    if (F > B) {
+      Bottom.store(B + 1); // Empty: undo.
+      return nullptr;
+    }
+    Task *T = R->slot(B).load();
+    if (F != B)
+      return T; // More than one element left; no race with thieves.
+    // Last element: race the thieves for it via the top counter.
+    bool Won = Top.compare_exchange_strong(F, F + 1);
+    Bottom.store(B + 1);
+    return Won ? T : nullptr;
+  }
+
+  /// Any thread. Returns nullptr when empty or when the steal raced.
+  Task *steal() {
+    int64_t F = Top.load();
+    int64_t B = Bottom.load();
+    if (F >= B)
+      return nullptr;
+    Task *T = Buffer.load()->slot(F).load();
+    if (!Top.compare_exchange_strong(F, F + 1))
+      return nullptr; // Lost the race; T must not be used.
+    return T;
+  }
+
+private:
+  static constexpr int64_t InitialCapacity = 256;
+
+  struct Ring {
+    explicit Ring(int64_t N) : Capacity(N), Slots(new std::atomic<Task *>[N]) {}
+    ~Ring() { delete[] Slots; }
+    std::atomic<Task *> &slot(int64_t I) { return Slots[I & (Capacity - 1)]; }
+    const int64_t Capacity; ///< Power of two.
+    std::atomic<Task *> *Slots;
+  };
+
+  Ring *grow(Ring *Old, int64_t F, int64_t B) {
+    Ring *Bigger = new Ring(Old->Capacity * 2);
+    for (int64_t I = F; I < B; ++I)
+      Bigger->slot(I).store(Old->slot(I).load());
+    // Thieves may still be reading the old ring; retire it until the
+    // deque dies instead of freeing it.
+    Retired.push_back(Old);
+    return Bigger;
+  }
+
+  std::atomic<int64_t> Top{0};
+  std::atomic<int64_t> Bottom{0};
+  std::atomic<Ring *> Buffer;
+  std::vector<Ring *> Retired;
+};
+
+struct PoolImpl {
+  explicit PoolImpl(unsigned Threads);
+  ~PoolImpl();
+
+  unsigned ThreadCount; ///< Workers + the calling thread.
+  std::vector<std::unique_ptr<WorkDeque>> Deques; ///< One per worker.
+  std::vector<std::thread> Workers;
+
+  std::mutex InjectMutex;
+  std::deque<Task *> Injected; ///< Submissions from non-worker threads.
+
+  /// Event channel: bumped (and broadcast) whenever work is pushed or a
+  /// job completes, so parked workers and helping waiters re-scan.
+  std::mutex EventMutex;
+  std::condition_variable EventCv;
+  std::atomic<uint64_t> EventEpoch{0};
+  std::atomic<int> Waiters{0};
+  std::atomic<bool> Stop{false};
+
+  void signalEvent() {
+    EventEpoch.fetch_add(1);
+    if (Waiters.load() > 0) {
+      // Empty critical section: serializes with a waiter that passed its
+      // predicate check but has not blocked yet (it holds EventMutex in
+      // that window), so the notification cannot be lost.
+      { std::lock_guard<std::mutex> Lock(EventMutex); }
+      EventCv.notify_all();
+    }
+  }
+
+  template <typename QuitFn>
+  void waitEvent(uint64_t SeenEpoch, const QuitFn &Quit) {
+    std::unique_lock<std::mutex> Lock(EventMutex);
+    Waiters.fetch_add(1);
+    EventCv.wait(Lock, [&] {
+      return EventEpoch.load() != SeenEpoch || Stop.load() || Quit();
+    });
+    Waiters.fetch_sub(1);
+  }
+
+  void workerLoop(unsigned WorkerIndex);
+  Task *findWork(int SelfIndex);
+  void execute(Task &T);
+  void submit(Task *T, int SelfIndex);
+  void helpUntilDone(Job &J);
+  int currentWorkerIndex() const;
+};
+
+namespace {
+/// Which pool (if any) owns the current thread, and which worker slot it
+/// occupies; lets nested parallel regions push to their own deque.
+thread_local PoolImpl *CurrentPool = nullptr;
+thread_local int CurrentWorker = -1;
+} // namespace
+
+PoolImpl::PoolImpl(unsigned Threads) : ThreadCount(Threads) {
+  assert(Threads >= 1 && "thread count must be at least 1");
+  unsigned NumWorkers = Threads - 1;
+  Deques.reserve(NumWorkers);
+  for (unsigned I = 0; I < NumWorkers; ++I)
+    Deques.push_back(std::make_unique<WorkDeque>());
+  Workers.reserve(NumWorkers);
+  for (unsigned I = 0; I < NumWorkers; ++I)
+    Workers.emplace_back([this, I] { workerLoop(I); });
+}
+
+PoolImpl::~PoolImpl() {
+  Stop.store(true);
+  signalEvent();
+  // signalEvent() skips the broadcast when no worker is parked, but a
+  // worker may be about to park having seen Stop == false; the epoch
+  // bump above makes its wait predicate true. Broadcast unconditionally
+  // once more to cover workers already inside wait().
+  {
+    std::lock_guard<std::mutex> Lock(EventMutex);
+  }
+  EventCv.notify_all();
+  for (std::thread &W : Workers)
+    W.join();
+}
+
+int PoolImpl::currentWorkerIndex() const {
+  return CurrentPool == this ? CurrentWorker : -1;
+}
+
+Task *PoolImpl::findWork(int SelfIndex) {
+  // Own deque first (LIFO: depth-first on nested regions), then the
+  // injection queue, then steal a task from another worker (FIFO on the
+  // victim: steals take the oldest, largest-remaining work first).
+  if (SelfIndex >= 0)
+    if (Task *T = Deques[SelfIndex]->pop())
+      return T;
+  {
+    std::lock_guard<std::mutex> Lock(InjectMutex);
+    if (!Injected.empty()) {
+      Task *T = Injected.front();
+      Injected.pop_front();
+      return T;
+    }
+  }
+  size_t N = Deques.size();
+  size_t Start = SelfIndex >= 0 ? static_cast<size_t>(SelfIndex) + 1 : 0;
+  // Two sweeps: a failed CAS in steal() is a race, not proof of empty.
+  for (int Sweep = 0; Sweep < 2; ++Sweep)
+    for (size_t I = 0; I < N; ++I) {
+      size_t Victim = (Start + I) % N;
+      if (static_cast<int>(Victim) == SelfIndex)
+        continue;
+      if (Task *T = Deques[Victim]->steal())
+        return T;
+    }
+  return nullptr;
+}
+
+void PoolImpl::execute(Task &T) {
+  Job &J = *T.Parent;
+  size_t Count = T.End - T.Begin;
+  for (size_t I = T.Begin; I < T.End; ++I) {
+    try {
+      if (T.GroupFn)
+        T.GroupFn();
+      else
+        J.Body(I);
+    } catch (...) {
+      J.recordError(I, std::current_exception());
+    }
+  }
+  if (J.Pending.fetch_sub(Count) == Count)
+    signalEvent(); // Job complete: wake its waiter.
+}
+
+void PoolImpl::submit(Task *T, int SelfIndex) {
+  if (SelfIndex >= 0) {
+    Deques[SelfIndex]->push(T);
+  } else {
+    std::lock_guard<std::mutex> Lock(InjectMutex);
+    Injected.push_back(T);
+  }
+}
+
+void PoolImpl::workerLoop(unsigned WorkerIndex) {
+  CurrentPool = this;
+  CurrentWorker = static_cast<int>(WorkerIndex);
+  for (;;) {
+    uint64_t Epoch = EventEpoch.load();
+    if (Task *T = findWork(static_cast<int>(WorkerIndex))) {
+      execute(*T);
+      continue;
+    }
+    if (Stop.load())
+      return;
+    waitEvent(Epoch, [] { return false; });
+  }
+}
+
+void PoolImpl::helpUntilDone(Job &J) {
+  int SelfIndex = currentWorkerIndex();
+  while (J.Pending.load() != 0) {
+    uint64_t Epoch = EventEpoch.load();
+    if (Task *T = findWork(SelfIndex)) {
+      execute(*T);
+      continue;
+    }
+    // All of this job's tasks are taken but some are still running (or
+    // new work appeared between the scan and here — the epoch catches
+    // that). Park until an event rather than spinning.
+    waitEvent(Epoch, [&] { return J.Pending.load() == 0; });
+  }
+}
+
+struct GroupImpl {
+  explicit GroupImpl(ThreadPool &P) : Pool(*P.Impl) {}
+  PoolImpl &Pool;
+  Job TheJob;
+  std::mutex SpawnMutex;
+  std::deque<Task> Tasks; ///< Stable addresses; guarded by SpawnMutex.
+  size_t NextIndex = 0;
+  bool Joined = false;
+};
+
+} // namespace detail
+} // namespace metaopt
+
+//===----------------------------------------------------------------------===//
+// ThreadPool
+//===----------------------------------------------------------------------===//
+
+ThreadPool::ThreadPool(unsigned Threads)
+    : Impl(std::make_unique<PoolImpl>(Threads ? Threads
+                                              : defaultThreadCount())) {}
+
+ThreadPool::~ThreadPool() = default;
+
+unsigned ThreadPool::threadCount() const { return Impl->ThreadCount; }
+
+unsigned ThreadPool::defaultThreadCount() {
+  if (const char *Env = std::getenv("METAOPT_THREADS")) {
+    char *End = nullptr;
+    long Value = std::strtol(Env, &End, 10);
+    if (End && *End == '\0' && Value >= 1 && Value <= 4096)
+      return static_cast<unsigned>(Value);
+  }
+  unsigned Hardware = std::thread::hardware_concurrency();
+  return Hardware ? Hardware : 1;
+}
+
+void ThreadPool::run(size_t Begin, size_t End,
+                     const std::function<void(size_t)> &Fn) {
+  if (Begin >= End)
+    return;
+  size_t N = End - Begin;
+  if (Impl->ThreadCount == 1 || N == 1) {
+    // The golden serial path: plain loop, natural exception propagation.
+    for (size_t I = Begin; I < End; ++I)
+      Fn(I);
+    return;
+  }
+
+  Job J;
+  J.Body = Fn;
+  J.Pending.store(N);
+
+  // Small chunks so stealing can rebalance skewed per-index costs; each
+  // index is typically milliseconds of work, so per-task overhead is
+  // negligible even at chunk size 1.
+  size_t ChunkSize = std::max<size_t>(1, N / (size_t{8} * Impl->ThreadCount));
+  size_t NumChunks = (N + ChunkSize - 1) / ChunkSize;
+  std::vector<Task> Chunks(NumChunks);
+  int SelfIndex = Impl->currentWorkerIndex();
+  for (size_t C = 0; C < NumChunks; ++C) {
+    Chunks[C].Parent = &J;
+    Chunks[C].Begin = Begin + C * ChunkSize;
+    Chunks[C].End = std::min(End, Chunks[C].Begin + ChunkSize);
+    Impl->submit(&Chunks[C], SelfIndex);
+  }
+  Impl->signalEvent();
+
+  Impl->helpUntilDone(J);
+  J.rethrowIfError();
+}
+
+namespace {
+std::mutex GlobalPoolMutex;
+std::unique_ptr<ThreadPool> GlobalPool;
+} // namespace
+
+ThreadPool &ThreadPool::global() {
+  std::lock_guard<std::mutex> Lock(GlobalPoolMutex);
+  if (!GlobalPool)
+    GlobalPool = std::make_unique<ThreadPool>();
+  return *GlobalPool;
+}
+
+void ThreadPool::setGlobalThreads(unsigned Threads) {
+  std::lock_guard<std::mutex> Lock(GlobalPoolMutex);
+  GlobalPool.reset(); // Join the old pool's workers first.
+  GlobalPool = std::make_unique<ThreadPool>(Threads);
+}
+
+//===----------------------------------------------------------------------===//
+// TaskGroup
+//===----------------------------------------------------------------------===//
+
+TaskGroup::TaskGroup(ThreadPool &Pool)
+    : Group(std::make_unique<GroupImpl>(Pool)) {}
+
+void TaskGroup::spawn(std::function<void()> Fn) {
+  PoolImpl &Pool = Group->Pool;
+  if (Pool.ThreadCount == 1) {
+    Fn(); // Serial golden path: run at the spawn point.
+    return;
+  }
+  Task *T;
+  {
+    std::lock_guard<std::mutex> Lock(Group->SpawnMutex);
+    Group->Tasks.emplace_back();
+    T = &Group->Tasks.back();
+    T->Parent = &Group->TheJob;
+    T->Begin = Group->NextIndex++;
+    T->End = T->Begin + 1;
+    T->GroupFn = std::move(Fn);
+  }
+  Group->TheJob.Pending.fetch_add(1);
+  Pool.submit(T, Pool.currentWorkerIndex());
+  Pool.signalEvent();
+}
+
+void TaskGroup::wait() {
+  Group->Pool.helpUntilDone(Group->TheJob);
+  Group->Joined = true;
+  Group->TheJob.rethrowIfError();
+}
+
+TaskGroup::~TaskGroup() {
+  if (Group && !Group->Joined)
+    Group->Pool.helpUntilDone(Group->TheJob); // Join, but never throw.
+}

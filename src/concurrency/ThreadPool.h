@@ -1,0 +1,115 @@
+//===- concurrency/ThreadPool.h - Work-stealing runtime ---------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The deterministic work-stealing parallel runtime. Labeling the corpus is
+/// the paper's dominant cost (a week of machine time for 2,500 loops x 8
+/// unroll factors x 30 noisy trials); this pool parallelizes that and the
+/// other embarrassingly parallel hot paths (brute-force LOOCV, the
+/// leave-one-benchmark-out speedup protocol, greedy feature selection)
+/// while keeping every result bit-identical to the serial run — see
+/// docs/CONCURRENCY.md for the determinism contract.
+///
+/// Structure: one worker thread per slot beyond the caller, each owning a
+/// Chase-Lev-style deque (owner pushes/pops the bottom, thieves steal the
+/// top), an injection queue for submissions from threads outside the pool,
+/// and condition-variable parking for idle workers. Waiting threads help
+/// execute outstanding tasks, so nested parallel regions never deadlock.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_CONCURRENCY_THREADPOOL_H
+#define METAOPT_CONCURRENCY_THREADPOOL_H
+
+#include <cstddef>
+#include <functional>
+#include <memory>
+
+namespace metaopt {
+
+namespace detail {
+struct Job;
+struct PoolImpl;
+struct GroupImpl;
+} // namespace detail
+
+/// A work-stealing thread pool with a fixed degree of parallelism.
+///
+/// A pool constructed with thread count N owns N-1 worker threads; the
+/// thread that calls run() (or TaskGroup::wait()) participates as the Nth
+/// executor, so N is the total parallelism. N == 1 creates no threads at
+/// all and every parallel construct degrades to the plain serial loop —
+/// the golden reference path.
+class ThreadPool {
+public:
+  /// \p Threads is the total parallelism; 0 means defaultThreadCount().
+  explicit ThreadPool(unsigned Threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool &) = delete;
+  ThreadPool &operator=(const ThreadPool &) = delete;
+
+  /// Total parallelism (worker threads + the calling thread).
+  unsigned threadCount() const;
+
+  /// Runs Fn(I) for every I in [Begin, End), distributing chunks over the
+  /// pool and helping from the calling thread until all are done. With a
+  /// thread count of 1 (or a single-index range) this is the plain serial
+  /// loop. Exceptions thrown by Fn are rethrown here; when several indices
+  /// throw, the lowest index wins (matching which exception the serial
+  /// loop would have surfaced). Prefer the parallelFor/parallelMap facade
+  /// in concurrency/Parallel.h.
+  void run(size_t Begin, size_t End, const std::function<void(size_t)> &Fn);
+
+  /// The --threads / METAOPT_THREADS / hardware-concurrency resolution:
+  /// METAOPT_THREADS (when set to a positive integer) wins, otherwise
+  /// std::thread::hardware_concurrency() (at least 1).
+  static unsigned defaultThreadCount();
+
+  /// The process-wide pool used when call sites do not pass one. Created
+  /// lazily with defaultThreadCount() threads.
+  static ThreadPool &global();
+
+  /// Replaces the global pool with one of \p Threads threads (0 resets to
+  /// defaultThreadCount()). Must not be called while a parallel region is
+  /// executing on the global pool.
+  static void setGlobalThreads(unsigned Threads);
+
+private:
+  friend class TaskGroup;
+  friend struct detail::GroupImpl;
+  std::unique_ptr<detail::PoolImpl> Impl;
+};
+
+/// Structured fork-join: spawn() forks tasks into the pool, wait() joins
+/// them (helping execute outstanding work while waiting) and rethrows the
+/// first error in spawn order. On a single-thread pool each task runs
+/// inline at its spawn point, which is exactly the serial execution order.
+class TaskGroup {
+public:
+  explicit TaskGroup(ThreadPool &Pool = ThreadPool::global());
+  ~TaskGroup();
+
+  TaskGroup(const TaskGroup &) = delete;
+  TaskGroup &operator=(const TaskGroup &) = delete;
+
+  /// Forks \p Fn. Thread-safe: tasks may spawn siblings into their own
+  /// group before the join.
+  void spawn(std::function<void()> Fn);
+
+  /// Joins every spawned task. If any task threw, rethrows the exception
+  /// of the earliest-spawned failing task. May be called once; the
+  /// destructor joins (without rethrowing) if wait() was never reached.
+  void wait();
+
+private:
+  std::unique_ptr<detail::GroupImpl> Group;
+};
+
+} // namespace metaopt
+
+#endif // METAOPT_CONCURRENCY_THREADPOOL_H

@@ -2,6 +2,7 @@
 
 #include "core/driver/LabelCollector.h"
 
+#include "concurrency/Parallel.h"
 #include "core/features/FeatureExtractor.h"
 #include "sim/Simulator.h"
 #include "support/Statistics.h"
@@ -15,9 +16,9 @@ metaopt::measureLoopAtAllFactors(const CorpusLoop &Entry,
                                  const MachineModel &Machine,
                                  const LabelingOptions &Options) {
   // One deterministic noise stream per loop: re-labeling the corpus
-  // reproduces identical datasets.
-  Rng Noise(Options.MeasurementSeed ^
-            Rng::hashString(Entry.TheLoop.name()));
+  // reproduces identical datasets, serial or parallel.
+  Rng Noise = Rng::splitStream(Options.MeasurementSeed,
+                               Rng::hashString(Entry.TheLoop.name()));
   std::array<double, MaxUnrollFactor> Medians = {};
   for (unsigned Factor = 1; Factor <= MaxUnrollFactor; ++Factor) {
     SimResult Sim = simulateLoop(Entry.TheLoop, Factor, Machine, Entry.Ctx,
@@ -29,48 +30,79 @@ metaopt::measureLoopAtAllFactors(const CorpusLoop &Entry,
   return Medians;
 }
 
+namespace {
+/// Per-loop labeling result; Usable mirrors the paper's filters.
+struct LabeledLoop {
+  bool Usable = false;
+  Example Ex;
+};
+} // namespace
+
+/// Labels one loop: measure at every factor, pick the best, apply the
+/// paper's usability filters. Pure function of its arguments (the noise
+/// stream is derived from the loop's name), so loops can be labeled in
+/// any order on any thread.
+static LabeledLoop labelOneLoop(const Benchmark &Bench,
+                                const CorpusLoop &Entry,
+                                const MachineModel &Machine,
+                                const LabelingOptions &Options) {
+  LabeledLoop Result;
+  std::array<double, MaxUnrollFactor> Medians =
+      measureLoopAtAllFactors(Entry, Machine, Options);
+
+  unsigned Best = 1;
+  double BestCycles = Medians[0];
+  double Sum = 0.0;
+  for (unsigned Factor = 1; Factor <= MaxUnrollFactor; ++Factor) {
+    double Cycles = Medians[Factor - 1];
+    Sum += Cycles;
+    if (Cycles < BestCycles) {
+      BestCycles = Cycles;
+      Best = Factor;
+    }
+  }
+  double Average = Sum / MaxUnrollFactor;
+
+  // Paper filters: the 50k-cycle noise floor and the 1.05x
+  // best-vs-average sensitivity requirement.
+  if (!isReliablyMeasurable(BestCycles, Options.Protocol))
+    return Result;
+  if (BestCycles * Options.MinBestVsAverage > Average)
+    return Result;
+
+  Result.Usable = true;
+  Result.Ex.Features = extractFeatures(Entry.TheLoop);
+  Result.Ex.Label = Best;
+  Result.Ex.CyclesPerFactor = Medians;
+  Result.Ex.LoopName = Entry.TheLoop.name();
+  Result.Ex.BenchmarkName = Bench.Name;
+  return Result;
+}
+
 Dataset metaopt::collectLabels(const std::vector<Benchmark> &Corpus,
                                const LabelingOptions &Options,
                                size_t *OutTotalLoops) {
   MachineModel Machine(Options.Machine);
+
+  // Flatten to an ordered work-list so every loop has a stable index;
+  // results are collected by that index, which makes the parallel dataset
+  // (and its CSV) byte-identical to the serial one.
+  std::vector<std::pair<const Benchmark *, const CorpusLoop *>> Loops;
+  for (const Benchmark &Bench : Corpus)
+    for (const CorpusLoop &Entry : Bench.Loops)
+      Loops.emplace_back(&Bench, &Entry);
+
+  std::vector<LabeledLoop> Labeled = parallelMap<LabeledLoop>(
+      Loops.size(), [&](size_t I) {
+        return labelOneLoop(*Loops[I].first, *Loops[I].second, Machine,
+                            Options);
+      });
+
   Dataset Data;
-  size_t TotalLoops = 0;
-  for (const Benchmark &Bench : Corpus) {
-    for (const CorpusLoop &Entry : Bench.Loops) {
-      ++TotalLoops;
-      std::array<double, MaxUnrollFactor> Medians =
-          measureLoopAtAllFactors(Entry, Machine, Options);
-
-      unsigned Best = 1;
-      double BestCycles = Medians[0];
-      double Sum = 0.0;
-      for (unsigned Factor = 1; Factor <= MaxUnrollFactor; ++Factor) {
-        double Cycles = Medians[Factor - 1];
-        Sum += Cycles;
-        if (Cycles < BestCycles) {
-          BestCycles = Cycles;
-          Best = Factor;
-        }
-      }
-      double Average = Sum / MaxUnrollFactor;
-
-      // Paper filters: the 50k-cycle noise floor and the 1.05x
-      // best-vs-average sensitivity requirement.
-      if (!isReliablyMeasurable(BestCycles, Options.Protocol))
-        continue;
-      if (BestCycles * Options.MinBestVsAverage > Average)
-        continue;
-
-      Example Ex;
-      Ex.Features = extractFeatures(Entry.TheLoop);
-      Ex.Label = Best;
-      Ex.CyclesPerFactor = Medians;
-      Ex.LoopName = Entry.TheLoop.name();
-      Ex.BenchmarkName = Bench.Name;
-      Data.add(std::move(Ex));
-    }
-  }
+  for (LabeledLoop &L : Labeled)
+    if (L.Usable)
+      Data.add(std::move(L.Ex));
   if (OutTotalLoops)
-    *OutTotalLoops = TotalLoops;
+    *OutTotalLoops = Loops.size();
   return Data;
 }

@@ -45,6 +45,11 @@ measureLoopAtAllFactors(const CorpusLoop &Entry, const MachineModel &Machine,
 /// (too short or too insensitive) are dropped, mirroring the paper's
 /// dataset construction. \p OutTotalLoops optionally receives the raw
 /// (pre-filter) loop count.
+///
+/// Loops are labeled in parallel on the global thread pool (this is the
+/// paper's week-of-machine-time step); each loop's noise stream comes
+/// from MeasurementSeed + its name, and examples are collected in corpus
+/// order, so the dataset is bit-identical however many threads run.
 Dataset collectLabels(const std::vector<Benchmark> &Corpus,
                       const LabelingOptions &Options,
                       size_t *OutTotalLoops = nullptr);

@@ -65,7 +65,9 @@ double nonLoopCycles(const Benchmark &Bench, const UnrollHeuristic &Baseline,
 /// Runs the full Figure 4/5 protocol over the benchmarks named in
 /// \p EvalNames (normally the 24 SPEC 2000 programs): per benchmark,
 /// train NN and SVM on \p FullData minus that benchmark's examples, then
-/// compare against the ORC-like baseline and the oracle.
+/// compare against the ORC-like baseline and the oracle. The per-
+/// benchmark iterations run on the global thread pool; the report is
+/// identical to the serial (--threads=1) run.
 SpeedupReport evaluateSpeedups(const std::vector<Benchmark> &Corpus,
                                const std::vector<std::string> &EvalNames,
                                const Dataset &FullData,

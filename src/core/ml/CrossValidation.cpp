@@ -2,6 +2,8 @@
 
 #include "core/ml/CrossValidation.h"
 
+#include "concurrency/Parallel.h"
+
 #include <cassert>
 #include <numeric>
 
@@ -26,13 +28,15 @@ std::vector<unsigned> metaopt::loocvPredictions(SvmClassifier &Classifier,
 std::vector<unsigned>
 metaopt::bruteForceLoocv(const ClassifierFactory &Factory,
                          const FeatureSet &Features, const Dataset &Data) {
+  // Each left-out example retrains independently; predictions land in
+  // their own slot, so the parallel result equals the serial one.
   std::vector<unsigned> Predictions(Data.size());
-  for (size_t I = 0; I < Data.size(); ++I) {
+  parallelFor(0, Data.size(), [&](size_t I) {
     Dataset Train = Data.withoutExample(I);
     std::unique_ptr<Classifier> Fresh = Factory(Features);
     Fresh->train(Train);
     Predictions[I] = Fresh->predict(Data[I].Features);
-  }
+  });
   return Predictions;
 }
 
@@ -63,8 +67,10 @@ metaopt::kFoldPredictions(const ClassifierFactory &Factory,
   for (size_t Position = 0; Position < Order.size(); ++Position)
     FoldOf[Order[Position]] = static_cast<unsigned>(Position % K);
 
+  // Folds are independent and write disjoint prediction slots (each
+  // example belongs to exactly one fold), so they retrain in parallel.
   std::vector<unsigned> Predictions(Data.size(), 1);
-  for (unsigned Fold = 0; Fold < K; ++Fold) {
+  parallelFor(0, K, [&](size_t Fold) {
     Dataset Train;
     for (size_t I = 0; I < Data.size(); ++I)
       if (FoldOf[I] != Fold)
@@ -74,6 +80,6 @@ metaopt::kFoldPredictions(const ClassifierFactory &Factory,
     for (size_t I = 0; I < Data.size(); ++I)
       if (FoldOf[I] == Fold)
         Predictions[I] = Fresh->predict(Data[I].Features);
-  }
+  });
   return Predictions;
 }

@@ -36,7 +36,10 @@ std::vector<unsigned> loocvPredictions(SvmClassifier &Classifier,
 
 /// Brute-force LOOCV: retrains a fresh classifier N times. Exact but
 /// O(N * train cost); used by tests to validate the fast paths and by
-/// ablations on small subsets.
+/// ablations on small subsets. The N retrainings run on the global
+/// thread pool; \p Factory must be callable concurrently (returning a
+/// fresh classifier each time satisfies this). Results are identical to
+/// the serial run.
 std::vector<unsigned> bruteForceLoocv(const ClassifierFactory &Factory,
                                       const FeatureSet &Features,
                                       const Dataset &Data);
@@ -49,7 +52,10 @@ double predictionAccuracy(const Dataset &Data,
 /// each predicted by a classifier trained on the other K-1. The paper
 /// prefers LOOCV because its dataset is small (Section 4.2: "there are
 /// other methods available"); k-fold is that other method, used by
-/// ablations to show the estimates agree.
+/// ablations to show the estimates agree. Folds retrain on the global
+/// thread pool (\p Factory must be callable concurrently); the shuffle
+/// and fold assignment are computed up front, so results match the
+/// serial run exactly.
 std::vector<unsigned> kFoldPredictions(const ClassifierFactory &Factory,
                                        const FeatureSet &Features,
                                        const Dataset &Data, unsigned K,

@@ -2,6 +2,7 @@
 
 #include "core/ml/FeatureSelection.h"
 
+#include "concurrency/Parallel.h"
 #include "core/ml/NearNeighbor.h"
 #include "core/ml/OutputCode.h"
 
@@ -104,16 +105,24 @@ metaopt::greedyFeatureSelection(const Dataset &Data,
   std::vector<bool> Used(NumFeatures, false);
 
   for (unsigned Step = 0; Step < MaxFeatures; ++Step) {
+    // Score every candidate in parallel (each retrains its own
+    // classifier), then pick the winner serially in feature order —
+    // identical tie-breaking to the serial scan.
+    std::vector<double> Errors =
+        parallelMap<double>(NumFeatures, [&](size_t Candidate) {
+          if (Used[Candidate])
+            return 2.0; // Sentinel above any real error rate.
+          FeatureSet Trial = Chosen;
+          Trial.push_back(static_cast<FeatureId>(Candidate));
+          return Error(Trial, Data);
+        });
     double BestError = 2.0;
     unsigned BestFeature = NumFeatures;
     for (unsigned Candidate = 0; Candidate < NumFeatures; ++Candidate) {
       if (Used[Candidate])
         continue;
-      FeatureSet Trial = Chosen;
-      Trial.push_back(static_cast<FeatureId>(Candidate));
-      double TrialError = Error(Trial, Data);
-      if (TrialError < BestError) {
-        BestError = TrialError;
+      if (Errors[Candidate] < BestError) {
+        BestError = Errors[Candidate];
         BestFeature = Candidate;
       }
     }

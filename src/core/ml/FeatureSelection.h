@@ -35,6 +35,10 @@ rankByMutualInformation(const Dataset &Data, int Bins = 10);
 
 /// Training-set error of a classifier restricted to a feature subset;
 /// pluggable so both Table 4 columns (NN and SVM) reuse one greedy loop.
+/// Candidate features are scored concurrently on the global thread pool,
+/// so the callable must be safe to invoke from several threads at once
+/// (training a fresh classifier per call, as both built-in error
+/// functions do, satisfies this).
 using TrainErrorFn =
     std::function<double(const FeatureSet &Features, const Dataset &Data)>;
 

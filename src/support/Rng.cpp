@@ -25,6 +25,10 @@ Rng::Rng(uint64_t Seed) {
 
 Rng::Rng(const std::string &SeedString) : Rng(hashString(SeedString)) {}
 
+Rng Rng::splitStream(uint64_t Seed, uint64_t Index) {
+  return Rng(Seed ^ Index);
+}
+
 uint64_t Rng::hashString(const std::string &Str) {
   uint64_t Hash = 0xcbf29ce484222325ULL;
   for (unsigned char C : Str) {

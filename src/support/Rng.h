@@ -78,6 +78,16 @@ public:
   /// seeds ("benchmarkName/loop17") deterministically.
   static uint64_t hashString(const std::string &Str);
 
+  /// Derives an independent child stream from a base seed and a stable
+  /// stream index (a loop-name hash, a task index, ...). This is the one
+  /// blessed way to give each unit of work its own generator: two
+  /// distinct indices under the same seed yield decorrelated streams
+  /// (the splitmix64 seeding stage scrambles nearby inputs), and the
+  /// result depends only on (Seed, Index) — never on which thread asks —
+  /// so parallel runs reproduce serial runs bit-for-bit. See
+  /// concurrency/Determinism.h for the full contract.
+  static Rng splitStream(uint64_t Seed, uint64_t Index);
+
 private:
   uint64_t State[4];
   bool HasSpareGaussian = false;
