@@ -1,0 +1,98 @@
+//===- bench/microbench_lint.cpp - Lint sweep scaling ---------------------===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+// Wall-clock of the full-corpus lint sweep (analysis/lint via
+// corpus/CorpusAudit) across the work-stealing pool, printed as JSON rows
+// (one object per line). Also re-checks the determinism contract: every
+// thread count must produce the byte-identical findings the serial sweep
+// produces, and the shipped corpus must stay error-free.
+//
+// Flags:
+//   --threads=<csv>  comma-separated thread counts (default "1,2,4,8")
+//
+//===----------------------------------------------------------------------===//
+
+#include "concurrency/ThreadPool.h"
+#include "corpus/CorpusAudit.h"
+#include "support/CommandLine.h"
+#include "support/StringUtils.h"
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+using namespace metaopt;
+
+namespace {
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+std::vector<unsigned> parseThreadList(const std::string &Csv) {
+  std::vector<unsigned> Threads;
+  for (const std::string &Part : split(Csv, ',')) {
+    int Value = std::atoi(Part.c_str());
+    if (Value >= 1)
+      Threads.push_back(static_cast<unsigned>(Value));
+  }
+  if (Threads.empty())
+    Threads = {1, 2, 4, 8};
+  return Threads;
+}
+
+std::string renderFindings(const CorpusAuditResult &Result) {
+  std::string Out;
+  for (const AuditedLoop &Audited : Result.Findings) {
+    Out += Audited.Benchmark;
+    Out += '/';
+    Out += Audited.LoopName;
+    Out += '\n';
+    Out += Audited.Report.renderText();
+  }
+  return Out;
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CommandLine Args(Argc, Argv);
+  std::vector<unsigned> ThreadCounts =
+      parseThreadList(Args.getString("threads", "1,2,4,8"));
+
+  std::vector<Benchmark> Corpus = buildCorpus();
+
+  double BaselineSeconds = 0.0;
+  std::string BaselineFindings;
+  bool SeenBaseline = false;
+  for (unsigned Threads : ThreadCounts) {
+    ThreadPool::setGlobalThreads(Threads);
+    auto Start = std::chrono::steady_clock::now();
+    CorpusAuditResult Result = auditBenchmarks(Corpus);
+    double Seconds = secondsSince(Start);
+
+    std::string Findings = renderFindings(Result);
+    if (!SeenBaseline) {
+      SeenBaseline = true;
+      BaselineSeconds = Seconds;
+      BaselineFindings = Findings;
+    }
+    bool Deterministic = Findings == BaselineFindings;
+    double Speedup = BaselineSeconds > 0.0 ? BaselineSeconds / Seconds : 1.0;
+    std::printf("{\"experiment\": \"lint_sweep\", \"threads\": %u, "
+                "\"loops\": %zu, \"errors\": %zu, \"warnings\": %zu, "
+                "\"notes\": %zu, \"seconds\": %.3f, "
+                "\"speedup_vs_serial\": %.2f, "
+                "\"findings_match_serial\": %s}\n",
+                Threads, Result.LoopsAudited, Result.Errors, Result.Warnings,
+                Result.Notes, Seconds, Speedup,
+                Deterministic ? "true" : "false");
+    std::fflush(stdout);
+  }
+  return 0;
+}

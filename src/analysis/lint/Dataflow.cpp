@@ -1,0 +1,141 @@
+//===- analysis/lint/Dataflow.cpp -----------------------------------------===//
+
+#include "analysis/lint/Dataflow.h"
+
+using namespace metaopt;
+
+BodyDataflow::BodyDataflow(const Loop &L) : L(L) {
+  size_t NumRegs = L.numRegs();
+  DefIndex.assign(NumRegs, NoDef);
+  DefGuard.assign(NumRegs, NoReg);
+  PhiOf.assign(NumRegs, nullptr);
+
+  for (size_t I = 0; I < L.body().size(); ++I) {
+    const Instruction &Instr = L.body()[I];
+    if (Instr.hasDest() && DefIndex[Instr.Dest] == NoDef) {
+      DefIndex[Instr.Dest] = I;
+      DefGuard[Instr.Dest] = Instr.Pred;
+    }
+  }
+  for (const PhiNode &Phi : L.phis())
+    if (Phi.Dest != NoReg && Phi.Dest < NumRegs && !PhiOf[Phi.Dest])
+      PhiOf[Phi.Dest] = &Phi;
+
+  computeConstants();
+  computeLiveness();
+}
+
+Avail BodyDataflow::availabilityAt(RegId Reg, size_t BodyIndex) const {
+  if (PhiOf[Reg])
+    return Avail::Definite;
+  size_t Def = DefIndex[Reg];
+  if (Def == NoDef)
+    return Avail::Definite; // Live-in: defined before the loop.
+  if (Def >= BodyIndex)
+    return Avail::None;
+  return DefGuard[Reg] == NoReg ? Avail::Definite : Avail::Guarded;
+}
+
+void BodyDataflow::computeConstants() {
+  Constant.assign(L.numRegs(), false);
+
+  // Seed: literal constants and self-comparisons, then propagate through
+  // the value-movement opcodes (copy, predset, select over equal/constant
+  // inputs) to a fixed point. The body is straight-line SSA, so two
+  // forward sweeps suffice; iterate until stable for robustness on
+  // malformed (use-before-def) inputs.
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const Instruction &Instr : L.body()) {
+      if (!Instr.hasDest() || Constant[Instr.Dest])
+        continue;
+      bool IsConst = false;
+      switch (Instr.Op) {
+      case Opcode::IConst:
+      case Opcode::FConst:
+        IsConst = true;
+        break;
+      case Opcode::ICmp:
+      case Opcode::FCmp:
+        // Comparing a value with itself yields the same predicate every
+        // evaluation, whatever the comparison kind is.
+        IsConst = Instr.Operands.size() == 2 &&
+                  (Instr.Operands[0] == Instr.Operands[1] ||
+                   (Constant[Instr.Operands[0]] &&
+                    Constant[Instr.Operands[1]]));
+        break;
+      case Opcode::PredSet: {
+        if (Instr.Operands.size() == 2 &&
+            Instr.Operands[0] == Instr.Operands[1]) {
+          IsConst = true; // Combining a predicate with itself.
+          break;
+        }
+        bool AllConst = !Instr.Operands.empty();
+        for (RegId Operand : Instr.Operands)
+          AllConst = AllConst && Constant[Operand];
+        IsConst = AllConst;
+        break;
+      }
+      case Opcode::Copy:
+        IsConst = Instr.Operands.size() == 1 && Constant[Instr.Operands[0]];
+        break;
+      case Opcode::Select:
+        IsConst = Instr.Operands.size() == 3 &&
+                  ((Instr.Operands[1] == Instr.Operands[2]) ||
+                   (Constant[Instr.Operands[1]] &&
+                    Constant[Instr.Operands[2]]));
+        break;
+      default:
+        break;
+      }
+      if (IsConst) {
+        Constant[Instr.Dest] = true;
+        Changed = true;
+      }
+    }
+  }
+}
+
+void BodyDataflow::computeLiveness() {
+  Live.assign(L.numRegs(), false);
+
+  // A register is live when it reaches an effect: stores, calls, exits,
+  // and the loop-control tail are effects, and phi recurrences are
+  // live-outs of the iteration (the accumulated value is the loop's
+  // result even when it is never stored inside the body). Propagate
+  // use-def backwards to a fixed point; the loop-carried phi edge (recur
+  // -> dest uses) is why a single backward sweep is not enough.
+  auto MarkLive = [&](RegId Reg, bool &Changed) {
+    if (Reg == NoReg || Live[Reg])
+      return;
+    Live[Reg] = true;
+    Changed = true;
+  };
+
+  bool Changed = true;
+  while (Changed) {
+    Changed = false;
+    for (const Instruction &Instr : L.body()) {
+      bool Effect = Instr.isStore() || Instr.isCall() ||
+                    Instr.Op == Opcode::ExitIf || Instr.isLoopControl();
+      if (!Effect && (!Instr.hasDest() || !Live[Instr.Dest]))
+        continue;
+      for (RegId Operand : Instr.Operands)
+        MarkLive(Operand, Changed);
+      MarkLive(Instr.Pred, Changed);
+    }
+    for (const PhiNode &Phi : L.phis()) {
+      // The recurrence is the iteration's live-out; the phi dest becomes
+      // live with it so the chain through the body stays live.
+      MarkLive(Phi.Recur, Changed);
+      MarkLive(Phi.Dest, Changed);
+      if (Phi.Dest != NoReg && Live[Phi.Dest])
+        MarkLive(Phi.Init, Changed);
+    }
+  }
+}
+
+const PhiNode *BodyDataflow::phiFor(RegId Reg) const {
+  return Reg != NoReg && Reg < PhiOf.size() ? PhiOf[Reg] : nullptr;
+}

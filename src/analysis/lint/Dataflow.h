@@ -1,0 +1,92 @@
+//===- analysis/lint/Dataflow.h - Lint dataflow engine ----------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The dataflow substrate the lint passes share: reaching definitions over
+/// the straight-line predicated body (who defines each register, under
+/// which guard), availability classification at each body point, the
+/// transitive constant-predicate lattice, and the set of values observable
+/// outside one iteration (live-outs: stores, calls, exits, loop control,
+/// and phi recurrences).
+///
+/// Everything is computed once per loop in the BodyDataflow constructor;
+/// passes query in O(1)/O(log n). The loop is expected to have in-range
+/// register ids (the lint engine gates on the verifier's structural
+/// diagnostics first); beyond that, malformed loops (use-before-def,
+/// missing tails) are analyzable.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_ANALYSIS_LINT_DATAFLOW_H
+#define METAOPT_ANALYSIS_LINT_DATAFLOW_H
+
+#include "ir/Loop.h"
+
+#include <cstddef>
+#include <vector>
+
+namespace metaopt {
+
+/// Availability of a register at a body point (just before an
+/// instruction executes).
+enum class Avail {
+  None,     ///< No definition reaches the point.
+  Guarded,  ///< Reached only by a predicated definition; undefined when
+            ///< the guard was false.
+  Definite, ///< Live-in, phi destination, or unpredicated earlier def.
+};
+
+/// Per-loop dataflow facts for the lint passes.
+class BodyDataflow {
+public:
+  static constexpr size_t NoDef = static_cast<size_t>(-1);
+
+  explicit BodyDataflow(const Loop &L);
+
+  const Loop &loop() const { return L; }
+
+  /// Body index of the instruction defining \p Reg, or NoDef (live-in or
+  /// phi destination).
+  size_t defIndex(RegId Reg) const { return DefIndex[Reg]; }
+
+  /// The predicate guarding \p Reg's body definition, NoReg when the
+  /// definition is unpredicated or \p Reg has no body definition.
+  RegId defGuard(RegId Reg) const { return DefGuard[Reg]; }
+
+  /// Availability of \p Reg just before body instruction \p BodyIndex.
+  Avail availabilityAt(RegId Reg, size_t BodyIndex) const;
+
+  /// True when \p Reg (any class) holds a compile-time-constant value:
+  /// IConst/FConst results, self-comparisons (icmp/fcmp of a register
+  /// with itself), predset/copy/select closures over constants. For
+  /// predicates this is the "never-true or always-true" detection — the
+  /// guard cannot vary at runtime, so predicating on it is meaningless.
+  bool isConstant(RegId Reg) const { return Constant[Reg]; }
+
+  /// True when \p Reg's value is observable outside a single iteration:
+  /// it (transitively) feeds a store, call, exit, the loop control tail,
+  /// or a phi recurrence. Definitions of non-live registers are dead code.
+  bool isLive(RegId Reg) const { return Live[Reg]; }
+
+  /// The phi defining \p Reg, or nullptr.
+  const PhiNode *phiFor(RegId Reg) const;
+
+private:
+  const Loop &L;
+  std::vector<size_t> DefIndex;  ///< Reg -> body index or NoDef.
+  std::vector<RegId> DefGuard;   ///< Reg -> guard of body def or NoReg.
+  std::vector<bool> Constant;    ///< Reg -> constant-value lattice.
+  std::vector<bool> Live;        ///< Reg -> observable outside iteration.
+  std::vector<const PhiNode *> PhiOf; ///< Reg -> phi or nullptr.
+
+  void computeConstants();
+  void computeLiveness();
+};
+
+} // namespace metaopt
+
+#endif // METAOPT_ANALYSIS_LINT_DATAFLOW_H

@@ -1,0 +1,39 @@
+//===- analysis/lint/Lint.cpp - Lint engine -------------------------------===//
+
+#include "analysis/lint/Lint.h"
+
+using namespace metaopt;
+
+static bool passEnabled(const LintPass &Pass,
+                        const std::vector<std::string> &Filter) {
+  if (Filter.empty())
+    return true;
+  Diagnostic Probe;
+  Probe.Id = Pass.Id;
+  for (const std::string &Code : Filter)
+    if (Probe.hasId(Code))
+      return true;
+  return false;
+}
+
+DiagnosticReport metaopt::lintLoop(const Loop &L,
+                                   const LintOptions &Options) {
+  DiagnosticReport Report;
+
+  bool StructurallySound = true;
+  DiagnosticReport Verified = verifyLoopDiagnostics(L, Options.Verify);
+  for (const Diagnostic &D : Verified.diagnostics())
+    if (D.hasId("V001") || D.hasId("V002") || D.hasId("V003"))
+      StructurallySound = false;
+  if (Options.RunVerifier)
+    Report.append(Verified);
+
+  if (!StructurallySound)
+    return Report; // Dataflow over broken register ids is meaningless.
+
+  BodyDataflow DF(L);
+  for (const LintPass &Pass : lintPasses())
+    if (passEnabled(Pass, Options.Passes))
+      Pass.Run(DF, Report);
+  return Report;
+}

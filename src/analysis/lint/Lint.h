@@ -1,0 +1,93 @@
+//===- analysis/lint/Lint.h - IR diagnostics engine -------------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The lint engine: a registry of dataflow-driven diagnostic passes over
+/// the loop IR, layered above the structural verifier (ir/Verifier.h) on
+/// the shared diagnostic model (ir/Diagnostics.h). The verifier proves a
+/// loop is structurally sound; the lint passes prove the things labeling
+/// quality depends on — every operand's definition actually reaches its
+/// use under predication, predicates are not compile-time constants, no
+/// store silently overwrites another, memory shapes are consistent enough
+/// for the dependence analysis to be precise, and the dependence graph
+/// the schedulers trust satisfies their legality assumptions.
+///
+/// Pass IDs are stable L###-prefixed strings; the catalog with examples
+/// lives in docs/DIAGNOSTICS.md. metaopt-lint (tools/) sweeps the corpus
+/// with this engine.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_ANALYSIS_LINT_LINT_H
+#define METAOPT_ANALYSIS_LINT_LINT_H
+
+#include "analysis/DependenceGraph.h"
+#include "analysis/lint/Dataflow.h"
+#include "ir/Diagnostics.h"
+#include "ir/Verifier.h"
+
+#include <string>
+#include <vector>
+
+namespace metaopt {
+
+/// Stable lint diagnostic IDs (catalog: docs/DIAGNOSTICS.md).
+namespace diag {
+inline constexpr const char *LintUseBeforeDef = "L001-use-before-def";
+inline constexpr const char *LintMaybeUndefPredication =
+    "L002-maybe-undef-under-predication";
+inline constexpr const char *LintDeadDef = "L003-dead-def";
+inline constexpr const char *LintConstantExit = "L004-constant-exit";
+inline constexpr const char *LintConstantPredicate =
+    "L005-constant-predicate";
+inline constexpr const char *LintMemoryWaw = "L006-memory-waw";
+inline constexpr const char *LintStrideShape = "L007-stride-shape";
+inline constexpr const char *LintDepGraphLegality =
+    "L008-depgraph-legality";
+} // namespace diag
+
+/// One registered lint pass.
+struct LintPass {
+  const char *Id;      ///< Stable ID, e.g. "L001-use-before-def".
+  Severity Sev;        ///< Severity the pass emits at.
+  const char *Summary; ///< One-line description for --list-passes/docs.
+  void (*Run)(const BodyDataflow &DF, DiagnosticReport &Out);
+};
+
+/// The full pass registry, in ID order.
+const std::vector<LintPass> &lintPasses();
+
+/// Options for lintLoop.
+struct LintOptions {
+  /// Verifier strictness for the structural stage.
+  VerifyOptions Verify;
+  /// Run the verifier stage first. Structural errors that make dataflow
+  /// unsafe (out-of-range registers, unset phis, multiple definitions)
+  /// always skip the lint passes; other verifier errors do not.
+  bool RunVerifier = true;
+  /// When non-empty, only passes whose ID matches one of these (full ID
+  /// or "L001"-style prefix) run.
+  std::vector<std::string> Passes;
+};
+
+/// Lints one loop: verifier stage (optional) followed by every enabled
+/// lint pass. Diagnostics appear in stage/pass registration order, so the
+/// report is deterministic for a given loop.
+DiagnosticReport lintLoop(const Loop &L, const LintOptions &Options = {});
+
+/// Cross-validates \p DG (built for \p L) against the scheduler legality
+/// assumptions: intra-iteration edges run forward, register flow is fully
+/// covered, may-aliasing memory pairs are connected, and early exits and
+/// calls are ordered. Exposed separately so tests can validate a graph
+/// against a tampered loop; the registered L008 pass calls this with a
+/// freshly built graph.
+void checkDependenceLegality(const Loop &L, const DependenceGraph &DG,
+                             DiagnosticReport &Out);
+
+} // namespace metaopt
+
+#endif // METAOPT_ANALYSIS_LINT_LINT_H

@@ -1,0 +1,557 @@
+//===- analysis/lint/Passes.cpp - The lint pass registry ------------------===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+// Each pass is a free function over the shared BodyDataflow facts; the
+// registry at the bottom fixes the ID order. A pass's registry severity is
+// the severity of its primary finding; a pass may additionally emit notes
+// (e.g. L004 reports never-taken exits as notes but always-taken exits as
+// warnings).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/lint/Lint.h"
+
+#include "ir/Printer.h"
+
+#include <cstdlib>
+#include <map>
+#include <set>
+
+using namespace metaopt;
+
+namespace {
+
+/// Emits one diagnostic anchored at body instruction \p BodyIndex (-1 for
+/// loop level), with printed-instruction context and the source line
+/// threaded from the parser when present.
+void emitAt(const Loop &L, const char *Id, Severity Sev, int BodyIndex,
+            std::string Message, DiagnosticReport &Out) {
+  Diagnostic D;
+  D.Id = Id;
+  D.Sev = Sev;
+  D.LoopName = L.name();
+  D.BodyIndex = BodyIndex;
+  if (BodyIndex >= 0) {
+    const Instruction &Instr = L.body()[static_cast<size_t>(BodyIndex)];
+    D.SrcLine = Instr.SrcLine;
+    D.Context = "instruction " + std::to_string(BodyIndex) + ": " +
+                printInstruction(L, Instr);
+  } else {
+    D.SrcLine = L.headerLine();
+  }
+  D.Message = std::move(Message);
+  Out.add(std::move(D));
+}
+
+//===----------------------------------------------------------------------===//
+// L001: reaching-definitions use-before-def
+//===----------------------------------------------------------------------===//
+
+void runUseBeforeDef(const BodyDataflow &DF, DiagnosticReport &Out) {
+  const Loop &L = DF.loop();
+  for (size_t I = 0; I < L.body().size(); ++I) {
+    const Instruction &Instr = L.body()[I];
+    for (RegId Operand : Instr.Operands)
+      if (DF.availabilityAt(Operand, I) == Avail::None)
+        emitAt(L, diag::LintUseBeforeDef, Severity::Error,
+               static_cast<int>(I),
+               "no definition of " + L.regName(Operand) +
+                   " reaches this use",
+               Out);
+    if (Instr.Pred != NoReg &&
+        DF.availabilityAt(Instr.Pred, I) == Avail::None)
+      emitAt(L, diag::LintUseBeforeDef, Severity::Error,
+             static_cast<int>(I),
+             "no definition of guard " + L.regName(Instr.Pred) +
+                 " reaches this use",
+             Out);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// L002: maybe-undefined reads of predicated definitions
+//===----------------------------------------------------------------------===//
+
+/// True when reading \p Reg inside \p Instr cannot observe the undefined
+/// not-written case: the reader runs under the same guard as the
+/// definition, or the reader is a select whose condition is that guard
+/// and \p Reg sits in the arm the guard enables.
+bool predicatedReadIsSafe(const Instruction &Instr, size_t OperandSlot,
+                          RegId Guard) {
+  if (Instr.Pred == Guard)
+    return true;
+  return Instr.Op == Opcode::Select && OperandSlot == 1 &&
+         Instr.Operands.size() == 3 && Instr.Operands[0] == Guard;
+}
+
+void runMaybeUndefPredication(const BodyDataflow &DF,
+                              DiagnosticReport &Out) {
+  const Loop &L = DF.loop();
+  for (size_t I = 0; I < L.body().size(); ++I) {
+    const Instruction &Instr = L.body()[I];
+    for (size_t Slot = 0; Slot < Instr.Operands.size(); ++Slot) {
+      RegId Operand = Instr.Operands[Slot];
+      if (DF.availabilityAt(Operand, I) != Avail::Guarded)
+        continue;
+      RegId Guard = DF.defGuard(Operand);
+      if (predicatedReadIsSafe(Instr, Slot, Guard))
+        continue;
+      emitAt(L, diag::LintMaybeUndefPredication, Severity::Warning,
+             static_cast<int>(I),
+             L.regName(Operand) + " may be undefined here: its " +
+                 "definition is guarded by " + L.regName(Guard) +
+                 " but this read is not",
+             Out);
+    }
+    if (Instr.Pred != NoReg &&
+        DF.availabilityAt(Instr.Pred, I) == Avail::Guarded)
+      emitAt(L, diag::LintMaybeUndefPredication, Severity::Warning,
+             static_cast<int>(I),
+             "guard " + L.regName(Instr.Pred) +
+                 " may be undefined here: its definition is itself " +
+                 "predicated",
+             Out);
+  }
+  for (const PhiNode &Phi : L.phis()) {
+    if (Phi.Recur == NoReg || DF.defIndex(Phi.Recur) == BodyDataflow::NoDef)
+      continue;
+    RegId Guard = DF.defGuard(Phi.Recur);
+    if (Guard == NoReg)
+      continue;
+    emitAt(L, diag::LintMaybeUndefPredication, Severity::Warning, -1,
+           "phi " + L.regName(Phi.Dest) + " recurrence " +
+               L.regName(Phi.Recur) + " is guarded by " + L.regName(Guard) +
+               "; iterations where the guard is false carry an undefined "
+               "value",
+           Out);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// L003: dead definitions
+//===----------------------------------------------------------------------===//
+
+void runDeadDef(const BodyDataflow &DF, DiagnosticReport &Out) {
+  const Loop &L = DF.loop();
+  for (size_t I = 0; I < L.body().size(); ++I) {
+    const Instruction &Instr = L.body()[I];
+    if (!Instr.hasDest() || Instr.isLoopControl())
+      continue;
+    if (!DF.isLive(Instr.Dest))
+      emitAt(L, diag::LintDeadDef, Severity::Note, static_cast<int>(I),
+             L.regName(Instr.Dest) +
+                 " is computed but never reaches a store, call, exit, or "
+                 "loop-carried value (dead code)",
+             Out);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// L004: constant exit probabilities
+//===----------------------------------------------------------------------===//
+
+void runConstantExit(const BodyDataflow &DF, DiagnosticReport &Out) {
+  const Loop &L = DF.loop();
+  for (size_t I = 0; I < L.body().size(); ++I) {
+    const Instruction &Instr = L.body()[I];
+    if (Instr.Op != Opcode::ExitIf)
+      continue;
+    if (Instr.TakenProb == 0.0)
+      emitAt(L, diag::LintConstantExit, Severity::Note,
+             static_cast<int>(I),
+             "exit is never taken (prob=0); it still blocks speculation",
+             Out);
+    else if (Instr.TakenProb >= 1.0)
+      emitAt(L, diag::LintConstantExit, Severity::Warning,
+             static_cast<int>(I),
+             "exit is taken every iteration (prob=1); the loop body runs "
+             "at most once",
+             Out);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// L005: constant predicates
+//===----------------------------------------------------------------------===//
+
+void runConstantPredicate(const BodyDataflow &DF, DiagnosticReport &Out) {
+  const Loop &L = DF.loop();
+  auto IsConstPred = [&](RegId Reg) {
+    return Reg != NoReg && L.regClass(Reg) == RegClass::Pred &&
+           DF.isConstant(Reg);
+  };
+  for (size_t I = 0; I < L.body().size(); ++I) {
+    const Instruction &Instr = L.body()[I];
+    if (IsConstPred(Instr.Pred))
+      emitAt(L, diag::LintConstantPredicate, Severity::Warning,
+             static_cast<int>(I),
+             "guard " + L.regName(Instr.Pred) +
+                 " is compile-time constant; this instruction either "
+                 "always or never executes",
+             Out);
+    if (Instr.Op == Opcode::ExitIf && !Instr.Operands.empty() &&
+        IsConstPred(Instr.Operands[0]))
+      emitAt(L, diag::LintConstantPredicate, Severity::Warning,
+             static_cast<int>(I),
+             "exit condition " + L.regName(Instr.Operands[0]) +
+                 " is compile-time constant",
+             Out);
+    if (Instr.Op == Opcode::Select && Instr.Operands.size() == 3 &&
+        IsConstPred(Instr.Operands[0]))
+      emitAt(L, diag::LintConstantPredicate, Severity::Warning,
+             static_cast<int>(I),
+             "select condition " + L.regName(Instr.Operands[0]) +
+                 " is compile-time constant; one arm is dead",
+             Out);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// L006: memory WAW / self-dependence hazards
+//===----------------------------------------------------------------------===//
+
+void runMemoryWaw(const BodyDataflow &DF, DiagnosticReport &Out) {
+  const Loop &L = DF.loop();
+  std::vector<size_t> Stores;
+  for (size_t I = 0; I < L.body().size(); ++I)
+    if (L.body()[I].isStore() && !L.body()[I].Mem.Indirect)
+      Stores.push_back(I);
+
+  for (size_t A = 0; A < Stores.size(); ++A) {
+    const MemRef &First = L.body()[Stores[A]].Mem;
+    for (size_t B = A + 1; B < Stores.size(); ++B) {
+      const MemRef &Second = L.body()[Stores[B]].Mem;
+      if (First.BaseSym != Second.BaseSym || First.Stride != Second.Stride)
+        continue;
+      if (First.Offset == Second.Offset &&
+          First.SizeBytes == Second.SizeBytes)
+        emitAt(L, diag::LintMemoryWaw, Severity::Warning,
+               static_cast<int>(Stores[A]),
+               "store is overwritten by instruction " +
+                   std::to_string(Stores[B]) +
+                   " writing the identical location in the same iteration "
+                   "(WAW)",
+               Out);
+    }
+    if (First.Stride == 0)
+      emitAt(L, diag::LintMemoryWaw, Severity::Warning,
+             static_cast<int>(Stores[A]),
+             "store writes a loop-invariant address every iteration; the "
+             "carried self-dependence serializes unrolled copies",
+             Out);
+    else if (std::llabs(First.Stride) <
+             static_cast<int64_t>(First.SizeBytes))
+      emitAt(L, diag::LintMemoryWaw, Severity::Warning,
+             static_cast<int>(Stores[A]),
+             "store overlaps its own previous iteration (|stride| < "
+             "access size)",
+             Out);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// L007: memory stride / alias-shape consistency
+//===----------------------------------------------------------------------===//
+
+void runStrideShape(const BodyDataflow &DF, DiagnosticReport &Out) {
+  const Loop &L = DF.loop();
+  std::map<int32_t, std::vector<size_t>> DirectBySym;
+  for (size_t I = 0; I < L.body().size(); ++I) {
+    const Instruction &Instr = L.body()[I];
+    if (!Instr.isMemory())
+      continue;
+    if (Instr.Mem.Indirect) {
+      if (Instr.Mem.Stride != 0)
+        emitAt(L, diag::LintStrideShape, Severity::Note,
+               static_cast<int>(I),
+               "indirect reference carries stride " +
+                   std::to_string(Instr.Mem.Stride) +
+                   ", which address computation ignores",
+               Out);
+      continue;
+    }
+    DirectBySym[Instr.Mem.BaseSym].push_back(I);
+  }
+
+  for (const auto &[Sym, Refs] : DirectBySym) {
+    // Stride agreement across all direct references of one array.
+    int64_t FirstStride = L.body()[Refs[0]].Mem.Stride;
+    for (size_t RefIdx = 1; RefIdx < Refs.size(); ++RefIdx) {
+      int64_t Stride = L.body()[Refs[RefIdx]].Mem.Stride;
+      if (Stride != FirstStride) {
+        emitAt(L, diag::LintStrideShape, Severity::Warning,
+               static_cast<int>(Refs[RefIdx]),
+               "references to @" + std::to_string(Sym) +
+                   " disagree on stride (" + std::to_string(FirstStride) +
+                   " vs " + std::to_string(Stride) +
+                   "); dependence distances fall back to conservative "
+                   "edges",
+               Out);
+        break; // One shape report per array is enough.
+      }
+    }
+    // Partial overlaps between same-iteration byte ranges.
+    for (size_t A = 0; A < Refs.size(); ++A) {
+      const MemRef &First = L.body()[Refs[A]].Mem;
+      for (size_t B = A + 1; B < Refs.size(); ++B) {
+        const MemRef &Second = L.body()[Refs[B]].Mem;
+        if (First.Stride != Second.Stride)
+          continue;
+        bool Identical = First.Offset == Second.Offset &&
+                         First.SizeBytes == Second.SizeBytes;
+        bool Overlap = First.Offset < Second.Offset + Second.SizeBytes &&
+                       Second.Offset < First.Offset + First.SizeBytes;
+        if (Overlap && !Identical &&
+            First.SizeBytes != Second.SizeBytes)
+          emitAt(L, diag::LintStrideShape, Severity::Warning,
+                 static_cast<int>(Refs[B]),
+                 "partially overlaps the access of instruction " +
+                     std::to_string(Refs[A]) + " at @" +
+                     std::to_string(Sym) + " with a different width",
+                 Out);
+      }
+    }
+  }
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// L008: dependence graph vs. scheduler legality assumptions
+//===----------------------------------------------------------------------===//
+
+void metaopt::checkDependenceLegality(const Loop &L,
+                                      const DependenceGraph &DG,
+                                      DiagnosticReport &Out) {
+  size_t N = L.body().size();
+
+  // Edge lookup sets: (Src, Dst, Kind) and (Src, Dst, Kind, Distance).
+  std::set<std::tuple<uint32_t, uint32_t, DepKind>> Connected;
+  std::set<std::tuple<uint32_t, uint32_t, DepKind, uint32_t>> Exact;
+  bool EndpointsValid = true;
+  for (const DepEdge &E : DG.edges()) {
+    if (E.Src >= N || E.Dst >= N) {
+      emitAt(L, diag::LintDepGraphLegality, Severity::Error, -1,
+             "dependence edge endpoint out of range (" +
+                 std::to_string(E.Src) + " -> " + std::to_string(E.Dst) +
+                 ")",
+             Out);
+      EndpointsValid = false;
+      continue;
+    }
+    Connected.insert({E.Src, E.Dst, E.Kind});
+    Exact.insert({E.Src, E.Dst, E.Kind, E.Distance});
+    // Schedulers place intra-iteration successors after their
+    // predecessors; a distance-0 edge running backwards (or onto itself)
+    // is unsatisfiable.
+    if (E.Distance == 0 && E.Src >= E.Dst)
+      emitAt(L, diag::LintDepGraphLegality, Severity::Error,
+             static_cast<int>(E.Dst),
+             "intra-iteration dependence edge runs backwards (" +
+                 std::to_string(E.Src) + " -> " + std::to_string(E.Dst) +
+                 "), which no schedule can satisfy",
+             Out);
+  }
+  if (!EndpointsValid || DG.numNodes() != N) {
+    if (DG.numNodes() != N)
+      emitAt(L, diag::LintDepGraphLegality, Severity::Error, -1,
+             "dependence graph has " + std::to_string(DG.numNodes()) +
+                 " nodes for a body of " + std::to_string(N) +
+                 " instructions",
+             Out);
+    return;
+  }
+
+  auto HasEdge = [&](uint32_t Src, uint32_t Dst, DepKind Kind) {
+    return Connected.count({Src, Dst, Kind}) != 0;
+  };
+  auto HasExact = [&](uint32_t Src, uint32_t Dst, DepKind Kind,
+                      uint32_t Distance) {
+    return Exact.count({Src, Dst, Kind, Distance}) != 0;
+  };
+
+  // Register flow coverage: every use must be ordered after its
+  // producer, same-iteration or through the loop-carried phi edge.
+  std::map<RegId, uint32_t> DefAt;
+  for (uint32_t I = 0; I < N; ++I)
+    if (L.body()[I].hasDest())
+      DefAt[L.body()[I].Dest] = I;
+  std::map<RegId, RegId> RecurOf;
+  for (const PhiNode &Phi : L.phis())
+    RecurOf[Phi.Dest] = Phi.Recur;
+
+  for (uint32_t I = 0; I < N; ++I) {
+    const Instruction &Instr = L.body()[I];
+    auto CheckUse = [&](RegId Reg) {
+      auto Def = DefAt.find(Reg);
+      if (Def != DefAt.end()) {
+        if (Def->second < I && !HasExact(Def->second, I, DepKind::Data, 0))
+          emitAt(L, diag::LintDepGraphLegality, Severity::Error,
+                 static_cast<int>(I),
+                 "missing same-iteration flow edge from instruction " +
+                     std::to_string(Def->second) + " defining " +
+                     L.regName(Reg),
+                 Out);
+        return;
+      }
+      auto Carried = RecurOf.find(Reg);
+      if (Carried == RecurOf.end())
+        return; // Live-in: no intra-loop producer.
+      auto CarriedDef = DefAt.find(Carried->second);
+      if (CarriedDef != DefAt.end() &&
+          !HasExact(CarriedDef->second, I, DepKind::Data, 1))
+        emitAt(L, diag::LintDepGraphLegality, Severity::Error,
+               static_cast<int>(I),
+               "missing loop-carried flow edge from instruction " +
+                   std::to_string(CarriedDef->second) +
+                   " computing the recurrence of " + L.regName(Reg),
+               Out);
+    };
+    for (RegId Operand : Instr.Operands)
+      CheckUse(Operand);
+    if (Instr.Pred != NoReg)
+      CheckUse(Instr.Pred);
+  }
+
+  // Memory pair coverage: every may-aliasing pair with at least one
+  // store must be connected in at least one direction.
+  std::vector<uint32_t> MemOps;
+  for (uint32_t I = 0; I < N; ++I)
+    if (L.body()[I].isMemory())
+      MemOps.push_back(I);
+  auto MayAlias = [](const MemRef &A, const MemRef &B) {
+    if (A.BaseSym != B.BaseSym)
+      return false;
+    if (A.Indirect || B.Indirect || A.Stride != B.Stride)
+      return true;
+    int64_t Delta = B.Offset - A.Offset;
+    int64_t MaxSize = std::max(A.SizeBytes, B.SizeBytes);
+    if (A.Stride == 0)
+      return std::llabs(Delta) < MaxSize;
+    int64_t Leftover = std::llabs(Delta % A.Stride);
+    if (Leftover == 0)
+      return true; // Some iteration lag lands exactly on the location.
+    return Leftover < MaxSize || std::llabs(A.Stride) - Leftover < MaxSize;
+  };
+  for (size_t A = 0; A < MemOps.size(); ++A) {
+    for (size_t B = A + 1; B < MemOps.size(); ++B) {
+      const Instruction &First = L.body()[MemOps[A]];
+      const Instruction &Second = L.body()[MemOps[B]];
+      if (First.isLoad() && Second.isLoad())
+        continue;
+      if (!MayAlias(First.Mem, Second.Mem))
+        continue;
+      if (!HasEdge(MemOps[A], MemOps[B], DepKind::Memory) &&
+          !HasEdge(MemOps[B], MemOps[A], DepKind::Memory))
+        emitAt(L, diag::LintDepGraphLegality, Severity::Error,
+               static_cast<int>(MemOps[B]),
+               "possibly aliasing accesses to @" +
+                   std::to_string(First.Mem.BaseSym) +
+                   " (instructions " + std::to_string(MemOps[A]) + " and " +
+                   std::to_string(MemOps[B]) +
+                   ") have no memory dependence edge",
+               Out);
+    }
+  }
+
+  // Control coverage around early exits and calls.
+  for (uint32_t I = 0; I < N; ++I) {
+    const Instruction &Instr = L.body()[I];
+    if (Instr.Op == Opcode::ExitIf) {
+      for (uint32_t J = 0; J < N; ++J) {
+        if (J == I)
+          continue;
+        const Instruction &Other = L.body()[J];
+        bool Needed = J > I ? true : Other.isStore() || Other.isCall();
+        if (!Needed)
+          continue;
+        uint32_t Src = J > I ? I : J;
+        uint32_t Dst = J > I ? J : I;
+        if (!HasEdge(Src, Dst, DepKind::Control))
+          emitAt(L, diag::LintDepGraphLegality, Severity::Error,
+                 static_cast<int>(Dst),
+                 "missing control edge ordering instruction " +
+                     std::to_string(J) + " with the early exit at " +
+                     std::to_string(I),
+                 Out);
+      }
+    }
+    if (Instr.isCall()) {
+      for (uint32_t J = 0; J < N; ++J) {
+        if (J == I || !L.body()[J].isMemory())
+          continue;
+        uint32_t Src = std::min(I, J);
+        uint32_t Dst = std::max(I, J);
+        if (!HasEdge(Src, Dst, DepKind::Control))
+          emitAt(L, diag::LintDepGraphLegality, Severity::Error,
+                 static_cast<int>(Dst),
+                 "missing control edge ordering memory instruction " +
+                     std::to_string(J) + " with the call at " +
+                     std::to_string(I),
+                 Out);
+      }
+    }
+  }
+}
+
+namespace {
+
+void runDepGraphLegality(const BodyDataflow &DF, DiagnosticReport &Out) {
+  const Loop &L = DF.loop();
+  // Dependence legality is only meaningful for dataflow-clean bodies: a
+  // use-before-def loop (L001) produces a graph with backward flow edges
+  // by construction, and re-flagging each of them here would just
+  // duplicate the L001 report.
+  for (size_t I = 0; I < L.body().size(); ++I) {
+    const Instruction &Instr = L.body()[I];
+    for (RegId Operand : Instr.Operands)
+      if (DF.availabilityAt(Operand, I) == Avail::None)
+        return;
+    if (Instr.Pred != NoReg &&
+        DF.availabilityAt(Instr.Pred, I) == Avail::None)
+      return;
+  }
+  DependenceGraph DG(L);
+  checkDependenceLegality(L, DG, Out);
+}
+
+} // namespace
+
+const std::vector<LintPass> &metaopt::lintPasses() {
+  static const std::vector<LintPass> Registry = {
+      {diag::LintUseBeforeDef, Severity::Error,
+       "reaching definitions: every operand read must be reached by a "
+       "definition",
+       runUseBeforeDef},
+      {diag::LintMaybeUndefPredication, Severity::Warning,
+       "reads of predicated definitions outside the defining guard may "
+       "observe undefined values",
+       runMaybeUndefPredication},
+      {diag::LintDeadDef, Severity::Note,
+       "definitions that never reach a store, call, exit, or loop-carried "
+       "value",
+       runDeadDef},
+      {diag::LintConstantExit, Severity::Warning,
+       "early exits with probability 0 (never taken) or 1 (always taken)",
+       runConstantExit},
+      {diag::LintConstantPredicate, Severity::Warning,
+       "guards, exit conditions, and select conditions that are "
+       "compile-time constants",
+       runConstantPredicate},
+      {diag::LintMemoryWaw, Severity::Warning,
+       "same-iteration WAW stores and stores overlapping themselves "
+       "across iterations",
+       runMemoryWaw},
+      {diag::LintStrideShape, Severity::Warning,
+       "stride and access-shape consistency across references to one "
+       "array",
+       runStrideShape},
+      {diag::LintDepGraphLegality, Severity::Error,
+       "cross-validates DependenceGraph edges against scheduler legality "
+       "assumptions",
+       runDepGraphLegality},
+  };
+  return Registry;
+}

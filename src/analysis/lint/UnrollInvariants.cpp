@@ -1,0 +1,288 @@
+//===- analysis/lint/UnrollInvariants.cpp ---------------------------------===//
+
+#include "analysis/lint/UnrollInvariants.h"
+
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "transform/Unroller.h"
+
+#include <map>
+
+using namespace metaopt;
+
+namespace {
+
+void emitError(const Loop &Unrolled, const char *Id, int BodyIndex,
+               std::string Message, DiagnosticReport &Out) {
+  Diagnostic D;
+  D.Id = Id;
+  D.Sev = Severity::Error;
+  D.LoopName = Unrolled.name();
+  D.BodyIndex = BodyIndex;
+  if (BodyIndex >= 0 &&
+      static_cast<size_t>(BodyIndex) < Unrolled.body().size()) {
+    const Instruction &Instr = Unrolled.body()[static_cast<size_t>(BodyIndex)];
+    D.SrcLine = Instr.SrcLine;
+    D.Context = "instruction " + std::to_string(BodyIndex) + ": " +
+                printInstruction(Unrolled, Instr);
+  } else {
+    D.SrcLine = Unrolled.headerLine();
+  }
+  D.Message = std::move(Message);
+  Out.add(std::move(D));
+}
+
+/// Body indices of the original's non-control instructions, in order.
+std::vector<size_t> replicatedIndices(const Loop &L) {
+  std::vector<size_t> Indices;
+  for (size_t I = 0; I < L.body().size(); ++I)
+    if (!L.body()[I].isLoopControl())
+      Indices.push_back(I);
+  return Indices;
+}
+
+/// X001: Factor replicas followed by exactly one canonical control tail,
+/// and the result passes structural verification. Returns false when the
+/// shape is too broken for the per-replica checks to index safely.
+bool checkShape(const Loop &Original, const Loop &Unrolled, unsigned Factor,
+                const std::vector<size_t> &Replicated,
+                DiagnosticReport &Out) {
+  DiagnosticReport Verified = verifyLoopDiagnostics(Unrolled);
+  if (Verified.hasErrors()) {
+    emitError(Unrolled, diag::UnrollShape, -1,
+              "unrolled loop fails structural verification (" +
+                  std::to_string(Verified.errorCount()) + " errors)",
+              Out);
+    Out.append(Verified);
+  }
+
+  size_t Expected = Factor * Replicated.size() + 3;
+  if (Unrolled.body().size() != Expected) {
+    emitError(Unrolled, diag::UnrollShape, -1,
+              "body has " + std::to_string(Unrolled.body().size()) +
+                  " instructions; unroll of " +
+                  std::to_string(Replicated.size()) + " by " +
+                  std::to_string(Factor) + " requires " +
+                  std::to_string(Expected) +
+                  " (replicas plus canonical tail)",
+              Out);
+    return false;
+  }
+
+  size_t N = Unrolled.body().size();
+  bool TailOk = Unrolled.body()[N - 3].Op == Opcode::IvAdd &&
+                Unrolled.body()[N - 2].Op == Opcode::IvCmp &&
+                Unrolled.body()[N - 1].Op == Opcode::BackBr;
+  if (!TailOk)
+    emitError(Unrolled, diag::UnrollShape, static_cast<int>(N - 3),
+              "unrolled loop does not end in the canonical "
+              "IvAdd/IvCmp/BackBr control tail",
+              Out);
+  for (size_t I = 0; I + 3 < N; ++I)
+    if (Unrolled.body()[I].isLoopControl())
+      emitError(Unrolled, diag::UnrollShape, static_cast<int>(I),
+                "loop-control instruction inside the replicated body; the "
+                "single fresh tail must be the only loop control",
+                Out);
+  (void)Original;
+  return true;
+}
+
+/// X002 + X003: each replica must be the original body under a consistent
+/// per-replica register renaming, with memory addresses rewritten for the
+/// replica's position.
+void checkReplicas(const Loop &Original, const Loop &Unrolled,
+                   unsigned Factor, const std::vector<size_t> &Replicated,
+                   DiagnosticReport &Out) {
+  size_t Width = Replicated.size();
+  for (unsigned Copy = 0; Copy < Factor; ++Copy) {
+    // Original register -> this replica's register. Defs are seeded as
+    // they appear; inputs (phi destinations, live-ins, values flowing in
+    // from the previous replica) are recorded at first use and must stay
+    // consistent afterwards.
+    std::map<RegId, RegId> Renamed;
+    for (size_t Slot = 0; Slot < Width; ++Slot) {
+      const Instruction &Orig = Original.body()[Replicated[Slot]];
+      size_t CloneIndex = static_cast<size_t>(Copy) * Width + Slot;
+      const Instruction &Clone = Unrolled.body()[CloneIndex];
+      std::string Where = "replica " + std::to_string(Copy) +
+                          ", instruction " +
+                          std::to_string(Replicated[Slot]) + ": ";
+
+      if (Clone.Op != Orig.Op || Clone.Imm != Orig.Imm ||
+          Clone.TakenProb != Orig.TakenProb ||
+          Clone.Paired != Orig.Paired) {
+        emitError(Unrolled, diag::UnrollIsomorphism,
+                  static_cast<int>(CloneIndex),
+                  Where + "clone is not the same operation (opcode, "
+                          "immediate, exit probability, and pairing must "
+                          "be preserved)",
+                  Out);
+        continue;
+      }
+      if (Clone.Operands.size() != Orig.Operands.size() ||
+          Clone.hasDest() != Orig.hasDest() ||
+          (Clone.Pred == NoReg) != (Orig.Pred == NoReg)) {
+        emitError(Unrolled, diag::UnrollIsomorphism,
+                  static_cast<int>(CloneIndex),
+                  Where + "clone changes operand, destination, or "
+                          "predication arity",
+                  Out);
+        continue;
+      }
+
+      auto CheckWiring = [&](RegId OrigReg, RegId CloneReg,
+                             const char *Role) {
+        auto It = Renamed.find(OrigReg);
+        if (It == Renamed.end()) {
+          Renamed.emplace(OrigReg, CloneReg);
+          return;
+        }
+        if (It->second != CloneReg)
+          emitError(Unrolled, diag::UnrollIsomorphism,
+                    static_cast<int>(CloneIndex),
+                    Where + std::string(Role) + " " +
+                        Original.regName(OrigReg) +
+                        " is wired inconsistently within the replica (" +
+                        Unrolled.regName(It->second) + " vs " +
+                        Unrolled.regName(CloneReg) + ")",
+                    Out);
+      };
+      for (size_t K = 0; K < Orig.Operands.size(); ++K)
+        CheckWiring(Orig.Operands[K], Clone.Operands[K], "operand");
+      if (Orig.Pred != NoReg)
+        CheckWiring(Orig.Pred, Clone.Pred, "guard");
+      if (Orig.hasDest()) {
+        CheckWiring(Orig.Dest, Clone.Dest, "destination");
+        if (Unrolled.regClass(Clone.Dest) != Original.regClass(Orig.Dest))
+          emitError(Unrolled, diag::UnrollIsomorphism,
+                    static_cast<int>(CloneIndex),
+                    Where + "destination register class changed",
+                    Out);
+      }
+
+      if (Orig.isMemory()) {
+        const MemRef &Want = Orig.Mem;
+        const MemRef &Got = Clone.Mem;
+        int64_t WantStride = Want.Stride * static_cast<int64_t>(Factor);
+        int64_t WantOffset =
+            Want.Offset + Want.Stride * static_cast<int64_t>(Copy);
+        if (Got.BaseSym != Want.BaseSym ||
+            Got.Indirect != Want.Indirect ||
+            Got.SizeBytes != Want.SizeBytes)
+          emitError(Unrolled, diag::UnrollStrideScaling,
+                    static_cast<int>(CloneIndex),
+                    Where + "memory base, width, or indirection changed",
+                    Out);
+        if (Got.Stride != WantStride)
+          emitError(Unrolled, diag::UnrollStrideScaling,
+                    static_cast<int>(CloneIndex),
+                    Where + "stride must scale by the factor (want " +
+                        std::to_string(WantStride) + ", got " +
+                        std::to_string(Got.Stride) + ")",
+                    Out);
+        if (Got.Offset != WantOffset)
+          emitError(Unrolled, diag::UnrollStrideScaling,
+                    static_cast<int>(CloneIndex),
+                    Where + "replica k must read offset + stride * k "
+                            "(want " +
+                        std::to_string(WantOffset) + ", got " +
+                        std::to_string(Got.Offset) + ")",
+                    Out);
+      }
+    }
+  }
+}
+
+/// X004: every original loop-carried value survives — one phi for a plain
+/// recurrence, Factor split accumulators for a splittable reduction — and
+/// every surviving phi has a wired recurrence.
+void checkLiveOuts(const Loop &Original, const Loop &Unrolled,
+                   unsigned Factor, DiagnosticReport &Out) {
+  size_t Expected = 0;
+  for (const PhiNode &Phi : Original.phis())
+    Expected +=
+        (Factor > 1 && isSplittableReduction(Original, Phi)) ? Factor : 1;
+  if (Unrolled.phis().size() != Expected)
+    emitError(Unrolled, diag::UnrollLiveOut, -1,
+              "unrolled loop carries " +
+                  std::to_string(Unrolled.phis().size()) +
+                  " phi values; the original's live-out set requires " +
+                  std::to_string(Expected),
+              Out);
+  for (const PhiNode &Phi : Unrolled.phis())
+    if (Phi.Dest == NoReg || Phi.Init == NoReg || Phi.Recur == NoReg)
+      emitError(Unrolled, diag::UnrollLiveOut, -1,
+                "unrolled phi " +
+                    (Phi.Dest == NoReg ? std::string("<unset>")
+                                       : Unrolled.regName(Phi.Dest)) +
+                    " has an unwired init or recurrence",
+                Out);
+}
+
+/// X005: main iterations * Factor + epilogue iterations must equal the
+/// original trip count, statically and at the configured runtime trip.
+void checkTripAccounting(const Loop &Original, const Loop &Unrolled,
+                         unsigned Factor, DiagnosticReport &Out) {
+  int64_t WantStatic = Original.hasKnownTripCount()
+                           ? Original.tripCount() /
+                                 static_cast<int64_t>(Factor)
+                           : Loop::UnknownTripCount;
+  if (Unrolled.tripCount() != WantStatic)
+    emitError(Unrolled, diag::UnrollTripAccounting, -1,
+              "static trip count is " +
+                  std::to_string(Unrolled.tripCount()) + "; want " +
+                  std::to_string(WantStatic),
+              Out);
+
+  UnrolledTripInfo Info = unrolledTripInfo(Original.runtimeTripCount(),
+                                           Factor);
+  if (Original.runtimeTripCount() >= 0 &&
+      Info.MainIterations * static_cast<int64_t>(Factor) +
+              Info.EpilogueIterations !=
+          Original.runtimeTripCount())
+    emitError(Unrolled, diag::UnrollTripAccounting, -1,
+              "main * factor + epilogue does not reproduce the original "
+              "trip count",
+              Out);
+  if (Unrolled.runtimeTripCount() != Info.MainIterations)
+    emitError(Unrolled, diag::UnrollTripAccounting, -1,
+              "runtime trip count is " +
+                  std::to_string(Unrolled.runtimeTripCount()) +
+                  " main iterations; want " +
+                  std::to_string(Info.MainIterations),
+              Out);
+}
+
+void auditHook(const Loop &Original, const Loop &Unrolled, unsigned Factor) {
+  DiagnosticReport Report =
+      checkUnrollInvariants(Original, Unrolled, Factor);
+  if (Report.hasErrors())
+    throw UnrollAuditError("unroll audit failed for " + Original.name() +
+                           " by " + std::to_string(Factor) + ":\n" +
+                           Report.renderText());
+}
+
+} // namespace
+
+DiagnosticReport metaopt::checkUnrollInvariants(const Loop &Original,
+                                                const Loop &Unrolled,
+                                                unsigned Factor) {
+  DiagnosticReport Out;
+  if (Factor < 1) {
+    emitError(Unrolled, diag::UnrollShape, -1,
+              "unroll factor must be at least one", Out);
+    return Out;
+  }
+  std::vector<size_t> Replicated = replicatedIndices(Original);
+  if (checkShape(Original, Unrolled, Factor, Replicated, Out))
+    checkReplicas(Original, Unrolled, Factor, Replicated, Out);
+  checkLiveOuts(Original, Unrolled, Factor, Out);
+  checkTripAccounting(Original, Unrolled, Factor, Out);
+  return Out;
+}
+
+UnrollAuditGuard::UnrollAuditGuard()
+    : Previous(setUnrollAuditHook(auditHook)) {}
+
+UnrollAuditGuard::~UnrollAuditGuard() { setUnrollAuditHook(Previous); }

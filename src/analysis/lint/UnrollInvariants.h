@@ -1,0 +1,90 @@
+//===- analysis/lint/UnrollInvariants.h - Post-unroll checks ----*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The post-transform invariant checker for transform::unrollLoop. Every
+/// label the pipeline collects is a simulation of an unrolled loop, so a
+/// silently wrong unroll corrupts training data without failing any test;
+/// these checks make "unroll-by-k means exactly this" executable:
+///
+///   X001  shape: body is Factor straight-line replicas plus one fresh
+///         canonical control tail, and the result verifies cleanly
+///   X002  def-use isomorphism: each replica is the original body under a
+///         per-replica register renaming (same opcodes, immediates,
+///         predication structure, operand wiring)
+///   X003  stride scaling: every memory clone in replica k has
+///         stride = orig.stride * Factor, offset = orig.offset +
+///         orig.stride * k, same width/base/indirection
+///   X004  live-out coverage: every original phi survives as one phi (or
+///         Factor split accumulators for splittable reductions), each with
+///         a wired recurrence
+///   X005  trip accounting: main * Factor + epilogue == original trip for
+///         both static and runtime trip counts
+///
+/// The checker is pure (original, unrolled, factor) -> report. The RAII
+/// UnrollAuditGuard installs it behind transform::setUnrollAuditHook so it
+/// runs after *every* unrollLoop in the guarded scope, throwing
+/// UnrollAuditError on violations; the labeling pipeline and the speedup
+/// evaluator install it around their sweeps. The hook may fire on worker
+/// threads — the concurrency runtime propagates the lowest-index exception
+/// deterministically.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_ANALYSIS_LINT_UNROLLINVARIANTS_H
+#define METAOPT_ANALYSIS_LINT_UNROLLINVARIANTS_H
+
+#include "ir/Diagnostics.h"
+#include "ir/Loop.h"
+
+#include <stdexcept>
+#include <string>
+
+namespace metaopt {
+
+/// Stable post-transform diagnostic IDs (catalog: docs/DIAGNOSTICS.md).
+namespace diag {
+inline constexpr const char *UnrollShape = "X001-unrolled-shape";
+inline constexpr const char *UnrollIsomorphism = "X002-replica-isomorphism";
+inline constexpr const char *UnrollStrideScaling = "X003-stride-scaling";
+inline constexpr const char *UnrollLiveOut = "X004-live-out-coverage";
+inline constexpr const char *UnrollTripAccounting = "X005-trip-accounting";
+} // namespace diag
+
+/// Checks that \p Unrolled is a correct unroll of \p Original by
+/// \p Factor. All diagnostics are errors; an empty report means the
+/// transform preserved every invariant.
+DiagnosticReport checkUnrollInvariants(const Loop &Original,
+                                       const Loop &Unrolled,
+                                       unsigned Factor);
+
+/// Thrown by the installed audit hook when an unroll violates an
+/// invariant. what() carries the rendered report.
+class UnrollAuditError : public std::runtime_error {
+public:
+  explicit UnrollAuditError(const std::string &Rendered)
+      : std::runtime_error(Rendered) {}
+};
+
+/// RAII: installs checkUnrollInvariants behind transform's audit hook for
+/// the guard's lifetime (restoring the previous hook on destruction). Any
+/// unrollLoop call in scope that violates an invariant throws
+/// UnrollAuditError.
+class UnrollAuditGuard {
+public:
+  UnrollAuditGuard();
+  ~UnrollAuditGuard();
+  UnrollAuditGuard(const UnrollAuditGuard &) = delete;
+  UnrollAuditGuard &operator=(const UnrollAuditGuard &) = delete;
+
+private:
+  void (*Previous)(const Loop &, const Loop &, unsigned);
+};
+
+} // namespace metaopt
+
+#endif // METAOPT_ANALYSIS_LINT_UNROLLINVARIANTS_H

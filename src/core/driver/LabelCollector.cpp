@@ -2,6 +2,7 @@
 
 #include "core/driver/LabelCollector.h"
 
+#include "analysis/lint/UnrollInvariants.h"
 #include "concurrency/Parallel.h"
 #include "core/features/FeatureExtractor.h"
 #include "sim/Simulator.h"
@@ -83,6 +84,12 @@ Dataset metaopt::collectLabels(const std::vector<Benchmark> &Corpus,
                                const LabelingOptions &Options,
                                size_t *OutTotalLoops) {
   MachineModel Machine(Options.Machine);
+
+  // Every unroll this sweep performs is audited against the
+  // post-transform invariants; a violation throws out of the sweep
+  // (deterministically — the runtime propagates the lowest-index
+  // exception) rather than silently corrupting the training labels.
+  UnrollAuditGuard AuditGuard;
 
   // Flatten to an ordered work-list so every loop has a stable index;
   // results are collected by that index, which makes the parallel dataset

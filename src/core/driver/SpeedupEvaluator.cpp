@@ -2,6 +2,7 @@
 
 #include "core/driver/SpeedupEvaluator.h"
 
+#include "analysis/lint/UnrollInvariants.h"
 #include "concurrency/Parallel.h"
 #include "core/driver/Heuristics.h"
 #include "core/ml/NearNeighbor.h"
@@ -49,6 +50,9 @@ metaopt::evaluateSpeedups(const std::vector<Benchmark> &Corpus,
   MachineModel Machine(Options.Labeling.Machine);
   bool EnableSwp = Options.Labeling.EnableSwp;
   OrcLikeHeuristic Orc(Machine, EnableSwp);
+
+  // Audit every unroll the evaluation simulates, like collectLabels does.
+  UnrollAuditGuard AuditGuard;
 
   SpeedupReport Report;
   double SumNn = 0, SumSvm = 0, SumOracle = 0;

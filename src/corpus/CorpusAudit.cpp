@@ -1,0 +1,35 @@
+//===- corpus/CorpusAudit.cpp ---------------------------------------------===//
+
+#include "corpus/CorpusAudit.h"
+
+#include "concurrency/Parallel.h"
+
+using namespace metaopt;
+
+CorpusAuditResult
+metaopt::auditBenchmarks(const std::vector<Benchmark> &Corpus,
+                         const LintOptions &Options) {
+  // Flatten to an ordered work-list, mirroring collectLabels: a stable
+  // index per loop is what makes the parallel sweep deterministic.
+  std::vector<std::pair<const Benchmark *, const CorpusLoop *>> Loops;
+  for (const Benchmark &Bench : Corpus)
+    for (const CorpusLoop &Entry : Bench.Loops)
+      Loops.emplace_back(&Bench, &Entry);
+
+  std::vector<DiagnosticReport> Reports = parallelMap<DiagnosticReport>(
+      Loops.size(),
+      [&](size_t I) { return lintLoop(Loops[I].second->TheLoop, Options); });
+
+  CorpusAuditResult Result;
+  Result.LoopsAudited = Loops.size();
+  for (size_t I = 0; I < Loops.size(); ++I) {
+    Result.Errors += Reports[I].errorCount();
+    Result.Warnings += Reports[I].warningCount();
+    Result.Notes += Reports[I].noteCount();
+    if (!Reports[I].empty())
+      Result.Findings.push_back({Loops[I].first->Name,
+                                 Loops[I].second->TheLoop.name(),
+                                 std::move(Reports[I])});
+  }
+  return Result;
+}

@@ -1,0 +1,122 @@
+//===- ir/Diagnostics.cpp -------------------------------------------------===//
+
+#include "ir/Diagnostics.h"
+
+#include <cassert>
+
+using namespace metaopt;
+
+const char *metaopt::severityName(Severity Sev) {
+  switch (Sev) {
+  case Severity::Note:
+    return "note";
+  case Severity::Warning:
+    return "warning";
+  case Severity::Error:
+    return "error";
+  }
+  assert(false && "unknown severity");
+  return "?";
+}
+
+bool Diagnostic::hasId(std::string_view Code) const {
+  if (Id.size() < Code.size())
+    return false;
+  if (std::string_view(Id).substr(0, Code.size()) != Code)
+    return false;
+  // "L001" must not match "L001x-..."; accept exact match or a '-' next.
+  return Id.size() == Code.size() || Id[Code.size()] == '-';
+}
+
+std::string metaopt::renderDiagnostic(const Diagnostic &D) {
+  std::string Out;
+  if (!D.LoopName.empty())
+    Out += D.LoopName + ":";
+  if (D.SrcLine != 0)
+    Out += std::to_string(D.SrcLine) + ":";
+  if (!Out.empty())
+    Out += " ";
+  Out += std::string(severityName(D.Sev)) + ": [" + D.Id + "] " + D.Message;
+  if (!D.Context.empty())
+    Out += " {" + D.Context + "}";
+  return Out;
+}
+
+std::string metaopt::jsonEscape(std::string_view Str) {
+  std::string Out;
+  Out.reserve(Str.size());
+  for (char C : Str) {
+    switch (C) {
+    case '"':
+      Out += "\\\"";
+      break;
+    case '\\':
+      Out += "\\\\";
+      break;
+    case '\n':
+      Out += "\\n";
+      break;
+    case '\t':
+      Out += "\\t";
+      break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        static const char Hex[] = "0123456789abcdef";
+        Out += "\\u00";
+        Out += Hex[(C >> 4) & 0xF];
+        Out += Hex[C & 0xF];
+      } else {
+        Out += C;
+      }
+    }
+  }
+  return Out;
+}
+
+std::string metaopt::renderDiagnosticJson(const Diagnostic &D) {
+  std::string Out = "{\"id\": \"" + jsonEscape(D.Id) + "\"";
+  Out += ", \"severity\": \"" + std::string(severityName(D.Sev)) + "\"";
+  if (!D.LoopName.empty())
+    Out += ", \"loop\": \"" + jsonEscape(D.LoopName) + "\"";
+  if (D.BodyIndex >= 0)
+    Out += ", \"instr\": " + std::to_string(D.BodyIndex);
+  if (D.SrcLine != 0)
+    Out += ", \"line\": " + std::to_string(D.SrcLine);
+  Out += ", \"message\": \"" + jsonEscape(D.Message) + "\"";
+  if (!D.Context.empty())
+    Out += ", \"context\": \"" + jsonEscape(D.Context) + "\"";
+  Out += "}";
+  return Out;
+}
+
+void DiagnosticReport::append(const DiagnosticReport &Other) {
+  Diags.insert(Diags.end(), Other.Diags.begin(), Other.Diags.end());
+}
+
+size_t DiagnosticReport::count(Severity Sev) const {
+  size_t N = 0;
+  for (const Diagnostic &D : Diags)
+    N += D.Sev == Sev;
+  return N;
+}
+
+size_t DiagnosticReport::countId(std::string_view Code) const {
+  size_t N = 0;
+  for (const Diagnostic &D : Diags)
+    N += D.hasId(Code);
+  return N;
+}
+
+std::string DiagnosticReport::renderText() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags)
+    Out += renderDiagnostic(D) + "\n";
+  return Out;
+}
+
+std::string DiagnosticReport::renderJson() const {
+  std::string Out;
+  for (const Diagnostic &D : Diags)
+    Out += renderDiagnosticJson(D) + "\n";
+  return Out;
+}

@@ -1,0 +1,102 @@
+//===- ir/Diagnostics.h - Diagnostic model for IR analyses ------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The diagnostic model shared by the IR verifier, the lint engine
+/// (analysis/lint), and the metaopt-lint tool: a severity level, a stable
+/// diagnostic ID (e.g. "L001-use-before-def"), an anchor (loop name, body
+/// index, source line when the loop came from the textual format), and a
+/// message. DiagnosticReport collects diagnostics and renders them as
+/// one-per-line text or JSON; rendering is a pure function of the
+/// collected diagnostics, so reports assembled in a deterministic order
+/// serialize identically regardless of which threads produced them.
+///
+/// The full catalog of IDs lives in docs/DIAGNOSTICS.md.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_IR_DIAGNOSTICS_H
+#define METAOPT_IR_DIAGNOSTICS_H
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace metaopt {
+
+/// Diagnostic severity. Errors make a loop unusable for labeling or
+/// transformation; warnings flag suspicious-but-legal shapes; notes are
+/// informational findings.
+enum class Severity { Note, Warning, Error };
+
+/// Returns "note" / "warning" / "error".
+const char *severityName(Severity Sev);
+
+/// One finding. IDs are stable "<letter><3 digits>-<slug>" strings:
+/// V### verifier, L### lint passes, X### post-transform invariants.
+struct Diagnostic {
+  std::string Id;          ///< Stable ID, e.g. "L001-use-before-def".
+  Severity Sev = Severity::Error;
+  std::string LoopName;    ///< Owning loop ("" when not loop-specific).
+  int BodyIndex = -1;      ///< Body instruction index, -1 for loop-level.
+  unsigned SrcLine = 0;    ///< 1-based source line, 0 when unknown.
+  std::string Message;     ///< Human-readable description.
+  std::string Context;     ///< Optional printed instruction.
+
+  /// True when this diagnostic's ID starts with \p Code (either the full
+  /// ID or just the "L001" prefix).
+  bool hasId(std::string_view Code) const;
+};
+
+/// Renders one diagnostic as a single line:
+///   <loop>:<line>: <severity>: [<id>] <message> {context}
+std::string renderDiagnostic(const Diagnostic &D);
+
+/// Renders one diagnostic as a single-line JSON object.
+std::string renderDiagnosticJson(const Diagnostic &D);
+
+/// An ordered collection of diagnostics. Order is insertion order; callers
+/// that assemble per-loop reports in a stable loop order get deterministic
+/// rendering for free.
+class DiagnosticReport {
+public:
+  void add(Diagnostic D) { Diags.push_back(std::move(D)); }
+
+  /// Appends all diagnostics of \p Other (in order).
+  void append(const DiagnosticReport &Other);
+
+  const std::vector<Diagnostic> &diagnostics() const { return Diags; }
+  bool empty() const { return Diags.empty(); }
+  size_t size() const { return Diags.size(); }
+
+  size_t count(Severity Sev) const;
+  size_t errorCount() const { return count(Severity::Error); }
+  size_t warningCount() const { return count(Severity::Warning); }
+  size_t noteCount() const { return count(Severity::Note); }
+  bool hasErrors() const { return errorCount() != 0; }
+
+  /// Number of diagnostics whose ID matches \p Code (see Diagnostic::hasId).
+  size_t countId(std::string_view Code) const;
+
+  /// Text rendering, one diagnostic per line (trailing newline when
+  /// non-empty).
+  std::string renderText() const;
+
+  /// JSON-lines rendering, one object per line.
+  std::string renderJson() const;
+
+private:
+  std::vector<Diagnostic> Diags;
+};
+
+/// Escapes \p Str for inclusion inside a JSON string literal.
+std::string jsonEscape(std::string_view Str);
+
+} // namespace metaopt
+
+#endif // METAOPT_IR_DIAGNOSTICS_H

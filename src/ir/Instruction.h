@@ -60,6 +60,11 @@ struct Instruction {
   /// Load only: second half of a merged wide access (Itanium ldfpd); it
   /// rides along with its partner and occupies no issue slot or M unit.
   bool Paired = false;
+  /// 1-based source line in the textual loop format, 0 when the
+  /// instruction was built programmatically. Transforms propagate the
+  /// originating line to clones so diagnostics on transformed loops still
+  /// point into the source.
+  unsigned SrcLine = 0;
 
   bool isMemory() const { return opcodeInfo(Op).IsMemory; }
   bool isFloat() const { return opcodeInfo(Op).IsFloat; }
@@ -79,6 +84,7 @@ struct PhiNode {
   RegId Dest = NoReg;  ///< Register the body reads.
   RegId Init = NoReg;  ///< Live-in initial value.
   RegId Recur = NoReg; ///< Value computed by the body each iteration.
+  unsigned SrcLine = 0; ///< 1-based source line, 0 when unknown.
 };
 
 } // namespace metaopt

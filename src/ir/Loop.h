@@ -58,6 +58,14 @@ public:
   const std::string &name() const { return Name; }
   void setName(std::string NewName) { Name = std::move(NewName); }
 
+  /// Source file the loop was parsed from ("" when built
+  /// programmatically) and the 1-based line of its "loop" header (0 when
+  /// unknown). Diagnostics use these to anchor loop-level findings.
+  const std::string &sourceFile() const { return SourceFile; }
+  void setSourceFile(std::string File) { SourceFile = std::move(File); }
+  unsigned headerLine() const { return HeaderLine; }
+  void setHeaderLine(unsigned Line) { HeaderLine = Line; }
+
   SourceLanguage language() const { return Lang; }
   void setLanguage(SourceLanguage NewLang) { Lang = NewLang; }
 
@@ -119,6 +127,8 @@ public:
 
 private:
   std::string Name = "loop";
+  std::string SourceFile;
+  unsigned HeaderLine = 0;
   SourceLanguage Lang = SourceLanguage::C;
   int NestLevel = 1;
   int64_t TripCount = UnknownTripCount;

@@ -13,7 +13,8 @@ namespace {
 /// Line-oriented recursive-descent parser for the loop format.
 class LoopParser {
 public:
-  explicit LoopParser(std::string_view Text) : Lines(split(Text, '\n')) {}
+  LoopParser(std::string_view Text, std::string FileName)
+      : Lines(split(Text, '\n')), FileName(std::move(FileName)) {}
 
   ParseResult run() {
     ParseResult Result;
@@ -34,6 +35,7 @@ public:
 
 private:
   std::vector<std::string> Lines;
+  std::string FileName;
   size_t NextLine = 0;
   size_t CurrentLine = 0;
   bool AtEnd = false;
@@ -110,6 +112,8 @@ private:
 
   bool parseHeader(std::string_view Line, Loop &L) {
     RegByName.clear();
+    L.setSourceFile(FileName);
+    L.setHeaderLine(static_cast<unsigned>(CurrentLine));
     if (Line.substr(0, 4) != "loop")
       return fail("expected 'loop' header");
     Line = trim(Line.substr(4));
@@ -241,12 +245,14 @@ private:
     if (L.regClass(Phi.Dest) != L.regClass(Phi.Init) ||
         L.regClass(Phi.Dest) != L.regClass(Phi.Recur))
       return fail("phi register class mismatch");
+    Phi.SrcLine = static_cast<unsigned>(CurrentLine);
     L.addPhi(Phi);
     return true;
   }
 
   bool parseInstruction(std::string_view Line, Loop &L) {
     Instruction Instr;
+    Instr.SrcLine = static_cast<unsigned>(CurrentLine);
 
     // Optional "(%p_x) " predicate guard.
     if (!Line.empty() && Line[0] == '(') {
@@ -374,6 +380,7 @@ private:
 
 } // namespace
 
-ParseResult metaopt::parseLoops(std::string_view Text) {
-  return LoopParser(Text).run();
+ParseResult metaopt::parseLoops(std::string_view Text,
+                                std::string FileName) {
+  return LoopParser(Text, std::move(FileName)).run();
 }

@@ -33,8 +33,11 @@ struct ParseResult {
   bool succeeded() const { return Error.empty(); }
 };
 
-/// Parses all loops in \p Text.
-ParseResult parseLoops(std::string_view Text);
+/// Parses all loops in \p Text. \p FileName, when non-empty, is recorded
+/// as each loop's sourceFile(); every parsed loop carries 1-based source
+/// lines on its header, phis, and instructions so downstream diagnostics
+/// (ir/Diagnostics.h) can point back into the input.
+ParseResult parseLoops(std::string_view Text, std::string FileName = "");
 
 } // namespace metaopt
 

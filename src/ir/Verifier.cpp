@@ -15,86 +15,133 @@ public:
   VerifierImpl(const Loop &L, const VerifyOptions &Options)
       : L(L), Options(Options) {}
 
-  std::vector<std::string> run() {
+  DiagnosticReport run() {
     checkRegisterIds();
-    if (!Errors.empty())
-      return Errors; // Out-of-range ids make later checks unsafe.
     checkSingleDefinitions();
     checkPhis();
     checkInstructions();
     checkLoopControl();
-    return Errors;
+    return std::move(Report);
   }
 
 private:
   const Loop &L;
   const VerifyOptions &Options;
-  std::vector<std::string> Errors;
+  DiagnosticReport Report;
 
-  void error(const std::string &Message) { Errors.push_back(Message); }
+  void error(const char *Id, const std::string &Message) {
+    Diagnostic D;
+    D.Id = Id;
+    D.Sev = Severity::Error;
+    D.LoopName = L.name();
+    D.SrcLine = L.headerLine();
+    D.Message = Message;
+    Report.add(std::move(D));
+  }
 
-  void errorAt(size_t BodyIndex, const std::string &Message) {
-    error("instruction " + std::to_string(BodyIndex) + " (" +
-          printInstruction(L, L.body()[BodyIndex]) + "): " + Message);
+  void errorAt(const char *Id, size_t BodyIndex,
+               const std::string &Message) {
+    Diagnostic D;
+    D.Id = Id;
+    D.Sev = Severity::Error;
+    D.LoopName = L.name();
+    D.BodyIndex = static_cast<int>(BodyIndex);
+    D.SrcLine = L.body()[BodyIndex].SrcLine;
+    D.Message = Message;
+    if (instrPrintable(L.body()[BodyIndex]))
+      D.Context = "instruction " + std::to_string(BodyIndex) + ": " +
+                  printInstruction(L, L.body()[BodyIndex]);
+    else
+      D.Context = "instruction " + std::to_string(BodyIndex);
+    Report.add(std::move(D));
   }
 
   bool validReg(RegId Reg) const { return Reg < L.numRegs(); }
 
+  /// True when every register the instruction mentions is in range, so
+  /// the printer and class queries are safe.
+  bool instrPrintable(const Instruction &Instr) const {
+    if (Instr.Dest != NoReg && !validReg(Instr.Dest))
+      return false;
+    if (Instr.Pred != NoReg && !validReg(Instr.Pred))
+      return false;
+    for (RegId Operand : Instr.Operands)
+      if (Operand == NoReg || !validReg(Operand))
+        return false;
+    return true;
+  }
+
+  bool phiRegsValid(const PhiNode &Phi) const {
+    return validReg(Phi.Dest) && validReg(Phi.Init) && validReg(Phi.Recur);
+  }
+
   void checkRegisterIds() {
-    auto Check = [&](RegId Reg, const std::string &What) {
-      if (Reg != NoReg && !validReg(Reg))
-        error(What + " references out-of-range register " +
-              std::to_string(Reg));
+    auto Check = [&](RegId Reg, const std::string &What, size_t BodyIndex) {
+      if (Reg == NoReg || validReg(Reg))
+        return;
+      std::string Message =
+          What + " references out-of-range register " + std::to_string(Reg);
+      if (BodyIndex != static_cast<size_t>(-1))
+        errorAt(diag::RegOutOfRange, BodyIndex, Message);
+      else
+        error(diag::RegOutOfRange, Message);
     };
     for (const PhiNode &Phi : L.phis()) {
-      Check(Phi.Dest, "phi dest");
-      Check(Phi.Init, "phi init");
-      Check(Phi.Recur, "phi recur");
+      Check(Phi.Dest, "phi dest", -1);
+      Check(Phi.Init, "phi init", -1);
+      Check(Phi.Recur, "phi recur", -1);
       if (Phi.Dest == NoReg || Phi.Init == NoReg || Phi.Recur == NoReg)
-        error("phi has an unset register");
+        error(diag::PhiUnsetReg, "phi has an unset register");
     }
     for (size_t I = 0; I < L.body().size(); ++I) {
       const Instruction &Instr = L.body()[I];
-      Check(Instr.Dest, "dest of instruction " + std::to_string(I));
-      Check(Instr.Pred, "predicate of instruction " + std::to_string(I));
+      Check(Instr.Dest, "dest", I);
+      Check(Instr.Pred, "predicate", I);
       for (RegId Operand : Instr.Operands)
-        Check(Operand, "operand of instruction " + std::to_string(I));
+        Check(Operand, "operand", I);
     }
   }
 
   void checkSingleDefinitions() {
     std::set<RegId> Defined;
     for (const PhiNode &Phi : L.phis())
-      if (!Defined.insert(Phi.Dest).second)
-        error("register " + L.regName(Phi.Dest) + " defined more than once");
+      if (validReg(Phi.Dest) && !Defined.insert(Phi.Dest).second)
+        error(diag::MultipleDef, "register " + L.regName(Phi.Dest) +
+                                     " defined more than once");
     for (size_t I = 0; I < L.body().size(); ++I) {
       const Instruction &Instr = L.body()[I];
-      if (Instr.hasDest() && !Defined.insert(Instr.Dest).second)
-        errorAt(I, "register " + L.regName(Instr.Dest) +
-                       " defined more than once");
+      if (Instr.hasDest() && validReg(Instr.Dest) &&
+          !Defined.insert(Instr.Dest).second)
+        errorAt(diag::MultipleDef, I,
+                "register " + L.regName(Instr.Dest) +
+                    " defined more than once");
     }
   }
 
   void checkPhis() {
     for (const PhiNode &Phi : L.phis()) {
-      if (Phi.Dest == NoReg || Phi.Init == NoReg || Phi.Recur == NoReg)
-        continue; // Reported already.
+      if (!phiRegsValid(Phi))
+        continue; // V001/V002 reported already.
       RegClass RC = L.regClass(Phi.Dest);
       if (L.regClass(Phi.Init) != RC || L.regClass(Phi.Recur) != RC)
-        error("phi " + L.regName(Phi.Dest) + " mixes register classes");
+        error(diag::PhiClassMismatch,
+              "phi " + L.regName(Phi.Dest) + " mixes register classes");
       if (!L.isLiveIn(Phi.Init))
-        error("phi " + L.regName(Phi.Dest) +
-              " initial value must be live-in");
+        error(diag::PhiInitNotLiveIn,
+              "phi " + L.regName(Phi.Dest) +
+                  " initial value must be live-in");
       if (Phi.Recur == Phi.Dest)
-        error("phi " + L.regName(Phi.Dest) + " recurs on itself directly");
+        error(diag::PhiSelfRecurrence,
+              "phi " + L.regName(Phi.Dest) + " recurs on itself directly");
       // The recurrence source must be computed by the body.
       bool DefinedInBody = false;
       for (const Instruction &Instr : L.body())
         if (Instr.Dest == Phi.Recur)
           DefinedInBody = true;
       if (!DefinedInBody && !L.isPhiDest(Phi.Recur))
-        error("phi " + L.regName(Phi.Dest) +
-              " recurrence source is not computed in the loop");
+        error(diag::PhiRecurNotComputed,
+              "phi " + L.regName(Phi.Dest) +
+                  " recurrence source is not computed in the loop");
     }
   }
 
@@ -111,7 +158,8 @@ private:
 
   void checkOperandClass(size_t I, RegId Operand, RegClass Expected) {
     if (L.regClass(Operand) != Expected)
-      errorAt(I, "operand " + L.regName(Operand) + " has wrong class");
+      errorAt(diag::OperandClass, I,
+              "operand " + L.regName(Operand) + " has wrong class");
   }
 
   void checkInstructions() {
@@ -120,24 +168,30 @@ private:
       const OpcodeInfo &Info = opcodeInfo(Instr.Op);
 
       if (Info.HasDest != Instr.hasDest())
-        errorAt(I, Info.HasDest ? "missing destination"
-                                : "unexpected destination");
+        errorAt(diag::DestArity, I,
+                Info.HasDest ? "missing destination"
+                             : "unexpected destination");
 
-      if (Instr.Pred != NoReg) {
+      if (Instr.Pred != NoReg && validReg(Instr.Pred)) {
         if (L.regClass(Instr.Pred) != RegClass::Pred)
-          errorAt(I, "guard is not a predicate register");
+          errorAt(diag::GuardNotPredicate, I,
+                  "guard is not a predicate register");
         else if (!availableAt(Instr.Pred, I))
-          errorAt(I, "guard used before definition");
+          errorAt(diag::GuardBeforeDef, I, "guard used before definition");
         if (Instr.isLoopControl() || Instr.Op == Opcode::ExitIf)
-          errorAt(I, "control instructions must not be predicated");
+          errorAt(diag::PredicatedControl, I,
+                  "control instructions must not be predicated");
       }
 
       for (RegId Operand : Instr.Operands)
-        if (!availableAt(Operand, I))
-          errorAt(I, "operand " + L.regName(Operand) +
-                         " used before definition");
+        if (validReg(Operand) && !availableAt(Operand, I))
+          errorAt(diag::UseBeforeDef, I,
+                  "operand " + L.regName(Operand) +
+                      " used before definition");
 
-      checkSignature(I, Instr, Info);
+      // Class-sensitive signature checks need every register in range.
+      if (instrPrintable(Instr))
+        checkSignature(I, Instr, Info);
     }
   }
 
@@ -148,57 +202,58 @@ private:
     case Opcode::Load: {
       size_t Expected = Instr.Mem.Indirect ? 1 : 0;
       if (NumOperands != Expected) {
-        errorAt(I, "load operand count mismatch");
+        errorAt(diag::OperandCount, I, "load operand count mismatch");
         return;
       }
       if (Instr.Mem.Indirect)
         checkOperandClass(I, Instr.Operands[0], RegClass::Int);
       if (Instr.hasDest() && L.regClass(Instr.Dest) == RegClass::Pred)
-        errorAt(I, "load destination must be int or float");
+        errorAt(diag::DestClass, I, "load destination must be int or float");
       if (Instr.Mem.SizeBytes <= 0)
-        errorAt(I, "load size must be positive");
+        errorAt(diag::MemSize, I, "load size must be positive");
       return;
     }
     case Opcode::Store: {
       size_t Expected = Instr.Mem.Indirect ? 2 : 1;
       if (NumOperands != Expected) {
-        errorAt(I, "store operand count mismatch");
+        errorAt(diag::OperandCount, I, "store operand count mismatch");
         return;
       }
       if (L.regClass(Instr.Operands[0]) == RegClass::Pred)
-        errorAt(I, "stored value must be int or float");
+        errorAt(diag::OperandClass, I, "stored value must be int or float");
       if (Instr.Mem.Indirect)
         checkOperandClass(I, Instr.Operands[1], RegClass::Int);
       if (Instr.Mem.SizeBytes <= 0)
-        errorAt(I, "store size must be positive");
+        errorAt(diag::MemSize, I, "store size must be positive");
       return;
     }
     case Opcode::Copy: {
       if (NumOperands != 1) {
-        errorAt(I, "copy takes exactly one operand");
+        errorAt(diag::OperandCount, I, "copy takes exactly one operand");
         return;
       }
       if (Instr.hasDest() &&
           L.regClass(Instr.Dest) != L.regClass(Instr.Operands[0]))
-        errorAt(I, "copy register class mismatch");
+        errorAt(diag::DestClass, I, "copy register class mismatch");
       return;
     }
     case Opcode::Select: {
       if (NumOperands != 3) {
-        errorAt(I, "select takes exactly three operands");
+        errorAt(diag::OperandCount, I,
+                "select takes exactly three operands");
         return;
       }
       checkOperandClass(I, Instr.Operands[0], RegClass::Pred);
       if (L.regClass(Instr.Operands[1]) != L.regClass(Instr.Operands[2]))
-        errorAt(I, "select arms have mismatched classes");
+        errorAt(diag::OperandClass, I, "select arms have mismatched classes");
       else if (Instr.hasDest() &&
                L.regClass(Instr.Dest) != L.regClass(Instr.Operands[1]))
-        errorAt(I, "select destination class mismatch");
+        errorAt(diag::DestClass, I, "select destination class mismatch");
       return;
     }
     case Opcode::PredSet: {
       if (NumOperands < 1 || NumOperands > 2) {
-        errorAt(I, "predset takes one or two operands");
+        errorAt(diag::OperandCount, I, "predset takes one or two operands");
         return;
       }
       for (RegId Operand : Instr.Operands)
@@ -207,7 +262,7 @@ private:
     }
     case Opcode::AddrGen: {
       if (NumOperands < 1 || NumOperands > 2) {
-        errorAt(I, "addrgen takes one or two operands");
+        errorAt(diag::OperandCount, I, "addrgen takes one or two operands");
         return;
       }
       for (RegId Operand : Instr.Operands)
@@ -216,23 +271,23 @@ private:
     }
     case Opcode::Call: {
       if (NumOperands > 4)
-        errorAt(I, "call takes at most four operands");
+        errorAt(diag::OperandCount, I, "call takes at most four operands");
       return;
     }
     case Opcode::ExitIf: {
       if (NumOperands != 1) {
-        errorAt(I, "exit_if takes exactly one operand");
+        errorAt(diag::OperandCount, I, "exit_if takes exactly one operand");
         return;
       }
       checkOperandClass(I, Instr.Operands[0], RegClass::Pred);
       if (Instr.TakenProb < 0.0 || Instr.TakenProb > 1.0)
-        errorAt(I, "exit probability out of [0,1]");
+        errorAt(diag::ExitProb, I, "exit probability out of [0,1]");
       return;
     }
     default: {
       if (Info.NumOperands >= 0 &&
           NumOperands != static_cast<size_t>(Info.NumOperands)) {
-        errorAt(I, "operand count mismatch");
+        errorAt(diag::OperandCount, I, "operand count mismatch");
         return;
       }
       for (size_t Slot = 0; Slot < NumOperands; ++Slot)
@@ -241,7 +296,7 @@ private:
             opcodeOperandClass(Instr.Op, static_cast<int>(Slot)));
       if (Instr.hasDest() && L.regClass(Instr.Dest) != Info.DestClass &&
           Instr.Op != Opcode::Select && Instr.Op != Opcode::Copy)
-        errorAt(I, "destination register class mismatch");
+        errorAt(diag::DestClass, I, "destination register class mismatch");
       return;
     }
     }
@@ -255,11 +310,12 @@ private:
 
     if (!Options.RequireLoopControl) {
       if (NumControl != 0 && NumControl != 3)
-        error("loop control tail must be complete (IvAdd, IvCmp, BackBr)");
+        error(diag::LoopControl,
+              "loop control tail must be complete (IvAdd, IvCmp, BackBr)");
       if (NumControl == 0)
         return;
     } else if (NumControl != 3) {
-      error("missing canonical loop control tail");
+      error(diag::LoopControl, "missing canonical loop control tail");
       return;
     }
 
@@ -267,24 +323,38 @@ private:
     if (N < 3 || L.body()[N - 3].Op != Opcode::IvAdd ||
         L.body()[N - 2].Op != Opcode::IvCmp ||
         L.body()[N - 1].Op != Opcode::BackBr) {
-      error("loop control tail must be the final IvAdd, IvCmp, BackBr "
+      error(diag::LoopControl,
+            "loop control tail must be the final IvAdd, IvCmp, BackBr "
             "sequence");
       return;
     }
-    if (L.body()[N - 2].Operands[0] != L.body()[N - 3].Dest)
-      error("IvCmp must test the incremented induction variable");
-    if (L.body()[N - 1].Operands[0] != L.body()[N - 2].Dest)
-      error("BackBr must branch on the trip test predicate");
+    if (L.body()[N - 2].Operands.empty() || L.body()[N - 3].Dest == NoReg ||
+        L.body()[N - 2].Operands[0] != L.body()[N - 3].Dest)
+      error(diag::LoopControl,
+            "IvCmp must test the incremented induction variable");
+    if (L.body()[N - 1].Operands.empty() || L.body()[N - 2].Dest == NoReg ||
+        L.body()[N - 1].Operands[0] != L.body()[N - 2].Dest)
+      error(diag::LoopControl,
+            "BackBr must branch on the trip test predicate");
   }
 };
 
 } // namespace
 
-std::vector<std::string> metaopt::verifyLoop(const Loop &L,
-                                             const VerifyOptions &Options) {
+DiagnosticReport
+metaopt::verifyLoopDiagnostics(const Loop &L, const VerifyOptions &Options) {
   return VerifierImpl(L, Options).run();
 }
 
+std::vector<std::string> metaopt::verifyLoop(const Loop &L,
+                                             const VerifyOptions &Options) {
+  DiagnosticReport Report = verifyLoopDiagnostics(L, Options);
+  std::vector<std::string> Out;
+  for (const Diagnostic &D : Report.diagnostics())
+    Out.push_back(renderDiagnostic(D));
+  return Out;
+}
+
 bool metaopt::isWellFormed(const Loop &L, const VerifyOptions &Options) {
-  return verifyLoop(L, Options).empty();
+  return verifyLoopDiagnostics(L, Options).empty();
 }

@@ -12,11 +12,20 @@
 /// expected to verify cleanly; the corpus generators and the unroller are
 /// tested to only produce verifying loops.
 ///
+/// The verifier reports on the shared diagnostic model (ir/Diagnostics.h)
+/// with stable V###-prefixed IDs and per-violation loop/instruction
+/// context, and it reports every violation it can reach in one pass —
+/// entities with out-of-range register ids skip only their own
+/// class-sensitive checks, not the rest of the loop. The deeper semantic
+/// analyses (dataflow, memory shapes, dependence legality) live in
+/// analysis/lint on the same model.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef METAOPT_IR_VERIFIER_H
 #define METAOPT_IR_VERIFIER_H
 
+#include "ir/Diagnostics.h"
 #include "ir/Loop.h"
 
 #include <string>
@@ -31,7 +40,35 @@ struct VerifyOptions {
   bool RequireLoopControl = true;
 };
 
-/// Returns all well-formedness violations in \p L (empty if none).
+/// Stable verifier diagnostic IDs (catalog: docs/DIAGNOSTICS.md).
+namespace diag {
+inline constexpr const char *RegOutOfRange = "V001-reg-out-of-range";
+inline constexpr const char *PhiUnsetReg = "V002-phi-unset-reg";
+inline constexpr const char *MultipleDef = "V003-multiple-def";
+inline constexpr const char *PhiClassMismatch = "V004-phi-class-mismatch";
+inline constexpr const char *PhiInitNotLiveIn = "V005-phi-init-not-live-in";
+inline constexpr const char *PhiSelfRecurrence = "V006-phi-self-recurrence";
+inline constexpr const char *PhiRecurNotComputed =
+    "V007-phi-recur-not-computed";
+inline constexpr const char *DestArity = "V008-dest-arity";
+inline constexpr const char *GuardNotPredicate = "V009-guard-not-predicate";
+inline constexpr const char *GuardBeforeDef = "V010-guard-before-def";
+inline constexpr const char *PredicatedControl = "V011-predicated-control";
+inline constexpr const char *UseBeforeDef = "V012-use-before-def";
+inline constexpr const char *OperandCount = "V013-operand-count";
+inline constexpr const char *OperandClass = "V014-operand-class";
+inline constexpr const char *MemSize = "V015-mem-size";
+inline constexpr const char *ExitProb = "V016-exit-prob";
+inline constexpr const char *DestClass = "V017-dest-class";
+inline constexpr const char *LoopControl = "V018-loop-control";
+} // namespace diag
+
+/// Verifies \p L, reporting every violation as an error diagnostic.
+DiagnosticReport verifyLoopDiagnostics(const Loop &L,
+                                       const VerifyOptions &Options = {});
+
+/// Returns all well-formedness violations in \p L as rendered strings
+/// (empty if none). Compatibility wrapper over verifyLoopDiagnostics.
 std::vector<std::string> verifyLoop(const Loop &L,
                                     const VerifyOptions &Options = {});
 

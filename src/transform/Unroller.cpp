@@ -2,10 +2,19 @@
 
 #include "transform/Unroller.h"
 
+#include <atomic>
 #include <cassert>
 #include <map>
 
 using namespace metaopt;
+
+namespace {
+std::atomic<UnrollAuditHook> AuditHook{nullptr};
+} // namespace
+
+UnrollAuditHook metaopt::setUnrollAuditHook(UnrollAuditHook Hook) {
+  return AuditHook.exchange(Hook, std::memory_order_acq_rel);
+}
 
 UnrolledTripInfo metaopt::unrolledTripInfo(int64_t TripCount,
                                            unsigned Factor) {
@@ -159,6 +168,7 @@ Loop metaopt::unrollLoop(const Loop &L, unsigned Factor) {
     if (Factor > 1 && isSplittableReduction(L, Phi)) {
       for (unsigned Copy = 0; Copy < Factor; ++Copy) {
         PhiNode NewPhi;
+        NewPhi.SrcLine = Phi.SrcLine;
         std::string Suffix = "." + std::to_string(Copy);
         NewPhi.Dest = Result.addReg(L.regClass(Phi.Dest),
                                     L.regName(Phi.Dest) + Suffix);
@@ -177,6 +187,7 @@ Loop metaopt::unrollLoop(const Loop &L, unsigned Factor) {
       continue;
     }
     PhiNode NewPhi;
+    NewPhi.SrcLine = Phi.SrcLine;
     NewPhi.Dest = Result.addReg(L.regClass(Phi.Dest), L.regName(Phi.Dest));
     NewPhi.Init = Ctx.mapLiveIn(Phi.Init);
     NewPhi.Recur = NoReg;
@@ -236,6 +247,9 @@ Loop metaopt::unrollLoop(const Loop &L, unsigned Factor) {
   Br.Op = Opcode::BackBr;
   Br.Operands.push_back(Result.body().back().Dest);
   Result.addInstruction(Br);
+
+  if (UnrollAuditHook Hook = AuditHook.load(std::memory_order_acquire))
+    Hook(L, Result, Factor);
 
   return Result;
 }

@@ -38,6 +38,20 @@ bool isSplittableReduction(const Loop &L, const PhiNode &Phi);
 /// tail; the result is well-formed again.
 Loop unrollLoop(const Loop &L, unsigned Factor);
 
+/// Audit hook type: called after every unrollLoop with the original loop,
+/// the unrolled result, and the factor. The hook may throw to reject the
+/// transform; unrollLoop may run on worker threads, so hooks must be
+/// thread-safe (pure functions of their arguments are).
+using UnrollAuditHook = void (*)(const Loop &Original, const Loop &Unrolled,
+                                 unsigned Factor);
+
+/// Installs \p Hook (nullptr disables auditing) and returns the previously
+/// installed hook, so scoped installers can restore it. The lint layer's
+/// UnrollAuditGuard (analysis/lint/UnrollInvariants.h) is the standard
+/// client, wiring the post-transform invariant checker into labeling and
+/// evaluation sweeps.
+UnrollAuditHook setUnrollAuditHook(UnrollAuditHook Hook);
+
 /// Returns how many iterations the unrolled body executes and how many
 /// original iterations remain for the epilogue, given a runtime trip count.
 struct UnrolledTripInfo {

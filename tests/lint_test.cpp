@@ -1,0 +1,521 @@
+//===- tests/lint_test.cpp - Diagnostics engine tests ---------------------===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+// Covers the shared diagnostic model, the multi-violation verifier, every
+// lint pass (one hand-written bad loop per diagnostic ID), the post-unroll
+// invariant checker with its audit hook, and the full-corpus sweep (which
+// must be error-free and deterministic across thread counts).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/lint/Lint.h"
+#include "analysis/lint/UnrollInvariants.h"
+#include "concurrency/ThreadPool.h"
+#include "corpus/CorpusAudit.h"
+#include "ir/LoopBuilder.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "transform/Unroller.h"
+
+#include <gtest/gtest.h>
+
+using namespace metaopt;
+
+namespace {
+
+Loop parseOne(std::string_view Text) {
+  ParseResult Parsed = parseLoops(Text, "test.loop");
+  EXPECT_TRUE(Parsed.succeeded()) << Parsed.Error;
+  EXPECT_EQ(Parsed.Loops.size(), 1u);
+  return Parsed.Loops.at(0);
+}
+
+/// Lint options that suppress the verifier stage, so a bad-loop test can
+/// assert on the lint IDs alone.
+LintOptions lintOnly() {
+  LintOptions Options;
+  Options.RunVerifier = false;
+  return Options;
+}
+
+/// True when the report is non-empty and every diagnostic matches \p Id.
+bool firesExactly(const DiagnosticReport &Report, std::string_view Id) {
+  if (Report.empty())
+    return false;
+  for (const Diagnostic &D : Report.diagnostics())
+    if (!D.hasId(Id))
+      return false;
+  return true;
+}
+
+constexpr const char *Tail = "  %i_iv.next = iv_add %i_iv\n"
+                             "  %p_iv.cond = iv_cmp %i_iv.next\n"
+                             "  back_br %p_iv.cond\n"
+                             "}\n";
+
+//===----------------------------------------------------------------------===//
+// Diagnostic model
+//===----------------------------------------------------------------------===//
+
+TEST(Diagnostics, HasIdMatchesFullIdAndPrefix) {
+  Diagnostic D;
+  D.Id = "L001-use-before-def";
+  EXPECT_TRUE(D.hasId("L001-use-before-def"));
+  EXPECT_TRUE(D.hasId("L001"));
+  // Any hyphen-boundary prefix matches, so --passes=L001-use also works.
+  EXPECT_TRUE(D.hasId("L001-use"));
+  EXPECT_FALSE(D.hasId("L00"));
+  EXPECT_FALSE(D.hasId("L002"));
+  EXPECT_FALSE(D.hasId("L001-us"));
+}
+
+TEST(Diagnostics, RenderingCarriesAnchorAndId) {
+  Diagnostic D;
+  D.Id = "L003-dead-def";
+  D.Sev = Severity::Note;
+  D.LoopName = "myloop";
+  D.SrcLine = 7;
+  D.Message = "value is dead";
+  std::string Text = renderDiagnostic(D);
+  EXPECT_NE(Text.find("myloop"), std::string::npos);
+  EXPECT_NE(Text.find(":7:"), std::string::npos);
+  EXPECT_NE(Text.find("note"), std::string::npos);
+  EXPECT_NE(Text.find("[L003-dead-def]"), std::string::npos);
+}
+
+TEST(Diagnostics, JsonEscapesQuotesAndControlChars) {
+  EXPECT_EQ(jsonEscape("a\"b\nc\\"), "a\\\"b\\nc\\\\");
+}
+
+TEST(Diagnostics, ReportCountsBySeverityAndId) {
+  DiagnosticReport Report;
+  Diagnostic E;
+  E.Id = "L001-use-before-def";
+  E.Sev = Severity::Error;
+  Report.add(E);
+  Diagnostic W;
+  W.Id = "L007-stride-shape";
+  W.Sev = Severity::Warning;
+  Report.add(W);
+  EXPECT_EQ(Report.size(), 2u);
+  EXPECT_EQ(Report.errorCount(), 1u);
+  EXPECT_EQ(Report.warningCount(), 1u);
+  EXPECT_TRUE(Report.hasErrors());
+  EXPECT_EQ(Report.countId("L001"), 1u);
+  EXPECT_EQ(Report.countId("L007-stride-shape"), 1u);
+  EXPECT_EQ(Report.countId("L002"), 0u);
+}
+
+//===----------------------------------------------------------------------===//
+// Verifier: all violations in one pass, with context
+//===----------------------------------------------------------------------===//
+
+TEST(VerifierDiagnostics, ReportsEveryViolationInOnePass) {
+  Loop L("multi", SourceLanguage::C, 1, 64);
+  RegId A = L.addReg(RegClass::Float, "a");
+  RegId B = L.addReg(RegClass::Float, "b");
+  RegId P = L.addReg(RegClass::Pred, "p");
+
+  Instruction Use; // Reads b before its definition below: V012.
+  Use.Op = Opcode::FAdd;
+  Use.Operands = {A, B};
+  Use.Dest = L.addReg(RegClass::Float, "c");
+  L.addInstruction(Use);
+
+  Instruction Def;
+  Def.Op = Opcode::FMul;
+  Def.Operands = {A, A};
+  Def.Dest = B;
+  L.addInstruction(Def);
+
+  Instruction Exit; // Probability out of range: V016.
+  Exit.Op = Opcode::ExitIf;
+  Exit.Operands = {P};
+  Exit.TakenProb = 3.0;
+  L.addInstruction(Exit);
+
+  VerifyOptions Options;
+  Options.RequireLoopControl = false;
+  DiagnosticReport Report = verifyLoopDiagnostics(L, Options);
+
+  // Both independent violations must be present — the verifier does not
+  // stop at the first one.
+  EXPECT_GE(Report.countId("V012"), 1u);
+  EXPECT_GE(Report.countId("V016"), 1u);
+  for (const Diagnostic &D : Report.diagnostics()) {
+    EXPECT_EQ(D.LoopName, "multi");
+    EXPECT_GE(D.BodyIndex, 0);
+    EXPECT_FALSE(D.Context.empty());
+  }
+
+  // The legacy string interface renders the same findings.
+  std::vector<std::string> Rendered = verifyLoop(L, Options);
+  EXPECT_EQ(Rendered.size(), Report.size());
+}
+
+TEST(VerifierDiagnostics, OutOfRangeRegisterDoesNotHideLaterFindings) {
+  Loop L("oor", SourceLanguage::C, 1, 64);
+  RegId A = L.addReg(RegClass::Float, "a");
+
+  Instruction Bad; // Operand id far out of range: V001.
+  Bad.Op = Opcode::FAdd;
+  Bad.Operands = {A, static_cast<RegId>(12345)};
+  Bad.Dest = L.addReg(RegClass::Float, "d");
+  L.addInstruction(Bad);
+
+  Instruction Exit; // Still reported despite the earlier wreckage: V016.
+  Exit.Op = Opcode::ExitIf;
+  Exit.Operands = {L.addReg(RegClass::Pred, "p")};
+  Exit.TakenProb = -1.0;
+  L.addInstruction(Exit);
+
+  VerifyOptions Options;
+  Options.RequireLoopControl = false;
+  DiagnosticReport Report = verifyLoopDiagnostics(L, Options);
+  EXPECT_GE(Report.countId("V001"), 1u);
+  EXPECT_GE(Report.countId("V016"), 1u);
+}
+
+//===----------------------------------------------------------------------===//
+// Source locations
+//===----------------------------------------------------------------------===//
+
+TEST(SourceLocations, ParserThreadsLinesIntoLoopsAndDiagnostics) {
+  std::string Text = "loop \"ubd\" lang=C nest=1 trip=128 rtrip=128 {\n"
+                     "  %f_y = fmul %f_x, %f_k\n"
+                     "  %f_x = load @0[stride=8, offset=0, size=8]\n"
+                     "  store %f_y, @1[stride=8, offset=0, size=8]\n";
+  Loop L = parseOne(Text + Tail);
+  EXPECT_EQ(L.sourceFile(), "test.loop");
+  EXPECT_EQ(L.headerLine(), 1u);
+  EXPECT_EQ(L.body()[0].SrcLine, 2u);
+  EXPECT_EQ(L.body()[1].SrcLine, 3u);
+
+  DiagnosticReport Report = lintLoop(L, lintOnly());
+  ASSERT_FALSE(Report.empty());
+  // The use-before-def diagnostic points at the fmul on line 2.
+  EXPECT_EQ(Report.diagnostics()[0].SrcLine, 2u);
+}
+
+TEST(SourceLocations, PhiLinesRecordedAndPropagatedThroughUnroll) {
+  std::string Text = "loop \"ddot\" lang=Fortran nest=1 trip=2048 "
+                     "rtrip=2048 {\n"
+                     "  phi %f_acc = [%f_acc.init, %f_acc.next]\n"
+                     "  %f_x = load @0[stride=8, offset=0, size=8]\n"
+                     "  %f_acc.next = fma %f_x, %f_x, %f_acc\n";
+  Loop L = parseOne(Text + Tail);
+  ASSERT_EQ(L.phis().size(), 1u);
+  EXPECT_EQ(L.phis()[0].SrcLine, 2u);
+
+  Loop Unrolled = unrollLoop(L, 2);
+  ASSERT_FALSE(Unrolled.phis().empty());
+  for (const PhiNode &Phi : Unrolled.phis())
+    EXPECT_EQ(Phi.SrcLine, 2u);
+  EXPECT_EQ(Unrolled.body()[0].SrcLine, 3u);
+}
+
+//===----------------------------------------------------------------------===//
+// Lint passes: one bad loop per diagnostic ID
+//===----------------------------------------------------------------------===//
+
+TEST(LintPasses, RegistryCoversAllIdsInOrder) {
+  const std::vector<LintPass> &Passes = lintPasses();
+  ASSERT_EQ(Passes.size(), 8u);
+  EXPECT_STREQ(Passes.front().Id, diag::LintUseBeforeDef);
+  EXPECT_STREQ(Passes.back().Id, diag::LintDepGraphLegality);
+  for (size_t I = 1; I < Passes.size(); ++I)
+    EXPECT_LT(std::string(Passes[I - 1].Id), std::string(Passes[I].Id));
+}
+
+TEST(LintPasses, L001UseBeforeDef) {
+  std::string Text = "loop \"ubd\" lang=C nest=1 trip=128 rtrip=128 {\n"
+                     "  %f_y = fmul %f_x, %f_k\n"
+                     "  %f_x = load @0[stride=8, offset=0, size=8]\n"
+                     "  store %f_y, @1[stride=8, offset=0, size=8]\n";
+  DiagnosticReport Report = lintLoop(parseOne(Text + Tail), lintOnly());
+  EXPECT_TRUE(firesExactly(Report, "L001")) << Report.renderText();
+  EXPECT_TRUE(Report.hasErrors());
+  // With the verifier enabled the structural V012 rides along.
+  DiagnosticReport Full = lintLoop(parseOne(Text + Tail));
+  EXPECT_GE(Full.countId("V012"), 1u);
+  EXPECT_GE(Full.countId("L001"), 1u);
+}
+
+TEST(LintPasses, L002MaybeUndefUnderPredication) {
+  std::string Text = "loop \"guarded\" lang=C nest=1 trip=128 rtrip=128 {\n"
+                     "  (%p_g) %f_t = fadd %f_a, %f_b\n"
+                     "  store %f_t, @0[stride=8, offset=0, size=8]\n";
+  DiagnosticReport Report = lintLoop(parseOne(Text + Tail), lintOnly());
+  EXPECT_TRUE(firesExactly(Report, "L002")) << Report.renderText();
+}
+
+TEST(LintPasses, L002SameGuardReadIsSafe) {
+  std::string Text = "loop \"guardok\" lang=C nest=1 trip=128 rtrip=128 {\n"
+                     "  (%p_g) %f_t = fadd %f_a, %f_b\n"
+                     "  (%p_g) store %f_t, @0[stride=8, offset=0, size=8]\n"
+                     "  store %f_a, @1[stride=8, offset=0, size=8]\n";
+  DiagnosticReport Report = lintLoop(parseOne(Text + Tail), lintOnly());
+  EXPECT_EQ(Report.countId("L002"), 0u) << Report.renderText();
+}
+
+TEST(LintPasses, L003DeadDef) {
+  std::string Text = "loop \"deadcode\" lang=C nest=1 trip=128 rtrip=128 {\n"
+                     "  %f_d = fadd %f_a, %f_b\n"
+                     "  store %f_a, @0[stride=8, offset=0, size=8]\n";
+  DiagnosticReport Report = lintLoop(parseOne(Text + Tail), lintOnly());
+  EXPECT_TRUE(firesExactly(Report, "L003")) << Report.renderText();
+  EXPECT_EQ(Report.noteCount(), 1u);
+}
+
+TEST(LintPasses, L004ConstantExit) {
+  std::string Text = "loop \"coldexit\" lang=C nest=1 trip=128 rtrip=128 {\n"
+                     "  exit_if %p_e prob=0.000000\n"
+                     "  store %f_v, @0[stride=8, offset=0, size=8]\n";
+  DiagnosticReport Report = lintLoop(parseOne(Text + Tail), lintOnly());
+  EXPECT_TRUE(firesExactly(Report, "L004")) << Report.renderText();
+
+  std::string Hot = "loop \"hotexit\" lang=C nest=1 trip=128 rtrip=128 {\n"
+                    "  exit_if %p_e prob=1.000000\n"
+                    "  store %f_v, @0[stride=8, offset=0, size=8]\n";
+  DiagnosticReport HotReport = lintLoop(parseOne(Hot + Tail), lintOnly());
+  EXPECT_GE(HotReport.countId("L004"), 1u);
+  EXPECT_GE(HotReport.warningCount(), 1u);
+}
+
+TEST(LintPasses, L005DeadPredicate) {
+  std::string Text = "loop \"deadpred\" lang=C nest=1 trip=128 rtrip=128 {\n"
+                     "  %p_c = icmp %i_a, %i_a\n"
+                     "  (%p_c) store %f_v, @0[stride=8, offset=0, size=8]\n";
+  DiagnosticReport Report = lintLoop(parseOne(Text + Tail), lintOnly());
+  EXPECT_TRUE(firesExactly(Report, "L005")) << Report.renderText();
+}
+
+TEST(LintPasses, L005ConstantPropagatesThroughCopies) {
+  std::string Text = "loop \"copypred\" lang=C nest=1 trip=128 rtrip=128 {\n"
+                     "  %p_c = fcmp %f_a, %f_a\n"
+                     "  %p_d = copy %p_c\n"
+                     "  (%p_d) store %f_v, @0[stride=8, offset=0, size=8]\n";
+  DiagnosticReport Report = lintLoop(parseOne(Text + Tail), lintOnly());
+  EXPECT_GE(Report.countId("L005"), 1u) << Report.renderText();
+}
+
+TEST(LintPasses, L006MemoryWaw) {
+  std::string Text = "loop \"waw\" lang=C nest=1 trip=128 rtrip=128 {\n"
+                     "  store %f_v, @0[stride=8, offset=0, size=8]\n"
+                     "  store %f_w, @0[stride=8, offset=0, size=8]\n";
+  DiagnosticReport Report = lintLoop(parseOne(Text + Tail), lintOnly());
+  EXPECT_TRUE(firesExactly(Report, "L006")) << Report.renderText();
+}
+
+TEST(LintPasses, L006StrideZeroStoreSerializes) {
+  std::string Text = "loop \"accum\" lang=C nest=1 trip=128 rtrip=128 {\n"
+                     "  store %f_v, @0[stride=0, offset=0, size=8]\n";
+  DiagnosticReport Report = lintLoop(parseOne(Text + Tail), lintOnly());
+  EXPECT_TRUE(firesExactly(Report, "L006")) << Report.renderText();
+}
+
+TEST(LintPasses, L007StrideShape) {
+  std::string Text = "loop \"strides\" lang=C nest=1 trip=128 rtrip=128 {\n"
+                     "  %f_a = load @0[stride=8, offset=0, size=8]\n"
+                     "  %f_b = load @0[stride=16, offset=0, size=8]\n"
+                     "  %f_s = fadd %f_a, %f_b\n"
+                     "  store %f_s, @1[stride=8, offset=0, size=8]\n";
+  DiagnosticReport Report = lintLoop(parseOne(Text + Tail), lintOnly());
+  EXPECT_TRUE(firesExactly(Report, "L007")) << Report.renderText();
+}
+
+TEST(LintPasses, L008DependenceLegality) {
+  std::string Text = "loop \"alias\" lang=C nest=1 trip=128 rtrip=128 {\n"
+                     "  %f_x = load @0[stride=8, offset=0, size=8]\n"
+                     "  %f_y = load @2[stride=8, offset=0, size=8]\n"
+                     "  %f_s = fadd %f_x, %f_y\n"
+                     "  store %f_s, @1[stride=8, offset=0, size=8]\n";
+  Loop L = parseOne(Text + Tail);
+
+  // A graph built for the loop validates cleanly...
+  DependenceGraph Graph(L);
+  DiagnosticReport Clean;
+  checkDependenceLegality(L, Graph, Clean);
+  EXPECT_TRUE(Clean.empty()) << Clean.renderText();
+
+  // ...but after retargeting the second load onto the stored array, the
+  // stale graph is missing a required memory dependence edge.
+  L.body()[1].Mem.BaseSym = 1;
+  DiagnosticReport Stale;
+  checkDependenceLegality(L, Graph, Stale);
+  EXPECT_TRUE(firesExactly(Stale, "L008")) << Stale.renderText();
+  EXPECT_TRUE(Stale.hasErrors());
+}
+
+TEST(LintPasses, PassFilterRunsOnlySelectedPasses) {
+  // This loop triggers both L003 (dead value) and L006 (stride-0 store).
+  std::string Text = "loop \"both\" lang=C nest=1 trip=128 rtrip=128 {\n"
+                     "  %f_d = fadd %f_a, %f_b\n"
+                     "  store %f_v, @0[stride=0, offset=0, size=8]\n";
+  LintOptions Options = lintOnly();
+  Options.Passes = {"L006"};
+  DiagnosticReport Report = lintLoop(parseOne(Text + Tail), Options);
+  EXPECT_TRUE(firesExactly(Report, "L006")) << Report.renderText();
+  EXPECT_EQ(Report.countId("L003"), 0u);
+}
+
+TEST(LintPasses, CleanLoopProducesNoDiagnostics) {
+  std::string Text = "loop \"daxpy\" lang=C nest=1 trip=1024 rtrip=1024 {\n"
+                     "  %f_x = load @0[stride=8, offset=0, size=8]\n"
+                     "  %f_y = load @1[stride=8, offset=0, size=8]\n"
+                     "  %f_r = fma %f_alpha, %f_x, %f_y\n"
+                     "  store %f_r, @1[stride=8, offset=0, size=8]\n";
+  DiagnosticReport Report = lintLoop(parseOne(Text + Tail));
+  EXPECT_TRUE(Report.empty()) << Report.renderText();
+}
+
+//===----------------------------------------------------------------------===//
+// Post-unroll invariant checker
+//===----------------------------------------------------------------------===//
+
+Loop makeDaxpy() {
+  LoopBuilder B("daxpy", SourceLanguage::C, 1, 1024);
+  RegId Alpha = B.liveIn(RegClass::Float, "alpha");
+  RegId X = B.load(RegClass::Float, {/*BaseSym=*/0, /*Stride=*/8});
+  RegId Y = B.load(RegClass::Float, {/*BaseSym=*/1, /*Stride=*/8});
+  RegId R = B.fma(Alpha, X, Y);
+  B.store(R, {/*BaseSym=*/1, /*Stride=*/8});
+  return B.finalize();
+}
+
+Loop makeDot() {
+  LoopBuilder B("dot", SourceLanguage::C, 1, 2048);
+  RegId Acc = B.phi(RegClass::Float, "acc");
+  RegId X = B.load(RegClass::Float, {/*BaseSym=*/0, /*Stride=*/8});
+  RegId Y = B.load(RegClass::Float, {/*BaseSym=*/1, /*Stride=*/8});
+  B.setPhiRecur(Acc, B.fma(X, Y, Acc));
+  return B.finalize();
+}
+
+TEST(UnrollInvariants, CorrectUnrollsPassAllChecks) {
+  for (unsigned Factor : {1u, 2u, 4u, 8u}) {
+    Loop Daxpy = makeDaxpy();
+    DiagnosticReport Report =
+        checkUnrollInvariants(Daxpy, unrollLoop(Daxpy, Factor), Factor);
+    EXPECT_TRUE(Report.empty()) << "factor " << Factor << ":\n"
+                                << Report.renderText();
+
+    Loop Dot = makeDot();
+    Report = checkUnrollInvariants(Dot, unrollLoop(Dot, Factor), Factor);
+    EXPECT_TRUE(Report.empty()) << "factor " << Factor << ":\n"
+                                << Report.renderText();
+  }
+}
+
+TEST(UnrollInvariants, X001DetectsShapeDamage) {
+  Loop L = makeDaxpy();
+  Loop U = unrollLoop(L, 4);
+  U.body().pop_back(); // Drop the backedge branch.
+  DiagnosticReport Report = checkUnrollInvariants(L, U, 4);
+  EXPECT_GE(Report.countId("X001"), 1u) << Report.renderText();
+}
+
+TEST(UnrollInvariants, X002DetectsRewiredOperands) {
+  Loop L = makeDaxpy();
+  Loop U = unrollLoop(L, 4);
+  // The fma of replica 0 is body index 2; swapping its multiplicands
+  // breaks the def-use isomorphism with the original body.
+  ASSERT_EQ(U.body()[2].Op, Opcode::FMA);
+  std::swap(U.body()[2].Operands[0], U.body()[2].Operands[1]);
+  DiagnosticReport Report = checkUnrollInvariants(L, U, 4);
+  EXPECT_GE(Report.countId("X002"), 1u) << Report.renderText();
+}
+
+TEST(UnrollInvariants, X003DetectsWrongStrideScaling) {
+  Loop L = makeDaxpy();
+  Loop U = unrollLoop(L, 4);
+  U.body()[0].Mem.Stride += 8;
+  DiagnosticReport Report = checkUnrollInvariants(L, U, 4);
+  EXPECT_GE(Report.countId("X003"), 1u) << Report.renderText();
+
+  Loop U2 = unrollLoop(L, 4);
+  U2.body()[0].Mem.Offset += 4;
+  Report = checkUnrollInvariants(L, U2, 4);
+  EXPECT_GE(Report.countId("X003"), 1u) << Report.renderText();
+}
+
+TEST(UnrollInvariants, X004DetectsLostLiveOuts) {
+  Loop L = makeDot();
+  Loop U = unrollLoop(L, 4);
+  // A splittable reduction must survive as one accumulator per replica.
+  EXPECT_EQ(U.phis().size(), 4u);
+  U.phis().clear();
+  DiagnosticReport Report = checkUnrollInvariants(L, U, 4);
+  EXPECT_GE(Report.countId("X004"), 1u) << Report.renderText();
+}
+
+TEST(UnrollInvariants, X005DetectsTripMiscount) {
+  Loop L = makeDaxpy();
+  Loop U = unrollLoop(L, 4);
+  U.setTripCount(U.tripCount() + 1);
+  DiagnosticReport Report = checkUnrollInvariants(L, U, 4);
+  EXPECT_GE(Report.countId("X005"), 1u) << Report.renderText();
+}
+
+int HookCalls = 0;
+void countingHook(const Loop &, const Loop &, unsigned) { ++HookCalls; }
+
+TEST(UnrollInvariants, AuditHookFiresOnEveryUnrollAndGuardRestores) {
+  Loop L = makeDaxpy();
+  HookCalls = 0;
+  UnrollAuditHook Original = setUnrollAuditHook(countingHook);
+  unrollLoop(L, 2);
+  EXPECT_EQ(HookCalls, 1);
+  {
+    // The guard swaps in the invariant checker; a correct unroll passes.
+    UnrollAuditGuard Guard;
+    EXPECT_NO_THROW(unrollLoop(L, 4));
+    EXPECT_EQ(HookCalls, 1);
+  }
+  unrollLoop(L, 2); // Guard restored the counting hook on scope exit.
+  EXPECT_EQ(HookCalls, 2);
+  setUnrollAuditHook(Original);
+}
+
+//===----------------------------------------------------------------------===//
+// Full-corpus sweep
+//===----------------------------------------------------------------------===//
+
+TEST(CorpusAudit, ShippedCorpusLintsWithoutErrors) {
+  CorpusAuditResult Result = auditBenchmarks(buildCorpus());
+  EXPECT_GE(Result.LoopsAudited, 2000u);
+  EXPECT_EQ(Result.Errors, 0u) << "first finding:\n"
+                               << (Result.Findings.empty()
+                                       ? std::string()
+                                       : Result.Findings[0].Report
+                                             .renderText());
+  EXPECT_TRUE(Result.clean());
+}
+
+TEST(CorpusAudit, SweepIsDeterministicAcrossThreadCounts) {
+  std::vector<Benchmark> Corpus = buildCorpus();
+  auto Render = [](const CorpusAuditResult &Result) {
+    std::string Out;
+    for (const AuditedLoop &Audited : Result.Findings) {
+      Out += Audited.Benchmark;
+      Out += '/';
+      Out += Audited.LoopName;
+      Out += '\n';
+      Out += Audited.Report.renderText();
+    }
+    return Out;
+  };
+
+  ThreadPool::setGlobalThreads(1);
+  std::string Serial = Render(auditBenchmarks(Corpus));
+  ThreadPool::setGlobalThreads(4);
+  std::string Parallel = Render(auditBenchmarks(Corpus));
+  ThreadPool::setGlobalThreads(0);
+
+  EXPECT_FALSE(Serial.empty()); // The corpus has warnings/notes.
+  EXPECT_EQ(Serial, Parallel);
+}
+
+} // namespace
