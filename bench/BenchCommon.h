@@ -18,6 +18,7 @@
 #ifndef METAOPT_BENCH_BENCHCOMMON_H
 #define METAOPT_BENCH_BENCHCOMMON_H
 
+#include "cache/SimCache.h"
 #include "concurrency/ThreadPool.h"
 #include "core/driver/Heuristics.h"
 #include "core/driver/Pipeline.h"
@@ -42,15 +43,37 @@ inline void applyThreadsFlag(const CommandLine &Args) {
         static_cast<unsigned>(Args.getInt("threads", 0)));
 }
 
+/// Applies the shared simulation-cache flags: --cache-dir=<dir> attaches
+/// the persistent tier of the process-global SimCache (and is also where
+/// the dataset CSVs go), --no-sim-cache disables the cache entirely so
+/// the cache-on/cache-off byte-identity invariant can be spot-checked on
+/// any bench. Without either flag the global cache keeps its environment
+/// defaults (METAOPT_SIM_CACHE / METAOPT_CACHE_DIR).
+inline void applySimCacheFlags(const CommandLine &Args) {
+  if (Args.has("no-sim-cache")) {
+    SimCacheConfig Config;
+    Config.Enabled = false;
+    SimCache::configureGlobal(Config);
+  } else if (Args.has("cache-dir")) {
+    SimCacheConfig Config;
+    Config.PersistentDir = Args.getString("cache-dir");
+    SimCache::configureGlobal(Config);
+  }
+}
+
 /// Builds the standard pipeline; --quick shrinks the corpus and disables
-/// the disk cache, --threads=<n> sets the parallelism.
+/// the disk cache, --threads=<n> sets the parallelism, --cache-dir /
+/// --no-sim-cache control the simulation cache.
 inline std::unique_ptr<Pipeline> makePipeline(const CommandLine &Args) {
   applyThreadsFlag(Args);
+  applySimCacheFlags(Args);
   PipelineOptions Options;
   if (Args.has("quick")) {
     Options.Corpus.MinLoopsPerBenchmark = 6;
     Options.Corpus.MaxLoopsPerBenchmark = 10;
     Options.CacheDir = "";
+  } else if (Args.has("cache-dir")) {
+    Options.CacheDir = Args.getString("cache-dir");
   }
   return std::make_unique<Pipeline>(Options);
 }

@@ -14,6 +14,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "cache/SimCache.h"
 #include "core/driver/Pipeline.h"
 #include "core/features/FeatureExtractor.h"
 #include "core/ml/Lsh.h"
@@ -216,12 +217,18 @@ static void BM_LabelOneLoop(benchmark::State &State) {
   Options.MinLoopsPerBenchmark = 2;
   Options.MaxLoopsPerBenchmark = 2;
   std::vector<Benchmark> Corpus = buildCorpus(Options);
-  const CorpusLoop &Entry = Corpus.front().Loops.front();
+  const Benchmark &Bench = Corpus.front();
+  const CorpusLoop &Entry = Bench.Loops.front();
   MachineModel Machine(itanium2Config());
   LabelingOptions Labeling;
+  // A disabled cache keeps this measuring the simulator, not the cache.
+  SimCacheConfig CacheConfig;
+  CacheConfig.Enabled = false;
+  SimCache NoCache(CacheConfig);
+  Labeling.Cache = &NoCache;
   for (auto _ : State)
     benchmark::DoNotOptimize(
-        measureLoopAtAllFactors(Entry, Machine, Labeling));
+        measureLoopAtAllFactors(Bench, Entry, Machine, Labeling));
 }
 BENCHMARK(BM_LabelOneLoop)->Unit(benchmark::kMicrosecond);
 

@@ -8,16 +8,26 @@
 // work-stealing pool at 1/2/4/8 threads, printed as JSON rows (one object
 // per line) so dashboards can ingest them directly. Also re-verifies the
 // determinism contract: every thread count must produce the byte-identical
-// dataset CSV the serial run produces.
+// dataset CSV the serial run produces, with or without the simulation
+// cache (cache/SimCache.h).
+//
+// A second experiment exercises the content-addressed simulation cache on
+// a repeated labeling sweep: an uncached baseline, a cold cached run
+// (every simulation is a miss+insert), and a warm cached run (every
+// simulation is a hit), each row carrying the cache's hit/miss/insert
+// counters so the warm-cache speedup is measured, not asserted.
 //
 // Flags:
 //   --full           label the whole 72-benchmark corpus (default: a
 //                    reduced slice so the bench finishes quickly)
 //   --swp            also time the software-pipelining configuration
 //   --threads=<csv>  comma-separated thread counts (default "1,2,4,8")
+//   --cache-dir=<d>  attach the persistent cache tier for the cache
+//                    experiment (a second process run then starts warm)
 //
 //===----------------------------------------------------------------------===//
 
+#include "cache/SimCache.h"
 #include "concurrency/ThreadPool.h"
 #include "core/driver/LabelCollector.h"
 #include "support/CommandLine.h"
@@ -57,11 +67,15 @@ void benchLabeling(const std::vector<Benchmark> &Corpus, bool EnableSwp,
 
   // The first requested thread count is the baseline for both the speedup
   // column and the determinism check, so the check is meaningful even when
-  // 1 is not in the list.
+  // 1 is not in the list. Each run gets its own cold cache so every row
+  // measures the same work (simulate + insert) and the scaling numbers
+  // stay comparable across thread counts.
   double BaselineSeconds = 0.0;
   std::string BaselineCsv;
   for (unsigned Threads : ThreadCounts) {
     ThreadPool::setGlobalThreads(Threads);
+    SimCache RunCache;
+    Options.Cache = &RunCache;
     auto Start = std::chrono::steady_clock::now();
     size_t TotalLoops = 0;
     Dataset Data = collectLabels(Corpus, Options, &TotalLoops);
@@ -74,15 +88,84 @@ void benchLabeling(const std::vector<Benchmark> &Corpus, bool EnableSwp,
     }
     bool Deterministic = Csv == BaselineCsv;
     double Speedup = BaselineSeconds > 0.0 ? BaselineSeconds / Seconds : 1.0;
+    SimCacheStats Stats = RunCache.stats();
     std::printf("{\"experiment\": \"labeling\", \"corpus\": \"%s\", "
                 "\"swp\": %s, \"threads\": %u, \"loops\": %zu, "
                 "\"usable\": %zu, \"seconds\": %.3f, "
-                "\"speedup_vs_serial\": %.2f, \"csv_matches_serial\": %s}\n",
+                "\"speedup_vs_serial\": %.2f, \"csv_matches_serial\": %s, "
+                "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+                "\"cache_inserts\": %llu}\n",
                 Full ? "full" : "quick", EnableSwp ? "true" : "false",
                 Threads, TotalLoops, Data.size(), Seconds, Speedup,
-                Deterministic ? "true" : "false");
+                Deterministic ? "true" : "false",
+                static_cast<unsigned long long>(Stats.Hits),
+                static_cast<unsigned long long>(Stats.Misses),
+                static_cast<unsigned long long>(Stats.Inserts));
     std::fflush(stdout);
   }
+}
+
+/// One labeling sweep with \p Options; prints a labeling_cache JSON row.
+/// Returns the dataset CSV so phases can be compared byte-for-byte.
+std::string cachePhase(const std::vector<Benchmark> &Corpus,
+                       LabelingOptions &Options, const char *Phase,
+                       SimCache *Cache, double *InOutColdSeconds,
+                       const std::string &ReferenceCsv) {
+  // The warm-start count is set at cache construction; read it before
+  // resetting the per-phase counters.
+  uint64_t PersistentLoaded = Cache ? Cache->stats().PersistentLoaded : 0;
+  if (Cache)
+    Cache->resetStats();
+  Options.Cache = Cache;
+  auto Start = std::chrono::steady_clock::now();
+  Dataset Data = collectLabels(Corpus, Options);
+  double Seconds = secondsSince(Start);
+  if (std::string(Phase) == "cold")
+    *InOutColdSeconds = Seconds;
+  double SpeedupVsCold =
+      *InOutColdSeconds > 0.0 && Seconds > 0.0 ? *InOutColdSeconds / Seconds
+                                               : 1.0;
+  SimCacheStats Stats = Cache ? Cache->stats() : SimCacheStats{};
+  std::string Csv = Data.toCsv();
+  bool Matches = ReferenceCsv.empty() || Csv == ReferenceCsv;
+  std::printf("{\"experiment\": \"labeling_cache\", \"phase\": \"%s\", "
+              "\"seconds\": %.3f, \"speedup_vs_cold\": %.2f, "
+              "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+              "\"cache_inserts\": %llu, \"cache_entries\": %zu, "
+              "\"persistent_loaded\": %llu, \"csv_matches_uncached\": %s}\n",
+              Phase, Seconds, SpeedupVsCold,
+              static_cast<unsigned long long>(Stats.Hits),
+              static_cast<unsigned long long>(Stats.Misses),
+              static_cast<unsigned long long>(Stats.Inserts),
+              Cache ? Cache->size() : 0,
+              static_cast<unsigned long long>(PersistentLoaded),
+              Matches ? "true" : "false");
+  std::fflush(stdout);
+  return Csv;
+}
+
+/// The repeated labeling sweep: uncached baseline, cold cached run, warm
+/// cached run. The warm run's speedup_vs_cold is the cache's measured
+/// payoff; every phase must produce the byte-identical dataset CSV.
+void benchLabelingCache(const std::vector<Benchmark> &Corpus, bool EnableSwp,
+                        const std::string &CacheDir) {
+  ThreadPool::setGlobalThreads(ThreadPool::defaultThreadCount());
+  LabelingOptions Options;
+  Options.EnableSwp = EnableSwp;
+
+  SimCacheConfig Disabled;
+  Disabled.Enabled = false;
+  SimCache NoCache(Disabled);
+
+  SimCacheConfig Enabled;
+  Enabled.PersistentDir = CacheDir;
+  SimCache Cache(Enabled);
+
+  double ColdSeconds = 0.0;
+  std::string Reference =
+      cachePhase(Corpus, Options, "uncached", &NoCache, &ColdSeconds, "");
+  cachePhase(Corpus, Options, "cold", &Cache, &ColdSeconds, Reference);
+  cachePhase(Corpus, Options, "warm", &Cache, &ColdSeconds, Reference);
 }
 
 } // namespace
@@ -103,5 +186,11 @@ int main(int Argc, char **Argv) {
   benchLabeling(Corpus, /*EnableSwp=*/false, ThreadCounts, Full);
   if (Args.has("swp"))
     benchLabeling(Corpus, /*EnableSwp=*/true, ThreadCounts, Full);
+
+  benchLabelingCache(Corpus, /*EnableSwp=*/false,
+                     Args.getString("cache-dir", ""));
+  if (Args.has("swp"))
+    benchLabelingCache(Corpus, /*EnableSwp=*/true,
+                       Args.getString("cache-dir", ""));
   return 0;
 }

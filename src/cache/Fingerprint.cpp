@@ -1,0 +1,79 @@
+//===- cache/Fingerprint.cpp ----------------------------------------------===//
+
+#include "cache/Fingerprint.h"
+
+#include <cstring>
+
+using namespace metaopt;
+
+namespace {
+
+/// The splitmix64 finalizer: a full-avalanche 64-bit permutation.
+uint64_t mix(uint64_t X) {
+  X ^= X >> 30;
+  X *= 0xbf58476d1ce4e5b9ULL;
+  X ^= X >> 27;
+  X *= 0x94d049bb133111ebULL;
+  X ^= X >> 31;
+  return X;
+}
+
+} // namespace
+
+void FingerprintHasher::word(uint64_t W) {
+  // Two lanes absorb each word through different permutation chains so a
+  // collision must defeat both simultaneously (~2^-128 by chance).
+  Lo = mix(Lo ^ W);
+  Hi = mix(Hi + (W ^ 0x94d049bb133111ebULL));
+}
+
+void FingerprintHasher::bytes(const void *Data, size_t Size) {
+  const unsigned char *Bytes = static_cast<const unsigned char *>(Data);
+  TotalBytes += Size;
+  for (size_t I = 0; I < Size; ++I) {
+    Pending |= static_cast<uint64_t>(Bytes[I]) << (8 * PendingBytes);
+    if (++PendingBytes == 8) {
+      word(Pending);
+      Pending = 0;
+      PendingBytes = 0;
+    }
+  }
+}
+
+void FingerprintHasher::str(std::string_view Str) {
+  u64(Str.size());
+  bytes(Str.data(), Str.size());
+}
+
+void FingerprintHasher::u64(uint64_t Value) {
+  unsigned char Packed[8];
+  for (int I = 0; I < 8; ++I)
+    Packed[I] = static_cast<unsigned char>(Value >> (8 * I));
+  bytes(Packed, sizeof(Packed));
+}
+
+void FingerprintHasher::i64(int64_t Value) {
+  u64(static_cast<uint64_t>(Value));
+}
+
+void FingerprintHasher::f64(double Value) {
+  uint64_t Bits;
+  static_assert(sizeof(Bits) == sizeof(Value));
+  std::memcpy(&Bits, &Value, sizeof(Bits));
+  u64(Bits);
+}
+
+void FingerprintHasher::boolean(bool Value) { u64(Value ? 1 : 0); }
+
+Fingerprint FingerprintHasher::digest() const {
+  // Flush the partial word and the total length without disturbing the
+  // streaming state (digest must be callable repeatedly).
+  uint64_t DLo = Lo, DHi = Hi;
+  if (PendingBytes > 0) {
+    DLo = mix(DLo ^ Pending);
+    DHi = mix(DHi + (Pending ^ 0x94d049bb133111ebULL));
+  }
+  DLo = mix(DLo ^ TotalBytes);
+  DHi = mix(DHi + (TotalBytes ^ 0x94d049bb133111ebULL));
+  return {DLo, DHi};
+}

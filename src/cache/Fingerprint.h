@@ -1,0 +1,86 @@
+//===- cache/Fingerprint.h - Streaming 128-bit fingerprints -----*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small streaming hasher producing 128-bit fingerprints, used as the
+/// content address of the simulation cache (cache/SimCache.h). The hash is
+/// not cryptographic; it only needs to make accidental collisions across a
+/// corpus of at most millions of distinct (loop, factor, machine, context)
+/// tuples vanishingly unlikely, and to be byte-for-byte reproducible across
+/// platforms, compilers, and processes so persistent cache files remain
+/// valid. Inputs are therefore packed little-endian explicitly, doubles are
+/// hashed by their IEEE-754 bit pattern, and strings are length-prefixed so
+/// concatenation cannot alias ("ab"+"c" vs "a"+"bc").
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_CACHE_FINGERPRINT_H
+#define METAOPT_CACHE_FINGERPRINT_H
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace metaopt {
+
+/// A 128-bit content fingerprint (two independent 64-bit lanes).
+struct Fingerprint {
+  uint64_t Lo = 0;
+  uint64_t Hi = 0;
+
+  friend bool operator==(const Fingerprint &A, const Fingerprint &B) {
+    return A.Lo == B.Lo && A.Hi == B.Hi;
+  }
+  friend bool operator!=(const Fingerprint &A, const Fingerprint &B) {
+    return !(A == B);
+  }
+  friend bool operator<(const Fingerprint &A, const Fingerprint &B) {
+    return A.Hi != B.Hi ? A.Hi < B.Hi : A.Lo < B.Lo;
+  }
+};
+
+/// Accumulates typed inputs into a Fingerprint. Feed order matters; the
+/// digest also folds in the total byte length so a stream cannot alias a
+/// prefix of a longer one.
+class FingerprintHasher {
+public:
+  /// Hashes \p Size raw bytes (packed into little-endian 64-bit words).
+  void bytes(const void *Data, size_t Size);
+
+  /// Hashes a length-prefixed string.
+  void str(std::string_view Str);
+
+  /// Hashes one unsigned 64-bit value.
+  void u64(uint64_t Value);
+
+  /// Hashes a signed value via its two's-complement bit pattern.
+  void i64(int64_t Value);
+
+  /// Hashes a double via its IEEE-754 bit pattern (NaNs hash by payload).
+  void f64(double Value);
+
+  /// Hashes a boolean as 0/1.
+  void boolean(bool Value);
+
+  /// Returns the fingerprint of everything fed so far. The hasher may
+  /// keep accumulating afterwards; digest() is non-destructive.
+  Fingerprint digest() const;
+
+private:
+  void word(uint64_t W);
+
+  uint64_t Lo = 0x9e3779b97f4a7c15ULL;
+  uint64_t Hi = 0xbf58476d1ce4e5b9ULL;
+  uint64_t TotalBytes = 0;
+  uint64_t Pending = 0;
+  unsigned PendingBytes = 0;
+};
+
+} // namespace metaopt
+
+#endif // METAOPT_CACHE_FINGERPRINT_H

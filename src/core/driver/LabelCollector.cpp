@@ -3,27 +3,33 @@
 #include "core/driver/LabelCollector.h"
 
 #include "analysis/lint/UnrollInvariants.h"
+#include "cache/SimCache.h"
 #include "concurrency/Parallel.h"
 #include "core/features/FeatureExtractor.h"
-#include "sim/Simulator.h"
 #include "support/Statistics.h"
-
-#include <cassert>
 
 using namespace metaopt;
 
 std::array<double, MaxUnrollFactor>
-metaopt::measureLoopAtAllFactors(const CorpusLoop &Entry,
+metaopt::measureLoopAtAllFactors(const Benchmark &Bench,
+                                 const CorpusLoop &Entry,
                                  const MachineModel &Machine,
                                  const LabelingOptions &Options) {
-  // One deterministic noise stream per loop: re-labeling the corpus
-  // reproduces identical datasets, serial or parallel.
-  Rng Noise = Rng::splitStream(Options.MeasurementSeed,
-                               Rng::hashString(Entry.TheLoop.name()));
+  // One deterministic noise stream per (benchmark, loop): re-labeling the
+  // corpus reproduces identical datasets, serial or parallel. The
+  // benchmark name is mixed into the stream index because loop names are
+  // only required to be unique corpus-wide by buildCorpus's check —
+  // seeding by loop name alone would hand two same-named loops in
+  // different benchmarks identical noise, silently correlating their
+  // labels.
+  Rng Noise = Rng::splitStream(
+      Options.MeasurementSeed,
+      Rng::hashString(Bench.Name + "\x1f" + Entry.TheLoop.name()));
   std::array<double, MaxUnrollFactor> Medians = {};
   for (unsigned Factor = 1; Factor <= MaxUnrollFactor; ++Factor) {
-    SimResult Sim = simulateLoop(Entry.TheLoop, Factor, Machine, Entry.Ctx,
-                                 Options.EnableSwp);
+    SimResult Sim = cachedSimulateLoop(Entry.TheLoop, Factor, Machine,
+                                       Entry.Ctx, Options.EnableSwp,
+                                       Options.Cache);
     double TotalCycles = Sim.Cycles * static_cast<double>(Entry.Executions);
     Medians[Factor - 1] = measureMedian(TotalCycles, Options.Protocol,
                                         Noise);
@@ -41,15 +47,15 @@ struct LabeledLoop {
 
 /// Labels one loop: measure at every factor, pick the best, apply the
 /// paper's usability filters. Pure function of its arguments (the noise
-/// stream is derived from the loop's name), so loops can be labeled in
-/// any order on any thread.
+/// stream is derived from the benchmark and loop names), so loops can be
+/// labeled in any order on any thread.
 static LabeledLoop labelOneLoop(const Benchmark &Bench,
                                 const CorpusLoop &Entry,
                                 const MachineModel &Machine,
                                 const LabelingOptions &Options) {
   LabeledLoop Result;
   std::array<double, MaxUnrollFactor> Medians =
-      measureLoopAtAllFactors(Entry, Machine, Options);
+      measureLoopAtAllFactors(Bench, Entry, Machine, Options);
 
   unsigned Best = 1;
   double BestCycles = Medians[0];
@@ -111,5 +117,10 @@ Dataset metaopt::collectLabels(const std::vector<Benchmark> &Corpus,
       Data.add(std::move(L.Ex));
   if (OutTotalLoops)
     *OutTotalLoops = Loops.size();
+
+  // Warm-start later processes: flush new simulation results to the
+  // persistent tier (no-op for in-memory-only caches).
+  (Options.Cache ? *Options.Cache : SimCache::global())
+      .savePersistentIfDirty();
   return Data;
 }

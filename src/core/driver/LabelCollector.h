@@ -25,6 +25,8 @@
 
 namespace metaopt {
 
+class SimCache;
+
 /// Label-collection configuration.
 struct LabelingOptions {
   bool EnableSwp = false;           ///< Figure 4 (off) vs Figure 5 (on).
@@ -34,11 +36,19 @@ struct LabelingOptions {
   /// better than the average (1.05x) over all unroll factors".
   double MinBestVsAverage = 1.05;
   uint64_t MeasurementSeed = 0x10adedD1CEull; // Per-loop noise streams.
+  /// Simulation cache the sweep's simulateLoop calls go through; null
+  /// selects the process-global SimCache::global(). The cached and
+  /// uncached sweeps produce byte-identical datasets (cache/SimCache.h).
+  SimCache *Cache = nullptr;
 };
 
-/// Labels one loop; returns the measured medians per factor.
+/// Labels one loop of \p Bench; returns the measured medians per factor.
+/// The loop's measurement-noise stream is seeded from the benchmark name
+/// *and* the loop name, so two same-named loops in different benchmarks
+/// can never share a noise stream.
 std::array<double, MaxUnrollFactor>
-measureLoopAtAllFactors(const CorpusLoop &Entry, const MachineModel &Machine,
+measureLoopAtAllFactors(const Benchmark &Bench, const CorpusLoop &Entry,
+                        const MachineModel &Machine,
                         const LabelingOptions &Options);
 
 /// Labels every usable loop in the corpus into a Dataset. Unusable loops

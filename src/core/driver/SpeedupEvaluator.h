@@ -24,6 +24,8 @@
 
 namespace metaopt {
 
+class SimCache;
+
 /// Per-benchmark speedup rows for one policy column.
 struct SpeedupRow {
   std::string Benchmark;
@@ -53,14 +55,27 @@ struct SpeedupOptions {
 
 /// Total modeled runtime of \p Bench when loops are unrolled per
 /// \p Policy. \p NonLoopCycles is the benchmark's fixed non-loop time.
+/// Loop simulations go through \p Cache (null: the process-global
+/// simulation cache). Throws std::runtime_error when the policy produces
+/// an out-of-range factor — in every build mode, since a garbage factor
+/// would otherwise corrupt the unroller under NDEBUG.
 double benchmarkCycles(const Benchmark &Bench, const UnrollHeuristic &Policy,
                        const MachineModel &Machine, bool EnableSwp,
-                       double NonLoopCycles);
+                       double NonLoopCycles, SimCache *Cache = nullptr);
+
+/// Non-loop time derived from a precomputed baseline loop time and the
+/// benchmark's NonLoopFraction. Throws std::domain_error when the
+/// fraction is not in [0, 1) — a division by zero or a negative time
+/// otherwise.
+double nonLoopFromLoopCycles(const Benchmark &Bench, double LoopCycles);
 
 /// Non-loop time derived from the baseline policy's loop time and the
-/// benchmark's NonLoopFraction.
+/// benchmark's NonLoopFraction. Convenience wrapper over
+/// benchmarkCycles + nonLoopFromLoopCycles; evaluateSpeedups computes the
+/// baseline loop time once per row and derives both values from it.
 double nonLoopCycles(const Benchmark &Bench, const UnrollHeuristic &Baseline,
-                     const MachineModel &Machine, bool EnableSwp);
+                     const MachineModel &Machine, bool EnableSwp,
+                     SimCache *Cache = nullptr);
 
 /// Runs the full Figure 4/5 protocol over the benchmarks named in
 /// \p EvalNames (normally the 24 SPEC 2000 programs): per benchmark,

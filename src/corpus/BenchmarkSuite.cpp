@@ -5,6 +5,8 @@
 #include <algorithm>
 #include <cassert>
 #include <cmath>
+#include <stdexcept>
+#include <unordered_set>
 
 using namespace metaopt;
 
@@ -248,9 +250,28 @@ CorpusLoop makeLoop(const BenchmarkSpecEntry &Spec, int Index,
 
 } // namespace
 
+std::vector<std::string>
+metaopt::duplicateLoopNames(const std::vector<Benchmark> &Corpus) {
+  std::unordered_set<std::string> Seen, Reported;
+  std::vector<std::string> Duplicates;
+  for (const Benchmark &Bench : Corpus)
+    for (const CorpusLoop &Entry : Bench.Loops) {
+      const std::string &Name = Entry.TheLoop.name();
+      if (!Seen.insert(Name).second && Reported.insert(Name).second)
+        Duplicates.push_back(Name);
+    }
+  return Duplicates;
+}
+
 std::vector<Benchmark> metaopt::buildCorpus(const CorpusOptions &Options) {
-  assert(Options.MinLoopsPerBenchmark >= 1 &&
-         Options.MinLoopsPerBenchmark <= Options.MaxLoopsPerBenchmark);
+  // Checked in every build mode: a Min > Max range would feed
+  // Rng::nextBelow a zero bound below, which is undefined.
+  if (Options.MinLoopsPerBenchmark < 1 ||
+      Options.MinLoopsPerBenchmark > Options.MaxLoopsPerBenchmark)
+    throw std::invalid_argument(
+        "buildCorpus: loop-count range [" +
+        std::to_string(Options.MinLoopsPerBenchmark) + ", " +
+        std::to_string(Options.MaxLoopsPerBenchmark) + "] is malformed");
   std::vector<Benchmark> Corpus;
   Corpus.reserve(NumSpecs);
   for (const BenchmarkSpecEntry &Spec : Specs) {
@@ -277,6 +298,16 @@ std::vector<Benchmark> metaopt::buildCorpus(const CorpusOptions &Options) {
       Bench.Loops.push_back(makeLoop(Spec, Index, Weights, Generator));
     Corpus.push_back(std::move(Bench));
   }
+
+  // Loop names are the join key everywhere downstream (oracle replay,
+  // dataset/corpus joins, measurement-noise streams); refuse to hand out
+  // a corpus that violates uniqueness rather than corrupting results.
+  std::vector<std::string> Duplicates = duplicateLoopNames(Corpus);
+  if (!Duplicates.empty())
+    throw std::logic_error("buildCorpus: duplicate loop name '" +
+                           Duplicates.front() + "' (" +
+                           std::to_string(Duplicates.size()) +
+                           " duplicated name(s) in total)");
   return Corpus;
 }
 

@@ -58,8 +58,19 @@ struct CorpusOptions {
   int MaxLoopsPerBenchmark = 55;
 };
 
-/// Builds all 72 benchmarks deterministically from the options.
+/// Builds all 72 benchmarks deterministically from the options. Throws
+/// std::invalid_argument on malformed options and std::logic_error if the
+/// generators ever produce two loops with the same name anywhere in the
+/// corpus — downstream consumers (oracle replay, dataset joins, the
+/// per-loop measurement-noise streams) key on loop names and silently
+/// misbehave on duplicates.
 std::vector<Benchmark> buildCorpus(const CorpusOptions &Options = {});
+
+/// Returns every loop name appearing more than once across \p Corpus,
+/// each reported once, in first-occurrence order. Empty means names are
+/// corpus-unique (the invariant buildCorpus enforces).
+std::vector<std::string>
+duplicateLoopNames(const std::vector<Benchmark> &Corpus);
 
 /// Returns the names of the 24 SPEC 2000 benchmarks evaluated in the
 /// paper's Figures 4 and 5, in the figures' order.

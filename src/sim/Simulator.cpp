@@ -10,8 +10,8 @@
 #include "transform/Unroller.h"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 using namespace metaopt;
 
@@ -151,10 +151,20 @@ BodyCost listScheduledBodyCost(const Loop &L, const MachineModel &Machine,
 SimResult metaopt::simulateLoop(const Loop &L, unsigned Factor,
                                 const MachineModel &Machine,
                                 const SimContext &Ctx, bool EnableSwp) {
-  assert(Factor >= 1 && Factor <= MaxUnrollFactor &&
-         "unroll factor out of range");
+  // Real diagnostics, not asserts: callers feed policy outputs and corpus
+  // data straight into this function, and the default build is Release
+  // (NDEBUG), where an assert would compile out and let a bad factor
+  // corrupt the unroller or a negative trip count poison every cycle
+  // count downstream.
+  if (Factor < 1 || Factor > MaxUnrollFactor)
+    throw std::invalid_argument(
+        "simulateLoop: unroll factor " + std::to_string(Factor) +
+        " for loop '" + L.name() + "' is outside [1, " +
+        std::to_string(MaxUnrollFactor) + "]");
   int64_t Trip = L.runtimeTripCount();
-  assert(Trip >= 0 && "loops need a concrete runtime trip count to run");
+  if (Trip < 0)
+    throw std::domain_error("simulateLoop: loop '" + L.name() +
+                            "' has no concrete runtime trip count");
 
   UnrolledTripInfo TripInfo = unrolledTripInfo(Trip, Factor);
   Loop Unrolled = unrollLoop(L, Factor);

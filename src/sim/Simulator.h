@@ -60,6 +60,10 @@ struct SimResult {
   unsigned SpillPairs = 0;    ///< Spill store+reload pairs per body.
   uint32_t ScheduleLength = 0; ///< List-schedule length (SWP off path).
   int CodeBytes = 0;          ///< Unrolled body code size.
+
+  /// Field-wise (bit-exact for the doubles) equality; the simulation
+  /// cache's correctness tests compare cached against fresh results.
+  friend bool operator==(const SimResult &, const SimResult &) = default;
 };
 
 /// Compiles \p L at unroll factor \p Factor for \p Machine and returns the

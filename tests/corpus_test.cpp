@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <set>
+#include <stdexcept>
 
 using namespace metaopt;
 
@@ -131,6 +132,40 @@ TEST(BenchmarkSuiteTest, NamesAreUnique) {
   std::set<std::string> Names;
   for (const Benchmark &Bench : Corpus)
     EXPECT_TRUE(Names.insert(Bench.Name).second) << Bench.Name;
+}
+
+TEST(BenchmarkSuiteTest, RejectsMalformedLoopCountRange) {
+  CorpusOptions Inverted = smallCorpus();
+  Inverted.MinLoopsPerBenchmark = 6;
+  Inverted.MaxLoopsPerBenchmark = 4;
+  EXPECT_THROW(buildCorpus(Inverted), std::invalid_argument);
+  CorpusOptions Zero = smallCorpus();
+  Zero.MinLoopsPerBenchmark = 0;
+  EXPECT_THROW(buildCorpus(Zero), std::invalid_argument);
+}
+
+TEST(BenchmarkSuiteTest, LoopNamesAreCorpusUnique) {
+  // Loop names key the oracle replay, dataset joins, and per-loop
+  // measurement-noise streams; a duplicate anywhere in the corpus would
+  // silently alias two loops.
+  std::vector<Benchmark> Corpus = buildCorpus(smallCorpus());
+  std::vector<std::string> Duplicates = duplicateLoopNames(Corpus);
+  EXPECT_TRUE(Duplicates.empty())
+      << "first duplicate: " << Duplicates.front();
+}
+
+TEST(BenchmarkSuiteTest, DuplicateLoopNamesAreDetected) {
+  std::vector<Benchmark> Corpus = buildCorpus(smallCorpus());
+  ASSERT_GE(Corpus.size(), 2u);
+  ASSERT_FALSE(Corpus[0].Loops.empty());
+  ASSERT_FALSE(Corpus[1].Loops.empty());
+  // Inject a cross-benchmark collision: benchmark 1's first loop takes
+  // benchmark 0's first loop's name.
+  std::string Stolen = Corpus[0].Loops.front().TheLoop.name();
+  Corpus[1].Loops.front().TheLoop = Corpus[0].Loops.front().TheLoop;
+  std::vector<std::string> Duplicates = duplicateLoopNames(Corpus);
+  ASSERT_EQ(Duplicates.size(), 1u);
+  EXPECT_EQ(Duplicates.front(), Stolen);
 }
 
 TEST(BenchmarkSuiteTest, AllLoopsVerify) {

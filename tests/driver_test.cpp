@@ -14,6 +14,7 @@
 #include <gtest/gtest.h>
 
 #include <filesystem>
+#include <stdexcept>
 
 using namespace metaopt;
 
@@ -194,6 +195,53 @@ TEST(SpeedupEvaluatorTest, NonLoopTimeDilutes) {
   EXPECT_GT(NonLoop, 0.0);
   EXPECT_NEAR(NonLoop / (NonLoop + LoopOnly), Bench.NonLoopFraction,
               1e-9);
+}
+
+namespace {
+
+/// A broken policy that answers an out-of-range factor — what a buggy or
+/// corrupted classifier could produce. The evaluator must refuse it in
+/// every build mode rather than feed it to the unroller.
+class RogueHeuristic : public UnrollHeuristic {
+public:
+  std::string name() const override { return "rogue"; }
+  unsigned chooseFactor(const Loop &) const override {
+    return MaxUnrollFactor + 3;
+  }
+};
+
+} // namespace
+
+TEST(SpeedupEvaluatorTest, RejectsOutOfRangePolicyFactors) {
+  std::vector<Benchmark> Corpus = buildCorpus(tinyCorpus());
+  MachineModel Machine(itanium2Config());
+  RogueHeuristic Rogue;
+  EXPECT_THROW(benchmarkCycles(Corpus.front(), Rogue, Machine, false, 0.0),
+               std::runtime_error);
+}
+
+TEST(SpeedupEvaluatorTest, RejectsBadNonLoopFraction) {
+  std::vector<Benchmark> Corpus = buildCorpus(tinyCorpus());
+  // NonLoopFraction == 1 would divide by zero; > 1 and < 0 produce
+  // negative times. All must throw, in Release builds too.
+  for (double Bad : {1.0, 1.5, -0.1}) {
+    Benchmark Broken = Corpus.front();
+    Broken.NonLoopFraction = Bad;
+    EXPECT_THROW(nonLoopFromLoopCycles(Broken, 1e6), std::domain_error)
+        << "fraction " << Bad;
+  }
+  EXPECT_GE(nonLoopFromLoopCycles(Corpus.front(), 1e6), 0.0);
+}
+
+TEST(SpeedupEvaluatorTest, RejectsUnknownEvalBenchmark) {
+  std::vector<Benchmark> Corpus = buildCorpus(tinyCorpus());
+  Dataset Data = collectLabels(Corpus, tinyLabeling());
+  SpeedupOptions Options;
+  Options.Labeling = tinyLabeling();
+  std::vector<std::string> Eval = {"164.gzip", "999.nosuch"};
+  EXPECT_THROW(evaluateSpeedups(Corpus, Eval, Data,
+                                paperReducedFeatureSet(), Options),
+               std::invalid_argument);
 }
 
 //===----------------------------------------------------------------------===//

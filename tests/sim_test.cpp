@@ -13,6 +13,8 @@
 
 #include <gtest/gtest.h>
 
+#include <stdexcept>
+
 using namespace metaopt;
 
 namespace {
@@ -53,6 +55,17 @@ TEST(SimulatorTest, CyclesArePositiveAndScaleWithTrip) {
   EXPECT_GT(Short.Cycles, 0.0);
   // 32x the iterations: roughly 32x the cycles (fixed overheads aside).
   EXPECT_NEAR(Long.Cycles / Short.Cycles, 32.0, 4.0);
+}
+
+TEST(SimulatorTest, RejectsOutOfRangeFactorsInAllBuildModes) {
+  // Release builds compile asserts out; an out-of-range factor must still
+  // be refused rather than handed to the unroller.
+  MachineModel M(itanium2Config());
+  SimContext Ctx;
+  EXPECT_THROW(simulateLoop(makeDaxpy(), 0, M, Ctx, false),
+               std::invalid_argument);
+  EXPECT_THROW(simulateLoop(makeDaxpy(), MaxUnrollFactor + 1, M, Ctx, false),
+               std::invalid_argument);
 }
 
 TEST(SimulatorTest, UnrollingHelpsCleanStreamingLoop) {
@@ -214,6 +227,26 @@ TEST(MeasurementTest, ReliabilityFloor) {
   MeasurementProtocol Protocol;
   EXPECT_FALSE(isReliablyMeasurable(49999.0, Protocol));
   EXPECT_TRUE(isReliablyMeasurable(50000.0, Protocol));
+}
+
+TEST(MeasurementTest, EvenTrialCountMatchesMedianOfTheTrials) {
+  // An even Trials count exercises median's two-middle-values averaging
+  // end to end: measureMedian must return exactly the median of the trial
+  // sequence the same seed produces, not just one of the trials.
+  MeasurementProtocol Protocol;
+  Protocol.Trials = 4;
+  double True = 1e6;
+  Rng A(11);
+  std::vector<double> Trials;
+  for (int I = 0; I < Protocol.Trials; ++I)
+    Trials.push_back(measureOnce(True, Protocol, A));
+  Rng B(11);
+  double Med = measureMedian(True, Protocol, B);
+  EXPECT_DOUBLE_EQ(Med, median(Trials));
+  // Four noisy trials are almost surely distinct, so the averaged median
+  // lies strictly inside the sample range.
+  EXPECT_GT(Med, minValue(Trials));
+  EXPECT_LT(Med, maxValue(Trials));
 }
 
 TEST(MeasurementTest, SameSeedReproduces) {

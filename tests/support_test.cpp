@@ -198,6 +198,17 @@ TEST(StatisticsTest, MedianOddAndEven) {
   EXPECT_DOUBLE_EQ(median({5}), 5.0);
 }
 
+TEST(StatisticsTest, EvenMedianAveragesTheTwoMiddleValues) {
+  // The even case must average the two middle order statistics — not
+  // just return the upper one nth_element lands on.
+  EXPECT_DOUBLE_EQ(median({10, 20}), 15.0);
+  EXPECT_DOUBLE_EQ(median({7, 1, 9, 3, 5, 11}), 6.0);
+  // Duplicates spanning the midpoint.
+  EXPECT_DOUBLE_EQ(median({2, 2, 2, 8}), 2.0);
+  // Unsorted input with the two middle values adjacent in magnitude.
+  EXPECT_DOUBLE_EQ(median({100, -100, 4, 6, 50, -50}), 5.0);
+}
+
 TEST(StatisticsTest, MedianIsRobustToOutliers) {
   EXPECT_DOUBLE_EQ(median({1, 2, 3, 4, 1000000}), 3.0);
 }
