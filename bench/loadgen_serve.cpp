@@ -1,0 +1,252 @@
+//===- bench/loadgen_serve.cpp - Closed-loop serving load generator -------===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+// Drives a running metaopt-serve daemon with N concurrent closed-loop
+// clients (each sends a request, waits for the response, sends the next)
+// and reports throughput and client-observed latency percentiles as one
+// JSON row — the serving counterpart of the microbench_* harnesses.
+//
+// The generator also enforces the serving correctness contract while it
+// measures: every response to the same request text must be byte-identical
+// across clients, iterations, and batch compositions. Any divergence makes
+// the run fail (exit 1), so a throughput number from this harness is also
+// a determinism certificate.
+//
+// Usage:
+//   loadgen_serve --socket=<path> [--clients=32] [--requests=50]
+//                 [--scores] [--deadline-ms=<ms>] [<file.loop> ...]
+//
+//===----------------------------------------------------------------------===//
+
+#include "serve/Client.h"
+#include "support/CommandLine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+using namespace metaopt;
+
+namespace {
+
+// Distinct loop shapes so batches mix cheap and expensive requests.
+const char *BuiltinLoops[] = {
+    R"(loop "loadgen.dot" lang=C nest=1 trip=2048 rtrip=2048 {
+  phi %f_acc = [%f_acc.init, %f_acc.next]
+  %f_x = load @0[stride=8, offset=0, size=8]
+  %f_y = load @1[stride=8, offset=0, size=8]
+  %f_acc.next = fma %f_x, %f_y, %f_acc
+  %i_iv.next = iv_add %i_iv
+  %p_iv.cond = iv_cmp %i_iv.next
+  back_br %p_iv.cond
+})",
+    R"(loop "loadgen.scan" lang=C nest=1 trip=-1 rtrip=777 {
+  %i_v = load @0[stride=4, offset=0, size=4]
+  %p_hit = icmp %i_v, %i_needle
+  exit_if %p_hit prob=0.002
+  %i_t = iadd %i_v, %i_bias
+  store %i_t, @1[stride=4, offset=0, size=4]
+  %i_iv.next = iv_add %i_iv
+  %p_iv.cond = iv_cmp %i_iv.next
+  back_br %p_iv.cond
+})",
+    R"(loop "loadgen.saxpy" lang=Fortran nest=1 trip=512 rtrip=512 {
+  %f_x = load @0[stride=8, offset=0, size=8]
+  %f_y = load @1[stride=8, offset=0, size=8]
+  %f_ax = fmul %f_x, %f_a
+  %f_s = fadd %f_ax, %f_y
+  store %f_s, @1[stride=8, offset=0, size=8]
+  %i_iv.next = iv_add %i_iv
+  %p_iv.cond = iv_cmp %i_iv.next
+  back_br %p_iv.cond
+})",
+    R"(loop "loadgen.copy" lang=C nest=2 trip=64 rtrip=64 {
+  %i_v = load @0[stride=4, offset=0, size=4]
+  store %i_v, @1[stride=4, offset=0, size=4]
+  %i_iv.next = iv_add %i_iv
+  %p_iv.cond = iv_cmp %i_iv.next
+  back_br %p_iv.cond
+})",
+};
+
+struct ClientResult {
+  std::vector<double> LatenciesMs;
+  /// First response seen per request index; compared across clients.
+  std::vector<std::string> Responses;
+  size_t Errors = 0;
+  std::string FirstError;
+};
+
+double percentile(std::vector<double> &Sorted, double P) {
+  if (Sorted.empty())
+    return 0;
+  size_t Rank = static_cast<size_t>(P * static_cast<double>(Sorted.size()));
+  if (Rank >= Sorted.size())
+    Rank = Sorted.size() - 1;
+  return Sorted[Rank];
+}
+
+} // namespace
+
+int main(int Argc, char **Argv) {
+  CliParser Cli("loadgen_serve",
+                "Closed-loop load generator for metaopt-serve: N "
+                "concurrent clients,\nthroughput + latency percentiles "
+                "as a JSON row, with byte-identity checks.");
+  Cli.option("socket", "path", "daemon socket to connect to (required)");
+  Cli.option("clients", "n", "concurrent client connections (default: 32)");
+  Cli.option("requests", "n", "requests per client (default: 50)");
+  Cli.flag("scores", "request per-factor scores");
+  Cli.option("deadline-ms", "ms", "per-request deadline (default: none)");
+  Cli.positionalHelp("[<file.loop> ...]",
+                     "loop files to cycle through (default: built-ins)");
+  if (std::optional<int> Exit = Cli.parse(Argc, Argv))
+    return *Exit;
+
+  std::string SocketPath = Cli.getString("socket");
+  if (SocketPath.empty()) {
+    std::fprintf(stderr, "loadgen_serve: --socket is required\n%s",
+                 Cli.usage().c_str());
+    return 2;
+  }
+  int64_t Clients = Cli.getInt("clients", 32);
+  int64_t Requests = Cli.getInt("requests", 50);
+  int64_t DeadlineMs = Cli.getInt("deadline-ms", 0);
+  if (Clients < 1 || Requests < 1 || DeadlineMs < 0) {
+    std::fprintf(stderr, "loadgen_serve: bad --clients/--requests value\n");
+    return 2;
+  }
+  bool WantScores = Cli.has("scores");
+
+  std::vector<std::string> LoopTexts;
+  for (const std::string &File : Cli.positional()) {
+    std::ifstream In(File);
+    if (!In) {
+      std::fprintf(stderr, "loadgen_serve: cannot open '%s'\n",
+                   File.c_str());
+      return 2;
+    }
+    std::stringstream Buffer;
+    Buffer << In.rdbuf();
+    LoopTexts.push_back(Buffer.str());
+  }
+  if (LoopTexts.empty())
+    for (const char *Text : BuiltinLoops)
+      LoopTexts.emplace_back(Text);
+
+  auto RequestFor = [&](size_t Index) {
+    WireRequest Request;
+    Request.TheOp = WireRequest::Op::Predict;
+    Request.LoopText = LoopTexts[Index % LoopTexts.size()];
+    Request.WantScores = WantScores;
+    Request.DeadlineMs = DeadlineMs;
+    return Request;
+  };
+
+  // Serial reference pass: one client, one request per distinct loop.
+  // Every concurrent response must match these bytes exactly.
+  std::vector<std::string> Reference(LoopTexts.size());
+  {
+    ServeClient Client;
+    std::string Error;
+    if (!Client.connectWithRetry(SocketPath, 2000, &Error)) {
+      std::fprintf(stderr, "loadgen_serve: %s\n", Error.c_str());
+      return 1;
+    }
+    for (size_t I = 0; I < LoopTexts.size(); ++I) {
+      std::optional<std::string> Line =
+          Client.request(RequestFor(I), &Error);
+      if (!Line) {
+        std::fprintf(stderr, "loadgen_serve: reference pass: %s\n",
+                     Error.c_str());
+        return 1;
+      }
+      Reference[I] = *Line;
+    }
+  }
+
+  std::vector<ClientResult> Results(static_cast<size_t>(Clients));
+  std::vector<std::thread> Threads;
+  auto Start = std::chrono::steady_clock::now();
+  for (int64_t C = 0; C < Clients; ++C) {
+    Threads.emplace_back([&, C] {
+      ClientResult &Result = Results[static_cast<size_t>(C)];
+      ServeClient Client;
+      std::string Error;
+      if (!Client.connectWithRetry(SocketPath, 2000, &Error)) {
+        Result.Errors = static_cast<size_t>(Requests);
+        Result.FirstError = Error;
+        return;
+      }
+      for (int64_t R = 0; R < Requests; ++R) {
+        size_t LoopIndex = static_cast<size_t>(R) % LoopTexts.size();
+        auto T0 = std::chrono::steady_clock::now();
+        std::optional<std::string> Line =
+            Client.request(RequestFor(LoopIndex), &Error);
+        auto T1 = std::chrono::steady_clock::now();
+        if (!Line) {
+          ++Result.Errors;
+          if (Result.FirstError.empty())
+            Result.FirstError = Error;
+          break; // The connection is gone; stop this client.
+        }
+        Result.LatenciesMs.push_back(
+            std::chrono::duration<double, std::milli>(T1 - T0).count());
+        if (*Line != Reference[LoopIndex]) {
+          ++Result.Errors;
+          if (Result.FirstError.empty())
+            Result.FirstError =
+                "response diverged from the serial reference: " + *Line;
+        }
+      }
+    });
+  }
+  for (std::thread &T : Threads)
+    T.join();
+  double WallMs = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - Start)
+                      .count();
+
+  std::vector<double> All;
+  size_t Errors = 0;
+  std::string FirstError;
+  for (const ClientResult &Result : Results) {
+    All.insert(All.end(), Result.LatenciesMs.begin(),
+               Result.LatenciesMs.end());
+    Errors += Result.Errors;
+    if (FirstError.empty())
+      FirstError = Result.FirstError;
+  }
+  std::sort(All.begin(), All.end());
+  double Mean = 0;
+  for (double L : All)
+    Mean += L;
+  if (!All.empty())
+    Mean /= static_cast<double>(All.size());
+
+  std::printf(
+      "{\"bench\":\"loadgen_serve\",\"clients\":%lld,"
+      "\"requests_per_client\":%lld,\"completed\":%zu,\"errors\":%zu,"
+      "\"wall_ms\":%.1f,\"throughput_rps\":%.1f,\"latency_ms\":{"
+      "\"mean\":%.3f,\"p50\":%.3f,\"p95\":%.3f,\"p99\":%.3f},"
+      "\"consistent\":%s}\n",
+      static_cast<long long>(Clients), static_cast<long long>(Requests),
+      All.size(), Errors, WallMs,
+      WallMs > 0 ? 1000.0 * static_cast<double>(All.size()) / WallMs : 0.0,
+      Mean, percentile(All, 0.50), percentile(All, 0.95),
+      percentile(All, 0.99), Errors == 0 ? "true" : "false");
+  if (Errors != 0) {
+    std::fprintf(stderr, "loadgen_serve: %zu errors; first: %s\n", Errors,
+                 FirstError.c_str());
+    return 1;
+  }
+  return 0;
+}

@@ -123,11 +123,8 @@ int main(int Argc, char **Argv) {
                    LoadModelPath.c_str());
       return 1;
     }
-    if (auto Nn = NearNeighborClassifier::deserialize(Blob))
-      Trained = std::make_unique<NearNeighborClassifier>(std::move(*Nn));
-    else if (auto Svm = SvmClassifier::deserialize(Blob))
-      Trained = std::make_unique<SvmClassifier>(std::move(*Svm));
-    else {
+    Trained = deserializeClassifier(Blob);
+    if (!Trained) {
       std::fprintf(stderr, "error: '%s' is not a recognizable model\n",
                    LoadModelPath.c_str());
       return 1;

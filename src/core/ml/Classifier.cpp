@@ -2,9 +2,27 @@
 
 #include "core/ml/Classifier.h"
 
+#include "core/ml/DecisionTree.h"
+#include "core/ml/Lsh.h"
+#include "core/ml/NearNeighbor.h"
+#include "core/ml/OutputCode.h"
+#include "core/ml/Regression.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+
 using namespace metaopt;
 
 Classifier::~Classifier() = default;
+
+std::array<double, MaxUnrollFactor>
+Classifier::scores(const FeatureVector &Features) const {
+  std::array<double, MaxUnrollFactor> Scores = {};
+  Scores[predict(Features) - 1] = 1.0;
+  return Scores;
+}
 
 double Classifier::accuracyOn(const Dataset &Data) const {
   if (Data.empty())
@@ -14,4 +32,128 @@ double Classifier::accuracyOn(const Dataset &Data) const {
     if (predict(Ex.Features) == Ex.Label)
       ++Correct;
   return static_cast<double>(Correct) / Data.size();
+}
+
+//===----------------------------------------------------------------------===//
+// Serialization registry
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+struct LoaderRegistry {
+  std::mutex Mutex;
+  std::map<std::string, ClassifierLoader> Loaders;
+};
+
+// The built-ins are registered here, not via static initializers in their
+// own translation units, so static-library dead stripping can never drop
+// the registrations.
+void registerBuiltins(LoaderRegistry &R) {
+  R.Loaders["near-neighbor"] =
+      [](const std::string &Text) -> std::unique_ptr<Classifier> {
+    if (auto Nn = NearNeighborClassifier::deserialize(Text))
+      return std::make_unique<NearNeighborClassifier>(std::move(*Nn));
+    return nullptr;
+  };
+  ClassifierLoader SvmLoader =
+      [](const std::string &Text) -> std::unique_ptr<Classifier> {
+    if (auto Svm = SvmClassifier::deserialize(Text))
+      return std::make_unique<SvmClassifier>(std::move(*Svm));
+    return nullptr;
+  };
+  R.Loaders["svm"] = SvmLoader;
+  R.Loaders["svm-ecoc"] = SvmLoader;
+  R.Loaders["decision-tree"] =
+      [](const std::string &Text) -> std::unique_ptr<Classifier> {
+    if (auto Tree = DecisionTreeClassifier::deserialize(Text))
+      return std::make_unique<DecisionTreeClassifier>(std::move(*Tree));
+    return nullptr;
+  };
+  R.Loaders["lsh-nn"] =
+      [](const std::string &Text) -> std::unique_ptr<Classifier> {
+    if (auto Lsh = LshNearNeighborClassifier::deserialize(Text))
+      return std::make_unique<LshNearNeighborClassifier>(std::move(*Lsh));
+    return nullptr;
+  };
+  R.Loaders["krr-regression"] =
+      [](const std::string &Text) -> std::unique_ptr<Classifier> {
+    if (auto Krr = KrrUnrollRegressor::deserialize(Text))
+      return std::make_unique<KrrUnrollRegressor>(std::move(*Krr));
+    return nullptr;
+  };
+}
+
+LoaderRegistry &registry() {
+  static LoaderRegistry *Registry = [] {
+    auto *R = new LoaderRegistry;
+    registerBuiltins(*R);
+    return R;
+  }();
+  return *Registry;
+}
+
+} // namespace
+
+void metaopt::registerClassifierLoader(const std::string &Name,
+                                       ClassifierLoader Loader) {
+  LoaderRegistry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  R.Loaders[Name] = std::move(Loader);
+}
+
+std::vector<std::string> metaopt::registeredClassifierNames() {
+  LoaderRegistry &R = registry();
+  std::lock_guard<std::mutex> Lock(R.Mutex);
+  std::vector<std::string> Names;
+  Names.reserve(R.Loaders.size());
+  for (const auto &[Name, Loader] : R.Loaders)
+    Names.push_back(Name);
+  return Names;
+}
+
+std::unique_ptr<Classifier>
+metaopt::deserializeClassifier(const std::string &Text,
+                               const std::string &Name) {
+  // Snapshot the loaders so user loaders may run without holding the lock.
+  std::vector<std::pair<std::string, ClassifierLoader>> Loaders;
+  {
+    LoaderRegistry &R = registry();
+    std::lock_guard<std::mutex> Lock(R.Mutex);
+    Loaders.assign(R.Loaders.begin(), R.Loaders.end());
+  }
+  if (!Name.empty()) {
+    auto Preferred =
+        std::find_if(Loaders.begin(), Loaders.end(),
+                     [&](const auto &Entry) { return Entry.first == Name; });
+    if (Preferred != Loaders.end())
+      if (std::unique_ptr<Classifier> Loaded = Preferred->second(Text))
+        return Loaded;
+  }
+  for (const auto &[LoaderName, Loader] : Loaders)
+    if (std::unique_ptr<Classifier> Loaded = Loader(Text))
+      return Loaded;
+  return nullptr;
+}
+
+std::optional<Normalizer>
+metaopt::parseNormalizerBlock(const std::vector<std::string> &Lines,
+                              size_t &Index) {
+  if (Index >= Lines.size())
+    return std::nullopt;
+  std::vector<std::string> Header = splitWhitespace(Lines[Index]);
+  if (Header.size() != 3 || Header[0] != "normalizer")
+    return std::nullopt;
+  auto Dims = parseInt(Header[2]);
+  if (!Dims || *Dims < 1)
+    return std::nullopt;
+  size_t End = Index + 1 + static_cast<size_t>(*Dims);
+  if (Lines.size() < End)
+    return std::nullopt;
+  std::string Block;
+  for (size_t I = Index; I < End; ++I)
+    Block += Lines[I] + "\n";
+  std::optional<Normalizer> Norm = Normalizer::deserialize(Block);
+  if (Norm)
+    Index = End;
+  return Norm;
 }

@@ -11,6 +11,13 @@
 /// subset and normalizer: train() fits them on the training set, and
 /// predict() maps a raw 38-entry feature vector to an unroll factor.
 ///
+/// Trained classifiers are polymorphically serializable: serialize()
+/// emits a self-describing text blob, and the registry-based
+/// deserializeClassifier() restores a predict-equivalent instance from it
+/// without the caller naming (or downcasting to) a concrete class. Model
+/// bundles (serve/ModelBundle.h) and cross-validation utilities rely on
+/// this to stay classifier-agnostic.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef METAOPT_CORE_ML_CLASSIFIER_H
@@ -19,9 +26,12 @@
 #include "core/features/Normalizer.h"
 #include "core/ml/Dataset.h"
 
+#include <array>
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
+#include <vector>
 
 namespace metaopt {
 
@@ -39,6 +49,19 @@ public:
   /// vector. Must only be called after train().
   virtual unsigned predict(const FeatureVector &Features) const = 0;
 
+  /// Per-factor preference scores (index f-1; higher = more preferred).
+  /// The argmax always equals predict(). The default implementation is
+  /// the one-hot vector of predict(); classifiers with a native notion of
+  /// confidence (NN vote fractions, SVM codeword agreement) override it.
+  virtual std::array<double, MaxUnrollFactor>
+  scores(const FeatureVector &Features) const;
+
+  /// Serializes the trained model to a self-describing text blob whose
+  /// first token identifies the format. Must only be called after
+  /// train(); deserializeClassifier() restores a predict-equivalent
+  /// instance.
+  virtual std::string serialize() const = 0;
+
   /// Fraction of \p Data classified correctly (prediction == label).
   double accuracyOn(const Dataset &Data) const;
 };
@@ -47,6 +70,40 @@ public:
 /// greedy feature selection, which retrain many times.
 using ClassifierFactory =
     std::function<std::unique_ptr<Classifier>(const FeatureSet &)>;
+
+//===----------------------------------------------------------------------===//
+// Serialization registry
+//===----------------------------------------------------------------------===//
+
+/// Restores a serialized classifier, returning null on unrecognizable or
+/// corrupt input. Tries the loader registered under each classifier name;
+/// the blobs are self-describing, so a loader only accepts its own format.
+using ClassifierLoader =
+    std::function<std::unique_ptr<Classifier>(const std::string &)>;
+
+/// Registers \p Loader under \p Name (a Classifier::name() value).
+/// Registering the same name again replaces the previous loader. The
+/// built-in classifiers (near-neighbor, svm, svm-ecoc, decision-tree,
+/// lsh-nn, krr-regression) are pre-registered.
+void registerClassifierLoader(const std::string &Name,
+                              ClassifierLoader Loader);
+
+/// Names with a registered loader, sorted.
+std::vector<std::string> registeredClassifierNames();
+
+/// Restores a classifier serialized by any registered format, trying the
+/// loader registered under \p Name first when non-empty. Returns null when
+/// no loader accepts \p Text.
+std::unique_ptr<Classifier>
+deserializeClassifier(const std::string &Text,
+                      const std::string &Name = "");
+
+/// Parses an embedded Normalizer::serialize() block starting at
+/// \p Lines[Index] and, on success, advances \p Index past it — the
+/// shared piece of every classifier's deserialize(). std::nullopt (with
+/// \p Index untouched) on a malformed block.
+std::optional<Normalizer>
+parseNormalizerBlock(const std::vector<std::string> &Lines, size_t &Index);
 
 } // namespace metaopt
 

@@ -2,8 +2,11 @@
 
 #include "core/ml/DecisionTree.h"
 
+#include "support/StringUtils.h"
+
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 
 using namespace metaopt;
 
@@ -182,4 +185,112 @@ unsigned DecisionTreeClassifier::depth() const {
   for (const Node &Current : Nodes)
     Max = std::max(Max, Current.Depth);
   return Max;
+}
+
+std::string DecisionTreeClassifier::serialize() const {
+  assert(Root >= 0 && "serialize() requires a trained classifier");
+  char Buffer[64];
+  std::string Out = "dtree-model 1\n";
+  std::snprintf(Buffer, sizeof(Buffer), "limits %u %u %.17g\n",
+                Options.MaxDepth, Options.MinLeafSize,
+                Options.PurityThreshold);
+  Out += Buffer;
+  Out += Norm.serialize();
+  Out += "nodes " + std::to_string(Nodes.size()) + " root " +
+         std::to_string(Root) + "\n";
+  for (const Node &Current : Nodes) {
+    std::snprintf(Buffer, sizeof(Buffer), "%d %u %u %.17g %d %d %u\n",
+                  Current.IsLeaf ? 1 : 0, Current.Label, Current.SplitDim,
+                  Current.Threshold, Current.Left, Current.Right,
+                  Current.Depth);
+    Out += Buffer;
+  }
+  return Out;
+}
+
+std::optional<DecisionTreeClassifier>
+DecisionTreeClassifier::deserialize(const std::string &Text) {
+  std::vector<std::string> Lines = split(Text, '\n');
+  if (Lines.size() < 4 || trim(Lines[0]) != "dtree-model 1")
+    return std::nullopt;
+  std::vector<std::string> Limits = splitWhitespace(Lines[1]);
+  if (Limits.size() != 4 || Limits[0] != "limits")
+    return std::nullopt;
+  auto MaxDepth = parseInt(Limits[1]);
+  auto MinLeafSize = parseInt(Limits[2]);
+  auto PurityThreshold = parseDouble(Limits[3]);
+  if (!MaxDepth || !MinLeafSize || !PurityThreshold || *MaxDepth < 1 ||
+      *MinLeafSize < 1)
+    return std::nullopt;
+
+  size_t Index = 2;
+  std::optional<Normalizer> Norm = parseNormalizerBlock(Lines, Index);
+  if (!Norm || Lines.size() <= Index)
+    return std::nullopt;
+
+  std::vector<std::string> NodesHeader = splitWhitespace(Lines[Index]);
+  if (NodesHeader.size() != 4 || NodesHeader[0] != "nodes" ||
+      NodesHeader[2] != "root")
+    return std::nullopt;
+  auto NumNodes = parseInt(NodesHeader[1]);
+  auto Root = parseInt(NodesHeader[3]);
+  if (!NumNodes || !Root || *NumNodes < 1 || *Root < 0 ||
+      *Root >= *NumNodes ||
+      Lines.size() < Index + 1 + static_cast<size_t>(*NumNodes))
+    return std::nullopt;
+
+  DecisionTreeOptions Options;
+  Options.MaxDepth = static_cast<unsigned>(*MaxDepth);
+  Options.MinLeafSize = static_cast<unsigned>(*MinLeafSize);
+  Options.PurityThreshold = *PurityThreshold;
+  DecisionTreeClassifier Result(Norm->featureSet(), Options);
+  int64_t Dims = static_cast<int64_t>(Norm->dimension());
+  Result.Norm = std::move(*Norm);
+  Result.Root = static_cast<int32_t>(*Root);
+  for (int64_t I = 0; I < *NumNodes; ++I) {
+    std::vector<std::string> Parts =
+        splitWhitespace(Lines[Index + 1 + I]);
+    if (Parts.size() != 7)
+      return std::nullopt;
+    auto IsLeaf = parseInt(Parts[0]);
+    auto Label = parseInt(Parts[1]);
+    auto SplitDim = parseInt(Parts[2]);
+    auto Threshold = parseDouble(Parts[3]);
+    auto Left = parseInt(Parts[4]);
+    auto Right = parseInt(Parts[5]);
+    auto Depth = parseInt(Parts[6]);
+    if (!IsLeaf || !Label || !SplitDim || !Threshold || !Left || !Right ||
+        !Depth)
+      return std::nullopt;
+    if ((*IsLeaf != 0 && *IsLeaf != 1) || *Label < 1 ||
+        *Label > static_cast<int64_t>(MaxUnrollFactor) || *Depth < 0)
+      return std::nullopt;
+    Node Current;
+    Current.IsLeaf = *IsLeaf == 1;
+    Current.Label = static_cast<unsigned>(*Label);
+    Current.Depth = static_cast<unsigned>(*Depth);
+    if (Current.IsLeaf) {
+      // Leaves carry no split; reject stray child links so a tampered
+      // blob cannot smuggle in dangling indices.
+      if (*Left != -1 || *Right != -1)
+        return std::nullopt;
+    } else {
+      if (*SplitDim < 0 || *SplitDim >= Dims || *Left < 0 ||
+          *Left >= *NumNodes || *Right < 0 || *Right >= *NumNodes)
+        return std::nullopt;
+      Current.SplitDim = static_cast<unsigned>(*SplitDim);
+      Current.Threshold = *Threshold;
+      Current.Left = static_cast<int32_t>(*Left);
+      Current.Right = static_cast<int32_t>(*Right);
+    }
+    Result.Nodes.push_back(Current);
+  }
+  // Depth must strictly increase along child links; this rules out
+  // cycles, so predict()'s walk always terminates.
+  for (const Node &Current : Result.Nodes)
+    if (!Current.IsLeaf &&
+        (Result.Nodes[Current.Left].Depth != Current.Depth + 1 ||
+         Result.Nodes[Current.Right].Depth != Current.Depth + 1))
+      return std::nullopt;
+  return Result;
 }

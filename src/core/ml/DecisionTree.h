@@ -20,6 +20,8 @@
 
 #include "core/ml/Classifier.h"
 
+#include <optional>
+
 namespace metaopt {
 
 /// Tree growth limits.
@@ -39,6 +41,13 @@ public:
   std::string name() const override;
   void train(const Dataset &Train) override;
   unsigned predict(const FeatureVector &Features) const override;
+
+  /// Serializes the grown tree (growth limits, normalizer, node table) so
+  /// a compiler can ship and load the model without retraining;
+  /// deserialize() restores a predict-equivalent classifier.
+  std::string serialize() const override;
+  static std::optional<DecisionTreeClassifier>
+  deserialize(const std::string &Text);
 
   /// Number of nodes in the grown tree (diagnostics/tests).
   size_t numNodes() const { return Nodes.size(); }

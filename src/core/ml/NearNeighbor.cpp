@@ -83,6 +83,39 @@ unsigned NearNeighborClassifier::predict(
   return voteFor(Norm.apply(FeaturesIn), Points.size()).Factor;
 }
 
+std::array<double, MaxUnrollFactor>
+NearNeighborClassifier::scores(const FeatureVector &FeaturesIn) const {
+  assert(!Points.empty() && "classifier queried before training");
+  std::vector<double> Query = Norm.apply(FeaturesIn);
+  double RadiusSquared =
+      Radius * Radius * static_cast<double>(Query.size());
+
+  std::array<unsigned, MaxUnrollFactor> Votes = {};
+  unsigned NeighborCount = 0;
+  size_t NearestIndex = 0;
+  double NearestDistance = std::numeric_limits<double>::infinity();
+  for (size_t I = 0; I < Points.size(); ++I) {
+    double DistanceSquared = squaredDistance(Query, Points[I]);
+    if (DistanceSquared < NearestDistance) {
+      NearestDistance = DistanceSquared;
+      NearestIndex = I;
+    }
+    if (DistanceSquared <= RadiusSquared) {
+      ++NeighborCount;
+      ++Votes[Labels[I] - 1];
+    }
+  }
+
+  std::array<double, MaxUnrollFactor> Scores = {};
+  if (NeighborCount == 0) {
+    Scores[Labels[NearestIndex] - 1] = 1.0; // 1-NN fallback decided.
+    return Scores;
+  }
+  for (unsigned F = 0; F < MaxUnrollFactor; ++F)
+    Scores[F] = static_cast<double>(Votes[F]) / NeighborCount;
+  return Scores;
+}
+
 NearNeighborClassifier::Vote NearNeighborClassifier::predictWithVote(
     const FeatureVector &FeaturesIn) const {
   return voteFor(Norm.apply(FeaturesIn), Points.size());

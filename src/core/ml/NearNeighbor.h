@@ -39,6 +39,11 @@ public:
   void train(const Dataset &Train) override;
   unsigned predict(const FeatureVector &Features) const override;
 
+  /// Per-factor vote fractions from the radius ball (the 1-NN fallback's
+  /// pick gets 1.0 when the ball is empty).
+  std::array<double, MaxUnrollFactor>
+  scores(const FeatureVector &Features) const override;
+
   /// Prediction plus vote context for confidence assessment.
   struct Vote {
     unsigned Factor = 1;      ///< Predicted unroll factor.
@@ -68,7 +73,7 @@ public:
   /// Serializes the trained database (radius, normalizer, normalized
   /// points and labels) so a compiler can ship and load the model without
   /// retraining; deserialize() restores a predict-equivalent classifier.
-  std::string serialize() const;
+  std::string serialize() const override;
   static std::optional<NearNeighborClassifier>
   deserialize(const std::string &Text);
 

@@ -5,6 +5,7 @@
 #include "support/Rng.h"
 #include "support/StringUtils.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <cmath>
@@ -87,10 +88,10 @@ void SvmClassifier::train(const Dataset &Train) {
     Machines.push_back(Solver->solve(BitLabels[Bit]));
 }
 
-unsigned SvmClassifier::decode(const std::vector<double> &Decisions) const {
+std::array<double, MaxUnrollFactor>
+SvmClassifier::decodingScores(const std::vector<double> &Decisions) const {
   size_t NumBits = Decisions.size();
-  unsigned BestClass = 0;
-  double BestScore = -1e300;
+  std::array<double, MaxUnrollFactor> Scores = {};
   for (unsigned Class = 0; Class < MaxUnrollFactor; ++Class) {
     double Score = 0.0;
     for (size_t Bit = 0; Bit < NumBits; ++Bit) {
@@ -106,11 +107,17 @@ unsigned SvmClassifier::decode(const std::vector<double> &Decisions) const {
         Score -= std::max(0.0, 1.0 - Target * Decisions[Bit]);
       }
     }
-    if (Score > BestScore) {
-      BestScore = Score;
-      BestClass = Class;
-    }
+    Scores[Class] = Score;
   }
+  return Scores;
+}
+
+unsigned SvmClassifier::decode(const std::vector<double> &Decisions) const {
+  std::array<double, MaxUnrollFactor> Scores = decodingScores(Decisions);
+  unsigned BestClass = 0;
+  for (unsigned Class = 1; Class < MaxUnrollFactor; ++Class)
+    if (Scores[Class] > Scores[BestClass])
+      BestClass = Class;
   return BestClass + 1;
 }
 
@@ -123,6 +130,24 @@ unsigned SvmClassifier::predict(const FeatureVector &FeaturesIn) const {
   for (const LsSvmBinary &Machine : Machines)
     Decisions.push_back(Machine.decision(KernelValues));
   return decode(Decisions);
+}
+
+std::array<double, MaxUnrollFactor>
+SvmClassifier::scores(const FeatureVector &FeaturesIn) const {
+  assert(!Machines.empty() && "classifier queried before training");
+  std::vector<double> Query = Norm.apply(FeaturesIn);
+  std::vector<double> KernelValues = kernelVector(*Kernel, Points, Query);
+  std::vector<double> Decisions;
+  Decisions.reserve(Machines.size());
+  for (const LsSvmBinary &Machine : Machines)
+    Decisions.push_back(Machine.decision(KernelValues));
+  std::array<double, MaxUnrollFactor> Scores = decodingScores(Decisions);
+  // Shift so the winning class scores exactly 1.0; relative gaps between
+  // classes (the decoding objective) are preserved.
+  double Best = *std::max_element(Scores.begin(), Scores.end());
+  for (double &Score : Scores)
+    Score += 1.0 - Best;
+  return Scores;
 }
 
 std::vector<unsigned> SvmClassifier::loocvPredictions() {

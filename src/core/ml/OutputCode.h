@@ -54,6 +54,11 @@ public:
   void train(const Dataset &Train) override;
   unsigned predict(const FeatureVector &Features) const override;
 
+  /// Per-class codeword-agreement scores (the decoding objective the
+  /// prediction maximizes), shifted so the best class scores 1.0.
+  std::array<double, MaxUnrollFactor>
+  scores(const FeatureVector &Features) const override;
+
   /// Exact leave-one-out predictions for every training example, using the
   /// closed-form LS-SVM LOO identity per binary subproblem. Only valid
   /// after train(); triggers a one-time O(n^3) inverse.
@@ -65,10 +70,12 @@ public:
   /// normalizer, support points, dual weights). deserialize() restores a
   /// predict-equivalent classifier; the leave-one-out fast path is not
   /// preserved (it needs the training factorization).
-  std::string serialize() const;
+  std::string serialize() const override;
   static std::optional<SvmClassifier> deserialize(const std::string &Text);
 
 private:
+  std::array<double, MaxUnrollFactor>
+  decodingScores(const std::vector<double> &Decisions) const;
   unsigned decode(const std::vector<double> &Decisions) const;
 
   FeatureSet Features;

@@ -1,0 +1,122 @@
+//===- serve/Client.cpp ---------------------------------------------------===//
+
+#include "serve/Client.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace metaopt;
+
+ServeClient::~ServeClient() { close(); }
+
+void ServeClient::close() {
+  if (Fd >= 0) {
+    ::close(Fd);
+    Fd = -1;
+  }
+  Buffer.clear();
+}
+
+bool ServeClient::connect(const std::string &SocketPath,
+                          std::string *Error) {
+  close();
+  sockaddr_un Addr = {};
+  Addr.sun_family = AF_UNIX;
+  if (SocketPath.size() >= sizeof(Addr.sun_path)) {
+    if (Error)
+      *Error = "socket path is too long for sockaddr_un";
+    return false;
+  }
+  std::strncpy(Addr.sun_path, SocketPath.c_str(),
+               sizeof(Addr.sun_path) - 1);
+
+  Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Error)
+      *Error = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    if (Error)
+      *Error = std::string("connect to '") + SocketPath +
+               "': " + std::strerror(errno);
+    close();
+    return false;
+  }
+  return true;
+}
+
+bool ServeClient::connectWithRetry(const std::string &SocketPath,
+                                   int TimeoutMs, std::string *Error) {
+  auto Deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(TimeoutMs);
+  std::string LastError;
+  do {
+    if (connect(SocketPath, &LastError))
+      return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  } while (std::chrono::steady_clock::now() < Deadline);
+  if (Error)
+    *Error = LastError;
+  return false;
+}
+
+std::optional<std::string>
+ServeClient::roundTrip(const std::string &RequestLine, std::string *Error) {
+  if (Fd < 0) {
+    if (Error)
+      *Error = "not connected";
+    return std::nullopt;
+  }
+
+  std::string Framed = RequestLine + "\n";
+  size_t Sent = 0;
+  while (Sent < Framed.size()) {
+    ssize_t N = ::send(Fd, Framed.data() + Sent, Framed.size() - Sent,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (Error)
+        *Error = std::string("send: ") + std::strerror(errno);
+      return std::nullopt;
+    }
+    Sent += static_cast<size_t>(N);
+  }
+
+  char Chunk[1 << 14];
+  while (true) {
+    size_t Newline = Buffer.find('\n');
+    if (Newline != std::string::npos) {
+      std::string Line = Buffer.substr(0, Newline);
+      Buffer.erase(0, Newline + 1);
+      return Line;
+    }
+    ssize_t N = ::recv(Fd, Chunk, sizeof(Chunk), 0);
+    if (N == 0) {
+      if (Error)
+        *Error = "connection closed by the server";
+      return std::nullopt;
+    }
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      if (Error)
+        *Error = std::string("recv: ") + std::strerror(errno);
+      return std::nullopt;
+    }
+    Buffer.append(Chunk, static_cast<size_t>(N));
+  }
+}
+
+std::optional<std::string> ServeClient::request(const WireRequest &Request,
+                                                std::string *Error) {
+  return roundTrip(renderRequestLine(Request), Error);
+}

@@ -1,0 +1,64 @@
+//===- serve/Client.h - Serving protocol client -----------------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small blocking client for the serving protocol, shared by
+/// metaopt-predict and the load generator: connects to metaopt-serve's
+/// unix socket, writes one request line, reads one response line. One
+/// instance is one connection and must stay on one thread at a time;
+/// concurrent load uses one client per thread (bench/loadgen_serve.cpp).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_SERVE_CLIENT_H
+#define METAOPT_SERVE_CLIENT_H
+
+#include "serve/Protocol.h"
+
+#include <optional>
+#include <string>
+
+namespace metaopt {
+
+/// One client connection to a serving daemon.
+class ServeClient {
+public:
+  ServeClient() = default;
+  ~ServeClient();
+
+  ServeClient(const ServeClient &) = delete;
+  ServeClient &operator=(const ServeClient &) = delete;
+
+  /// Connects to the daemon's unix socket; false (with \p Error) when
+  /// the daemon is not there.
+  bool connect(const std::string &SocketPath, std::string *Error = nullptr);
+
+  /// Like connect(), but retries until the daemon appears or
+  /// \p TimeoutMs elapses — for scripts that just started the daemon.
+  bool connectWithRetry(const std::string &SocketPath, int TimeoutMs,
+                        std::string *Error = nullptr);
+
+  void close();
+  bool connected() const { return Fd >= 0; }
+
+  /// Writes \p RequestLine (newline appended) and reads one response
+  /// line. std::nullopt (with \p Error) on a broken connection.
+  std::optional<std::string> roundTrip(const std::string &RequestLine,
+                                       std::string *Error = nullptr);
+
+  /// roundTrip() of a rendered WireRequest.
+  std::optional<std::string> request(const WireRequest &Request,
+                                     std::string *Error = nullptr);
+
+private:
+  int Fd = -1;
+  std::string Buffer; ///< Bytes read past the last returned line.
+};
+
+} // namespace metaopt
+
+#endif // METAOPT_SERVE_CLIENT_H

@@ -1,0 +1,419 @@
+//===- serve/Json.cpp -----------------------------------------------------===//
+
+#include "serve/Json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+using namespace metaopt;
+
+//===----------------------------------------------------------------------===//
+// Value accessors
+//===----------------------------------------------------------------------===//
+
+const JsonValue *JsonValue::get(std::string_view Key) const {
+  if (K != Kind::Object)
+    return nullptr;
+  const JsonValue *Found = nullptr;
+  for (const auto &[Name, Value] : Members)
+    if (Name == Key)
+      Found = &Value; // Last duplicate wins, like most parsers.
+  return Found;
+}
+
+std::string JsonValue::getString(std::string_view Key,
+                                 const std::string &Default) const {
+  const JsonValue *Value = get(Key);
+  return Value && Value->isString() ? Value->Str : Default;
+}
+
+double JsonValue::getNumber(std::string_view Key, double Default) const {
+  const JsonValue *Value = get(Key);
+  return Value && Value->isNumber() ? Value->Number : Default;
+}
+
+int64_t JsonValue::getInt(std::string_view Key, int64_t Default) const {
+  const JsonValue *Value = get(Key);
+  if (!Value || !Value->isNumber())
+    return Default;
+  return static_cast<int64_t>(Value->Number);
+}
+
+bool JsonValue::getBool(std::string_view Key, bool Default) const {
+  const JsonValue *Value = get(Key);
+  return Value && Value->isBool() ? Value->Boolean : Default;
+}
+
+//===----------------------------------------------------------------------===//
+// Parser
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+constexpr unsigned MaxNestingDepth = 64;
+
+class Parser {
+public:
+  explicit Parser(std::string_view Text) : Text(Text) {}
+
+  std::optional<JsonValue> parseDocument() {
+    skipWhitespace();
+    std::optional<JsonValue> Value = parseValue(0);
+    if (!Value)
+      return std::nullopt;
+    skipWhitespace();
+    if (Pos != Text.size())
+      return std::nullopt; // Trailing garbage.
+    return Value;
+  }
+
+private:
+  void skipWhitespace() {
+    while (Pos < Text.size() &&
+           (Text[Pos] == ' ' || Text[Pos] == '\t' || Text[Pos] == '\n' ||
+            Text[Pos] == '\r'))
+      ++Pos;
+  }
+
+  bool consume(char C) {
+    if (Pos < Text.size() && Text[Pos] == C) {
+      ++Pos;
+      return true;
+    }
+    return false;
+  }
+
+  bool consumeLiteral(const char *Literal) {
+    size_t Len = std::strlen(Literal);
+    if (Text.size() - Pos < Len ||
+        Text.compare(Pos, Len, Literal) != 0)
+      return false;
+    Pos += Len;
+    return true;
+  }
+
+  std::optional<JsonValue> parseValue(unsigned Depth) {
+    if (Depth > MaxNestingDepth)
+      return std::nullopt;
+    skipWhitespace();
+    if (Pos >= Text.size())
+      return std::nullopt;
+    switch (Text[Pos]) {
+    case '{':
+      return parseObject(Depth);
+    case '[':
+      return parseArray(Depth);
+    case '"':
+      return parseString();
+    case 't':
+    case 'f':
+      return parseBool();
+    case 'n':
+      if (!consumeLiteral("null"))
+        return std::nullopt;
+      return JsonValue{};
+    default:
+      return parseNumber();
+    }
+  }
+
+  std::optional<JsonValue> parseBool() {
+    JsonValue Value;
+    Value.K = JsonValue::Kind::Bool;
+    if (consumeLiteral("true")) {
+      Value.Boolean = true;
+      return Value;
+    }
+    if (consumeLiteral("false")) {
+      Value.Boolean = false;
+      return Value;
+    }
+    return std::nullopt;
+  }
+
+  std::optional<JsonValue> parseNumber() {
+    size_t Start = Pos;
+    if (Pos < Text.size() && Text[Pos] == '-')
+      ++Pos;
+    size_t DigitsStart = Pos;
+    while (Pos < Text.size() && (std::isdigit(static_cast<unsigned char>(
+                                     Text[Pos])) ||
+                                 Text[Pos] == '.' || Text[Pos] == 'e' ||
+                                 Text[Pos] == 'E' || Text[Pos] == '+' ||
+                                 Text[Pos] == '-'))
+      ++Pos;
+    if (Pos == DigitsStart)
+      return std::nullopt;
+    std::string Token(Text.substr(Start, Pos - Start));
+    char *End = nullptr;
+    double Number = std::strtod(Token.c_str(), &End);
+    if (End != Token.c_str() + Token.size() || !std::isfinite(Number))
+      return std::nullopt;
+    JsonValue Value;
+    Value.K = JsonValue::Kind::Number;
+    Value.Number = Number;
+    return Value;
+  }
+
+  static void appendUtf8(std::string &Out, unsigned Code) {
+    if (Code < 0x80) {
+      Out.push_back(static_cast<char>(Code));
+    } else if (Code < 0x800) {
+      Out.push_back(static_cast<char>(0xC0 | (Code >> 6)));
+      Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+    } else {
+      Out.push_back(static_cast<char>(0xE0 | (Code >> 12)));
+      Out.push_back(static_cast<char>(0x80 | ((Code >> 6) & 0x3F)));
+      Out.push_back(static_cast<char>(0x80 | (Code & 0x3F)));
+    }
+  }
+
+  std::optional<JsonValue> parseString() {
+    if (!consume('"'))
+      return std::nullopt;
+    JsonValue Value;
+    Value.K = JsonValue::Kind::String;
+    while (true) {
+      if (Pos >= Text.size())
+        return std::nullopt; // Unterminated.
+      char C = Text[Pos++];
+      if (C == '"')
+        return Value;
+      if (static_cast<unsigned char>(C) < 0x20)
+        return std::nullopt; // Raw control character.
+      if (C != '\\') {
+        Value.Str.push_back(C);
+        continue;
+      }
+      if (Pos >= Text.size())
+        return std::nullopt;
+      char Escape = Text[Pos++];
+      switch (Escape) {
+      case '"': Value.Str.push_back('"'); break;
+      case '\\': Value.Str.push_back('\\'); break;
+      case '/': Value.Str.push_back('/'); break;
+      case 'b': Value.Str.push_back('\b'); break;
+      case 'f': Value.Str.push_back('\f'); break;
+      case 'n': Value.Str.push_back('\n'); break;
+      case 'r': Value.Str.push_back('\r'); break;
+      case 't': Value.Str.push_back('\t'); break;
+      case 'u': {
+        if (Text.size() - Pos < 4)
+          return std::nullopt;
+        unsigned Code = 0;
+        for (int I = 0; I < 4; ++I) {
+          char H = Text[Pos++];
+          Code <<= 4;
+          if (H >= '0' && H <= '9')
+            Code |= static_cast<unsigned>(H - '0');
+          else if (H >= 'a' && H <= 'f')
+            Code |= static_cast<unsigned>(H - 'a' + 10);
+          else if (H >= 'A' && H <= 'F')
+            Code |= static_cast<unsigned>(H - 'A' + 10);
+          else
+            return std::nullopt;
+        }
+        // Surrogate pairs are not combined (the protocol never emits
+        // them); lone surrogates encode as-is into 3-byte sequences.
+        appendUtf8(Value.Str, Code);
+        break;
+      }
+      default:
+        return std::nullopt;
+      }
+    }
+  }
+
+  std::optional<JsonValue> parseArray(unsigned Depth) {
+    consume('[');
+    JsonValue Value;
+    Value.K = JsonValue::Kind::Array;
+    skipWhitespace();
+    if (consume(']'))
+      return Value;
+    while (true) {
+      std::optional<JsonValue> Item = parseValue(Depth + 1);
+      if (!Item)
+        return std::nullopt;
+      Value.Items.push_back(std::move(*Item));
+      skipWhitespace();
+      if (consume(']'))
+        return Value;
+      if (!consume(','))
+        return std::nullopt;
+    }
+  }
+
+  std::optional<JsonValue> parseObject(unsigned Depth) {
+    consume('{');
+    JsonValue Value;
+    Value.K = JsonValue::Kind::Object;
+    skipWhitespace();
+    if (consume('}'))
+      return Value;
+    while (true) {
+      skipWhitespace();
+      std::optional<JsonValue> Key = parseString();
+      if (!Key)
+        return std::nullopt;
+      skipWhitespace();
+      if (!consume(':'))
+        return std::nullopt;
+      std::optional<JsonValue> Member = parseValue(Depth + 1);
+      if (!Member)
+        return std::nullopt;
+      Value.Members.emplace_back(std::move(Key->Str), std::move(*Member));
+      skipWhitespace();
+      if (consume('}'))
+        return Value;
+      if (!consume(','))
+        return std::nullopt;
+    }
+  }
+
+  std::string_view Text;
+  size_t Pos = 0;
+};
+
+} // namespace
+
+std::optional<JsonValue> metaopt::parseJson(std::string_view Text) {
+  return Parser(Text).parseDocument();
+}
+
+//===----------------------------------------------------------------------===//
+// Writer
+//===----------------------------------------------------------------------===//
+
+std::string metaopt::jsonEscapeString(std::string_view Str) {
+  std::string Out;
+  Out.reserve(Str.size());
+  for (char C : Str) {
+    switch (C) {
+    case '"': Out += "\\\""; break;
+    case '\\': Out += "\\\\"; break;
+    case '\n': Out += "\\n"; break;
+    case '\r': Out += "\\r"; break;
+    case '\t': Out += "\\t"; break;
+    case '\b': Out += "\\b"; break;
+    case '\f': Out += "\\f"; break;
+    default:
+      if (static_cast<unsigned char>(C) < 0x20) {
+        char Buffer[8];
+        std::snprintf(Buffer, sizeof(Buffer), "\\u%04x",
+                      static_cast<unsigned>(static_cast<unsigned char>(C)));
+        Out += Buffer;
+      } else {
+        Out.push_back(C);
+      }
+    }
+  }
+  return Out;
+}
+
+void JsonWriter::beforeValue() {
+  if (PendingKey) {
+    PendingKey = false;
+    return; // The key already wrote its comma.
+  }
+  if (!NeedComma.empty()) {
+    if (NeedComma.back())
+      Out.push_back(',');
+    NeedComma.back() = true;
+  }
+}
+
+JsonWriter &JsonWriter::beginObject() {
+  beforeValue();
+  Out.push_back('{');
+  NeedComma.push_back(false);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endObject() {
+  Out.push_back('}');
+  NeedComma.pop_back();
+  return *this;
+}
+
+JsonWriter &JsonWriter::beginArray() {
+  beforeValue();
+  Out.push_back('[');
+  NeedComma.push_back(false);
+  return *this;
+}
+
+JsonWriter &JsonWriter::endArray() {
+  Out.push_back(']');
+  NeedComma.pop_back();
+  return *this;
+}
+
+JsonWriter &JsonWriter::key(std::string_view Key) {
+  if (!NeedComma.empty()) {
+    if (NeedComma.back())
+      Out.push_back(',');
+    NeedComma.back() = true;
+  }
+  Out.push_back('"');
+  Out += jsonEscapeString(Key);
+  Out += "\":";
+  PendingKey = true;
+  return *this;
+}
+
+JsonWriter &JsonWriter::str(std::string_view Value) {
+  beforeValue();
+  Out.push_back('"');
+  Out += jsonEscapeString(Value);
+  Out.push_back('"');
+  return *this;
+}
+
+JsonWriter &JsonWriter::number(double Value) {
+  beforeValue();
+  char Buffer[40];
+  // %.17g round-trips doubles; integral values print without exponent
+  // clutter via %.0f when exact.
+  if (Value == static_cast<double>(static_cast<int64_t>(Value)) &&
+      std::fabs(Value) < 1e15)
+    std::snprintf(Buffer, sizeof(Buffer), "%lld",
+                  static_cast<long long>(Value));
+  else
+    std::snprintf(Buffer, sizeof(Buffer), "%.17g", Value);
+  Out += Buffer;
+  return *this;
+}
+
+JsonWriter &JsonWriter::number(int64_t Value) {
+  beforeValue();
+  Out += std::to_string(Value);
+  return *this;
+}
+
+JsonWriter &JsonWriter::number(uint64_t Value) {
+  beforeValue();
+  Out += std::to_string(Value);
+  return *this;
+}
+
+JsonWriter &JsonWriter::boolean(bool Value) {
+  beforeValue();
+  Out += Value ? "true" : "false";
+  return *this;
+}
+
+JsonWriter &JsonWriter::null() {
+  beforeValue();
+  Out += "null";
+  return *this;
+}
+
+JsonWriter &JsonWriter::raw(std::string_view Fragment) {
+  beforeValue();
+  Out += Fragment;
+  return *this;
+}

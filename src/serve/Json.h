@@ -1,0 +1,112 @@
+//===- serve/Json.h - Minimal JSON value model ------------------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A small recursive-descent JSON parser and a comma-tracking writer for
+/// the serving wire protocol (serve/Protocol.h): line-delimited JSON
+/// objects over a unix-domain socket. Deliberately minimal — enough of
+/// RFC 8259 for the protocol's objects/arrays/strings/numbers/booleans,
+/// with \uXXXX escapes decoded to UTF-8. Malformed input yields
+/// std::nullopt, never a partial value; the daemon turns that into a
+/// protocol error instead of crashing on hostile bytes.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_SERVE_JSON_H
+#define METAOPT_SERVE_JSON_H
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace metaopt {
+
+/// One parsed JSON value (a tagged union over the JSON kinds).
+struct JsonValue {
+  enum class Kind { Null, Bool, Number, String, Array, Object };
+
+  Kind K = Kind::Null;
+  bool Boolean = false;
+  double Number = 0.0;
+  std::string Str;
+  std::vector<JsonValue> Items; ///< Array elements.
+  /// Object members in document order (duplicate keys keep the last).
+  std::vector<std::pair<std::string, JsonValue>> Members;
+
+  bool isNull() const { return K == Kind::Null; }
+  bool isBool() const { return K == Kind::Bool; }
+  bool isNumber() const { return K == Kind::Number; }
+  bool isString() const { return K == Kind::String; }
+  bool isArray() const { return K == Kind::Array; }
+  bool isObject() const { return K == Kind::Object; }
+
+  /// Member lookup; null when not an object or the key is absent.
+  const JsonValue *get(std::string_view Key) const;
+
+  /// Typed member accessors with defaults (missing or wrong-typed members
+  /// yield the default — the protocol treats both as "not supplied").
+  std::string getString(std::string_view Key,
+                        const std::string &Default = "") const;
+  double getNumber(std::string_view Key, double Default) const;
+  int64_t getInt(std::string_view Key, int64_t Default) const;
+  bool getBool(std::string_view Key, bool Default) const;
+};
+
+/// Parses one JSON document (surrounded by optional whitespace). Returns
+/// std::nullopt on any syntax error, trailing garbage, or nesting deeper
+/// than 64 levels.
+std::optional<JsonValue> parseJson(std::string_view Text);
+
+/// Escapes \p Str for inclusion inside a JSON string literal (quotes not
+/// included).
+std::string jsonEscapeString(std::string_view Str);
+
+/// An append-only JSON writer that tracks commas, for assembling protocol
+/// messages without a value tree:
+///
+///   JsonWriter W;
+///   W.beginObject();
+///   W.key("ok").boolean(true);
+///   W.key("factor").number(4);
+///   W.endObject();
+///   std::string Line = W.take();
+class JsonWriter {
+public:
+  JsonWriter &beginObject();
+  JsonWriter &endObject();
+  JsonWriter &beginArray();
+  JsonWriter &endArray();
+  /// Names the next value inside an object.
+  JsonWriter &key(std::string_view Key);
+  JsonWriter &str(std::string_view Value);
+  JsonWriter &number(double Value);
+  JsonWriter &number(int64_t Value);
+  JsonWriter &number(uint64_t Value);
+  JsonWriter &boolean(bool Value);
+  JsonWriter &null();
+  /// Splices an already-rendered JSON fragment as the next value.
+  JsonWriter &raw(std::string_view Fragment);
+
+  const std::string &text() const { return Out; }
+  std::string take() { return std::move(Out); }
+
+private:
+  void beforeValue();
+
+  std::string Out;
+  /// One entry per open container: true when a value was already written
+  /// at this level (so the next one needs a comma).
+  std::vector<bool> NeedComma;
+  bool PendingKey = false;
+};
+
+} // namespace metaopt
+
+#endif // METAOPT_SERVE_JSON_H

@@ -1,0 +1,77 @@
+//===- serve/Metrics.cpp --------------------------------------------------===//
+
+#include "serve/Metrics.h"
+
+#include <cmath>
+
+using namespace metaopt;
+
+namespace {
+
+unsigned bucketFor(double Micros) {
+  if (!(Micros >= 1.0))
+    return 0; // Sub-microsecond, negative, or NaN.
+  uint64_t Whole = static_cast<uint64_t>(Micros);
+  unsigned Bucket = 1;
+  while ((Whole >>= 1) != 0)
+    ++Bucket;
+  return Bucket < LatencyHistogram::BucketCount
+             ? Bucket
+             : LatencyHistogram::BucketCount - 1;
+}
+
+} // namespace
+
+void LatencyHistogram::record(double Micros) {
+  Buckets[bucketFor(Micros)].fetch_add(1, std::memory_order_relaxed);
+  Count.fetch_add(1, std::memory_order_relaxed);
+  if (Micros > 0)
+    SumMicros.fetch_add(static_cast<uint64_t>(Micros),
+                        std::memory_order_relaxed);
+}
+
+double LatencyHistogram::meanMicros() const {
+  uint64_t N = Count.load(std::memory_order_relaxed);
+  if (N == 0)
+    return 0;
+  return static_cast<double>(SumMicros.load(std::memory_order_relaxed)) /
+         static_cast<double>(N);
+}
+
+double LatencyHistogram::percentileMicros(double P) const {
+  uint64_t N = Count.load(std::memory_order_relaxed);
+  if (N == 0)
+    return 0;
+  // Rank of the percentile sample, 1-based, clamped into [1, N].
+  uint64_t Rank = static_cast<uint64_t>(std::ceil(P * static_cast<double>(N)));
+  if (Rank < 1)
+    Rank = 1;
+  if (Rank > N)
+    Rank = N;
+  uint64_t Seen = 0;
+  for (unsigned I = 0; I < BucketCount; ++I) {
+    Seen += Buckets[I].load(std::memory_order_relaxed);
+    if (Seen >= Rank)
+      return I == 0 ? 1.0 : static_cast<double>(1ull << I);
+  }
+  // Counter races can leave Seen slightly short of N; report the top edge.
+  return static_cast<double>(1ull << (BucketCount - 1));
+}
+
+ServiceStatsSnapshot ServiceMetrics::snapshot() const {
+  ServiceStatsSnapshot S;
+  S.Received = Received.load(std::memory_order_relaxed);
+  S.Completed = Completed.load(std::memory_order_relaxed);
+  S.Ok = Ok.load(std::memory_order_relaxed);
+  S.Malformed = Malformed.load(std::memory_order_relaxed);
+  S.Overloaded = Overloaded.load(std::memory_order_relaxed);
+  S.DeadlineExceeded = DeadlineExceeded.load(std::memory_order_relaxed);
+  S.Batches = Batches.load(std::memory_order_relaxed);
+  S.QueueDepth = QueueDepth.load(std::memory_order_relaxed);
+  S.LatencySamples = Latency.count();
+  S.MeanMicros = Latency.meanMicros();
+  S.P50Micros = Latency.percentileMicros(0.50);
+  S.P95Micros = Latency.percentileMicros(0.95);
+  S.P99Micros = Latency.percentileMicros(0.99);
+  return S;
+}

@@ -1,0 +1,93 @@
+//===- serve/Metrics.h - In-process serving metrics -------------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Lock-free operational metrics for the prediction service: atomic
+/// counters, a queue-depth gauge, and a log-bucketed latency histogram
+/// good enough for p50/p95/p99 dashboards. Recording is wait-free (one
+/// relaxed fetch_add per event) so the hot path never serializes on
+/// metrics; snapshots are taken by the stats endpoint and the load
+/// generator and are only approximately consistent across counters, which
+/// is the usual contract for operational telemetry.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_SERVE_METRICS_H
+#define METAOPT_SERVE_METRICS_H
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+
+namespace metaopt {
+
+/// A log₂-bucketed histogram of latencies in microseconds. Bucket I holds
+/// samples in [2^(I-1), 2^I) (bucket 0 holds sub-microsecond samples), so
+/// percentile estimates carry at most one power-of-two of error — plenty
+/// for tail-latency reporting, and recording is a single relaxed
+/// fetch_add.
+class LatencyHistogram {
+public:
+  static constexpr unsigned BucketCount = 40; // 2^39 us ≈ 6.4 days.
+
+  void record(double Micros);
+
+  uint64_t count() const { return Count.load(std::memory_order_relaxed); }
+
+  /// Mean over all recorded samples (0 when empty).
+  double meanMicros() const;
+
+  /// Estimated \p P percentile (0 < P < 1), as the upper edge of the
+  /// bucket containing the P-th sample. 0 when empty.
+  double percentileMicros(double P) const;
+
+private:
+  std::array<std::atomic<uint64_t>, BucketCount> Buckets{};
+  std::atomic<uint64_t> Count{0};
+  /// Sum in whole microseconds; at 2^63 us of cumulative latency this
+  /// wraps, which is far beyond any realistic process lifetime.
+  std::atomic<uint64_t> SumMicros{0};
+};
+
+/// Point-in-time view of the service counters, as reported by the stats
+/// endpoint.
+struct ServiceStatsSnapshot {
+  uint64_t Received = 0;   ///< Requests admitted to the queue.
+  uint64_t Completed = 0;  ///< Requests answered (any status).
+  uint64_t Ok = 0;         ///< ... with status ok.
+  uint64_t Malformed = 0;  ///< ... rejected by parser/verifier.
+  uint64_t Overloaded = 0; ///< Refused at admission (queue full).
+  uint64_t DeadlineExceeded = 0; ///< Expired before a worker got to them.
+  uint64_t Batches = 0;    ///< Dispatcher batches executed.
+  int64_t QueueDepth = 0;  ///< Requests currently queued.
+  uint64_t LatencySamples = 0;
+  double MeanMicros = 0;
+  double P50Micros = 0;
+  double P95Micros = 0;
+  double P99Micros = 0;
+};
+
+/// The live counters behind a ServiceStatsSnapshot. Members are public:
+/// the service increments them directly from its hot path.
+struct ServiceMetrics {
+  std::atomic<uint64_t> Received{0};
+  std::atomic<uint64_t> Completed{0};
+  std::atomic<uint64_t> Ok{0};
+  std::atomic<uint64_t> Malformed{0};
+  std::atomic<uint64_t> Overloaded{0};
+  std::atomic<uint64_t> DeadlineExceeded{0};
+  std::atomic<uint64_t> Batches{0};
+  std::atomic<int64_t> QueueDepth{0};
+  /// Admission-to-response latency of completed requests.
+  LatencyHistogram Latency;
+
+  ServiceStatsSnapshot snapshot() const;
+};
+
+} // namespace metaopt
+
+#endif // METAOPT_SERVE_METRICS_H

@@ -1,0 +1,198 @@
+//===- serve/Protocol.cpp -------------------------------------------------===//
+
+#include "serve/Protocol.h"
+
+#include "support/CommandLine.h"
+
+using namespace metaopt;
+
+std::optional<WireRequest>
+metaopt::parseRequestLine(const std::string &Line, std::string *Error) {
+  std::optional<JsonValue> Doc = parseJson(Line);
+  if (!Doc || !Doc->isObject()) {
+    if (Error)
+      *Error = "request is not a JSON object";
+    return std::nullopt;
+  }
+
+  WireRequest Request;
+  Request.Id = Doc->getString("id");
+
+  std::string Op = Doc->getString("op");
+  if (Op == "predict")
+    Request.TheOp = WireRequest::Op::Predict;
+  else if (Op == "health")
+    Request.TheOp = WireRequest::Op::Health;
+  else if (Op == "stats")
+    Request.TheOp = WireRequest::Op::Stats;
+  else if (Op == "shutdown")
+    Request.TheOp = WireRequest::Op::Shutdown;
+  else {
+    if (Error)
+      *Error = Op.empty() ? "missing \"op\""
+                          : "unknown op \"" + Op + "\"";
+    return std::nullopt;
+  }
+
+  if (Request.TheOp == WireRequest::Op::Predict) {
+    const JsonValue *LoopText = Doc->get("loop");
+    if (!LoopText || !LoopText->isString() || LoopText->Str.empty()) {
+      if (Error)
+        *Error = "predict requires a non-empty string \"loop\"";
+      return std::nullopt;
+    }
+    Request.LoopText = LoopText->Str;
+    Request.WantScores = Doc->getBool("scores", false);
+    Request.DeadlineMs = Doc->getInt("deadline_ms", 0);
+    if (Request.DeadlineMs < 0) {
+      if (Error)
+        *Error = "\"deadline_ms\" must be non-negative";
+      return std::nullopt;
+    }
+  }
+  return Request;
+}
+
+std::string metaopt::renderRequestLine(const WireRequest &Request) {
+  JsonWriter W;
+  W.beginObject();
+  switch (Request.TheOp) {
+  case WireRequest::Op::Predict:
+    W.key("op").str("predict");
+    break;
+  case WireRequest::Op::Health:
+    W.key("op").str("health");
+    break;
+  case WireRequest::Op::Stats:
+    W.key("op").str("stats");
+    break;
+  case WireRequest::Op::Shutdown:
+    W.key("op").str("shutdown");
+    break;
+  }
+  if (!Request.Id.empty())
+    W.key("id").str(Request.Id);
+  if (Request.TheOp == WireRequest::Op::Predict) {
+    W.key("loop").str(Request.LoopText);
+    if (Request.WantScores)
+      W.key("scores").boolean(true);
+    if (Request.DeadlineMs > 0)
+      W.key("deadline_ms").number(Request.DeadlineMs);
+  }
+  W.endObject();
+  return W.take();
+}
+
+namespace {
+
+void writeIdAndStatus(JsonWriter &W, const std::string &Id,
+                      std::string_view Status) {
+  if (!Id.empty())
+    W.key("id").str(Id);
+  W.key("status").str(Status);
+}
+
+} // namespace
+
+std::string
+metaopt::renderPredictResponse(const std::string &Id,
+                               const PredictResponse &Response) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("op").str("predict");
+  writeIdAndStatus(W, Id, predictStatusName(Response.Status));
+  if (Response.Status != PredictStatus::Ok) {
+    W.key("error").str(Response.Error);
+    W.endObject();
+    return W.take();
+  }
+  W.key("loops").beginArray();
+  for (const LoopPrediction &Loop : Response.Loops) {
+    W.beginObject();
+    W.key("name").str(Loop.LoopName);
+    W.key("factor").number(static_cast<int64_t>(Loop.Factor));
+    // A trained classifier never reports factor 0; scores are present
+    // exactly when the request asked for them.
+    bool HasScores = false;
+    for (double Score : Loop.Scores)
+      HasScores |= Score != 0.0;
+    if (HasScores) {
+      W.key("scores").beginArray();
+      for (double Score : Loop.Scores)
+        W.number(Score);
+      W.endArray();
+    }
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.take();
+}
+
+std::string metaopt::renderErrorResponse(const std::string &Id,
+                                         std::string_view Status,
+                                         std::string_view Error) {
+  JsonWriter W;
+  W.beginObject();
+  writeIdAndStatus(W, Id, Status);
+  W.key("error").str(Error);
+  W.endObject();
+  return W.take();
+}
+
+std::string metaopt::renderHealthResponse(const std::string &Id,
+                                          const ModelBundle &Bundle) {
+  const BundleProvenance &Prov = Bundle.Provenance;
+  JsonWriter W;
+  W.beginObject();
+  W.key("op").str("health");
+  writeIdAndStatus(W, Id, "ok");
+  W.key("classifier").str(Prov.ClassifierName);
+  W.key("machine").str(Prov.MachineName);
+  W.key("swp").boolean(Prov.EnableSwp);
+  W.key("features").number(static_cast<uint64_t>(Bundle.Features.size()));
+  W.key("training_examples").number(Prov.TrainingExamples);
+  W.key("corpus_fingerprint").str(Prov.CorpusFingerprint);
+  W.key("cv_method").str(Prov.CvMethod);
+  W.key("cv_accuracy").number(Prov.CvAccuracy);
+  W.key("server_version").str(metaoptVersion());
+  W.endObject();
+  return W.take();
+}
+
+std::string
+metaopt::renderStatsResponse(const std::string &Id,
+                             const ServiceStatsSnapshot &Stats,
+                             uint64_t ConnectionsAccepted,
+                             uint64_t ConnectionsOpen) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("op").str("stats");
+  writeIdAndStatus(W, Id, "ok");
+  W.key("received").number(Stats.Received);
+  W.key("completed").number(Stats.Completed);
+  W.key("ok").number(Stats.Ok);
+  W.key("malformed").number(Stats.Malformed);
+  W.key("overloaded").number(Stats.Overloaded);
+  W.key("deadline_exceeded").number(Stats.DeadlineExceeded);
+  W.key("batches").number(Stats.Batches);
+  W.key("queue_depth").number(static_cast<int64_t>(Stats.QueueDepth));
+  W.key("latency_samples").number(Stats.LatencySamples);
+  W.key("latency_mean_us").number(Stats.MeanMicros);
+  W.key("latency_p50_us").number(Stats.P50Micros);
+  W.key("latency_p95_us").number(Stats.P95Micros);
+  W.key("latency_p99_us").number(Stats.P99Micros);
+  W.key("connections_accepted").number(ConnectionsAccepted);
+  W.key("connections_open").number(ConnectionsOpen);
+  W.endObject();
+  return W.take();
+}
+
+std::string metaopt::renderShutdownResponse(const std::string &Id) {
+  JsonWriter W;
+  W.beginObject();
+  W.key("op").str("shutdown");
+  writeIdAndStatus(W, Id, "ok");
+  W.endObject();
+  return W.take();
+}

@@ -1,0 +1,86 @@
+//===- serve/Protocol.h - Serving wire protocol -----------------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The line-delimited JSON protocol spoken between metaopt-serve and its
+/// clients over a unix-domain socket: one JSON object per line in each
+/// direction, one response line per request line, in order. The full
+/// message reference lives in docs/SERVING.md. This module is the single
+/// definition of the wire format — the daemon, the client library, and
+/// the load generator all render and parse through it, so the two sides
+/// cannot drift.
+///
+/// Response rendering is a pure function of the request identity and the
+/// semantic result (never of timing, batching, or connection state);
+/// together with PredictionService's purity contract this makes server
+/// responses byte-identical across serial, batched, and concurrent
+/// execution — asserted by tests/serve_test.cpp and the daemon smoke test.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_SERVE_PROTOCOL_H
+#define METAOPT_SERVE_PROTOCOL_H
+
+#include "serve/Json.h"
+#include "serve/Metrics.h"
+#include "serve/ModelBundle.h"
+#include "serve/PredictionService.h"
+
+#include <optional>
+#include <string>
+
+namespace metaopt {
+
+/// One parsed client request line.
+struct WireRequest {
+  enum class Op { Predict, Health, Stats, Shutdown };
+  Op TheOp = Op::Predict;
+  /// Client-chosen correlation tag, echoed verbatim in the response
+  /// ("" = absent).
+  std::string Id;
+  /// Predict: the textual loop program.
+  std::string LoopText;
+  /// Predict: also return per-factor scores.
+  bool WantScores = false;
+  /// Predict: relative deadline in milliseconds; 0 = none.
+  int64_t DeadlineMs = 0;
+};
+
+/// Parses one request line. std::nullopt (with \p Error set) on invalid
+/// JSON, a missing/unknown "op", or a predict without a "loop".
+std::optional<WireRequest> parseRequestLine(const std::string &Line,
+                                            std::string *Error = nullptr);
+
+/// Renders \p Request as a single protocol line (no trailing newline).
+std::string renderRequestLine(const WireRequest &Request);
+
+/// Renders the response to a predict request.
+std::string renderPredictResponse(const std::string &Id,
+                                  const PredictResponse &Response);
+
+/// Renders a non-predict failure ({"status": <status>, "error": ...}).
+std::string renderErrorResponse(const std::string &Id,
+                                std::string_view Status,
+                                std::string_view Error);
+
+/// Renders the health response: the model's identity and provenance.
+std::string renderHealthResponse(const std::string &Id,
+                                 const ModelBundle &Bundle);
+
+/// Renders the stats response from a metrics snapshot plus the
+/// server-level connection counters.
+std::string renderStatsResponse(const std::string &Id,
+                                const ServiceStatsSnapshot &Stats,
+                                uint64_t ConnectionsAccepted,
+                                uint64_t ConnectionsOpen);
+
+/// Renders the acknowledgement to a shutdown request.
+std::string renderShutdownResponse(const std::string &Id);
+
+} // namespace metaopt
+
+#endif // METAOPT_SERVE_PROTOCOL_H

@@ -1,0 +1,254 @@
+//===- serve/Server.cpp ---------------------------------------------------===//
+
+#include "serve/Server.h"
+
+#include "serve/Protocol.h"
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace metaopt;
+
+std::atomic<bool> &metaopt::serverStopFlag() {
+  static std::atomic<bool> Flag{false};
+  return Flag;
+}
+
+Server::Server(ModelBundle Bundle, ServerOptions OptionsIn)
+    : Options(std::move(OptionsIn)) {
+  Service = std::make_unique<PredictionService>(std::move(Bundle),
+                                                Options.Service);
+}
+
+Server::~Server() {
+  requestStop();
+  // run() owns all teardown; if it was never called there is nothing to
+  // join beyond the service, whose destructor drains its queue.
+}
+
+bool Server::stopRequested() const {
+  return Stop.load(std::memory_order_acquire) ||
+         serverStopFlag().load(std::memory_order_acquire);
+}
+
+void Server::requestStop() { Stop.store(true, std::memory_order_release); }
+
+namespace {
+
+/// Writes all of \p Line plus a newline; false when the peer vanished.
+bool writeLine(int Fd, const std::string &Line) {
+  std::string Framed = Line + "\n";
+  size_t Sent = 0;
+  while (Sent < Framed.size()) {
+    ssize_t N = ::send(Fd, Framed.data() + Sent, Framed.size() - Sent,
+                       MSG_NOSIGNAL);
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      return false;
+    }
+    Sent += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+} // namespace
+
+std::string Server::handleLine(const std::string &Line) {
+  std::string ParseError;
+  std::optional<WireRequest> Request = parseRequestLine(Line, &ParseError);
+  if (!Request)
+    return renderErrorResponse("", "bad-request", ParseError);
+
+  switch (Request->TheOp) {
+  case WireRequest::Op::Health:
+    return renderHealthResponse(Request->Id, Service->bundle());
+  case WireRequest::Op::Stats:
+    return renderStatsResponse(Request->Id, Service->stats(),
+                               Accepted.load(std::memory_order_relaxed),
+                               Open.load(std::memory_order_relaxed));
+  case WireRequest::Op::Shutdown:
+    requestStop();
+    return renderShutdownResponse(Request->Id);
+  case WireRequest::Op::Predict:
+    break;
+  }
+
+  PredictRequest Predict;
+  Predict.LoopText = std::move(Request->LoopText);
+  Predict.WantScores = Request->WantScores;
+  if (Request->DeadlineMs > 0)
+    Predict.Deadline = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(Request->DeadlineMs);
+  PredictResponse Response = Service->predict(std::move(Predict));
+  return renderPredictResponse(Request->Id, Response);
+}
+
+void Server::handleConnection(Connection &Conn) {
+  Open.fetch_add(1, std::memory_order_relaxed);
+  std::string Buffer;
+  char Chunk[1 << 14];
+  bool Alive = true;
+
+  while (Alive) {
+    // Serve every complete line already buffered. A request accepted
+    // here is always answered before the connection can close — the
+    // zero-dropped-responses half of the drain contract.
+    size_t Newline;
+    while (Alive && (Newline = Buffer.find('\n')) != std::string::npos) {
+      std::string Line = Buffer.substr(0, Newline);
+      Buffer.erase(0, Newline + 1);
+      if (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      if (Line.empty())
+        continue;
+      Alive = writeLine(Conn.Fd, handleLine(Line));
+    }
+    if (!Alive)
+      break;
+
+    // During a drain, close as soon as the client has no partial request
+    // buffered; anything already sent was answered above.
+    if (stopRequested() && Buffer.empty())
+      break;
+
+    struct pollfd Pfd = {Conn.Fd, POLLIN, 0};
+    int Ready = ::poll(&Pfd, 1, 200);
+    if (Ready < 0 && errno != EINTR)
+      break;
+    if (Ready <= 0)
+      continue; // Timeout (recheck the stop flag) or EINTR.
+
+    ssize_t N = ::recv(Conn.Fd, Chunk, sizeof(Chunk), 0);
+    if (N == 0)
+      break; // Peer closed.
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    Buffer.append(Chunk, static_cast<size_t>(N));
+  }
+
+  ::close(Conn.Fd);
+  Conn.Fd = -1;
+  Open.fetch_sub(1, std::memory_order_relaxed);
+  Conn.Done.store(true, std::memory_order_release);
+}
+
+bool Server::run(std::string *Error) {
+  if (Options.SocketPath.empty()) {
+    if (Error)
+      *Error = "no socket path configured";
+    return false;
+  }
+  sockaddr_un Addr = {};
+  Addr.sun_family = AF_UNIX;
+  if (Options.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    if (Error)
+      *Error = "socket path is too long for sockaddr_un";
+    return false;
+  }
+  std::strncpy(Addr.sun_path, Options.SocketPath.c_str(),
+               sizeof(Addr.sun_path) - 1);
+
+  int ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (ListenFd < 0) {
+    if (Error)
+      *Error = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+
+  // A stale socket file from a crashed predecessor would make bind fail;
+  // remove it. A *live* predecessor also loses its file, but two daemons
+  // on one path is an operator error either way.
+  ::unlink(Options.SocketPath.c_str());
+
+  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
+             sizeof(Addr)) < 0 ||
+      ::listen(ListenFd, Options.Backlog) < 0) {
+    if (Error)
+      *Error = std::string("bind/listen on '") + Options.SocketPath +
+               "': " + std::strerror(errno);
+    ::close(ListenFd);
+    return false;
+  }
+  Listening.store(true, std::memory_order_release);
+
+  while (!stopRequested()) {
+    struct pollfd Pfd = {ListenFd, POLLIN, 0};
+    int Ready = ::poll(&Pfd, 1, 200);
+    if (Ready < 0 && errno != EINTR)
+      break;
+    if (Ready <= 0)
+      continue;
+
+    int ClientFd = ::accept(ListenFd, nullptr, nullptr);
+    if (ClientFd < 0)
+      continue;
+    Accepted.fetch_add(1, std::memory_order_relaxed);
+
+    auto Conn = std::make_unique<Connection>();
+    Conn->Fd = ClientFd;
+    Connection *Raw = Conn.get();
+    Raw->Worker = std::thread([this, Raw] { handleConnection(*Raw); });
+    {
+      std::lock_guard<std::mutex> Lock(ConnectionsMutex);
+      // Reap finished connections so a long-lived daemon does not
+      // accumulate joinable threads.
+      for (auto &Existing : Connections)
+        if (Existing->Done.load(std::memory_order_acquire) &&
+            Existing->Worker.joinable())
+          Existing->Worker.join();
+      std::erase_if(Connections, [](const auto &C) {
+        return C->Done.load(std::memory_order_acquire) &&
+               !C->Worker.joinable();
+      });
+      Connections.push_back(std::move(Conn));
+    }
+  }
+
+  // Drain: stop accepting, then wait for the connection threads. Each
+  // thread exits once its client closes or, during the drain, as soon as
+  // it has no buffered request — after answering everything it accepted.
+  ::close(ListenFd);
+  ::unlink(Options.SocketPath.c_str());
+
+  auto DrainDeadline =
+      std::chrono::steady_clock::now() + Options.DrainTimeout;
+  while (std::chrono::steady_clock::now() < DrainDeadline) {
+    bool AllDone = true;
+    {
+      std::lock_guard<std::mutex> Lock(ConnectionsMutex);
+      for (auto &Conn : Connections)
+        AllDone &= Conn->Done.load(std::memory_order_acquire);
+    }
+    if (AllDone)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  {
+    // Force the stragglers' sockets shut; their threads then exit.
+    std::lock_guard<std::mutex> Lock(ConnectionsMutex);
+    for (auto &Conn : Connections)
+      if (!Conn->Done.load(std::memory_order_acquire) && Conn->Fd >= 0)
+        ::shutdown(Conn->Fd, SHUT_RDWR);
+  }
+  {
+    std::lock_guard<std::mutex> Lock(ConnectionsMutex);
+    for (auto &Conn : Connections)
+      if (Conn->Worker.joinable())
+        Conn->Worker.join();
+    Connections.clear();
+  }
+
+  Service->shutdown();
+  Listening.store(false, std::memory_order_release);
+  return true;
+}

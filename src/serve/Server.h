@@ -1,0 +1,112 @@
+//===- serve/Server.h - Unix-socket prediction daemon -----------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The transport layer of metaopt-serve: a unix-domain stream socket
+/// speaking the line-delimited JSON protocol (serve/Protocol.h), one
+/// thread per connection, all predictions funneled through one shared
+/// PredictionService so requests from different connections batch
+/// together.
+///
+/// Shutdown is drain-then-stop: once stop is requested (requestStop(), a
+/// client shutdown op, or a signal handler setting serverStopFlag()), the
+/// listener stops accepting, every in-flight request is still answered,
+/// idle connections are closed, and run() returns only when the last
+/// response has been written — the "zero dropped responses" contract the
+/// smoke test asserts. Connections that keep submitting during the drain
+/// are closed after their next response. DrainTimeout bounds how long a
+/// stuck client can hold the process; on expiry remaining sockets are
+/// forcibly shut down (still never dropping a response that was already
+/// being computed... the write simply fails if the client vanished).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_SERVE_SERVER_H
+#define METAOPT_SERVE_SERVER_H
+
+#include "serve/PredictionService.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace metaopt {
+
+/// Daemon configuration.
+struct ServerOptions {
+  std::string SocketPath;
+  PredictionServiceOptions Service;
+  /// How long the drain waits for open connections to finish before
+  /// forcibly shutting their sockets.
+  std::chrono::milliseconds DrainTimeout{5000};
+  int Backlog = 64;
+};
+
+/// Process-wide stop flag polled by every running Server's accept loop.
+/// Lock-free, so a SIGTERM/SIGINT handler may set it directly — that is
+/// the daemon's graceful-shutdown path.
+std::atomic<bool> &serverStopFlag();
+
+/// One serving daemon instance.
+class Server {
+public:
+  /// \p Bundle must be a validated bundle; the constructor instantiates
+  /// the classifier (throws std::runtime_error on an unloadable blob).
+  Server(ModelBundle Bundle, ServerOptions Options);
+  ~Server();
+
+  Server(const Server &) = delete;
+  Server &operator=(const Server &) = delete;
+
+  /// Binds the socket and serves until stop is requested, then drains.
+  /// Returns false (with \p Error) only on setup failure; a served-then-
+  /// drained run returns true. Blocking — daemons call it from main(),
+  /// tests from a helper thread.
+  bool run(std::string *Error = nullptr);
+
+  /// Asks a running run() to begin the drain. Safe from any thread.
+  void requestStop();
+
+  /// True from successful bind until run() returns.
+  bool listening() const { return Listening.load(std::memory_order_acquire); }
+
+  ServiceStatsSnapshot stats() const { return Service->stats(); }
+  uint64_t connectionsAccepted() const {
+    return Accepted.load(std::memory_order_relaxed);
+  }
+  const std::string &socketPath() const { return Options.SocketPath; }
+  const ModelBundle &bundle() const { return Service->bundle(); }
+
+private:
+  struct Connection {
+    int Fd = -1;
+    std::thread Worker;
+    std::atomic<bool> Done{false};
+  };
+
+  bool stopRequested() const;
+  void handleConnection(Connection &Conn);
+  /// Serves one request line; returns the response to write.
+  std::string handleLine(const std::string &Line);
+
+  ServerOptions Options;
+  std::unique_ptr<PredictionService> Service;
+  std::atomic<bool> Stop{false};
+  std::atomic<bool> Listening{false};
+  std::atomic<uint64_t> Accepted{0};
+  std::atomic<uint64_t> Open{0};
+
+  std::mutex ConnectionsMutex;
+  std::vector<std::unique_ptr<Connection>> Connections;
+};
+
+} // namespace metaopt
+
+#endif // METAOPT_SERVE_SERVER_H

@@ -4,7 +4,12 @@
 
 #include "support/StringUtils.h"
 
+#include <algorithm>
+#include <cstdio>
+
 using namespace metaopt;
+
+const char *metaopt::metaoptVersion() { return "0.4.0"; }
 
 CommandLine::CommandLine(int Argc, const char *const *Argv) {
   if (Argc > 0)
@@ -54,4 +59,122 @@ double CommandLine::getDouble(const std::string &Key, double Default) const {
   if (auto Value = parseDouble(It->second))
     return *Value;
   return Default;
+}
+
+//===----------------------------------------------------------------------===//
+// CliParser
+//===----------------------------------------------------------------------===//
+
+CliParser::CliParser(std::string ToolIn, std::string SummaryIn)
+    : Tool(std::move(ToolIn)), Summary(std::move(SummaryIn)) {}
+
+void CliParser::flag(const std::string &Name, const std::string &Help) {
+  Specs.push_back({Name, "", Help});
+}
+
+void CliParser::option(const std::string &Name,
+                       const std::string &ValueName,
+                       const std::string &Help) {
+  Specs.push_back({Name, ValueName, Help});
+}
+
+void CliParser::positionalHelp(std::string Placeholder, std::string Help) {
+  PositionalPlaceholder = std::move(Placeholder);
+  PositionalHelp = std::move(Help);
+}
+
+std::string CliParser::usage() const {
+  std::string Out = "usage: " + Tool + " [options]";
+  if (!PositionalPlaceholder.empty())
+    Out += " " + PositionalPlaceholder;
+  Out += "\n\n" + Summary + "\n";
+  if (!PositionalHelp.empty())
+    Out += "\n  " + PositionalPlaceholder + "\n      " + PositionalHelp +
+           "\n";
+  Out += "\noptions:\n";
+  std::vector<OptionSpec> Sorted = Specs;
+  Sorted.push_back({"help", "", "print this message and exit"});
+  Sorted.push_back({"version", "", "print the version and exit"});
+  size_t Widest = 0;
+  std::vector<std::string> Rendered;
+  Rendered.reserve(Sorted.size());
+  for (const OptionSpec &Spec : Sorted) {
+    std::string Left = "--" + Spec.Name;
+    if (!Spec.ValueName.empty())
+      Left += "=<" + Spec.ValueName + ">";
+    Widest = std::max(Widest, Left.size());
+    Rendered.push_back(std::move(Left));
+  }
+  for (size_t I = 0; I < Sorted.size(); ++I) {
+    Out += "  " + Rendered[I];
+    Out.append(Widest - Rendered[I].size() + 2, ' ');
+    Out += Sorted[I].Help + "\n";
+  }
+  return Out;
+}
+
+std::optional<int> CliParser::parse(int Argc, const char *const *Argv) {
+  // --help/-h and --version win over everything else on the line, before
+  // unknown-option checking, so "tool --whatever --help" still helps.
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg == "--help" || Arg == "-h") {
+      std::fputs(usage().c_str(), stdout);
+      return 0;
+    }
+    if (Arg == "--version") {
+      std::printf("%s (metaopt) %s\n", Tool.c_str(), metaoptVersion());
+      return 0;
+    }
+  }
+  for (int I = 1; I < Argc; ++I) {
+    std::string Arg = Argv[I];
+    if (Arg.size() < 3 || Arg.substr(0, 2) != "--")
+      continue; // Positional (or "-" / "--"); always accepted.
+    std::string Name = Arg.substr(2, Arg.find('=') - 2);
+    bool HasValue = Arg.find('=') != std::string::npos;
+    auto Spec = std::find_if(
+        Specs.begin(), Specs.end(),
+        [&](const OptionSpec &S) { return S.Name == Name; });
+    if (Spec == Specs.end()) {
+      std::fprintf(stderr, "%s: unknown option '%s'\n%s", Tool.c_str(),
+                   Arg.c_str(), usage().c_str());
+      return 2;
+    }
+    if (!Spec->ValueName.empty() && !HasValue) {
+      std::fprintf(stderr, "%s: option '--%s' requires a value (--%s=<%s>)\n",
+                   Tool.c_str(), Name.c_str(), Name.c_str(),
+                   Spec->ValueName.c_str());
+      return 2;
+    }
+    if (Spec->ValueName.empty() && HasValue) {
+      std::fprintf(stderr, "%s: option '--%s' does not take a value\n",
+                   Tool.c_str(), Name.c_str());
+      return 2;
+    }
+  }
+  Parsed.emplace(Argc, Argv);
+  return std::nullopt;
+}
+
+bool CliParser::has(const std::string &Key) const {
+  return Parsed && Parsed->has(Key);
+}
+
+std::string CliParser::getString(const std::string &Key,
+                                 const std::string &Default) const {
+  return Parsed ? Parsed->getString(Key, Default) : Default;
+}
+
+int64_t CliParser::getInt(const std::string &Key, int64_t Default) const {
+  return Parsed ? Parsed->getInt(Key, Default) : Default;
+}
+
+double CliParser::getDouble(const std::string &Key, double Default) const {
+  return Parsed ? Parsed->getDouble(Key, Default) : Default;
+}
+
+const std::vector<std::string> &CliParser::positional() const {
+  static const std::vector<std::string> Empty;
+  return Parsed ? Parsed->positional() : Empty;
 }

@@ -8,7 +8,11 @@
 /// \file
 /// A deliberately small command-line flag parser for the example programs
 /// and benchmark harnesses (--flag and --key=value; "--key value" is
-/// deliberately not supported - it is ambiguous with positionals).
+/// deliberately not supported - it is ambiguous with positionals), plus
+/// CliParser, the declarative front-end the metaopt-* tools share: it
+/// registers the legal options, generates --help, answers --version, and
+/// rejects unknown flags with a non-zero exit instead of silently
+/// ignoring them.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -16,10 +20,14 @@
 #define METAOPT_SUPPORT_COMMANDLINE_H
 
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 namespace metaopt {
+
+/// The project version reported by every tool's --version.
+const char *metaoptVersion();
 
 /// Parses argv into named options and positional arguments.
 ///
@@ -51,6 +59,69 @@ private:
   std::string ProgramName;
   std::map<std::string, std::string> Options;
   std::vector<std::string> Positional;
+};
+
+/// Declarative command-line front-end for the metaopt-* tools.
+///
+/// Usage:
+///   CliParser Cli("metaopt-foo", "one-line summary");
+///   Cli.flag("corpus", "sweep the built-in corpus");
+///   Cli.option("threads", "n", "worker threads");
+///   Cli.positionalHelp("<file.loop> ...", "loop files to process");
+///   if (std::optional<int> Exit = Cli.parse(Argc, Argv))
+///     return *Exit;
+///
+/// parse() handles --help/-h and --version itself (exit 0) and rejects
+/// any option that was not registered (error + usage to stderr, exit 2),
+/// so a typo like --treads=4 can never be silently ignored. After a
+/// successful parse the CommandLine accessors (has/getString/getInt/
+/// getDouble/positional) answer queries.
+class CliParser {
+public:
+  CliParser(std::string Tool, std::string Summary);
+
+  /// Registers a boolean flag (--name).
+  void flag(const std::string &Name, const std::string &Help);
+
+  /// Registers a value option (--name=<value>).
+  void option(const std::string &Name, const std::string &ValueName,
+              const std::string &Help);
+
+  /// Describes the positional arguments in the usage line (help only;
+  /// positionals are always accepted).
+  void positionalHelp(std::string Placeholder, std::string Help);
+
+  /// Parses argv. Returns the process exit code when the tool should stop
+  /// (0 after --help/--version, 2 on an unknown or malformed option) and
+  /// std::nullopt when parsing succeeded and the tool should run.
+  std::optional<int> parse(int Argc, const char *const *Argv);
+
+  /// Renders the generated usage/help text.
+  std::string usage() const;
+
+  const std::string &tool() const { return Tool; }
+
+  // Query interface; valid after a successful parse().
+  bool has(const std::string &Key) const;
+  std::string getString(const std::string &Key,
+                        const std::string &Default = "") const;
+  int64_t getInt(const std::string &Key, int64_t Default) const;
+  double getDouble(const std::string &Key, double Default) const;
+  const std::vector<std::string> &positional() const;
+
+private:
+  struct OptionSpec {
+    std::string Name;
+    std::string ValueName; ///< "" for boolean flags.
+    std::string Help;
+  };
+
+  std::string Tool;
+  std::string Summary;
+  std::string PositionalPlaceholder;
+  std::string PositionalHelp;
+  std::vector<OptionSpec> Specs;
+  std::optional<CommandLine> Parsed;
 };
 
 } // namespace metaopt

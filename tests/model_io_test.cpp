@@ -11,9 +11,14 @@
 //===----------------------------------------------------------------------===//
 
 #include "core/ml/CrossValidation.h"
+#include "core/ml/DecisionTree.h"
 #include "core/ml/Evaluation.h"
+#include "core/ml/Lsh.h"
 #include "core/ml/NearNeighbor.h"
 #include "core/ml/OutputCode.h"
+#include "core/ml/Regression.h"
+
+#include <algorithm>
 
 #include <gtest/gtest.h>
 
@@ -174,6 +179,193 @@ TEST(SvmIoTest, RejectsCorruptedInput) {
   EXPECT_FALSE(
       SvmClassifier::deserialize(Good.substr(0, Good.size() / 3))
           .has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Decision tree serialization
+//===----------------------------------------------------------------------===//
+
+TEST(DtreeIoTest, RoundTripPredictsIdentically) {
+  Dataset Train = cleanDataset(200, 11, 0.1);
+  DecisionTreeClassifier Tree(firstTwoFeatures());
+  Tree.train(Train);
+  std::optional<DecisionTreeClassifier> Loaded =
+      DecisionTreeClassifier::deserialize(Tree.serialize());
+  ASSERT_TRUE(Loaded.has_value());
+  EXPECT_EQ(Loaded->numNodes(), Tree.numNodes());
+  EXPECT_EQ(Loaded->depth(), Tree.depth());
+  Dataset Queries = cleanDataset(120, 12);
+  for (const Example &Ex : Queries.examples())
+    EXPECT_EQ(Loaded->predict(Ex.Features), Tree.predict(Ex.Features));
+}
+
+TEST(DtreeIoTest, SerializationIsStable) {
+  Dataset Train = cleanDataset(80, 13);
+  DecisionTreeClassifier Tree(firstTwoFeatures());
+  Tree.train(Train);
+  std::string First = Tree.serialize();
+  std::optional<DecisionTreeClassifier> Loaded =
+      DecisionTreeClassifier::deserialize(First);
+  ASSERT_TRUE(Loaded.has_value());
+  EXPECT_EQ(Loaded->serialize(), First);
+}
+
+TEST(DtreeIoTest, RejectsCorruptedInput) {
+  EXPECT_FALSE(DecisionTreeClassifier::deserialize("").has_value());
+  EXPECT_FALSE(
+      DecisionTreeClassifier::deserialize("dtree-model 2\n").has_value());
+  Dataset Train = cleanDataset(60, 14);
+  DecisionTreeClassifier Tree(firstTwoFeatures());
+  Tree.train(Train);
+  std::string Good = Tree.serialize();
+  EXPECT_FALSE(
+      DecisionTreeClassifier::deserialize(Good.substr(0, Good.size() / 2))
+          .has_value());
+}
+
+TEST(DtreeIoTest, RejectsCyclicNodeLinks) {
+  // An internal node whose child points back at it has in-range indices
+  // but would make predict() walk forever; the depth invariant must
+  // reject it.
+  std::string Blob = "dtree-model 1\n"
+                     "limits 12 5 0.98\n"
+                     "normalizer zscore 1\n"
+                     "0 0 1\n"
+                     "nodes 2 root 0\n"
+                     "0 1 0 0.5 1 1 0\n"
+                     "0 2 0 0.25 0 0 1\n";
+  EXPECT_FALSE(DecisionTreeClassifier::deserialize(Blob).has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// LSH serialization
+//===----------------------------------------------------------------------===//
+
+TEST(LshIoTest, RoundTripPredictsIdentically) {
+  Dataset Train = cleanDataset(200, 15, 0.1);
+  LshNearNeighborClassifier Lsh(firstTwoFeatures());
+  Lsh.train(Train);
+  std::optional<LshNearNeighborClassifier> Loaded =
+      LshNearNeighborClassifier::deserialize(Lsh.serialize());
+  ASSERT_TRUE(Loaded.has_value());
+  EXPECT_EQ(Loaded->databaseSize(), Lsh.databaseSize());
+  Dataset Queries = cleanDataset(120, 16);
+  for (const Example &Ex : Queries.examples()) {
+    EXPECT_EQ(Loaded->predict(Ex.Features), Lsh.predict(Ex.Features));
+    // The seed-regrown tables must agree bucket for bucket, so the two
+    // classifiers scan the same candidate sets.
+    EXPECT_EQ(Loaded->lastCandidateCount(), Lsh.lastCandidateCount());
+  }
+}
+
+TEST(LshIoTest, SerializationIsStable) {
+  Dataset Train = cleanDataset(80, 17);
+  LshNearNeighborClassifier Lsh(firstTwoFeatures());
+  Lsh.train(Train);
+  std::string First = Lsh.serialize();
+  std::optional<LshNearNeighborClassifier> Loaded =
+      LshNearNeighborClassifier::deserialize(First);
+  ASSERT_TRUE(Loaded.has_value());
+  EXPECT_EQ(Loaded->serialize(), First);
+}
+
+TEST(LshIoTest, RejectsCorruptedInput) {
+  EXPECT_FALSE(LshNearNeighborClassifier::deserialize("").has_value());
+  EXPECT_FALSE(
+      LshNearNeighborClassifier::deserialize("lsh-model 2\n").has_value());
+  Dataset Train = cleanDataset(60, 18);
+  LshNearNeighborClassifier Lsh(firstTwoFeatures());
+  Lsh.train(Train);
+  std::string Good = Lsh.serialize();
+  EXPECT_FALSE(LshNearNeighborClassifier::deserialize(
+                   Good.substr(0, Good.size() / 2))
+                   .has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Kernel ridge regression serialization
+//===----------------------------------------------------------------------===//
+
+TEST(KrrIoTest, RoundTripPredictsIdentically) {
+  Dataset Train = cleanDataset(120, 19, 0.1);
+  KrrUnrollRegressor Krr(firstTwoFeatures());
+  Krr.train(Train);
+  std::optional<KrrUnrollRegressor> Loaded =
+      KrrUnrollRegressor::deserialize(Krr.serialize());
+  ASSERT_TRUE(Loaded.has_value());
+  Dataset Queries = cleanDataset(80, 20);
+  for (const Example &Ex : Queries.examples()) {
+    EXPECT_EQ(Loaded->predictValue(Ex.Features),
+              Krr.predictValue(Ex.Features)); // Bit-exact via %.17g.
+    EXPECT_EQ(Loaded->predict(Ex.Features), Krr.predict(Ex.Features));
+  }
+}
+
+TEST(KrrIoTest, RestoredModelSupportsLoocv) {
+  Dataset Train = cleanDataset(60, 21);
+  KrrUnrollRegressor Krr(firstTwoFeatures());
+  Krr.train(Train);
+  std::optional<KrrUnrollRegressor> Loaded =
+      KrrUnrollRegressor::deserialize(Krr.serialize());
+  ASSERT_TRUE(Loaded.has_value());
+  // The solver is rebuilt lazily from the restored points.
+  std::vector<double> Original = Krr.looValues();
+  std::vector<double> Restored = Loaded->looValues();
+  ASSERT_EQ(Original.size(), Restored.size());
+  for (size_t I = 0; I < Original.size(); ++I)
+    EXPECT_NEAR(Original[I], Restored[I], 1e-9);
+}
+
+TEST(KrrIoTest, RejectsCorruptedInput) {
+  EXPECT_FALSE(KrrUnrollRegressor::deserialize("").has_value());
+  EXPECT_FALSE(
+      KrrUnrollRegressor::deserialize("krr-model 2\n").has_value());
+  Dataset Train = cleanDataset(50, 22);
+  KrrUnrollRegressor Krr(firstTwoFeatures());
+  Krr.train(Train);
+  std::string Good = Krr.serialize();
+  EXPECT_FALSE(
+      KrrUnrollRegressor::deserialize(Good.substr(0, Good.size() / 2))
+          .has_value());
+}
+
+//===----------------------------------------------------------------------===//
+// Loader registry
+//===----------------------------------------------------------------------===//
+
+TEST(RegistryTest, AllBuiltinsAreRegistered) {
+  std::vector<std::string> Names = registeredClassifierNames();
+  for (const char *Expected :
+       {"near-neighbor", "svm", "svm-ecoc", "decision-tree", "lsh-nn",
+        "krr-regression"})
+    EXPECT_NE(std::find(Names.begin(), Names.end(), Expected),
+              Names.end())
+        << "missing loader for " << Expected;
+}
+
+TEST(RegistryTest, RestoresEveryBuiltinPolymorphically) {
+  Dataset Train = cleanDataset(100, 23);
+  std::vector<std::unique_ptr<Classifier>> Trained;
+  Trained.push_back(
+      std::make_unique<NearNeighborClassifier>(firstTwoFeatures(), 0.3));
+  Trained.push_back(std::make_unique<SvmClassifier>(firstTwoFeatures()));
+  Trained.push_back(
+      std::make_unique<DecisionTreeClassifier>(firstTwoFeatures()));
+  Trained.push_back(
+      std::make_unique<LshNearNeighborClassifier>(firstTwoFeatures()));
+  Trained.push_back(
+      std::make_unique<KrrUnrollRegressor>(firstTwoFeatures()));
+  Dataset Queries = cleanDataset(60, 24);
+  for (const auto &Model : Trained) {
+    Model->train(Train);
+    std::unique_ptr<Classifier> Loaded =
+        deserializeClassifier(Model->serialize(), Model->name());
+    ASSERT_NE(Loaded, nullptr) << Model->name();
+    EXPECT_EQ(Loaded->name(), Model->name());
+    for (const Example &Ex : Queries.examples())
+      EXPECT_EQ(Loaded->predict(Ex.Features), Model->predict(Ex.Features))
+          << Model->name();
+  }
 }
 
 //===----------------------------------------------------------------------===//

@@ -19,6 +19,7 @@
 #include "concurrency/Parallel.h"
 #include "corpus/CorpusAudit.h"
 #include "ir/Parser.h"
+#include "support/CommandLine.h"
 
 #include <chrono>
 #include <fstream>
@@ -37,25 +38,6 @@ struct ToolOptions {
   LintOptions Lint;
   std::vector<std::string> Files;
 };
-
-void printUsage(std::ostream &Out) {
-  Out << "usage: metaopt-lint [options] [<file.loop> ...]\n"
-         "\n"
-         "Lints textual loop files (see docs/LOOP_FORMAT.md) or the\n"
-         "built-in benchmark corpus with the diagnostics engine\n"
-         "(docs/DIAGNOSTICS.md).\n"
-         "\n"
-         "options:\n"
-         "  --corpus        sweep every loop of the built-in corpus\n"
-         "  --json          emit JSON lines instead of text\n"
-         "  --passes=<ids>  run only the listed passes (comma-separated\n"
-         "                  IDs or prefixes, e.g. L001,L007)\n"
-         "  --no-verifier   omit verifier (V###) diagnostics from reports\n"
-         "  --threads=<n>   worker threads (default: METAOPT_THREADS,\n"
-         "                  else hardware concurrency)\n"
-         "  --list-passes   print the pass registry and exit\n"
-         "  --help          print this message\n";
-}
 
 void listPasses() {
   for (const LintPass &Pass : lintPasses())
@@ -157,48 +139,48 @@ int runFiles(const ToolOptions &Options) {
 } // namespace
 
 int main(int Argc, char **Argv) {
+  CliParser Cli("metaopt-lint",
+                "Lints textual loop files (see docs/LOOP_FORMAT.md) or "
+                "the built-in\nbenchmark corpus with the diagnostics "
+                "engine (docs/DIAGNOSTICS.md).");
+  Cli.flag("corpus", "sweep every loop of the built-in corpus");
+  Cli.flag("json", "emit JSON lines instead of text");
+  Cli.option("passes", "ids",
+             "run only the listed passes (comma-separated IDs or "
+             "prefixes, e.g. L001,L007)");
+  Cli.flag("no-verifier", "omit verifier (V###) diagnostics from reports");
+  Cli.option("threads", "n",
+             "worker threads (default: METAOPT_THREADS, else hardware "
+             "concurrency)");
+  Cli.flag("list-passes", "print the pass registry and exit");
+  Cli.positionalHelp("[<file.loop> ...]", "loop files to lint");
+  if (std::optional<int> Exit = Cli.parse(Argc, Argv))
+    return *Exit;
+
+  if (Cli.has("list-passes")) {
+    listPasses();
+    return 0;
+  }
+
   ToolOptions Options;
-  for (int I = 1; I < Argc; ++I) {
-    std::string Arg = Argv[I];
-    if (Arg == "--help" || Arg == "-h") {
-      printUsage(std::cout);
-      return 0;
-    }
-    if (Arg == "--list-passes") {
-      listPasses();
-      return 0;
-    }
-    if (Arg == "--corpus") {
-      Options.Corpus = true;
-    } else if (Arg == "--json") {
-      Options.Json = true;
-    } else if (Arg == "--no-verifier") {
-      Options.Lint.RunVerifier = false;
-    } else if (Arg.rfind("--passes=", 0) == 0) {
-      Options.Lint.Passes = splitList(Arg.substr(9));
-      if (Options.Lint.Passes.empty()) {
-        std::cerr << "metaopt-lint: --passes requires at least one id\n";
-        return 2;
-      }
-    } else if (Arg.rfind("--threads=", 0) == 0) {
-      int Threads = 0;
-      try {
-        Threads = std::stoi(Arg.substr(10));
-      } catch (...) {
-        Threads = 0;
-      }
-      if (Threads < 1) {
-        std::cerr << "metaopt-lint: --threads requires a positive integer\n";
-        return 2;
-      }
-      ThreadPool::setGlobalThreads(static_cast<unsigned>(Threads));
-    } else if (!Arg.empty() && Arg[0] == '-') {
-      std::cerr << "metaopt-lint: unknown option '" << Arg << "'\n";
-      printUsage(std::cerr);
+  Options.Corpus = Cli.has("corpus");
+  Options.Json = Cli.has("json");
+  Options.Lint.RunVerifier = !Cli.has("no-verifier");
+  Options.Files = Cli.positional();
+  if (Cli.has("passes")) {
+    Options.Lint.Passes = splitList(Cli.getString("passes"));
+    if (Options.Lint.Passes.empty()) {
+      std::cerr << "metaopt-lint: --passes requires at least one id\n";
       return 2;
-    } else {
-      Options.Files.push_back(Arg);
     }
+  }
+  if (Cli.has("threads")) {
+    int64_t Threads = Cli.getInt("threads", 0);
+    if (Threads < 1) {
+      std::cerr << "metaopt-lint: --threads requires a positive integer\n";
+      return 2;
+    }
+    ThreadPool::setGlobalThreads(static_cast<unsigned>(Threads));
   }
 
   if (Options.Corpus && !Options.Files.empty()) {
@@ -206,8 +188,8 @@ int main(int Argc, char **Argv) {
     return 2;
   }
   if (!Options.Corpus && Options.Files.empty()) {
-    std::cerr << "metaopt-lint: no input (pass loop files or --corpus)\n";
-    printUsage(std::cerr);
+    std::cerr << "metaopt-lint: no input (pass loop files or --corpus)\n"
+              << Cli.usage();
     return 2;
   }
   return Options.Corpus ? runCorpus(Options) : runFiles(Options);

@@ -26,20 +26,26 @@
 using namespace metaopt;
 
 int main(int Argc, char **Argv) {
-  CommandLine Args(Argc, Argv);
+  CliParser Cli("metaopt-simcache",
+                "Validates and describes persistent simulation-cache "
+                "files\n(cache/SimCache.h): magic, version, entry count, "
+                "payload checksum.");
+  Cli.option("dir", "cache-dir", "inspect <cache-dir>/sim_cache.bin");
+  Cli.positionalHelp("[<file.bin>]", "cache file to inspect");
+  if (std::optional<int> Exit = Cli.parse(Argc, Argv))
+    return *Exit;
 
   std::string Path;
-  if (Args.has("dir")) {
+  if (Cli.has("dir")) {
     SimCacheConfig Config;
-    Config.PersistentDir = Args.getString("dir");
+    Config.PersistentDir = Cli.getString("dir");
     Config.Enabled = false; // Only borrow persistentPath(); do not load.
     Path = SimCache(Config).persistentPath();
-  } else if (!Args.positional().empty()) {
-    Path = Args.positional().front();
+  } else if (!Cli.positional().empty()) {
+    Path = Cli.positional().front();
   } else {
-    std::fprintf(stderr,
-                 "usage: %s <cache-file> | --dir=<cache-dir>\n",
-                 Args.programName().c_str());
+    std::fprintf(stderr, "metaopt-simcache: no input\n%s",
+                 Cli.usage().c_str());
     return 2;
   }
 
