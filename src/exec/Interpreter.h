@@ -1,0 +1,147 @@
+//===- exec/Interpreter.h - Reference loop IR interpreter -------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A deterministic reference interpreter for the loop IR: the semantic
+/// ground truth the differential fuzzer (fuzz/Oracles.h) compares
+/// transformed loops against. Nothing else in the repo *executes* a loop —
+/// the simulator prices schedules without computing values — so this is
+/// where "the unroller preserves semantics" becomes a checkable statement.
+///
+/// The reference semantics (chosen here; the IR spec in docs/LOOP_FORMAT.md
+/// is silent on evaluation):
+///
+///  - Integer ops wrap at 64 bits. Shift counts are masked to 6 bits, Shr
+///    is arithmetic, idiv/irem define the trapping cases (x/0 = 0,
+///    INT_MIN/-1 = INT_MIN, x%0 = x, INT_MIN%-1 = 0).
+///  - Compares compute A < B.
+///  - Float ops evaluate in double; FMA is fused (std::fma). Any
+///    non-finite result is canonicalized to a finite double in [1,2)
+///    derived from the operand bit patterns, so values, digests, and
+///    downstream control decisions never depend on NaN payload or
+///    overflow behaviour differences across platforms.
+///  - A predicated-off instruction writes its destination's class default
+///    (0 / 0.0 / false) instead of keeping the old value. Keep-old-value
+///    (the Itanium reading) would make the unroller's register renaming
+///    observably wrong for loops that read a predicated-off result — the
+///    renamed copy cannot see the previous iteration's stale value — so
+///    the IR's semantics are defined the way the transform stack treats
+///    them: a predicated def always defines.
+///  - Calls are pure no-ops (they act as scheduling barriers only).
+///  - Memory follows the symbolic address model: byte address =
+///    Offset + Stride * i (+ index register when indirect) within the
+///    base symbol's private address space, where i counts iterations
+///    from ExecOptions::StartIteration. See exec/MemoryImage.h.
+///  - Live-in registers get values synthesized from (seed, class,
+///    register name) — name-keyed so an unrolled loop, whose renamer
+///    preserves live-in names, sees the same inputs as the original.
+///
+/// Split-reduction emulation: with ExecOptions::SplitLanes = U > 1, each
+/// phi the unroller would split (transform/Unroller.h,
+/// isSplittableReduction) is carried as U independent lanes, iteration i
+/// reading and updating lane i mod U. This makes the *serial* reference
+/// run predict the unrolled loop's per-copy accumulators bit-for-bit,
+/// sidestepping FP reassociation: equivalence is checked lane-by-lane
+/// exactly instead of "approximately equal after resummation".
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_EXEC_INTERPRETER_H
+#define METAOPT_EXEC_INTERPRETER_H
+
+#include "exec/MemoryImage.h"
+#include "ir/Loop.h"
+
+#include <map>
+#include <vector>
+
+namespace metaopt {
+
+/// One register value; only the field matching the register's class is
+/// meaningful.
+struct ExecValue {
+  int64_t I = 0;
+  double F = 0.0;
+  bool P = false;
+};
+
+/// Makes an ExecValue of \p RC holding \p Value's representation.
+ExecValue execInt(int64_t Value);
+ExecValue execFloat(double Value);
+ExecValue execPred(bool Value);
+
+/// Compares the class-relevant field bit-for-bit.
+bool execValueEquals(RegClass RC, const ExecValue &A, const ExecValue &B);
+
+/// Execution parameters.
+struct ExecOptions {
+  /// Seeds live-in synthesis and first-touch memory.
+  uint64_t Seed = 1;
+  /// Iterations to run; negative means the loop's runtimeTripCount().
+  int64_t Iterations = -1;
+  /// Global iteration index of the first executed iteration; shifts the
+  /// symbolic addresses. An epilogue resumes at MainIterations * Factor.
+  int64_t StartIteration = 0;
+  /// When > 1, carry each splittable reduction phi as this many lanes
+  /// (see file comment). 0/1 runs plain serial semantics.
+  unsigned SplitLanes = 0;
+  /// Values for specific live-in registers, overriding name-keyed
+  /// synthesis. Keyed by RegId of the loop being interpreted.
+  std::map<RegId, ExecValue> LiveInOverrides;
+};
+
+/// The observable final state of one execution.
+struct ExecResult {
+  /// Completed iterations (excludes an iteration cut short by ExitIf).
+  int64_t IterationsExecuted = 0;
+  bool Exited = false;
+  /// Local index (0-based, relative to StartIteration) of the iteration
+  /// the exit fired in; -1 when !Exited.
+  int64_t ExitIteration = -1;
+  /// Body index of the ExitIf that fired; -1 when !Exited.
+  int64_t ExitBodyIndex = -1;
+  /// Per phi (same order as Loop::phis()): the value the phi register
+  /// would hold at the top of the next iteration — recur of the last
+  /// completed iteration, or the init when none completed. For a phi
+  /// carried as split lanes, consult SplitLanes instead (this slot holds
+  /// the lane the last iteration read).
+  std::vector<ExecValue> PhiFinal;
+  /// Per phi: the lane values when SplitLanes was active and the phi is
+  /// splittable; empty otherwise. Lane 0 starts from the phi's init,
+  /// lanes k > 0 from the reduction's identity element.
+  std::vector<std::vector<ExecValue>> SplitLanes;
+  /// Final memory; storedBytes() is the observable output.
+  MemoryImage Memory;
+
+  /// Canonical final-state digest: iterations, exit state, phi finals
+  /// (name-tagged), split lanes, and the memory store digest. Stable
+  /// across platforms and runs; golden tests pin it.
+  Fingerprint digest(const Loop &L) const;
+};
+
+/// Interprets \p L under \p Opts starting from \p Mem (moved into the
+/// result). The loop must be verifier-clean; behaviour on malformed IR is
+/// unspecified (asserts in debug builds).
+ExecResult interpretLoop(const Loop &L, const ExecOptions &Opts,
+                         MemoryImage Mem);
+
+/// Convenience: fresh memory image seeded with Opts.Seed.
+ExecResult interpretLoop(const Loop &L, const ExecOptions &Opts = {});
+
+/// The value live-in \p Reg receives absent an override: synthesized from
+/// (seed, class, name). Exposed so oracles can compute epilogue phi
+/// inits and split-accumulator identities consistently.
+ExecValue synthesizeLiveIn(const Loop &L, RegId Reg, uint64_t Seed);
+
+/// The identity element of the reduction accumulated through \p Phi
+/// (0 for add/fma, 1 for mul), or nullopt-like false return when the phi
+/// is not a splittable reduction. \p Out receives the identity.
+bool reductionIdentity(const Loop &L, const PhiNode &Phi, ExecValue &Out);
+
+} // namespace metaopt
+
+#endif // METAOPT_EXEC_INTERPRETER_H

@@ -1,0 +1,181 @@
+//===- exec/MemoryImage.cpp - Seeded synthetic memory image ---------------===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "exec/MemoryImage.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace metaopt {
+
+uint64_t execMix(uint64_t Value) {
+  // splitmix64 finalizer: cheap, well-scrambled, and platform-stable.
+  Value += 0x9e3779b97f4a7c15ULL;
+  Value = (Value ^ (Value >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  Value = (Value ^ (Value >> 27)) * 0x94d049bb133111ebULL;
+  return Value ^ (Value >> 31);
+}
+
+double execNiceDouble(uint64_t Hash) {
+  // 1.0 + 52 random mantissa bits: uniformly in [1, 2), always finite.
+  return 1.0 + static_cast<double>(Hash >> 12) * 0x1p-52;
+}
+
+int64_t execNiceInt(uint64_t Hash) {
+  return static_cast<int64_t>(Hash & 63);
+}
+
+uint8_t MemoryImage::byteAt(int32_t Sym, int64_t Addr) {
+  auto It = Bytes.find({Sym, Addr});
+  if (It != Bytes.end())
+    return It->second;
+  // First touch: synthesize the byte as a pure function of (seed, sym,
+  // addr). Byte-granular synthesis keeps overlapping accesses of any width
+  // consistent; value-level "niceness" is layered on in loadFloat/loadInt
+  // by synthesizing whole elements before falling back here.
+  uint8_t Value = static_cast<uint8_t>(
+      execMix(Seed ^ execMix((static_cast<uint64_t>(static_cast<uint32_t>(
+                                  Sym))
+                              << 32) ^
+                             static_cast<uint64_t>(Addr))));
+  Bytes.emplace(Address{Sym, Addr}, Value);
+  return Value;
+}
+
+bool MemoryImage::readBytes(int32_t Sym, int64_t Addr, int SizeBytes,
+                            uint64_t &Bits) {
+  // Whole-element synthesis happens only when no byte of the element
+  // exists yet. A partially materialized element (an overlapping earlier
+  // store or narrower access) must keep those bytes: composing per-byte —
+  // with byteAt() filling the gaps — is what makes overlap consistent.
+  bool AnyMaterialized = false;
+  for (int I = 0; I < SizeBytes; ++I)
+    if (Bytes.count({Sym, Addr + I}))
+      AnyMaterialized = true;
+  if (!AnyMaterialized) {
+    Bits = 0;
+    return false;
+  }
+  Bits = 0;
+  for (int I = 0; I < SizeBytes; ++I)
+    Bits |= static_cast<uint64_t>(byteAt(Sym, Addr + I)) << (8 * I);
+  return true;
+}
+
+void MemoryImage::writeBytes(int32_t Sym, int64_t Addr, int SizeBytes,
+                             uint64_t Bits, bool IsStore) {
+  for (int I = 0; I < SizeBytes; ++I) {
+    uint8_t Byte = static_cast<uint8_t>(Bits >> (8 * I));
+    Bytes[{Sym, Addr + I}] = Byte;
+    if (IsStore)
+      Stored[{Sym, Addr + I}] = Byte;
+  }
+}
+
+int64_t MemoryImage::loadInt(int32_t Sym, int64_t Addr, int SizeBytes) {
+  if (SizeBytes < 1)
+    SizeBytes = 1;
+  if (SizeBytes > 8)
+    SizeBytes = 8;
+  uint64_t Bits;
+  if (!readBytes(Sym, Addr, SizeBytes, Bits)) {
+    // Fully fresh element: synthesize a nice value — a pure function of
+    // (seed, sym, addr) — and write its encoding back so later
+    // overlapping reads see consistent bytes.
+    int64_t Value = execNiceInt(
+        execMix(Seed ^ 0x1177ULL ^
+                execMix((static_cast<uint64_t>(static_cast<uint32_t>(Sym))
+                         << 32) ^
+                        static_cast<uint64_t>(Addr))));
+    writeBytes(Sym, Addr, SizeBytes, static_cast<uint64_t>(Value),
+               /*IsStore=*/false);
+    return Value;
+  }
+  // Sign-extend the low SizeBytes.
+  if (SizeBytes < 8) {
+    uint64_t SignBit = 1ULL << (8 * SizeBytes - 1);
+    Bits = (Bits ^ SignBit) - SignBit;
+  }
+  return static_cast<int64_t>(Bits);
+}
+
+double MemoryImage::loadFloat(int32_t Sym, int64_t Addr, int SizeBytes) {
+  int Width = SizeBytes == 4 ? 4 : 8;
+  uint64_t Bits;
+  if (!readBytes(Sym, Addr, Width, Bits)) {
+    // Fully fresh element: synthesize a nice value and write back its
+    // IEEE encoding at the access width, so what we return below (via
+    // the same narrowing path any later load takes) matches the bytes.
+    double Value = execNiceDouble(
+        execMix(Seed ^ 0xf107aULL ^
+                execMix((static_cast<uint64_t>(static_cast<uint32_t>(Sym))
+                         << 32) ^
+                        static_cast<uint64_t>(Addr))));
+    uint64_t Enc;
+    if (Width == 4) {
+      float Narrow = static_cast<float>(Value);
+      uint32_t Enc32;
+      std::memcpy(&Enc32, &Narrow, sizeof(Enc32));
+      Enc = Enc32;
+    } else {
+      std::memcpy(&Enc, &Value, sizeof(Enc));
+    }
+    writeBytes(Sym, Addr, Width, Enc, /*IsStore=*/false);
+    Bits = Enc;
+  }
+  double Value;
+  if (Width == 4) {
+    float Narrow;
+    uint32_t Bits32 = static_cast<uint32_t>(Bits);
+    static_assert(sizeof(Narrow) == sizeof(Bits32));
+    std::memcpy(&Narrow, &Bits32, sizeof(Narrow));
+    Value = static_cast<double>(Narrow);
+  } else {
+    static_assert(sizeof(Value) == sizeof(Bits));
+    std::memcpy(&Value, &Bits, sizeof(Value));
+  }
+  if (!std::isfinite(Value))
+    Value = execNiceDouble(execMix(Bits ^ Seed));
+  return Value;
+}
+
+void MemoryImage::storeInt(int32_t Sym, int64_t Addr, int SizeBytes,
+                           int64_t Value) {
+  if (SizeBytes < 1)
+    SizeBytes = 1;
+  if (SizeBytes > 8)
+    SizeBytes = 8;
+  writeBytes(Sym, Addr, SizeBytes, static_cast<uint64_t>(Value),
+             /*IsStore=*/true);
+}
+
+void MemoryImage::storeFloat(int32_t Sym, int64_t Addr, int SizeBytes,
+                             double Value) {
+  uint64_t Bits;
+  if (SizeBytes == 4) {
+    float Narrow = static_cast<float>(Value);
+    uint32_t Bits32;
+    std::memcpy(&Bits32, &Narrow, sizeof(Bits32));
+    Bits = Bits32;
+  } else {
+    SizeBytes = 8;
+    std::memcpy(&Bits, &Value, sizeof(Bits));
+  }
+  writeBytes(Sym, Addr, SizeBytes, Bits, /*IsStore=*/true);
+}
+
+Fingerprint MemoryImage::storeDigest() const {
+  FingerprintHasher Hasher;
+  for (const auto &[Addr, Byte] : Stored) {
+    Hasher.i64(Addr.first);
+    Hasher.i64(Addr.second);
+    Hasher.u64(Byte);
+  }
+  return Hasher.digest();
+}
+
+} // namespace metaopt

@@ -1,0 +1,108 @@
+//===- exec/MemoryImage.h - Seeded synthetic memory image -------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The byte-addressable memory the reference interpreter (exec/Interpreter.h)
+/// executes against. Each MemRef base symbol owns an independent sparse
+/// address space (symbols never alias, matching the dependence analysis).
+///
+/// Initial contents are synthesized deterministically from a seed on first
+/// touch: an untouched float cell materializes as a "nice" finite double in
+/// [1, 2) and an untouched int cell as a small non-negative integer, both
+/// pure functions of (seed, symbol, address). The synthesized encoding is
+/// written back into the image so later overlapping reads observe consistent
+/// bytes. Two runs with the same seed that read the same locations therefore
+/// see identical values regardless of access order — the property the
+/// differential oracles (original vs. transformed loop) rely on.
+///
+/// Stores are tracked separately from read-materialized bytes: the final
+/// store set is the observable "output" of a loop execution, so eliminating
+/// a redundant load (transform/MemoryOpt.h) cannot change it.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_EXEC_MEMORYIMAGE_H
+#define METAOPT_EXEC_MEMORYIMAGE_H
+
+#include "cache/Fingerprint.h"
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+namespace metaopt {
+
+class MemoryImage {
+public:
+  /// One byte location: (base symbol, byte address). Addresses may be
+  /// negative (negative strides walk backwards from offset 0).
+  using Address = std::pair<int32_t, int64_t>;
+
+  explicit MemoryImage(uint64_t Seed = 0) : Seed(Seed) {}
+
+  uint64_t seed() const { return Seed; }
+
+  /// Loads \p SizeBytes little-endian bytes at (Sym, Addr) and
+  /// sign-extends them to 64 bits. Untouched bytes materialize first.
+  int64_t loadInt(int32_t Sym, int64_t Addr, int SizeBytes);
+
+  /// Loads an IEEE-754 value: 8 bytes read a double, 4 bytes read a float
+  /// widened to double. Non-finite bit patterns (possible only after raw
+  /// byte-level aliasing) are canonicalized to a finite value derived from
+  /// the bits, so register values stay finite and digests stay portable.
+  double loadFloat(int32_t Sym, int64_t Addr, int SizeBytes);
+
+  /// Stores the low \p SizeBytes bytes of \p Value little-endian.
+  void storeInt(int32_t Sym, int64_t Addr, int SizeBytes, int64_t Value);
+
+  /// Stores \p Value as a double (8 bytes) or narrowed float (4 bytes).
+  /// Other sizes store the raw low bytes of the bit pattern.
+  void storeFloat(int32_t Sym, int64_t Addr, int SizeBytes, double Value);
+
+  /// Every byte written by a store, in sorted address order. This is the
+  /// memory half of the canonical final-state digest; bytes materialized
+  /// by reads are excluded (they are a pure function of the seed).
+  const std::map<Address, uint8_t> &storedBytes() const { return Stored; }
+
+  /// Fingerprint of storedBytes() (address and value of every byte).
+  Fingerprint storeDigest() const;
+
+  /// True when both images wrote exactly the same bytes with the same
+  /// final values.
+  friend bool operator==(const MemoryImage &A, const MemoryImage &B) {
+    return A.Stored == B.Stored;
+  }
+
+private:
+  uint8_t byteAt(int32_t Sym, int64_t Addr);
+  void writeBytes(int32_t Sym, int64_t Addr, int SizeBytes, uint64_t Bits,
+                  bool IsStore);
+  /// Reads SizeBytes little-endian; returns true when every byte was
+  /// already materialized (by a store or an earlier read).
+  bool readBytes(int32_t Sym, int64_t Addr, int SizeBytes, uint64_t &Bits);
+
+  uint64_t Seed;
+  std::map<Address, uint8_t> Bytes;  ///< All materialized bytes.
+  std::map<Address, uint8_t> Stored; ///< Subset written by stores.
+};
+
+/// The deterministic value synthesizers, exposed so the interpreter can
+/// derive live-in register values from the same seed material.
+uint64_t execMix(uint64_t Value);
+
+/// A "nice" finite double in [1, 2) derived from \p Hash: exactly
+/// representable, positive, and bounded, so reduction chains neither
+/// cancel nor overflow within the trip counts the fuzzer uses.
+double execNiceDouble(uint64_t Hash);
+
+/// A small integer in [0, 63] derived from \p Hash; keeps indirect index
+/// registers within a reasonable window of the base address.
+int64_t execNiceInt(uint64_t Hash);
+
+} // namespace metaopt
+
+#endif // METAOPT_EXEC_MEMORYIMAGE_H

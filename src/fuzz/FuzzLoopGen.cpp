@@ -1,0 +1,376 @@
+//===- fuzz/FuzzLoopGen.cpp - Seeded random loop generation ---------------===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "fuzz/FuzzLoopGen.h"
+
+#include "ir/LoopBuilder.h"
+#include "ir/Verifier.h"
+#include "support/Rng.h"
+
+#include <cassert>
+#include <string>
+#include <vector>
+
+using namespace metaopt;
+
+namespace {
+
+/// All references to one base symbol share an element class and size, so
+/// overlapping accesses stay order-independent under the interpreter's
+/// first-touch synthesis (exec/MemoryImage.h): any two accesses of a cell
+/// either coincide exactly or are disjoint.
+struct SymInfo {
+  int32_t Sym = 0;
+  RegClass Class = RegClass::Float;
+  int32_t SizeBytes = 8;
+  int64_t Stride = 8; ///< Bytes per iteration; every ref uses this stride.
+};
+
+class Generator {
+public:
+  Generator(const FuzzGenOptions &Options, uint64_t Index)
+      : Options(Options),
+        R(Rng::splitStream(Options.Seed ^ 0xf022a11ULL, Index)),
+        B(makeBuilder(Options, Index, R)) {}
+
+  Loop run() {
+    makeSymbols();
+    seedLiveIns();
+
+    unsigned Fragments =
+        1 + static_cast<unsigned>(R.nextBelow(
+                Options.MaxFragments > 0 ? Options.MaxFragments : 1));
+    for (unsigned F = 0; F < Fragments; ++F)
+      emitFragment();
+
+    // Every loop stores something: the memory image is the most sensitive
+    // half of the differential digest, so don't let a loop's observable
+    // state collapse to phi values only.
+    storeFragment();
+
+    Loop L = B.finalize();
+    assert(isWellFormed(L) && "fuzz generator emitted a malformed loop");
+    return L;
+  }
+
+private:
+  static LoopBuilder makeBuilder(const FuzzGenOptions &Options,
+                                 uint64_t Index, Rng &R) {
+    SourceLanguage Lang = static_cast<SourceLanguage>(R.nextBelow(3));
+    int Nest = 1 + static_cast<int>(R.nextBelow(3));
+    int64_t MaxTrip = Options.MaxTripCount > 0 ? Options.MaxTripCount : 1;
+    int64_t Trip;
+    if (R.nextBool(0.35)) {
+      // Known trip count, weighted toward the edge cases around the
+      // unroll factors (0, 1, U-1, U, U+1 for U up to 8).
+      static const int64_t Edges[] = {0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17};
+      Trip = Edges[R.nextBelow(sizeof(Edges) / sizeof(Edges[0]))];
+      if (Trip > MaxTrip)
+        Trip = MaxTrip;
+    } else {
+      Trip = Loop::UnknownTripCount;
+    }
+    LoopBuilder Builder("fuzz" + std::to_string(Index), Lang, Nest, Trip);
+    if (Trip == Loop::UnknownTripCount)
+      Builder.loop().setRuntimeTripCount(1 + R.nextInRange(0, MaxTrip - 1));
+    return Builder;
+  }
+
+  void makeSymbols() {
+    unsigned NumSyms = 1 + static_cast<unsigned>(R.nextBelow(3));
+    for (unsigned S = 0; S < NumSyms; ++S) {
+      SymInfo Info;
+      Info.Sym = static_cast<int32_t>(S);
+      Info.Class = R.nextBool(0.6) ? RegClass::Float : RegClass::Int;
+      Info.SizeBytes = R.nextBool(0.25) ? 4 : 8;
+      // Stride in elements: 0 (loop-invariant address), +-1 (dense,
+      // overlapping reuse across iterations), 2..3 (gaps).
+      static const int64_t Elems[] = {-2, -1, 0, 1, 1, 1, 2, 3};
+      Info.Stride =
+          Elems[R.nextBelow(sizeof(Elems) / sizeof(Elems[0]))] *
+          Info.SizeBytes;
+      Syms.push_back(Info);
+    }
+  }
+
+  void seedLiveIns() {
+    unsigned NumInt = 1 + static_cast<unsigned>(R.nextBelow(2));
+    unsigned NumFloat = 1 + static_cast<unsigned>(R.nextBelow(2));
+    for (unsigned I = 0; I < NumInt; ++I)
+      IntVals.push_back(B.liveIn(RegClass::Int, "n" + std::to_string(I)));
+    for (unsigned I = 0; I < NumFloat; ++I)
+      FloatVals.push_back(B.liveIn(RegClass::Float, "a" + std::to_string(I)));
+  }
+
+  const SymInfo &pickSym() { return Syms[R.nextBelow(Syms.size())]; }
+
+  MemRef makeRef(const SymInfo &Info) {
+    MemRef Ref;
+    Ref.BaseSym = Info.Sym;
+    Ref.Stride = Info.Stride;
+    Ref.Offset = R.nextInRange(-3, 6) * Info.SizeBytes;
+    Ref.SizeBytes = Info.SizeBytes;
+    return Ref;
+  }
+
+  RegId pickInt() { return IntVals[R.nextBelow(IntVals.size())]; }
+  RegId pickFloat() { return FloatVals[R.nextBelow(FloatVals.size())]; }
+
+  RegId pickValue(RegClass RC) {
+    return RC == RegClass::Float ? pickFloat() : pickInt();
+  }
+
+  void pushValue(RegClass RC, RegId Reg) {
+    (RC == RegClass::Float ? FloatVals : IntVals).push_back(Reg);
+  }
+
+  /// A bounded index register for indirect references.
+  RegId maskedIndex() {
+    return B.bitAnd(pickInt(), B.iconst(static_cast<int64_t>(
+                                   R.nextBelow(4) * 8 + 7)));
+  }
+
+  RegId emitIntOp() {
+    RegId A = pickInt(), C = pickInt();
+    switch (R.nextBelow(8)) {
+    case 0:
+      return B.iadd(A, C);
+    case 1:
+      return B.isub(A, C);
+    case 2:
+      return B.imul(A, C);
+    case 3:
+      return B.bitAnd(A, C);
+    case 4:
+      return B.bitXor(A, C);
+    case 5:
+      return B.shl(A, B.iconst(R.nextInRange(0, 3)));
+    case 6:
+      return B.idiv(A, B.iconst(R.nextInRange(1, 5)));
+    default:
+      return B.iadd(A, B.iconst(R.nextInRange(-8, 63)));
+    }
+  }
+
+  RegId emitFloatOp() {
+    RegId A = pickFloat(), C = pickFloat();
+    switch (R.nextBelow(8)) {
+    case 0:
+      return B.fadd(A, C);
+    case 1:
+      return B.fsub(A, C);
+    case 2:
+      return B.fmul(A, C);
+    case 3:
+      return B.fma(A, C, pickFloat());
+    case 4:
+      return B.fdiv(A, C);
+    case 5:
+      return B.fsqrt(A);
+    case 6:
+      return B.fcvt(pickInt());
+    default:
+      return B.fadd(A, B.fconst(R.nextInRange(-4, 9)));
+    }
+  }
+
+  void emitFragment() {
+    switch (R.nextBelow(10)) {
+    case 0:
+    case 1:
+      loadArithFragment();
+      break;
+    case 2:
+      storeFragment();
+      break;
+    case 3:
+      forwardingFragment();
+      break;
+    case 4:
+      reductionFragment();
+      break;
+    case 5:
+      rotationFragment();
+      break;
+    case 6:
+      diamondFragment();
+      break;
+    case 7:
+      if (Options.AllowExits) {
+        exitFragment();
+        break;
+      }
+      loadArithFragment();
+      break;
+    case 8:
+      indirectFragment();
+      break;
+    default:
+      if (Options.AllowCalls && R.nextBool(0.4)) {
+        callFragment();
+        break;
+      }
+      loadArithFragment();
+      break;
+    }
+  }
+
+  void loadArithFragment() {
+    const SymInfo &Info = pickSym();
+    RegId V = B.load(Info.Class, makeRef(Info));
+    pushValue(Info.Class, V);
+    unsigned Ops = 1 + static_cast<unsigned>(R.nextBelow(3));
+    for (unsigned I = 0; I < Ops; ++I) {
+      if (R.nextBool(0.55))
+        FloatVals.push_back(emitFloatOp());
+      else
+        IntVals.push_back(emitIntOp());
+    }
+  }
+
+  void storeFragment() {
+    const SymInfo &Info = pickSym();
+    B.store(pickValue(Info.Class), makeRef(Info));
+  }
+
+  /// Store then load the same address key: the exact shape
+  /// transform/MemoryOpt.h forwards, including 4-byte references whose
+  /// stored value is narrowed on the memory path.
+  void forwardingFragment() {
+    const SymInfo &Info = pickSym();
+    MemRef Ref = makeRef(Info);
+    B.store(pickValue(Info.Class), Ref);
+    RegId V = B.load(Info.Class, Ref);
+    pushValue(Info.Class, V);
+    if (R.nextBool(0.5)) {
+      // A second load of the same key: redundant-load elimination.
+      RegId W = B.load(Info.Class, Ref);
+      pushValue(Info.Class, W);
+    }
+  }
+
+  void reductionFragment() {
+    bool Float = R.nextBool(0.65);
+    RegClass RC = Float ? RegClass::Float : RegClass::Int;
+    RegId Acc = B.phi(RC, Float ? "facc" : "iacc");
+    bool Predicated = PredVals.size() && R.nextBool(0.2);
+    if (Predicated)
+      B.setPredicate(PredVals[R.nextBelow(PredVals.size())]);
+    RegId Next;
+    if (Float) {
+      switch (R.nextBelow(3)) {
+      case 0:
+        Next = B.fadd(Acc, pickFloat());
+        break;
+      case 1:
+        Next = B.fmul(Acc, pickFloat());
+        break;
+      default:
+        Next = B.fma(pickFloat(), pickFloat(), Acc);
+        break;
+      }
+    } else {
+      Next = R.nextBool(0.7) ? B.iadd(Acc, pickInt())
+                             : B.imul(Acc, pickInt());
+    }
+    if (Predicated)
+      B.clearPredicate();
+    B.setPhiRecur(Acc, Next);
+    // Occasionally observe the running value, which must veto splitting.
+    if (R.nextBool(0.3))
+      pushValue(RC, Acc);
+  }
+
+  /// Two-phi rotation a <- b <- t. With probability ~1/2, b's update is
+  /// accumulator-shaped (t = b + x), making b *look* splittable while its
+  /// running value is observed through a's recurrence — a trap for the
+  /// unroller's reassociation legality check.
+  void rotationFragment() {
+    bool Float = R.nextBool(0.6);
+    RegClass RC = Float ? RegClass::Float : RegClass::Int;
+    RegId A = B.phi(RC, Float ? "frot" : "irot");
+    RegId Bp = B.phi(RC, Float ? "frotb" : "irotb");
+    RegId T;
+    if (R.nextBool(0.5))
+      T = Float ? B.fadd(Bp, pickFloat()) : B.iadd(Bp, pickInt());
+    else
+      T = Float ? B.fmul(A, pickFloat()) : B.bitXor(A, pickInt());
+    B.setPhiRecur(A, Bp);
+    B.setPhiRecur(Bp, T);
+    if (R.nextBool(0.4))
+      pushValue(RC, A);
+  }
+
+  void diamondFragment() {
+    RegId P = R.nextBool(0.5) ? B.fcmp(pickFloat(), pickFloat())
+                              : B.icmp(pickInt(), pickInt());
+    PredVals.push_back(P);
+    if (R.nextBool(0.5)) {
+      // Select diamond: both arms computed, select picks one.
+      RegId T1 = emitFloatOp();
+      RegId T2 = emitFloatOp();
+      FloatVals.push_back(B.select(P, T1, T2));
+    } else {
+      // True predication: the guarded def is consumed unguarded later,
+      // exercising the defined predicated-off-writes-default semantics
+      // across unroll renaming.
+      B.setPredicate(P);
+      RegId T = R.nextBool(0.5) ? emitFloatOp() : emitIntOp();
+      B.clearPredicate();
+      bool WasFloat = B.loop().regClass(T) == RegClass::Float;
+      pushValue(WasFloat ? RegClass::Float : RegClass::Int, T);
+    }
+  }
+
+  void exitFragment() {
+    // A counted exit: c starts at a synthesized live-in and increments;
+    // the exit fires iff bound < c happens within the trip count —
+    // deterministically, possibly never.
+    RegId C = B.phi(RegClass::Int, "ectr");
+    RegId Next = B.iadd(C, B.iconst(1 + R.nextInRange(0, 2)));
+    B.setPhiRecur(C, Next);
+    RegId Bound = B.liveIn(RegClass::Int, "ebound");
+    RegId P = B.icmp(Bound, C);
+    B.exitIf(P, 0.02);
+  }
+
+  void indirectFragment() {
+    const SymInfo &Info = pickSym();
+    MemRef Ref = makeRef(Info);
+    Ref.Indirect = true;
+    RegId Index = maskedIndex();
+    if (R.nextBool(0.85)) {
+      RegId V = B.load(Info.Class, Ref, Index);
+      pushValue(Info.Class, V);
+    } else {
+      B.store(pickValue(Info.Class), Ref, Index);
+    }
+  }
+
+  void callFragment() {
+    std::vector<RegId> Args;
+    unsigned N = static_cast<unsigned>(R.nextBelow(3));
+    for (unsigned I = 0; I < N; ++I)
+      Args.push_back(R.nextBool(0.5) ? pickInt() : pickFloat());
+    B.call(std::move(Args));
+  }
+
+  const FuzzGenOptions &Options;
+  Rng R;
+  LoopBuilder B;
+  std::vector<SymInfo> Syms;
+  std::vector<RegId> IntVals;
+  std::vector<RegId> FloatVals;
+  std::vector<RegId> PredVals;
+};
+
+} // namespace
+
+Loop metaopt::generateFuzzLoop(const FuzzGenOptions &Options,
+                               uint64_t Index) {
+  return Generator(Options, Index).run();
+}

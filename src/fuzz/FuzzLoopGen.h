@@ -1,0 +1,57 @@
+//===- fuzz/FuzzLoopGen.h - Seeded random loop generation -------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A seeded random generator of verifier-clean loops for the differential
+/// fuzzer. Unlike the corpus generators (corpus/LoopGenerators.h), which
+/// aim for *realistic* loop populations, this one aims for *adversarial
+/// coverage* of the transformation stack: overlapping strides, negative
+/// strides, 4-byte accesses, store-to-load forwarding chains, reductions
+/// of every splittable shape, phi rotations, true-predication consumed by
+/// later iterations, rare exits, indirect accesses, and calls — composed
+/// randomly so unlikely interactions (a predicated reduction feeding a
+/// rotation next to an aliasing store) come up within a few hundred
+/// iterations.
+///
+/// Determinism: a loop is a pure function of (options, index) via
+/// Rng::splitStream, so campaigns reproduce bit-for-bit at any thread
+/// count and a failing index can be regenerated in isolation.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_FUZZ_FUZZLOOPGEN_H
+#define METAOPT_FUZZ_FUZZLOOPGEN_H
+
+#include "ir/Loop.h"
+
+#include <cstdint>
+
+namespace metaopt {
+
+/// Generation knobs.
+struct FuzzGenOptions {
+  uint64_t Seed = 1;
+  /// Most fragments composed into one body (>= 1).
+  unsigned MaxFragments = 5;
+  /// Largest runtime trip count assigned (kept small: the reference
+  /// interpreter executes every iteration at up to 8 unroll factors).
+  int64_t MaxTripCount = 48;
+  /// Emit early-exit fragments (off when a client needs SWP-eligible
+  /// loops only).
+  bool AllowExits = true;
+  /// Emit opaque call fragments.
+  bool AllowCalls = true;
+};
+
+/// Generates loop number \p Index of the campaign described by \p Options.
+/// The result always passes verifyLoop (asserted in debug builds and
+/// enforced by tests/fuzz_test.cpp).
+Loop generateFuzzLoop(const FuzzGenOptions &Options, uint64_t Index);
+
+} // namespace metaopt
+
+#endif // METAOPT_FUZZ_FUZZLOOPGEN_H

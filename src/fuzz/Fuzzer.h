@@ -1,0 +1,87 @@
+//===- fuzz/Fuzzer.h - Differential fuzzing campaigns -----------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The campaign driver behind the `metaopt-fuzz` tool and the `fuzz` test
+/// tier: generate N loops from a seed, run every oracle on each (in
+/// parallel on the deterministic pool), shrink whatever fails, and render
+/// a log plus minimized `.loop` reproducers. A campaign is a pure
+/// function of its options — same seed, same results, same log bytes, at
+/// any thread count — so CI failures reproduce locally by copying one
+/// command line.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_FUZZ_FUZZER_H
+#define METAOPT_FUZZ_FUZZER_H
+
+#include "fuzz/FuzzLoopGen.h"
+#include "fuzz/Oracles.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace metaopt {
+
+/// Campaign configuration.
+struct FuzzCampaignOptions {
+  /// Master seed: drives generation (FuzzGenOptions::Seed) and the
+  /// interpreter (OracleOptions::Seed).
+  uint64_t Seed = 1;
+  /// Loops to generate and check.
+  uint64_t Iterations = 500;
+  /// Generation shape knobs; Seed inside is overwritten with the master
+  /// seed above.
+  FuzzGenOptions Gen;
+  /// Oracle selection; Seed inside is overwritten with the master seed.
+  OracleOptions Oracle;
+  /// Minimize failing loops before reporting (on for campaigns, off for
+  /// replay, where the input is already minimal).
+  bool Shrink = true;
+};
+
+/// One failing case, fully described.
+struct FuzzCaseReport {
+  uint64_t Index = 0;
+  /// Violations on the generated (unshrunk) loop.
+  std::vector<OracleFailure> Failures;
+  /// printLoop of the minimized reproducer (the generated loop itself
+  /// when shrinking is disabled or no smaller loop still failed).
+  std::string MinimizedText;
+  /// Oracle names the minimized loop still violates.
+  std::vector<std::string> MinimizedOracles;
+};
+
+/// Campaign outcome.
+struct FuzzCampaignResult {
+  uint64_t CasesRun = 0;
+  uint64_t CasesFailed = 0;
+  /// Failing cases ordered by index.
+  std::vector<FuzzCaseReport> Reports;
+  /// Deterministic human-readable log (one line per failure + summary);
+  /// byte-identical across runs and thread counts.
+  std::string Log;
+};
+
+/// Runs a campaign on the global thread pool.
+FuzzCampaignResult runFuzzCampaign(const FuzzCampaignOptions &Options);
+
+/// Runs the oracles on every loop in \p Text (a .loop file, typically a
+/// saved reproducer); returns the per-loop failures flattened, prefixed
+/// with the loop name. A parse error is reported as a single failure of
+/// oracle "parse".
+std::vector<OracleFailure> replayLoops(const std::string &Text,
+                                       const std::string &FileName,
+                                       const OracleOptions &Options = {});
+
+/// File name for a minimized reproducer: fuzz-<seed>-<index>-<oracle>.loop.
+std::string reproFileName(uint64_t Seed, const FuzzCaseReport &Report);
+
+} // namespace metaopt
+
+#endif // METAOPT_FUZZ_FUZZER_H

@@ -1,0 +1,84 @@
+//===- fuzz/Oracles.h - Differential correctness oracles --------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The per-loop correctness oracles the fuzzer runs against every
+/// generated loop. Each oracle states an invariant the rest of the system
+/// promises and checks it with an independent mechanism — the reference
+/// interpreter (exec/Interpreter.h) for semantic equivalence, the
+/// standalone schedule validators for scheduler legality, byte comparison
+/// for serialization round-trips:
+///
+///  - round-trip: printLoop -> parseLoops -> printLoop is byte-identical;
+///  - unroll-equivalence: unrollLoop(L, U) computes the same final state
+///    as U iterations of L, for U = 1..MaxUnrollFactor, including split
+///    accumulator lanes, early-exit mapping, and (for integer reductions)
+///    full main-loop + epilogue composition against a straight run;
+///  - memory-opt: optimizeMemory preserves final state;
+///  - list-schedule / modulo-schedule: every schedule passes its
+///    validator, and the modulo II respects the resource lower bound;
+///  - sim-cache: the content key is stable under reparse and cached
+///    results are byte-identical to fresh simulation;
+///  - bundle: a serialized + reparsed model bundle predicts identically
+///    to the original on the loop's feature vector.
+///
+/// Oracles never abort: every violation becomes an OracleFailure so the
+/// campaign can count, minimize, and report them.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_FUZZ_ORACLES_H
+#define METAOPT_FUZZ_ORACLES_H
+
+#include "ir/Loop.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace metaopt {
+
+/// One oracle violation on one loop.
+struct OracleFailure {
+  /// Stable oracle identifier ("unroll-equivalence", "sim-cache", ...).
+  std::string Oracle;
+  /// Human-readable description of the violated invariant.
+  std::string Detail;
+};
+
+/// Which oracles to run; all on by default. The shrinker narrows to the
+/// single failing oracle while minimizing.
+struct OracleOptions {
+  /// Interpreter seed (live-in synthesis, first-touch memory).
+  uint64_t Seed = 1;
+  bool CheckRoundTrip = true;
+  bool CheckUnroll = true;
+  bool CheckMemoryOpt = true;
+  bool CheckSchedulers = true;
+  bool CheckSimCache = true;
+  bool CheckBundle = true;
+};
+
+/// Individual oracles; append violations to \p Out.
+void oracleRoundTrip(const Loop &L, std::vector<OracleFailure> &Out);
+void oracleUnrollEquivalence(const Loop &L, uint64_t Seed,
+                             std::vector<OracleFailure> &Out);
+void oracleMemoryOpt(const Loop &L, uint64_t Seed,
+                     std::vector<OracleFailure> &Out);
+void oracleSchedulers(const Loop &L, std::vector<OracleFailure> &Out);
+void oracleSimCache(const Loop &L, std::vector<OracleFailure> &Out);
+void oracleBundle(const Loop &L, std::vector<OracleFailure> &Out);
+
+/// Runs the oracles selected by \p Options on \p L. The loop must be
+/// verifier-clean (checked: a malformed input is itself reported as a
+/// failure of oracle "well-formed" and nothing else runs).
+std::vector<OracleFailure> runOracles(const Loop &L,
+                                      const OracleOptions &Options = {});
+
+} // namespace metaopt
+
+#endif // METAOPT_FUZZ_ORACLES_H

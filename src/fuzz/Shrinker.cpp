@@ -1,0 +1,102 @@
+//===- fuzz/Shrinker.cpp --------------------------------------------------===//
+
+#include "fuzz/Shrinker.h"
+
+#include "ir/Verifier.h"
+
+using namespace metaopt;
+
+namespace {
+
+void setTrip(Loop &L, int64_t Trip) {
+  if (L.hasKnownTripCount())
+    L.setTripCount(Trip);
+  else
+    L.setRuntimeTripCount(Trip);
+}
+
+} // namespace
+
+Loop metaopt::shrinkLoop(const Loop &L, const StillFailsFn &StillFails) {
+  Loop Current = L;
+  // Every candidate must remain legal IR before the failure predicate is
+  // consulted: the seeds this produces feed the same front door
+  // (parseLoops + verifyLoop) as any other loop.
+  auto Accept = [&](const Loop &Candidate) {
+    return isWellFormed(Candidate) && StillFails(Candidate);
+  };
+
+  // Budget on predicate evaluations; each one may replay several oracles.
+  unsigned Budget = 2000;
+  bool Progress = true;
+  while (Progress && Budget > 0) {
+    Progress = false;
+
+    // Smaller trip counts first: they shrink every later replay too.
+    while (Budget > 0) {
+      int64_t Trip = Current.runtimeTripCount();
+      if (Trip <= 0)
+        break;
+      Loop Halved = Current;
+      setTrip(Halved, Trip / 2);
+      --Budget;
+      if (Accept(Halved)) {
+        Current = std::move(Halved);
+        Progress = true;
+        continue;
+      }
+      Loop Decremented = Current;
+      setTrip(Decremented, Trip - 1);
+      --Budget;
+      if (Accept(Decremented)) {
+        Current = std::move(Decremented);
+        Progress = true;
+        continue;
+      }
+      break;
+    }
+
+    // Drop body instructions, latest first (later instructions are more
+    // likely to be pure consumers whose removal keeps the loop legal).
+    // The canonical three-instruction control tail stays.
+    size_t Removable =
+        Current.body().size() >= 3 ? Current.body().size() - 3 : 0;
+    for (size_t Index = Removable; Index-- > 0 && Budget > 0;) {
+      Loop Candidate = Current;
+      Candidate.body().erase(Candidate.body().begin() +
+                             static_cast<long>(Index));
+      --Budget;
+      if (Accept(Candidate)) {
+        Current = std::move(Candidate);
+        Progress = true;
+      }
+    }
+
+    // Drop phis whose consumers went away with the instructions above.
+    for (size_t Index = Current.phis().size(); Index-- > 0 && Budget > 0;) {
+      Loop Candidate = Current;
+      Candidate.phis().erase(Candidate.phis().begin() +
+                             static_cast<long>(Index));
+      --Budget;
+      if (Accept(Candidate)) {
+        Current = std::move(Candidate);
+        Progress = true;
+      }
+    }
+
+    // Un-predicate instructions: guards are a frequent red herring.
+    for (size_t Index = 0; Index < Current.body().size() && Budget > 0;
+         ++Index) {
+      if (Current.body()[Index].Pred == NoReg)
+        continue;
+      Loop Candidate = Current;
+      Candidate.body()[Index].Pred = NoReg;
+      --Budget;
+      if (Accept(Candidate)) {
+        Current = std::move(Candidate);
+        Progress = true;
+      }
+    }
+  }
+  return Current;
+}

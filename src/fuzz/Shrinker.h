@@ -1,0 +1,38 @@
+//===- fuzz/Shrinker.h - Failing-loop minimization --------------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Greedy delta-debugging for loops that trip an oracle: repeatedly try a
+/// smaller candidate (fewer body instructions, fewer phis, smaller trip
+/// count, fewer predicates), keep it when it is still verifier-clean and
+/// still fails, and stop at a fixpoint. The result is what gets written
+/// into tests/fuzz_seeds/ and replayed by ctest, so smaller is directly
+/// better for debugging and regression-suite latency.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_FUZZ_SHRINKER_H
+#define METAOPT_FUZZ_SHRINKER_H
+
+#include "ir/Loop.h"
+
+#include <functional>
+
+namespace metaopt {
+
+/// Returns true when a candidate loop still reproduces the failure being
+/// minimized. Candidates are always verifier-clean before the predicate
+/// runs; the predicate must be pure (it is called many times).
+using StillFailsFn = std::function<bool(const Loop &)>;
+
+/// Minimizes \p L under \p StillFails; \p L itself must satisfy the
+/// predicate. Returns the smallest loop found (possibly \p L unchanged).
+Loop shrinkLoop(const Loop &L, const StillFailsFn &StillFails);
+
+} // namespace metaopt
+
+#endif // METAOPT_FUZZ_SHRINKER_H

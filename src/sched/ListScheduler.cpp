@@ -2,73 +2,19 @@
 
 #include "sched/ListScheduler.h"
 
+#include "sched/ScheduleValidate.h"
+
 #include <algorithm>
 #include <cassert>
 
 using namespace metaopt;
 
+// The latency/delay/enforcement model lives in sched/ScheduleValidate.cpp
+// (schedEffectiveLatencies, schedEdgeDelay, schedEdgeEnforced) so that
+// validateListSchedule re-derives the same constraints independently of
+// this scheduler's bookkeeping.
+
 namespace {
-
-/// Per-node latencies as the code generator sees them. Two -O3 effects
-/// soften raw latencies inside a steady-state loop iteration:
-///  - direct (affine-address) loads are pipelined across the backedge by
-///    loop rotation: the address of the next iteration's load is known,
-///    so its latency is hidden and consumers see it as ready quickly;
-///    indirect loads and loads fed by a carried store cannot be hoisted;
-///  - a store's data operand drains through the store buffer, so the
-///    store issues without waiting out the producer's full latency.
-std::vector<int> effectiveLatencies(const Loop &L,
-                                    const DependenceGraph &DG,
-                                    const MachineModel &Machine) {
-  size_t N = DG.numNodes();
-  std::vector<int> Latency(N);
-  bool SawExit = false;
-  for (uint32_t Node = 0; Node < N; ++Node) {
-    const Instruction &Instr = L.body()[Node];
-    Latency[Node] = Machine.latency(Instr.Op);
-    if (Instr.Op == Opcode::ExitIf)
-      SawExit = true;
-    if (!Instr.isLoad() || Instr.Mem.Indirect)
-      continue;
-    // Hoisting a load across an earlier (replicated) early exit would be
-    // control speculation with recovery cost; the code generator declines,
-    // so such loads keep their full latency. This is one of the paper's
-    // listed drawbacks of unrolling loops with internal control flow.
-    if (SawExit)
-      continue;
-    bool FedByCarriedStore = false;
-    for (uint32_t EdgeIdx : DG.predecessors(Node)) {
-      const DepEdge &Edge = DG.edge(EdgeIdx);
-      if (Edge.Kind == DepKind::Memory && Edge.Distance >= 1)
-        FedByCarriedStore = true;
-    }
-    if (!FedByCarriedStore)
-      Latency[Node] = 1; // Rotated/pipelined load.
-  }
-  return Latency;
-}
-
-/// Scheduling delay of an edge: data dependences wait out the producer's
-/// effective latency (one cycle into a store's data operand — the store
-/// buffer absorbs the rest), memory ordering needs one cycle
-/// (store-to-load forwarding), control ordering allows same-cycle issue.
-int machineDelay(const DepEdge &Edge, const Loop &L,
-                 const std::vector<int> &EffectiveLatency) {
-  switch (Edge.Kind) {
-  case DepKind::Data: {
-    const Instruction &Dst = L.body()[Edge.Dst];
-    if (Dst.isStore() && !Dst.Operands.empty() &&
-        L.body()[Edge.Src].Dest == Dst.Operands[0])
-      return 1;
-    return EffectiveLatency[Edge.Src];
-  }
-  case DepKind::Memory:
-    return 1;
-  case DepKind::Control:
-    return 0;
-  }
-  return 0;
-}
 
 /// Per-cycle resource bookkeeping.
 class ResourceTable {
@@ -127,19 +73,11 @@ Schedule metaopt::listSchedule(const Loop &L, const DependenceGraph &DG,
   if (N == 0)
     return Result;
 
-  // An edge is enforced unless it is a speculatable control edge (pure
-  // computation hoisted above a potential early exit). The backedge branch
-  // is nevertheless kept last via its incoming speculatable edges being
-  // re-enforced: the loop cannot branch back before its work is issued.
   auto Enforced = [&](const DepEdge &Edge) {
-    if (Edge.Distance != 0)
-      return false; // Cross-iteration constraints are the simulator's job.
-    if (!Edge.Speculatable)
-      return true;
-    return L.body()[Edge.Dst].Op == Opcode::BackBr;
+    return schedEdgeEnforced(L, Edge);
   };
 
-  std::vector<int> EffectiveLatency = effectiveLatencies(L, DG, Machine);
+  std::vector<int> EffectiveLatency = schedEffectiveLatencies(L, DG, Machine);
 
   // Priority: longest latency-weighted path to any sink over enforced
   // edges ("height"). Computed backwards in body order (a reverse
@@ -151,7 +89,7 @@ Schedule metaopt::listSchedule(const Loop &L, const DependenceGraph &DG,
       const DepEdge &Edge = DG.edge(EdgeIdx);
       if (!Enforced(Edge))
         continue;
-      int Delay = machineDelay(Edge, L, EffectiveLatency);
+      int Delay = schedEdgeDelay(Edge, L, EffectiveLatency);
       Height[Node] = std::max(Height[Node], Delay + Height[Edge.Dst]);
     }
   }
@@ -200,7 +138,7 @@ Schedule metaopt::listSchedule(const Loop &L, const DependenceGraph &DG,
           continue;
         uint32_t ReadyAt =
             Cycle +
-            static_cast<uint32_t>(machineDelay(Edge, L, EffectiveLatency));
+            static_cast<uint32_t>(schedEdgeDelay(Edge, L, EffectiveLatency));
         EarliestCycle[Edge.Dst] =
             std::max(EarliestCycle[Edge.Dst], ReadyAt);
         if (--PredsLeft[Edge.Dst] == 0)

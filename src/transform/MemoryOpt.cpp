@@ -45,7 +45,14 @@ public:
   /// direct store) records the stored value.
   void onStore(const Instruction &Store) {
     killOverlapping(Store.Mem);
-    if (!Store.Mem.Indirect && Store.Pred == NoReg)
+    // A narrow store truncates the register on the way to memory (int64
+    // to int32, double to float), so the stored register does not hold
+    // the bytes a later load of the slot would produce; only full-width
+    // stores may forward. Found by differential fuzzing
+    // (tests/fuzz_seeds/). Load-to-load redundancy stays width-agnostic:
+    // two loads of one slot narrow identically.
+    if (!Store.Mem.Indirect && Store.Pred == NoReg &&
+        Store.Mem.SizeBytes == 8)
       StoredValue[keyOf(Store.Mem)] = {Store.Operands[0], Store.Mem};
   }
 

@@ -42,6 +42,16 @@ bool metaopt::isSplittableReduction(const Loop &L, const PhiNode &Phi) {
   }
   if (DestUses != 1 || RecurUses != 0)
     return false;
+  // A sibling phi whose recurrence reads this phi's running value (either
+  // the carried register or the freshly accumulated one) observes every
+  // partial sum, so splitting would hand it one lane's partial instead.
+  // Found by differential fuzzing (tests/fuzz_seeds/).
+  for (const PhiNode &Other : L.phis()) {
+    if (Other.Dest == Phi.Dest)
+      continue;
+    if (Other.Recur == Phi.Dest || Other.Recur == Phi.Recur)
+      return false;
+  }
   for (const Instruction &Instr : L.body()) {
     if (Instr.Dest != Phi.Recur)
       continue;

@@ -1,0 +1,222 @@
+//===- tests/golden_test.cpp - Canonical-form and negative-parse tests ----===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+// Pins the canonical textual form printLoop produces — the byte-identity
+// anchor the fuzzer's round-trip oracle and the sim-cache's reparse-key
+// stability lean on — plus negative Parser/Verifier cases: inputs that
+// parse but only the verifier rejects, each checked against its stable
+// diagnostic ID.
+//
+//===----------------------------------------------------------------------===//
+
+#include "ir/LoopBuilder.h"
+#include "ir/Parser.h"
+#include "ir/Printer.h"
+#include "ir/Verifier.h"
+#include "transform/Unroller.h"
+
+#include <gtest/gtest.h>
+
+using namespace metaopt;
+
+namespace {
+
+std::string verifyFirst(const Loop &L) {
+  std::vector<std::string> Errors = verifyLoop(L);
+  return Errors.empty() ? std::string() : Errors.front();
+}
+
+/// The canonical form of a small predicated reduction, byte for byte.
+/// Any printer change lands here first — deliberately, since it also
+/// invalidates sim-cache reparse stability and every .loop golden file.
+TEST(GoldenTest, PrintLoopCanonicalForm) {
+  LoopBuilder B("dot", SourceLanguage::C, 2, 128);
+  RegId Acc = B.phi(RegClass::Float, "acc");
+  RegId X = B.load(RegClass::Float, {0, 8, 0, false, 8});
+  RegId Y = B.load(RegClass::Float, {1, 8, -16, false, 4});
+  RegId Gate = B.fcmp(X, Y);
+  B.setPredicate(Gate);
+  RegId Next = B.fma(X, Y, Acc);
+  B.clearPredicate();
+  B.setPhiRecur(Acc, Next);
+  Loop L = B.finalize();
+  ASSERT_TRUE(isWellFormed(L));
+
+  EXPECT_EQ(printLoop(L),
+            "loop \"dot\" lang=C nest=2 trip=128 rtrip=128 {\n"
+            "  phi %f_acc = [%f_acc.init, %f_r5]\n"
+            "  %f_r2 = load @0[stride=8, offset=0, size=8]\n"
+            "  %f_r3 = load @1[stride=8, offset=-16, size=4]\n"
+            "  %p_r4 = fcmp %f_r2, %f_r3\n"
+            "  (%p_r4) %f_r5 = fma %f_r2, %f_r3, %f_acc\n"
+            "  %i_iv.next = iv_add %i_iv\n"
+            "  %p_iv.cond = iv_cmp %i_iv.next\n"
+            "  back_br %p_iv.cond\n"
+            "}\n");
+}
+
+/// The unrolled form of a splittable reduction: the loop is renamed
+/// "<name>.u2" with the trip divided, every lane's registers get a ".k"
+/// suffix, the split accumulator's extra lanes get fresh ".k" inits, and
+/// memory rewrites stride and offset. Pinned because the fuzzer's lane
+/// mapping and the split-phi override logic depend on exactly this
+/// layout.
+TEST(GoldenTest, PrintUnrolledSplitReduction) {
+  LoopBuilder B("sum", SourceLanguage::C, 1, 8);
+  RegId Acc = B.phi(RegClass::Float, "acc");
+  RegId X = B.load(RegClass::Float, {0, 8, 0, false, 8});
+  B.setPhiRecur(Acc, B.fadd(Acc, X));
+  Loop L = B.finalize();
+
+  Loop Unrolled = unrollLoop(L, 2);
+  ASSERT_TRUE(isWellFormed(Unrolled));
+  EXPECT_EQ(printLoop(Unrolled),
+            "loop \"sum.u2\" lang=C nest=1 trip=4 rtrip=4 {\n"
+            "  phi %f_acc.0 = [%f_acc.init, %f_r3.0]\n"
+            "  phi %f_acc.1 = [%f_acc.init.1, %f_r3.1]\n"
+            "  %f_r2.0 = load @0[stride=16, offset=0, size=8]\n"
+            "  %f_r3.0 = fadd %f_acc.0, %f_r2.0\n"
+            "  %f_r2.1 = load @0[stride=16, offset=8, size=8]\n"
+            "  %f_r3.1 = fadd %f_acc.1, %f_r2.1\n"
+            "  %i_iv.next = iv_add %i_iv\n"
+            "  %p_iv.cond = iv_cmp %i_iv.next\n"
+            "  back_br %p_iv.cond\n"
+            "}\n");
+}
+
+/// Reparsing canonical output reproduces it byte for byte, including
+/// negative offsets, narrow sizes, indirect refs, and exit
+/// probabilities.
+TEST(GoldenTest, RoundTripStability) {
+  LoopBuilder B("rt", SourceLanguage::Fortran90, 3, Loop::UnknownTripCount);
+  B.loop().setRuntimeTripCount(37);
+  RegId Idx = B.liveIn(RegClass::Int, "idx");
+  RegId V = B.load(RegClass::Float, {2, 0, -4, true, 4}, Idx);
+  B.store(V, {3, 8, 12, false, 8});
+  RegId C = B.phi(RegClass::Int, "c");
+  RegId Next = B.iadd(C, B.iconst(1));
+  B.setPhiRecur(C, Next);
+  RegId Hit = B.icmp(B.liveIn(RegClass::Int, "bound"), Next);
+  B.exitIf(Hit, 0.125);
+  Loop L = B.finalize();
+  ASSERT_TRUE(isWellFormed(L));
+
+  std::string First = printLoop(L);
+  ParseResult Parsed = parseLoops(First);
+  ASSERT_TRUE(Parsed.Error.empty()) << Parsed.Error;
+  ASSERT_EQ(Parsed.Loops.size(), 1u);
+  EXPECT_EQ(printLoop(Parsed.Loops[0]), First);
+}
+
+//===----------------------------------------------------------------------===//
+// Inputs the parser accepts but the verifier rejects — the malformed
+// shapes the fuzz harness's front door (parse + verify) must keep out.
+//===----------------------------------------------------------------------===//
+
+/// An integer register guarding an instruction fails V009. The parser
+/// refuses to even spell this (its own guard-class check), so corrupt a
+/// well-formed loop in memory — the shape a buggy transform could
+/// produce.
+TEST(GoldenTest, VerifierRejectsNonPredicateGuard) {
+  LoopBuilder B("bad", SourceLanguage::C, 1, 4);
+  RegId A = B.liveIn(RegClass::Int, "a");
+  RegId Gate = B.icmp(A, B.iconst(3));
+  B.setPredicate(Gate);
+  RegId Y = B.iadd(A, A);
+  B.clearPredicate();
+  B.store(Y, {0, 8, 0, false, 8});
+  Loop L = B.finalize();
+  ASSERT_TRUE(isWellFormed(L));
+
+  for (Instruction &Instr : L.body())
+    if (Instr.Pred == Gate && Instr.Op != Opcode::BackBr)
+      Instr.Pred = A;
+  EXPECT_NE(verifyFirst(L).find(diag::GuardNotPredicate), std::string::npos);
+}
+
+/// A phi whose init is defined in the body: parses, fails V005.
+TEST(GoldenTest, VerifierRejectsPhiInitDefinedInBody) {
+  ParseResult Parsed = parseLoops(
+      "loop \"bad\" lang=C nest=1 trip=4 rtrip=4 {\n"
+      "  phi %i_acc = [%i_x, %i_y]\n"
+      "  %i_x = iadd %i_a, %i_b\n"
+      "  %i_y = iadd %i_acc, %i_x\n"
+      "  %i_iv.next = iv_add %i_iv\n"
+      "  %p_iv.cond = iv_cmp %i_iv.next\n"
+      "  back_br %p_iv.cond\n"
+      "}\n");
+  ASSERT_TRUE(Parsed.Error.empty()) << Parsed.Error;
+  EXPECT_NE(verifyFirst(Parsed.Loops[0]).find(diag::PhiInitNotLiveIn),
+            std::string::npos);
+}
+
+/// A phi recurring on itself: parses, fails V006.
+TEST(GoldenTest, VerifierRejectsPhiSelfRecurrence) {
+  ParseResult Parsed = parseLoops(
+      "loop \"bad\" lang=C nest=1 trip=4 rtrip=4 {\n"
+      "  phi %i_acc = [%i_acc.init, %i_acc]\n"
+      "  %i_use = iadd %i_acc, %i_acc\n"
+      "  %i_iv.next = iv_add %i_iv\n"
+      "  %p_iv.cond = iv_cmp %i_iv.next\n"
+      "  back_br %p_iv.cond\n"
+      "}\n");
+  ASSERT_TRUE(Parsed.Error.empty()) << Parsed.Error;
+  EXPECT_NE(verifyFirst(Parsed.Loops[0]).find(diag::PhiSelfRecurrence),
+            std::string::npos);
+}
+
+/// A predicated backedge branch: parses, fails V011.
+TEST(GoldenTest, VerifierRejectsPredicatedControl) {
+  ParseResult Parsed = parseLoops(
+      "loop \"bad\" lang=C nest=1 trip=4 rtrip=4 {\n"
+      "  %p_g = icmp %i_a, %i_b\n"
+      "  %i_iv.next = iv_add %i_iv\n"
+      "  %p_iv.cond = iv_cmp %i_iv.next\n"
+      "  (%p_g) back_br %p_iv.cond\n"
+      "}\n");
+  ASSERT_TRUE(Parsed.Error.empty()) << Parsed.Error;
+  EXPECT_NE(verifyFirst(Parsed.Loops[0]).find(diag::PredicatedControl),
+            std::string::npos);
+}
+
+/// A loop missing the canonical control tail: parses, fails V018.
+TEST(GoldenTest, VerifierRejectsMissingControlTail) {
+  ParseResult Parsed = parseLoops(
+      "loop \"bad\" lang=C nest=1 trip=4 rtrip=4 {\n"
+      "  %i_x = iadd %i_a, %i_b\n"
+      "}\n");
+  ASSERT_TRUE(Parsed.Error.empty()) << Parsed.Error;
+  EXPECT_NE(verifyFirst(Parsed.Loops[0]).find(diag::LoopControl),
+            std::string::npos);
+}
+
+/// Operand class mismatches: parses, fails V014.
+TEST(GoldenTest, VerifierRejectsOperandClassMismatch) {
+  ParseResult Parsed = parseLoops(
+      "loop \"bad\" lang=C nest=1 trip=4 rtrip=4 {\n"
+      "  %f_x = fadd %f_a, %i_b\n"
+      "  %i_iv.next = iv_add %i_iv\n"
+      "  %p_iv.cond = iv_cmp %i_iv.next\n"
+      "  back_br %p_iv.cond\n"
+      "}\n");
+  ASSERT_TRUE(Parsed.Error.empty()) << Parsed.Error;
+  EXPECT_NE(verifyFirst(Parsed.Loops[0]).find(diag::OperandClass),
+            std::string::npos);
+}
+
+/// Actual syntax errors the parser itself must reject, with its
+/// one-error-and-stop contract.
+TEST(GoldenTest, ParserRejectsSyntaxErrors) {
+  EXPECT_FALSE(parseLoops("loop \"x\" {\n").Error.empty());
+  EXPECT_FALSE(parseLoops("loop \"x\" lang=C nest=1 trip=4 rtrip=4 {\n"
+                          "  %i_a = bogus_op %i_b\n"
+                          "}\n")
+                   .Error.empty());
+  EXPECT_FALSE(parseLoops("loop \"x\" lang=Elvish nest=1 trip=4 rtrip=4 {\n"
+                          "}\n")
+                   .Error.empty());
+}
+
+} // namespace

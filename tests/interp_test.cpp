@@ -1,0 +1,344 @@
+//===- tests/interp_test.cpp - Reference interpreter unit tests -----------===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+// Hand-computed traces through exec/Interpreter.h — the semantic ground
+// truth the differential fuzzer compares transforms against, so these
+// tests pin its own behaviour independently: arithmetic, predication,
+// phi rotation, memory aliasing and narrowing, boundary trip counts,
+// early exits, split-reduction lanes, and a golden digest over a corpus
+// sample (the cross-platform determinism canary).
+//
+//===----------------------------------------------------------------------===//
+
+#include "corpus/BenchmarkSuite.h"
+#include "exec/Interpreter.h"
+#include "ir/LoopBuilder.h"
+#include "ir/Verifier.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+using namespace metaopt;
+
+namespace {
+
+ExecValue intVal(int64_t Value) { return execInt(Value); }
+
+/// acc = acc + step, trip iterations, everything pinned via overrides.
+TEST(InterpTest, IntAccumulationHandTrace) {
+  LoopBuilder B("acc", SourceLanguage::C, 1, 5);
+  RegId Acc = B.phi(RegClass::Int, "acc");
+  RegId Step = B.liveIn(RegClass::Int, "step");
+  RegId Next = B.iadd(Acc, Step);
+  B.setPhiRecur(Acc, Next);
+  Loop L = B.finalize();
+  ASSERT_TRUE(isWellFormed(L));
+
+  ExecOptions Opts;
+  Opts.LiveInOverrides[L.phis()[0].Init] = intVal(100);
+  Opts.LiveInOverrides[Step] = intVal(7);
+  ExecResult R = interpretLoop(L, Opts);
+
+  EXPECT_EQ(R.IterationsExecuted, 5);
+  EXPECT_FALSE(R.Exited);
+  EXPECT_EQ(R.PhiFinal[0].I, 100 + 5 * 7);
+}
+
+TEST(InterpTest, WrappingAndDivisionEdgeCases) {
+  LoopBuilder B("edges", SourceLanguage::C, 1, 1);
+  RegId Min = B.liveIn(RegClass::Int, "min");
+  RegId NegOne = B.iconst(-1);
+  RegId Zero = B.iconst(0);
+  RegId X = B.liveIn(RegClass::Int, "x");
+  RegId DivTrap = B.phi(RegClass::Int, "divtrap");
+  B.setPhiRecur(DivTrap, B.idiv(Min, NegOne)); // INT_MIN / -1
+  RegId RemTrap = B.phi(RegClass::Int, "remtrap");
+  B.setPhiRecur(RemTrap, B.irem(X, Zero)); // x % 0
+  RegId DivZero = B.phi(RegClass::Int, "divzero");
+  B.setPhiRecur(DivZero, B.idiv(X, Zero)); // x / 0
+  RegId Wrap = B.phi(RegClass::Int, "wrap");
+  B.setPhiRecur(Wrap, B.imul(Min, NegOne)); // -INT_MIN wraps
+  Loop L = B.finalize();
+  ASSERT_TRUE(isWellFormed(L));
+
+  int64_t IntMin = INT64_MIN;
+  ExecOptions Opts;
+  Opts.LiveInOverrides[L.phis()[0].Init] = intVal(0);
+  Opts.LiveInOverrides[L.phis()[1].Init] = intVal(0);
+  Opts.LiveInOverrides[L.phis()[2].Init] = intVal(0);
+  Opts.LiveInOverrides[L.phis()[3].Init] = intVal(0);
+  Opts.LiveInOverrides[Min] = intVal(IntMin);
+  Opts.LiveInOverrides[X] = intVal(41);
+  ExecResult R = interpretLoop(L, Opts);
+
+  EXPECT_EQ(R.PhiFinal[0].I, IntMin); // INT_MIN / -1 = INT_MIN
+  EXPECT_EQ(R.PhiFinal[1].I, 41);     // x % 0 = x
+  EXPECT_EQ(R.PhiFinal[2].I, 0);      // x / 0 = 0
+  EXPECT_EQ(R.PhiFinal[3].I, IntMin); // -INT_MIN wraps to itself
+}
+
+/// A predicated-off instruction writes the class default (0), not the
+/// stale previous-iteration value — the property that makes the
+/// unroller's register renaming sound.
+TEST(InterpTest, PredicatedOffWritesDefault) {
+  LoopBuilder B("pred", SourceLanguage::C, 1, 4);
+  RegId Acc = B.phi(RegClass::Int, "acc");
+  RegId A = B.liveIn(RegClass::Int, "a");
+  RegId BV = B.liveIn(RegClass::Int, "b");
+  RegId P = B.icmp(A, BV); // a < b
+  B.setPredicate(P);
+  RegId Guarded = B.iadd(A, BV); // off when a >= b -> writes 0
+  B.clearPredicate();
+  RegId Next = B.iadd(Acc, Guarded);
+  B.setPhiRecur(Acc, Next);
+  Loop L = B.finalize();
+  ASSERT_TRUE(isWellFormed(L));
+
+  ExecOptions Opts;
+  Opts.LiveInOverrides[L.phis()[0].Init] = intVal(5);
+  Opts.LiveInOverrides[A] = intVal(9);
+  Opts.LiveInOverrides[BV] = intVal(3); // 9 < 3 false -> predicate off
+  ExecResult Off = interpretLoop(L, Opts);
+  EXPECT_EQ(Off.PhiFinal[0].I, 5); // acc += 0 four times
+
+  Opts.LiveInOverrides[BV] = intVal(30); // predicate on
+  ExecResult On = interpretLoop(L, Opts);
+  EXPECT_EQ(On.PhiFinal[0].I, 5 + 4 * (9 + 30));
+}
+
+/// a = [a0, b], b = [b0, t], t = b + s: two-stage rotation delays each
+/// value by one iteration through a.
+TEST(InterpTest, PhiRotationHandTrace) {
+  LoopBuilder B("rot", SourceLanguage::C, 1, 3);
+  RegId A = B.phi(RegClass::Int, "a");
+  RegId Bv = B.phi(RegClass::Int, "b");
+  RegId S = B.liveIn(RegClass::Int, "s");
+  RegId T = B.iadd(Bv, S);
+  B.setPhiRecur(A, Bv);
+  B.setPhiRecur(Bv, T);
+  Loop L = B.finalize();
+  ASSERT_TRUE(isWellFormed(L));
+
+  ExecOptions Opts;
+  Opts.LiveInOverrides[L.phis()[0].Init] = intVal(-1);
+  Opts.LiveInOverrides[L.phis()[1].Init] = intVal(10);
+  Opts.LiveInOverrides[S] = intVal(100);
+  ExecResult R = interpretLoop(L, Opts);
+
+  // iter 0: a=-1  b=10  -> a'=10,  b'=110
+  // iter 1: a=10  b=110 -> a'=110, b'=210
+  // iter 2: a=110 b=210 -> a'=210, b'=310
+  EXPECT_EQ(R.PhiFinal[0].I, 210);
+  EXPECT_EQ(R.PhiFinal[1].I, 310);
+}
+
+/// Rotation reads all recurrences before writing any destination: a
+/// swap (a = [.., b], b = [.., a]) must not see half-updated state.
+TEST(InterpTest, PhiSwapIsSimultaneous) {
+  LoopBuilder B("swap", SourceLanguage::C, 1, 3);
+  RegId A = B.phi(RegClass::Int, "a");
+  RegId Bv = B.phi(RegClass::Int, "b");
+  B.setPhiRecur(A, Bv);
+  B.setPhiRecur(Bv, A);
+  Loop L = B.finalize();
+  ASSERT_TRUE(isWellFormed(L));
+
+  ExecOptions Opts;
+  Opts.LiveInOverrides[L.phis()[0].Init] = intVal(1);
+  Opts.LiveInOverrides[L.phis()[1].Init] = intVal(2);
+  ExecResult R = interpretLoop(L, Opts);
+  // Three swaps: (1,2) -> (2,1) -> (1,2) -> (2,1).
+  EXPECT_EQ(R.PhiFinal[0].I, 2);
+  EXPECT_EQ(R.PhiFinal[1].I, 1);
+}
+
+/// Store/load composition: an 8-byte store partially clobbered by a
+/// 4-byte store composes per byte (little-endian); narrow loads
+/// sign-extend.
+TEST(InterpTest, MemoryAliasingAndNarrowing) {
+  LoopBuilder B("alias", SourceLanguage::C, 1, 1);
+  RegId Wide = B.liveIn(RegClass::Int, "wide");
+  RegId Narrow = B.liveIn(RegClass::Int, "narrow");
+  B.store(Wide, {0, 0, 0, false, 8});
+  B.store(Narrow, {0, 0, 4, false, 4}); // clobber upper half
+  RegId Composite = B.phi(RegClass::Int, "composite");
+  B.setPhiRecur(Composite, B.load(RegClass::Int, {0, 0, 0, false, 8}));
+  RegId SignExt = B.phi(RegClass::Int, "signext");
+  B.setPhiRecur(SignExt, B.load(RegClass::Int, {0, 0, 4, false, 4}));
+  Loop L = B.finalize();
+  ASSERT_TRUE(isWellFormed(L));
+
+  ExecOptions Opts;
+  Opts.LiveInOverrides[L.phis()[0].Init] = intVal(0);
+  Opts.LiveInOverrides[L.phis()[1].Init] = intVal(0);
+  Opts.LiveInOverrides[Wide] = intVal(0x1111222233334444LL);
+  Opts.LiveInOverrides[Narrow] = intVal(-2); // 0xfffffffe
+  ExecResult R = interpretLoop(L, Opts);
+
+  // Bytes 0..3 from the wide store, bytes 4..7 from the narrow one.
+  EXPECT_EQ(static_cast<uint64_t>(R.PhiFinal[0].I), 0xfffffffe33334444ULL);
+  EXPECT_EQ(R.PhiFinal[1].I, -2); // narrow load sign-extends
+}
+
+/// Float narrow round-trip: a 4-byte store truncates to float precision.
+TEST(InterpTest, FloatNarrowStoreTruncates) {
+  LoopBuilder B("ftrunc", SourceLanguage::C, 1, 1);
+  RegId V = B.liveIn(RegClass::Float, "v");
+  B.store(V, {0, 0, 0, false, 4});
+  RegId Back = B.phi(RegClass::Float, "back");
+  B.setPhiRecur(Back, B.load(RegClass::Float, {0, 0, 0, false, 4}));
+  Loop L = B.finalize();
+  ASSERT_TRUE(isWellFormed(L));
+
+  double Value = 1.1; // not exactly float-representable
+  ExecOptions Opts;
+  Opts.LiveInOverrides[L.phis()[0].Init] = execFloat(0.0);
+  Opts.LiveInOverrides[V] = execFloat(Value);
+  ExecResult R = interpretLoop(L, Opts);
+  EXPECT_EQ(R.PhiFinal[0].F, static_cast<double>(static_cast<float>(Value)));
+  EXPECT_NE(R.PhiFinal[0].F, Value);
+}
+
+TEST(InterpTest, BoundaryTripCounts) {
+  for (int64_t Trip : {int64_t{0}, int64_t{1}, int64_t{7}}) {
+    LoopBuilder B("trip", SourceLanguage::C, 1, Trip);
+    RegId Acc = B.phi(RegClass::Int, "acc");
+    RegId One = B.iconst(1);
+    B.setPhiRecur(Acc, B.iadd(Acc, One));
+    Loop L = B.finalize();
+
+    ExecOptions Opts;
+    Opts.LiveInOverrides[L.phis()[0].Init] = intVal(0);
+    ExecResult R = interpretLoop(L, Opts);
+    EXPECT_EQ(R.IterationsExecuted, Trip);
+    EXPECT_EQ(R.PhiFinal[0].I, Trip); // init untouched at trip 0
+  }
+}
+
+/// Early exit fires the first iteration the counter passes the bound;
+/// the exiting iteration does not count as executed.
+TEST(InterpTest, EarlyExitIterationAndBodyIndex) {
+  LoopBuilder B("exit", SourceLanguage::C, 1, 100);
+  RegId C = B.phi(RegClass::Int, "c");
+  RegId One = B.iconst(1);
+  RegId Next = B.iadd(C, One);
+  B.setPhiRecur(C, Next);
+  RegId Bound = B.liveIn(RegClass::Int, "bound");
+  RegId Hit = B.icmp(Bound, Next); // bound < c+1
+  B.exitIf(Hit, 0.01);
+  Loop L = B.finalize();
+  ASSERT_TRUE(isWellFormed(L));
+
+  ExecOptions Opts;
+  Opts.LiveInOverrides[L.phis()[0].Init] = intVal(0);
+  Opts.LiveInOverrides[Bound] = intVal(3);
+  ExecResult R = interpretLoop(L, Opts);
+  ASSERT_TRUE(R.Exited);
+  // c+1 reaches 4 > 3 on the fourth iteration (local index 3).
+  EXPECT_EQ(R.ExitIteration, 3);
+  EXPECT_EQ(R.ExitBodyIndex, 3); // iconst, iadd, icmp, exit_if
+  EXPECT_EQ(R.IterationsExecuted, 3);
+}
+
+/// SplitLanes=U carries a splittable reduction as U accumulators:
+/// lane k sums the iterations with i mod U == k, lane 0 from the init,
+/// others from the identity.
+TEST(InterpTest, SplitLanesPartitionIterations) {
+  LoopBuilder B("lanes", SourceLanguage::C, 1, 7);
+  RegId Acc = B.phi(RegClass::Int, "acc");
+  RegId IvReg = B.liveIn(RegClass::Int, "n");
+  RegId Next = B.iadd(Acc, IvReg);
+  B.setPhiRecur(Acc, Next);
+  Loop L = B.finalize();
+
+  ExecOptions Opts;
+  Opts.SplitLanes = 3;
+  Opts.LiveInOverrides[L.phis()[0].Init] = intVal(1000);
+  Opts.LiveInOverrides[IvReg] = intVal(1);
+  ExecResult R = interpretLoop(L, Opts);
+
+  ASSERT_EQ(R.SplitLanes.size(), 1u);
+  ASSERT_EQ(R.SplitLanes[0].size(), 3u);
+  EXPECT_EQ(R.SplitLanes[0][0].I, 1000 + 3); // iterations 0,3,6
+  EXPECT_EQ(R.SplitLanes[0][1].I, 2);        // iterations 1,4
+  EXPECT_EQ(R.SplitLanes[0][2].I, 2);        // iterations 2,5
+}
+
+/// StartIteration shifts the symbolic addresses: iteration i touches
+/// offset Stride * (Start + i).
+TEST(InterpTest, StartIterationShiftsAddresses) {
+  LoopBuilder B("shift", SourceLanguage::C, 1, 2);
+  RegId V = B.liveIn(RegClass::Int, "v");
+  B.store(V, {0, 8, 0, false, 8});
+  Loop L = B.finalize();
+
+  ExecOptions Opts;
+  Opts.StartIteration = 5;
+  Opts.LiveInOverrides[V] = intVal(42);
+  ExecResult R = interpretLoop(L, Opts);
+  auto Stored = R.Memory.storedBytes();
+  ASSERT_EQ(Stored.size(), 16u); // two 8-byte elements
+  // Iterations 5 and 6 -> byte addresses 40..47 and 48..55.
+  EXPECT_EQ(Stored.begin()->first.second, 40);
+  EXPECT_EQ(Stored.rbegin()->first.second, 55);
+}
+
+/// Same seed, same result — different seed, different live-ins. The
+/// digest is a pure function of the observable state.
+TEST(InterpTest, SeedDeterminism) {
+  LoopBuilder B("det", SourceLanguage::C, 1, 9);
+  RegId Acc = B.phi(RegClass::Float, "acc");
+  RegId X = B.load(RegClass::Float, {0, 8, 0, false, 8});
+  B.setPhiRecur(Acc, B.fadd(Acc, X));
+  Loop L = B.finalize();
+
+  ExecOptions Opts;
+  Opts.Seed = 123;
+  Fingerprint D1 = interpretLoop(L, Opts).digest(L);
+  Fingerprint D2 = interpretLoop(L, Opts).digest(L);
+  EXPECT_EQ(D1, D2);
+  Opts.Seed = 124;
+  EXPECT_NE(interpretLoop(L, Opts).digest(L), D1);
+}
+
+/// Golden digests over the shipped corpus sample: any change to live-in
+/// synthesis, first-touch memory, FP canonicalization, or digest layout
+/// shows up here before it silently invalidates fuzz seeds.
+TEST(InterpTest, CorpusGoldenDigests) {
+  std::vector<Benchmark> Corpus = buildCorpus();
+  ASSERT_FALSE(Corpus.empty());
+  ASSERT_FALSE(Corpus[0].Loops.empty());
+
+  FingerprintHasher H;
+  unsigned Sampled = 0;
+  for (const Benchmark &Bench : Corpus) {
+    for (const CorpusLoop &CL : Bench.Loops) {
+      if (Sampled >= 8)
+        break;
+      // Cap the interpreted work: corpus runtime trip counts reach the
+      // millions, which is the simulator's job, not the interpreter's.
+      Loop L = CL.TheLoop;
+      if (L.runtimeTripCount() > 64)
+        L.hasKnownTripCount() ? L.setTripCount(64)
+                              : L.setRuntimeTripCount(64);
+      Fingerprint D = interpretLoop(L, {}).digest(L);
+      H.u64(D.Lo);
+      H.u64(D.Hi);
+      ++Sampled;
+    }
+    if (Sampled >= 8)
+      break;
+  }
+  ASSERT_EQ(Sampled, 8u);
+  Fingerprint Combined = H.digest();
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%016llx%016llx",
+                static_cast<unsigned long long>(Combined.Hi),
+                static_cast<unsigned long long>(Combined.Lo));
+  EXPECT_STREQ(Buffer, "2b8ad46d3b9b5049919d28a67576f7aa");
+}
+
+} // namespace
