@@ -28,8 +28,12 @@
 #include "support/TablePrinter.h"
 
 #include <cstdio>
+#include <filesystem>
+#include <fstream>
 #include <map>
 #include <memory>
+#include <string>
+#include <vector>
 
 namespace metaopt {
 
@@ -100,6 +104,45 @@ orcPredictions(const Dataset &Data,
     Predictions.push_back(Orc.chooseFactor(Index.at(Ex.LoopName)->TheLoop));
   return Predictions;
 }
+
+/// Returns "out/<name>", creating the gitignored out/ directory on first
+/// use. All generated bench artifacts (figure CSVs, intermediate dumps)
+/// land there so the repo root stays free of build products.
+inline std::string benchOutPath(const std::string &Name) {
+  std::error_code Ec;
+  std::filesystem::create_directories("out", Ec);
+  return "out/" + Name;
+}
+
+/// Collects machine-readable result rows (one JSON object per line) and
+/// rewrites BENCH_<name>.json at the repo root on flush. The per-run
+/// rewrite (rather than append) keeps the file a snapshot of the latest
+/// run, which is what trajectory tooling diffs across commits.
+class BenchJsonWriter {
+public:
+  explicit BenchJsonWriter(std::string Name)
+      : Path("BENCH_" + std::move(Name) + ".json") {}
+
+  /// Adds one row; \p Json must be a complete JSON object literal.
+  void row(std::string Json) { Rows.push_back(std::move(Json)); }
+
+  /// Writes all rows, one per line. Returns false on I/O failure.
+  bool flush() const {
+    std::ofstream Out(Path);
+    if (!Out)
+      return false;
+    for (const std::string &Row : Rows)
+      Out << Row << "\n";
+    return static_cast<bool>(Out);
+  }
+
+  const std::string &path() const { return Path; }
+  size_t size() const { return Rows.size(); }
+
+private:
+  std::string Path;
+  std::vector<std::string> Rows;
+};
 
 /// Prints one "paper vs measured" comparison line.
 inline void printComparison(const char *What, const std::string &Paper,

@@ -9,8 +9,9 @@
 // algorithm described in [8]"), keeping only loops where the best factor
 // beats the others by at least 30%, and only classes {1, 2, 4, 8}.
 //
-// This bench writes the projected points to fig1_lda_projection.csv and
-// prints an ASCII scatter.
+// This bench writes the projected points to out/fig1_lda_projection.csv
+// (generated artifacts stay out of the repo root) and prints an ASCII
+// scatter.
 //
 //===----------------------------------------------------------------------===//
 
@@ -75,10 +76,11 @@ int main(int Argc, char **Argv) {
     Csv.addRow({formatDouble(P[0], 4), formatDouble(P[1], 4),
                 std::to_string(Ex.Label), Ex.LoopName});
   }
-  const char *OutPath = "fig1_lda_projection.csv";
+  std::string OutPath = benchOutPath("fig1_lda_projection.csv");
   bool Wrote = Csv.writeToFile(OutPath);
   std::printf("%s %s (%zu points)\n\n",
-              Wrote ? "wrote" : "FAILED to write", OutPath, Points.size());
+              Wrote ? "wrote" : "FAILED to write", OutPath.c_str(),
+              Points.size());
 
   // ASCII scatter: '+' u1, 'o' u2, '*' u4, '.' u8 (figure 1's markers).
   constexpr int Width = 72, Height = 24;

@@ -6,7 +6,9 @@
 // Wall-clock scaling of the pipeline's dominant cost — empirical labeling,
 // the step the paper spent ~a week of machine time on — across the
 // work-stealing pool at 1/2/4/8 threads, printed as JSON rows (one object
-// per line) so dashboards can ingest them directly. Also re-verifies the
+// per line) so dashboards can ingest them directly; the same rows are
+// also written to BENCH_pipeline.json at the repo root so successive
+// runs leave a machine-readable perf trajectory. Also re-verifies the
 // determinism contract: every thread count must produce the byte-identical
 // dataset CSV the serial run produces, with or without the simulation
 // cache (cache/SimCache.h).
@@ -27,6 +29,8 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
+
 #include "cache/SimCache.h"
 #include "concurrency/ThreadPool.h"
 #include "core/driver/LabelCollector.h"
@@ -41,6 +45,18 @@
 using namespace metaopt;
 
 namespace {
+
+/// Destination for the machine-readable BENCH_pipeline.json copy of every
+/// row this bench prints; bound in main for the whole run.
+BenchJsonWriter *RowSink = nullptr;
+
+/// Prints one JSON row to stdout and records it for BENCH_pipeline.json.
+void emitRow(const std::string &Row) {
+  std::printf("%s\n", Row.c_str());
+  std::fflush(stdout);
+  if (RowSink)
+    RowSink->row(Row);
+}
 
 double secondsSince(std::chrono::steady_clock::time_point Start) {
   return std::chrono::duration<double>(std::chrono::steady_clock::now() -
@@ -89,19 +105,21 @@ void benchLabeling(const std::vector<Benchmark> &Corpus, bool EnableSwp,
     bool Deterministic = Csv == BaselineCsv;
     double Speedup = BaselineSeconds > 0.0 ? BaselineSeconds / Seconds : 1.0;
     SimCacheStats Stats = RunCache.stats();
-    std::printf("{\"experiment\": \"labeling\", \"corpus\": \"%s\", "
-                "\"swp\": %s, \"threads\": %u, \"loops\": %zu, "
-                "\"usable\": %zu, \"seconds\": %.3f, "
-                "\"speedup_vs_serial\": %.2f, \"csv_matches_serial\": %s, "
-                "\"cache_hits\": %llu, \"cache_misses\": %llu, "
-                "\"cache_inserts\": %llu}\n",
-                Full ? "full" : "quick", EnableSwp ? "true" : "false",
-                Threads, TotalLoops, Data.size(), Seconds, Speedup,
-                Deterministic ? "true" : "false",
-                static_cast<unsigned long long>(Stats.Hits),
-                static_cast<unsigned long long>(Stats.Misses),
-                static_cast<unsigned long long>(Stats.Inserts));
-    std::fflush(stdout);
+    char Row[512];
+    std::snprintf(Row, sizeof(Row),
+                  "{\"experiment\": \"labeling\", \"corpus\": \"%s\", "
+                  "\"swp\": %s, \"threads\": %u, \"loops\": %zu, "
+                  "\"usable\": %zu, \"seconds\": %.3f, "
+                  "\"speedup_vs_serial\": %.2f, \"csv_matches_serial\": %s, "
+                  "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+                  "\"cache_inserts\": %llu}",
+                  Full ? "full" : "quick", EnableSwp ? "true" : "false",
+                  Threads, TotalLoops, Data.size(), Seconds, Speedup,
+                  Deterministic ? "true" : "false",
+                  static_cast<unsigned long long>(Stats.Hits),
+                  static_cast<unsigned long long>(Stats.Misses),
+                  static_cast<unsigned long long>(Stats.Inserts));
+    emitRow(Row);
   }
 }
 
@@ -128,19 +146,21 @@ std::string cachePhase(const std::vector<Benchmark> &Corpus,
   SimCacheStats Stats = Cache ? Cache->stats() : SimCacheStats{};
   std::string Csv = Data.toCsv();
   bool Matches = ReferenceCsv.empty() || Csv == ReferenceCsv;
-  std::printf("{\"experiment\": \"labeling_cache\", \"phase\": \"%s\", "
-              "\"seconds\": %.3f, \"speedup_vs_cold\": %.2f, "
-              "\"cache_hits\": %llu, \"cache_misses\": %llu, "
-              "\"cache_inserts\": %llu, \"cache_entries\": %zu, "
-              "\"persistent_loaded\": %llu, \"csv_matches_uncached\": %s}\n",
-              Phase, Seconds, SpeedupVsCold,
-              static_cast<unsigned long long>(Stats.Hits),
-              static_cast<unsigned long long>(Stats.Misses),
-              static_cast<unsigned long long>(Stats.Inserts),
-              Cache ? Cache->size() : 0,
-              static_cast<unsigned long long>(PersistentLoaded),
-              Matches ? "true" : "false");
-  std::fflush(stdout);
+  char Row[512];
+  std::snprintf(Row, sizeof(Row),
+                "{\"experiment\": \"labeling_cache\", \"phase\": \"%s\", "
+                "\"seconds\": %.3f, \"speedup_vs_cold\": %.2f, "
+                "\"cache_hits\": %llu, \"cache_misses\": %llu, "
+                "\"cache_inserts\": %llu, \"cache_entries\": %zu, "
+                "\"persistent_loaded\": %llu, \"csv_matches_uncached\": %s}",
+                Phase, Seconds, SpeedupVsCold,
+                static_cast<unsigned long long>(Stats.Hits),
+                static_cast<unsigned long long>(Stats.Misses),
+                static_cast<unsigned long long>(Stats.Inserts),
+                Cache ? Cache->size() : 0,
+                static_cast<unsigned long long>(PersistentLoaded),
+                Matches ? "true" : "false");
+  emitRow(Row);
   return Csv;
 }
 
@@ -172,6 +192,8 @@ void benchLabelingCache(const std::vector<Benchmark> &Corpus, bool EnableSwp,
 
 int main(int Argc, char **Argv) {
   CommandLine Args(Argc, Argv);
+  BenchJsonWriter Json("pipeline");
+  RowSink = &Json;
   bool Full = Args.has("full");
   std::vector<unsigned> ThreadCounts =
       parseThreadList(Args.getString("threads", "1,2,4,8"));
@@ -192,5 +214,9 @@ int main(int Argc, char **Argv) {
   if (Args.has("swp"))
     benchLabelingCache(Corpus, /*EnableSwp=*/true,
                        Args.getString("cache-dir", ""));
+
+  if (!Json.flush())
+    std::fprintf(stderr, "microbench_pipeline: cannot write %s\n",
+                 Json.path().c_str());
   return 0;
 }

@@ -43,6 +43,7 @@ CaseOutcome runCase(const FuzzCampaignOptions &Options, uint64_t Index) {
       Failing.insert(Failure.Oracle);
     OracleOptions Narrow = Oracle;
     Narrow.CheckRoundTrip = Failing.count("round-trip") != 0;
+    Narrow.CheckImportRoundTrip = Failing.count("import-round-trip") != 0;
     Narrow.CheckUnroll = Failing.count("unroll-equivalence") != 0;
     Narrow.CheckMemoryOpt = Failing.count("memory-opt") != 0;
     Narrow.CheckSchedulers = Failing.count("list-schedule") != 0 ||

@@ -8,6 +8,8 @@
 #include "core/ml/Dataset.h"
 #include "core/ml/NearNeighbor.h"
 #include "exec/Interpreter.h"
+#include "import/Export.h"
+#include "import/Import.h"
 #include "ir/Parser.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
@@ -106,6 +108,36 @@ void metaopt::oracleRoundTrip(const Loop &L, std::vector<OracleFailure> &Out) {
   if (First != Second)
     fail(Out, "round-trip",
          "print -> parse -> print changed the text (" +
+             std::to_string(First.size()) + " vs " +
+             std::to_string(Second.size()) + " bytes)");
+}
+
+//===----------------------------------------------------------------------===//
+// import-round-trip
+//===----------------------------------------------------------------------===//
+
+void metaopt::oracleImportRoundTrip(const Loop &L,
+                                    std::vector<OracleFailure> &Out) {
+  std::string Exported = exportLoop(L);
+  ImportResult Imported = importLoops(Exported, L.sourceFile());
+  if (!Imported.succeeded()) {
+    std::string Detail = "exportLoop output rejected by importer";
+    if (!Imported.Report.diagnostics().empty())
+      Detail += ": " + Imported.Report.diagnostics().front().Message;
+    fail(Out, "import-round-trip", Detail);
+    return;
+  }
+  if (Imported.Loops.size() != 1) {
+    fail(Out, "import-round-trip",
+         "exportLoop output imported as " +
+             std::to_string(Imported.Loops.size()) + " loops");
+    return;
+  }
+  std::string First = printLoop(L);
+  std::string Second = printLoop(Imported.Loops[0].TheLoop);
+  if (First != Second)
+    fail(Out, "import-round-trip",
+         "export -> import -> print changed the text (" +
              std::to_string(First.size()) + " vs " +
              std::to_string(Second.size()) + " bytes)");
 }
@@ -558,6 +590,8 @@ metaopt::runOracles(const Loop &L, const OracleOptions &Options) {
   }
   if (Options.CheckRoundTrip)
     oracleRoundTrip(L, Out);
+  if (Options.CheckImportRoundTrip)
+    oracleImportRoundTrip(L, Out);
   if (Options.CheckUnroll)
     oracleUnrollEquivalence(L, Options.Seed, Out);
   if (Options.CheckMemoryOpt)

@@ -14,6 +14,9 @@
 /// for serialization round-trips:
 ///
 ///  - round-trip: printLoop -> parseLoops -> printLoop is byte-identical;
+///  - import-round-trip: exportLoop -> importLoops -> printLoop matches
+///    the original printLoop byte for byte, hammering the src/import
+///    front door (parser, lowering, diagnostics) with generated loops;
 ///  - unroll-equivalence: unrollLoop(L, U) computes the same final state
 ///    as U iterations of L, for U = 1..MaxUnrollFactor, including split
 ///    accumulator lanes, early-exit mapping, and (for integer reductions)
@@ -56,6 +59,7 @@ struct OracleOptions {
   /// Interpreter seed (live-in synthesis, first-touch memory).
   uint64_t Seed = 1;
   bool CheckRoundTrip = true;
+  bool CheckImportRoundTrip = true;
   bool CheckUnroll = true;
   bool CheckMemoryOpt = true;
   bool CheckSchedulers = true;
@@ -65,6 +69,7 @@ struct OracleOptions {
 
 /// Individual oracles; append violations to \p Out.
 void oracleRoundTrip(const Loop &L, std::vector<OracleFailure> &Out);
+void oracleImportRoundTrip(const Loop &L, std::vector<OracleFailure> &Out);
 void oracleUnrollEquivalence(const Loop &L, uint64_t Seed,
                              std::vector<OracleFailure> &Out);
 void oracleMemoryOpt(const Loop &L, uint64_t Seed,

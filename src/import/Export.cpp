@@ -1,0 +1,243 @@
+//===- import/Export.cpp --------------------------------------------------===//
+//
+// Serializes loops into the mloop format. Register tokens reproduce the
+// canonical printer's naming exactly (class prefix + base name, with the
+// same ".<id>" collision suffixes), so the importer — which strips the
+// class prefix back off — recreates registers whose printed names match
+// the originals byte for byte. See docs/IMPORT.md for the format.
+//
+//===----------------------------------------------------------------------===//
+
+#include "import/Export.h"
+
+#include <cassert>
+#include <cstdio>
+#include <map>
+#include <set>
+
+using namespace metaopt;
+
+namespace {
+
+/// Replica of the printer's NameTable: candidate "%<prefix>_<name>",
+/// first collision wins a ".<id>" suffix. Kept in lockstep with
+/// ir/Printer.cpp — the round-trip oracle fails loudly if they drift.
+class ExportNames {
+public:
+  explicit ExportNames(const Loop &L) {
+    std::set<std::string> Used;
+    for (RegId Reg = 0; Reg < L.numRegs(); ++Reg) {
+      std::string Candidate = std::string("%") +
+                              regClassPrefix(L.regClass(Reg)) + "_" +
+                              L.regName(Reg);
+      if (!Used.insert(Candidate).second) {
+        Candidate += "." + std::to_string(Reg);
+        Used.insert(Candidate);
+      }
+      Names[Reg] = Candidate;
+    }
+  }
+
+  /// The mloop value token for \p Reg (printer name, '%' included).
+  const std::string &name(RegId Reg) const {
+    auto It = Names.find(Reg);
+    assert(It != Names.end() && "register has no name");
+    return It->second;
+  }
+
+private:
+  std::map<RegId, std::string> Names;
+};
+
+const char *typeToken(RegClass RC) {
+  switch (RC) {
+  case RegClass::Int:
+    return "i64";
+  case RegClass::Float:
+    return "f64";
+  case RegClass::Pred:
+    return "i1";
+  }
+  return "i64";
+}
+
+std::string memRefText(const MemRef &Mem) {
+  std::string Out = "@" + std::to_string(Mem.BaseSym) + "[";
+  if (Mem.Indirect)
+    Out += "indirect, ";
+  Out += "stride=" + std::to_string(Mem.Stride);
+  Out += ", offset=" + std::to_string(Mem.Offset);
+  Out += ", size=" + std::to_string(Mem.SizeBytes);
+  Out += "]";
+  return Out;
+}
+
+/// Shortest decimal that parses back to exactly \p Value.
+std::string exactDouble(double Value) {
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "%.17g", Value);
+  return Buffer;
+}
+
+std::string instructionText(const Loop &L, const Instruction &Instr,
+                            const ExportNames &Names) {
+  std::string Out;
+  auto Dest = [&]() { Out += Names.name(Instr.Dest) + " = "; };
+  auto Op = [&](size_t I) { return Names.name(Instr.Operands[I]); };
+
+  switch (Instr.Op) {
+  case Opcode::IAdd:
+  case Opcode::ISub:
+  case Opcode::IMul:
+  case Opcode::IDiv:
+  case Opcode::IRem:
+  case Opcode::Shl:
+  case Opcode::Shr:
+  case Opcode::And:
+  case Opcode::Or:
+  case Opcode::Xor: {
+    static const std::map<Opcode, const char *> Mn = {
+        {Opcode::IAdd, "add"},  {Opcode::ISub, "sub"},
+        {Opcode::IMul, "mul"},  {Opcode::IDiv, "sdiv"},
+        {Opcode::IRem, "srem"}, {Opcode::Shl, "shl"},
+        {Opcode::Shr, "ashr"},  {Opcode::And, "and"},
+        {Opcode::Or, "or"},     {Opcode::Xor, "xor"}};
+    Dest();
+    Out += std::string(Mn.at(Instr.Op)) + " i64 " + Op(0) + ", " + Op(1);
+    break;
+  }
+  case Opcode::ICmp:
+    Dest();
+    Out += "icmp slt i64 " + Op(0) + ", " + Op(1);
+    break;
+  case Opcode::FCmp:
+    Dest();
+    Out += "fcmp olt f64 " + Op(0) + ", " + Op(1);
+    break;
+  case Opcode::FAdd:
+  case Opcode::FSub:
+  case Opcode::FMul:
+  case Opcode::FDiv: {
+    static const std::map<Opcode, const char *> Mn = {
+        {Opcode::FAdd, "fadd"},
+        {Opcode::FSub, "fsub"},
+        {Opcode::FMul, "fmul"},
+        {Opcode::FDiv, "fdiv"}};
+    Dest();
+    Out += std::string(Mn.at(Instr.Op)) + " f64 " + Op(0) + ", " + Op(1);
+    break;
+  }
+  case Opcode::FMA:
+    Dest();
+    Out += "fma f64 " + Op(0) + ", " + Op(1) + ", " + Op(2);
+    break;
+  case Opcode::FSqrt:
+    Dest();
+    Out += "sqrt f64 " + Op(0);
+    break;
+  case Opcode::FCvt:
+    Dest();
+    Out += "sitofp f64 " + Op(0);
+    break;
+  case Opcode::IConst:
+    Dest();
+    Out += "const i64 " + std::to_string(Instr.Imm);
+    break;
+  case Opcode::FConst:
+    Dest();
+    Out += "const f64 " + std::to_string(Instr.Imm);
+    break;
+  case Opcode::Copy:
+    Dest();
+    Out += std::string("copy ") +
+           typeToken(L.regClass(Instr.Operands[0])) + " " + Op(0);
+    break;
+  case Opcode::Select:
+    Dest();
+    Out += std::string("select ") + typeToken(L.regClass(Instr.Dest)) +
+           " " + Op(0) + ", " + Op(1) + ", " + Op(2);
+    break;
+  case Opcode::AddrGen:
+    Dest();
+    Out += "gep i64 " + Op(0);
+    if (Instr.Operands.size() > 1)
+      Out += ", " + Op(1);
+    break;
+  case Opcode::PredSet:
+    Dest();
+    Out += "and i1 " + Op(0);
+    if (Instr.Operands.size() > 1)
+      Out += ", " + Op(1);
+    break;
+  case Opcode::Load:
+    Dest();
+    Out += std::string("load ") + typeToken(L.regClass(Instr.Dest)) +
+           " " + memRefText(Instr.Mem);
+    if (Instr.Mem.Indirect)
+      Out += " ind(" + Op(0) + ")";
+    if (Instr.Paired)
+      Out += " paired";
+    break;
+  case Opcode::Store:
+    Out += std::string("store ") +
+           typeToken(L.regClass(Instr.Operands[0])) + " " + Op(0) + ", " +
+           memRefText(Instr.Mem);
+    if (Instr.Mem.Indirect)
+      Out += " ind(" + Op(1) + ")";
+    break;
+  case Opcode::ExitIf:
+    Out += "exit " + Op(0) + " prob=" + exactDouble(Instr.TakenProb);
+    break;
+  case Opcode::Call: {
+    // The IR keeps no callee identity; "extern" marks an opaque call.
+    Out += "call @extern(";
+    for (size_t I = 0; I < Instr.Operands.size(); ++I) {
+      if (I > 0)
+        Out += ", ";
+      Out += std::string(typeToken(L.regClass(Instr.Operands[I]))) + " " +
+             Op(I);
+    }
+    Out += ")";
+    break;
+  }
+  case Opcode::IvAdd:
+    Dest();
+    Out += "iv_add i64 " + Op(0);
+    break;
+  case Opcode::IvCmp:
+    Dest();
+    Out += "iv_cmp i64 " + Op(0);
+    break;
+  case Opcode::BackBr:
+    Out += "back_br i1 " + Op(0);
+    break;
+  }
+  if (Instr.Pred != NoReg)
+    Out += " when(" + Names.name(Instr.Pred) + ")";
+  return Out;
+}
+
+} // namespace
+
+std::string metaopt::exportLoop(const Loop &L) {
+  ExportNames Names(L);
+  std::string Out = "mloop 1\n";
+  Out += "loop \"" + L.name() + "\"";
+  Out += " lang=" + std::string(sourceLanguageName(L.language()));
+  Out += " depth=" + std::to_string(L.nestLevel());
+  if (L.hasKnownTripCount()) {
+    Out += " trip=" + std::to_string(L.tripCount());
+  } else {
+    Out += " trip=?";
+    Out += " rtrip=" + std::to_string(L.runtimeTripCount());
+  }
+  Out += " {\n";
+  for (const PhiNode &Phi : L.phis())
+    Out += "  " + Names.name(Phi.Dest) + " = phi " +
+           typeToken(L.regClass(Phi.Dest)) + " [" + Names.name(Phi.Init) +
+           ", " + Names.name(Phi.Recur) + "]\n";
+  for (const Instruction &Instr : L.body())
+    Out += "  " + instructionText(L, Instr, Names) + "\n";
+  Out += "}\n";
+  return Out;
+}

@@ -1,0 +1,35 @@
+//===- import/Export.h - Loop IR to mloop serialization ---------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The inverse of import/Import.h: serializes a verifier-clean Loop into
+/// the mloop interchange format, such that re-importing the text yields a
+/// loop whose canonical printLoop() output is byte-identical to the
+/// original's. The fuzzer's importer-round-trip oracle rests on this
+/// guarantee, so the exporter emits the loop-control tail explicitly
+/// (rather than letting the importer synthesize it) and writes register
+/// tokens using the printer's own collision-free naming.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_IMPORT_EXPORT_H
+#define METAOPT_IMPORT_EXPORT_H
+
+#include "ir/Loop.h"
+
+#include <string>
+
+namespace metaopt {
+
+/// Serializes \p L as a complete single-loop mloop file (header line
+/// included). \p L must be verifier-clean; exporting a malformed loop is
+/// undefined (the output may fail to re-import).
+std::string exportLoop(const Loop &L);
+
+} // namespace metaopt
+
+#endif // METAOPT_IMPORT_EXPORT_H

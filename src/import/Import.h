@@ -1,0 +1,132 @@
+//===- import/Import.h - Real-code loop ingestion front door ----*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The importer for the "mloop" interchange format: an LLVM-IR-shaped
+/// serialization of innermost loops, covering the subset a real
+/// feature-extraction pass emits — per-instruction opcodes and operand
+/// shape, memory references with symbolic strides, trip counts, and the
+/// FP/int mix. importLoops() parses the format with stable I-prefixed
+/// diagnostics (the same Diagnostic model the verifier and lint engine
+/// use) and lowers each loop into the repo's own IR: opcodes are mapped,
+/// def-use is reconstructed into phis and predication, memory references
+/// are synthesized, trip counts are bound, and the canonical loop-control
+/// tail is appended when the input does not carry one. Every accepted
+/// loop is verifier-clean (V001-V018) and interpreter-executable, so the
+/// whole oracle stack in src/fuzz applies to imported loops unchanged.
+///
+/// The grammar, the diagnostic catalog, and the provenance semantics are
+/// documented in docs/IMPORT.md. The inverse direction (exporting a Loop
+/// into the format, used by the fuzzer's importer-round-trip oracle)
+/// lives in import/Export.h.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_IMPORT_IMPORT_H
+#define METAOPT_IMPORT_IMPORT_H
+
+#include "ir/Diagnostics.h"
+#include "ir/Loop.h"
+#include "sim/Simulator.h"
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace metaopt {
+
+/// Stable IDs of the importer's diagnostics ("I" for import). One ID per
+/// rejection path; docs/IMPORT.md carries the full catalog and
+/// tests/import_test.cpp pins one negative test per ID.
+namespace idiag {
+constexpr const char *IoError = "I000-io-error";
+constexpr const char *MissingHeader = "I001-missing-header";
+constexpr const char *BadVersion = "I002-bad-version";
+constexpr const char *Syntax = "I003-syntax";
+constexpr const char *UnknownDirective = "I004-unknown-directive";
+constexpr const char *UnknownOpcode = "I005-unknown-opcode";
+constexpr const char *BadType = "I006-bad-type";
+constexpr const char *DuplicateValue = "I007-duplicate-value";
+constexpr const char *PhiRecurUndefined = "I008-phi-recur-undefined";
+constexpr const char *DefUseCycle = "I009-def-use-cycle";
+constexpr const char *TripOutOfRange = "I010-trip-out-of-range";
+constexpr const char *BadMemRef = "I011-bad-memref";
+constexpr const char *BadProbability = "I012-bad-probability";
+constexpr const char *OperandCount = "I013-operand-count";
+constexpr const char *ClassMismatch = "I014-class-mismatch";
+constexpr const char *Truncated = "I015-truncated";
+constexpr const char *EmptyLoop = "I016-empty-loop";
+constexpr const char *BadGuard = "I017-bad-guard";
+constexpr const char *BadIndex = "I018-bad-index";
+constexpr const char *PhiInitDefined = "I019-phi-init-defined";
+constexpr const char *BadDirectiveArg = "I020-bad-directive-arg";
+} // namespace idiag
+
+/// Where an imported loop came from, as recorded by the extractor's
+/// "source" directive plus the import file itself. Folded into the
+/// imported-corpus fingerprint so downstream artifacts (bench JSON rows,
+/// experiment tables) pin exactly which real code they measured.
+struct ImportProvenance {
+  std::string SourceFile; ///< Original source file ("" when unstated).
+  unsigned SourceLine = 0; ///< 1-based line in SourceFile, 0 unknown.
+  std::string Function;   ///< Enclosing function name.
+  std::string Extractor;  ///< Tool/pass that produced the serialization.
+  std::string ImportFile; ///< The .mloop file the loop was read from.
+
+  bool empty() const {
+    return SourceFile.empty() && SourceLine == 0 && Function.empty() &&
+           Extractor.empty();
+  }
+};
+
+/// One successfully imported loop: the lowered IR plus the program
+/// context the extractor measured around it.
+struct ImportedLoop {
+  Loop TheLoop;
+  ImportProvenance Prov;
+  /// Simulation context from the "context" directive (defaults match the
+  /// corpus-wide SimContext defaults when the directive is absent).
+  SimContext Ctx;
+  /// Times the program enters the loop per run ("context execs=");
+  /// weights whole-program speedup like CorpusLoop::Executions.
+  int64_t Executions = 1;
+};
+
+/// Import configuration.
+struct ImportOptions {
+  /// Strict (default): any error rejects the whole file — Loops is
+  /// cleared. Lenient: loops with loop-scoped errors are skipped (their
+  /// diagnostics stay in the report) and the clean remainder is kept;
+  /// file-scoped errors (missing/bad header, truncation, I/O) still
+  /// reject everything.
+  bool Lenient = false;
+};
+
+/// Result of importing one mloop file.
+struct ImportResult {
+  std::vector<ImportedLoop> Loops;
+  /// All diagnostics, in source order. Every entry of Loops is clean.
+  DiagnosticReport Report;
+  /// Loop headers seen in the input (accepted + rejected).
+  size_t ParsedLoops = 0;
+
+  /// True when no error-severity diagnostics were produced.
+  bool succeeded() const { return !Report.hasErrors(); }
+};
+
+/// Imports every loop in \p Text. \p FileName (recorded as provenance and
+/// used in diagnostics) may be empty for in-memory input.
+ImportResult importLoops(std::string_view Text, std::string FileName = "",
+                         const ImportOptions &Options = {});
+
+/// Reads \p Path and imports it; unreadable files yield I000-io-error.
+ImportResult importFile(const std::string &Path,
+                        const ImportOptions &Options = {});
+
+} // namespace metaopt
+
+#endif // METAOPT_IMPORT_IMPORT_H

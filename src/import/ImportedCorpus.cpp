@@ -1,0 +1,95 @@
+//===- import/ImportedCorpus.cpp ------------------------------------------===//
+
+#include "import/ImportedCorpus.h"
+
+#include "ir/Printer.h"
+
+#include <algorithm>
+#include <filesystem>
+
+using namespace metaopt;
+
+ImportedCorpus metaopt::loadImportedCorpus(const std::string &Dir) {
+  ImportedCorpus Corpus;
+  std::error_code Ec;
+  std::filesystem::directory_iterator It(Dir, Ec);
+  if (Ec) {
+    Diagnostic D;
+    D.Id = idiag::IoError;
+    D.Sev = Severity::Error;
+    D.Message = "cannot read imported corpus directory '" + Dir +
+                "': " + Ec.message();
+    Corpus.Report.add(std::move(D));
+    return Corpus;
+  }
+  for (const auto &Entry : It) {
+    if (!Entry.is_regular_file())
+      continue;
+    if (Entry.path().extension() != ".mloop")
+      continue;
+    Corpus.Files.push_back(Entry.path().string());
+  }
+  std::sort(Corpus.Files.begin(), Corpus.Files.end());
+  if (Corpus.Files.empty()) {
+    Diagnostic D;
+    D.Id = idiag::IoError;
+    D.Sev = Severity::Error;
+    D.Message = "no .mloop files under '" + Dir + "'";
+    Corpus.Report.add(std::move(D));
+    return Corpus;
+  }
+  for (const std::string &File : Corpus.Files) {
+    ImportResult Result = importFile(File);
+    Corpus.Report.append(Result.Report);
+    for (ImportedLoop &L : Result.Loops)
+      Corpus.Loops.push_back(std::move(L));
+  }
+  return Corpus;
+}
+
+Benchmark metaopt::toBenchmark(const ImportedCorpus &Corpus,
+                               std::string Name) {
+  Benchmark Bench;
+  Bench.Name = std::move(Name);
+  Bench.Suite = "Imported";
+  Bench.Lang = SourceLanguage::C;
+  for (const ImportedLoop &L : Corpus.Loops) {
+    if (L.TheLoop.language() != SourceLanguage::C)
+      Bench.Lang = L.TheLoop.language();
+    CorpusLoop Entry;
+    Entry.TheLoop = L.TheLoop;
+    Entry.Ctx = L.Ctx;
+    Entry.Executions = L.Executions;
+    Entry.Kind = LoopKind::Mixed;
+    Bench.Loops.push_back(std::move(Entry));
+  }
+  // Real kernels carry both integer and FP bodies; mark the benchmark FP
+  // if any loop touches floating point.
+  for (const CorpusLoop &Entry : Bench.Loops)
+    for (const Instruction &Instr : Entry.TheLoop.body())
+      if (Instr.isFloat())
+        Bench.FloatingPoint = true;
+  return Bench;
+}
+
+Fingerprint
+metaopt::importedCorpusFingerprint(const ImportedCorpus &Corpus) {
+  FingerprintHasher H;
+  H.str("metaopt-imported-corpus-fingerprint-v1");
+  H.u64(Corpus.Loops.size());
+  for (const ImportedLoop &L : Corpus.Loops) {
+    H.str(printLoop(L.TheLoop));
+    H.str(L.Prov.SourceFile);
+    H.u64(L.Prov.SourceLine);
+    H.str(L.Prov.Function);
+    H.str(L.Prov.Extractor);
+    H.i64(L.Ctx.EffectiveIcacheBytes);
+    H.f64(L.Ctx.DcacheMissRate);
+    H.i64(L.Ctx.DcacheMissCycles);
+    H.f64(L.Ctx.DcacheVisibleFraction);
+    H.i64(L.Ctx.IntRegBudget);
+    H.i64(L.Ctx.FpRegBudget);
+    H.i64(L.Executions);
+  }
+  return H.digest();
+}

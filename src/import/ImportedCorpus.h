@@ -1,0 +1,65 @@
+//===- import/ImportedCorpus.h - Committed imported kernels -----*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Loads a directory of .mloop files (normally the committed
+/// corpus/imported/ kernels) into the same Benchmark shape the synthetic
+/// corpus uses, so the labeling harness, the lint sweep, and the bench
+/// drivers consume imported real-code loops through the exact paths they
+/// already exercise. The loader is deterministic (files sorted by name)
+/// and fingerprints the result — loop text, provenance, and simulation
+/// context — so experiment rows pin which real code they measured, the
+/// same way model bundles pin the synthetic corpus.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_IMPORT_IMPORTEDCORPUS_H
+#define METAOPT_IMPORT_IMPORTEDCORPUS_H
+
+#include "cache/Fingerprint.h"
+#include "corpus/BenchmarkSuite.h"
+#include "import/Import.h"
+
+#include <string>
+#include <vector>
+
+namespace metaopt {
+
+/// The imported kernel corpus: every loop accepted from a directory of
+/// .mloop files, with per-loop provenance kept alongside.
+struct ImportedCorpus {
+  std::vector<ImportedLoop> Loops;
+  /// One diagnostic stream for the whole directory, file order.
+  DiagnosticReport Report;
+  /// Files that were read, sorted, relative order stable.
+  std::vector<std::string> Files;
+
+  bool succeeded() const { return !Report.hasErrors(); }
+};
+
+/// Imports every *.mloop file under \p Dir (non-recursive, sorted by file
+/// name, strict mode). Missing or empty directories yield an
+/// I000-io-error so a misconfigured corpus path cannot silently pass as
+/// an empty-but-clean corpus.
+ImportedCorpus loadImportedCorpus(const std::string &Dir);
+
+/// Wraps the imported loops as one pseudo-Benchmark (Suite "Imported")
+/// so corpus-shaped consumers — labeling, lint, fingerprints — apply
+/// unchanged. Per-loop SimContext and Executions carry over; kernels are
+/// real code, so Kind is a nominal Mixed.
+Benchmark toBenchmark(const ImportedCorpus &Corpus,
+                      std::string Name = "imported");
+
+/// Fingerprint over loop text, provenance, context, and weights.
+/// Deliberately distinct from corpusFingerprint() (different domain
+/// string) so a synthetic-corpus print can never collide semantically
+/// with an imported-corpus print.
+Fingerprint importedCorpusFingerprint(const ImportedCorpus &Corpus);
+
+} // namespace metaopt
+
+#endif // METAOPT_IMPORT_IMPORTEDCORPUS_H

@@ -18,6 +18,7 @@
 
 #include "concurrency/Parallel.h"
 #include "corpus/CorpusAudit.h"
+#include "import/Import.h"
 #include "ir/Parser.h"
 #include "support/CommandLine.h"
 
@@ -114,9 +115,26 @@ int runCorpus(const ToolOptions &Options) {
   return lintUnits(Units, Options);
 }
 
+/// True for files in the mloop interchange format (docs/IMPORT.md),
+/// which go through the src/import front door instead of the parser.
+bool isMloopFile(const std::string &File) {
+  return File.size() >= 6 && File.rfind(".mloop") == File.size() - 6;
+}
+
 int runFiles(const ToolOptions &Options) {
   std::vector<Unit> Units;
   for (const std::string &File : Options.Files) {
+    if (isMloopFile(File)) {
+      ImportResult Imported = importFile(File);
+      if (!Imported.succeeded()) {
+        std::cerr << Imported.Report.renderText();
+        std::cerr << "metaopt-lint: import of '" << File << "' failed\n";
+        return 2;
+      }
+      for (ImportedLoop &L : Imported.Loops)
+        Units.push_back({File, std::move(L.TheLoop)});
+      continue;
+    }
     std::ifstream In(File);
     if (!In) {
       std::cerr << "metaopt-lint: cannot open '" << File << "'\n";
@@ -153,7 +171,9 @@ int main(int Argc, char **Argv) {
              "worker threads (default: METAOPT_THREADS, else hardware "
              "concurrency)");
   Cli.flag("list-passes", "print the pass registry and exit");
-  Cli.positionalHelp("[<file.loop> ...]", "loop files to lint");
+  Cli.positionalHelp("[<file.loop|file.mloop> ...]",
+                     "loop files to lint (.mloop files are imported "
+                     "first, see docs/IMPORT.md)");
   if (std::optional<int> Exit = Cli.parse(Argc, Argv))
     return *Exit;
 
