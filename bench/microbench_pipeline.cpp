@@ -123,6 +123,52 @@ void benchLabeling(const std::vector<Benchmark> &Corpus, bool EnableSwp,
   }
 }
 
+/// The static labeling-space pruner (LabelingOptions::PruneEquivalent):
+/// one sweep with pruning off and one with it on, each through a fresh
+/// cold cache so both rows measure the same work. The pruned row carries
+/// the equivalence-class structure and the simulation-count reduction;
+/// both sweeps must produce the byte-identical dataset CSV.
+void benchLabelingPrune(const std::vector<Benchmark> &Corpus, bool EnableSwp,
+                        bool Full) {
+  ThreadPool::setGlobalThreads(ThreadPool::defaultThreadCount());
+  LabelingOptions Options;
+  Options.EnableSwp = EnableSwp;
+
+  std::string ReferenceCsv;
+  double UnprunedSeconds = 0.0;
+  for (bool Pruned : {false, true}) {
+    Options.PruneEquivalent = Pruned;
+    SimCache RunCache;
+    Options.Cache = &RunCache;
+    LabelingStats Stats;
+    auto Start = std::chrono::steady_clock::now();
+    Dataset Data = collectLabels(Corpus, Options, nullptr, &Stats);
+    double Seconds = secondsSince(Start);
+    std::string Csv = Data.toCsv();
+    if (!Pruned) {
+      ReferenceCsv = Csv;
+      UnprunedSeconds = Seconds;
+    }
+    double Speedup =
+        UnprunedSeconds > 0.0 && Seconds > 0.0 ? UnprunedSeconds / Seconds
+                                               : 1.0;
+    char Row[512];
+    std::snprintf(Row, sizeof(Row),
+                  "{\"experiment\": \"labeling_prune\", \"corpus\": "
+                  "\"%s\", \"swp\": %s, \"pruned\": %s, \"loops\": %zu, "
+                  "\"classes\": %zu, \"sims_run\": %zu, "
+                  "\"sims_pruned\": %zu, \"pruning_rate\": %.4f, "
+                  "\"seconds\": %.3f, \"speedup_vs_unpruned\": %.2f, "
+                  "\"csv_matches_unpruned\": %s}",
+                  Full ? "full" : "quick", EnableSwp ? "true" : "false",
+                  Pruned ? "true" : "false", Stats.TotalLoops,
+                  Stats.EquivalenceClasses, Stats.SimulationsRun,
+                  Stats.SimulationsPruned, Stats.pruningRate(), Seconds,
+                  Speedup, Csv == ReferenceCsv ? "true" : "false");
+    emitRow(Row);
+  }
+}
+
 /// One labeling sweep with \p Options; prints a labeling_cache JSON row.
 /// Returns the dataset CSV so phases can be compared byte-for-byte.
 std::string cachePhase(const std::vector<Benchmark> &Corpus,
@@ -208,6 +254,10 @@ int main(int Argc, char **Argv) {
   benchLabeling(Corpus, /*EnableSwp=*/false, ThreadCounts, Full);
   if (Args.has("swp"))
     benchLabeling(Corpus, /*EnableSwp=*/true, ThreadCounts, Full);
+
+  benchLabelingPrune(Corpus, /*EnableSwp=*/false, Full);
+  if (Args.has("swp"))
+    benchLabelingPrune(Corpus, /*EnableSwp=*/true, Full);
 
   benchLabelingCache(Corpus, /*EnableSwp=*/false,
                      Args.getString("cache-dir", ""));

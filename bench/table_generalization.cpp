@@ -140,6 +140,16 @@ int main(int Argc, char **Argv) {
     Eval.add(std::move(Ex));
   }
 
+  // --labels: dump each kernel's measured oracle label (the corpus is
+  // curated for label diversity; this is how you check it).
+  if (Args.has("labels")) {
+    std::printf("per-kernel oracle labels:\n");
+    for (size_t I = 0; I < Eval.size(); ++I)
+      std::printf("  %-24s u=%u\n", Eval.examples()[I].LoopName.c_str(),
+                  Eval.examples()[I].Label);
+    std::printf("\n");
+  }
+
   auto Histogram = Eval.labelHistogram();
   std::printf("training loops (synthetic): %zu   imported kernels: %zu "
               "(%zu would pass the paper's usability filters)\n",

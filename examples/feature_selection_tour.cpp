@@ -80,8 +80,8 @@ int main(int Argc, char **Argv) {
   double FullAcc = predictionAccuracy(Data, loocvPredictions(NnFull, Data));
   double ReducedAcc =
       predictionAccuracy(Data, loocvPredictions(NnReduced, Data));
-  std::printf("\nNN LOOCV accuracy: full 38 features %.1f%%, reduced set "
-              "%.1f%%\n",
+  std::printf("\nNN LOOCV accuracy: full %u features %.1f%%, reduced set "
+              "%.1f%%\n", NumFeatures,
               FullAcc * 100.0, ReducedAcc * 100.0);
   return 0;
 }

@@ -40,7 +40,7 @@ int main() {
               isWellFormed(Daxpy) ? "yes" : "no",
               printLoop(Daxpy).c_str());
 
-  // 2. A few of the 38 features the classifiers see.
+  // 2. A few of the 41 features the classifiers see.
   FeatureVector Features = extractFeatures(Daxpy);
   std::printf("Selected features:\n");
   for (FeatureId Id :

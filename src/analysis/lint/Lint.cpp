@@ -32,8 +32,10 @@ DiagnosticReport metaopt::lintLoop(const Loop &L,
     return Report; // Dataflow over broken register ids is meaningless.
 
   BodyDataflow DF(L);
+  SymbolicAnalysis SA(L);
+  LintContext Ctx{DF, SA, Options.Symbols};
   for (const LintPass &Pass : lintPasses())
     if (passEnabled(Pass, Options.Passes))
-      Pass.Run(DF, Report);
+      Pass.Run(Ctx, Report);
   return Report;
 }

@@ -27,7 +27,9 @@
 
 #include "analysis/DependenceGraph.h"
 #include "analysis/lint/Dataflow.h"
+#include "analysis/symbolic/StrideInterval.h"
 #include "ir/Diagnostics.h"
+#include "ir/SymbolContext.h"
 #include "ir/Verifier.h"
 
 #include <string>
@@ -35,8 +37,18 @@
 
 namespace metaopt {
 
-/// Stable lint diagnostic IDs (catalog: docs/DIAGNOSTICS.md).
+/// Stable lint diagnostic IDs (catalog: docs/DIAGNOSTICS.md). The A
+/// series is backed by the symbolic stride-interval analysis
+/// (analysis/symbolic); the L series by the lighter dataflow facts.
 namespace diag {
+inline constexpr const char *LintContextOutOfBounds =
+    "A001-context-out-of-bounds";
+inline constexpr const char *LintDeadPredicatedStore =
+    "A002-dead-predicated-store";
+inline constexpr const char *LintOverflowProneIv =
+    "A003-overflow-prone-iv-arithmetic";
+inline constexpr const char *LintContradictoryStride =
+    "A004-contradictory-stride-declaration";
 inline constexpr const char *LintUseBeforeDef = "L001-use-before-def";
 inline constexpr const char *LintMaybeUndefPredication =
     "L002-maybe-undef-under-predication";
@@ -50,12 +62,26 @@ inline constexpr const char *LintDepGraphLegality =
     "L008-depgraph-legality";
 } // namespace diag
 
+/// Everything a lint pass may consult: the dataflow facts, the symbolic
+/// stride-interval analysis, and (when the loop was imported with "array"
+/// directives) the declared symbol context. Built once per lintLoop call
+/// and shared by every pass.
+struct LintContext {
+  const BodyDataflow &DF;
+  const SymbolicAnalysis &SA;
+  /// Declared array extents/strides; nullptr when the loop has no
+  /// surrounding context (corpus loops, plain .loop files).
+  const LoopSymbolContext *Symbols = nullptr;
+
+  const Loop &loop() const { return DF.loop(); }
+};
+
 /// One registered lint pass.
 struct LintPass {
   const char *Id;      ///< Stable ID, e.g. "L001-use-before-def".
   Severity Sev;        ///< Severity the pass emits at.
   const char *Summary; ///< One-line description for --list-passes/docs.
-  void (*Run)(const BodyDataflow &DF, DiagnosticReport &Out);
+  void (*Run)(const LintContext &Ctx, DiagnosticReport &Out);
 };
 
 /// The full pass registry, in ID order.
@@ -72,6 +98,9 @@ struct LintOptions {
   /// When non-empty, only passes whose ID matches one of these (full ID
   /// or "L001"-style prefix) run.
   std::vector<std::string> Passes;
+  /// Declared symbol context for the loop (imported "array" directives);
+  /// the A-series context passes are vacuous without it. Not owned.
+  const LoopSymbolContext *Symbols = nullptr;
 };
 
 /// Lints one loop: verifier stage (optional) followed by every enabled

@@ -49,7 +49,8 @@ void emitAt(const Loop &L, const char *Id, Severity Sev, int BodyIndex,
 // L001: reaching-definitions use-before-def
 //===----------------------------------------------------------------------===//
 
-void runUseBeforeDef(const BodyDataflow &DF, DiagnosticReport &Out) {
+void runUseBeforeDef(const LintContext &Ctx, DiagnosticReport &Out) {
+  const BodyDataflow &DF = Ctx.DF;
   const Loop &L = DF.loop();
   for (size_t I = 0; I < L.body().size(); ++I) {
     const Instruction &Instr = L.body()[I];
@@ -86,8 +87,8 @@ bool predicatedReadIsSafe(const Instruction &Instr, size_t OperandSlot,
          Instr.Operands.size() == 3 && Instr.Operands[0] == Guard;
 }
 
-void runMaybeUndefPredication(const BodyDataflow &DF,
-                              DiagnosticReport &Out) {
+void runMaybeUndefPredication(const LintContext &Ctx, DiagnosticReport &Out) {
+  const BodyDataflow &DF = Ctx.DF;
   const Loop &L = DF.loop();
   for (size_t I = 0; I < L.body().size(); ++I) {
     const Instruction &Instr = L.body()[I];
@@ -133,7 +134,8 @@ void runMaybeUndefPredication(const BodyDataflow &DF,
 // L003: dead definitions
 //===----------------------------------------------------------------------===//
 
-void runDeadDef(const BodyDataflow &DF, DiagnosticReport &Out) {
+void runDeadDef(const LintContext &Ctx, DiagnosticReport &Out) {
+  const BodyDataflow &DF = Ctx.DF;
   const Loop &L = DF.loop();
   for (size_t I = 0; I < L.body().size(); ++I) {
     const Instruction &Instr = L.body()[I];
@@ -152,7 +154,8 @@ void runDeadDef(const BodyDataflow &DF, DiagnosticReport &Out) {
 // L004: constant exit probabilities
 //===----------------------------------------------------------------------===//
 
-void runConstantExit(const BodyDataflow &DF, DiagnosticReport &Out) {
+void runConstantExit(const LintContext &Ctx, DiagnosticReport &Out) {
+  const BodyDataflow &DF = Ctx.DF;
   const Loop &L = DF.loop();
   for (size_t I = 0; I < L.body().size(); ++I) {
     const Instruction &Instr = L.body()[I];
@@ -176,7 +179,8 @@ void runConstantExit(const BodyDataflow &DF, DiagnosticReport &Out) {
 // L005: constant predicates
 //===----------------------------------------------------------------------===//
 
-void runConstantPredicate(const BodyDataflow &DF, DiagnosticReport &Out) {
+void runConstantPredicate(const LintContext &Ctx, DiagnosticReport &Out) {
+  const BodyDataflow &DF = Ctx.DF;
   const Loop &L = DF.loop();
   auto IsConstPred = [&](RegId Reg) {
     return Reg != NoReg && L.regClass(Reg) == RegClass::Pred &&
@@ -212,7 +216,8 @@ void runConstantPredicate(const BodyDataflow &DF, DiagnosticReport &Out) {
 // L006: memory WAW / self-dependence hazards
 //===----------------------------------------------------------------------===//
 
-void runMemoryWaw(const BodyDataflow &DF, DiagnosticReport &Out) {
+void runMemoryWaw(const LintContext &Ctx, DiagnosticReport &Out) {
+  const BodyDataflow &DF = Ctx.DF;
   const Loop &L = DF.loop();
   std::vector<size_t> Stores;
   for (size_t I = 0; I < L.body().size(); ++I)
@@ -255,7 +260,8 @@ void runMemoryWaw(const BodyDataflow &DF, DiagnosticReport &Out) {
 // L007: memory stride / alias-shape consistency
 //===----------------------------------------------------------------------===//
 
-void runStrideShape(const BodyDataflow &DF, DiagnosticReport &Out) {
+void runStrideShape(const LintContext &Ctx, DiagnosticReport &Out) {
+  const BodyDataflow &DF = Ctx.DF;
   const Loop &L = DF.loop();
   std::map<int32_t, std::vector<size_t>> DirectBySym;
   for (size_t I = 0; I < L.body().size(); ++I) {
@@ -313,6 +319,140 @@ void runStrideShape(const BodyDataflow &DF, DiagnosticReport &Out) {
                  Out);
       }
     }
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// A001: symbolic access range vs. declared array extent
+//===----------------------------------------------------------------------===//
+
+void runContextOutOfBounds(const LintContext &Ctx, DiagnosticReport &Out) {
+  if (!Ctx.Symbols)
+    return; // No declarations to check against.
+  const Loop &L = Ctx.loop();
+  const SymbolicAnalysis &SA = Ctx.SA;
+  int64_t IterLo = 0, IterHi = 0;
+  bool Bounded = SA.ivRange(IterLo, IterHi);
+  for (const AccessSummary &Access : SA.accesses()) {
+    const SymbolDecl *Decl = Ctx.Symbols->find(Access.Sym);
+    if (!Decl || Decl->ExtentBytes < 0)
+      continue;
+    if (Access.Guard == PredFact::AlwaysFalse)
+      continue; // Never executes, never touches memory.
+    // Only addresses that are a known constant offset from the array
+    // start can be compared against the extent; a symbolic base term
+    // (an opaque live-in index) defeats the bound either way.
+    if (!Access.AddressKnown || Access.Base != NoReg)
+      continue;
+    int64_t FirstByte = Access.Offset, LastByte = Access.Offset;
+    if (Access.Stride != 0) {
+      if (!Bounded || IterHi < IterLo)
+        continue; // Unbounded iteration range: nothing provable.
+      int64_t AtLo, AtHi;
+      if (__builtin_mul_overflow(Access.Stride, IterLo, &AtLo) ||
+          __builtin_add_overflow(AtLo, Access.Offset, &AtLo) ||
+          __builtin_mul_overflow(Access.Stride, IterHi, &AtHi) ||
+          __builtin_add_overflow(AtHi, Access.Offset, &AtHi))
+        continue;
+      FirstByte = std::min(AtLo, AtHi);
+      LastByte = std::max(AtLo, AtHi);
+    }
+    int64_t End;
+    if (__builtin_add_overflow(LastByte,
+                               static_cast<int64_t>(Access.SizeBytes),
+                               &End))
+      continue;
+    if (FirstByte >= 0 && End <= Decl->ExtentBytes)
+      continue;
+    std::string Where =
+        FirstByte < 0
+            ? "byte " + std::to_string(FirstByte) + " before the start"
+            : "byte " + std::to_string(End) + " past a declared extent of " +
+                  std::to_string(Decl->ExtentBytes);
+    emitAt(L, diag::LintContextOutOfBounds, Severity::Warning,
+           static_cast<int>(Access.BodyIndex),
+           std::string(Access.IsStore ? "store to" : "load of") + " @" +
+               std::to_string(Access.Sym) +
+               " provably reaches " + Where +
+               " (context declares the object as " +
+               std::to_string(Decl->ExtentBytes) + " bytes)",
+           Out);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// A002: provably-dead predicated stores
+//===----------------------------------------------------------------------===//
+
+void runDeadPredicatedStore(const LintContext &Ctx, DiagnosticReport &Out) {
+  const Loop &L = Ctx.loop();
+  for (const AccessSummary &Access : Ctx.SA.accesses()) {
+    if (!Access.IsStore || Access.Guard != PredFact::AlwaysFalse)
+      continue;
+    const Instruction &Instr = L.body()[Access.BodyIndex];
+    if (Instr.Pred == NoReg)
+      continue; // Unpredicated stores cannot be guard-dead.
+    emitAt(L, diag::LintDeadPredicatedStore, Severity::Warning,
+           static_cast<int>(Access.BodyIndex),
+           "store is provably dead: guard " + L.regName(Instr.Pred) +
+               " is false on every iteration",
+           Out);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// A003: overflow-prone induction arithmetic
+//===----------------------------------------------------------------------===//
+
+void runOverflowProneIv(const LintContext &Ctx, DiagnosticReport &Out) {
+  const Loop &L = Ctx.loop();
+  const SymbolicAnalysis &SA = Ctx.SA;
+  for (size_t I = 0; I < L.body().size(); ++I) {
+    const Instruction &Instr = L.body()[I];
+    if (!Instr.hasDest() || L.regClass(Instr.Dest) != RegClass::Int)
+      continue;
+    if (!SA.overflowProne(Instr.Dest))
+      continue;
+    // Report where the wrap originates, not every tainted user.
+    bool Inherited = false;
+    for (RegId Operand : Instr.Operands)
+      Inherited = Inherited || SA.overflowProne(Operand);
+    if (Inherited)
+      continue;
+    emitAt(L, diag::LintOverflowProneIv, Severity::Warning,
+           static_cast<int>(I),
+           L.regName(Instr.Dest) +
+               " provably wraps 64-bit arithmetic somewhere in the "
+               "iteration range; range and dependence proofs are refused "
+               "for it and everything derived from it",
+           Out);
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// A004: declared stride vs. actual access strides
+//===----------------------------------------------------------------------===//
+
+void runContradictoryStride(const LintContext &Ctx, DiagnosticReport &Out) {
+  if (!Ctx.Symbols)
+    return;
+  const Loop &L = Ctx.loop();
+  std::set<int32_t> Reported;
+  for (const AccessSummary &Access : Ctx.SA.accesses()) {
+    if (Access.WasIndirect)
+      continue; // Gathers legitimately walk differently.
+    const SymbolDecl *Decl = Ctx.Symbols->find(Access.Sym);
+    if (!Decl || !Decl->HasStride || Access.Stride == Decl->DeclaredStride)
+      continue;
+    if (!Reported.insert(Access.Sym).second)
+      continue; // One contradiction report per symbol is enough.
+    emitAt(L, diag::LintContradictoryStride, Severity::Warning,
+           static_cast<int>(Access.BodyIndex),
+           "context declares @" + std::to_string(Access.Sym) +
+               " walked at stride " + std::to_string(Decl->DeclaredStride) +
+               " but this access advances " + std::to_string(Access.Stride) +
+               " bytes per iteration",
+           Out);
   }
 }
 
@@ -498,7 +638,8 @@ void metaopt::checkDependenceLegality(const Loop &L,
 
 namespace {
 
-void runDepGraphLegality(const BodyDataflow &DF, DiagnosticReport &Out) {
+void runDepGraphLegality(const LintContext &Ctx, DiagnosticReport &Out) {
+  const BodyDataflow &DF = Ctx.DF;
   const Loop &L = DF.loop();
   // Dependence legality is only meaningful for dataflow-clean bodies: a
   // use-before-def loop (L001) produces a graph with backward flow edges
@@ -521,6 +662,22 @@ void runDepGraphLegality(const BodyDataflow &DF, DiagnosticReport &Out) {
 
 const std::vector<LintPass> &metaopt::lintPasses() {
   static const std::vector<LintPass> Registry = {
+      {diag::LintContextOutOfBounds, Severity::Warning,
+       "symbolic access ranges must stay inside the array extents the "
+       "import context declares",
+       runContextOutOfBounds},
+      {diag::LintDeadPredicatedStore, Severity::Warning,
+       "stores whose guard the symbolic analysis proves false on every "
+       "iteration",
+       runDeadPredicatedStore},
+      {diag::LintOverflowProneIv, Severity::Warning,
+       "induction arithmetic that provably wraps 64-bit integers inside "
+       "the iteration range",
+       runOverflowProneIv},
+      {diag::LintContradictoryStride, Severity::Warning,
+       "access strides must match the stride the import context declares "
+       "for the array",
+       runContradictoryStride},
       {diag::LintUseBeforeDef, Severity::Error,
        "reaching definitions: every operand read must be reached by a "
        "definition",

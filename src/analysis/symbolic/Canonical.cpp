@@ -1,0 +1,71 @@
+//===- analysis/symbolic/Canonical.cpp - Canonical sim-equivalence --------===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+
+#include "analysis/symbolic/Canonical.h"
+
+#include "ir/Printer.h"
+
+#include <map>
+
+using namespace metaopt;
+
+Loop metaopt::canonicalSimForm(const Loop &L) {
+  Loop Out = L;
+  Out.setName("L");
+  Out.setSourceFile("");
+  Out.setHeaderLine(0);
+  Out.setLanguage(SourceLanguage::C);
+  Out.setNestLevel(1);
+
+  // Registers: canonical names in first-appearance order (phis before
+  // body, dest before operands before guard), so loops that built the
+  // same structure through different register-creation orders still
+  // collide. Unreferenced registers get trailing names for stability.
+  std::map<RegId, unsigned> Order;
+  auto Visit = [&](RegId Reg) {
+    if (Reg != NoReg)
+      Order.emplace(Reg, static_cast<unsigned>(Order.size()));
+  };
+  for (const PhiNode &Phi : Out.phis()) {
+    Visit(Phi.Dest);
+    Visit(Phi.Init);
+    Visit(Phi.Recur);
+  }
+  for (const Instruction &Instr : Out.body()) {
+    Visit(Instr.Dest);
+    for (RegId Operand : Instr.Operands)
+      Visit(Operand);
+    Visit(Instr.Pred);
+  }
+  for (RegId Reg = 0; Reg < Out.numRegs(); ++Reg)
+    Visit(Reg);
+  for (const auto &[Reg, Index] : Order)
+    Out.setRegName(Reg, "c" + std::to_string(Index));
+
+  // Base symbols: dense renumbering in first-use body order.
+  std::map<int32_t, int32_t> SymOrder;
+  for (Instruction &Instr : Out.body()) {
+    if (!Instr.isMemory())
+      continue;
+    auto [It, Inserted] = SymOrder.emplace(
+        Instr.Mem.BaseSym, static_cast<int32_t>(SymOrder.size()));
+    Instr.Mem.BaseSym = It->second;
+    (void)Inserted;
+  }
+
+  // Source lines are diagnostic metadata; drop them so differently
+  // formatted sources of one structure canonicalize identically.
+  for (Instruction &Instr : Out.body())
+    Instr.SrcLine = 0;
+  for (PhiNode &Phi : Out.phis())
+    Phi.SrcLine = 0;
+  return Out;
+}
+
+std::string metaopt::canonicalSimText(const Loop &L) {
+  return printLoop(canonicalSimForm(L));
+}

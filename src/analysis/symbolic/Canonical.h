@@ -1,0 +1,54 @@
+//===- analysis/symbolic/Canonical.h - Canonical sim-equivalence -*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The canonical simulation form: a quotient of the loop IR by everything
+/// simulateLoop() provably ignores. Two loops with equal canonical text
+/// receive identical SimResults at every unroll factor, so the labeling
+/// pipeline simulates one representative per equivalence class and reuses
+/// the results for the rest (core/driver/LabelCollector.h; the pruning
+/// rate is reported in BENCH_pipeline.json).
+///
+/// The normalized dimensions — each one verified against the simulator
+/// by the static-claims fuzz oracle on every campaign case:
+///
+///  - loop name, source file, header line, per-instruction source lines
+///    (diagnostic metadata; the simulator prices structure only);
+///  - register names (the sim path is RegId-structural; names only feed
+///    interpreter live-in synthesis and diagnostics), renamed in
+///    first-appearance order;
+///  - base-symbol numbering (only compared for equality, never used as
+///    an address), renumbered in first-use order;
+///  - source language and nest level (classifier features, not machine
+///    behavior).
+///
+/// Trip metadata (compile-time and runtime trip counts) is semantic and
+/// survives into the canonical text. Measurement noise is applied per
+/// (benchmark, loop) name *outside* the simulator, so label datasets are
+/// byte-identical with pruning on or off.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_ANALYSIS_SYMBOLIC_CANONICAL_H
+#define METAOPT_ANALYSIS_SYMBOLIC_CANONICAL_H
+
+#include "ir/Loop.h"
+
+#include <string>
+
+namespace metaopt {
+
+/// Returns a copy of \p L with every sim-irrelevant dimension normalized.
+Loop canonicalSimForm(const Loop &L);
+
+/// The canonical text: printLoop(canonicalSimForm(L)). Equal strings
+/// certify equal SimResults for every (factor, machine, context) tuple.
+std::string canonicalSimText(const Loop &L);
+
+} // namespace metaopt
+
+#endif // METAOPT_ANALYSIS_SYMBOLIC_CANONICAL_H

@@ -3,18 +3,42 @@
 #include "core/driver/LabelCollector.h"
 
 #include "analysis/lint/UnrollInvariants.h"
+#include "analysis/symbolic/Canonical.h"
 #include "cache/SimCache.h"
 #include "concurrency/Parallel.h"
 #include "core/features/FeatureExtractor.h"
 #include "support/Statistics.h"
 
+#include <unordered_map>
+
 using namespace metaopt;
 
+namespace {
+
+/// Raw per-entry simulated cycles of one loop at factors 1..8 — the part
+/// of measureLoopAtAllFactors that is a pure function of (loop, context,
+/// machine, SWP) and therefore shareable across a canonical-sim
+/// equivalence class. Executions and noise are per-loop and applied
+/// downstream.
 std::array<double, MaxUnrollFactor>
-metaopt::measureLoopAtAllFactors(const Benchmark &Bench,
-                                 const CorpusLoop &Entry,
-                                 const MachineModel &Machine,
-                                 const LabelingOptions &Options) {
+simulateAllFactors(const CorpusLoop &Entry, const MachineModel &Machine,
+                   const LabelingOptions &Options) {
+  std::array<double, MaxUnrollFactor> Cycles = {};
+  for (unsigned Factor = 1; Factor <= MaxUnrollFactor; ++Factor)
+    Cycles[Factor - 1] = cachedSimulateLoop(Entry.TheLoop, Factor, Machine,
+                                            Entry.Ctx, Options.EnableSwp,
+                                            Options.Cache)
+                             .Cycles;
+  return Cycles;
+}
+
+/// Pushes per-entry cycles through this loop's instrumentation model:
+/// scale by execution count, then take the median of the noisy repeated
+/// measurements.
+std::array<double, MaxUnrollFactor>
+measureFromCycles(const Benchmark &Bench, const CorpusLoop &Entry,
+                  const std::array<double, MaxUnrollFactor> &Cycles,
+                  const LabelingOptions &Options) {
   // One deterministic noise stream per (benchmark, loop): re-labeling the
   // corpus reproduces identical datasets, serial or parallel. The
   // benchmark name is mixed into the stream index because loop names are
@@ -27,14 +51,24 @@ metaopt::measureLoopAtAllFactors(const Benchmark &Bench,
       Rng::hashString(Bench.Name + "\x1f" + Entry.TheLoop.name()));
   std::array<double, MaxUnrollFactor> Medians = {};
   for (unsigned Factor = 1; Factor <= MaxUnrollFactor; ++Factor) {
-    SimResult Sim = cachedSimulateLoop(Entry.TheLoop, Factor, Machine,
-                                       Entry.Ctx, Options.EnableSwp,
-                                       Options.Cache);
-    double TotalCycles = Sim.Cycles * static_cast<double>(Entry.Executions);
+    double TotalCycles =
+        Cycles[Factor - 1] * static_cast<double>(Entry.Executions);
     Medians[Factor - 1] = measureMedian(TotalCycles, Options.Protocol,
                                         Noise);
   }
   return Medians;
+}
+
+} // namespace
+
+std::array<double, MaxUnrollFactor>
+metaopt::measureLoopAtAllFactors(const Benchmark &Bench,
+                                 const CorpusLoop &Entry,
+                                 const MachineModel &Machine,
+                                 const LabelingOptions &Options) {
+  return measureFromCycles(Bench, Entry,
+                           simulateAllFactors(Entry, Machine, Options),
+                           Options);
 }
 
 namespace {
@@ -45,17 +79,19 @@ struct LabeledLoop {
 };
 } // namespace
 
-/// Labels one loop: measure at every factor, pick the best, apply the
+/// Labels one loop from its (possibly class-shared) per-entry cycles:
+/// apply the loop's own noise stream, pick the best factor, apply the
 /// paper's usability filters. Pure function of its arguments (the noise
 /// stream is derived from the benchmark and loop names), so loops can be
 /// labeled in any order on any thread.
 static LabeledLoop labelOneLoop(const Benchmark &Bench,
                                 const CorpusLoop &Entry,
-                                const MachineModel &Machine,
+                                const std::array<double, MaxUnrollFactor>
+                                    &Cycles,
                                 const LabelingOptions &Options) {
   LabeledLoop Result;
   std::array<double, MaxUnrollFactor> Medians =
-      measureLoopAtAllFactors(Bench, Entry, Machine, Options);
+      measureFromCycles(Bench, Entry, Cycles, Options);
 
   unsigned Best = 1;
   double BestCycles = Medians[0];
@@ -88,7 +124,8 @@ static LabeledLoop labelOneLoop(const Benchmark &Bench,
 
 Dataset metaopt::collectLabels(const std::vector<Benchmark> &Corpus,
                                const LabelingOptions &Options,
-                               size_t *OutTotalLoops) {
+                               size_t *OutTotalLoops,
+                               LabelingStats *OutStats) {
   MachineModel Machine(Options.Machine);
 
   // Every unroll this sweep performs is audited against the
@@ -105,10 +142,53 @@ Dataset metaopt::collectLabels(const std::vector<Benchmark> &Corpus,
     for (const CorpusLoop &Entry : Bench.Loops)
       Loops.emplace_back(&Bench, &Entry);
 
+  // Static pruning: partition the work-list into equivalence classes
+  // under the canonical sim form x every other simulateLoop input. Equal
+  // class keys certify equal SimResults at every factor
+  // (analysis/symbolic/Canonical.h — the certificate the static-claims
+  // fuzz oracle re-validates on every campaign case), so only the first
+  // loop of each class (its leader) is ever simulated. The class key is
+  // simCacheKey over the *canonicalized* loop, which covers the machine
+  // config, simulation context, and SWP flag for free.
+  std::vector<uint32_t> LeaderSlot(Loops.size(), 0);
+  std::vector<uint32_t> Leaders;
+  if (Options.PruneEquivalent) {
+    std::vector<SimKey> Keys =
+        parallelMap<SimKey>(Loops.size(), [&](size_t I) {
+          return simCacheKey(canonicalSimForm(Loops[I].second->TheLoop), 1,
+                             Machine, Loops[I].second->Ctx,
+                             Options.EnableSwp);
+        });
+    std::unordered_map<SimKey, uint32_t, SimKeyHash> SlotOfKey;
+    for (size_t I = 0; I < Loops.size(); ++I) {
+      auto [It, IsNew] = SlotOfKey.try_emplace(
+          Keys[I], static_cast<uint32_t>(Leaders.size()));
+      if (IsNew)
+        Leaders.push_back(static_cast<uint32_t>(I));
+      LeaderSlot[I] = It->second;
+    }
+  } else {
+    Leaders.resize(Loops.size());
+    for (size_t I = 0; I < Loops.size(); ++I) {
+      Leaders[I] = static_cast<uint32_t>(I);
+      LeaderSlot[I] = static_cast<uint32_t>(I);
+    }
+  }
+
+  // Phase 1: simulate each class leader at every unroll factor.
+  std::vector<std::array<double, MaxUnrollFactor>> ClassCycles =
+      parallelMap<std::array<double, MaxUnrollFactor>>(
+          Leaders.size(), [&](size_t C) {
+            return simulateAllFactors(*Loops[Leaders[C]].second, Machine,
+                                      Options);
+          });
+
+  // Phase 2: label every loop from its class's shared cycles through its
+  // own noise stream and the paper's filters.
   std::vector<LabeledLoop> Labeled = parallelMap<LabeledLoop>(
       Loops.size(), [&](size_t I) {
-        return labelOneLoop(*Loops[I].first, *Loops[I].second, Machine,
-                            Options);
+        return labelOneLoop(*Loops[I].first, *Loops[I].second,
+                            ClassCycles[LeaderSlot[I]], Options);
       });
 
   Dataset Data;
@@ -117,6 +197,13 @@ Dataset metaopt::collectLabels(const std::vector<Benchmark> &Corpus,
       Data.add(std::move(L.Ex));
   if (OutTotalLoops)
     *OutTotalLoops = Loops.size();
+  if (OutStats) {
+    OutStats->TotalLoops = Loops.size();
+    OutStats->EquivalenceClasses = Leaders.size();
+    OutStats->SimulationsRun = Leaders.size() * MaxUnrollFactor;
+    OutStats->SimulationsPruned =
+        (Loops.size() - Leaders.size()) * MaxUnrollFactor;
+  }
 
   // Warm-start later processes: flush new simulation results to the
   // persistent tier (no-op for in-memory-only caches).

@@ -40,6 +40,30 @@ struct LabelingOptions {
   /// selects the process-global SimCache::global(). The cached and
   /// uncached sweeps produce byte-identical datasets (cache/SimCache.h).
   SimCache *Cache = nullptr;
+  /// Static pruning of the labeling space: loops whose canonical sim form
+  /// (analysis/symbolic/Canonical.h) and simulation context coincide are
+  /// grouped into equivalence classes, one representative per class is
+  /// simulated at factors 1..8, and the cycles are shared across the
+  /// class *before* the sim cache is even consulted. Measurement noise is
+  /// applied per (benchmark, loop) name downstream of the simulator, so
+  /// pruned and unpruned sweeps produce byte-identical datasets (asserted
+  /// by tests/driver_test.cpp and measured in BENCH_pipeline.json).
+  bool PruneEquivalent = true;
+};
+
+/// What the labeling-space pruner did during one collectLabels sweep.
+struct LabelingStats {
+  size_t TotalLoops = 0;         ///< Pre-filter loop count.
+  size_t EquivalenceClasses = 0; ///< Distinct canonical-sim classes.
+  size_t SimulationsRun = 0;     ///< simulateLoop requests issued.
+  size_t SimulationsPruned = 0;  ///< Requests avoided by class sharing.
+  /// Fraction of the (loop, factor) simulation space pruned away.
+  double pruningRate() const {
+    size_t Total = SimulationsRun + SimulationsPruned;
+    return Total ? static_cast<double>(SimulationsPruned) /
+                       static_cast<double>(Total)
+                 : 0.0;
+  }
 };
 
 /// Labels one loop of \p Bench; returns the measured medians per factor.
@@ -60,9 +84,11 @@ measureLoopAtAllFactors(const Benchmark &Bench, const CorpusLoop &Entry,
 /// paper's week-of-machine-time step); each loop's noise stream comes
 /// from MeasurementSeed + its name, and examples are collected in corpus
 /// order, so the dataset is bit-identical however many threads run.
+/// \p OutStats optionally receives the pruner's statistics.
 Dataset collectLabels(const std::vector<Benchmark> &Corpus,
                       const LabelingOptions &Options,
-                      size_t *OutTotalLoops = nullptr);
+                      size_t *OutTotalLoops = nullptr,
+                      LabelingStats *OutStats = nullptr);
 
 } // namespace metaopt
 

@@ -59,6 +59,12 @@ const FeatureInfo Infos[NumFeatures] = {
     {"codeSizeBytes", "The estimated code bytes of the loop body"},
     {"numLongLatencyOps",
      "The number of long latency ops. (div, sqrt, rem)"},
+    {"minSymbolicDepDistance",
+     "The min. dependence distance the symbolic prover cannot rule out"},
+    {"provableDisjointFraction",
+     "The fraction of access pairs proven disjoint across iterations"},
+    {"reachablePredicatedStores",
+     "The number of predicated stores not proven dead"},
 };
 
 } // namespace

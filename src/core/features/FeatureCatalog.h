@@ -6,12 +6,16 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The catalogue of the 38 static loop characteristics used as the feature
+/// The catalogue of the static loop characteristics used as the feature
 /// vector. Table 1 of the paper publishes 22 of them and Tables 3/4 name
 /// three more (live range size, instruction fan-in in the DAG, known trip
-/// count); the remaining 13 were not published and are completed here with
-/// static properties of the same flavour. Features whose definitions the
-/// paper gives keep those definitions.
+/// count); the remaining 13 of the paper's 38 were not published and are
+/// completed here with static properties of the same flavour. Features
+/// whose definitions the paper gives keep those definitions. On top of
+/// the paper's 38, the symbolic memory analysis (analysis/symbolic)
+/// contributes three prover-derived features — the minimum symbolic
+/// dependence distance, the provably-disjoint fraction of access pairs,
+/// and the number of reachable predicated stores — for 41 in total.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -68,10 +72,16 @@ enum class FeatureId : unsigned {
   MaxLiveInt,           ///< Peak live integer values.
   CodeSizeBytes,        ///< Estimated code bytes of the body.
   NumLongLatencyOps,    ///< Divides, square roots, remainders.
+  // Symbolic-prover features (analysis/symbolic/Disjointness.h).
+  MinSymbolicDepDistance,   ///< Smallest lag not proven disjoint
+                            ///< (MaxUnrollFactor + 1 when all are).
+  ProvableDisjointFraction, ///< Fraction of (pair, lag) checks proven.
+  ReachablePredicatedStores, ///< Predicated stores not proven dead.
 };
 
-/// Number of features ("We collected 38 features for these experiments").
-constexpr unsigned NumFeatures = 38;
+/// Number of features: the paper's 38 ("We collected 38 features for
+/// these experiments") plus the three symbolic-prover features.
+constexpr unsigned NumFeatures = 41;
 
 /// Short machine-readable feature name ("numFloatOps", ...).
 const char *featureName(FeatureId Id);
@@ -85,7 +95,7 @@ using FeatureVector = std::array<double, NumFeatures>;
 /// An ordered feature subset used by a classifier.
 using FeatureSet = std::vector<FeatureId>;
 
-/// All 38 features.
+/// All NumFeatures features (the paper's 38 plus the symbolic three).
 FeatureSet fullFeatureSet();
 
 /// The reduced set the paper classifies with in Section 6: the union of

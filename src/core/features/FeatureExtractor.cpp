@@ -6,6 +6,7 @@
 #include "analysis/DependenceGraph.h"
 #include "analysis/Liveness.h"
 #include "analysis/Recurrence.h"
+#include "analysis/symbolic/Disjointness.h"
 
 #include <algorithm>
 #include <set>
@@ -126,6 +127,22 @@ FeatureVector metaopt::extractFeatures(const Loop &L) {
   Set(FeatureId::NumLiveIns, Live.NumLiveIn);
   Set(FeatureId::NumLoopCarriedValues,
       static_cast<double>(L.phis().size()));
+
+  // Symbolic-prover features: how much cross-iteration memory
+  // independence the static analysis can certify, and how many predicated
+  // stores can actually execute. These correlate with how profitably the
+  // unrolled copies overlap (analysis/symbolic/Disjointness.h).
+  SymbolicAnalysis Symbolic(L);
+  IndependenceSummary Independence = summarizeIndependence(Symbolic);
+  Set(FeatureId::MinSymbolicDepDistance, Independence.MinDependenceLag);
+  Set(FeatureId::ProvableDisjointFraction, Independence.DisjointFraction);
+  unsigned ReachablePredStores = 0;
+  for (const AccessSummary &Access : Symbolic.accesses())
+    if (Access.IsStore &&
+        L.body()[Access.BodyIndex].Pred != NoReg &&
+        Access.Guard != PredFact::AlwaysFalse)
+      ++ReachablePredStores;
+  Set(FeatureId::ReachablePredicatedStores, ReachablePredStores);
 
   return Features;
 }

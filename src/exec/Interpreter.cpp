@@ -375,7 +375,29 @@ ExecResult metaopt::interpretLoop(const Loop &L, const ExecOptions &Opts,
           M.value(Phis[J].Dest) = LaneState[J][Iter % Lanes];
 
     for (size_t I = 0; I < L.body().size(); ++I) {
-      if (M.step(L.body()[I], Iter, Global)) {
+      const Instruction &Instr = L.body()[I];
+      // Trace observations that a step could clobber (the guard register
+      // and an indirect index register can both be the destination) are
+      // sampled before the step; the destination value after.
+      ExecTraceStep TS;
+      if (Opts.Trace) {
+        TS.Iteration = Iter;
+        TS.BodyIndex = static_cast<uint32_t>(I);
+        TS.GuardOn = M.predOn(Instr);
+        if (Instr.isMemory() && TS.GuardOn) {
+          TS.IsMemory = true;
+          TS.Address = M.address(Instr, Global);
+        }
+      }
+      bool Fired = M.step(Instr, Iter, Global);
+      if (Opts.Trace) {
+        if (Instr.hasDest() && L.regClass(Instr.Dest) == RegClass::Int) {
+          TS.HasIntDest = true;
+          TS.IntDest = M.value(Instr.Dest).I;
+        }
+        Opts.Trace->Steps.push_back(TS);
+      }
+      if (Fired) {
         Result.Exited = true;
         Result.ExitIteration = Iter;
         Result.ExitBodyIndex = static_cast<int64_t>(I);

@@ -77,6 +77,31 @@ ExecValue execPred(bool Value);
 /// Compares the class-relevant field bit-for-bit.
 bool execValueEquals(RegClass RC, const ExecValue &A, const ExecValue &B);
 
+/// One observed body-instruction execution, recorded when
+/// ExecOptions::Trace is set. GuardOn is the guarding predicate's value
+/// at the time the instruction ran (true for unpredicated ops); Address
+/// is the effective byte address, filled only for memory ops whose guard
+/// was on; IntDest is the destination value after the step (including the
+/// class-default write of a predicated-off instruction), filled only for
+/// integer destinations.
+struct ExecTraceStep {
+  int64_t Iteration = 0; ///< Local (0-based) iteration index.
+  uint32_t BodyIndex = 0;
+  bool GuardOn = false;
+  bool IsMemory = false; ///< Memory op that executed; Address is valid.
+  int64_t Address = 0;
+  bool HasIntDest = false;
+  int64_t IntDest = 0;
+};
+
+/// Execution trace: every body-instruction step, in execution order. An
+/// iteration cut short by ExitIf records only the prefix that ran. The
+/// static-claims fuzz oracle (fuzz/Oracles.h) replays SymbolicAnalysis
+/// claims against this record.
+struct ExecTrace {
+  std::vector<ExecTraceStep> Steps;
+};
+
 /// Execution parameters.
 struct ExecOptions {
   /// Seeds live-in synthesis and first-touch memory.
@@ -92,6 +117,8 @@ struct ExecOptions {
   /// Values for specific live-in registers, overriding name-keyed
   /// synthesis. Keyed by RegId of the loop being interpreted.
   std::map<RegId, ExecValue> LiveInOverrides;
+  /// When set, every body-instruction step is appended here.
+  ExecTrace *Trace = nullptr;
 };
 
 /// The observable final state of one execution.

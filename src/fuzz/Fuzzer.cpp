@@ -50,6 +50,7 @@ CaseOutcome runCase(const FuzzCampaignOptions &Options, uint64_t Index) {
                              Failing.count("modulo-schedule") != 0;
     Narrow.CheckSimCache = Failing.count("sim-cache") != 0;
     Narrow.CheckBundle = Failing.count("bundle") != 0;
+    Narrow.CheckStaticClaims = Failing.count("static-claims") != 0;
     Minimized = shrinkLoop(L, [&](const Loop &Candidate) {
       return !runOracles(Candidate, Narrow).empty();
     });

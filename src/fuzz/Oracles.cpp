@@ -3,6 +3,8 @@
 #include "fuzz/Oracles.h"
 
 #include "analysis/DependenceGraph.h"
+#include "analysis/symbolic/Canonical.h"
+#include "analysis/symbolic/StrideInterval.h"
 #include "cache/SimCache.h"
 #include "core/features/FeatureExtractor.h"
 #include "core/ml/Dataset.h"
@@ -24,6 +26,7 @@
 #include "transform/MemoryOpt.h"
 #include "transform/Unroller.h"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 
@@ -356,7 +359,10 @@ void metaopt::oracleUnrollEquivalence(const Loop &L, uint64_t Seed,
 void metaopt::oracleMemoryOpt(const Loop &L, uint64_t Seed,
                               std::vector<OracleFailure> &Out) {
   Loop Optimized = L;
-  optimizeMemory(Optimized);
+  // Run the symbolically-refined path: any unsound guard promotion or
+  // disjointness proof the pass acts on shows up as a state divergence.
+  SymbolicAnalysis Symbolic(Optimized);
+  optimizeMemory(Optimized, &Symbolic);
   std::vector<std::string> Errors = verifyLoop(Optimized);
   if (!Errors.empty()) {
     fail(Out, "memory-opt",
@@ -577,6 +583,179 @@ void metaopt::oracleBundle(const Loop &L, std::vector<OracleFailure> &Out) {
 }
 
 //===----------------------------------------------------------------------===//
+// static-claims
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Observations of one body instruction in one iteration.
+struct ClaimObs {
+  int8_t Guard = -1;    ///< -1 never stepped, 0 predicated off, 1 on.
+  bool Accessed = false; ///< Memory op that executed; Addr is valid.
+  bool HasInt = false;   ///< Integer destination; Int is valid.
+  int64_t Addr = 0;
+  int64_t Int = 0;
+};
+
+} // namespace
+
+void metaopt::checkClaimsAgainstExecution(
+    const Loop &L, const std::vector<StaticClaim> &Claims, uint64_t Seed,
+    std::vector<OracleFailure> &Out) {
+  if (Claims.empty())
+    return;
+
+  // A known trip count runs in full (capped so a pathological declared
+  // trip cannot stall the campaign); claims over an unknown trip hold for
+  // every i >= 0, so a fixed-length probe is a valid refutation attempt.
+  int64_t Trip = L.runtimeTripCount();
+  int64_t Iters = Trip >= 0 ? std::min<int64_t>(Trip, 4096) : 64;
+  if (Iters <= 0)
+    return; // Every per-iteration claim is vacuous.
+
+  ExecTrace Trace;
+  ExecOptions Opts;
+  Opts.Seed = Seed;
+  Opts.Iterations = Iters;
+  Opts.Trace = &Trace;
+  interpretLoop(L, Opts);
+
+  const size_t BodySize = L.body().size();
+  std::vector<std::vector<ClaimObs>> Table(
+      BodySize, std::vector<ClaimObs>(static_cast<size_t>(Iters)));
+  for (const ExecTraceStep &S : Trace.Steps) {
+    if (S.BodyIndex >= BodySize || S.Iteration < 0 || S.Iteration >= Iters)
+      continue;
+    ClaimObs &O = Table[S.BodyIndex][static_cast<size_t>(S.Iteration)];
+    O.Guard = S.GuardOn ? 1 : 0;
+    O.Accessed = S.IsMemory;
+    O.Addr = S.Address;
+    O.HasInt = S.HasIntDest;
+    O.Int = S.IntDest;
+  }
+
+  auto Refute = [&](const StaticClaim &C, const std::string &Detail) {
+    fail(Out, "static-claims", describeClaim(C, L) + " refuted: " + Detail);
+  };
+
+  for (const StaticClaim &C : Claims) {
+    switch (C.K) {
+    case StaticClaim::Kind::GuardAlwaysTrue:
+    case StaticClaim::Kind::GuardAlwaysFalse: {
+      if (C.A >= BodySize) {
+        Refute(C, "body index out of range");
+        break;
+      }
+      bool WantOn = C.K == StaticClaim::Kind::GuardAlwaysTrue;
+      for (int64_t I = 0; I < Iters; ++I) {
+        const ClaimObs &O = Table[C.A][static_cast<size_t>(I)];
+        if (O.Guard < 0)
+          continue; // Iteration cut short before this instruction.
+        if ((O.Guard == 1) != WantOn) {
+          Refute(C, std::string("guard was ") +
+                        (O.Guard == 1 ? "on" : "off") + " at iteration " +
+                        std::to_string(I));
+          break;
+        }
+      }
+      break;
+    }
+    case StaticClaim::Kind::RangeBound: {
+      // Claimed registers are body-defined (the analysis never claims
+      // live-ins, and phi values always carry their init as a symbolic
+      // base); check the value every defining instruction left behind.
+      bool Defined = false, Done = false;
+      for (uint32_t B = 0; B < BodySize && !Done; ++B) {
+        const Instruction &Def = L.body()[B];
+        if (!Def.hasDest() || Def.Dest != C.Reg)
+          continue;
+        Defined = true;
+        for (int64_t I = 0; I < Iters && !Done; ++I) {
+          const ClaimObs &O = Table[B][static_cast<size_t>(I)];
+          if (!O.HasInt)
+            continue;
+          if (O.Int < C.Lo || O.Int > C.Hi) {
+            Refute(C, "value " + std::to_string(O.Int) + " at iteration " +
+                          std::to_string(I));
+            Done = true;
+          }
+        }
+      }
+      if (!Defined)
+        Refute(C, "register is never defined in the body");
+      break;
+    }
+    case StaticClaim::Kind::Disjoint: {
+      if (C.A >= BodySize || C.B >= BodySize) {
+        Refute(C, "body index out of range");
+        break;
+      }
+      const Instruction &IA = L.body()[C.A];
+      const Instruction &IB = L.body()[C.B];
+      if (!IA.isMemory() || !IB.isMemory()) {
+        Refute(C, "claim names a non-memory instruction");
+        break;
+      }
+      if (IA.Mem.BaseSym != IB.Mem.BaseSym)
+        break; // Distinct base symbols are distinct address spaces.
+      int64_t SizeA = IA.Mem.SizeBytes, SizeB = IB.Mem.SizeBytes;
+      for (int64_t I = 0; I + static_cast<int64_t>(C.Lag) < Iters; ++I) {
+        const ClaimObs &OA = Table[C.A][static_cast<size_t>(I)];
+        const ClaimObs &OB =
+            Table[C.B][static_cast<size_t>(I + static_cast<int64_t>(C.Lag))];
+        if (!OA.Accessed || !OB.Accessed)
+          continue; // A predicated-off access touches nothing.
+        if (OA.Addr < OB.Addr + SizeB && OB.Addr < OA.Addr + SizeA) {
+          Refute(C, "bytes [" + std::to_string(OA.Addr) + ", " +
+                        std::to_string(OA.Addr + SizeA) + ") and [" +
+                        std::to_string(OB.Addr) + ", " +
+                        std::to_string(OB.Addr + SizeB) +
+                        ") overlap at iterations " + std::to_string(I) +
+                        " and " + std::to_string(I + C.Lag));
+          break;
+        }
+      }
+      break;
+    }
+    }
+  }
+}
+
+void metaopt::oracleStaticClaims(const Loop &L, uint64_t Seed,
+                                 std::vector<OracleFailure> &Out) {
+  SymbolicAnalysis Symbolic(L);
+  checkClaimsAgainstExecution(L, Symbolic.claims(), Seed, Out);
+
+  // The labeling pruner's certificate (core/driver/LabelCollector.h):
+  // the canonical simulation form must receive the original loop's exact
+  // SimResult. Two plain factors plus one SWP probe keep the oracle cheap
+  // while still crossing every normalized dimension.
+  static const MachineModel Itanium2{itanium2Config()};
+  SimContext Ctx;
+  Loop Canon = canonicalSimForm(L);
+  if (!isWellFormed(Canon)) {
+    fail(Out, "static-claims", "canonicalSimForm produced malformed IR");
+    return;
+  }
+  struct Probe {
+    unsigned Factor;
+    bool EnableSwp;
+  };
+  const Probe Probes[] = {{1, false}, {MaxUnrollFactor, false}, {3, true}};
+  for (const Probe &P : Probes) {
+    SimResult Want = simulateLoop(L, P.Factor, Itanium2, Ctx, P.EnableSwp);
+    SimResult Got =
+        simulateLoop(Canon, P.Factor, Itanium2, Ctx, P.EnableSwp);
+    if (!(Want == Got))
+      fail(Out, "static-claims",
+           "canonical form diverges from the original in the simulator "
+           "(factor " +
+               std::to_string(P.Factor) +
+               (P.EnableSwp ? ", swp)" : ", no swp)"));
+  }
+}
+
+//===----------------------------------------------------------------------===//
 // driver
 //===----------------------------------------------------------------------===//
 
@@ -602,5 +781,7 @@ metaopt::runOracles(const Loop &L, const OracleOptions &Options) {
     oracleSimCache(L, Out);
   if (Options.CheckBundle)
     oracleBundle(L, Out);
+  if (Options.CheckStaticClaims)
+    oracleStaticClaims(L, Options.Seed, Out);
   return Out;
 }

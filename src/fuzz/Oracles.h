@@ -27,7 +27,13 @@
 ///  - sim-cache: the content key is stable under reparse and cached
 ///    results are byte-identical to fresh simulation;
 ///  - bundle: a serialized + reparsed model bundle predicts identically
-///    to the original on the loop's feature vector.
+///    to the original on the loop's feature vector;
+///  - static-claims: every claim the symbolic analysis
+///    (analysis/symbolic/StrideInterval.h) is prepared to defend —
+///    guard verdicts, value ranges, cross-iteration disjointness — holds
+///    on a traced reference execution, and the canonical simulation form
+///    (analysis/symbolic/Canonical.h) receives the same SimResult as the
+///    original loop, validating the labeling pruner's certificate.
 ///
 /// Oracles never abort: every violation becomes an OracleFailure so the
 /// campaign can count, minimize, and report them.
@@ -37,6 +43,7 @@
 #ifndef METAOPT_FUZZ_ORACLES_H
 #define METAOPT_FUZZ_ORACLES_H
 
+#include "analysis/symbolic/StrideInterval.h"
 #include "ir/Loop.h"
 
 #include <cstdint>
@@ -65,6 +72,7 @@ struct OracleOptions {
   bool CheckSchedulers = true;
   bool CheckSimCache = true;
   bool CheckBundle = true;
+  bool CheckStaticClaims = true;
 };
 
 /// Individual oracles; append violations to \p Out.
@@ -77,6 +85,19 @@ void oracleMemoryOpt(const Loop &L, uint64_t Seed,
 void oracleSchedulers(const Loop &L, std::vector<OracleFailure> &Out);
 void oracleSimCache(const Loop &L, std::vector<OracleFailure> &Out);
 void oracleBundle(const Loop &L, std::vector<OracleFailure> &Out);
+void oracleStaticClaims(const Loop &L, uint64_t Seed,
+                        std::vector<OracleFailure> &Out);
+
+/// The static-claims oracle's checking core: replays \p Claims (in the
+/// shape SymbolicAnalysis::claims() produces) against a traced reference
+/// execution of \p L and reports every refuted claim. Exposed separately
+/// so tests can confirm the oracle refutes a deliberately unsound claim
+/// set; oracleStaticClaims feeds it the real analysis and additionally
+/// validates the canonical-form simulation certificate.
+void checkClaimsAgainstExecution(const Loop &L,
+                                 const std::vector<StaticClaim> &Claims,
+                                 uint64_t Seed,
+                                 std::vector<OracleFailure> &Out);
 
 /// Runs the oracles selected by \p Options on \p L. The loop must be
 /// verifier-clean (checked: a malformed input is itself reported as a

@@ -67,6 +67,17 @@ struct PStmt {
   double Prob = 0.0;
 };
 
+/// One "array" directive: a declared symbol, parsed but not yet resolved
+/// against the loop's interned symbol ids.
+struct PArray {
+  std::string Name;   ///< Named symbol; "" when declared numerically.
+  int32_t Sym = 0;    ///< Numeric symbol id (valid when Name is empty).
+  int64_t Extent = -1;
+  int64_t Stride = 0;
+  bool HasStride = false;
+  unsigned Line = 0;
+};
+
 struct PLoop {
   unsigned HeaderLine = 0;
   std::string Name;
@@ -79,6 +90,7 @@ struct PLoop {
   ImportProvenance Prov;
   SimContext Ctx;
   int64_t Executions = 1;
+  std::vector<PArray> Arrays;
   bool Dirty = false; ///< Had at least one error; never lowered/emitted.
 };
 
@@ -239,10 +251,12 @@ public:
         parseSourceDirective(C);
       } else if (Word == "context") {
         parseContextDirective(C);
+      } else if (Word == "array") {
+        parseArrayDirective(C);
       } else {
         error(idiag::UnknownDirective, CurLine,
               "unknown directive '" + Word + "' (expected source, "
-              "context, or loop)");
+              "context, array, or loop)");
       }
     }
     if (!Options.Lenient && Result.Report.hasErrors())
@@ -418,6 +432,83 @@ private:
     }
   }
 
+  /// array @sym [extent=<bytes>] [stride=<bytes>]
+  /// Declares the object behind a memory symbol of the next loop: its
+  /// byte extent and/or the stride the surrounding code walks it with.
+  void parseArrayDirective(Cursor &C) {
+    PArray Decl;
+    Decl.Line = CurLine;
+    if (!C.lit('@')) {
+      error(idiag::BadDirectiveArg, CurLine,
+            "array directive expects '@sym' first");
+      return;
+    }
+    char Next = C.peek();
+    if (Next == '-' || (Next >= '0' && Next <= '9')) {
+      std::optional<int64_t> Sym = C.number();
+      if (!Sym || *Sym < INT32_MIN || *Sym > INT32_MAX) {
+        error(idiag::BadDirectiveArg, CurLine,
+              "array symbol id out of range");
+        return;
+      }
+      Decl.Sym = static_cast<int32_t>(*Sym);
+    } else {
+      Decl.Name = C.ident();
+      if (Decl.Name.empty()) {
+        error(idiag::BadDirectiveArg, CurLine,
+              "expected a symbol name after '@'");
+        return;
+      }
+    }
+    bool SawAny = false;
+    while (!C.atEnd()) {
+      std::string Key = C.ident();
+      if (Key.empty() || !C.lit('=')) {
+        error(idiag::BadDirectiveArg, CurLine,
+              "malformed array directive (expected key=value pairs)");
+        return;
+      }
+      std::optional<int64_t> Value = C.number();
+      if (!Value) {
+        error(idiag::BadDirectiveArg, CurLine,
+              "array " + Key + "= expects an integer");
+        return;
+      }
+      if (Key == "extent") {
+        if (*Value < 0) {
+          error(idiag::BadDirectiveArg, CurLine,
+                "array extent= must be non-negative");
+          return;
+        }
+        Decl.Extent = *Value;
+      } else if (Key == "stride") {
+        Decl.Stride = *Value;
+        Decl.HasStride = true;
+      } else {
+        error(idiag::BadDirectiveArg, CurLine,
+              "unknown array key '" + Key + "'");
+        return;
+      }
+      SawAny = true;
+    }
+    if (!SawAny) {
+      error(idiag::BadDirectiveArg, CurLine,
+            "array directive declares nothing (add extent= or stride=)");
+      return;
+    }
+    for (const PArray &Prior : PendingArrays)
+      if (Prior.Name == Decl.Name && (!Decl.Name.empty() ||
+                                      Prior.Sym == Decl.Sym)) {
+        error(idiag::BadDirectiveArg, CurLine,
+              "duplicate array declaration for '@" +
+                  (Decl.Name.empty() ? std::to_string(Decl.Sym)
+                                     : Decl.Name) +
+                  "'");
+        return;
+      }
+    PendingArrays.push_back(std::move(Decl));
+  }
+
   //===--------------------------------------------------------------------===
   // Loop parsing
   //===--------------------------------------------------------------------===
@@ -430,9 +521,11 @@ private:
     PL.Prov.ImportFile = FileName;
     PL.Ctx = PendingCtx;
     PL.Executions = PendingExecutions;
+    PL.Arrays = std::move(PendingArrays);
     PendingProv = ImportProvenance{};
     PendingCtx = SimContext{};
     PendingExecutions = 1;
+    PendingArrays.clear();
 
     bool HeaderOk = parseLoopHeader(Header, PL);
     if (!HeaderOk)
@@ -1339,6 +1432,28 @@ private:
       St.Mem.BaseSym = It->second;
     }
 
+    // Resolve array declarations against the interned ids. Named
+    // declarations the loop never references are dropped (the context
+    // may describe arrays this particular loop does not touch); numeric
+    // ones are kept verbatim since numeric refs keep their ids.
+    LoopSymbolContext Symbols;
+    for (const PArray &Decl : PL.Arrays) {
+      SymbolDecl Out;
+      Out.Name = Decl.Name;
+      Out.ExtentBytes = Decl.Extent;
+      Out.DeclaredStride = Decl.Stride;
+      Out.HasStride = Decl.HasStride;
+      if (Decl.Name.empty()) {
+        Out.Sym = Decl.Sym;
+      } else {
+        auto It = SymIds.find(Decl.Name);
+        if (It == SymIds.end())
+          continue;
+        Out.Sym = It->second;
+      }
+      Symbols.Decls.push_back(std::move(Out));
+    }
+
     // Build the Loop. Registers are created at first textual occurrence;
     // names arriving with the printer's class prefix (the exporter writes
     // printed names) have it stripped, mirroring ir/Parser.cpp.
@@ -1435,6 +1550,7 @@ private:
     Out.Prov = PL.Prov;
     Out.Ctx = PL.Ctx;
     Out.Executions = PL.Executions;
+    Out.Symbols = std::move(Symbols);
     Result.Loops.push_back(std::move(Out));
   }
 
@@ -1447,6 +1563,7 @@ private:
   ImportProvenance PendingProv;
   SimContext PendingCtx;
   int64_t PendingExecutions = 1;
+  std::vector<PArray> PendingArrays;
 };
 
 } // namespace

@@ -31,6 +31,7 @@
 
 #include "ir/Diagnostics.h"
 #include "ir/Loop.h"
+#include "ir/SymbolContext.h"
 #include "sim/Simulator.h"
 
 #include <string>
@@ -94,6 +95,11 @@ struct ImportedLoop {
   /// Times the program enters the loop per run ("context execs=");
   /// weights whole-program speedup like CorpusLoop::Executions.
   int64_t Executions = 1;
+  /// Array extents/strides declared by "array" directives, resolved to
+  /// the lowered loop's interned symbol ids. Declarations naming symbols
+  /// the loop never touches are dropped. The A-series lint passes check
+  /// the loop against these claims.
+  LoopSymbolContext Symbols;
 };
 
 /// Import configuration.

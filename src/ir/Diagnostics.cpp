@@ -89,6 +89,12 @@ std::string metaopt::renderDiagnosticJson(const Diagnostic &D) {
   return Out;
 }
 
+std::string metaopt::renderDiagnosticJson(const Diagnostic &D,
+                                          std::string_view Origin) {
+  return "{\"origin\":\"" + jsonEscape(Origin) +
+         "\",\"diagnostic\":" + renderDiagnosticJson(D) + "}";
+}
+
 void DiagnosticReport::append(const DiagnosticReport &Other) {
   Diags.insert(Diags.end(), Other.Diags.begin(), Other.Diags.end());
 }
@@ -119,4 +125,191 @@ std::string DiagnosticReport::renderJson() const {
   for (const Diagnostic &D : Diags)
     Out += renderDiagnosticJson(D) + "\n";
   return Out;
+}
+
+const std::vector<DiagnosticCatalogEntry> &metaopt::diagnosticCatalog() {
+  static const std::vector<DiagnosticCatalogEntry> Catalog = {
+      // V### — structural verifier (ir/Verifier.h), all errors.
+      {"V001-reg-out-of-range", "error",
+       "A phi or instruction mentions a register that was never created "
+       "on the loop."},
+      {"V002-phi-unset-reg", "error",
+       "A phi's Dest, Init, or Recur field is unset (NoReg)."},
+      {"V003-multiple-def", "error",
+       "A register is defined twice (by instructions or phis); the IR is "
+       "single static assignment."},
+      {"V004-phi-class-mismatch", "error",
+       "A phi's Init or Recur register class differs from its "
+       "destination's class."},
+      {"V005-phi-init-not-live-in", "error",
+       "A phi initial value is computed in the body; inits must be "
+       "live-in (loop-invariant)."},
+      {"V006-phi-self-recurrence", "error",
+       "A phi recurs directly on its own destination."},
+      {"V007-phi-recur-not-computed", "error",
+       "A phi's recurrence source is not defined by any body "
+       "instruction."},
+      {"V008-dest-arity", "error",
+       "A value-producing opcode lacks a destination, or an effect-only "
+       "opcode has one."},
+      {"V009-guard-not-predicate", "error",
+       "An instruction guard is not a predicate-class register."},
+      {"V010-guard-before-def", "error",
+       "A guard register is read before it is defined and is not a "
+       "live-in or phi."},
+      {"V011-predicated-control", "error",
+       "A loop-control instruction (iv_add/iv_cmp/back_br) carries a "
+       "predicate."},
+      {"V012-use-before-def", "error",
+       "An operand is read before definition and is not a live-in or phi "
+       "destination."},
+      {"V013-operand-count", "error",
+       "Operand count does not match the opcode signature."},
+      {"V014-operand-class", "error",
+       "An operand's register class does not match the opcode "
+       "signature."},
+      {"V015-mem-size", "error",
+       "A memory reference's access size is not a positive power of "
+       "two."},
+      {"V016-exit-prob", "error",
+       "An exit_if taken probability lies outside [0, 1]."},
+      {"V017-dest-class", "error",
+       "The destination's register class does not match the opcode "
+       "result class."},
+      {"V018-loop-control", "error",
+       "The canonical iv_add/iv_cmp/back_br tail is missing, mis-wired, "
+       "or not last (checked under VerifyOptions::RequireLoopControl, "
+       "the default)."},
+      // A### — symbolic-analysis-backed lint passes (analysis/lint,
+      // analysis/symbolic).
+      {"A001-context-out-of-bounds", "warning",
+       "The symbolic address range of an access provably leaves the "
+       "extent its imported 'array' directive declared: the prover "
+       "evaluates base + offset + stride*i over the full iteration range "
+       "and compares against the declared byte size."},
+      {"A002-dead-predicated-store", "warning",
+       "A store is guarded by a predicate the stride-interval analysis "
+       "proves always-false: it can never execute, and every feature or "
+       "dependence derived from it is noise."},
+      {"A003-overflow-prone-iv-arithmetic", "warning",
+       "Induction arithmetic whose affine evaluation leaves the int64 "
+       "range somewhere in the iteration space: the value still wraps "
+       "deterministically, but range and comparison proofs are refused "
+       "for it and dependent analyses go conservative."},
+      {"A004-contradictory-stride-declaration", "warning",
+       "An imported 'array' directive declares a stride that contradicts "
+       "the effective symbolic stride the analysis computes for an "
+       "access to that symbol."},
+      // L### — dataflow lint passes (analysis/lint).
+      {"L001-use-before-def", "error",
+       "An operand (or guard) register that no definition reaches: read "
+       "before its definition and not live-in."},
+      {"L002-maybe-undef-under-predication", "warning",
+       "A read of a value whose only definition is guarded, from an "
+       "instruction that is unguarded or differently guarded; the value "
+       "is undefined on iterations where the guard is false."},
+      {"L003-dead-def", "note",
+       "A computed value that no store, call, exit, recurrence, or later "
+       "use observes; dead code dilutes the resource-usage features the "
+       "classifier learns from."},
+      {"L004-constant-exit", "note / warning",
+       "An exit_if whose taken probability is exactly 0 (note: the exit "
+       "never fires, pure overhead) or exactly 1 (warning: the loop "
+       "exits on the first iteration)."},
+      {"L005-constant-predicate", "warning",
+       "A guard or select condition that is compile-time constant, "
+       "propagated through copy/select/predset by a fixed point; the "
+       "predication is vacuous."},
+      {"L006-memory-waw", "warning",
+       "Store hazards: two stores that provably hit the same address "
+       "every iteration, stride-0 stores, or stores whose |stride| is "
+       "smaller than the access size (self-overlapping)."},
+      {"L007-stride-shape", "warning / note",
+       "Memory-shape inconsistencies that force the dependence analysis "
+       "conservative: one array's references disagreeing on stride, "
+       "partial overlaps with mixed access sizes, or indirect references "
+       "carrying a nonzero (ignored) stride."},
+      {"L008-depgraph-legality", "error",
+       "A DependenceGraph violates the schedulers' legality assumptions: "
+       "a backward intra-iteration edge, an uncovered def-use or "
+       "may-alias pair, or an unordered early exit or call."},
+      // X### — post-unroll invariants (analysis/lint/UnrollInvariants.h),
+      // all errors.
+      {"X001-unrolled-shape", "error",
+       "An unrolled loop fails to verify, or does not consist of exactly "
+       "Factor straight-line replicas plus one fresh loop-control tail."},
+      {"X002-replica-isomorphism", "error",
+       "A replica is not the original body under a consistent register "
+       "renaming (opcodes, immediates, or def-use wiring differ)."},
+      {"X003-stride-scaling", "error",
+       "A memory clone in replica k does not read/write offset + "
+       "stride*k with stride scaled by Factor, or changed symbol, "
+       "indirection, or size."},
+      {"X004-live-out-coverage", "error",
+       "An original phi did not survive unrolling as one phi or Factor "
+       "split accumulators, fully wired."},
+      {"X005-trip-accounting", "error",
+       "main * Factor + epilogue does not equal the original trip count "
+       "(static and runtime)."},
+      // I### — mloop importer (src/import), all errors.
+      {"I000-io-error", "error",
+       "The input file is unreadable, or a directory sweep matched "
+       "nothing."},
+      {"I001-missing-header", "error",
+       "The first meaningful line is not an 'mloop <version>' header."},
+      {"I002-bad-version", "error",
+       "The mloop format version is unsupported."},
+      {"I003-syntax", "error",
+       "Malformed line: header, statement, clause, or tail shape."},
+      {"I004-unknown-directive", "error",
+       "A top-level word is not loop/source/context."},
+      {"I005-unknown-opcode", "error", "Unknown instruction mnemonic."},
+      {"I006-bad-type", "error",
+       "A type token is invalid for this mnemonic (e.g. 'or i1')."},
+      {"I007-duplicate-value", "error", "An SSA name is defined twice."},
+      {"I008-phi-recur-undefined", "error",
+       "A phi's recur operand is never defined in the body."},
+      {"I009-def-use-cycle", "error",
+       "A body instruction uses a later body definition (loop-carried "
+       "values need a phi)."},
+      {"I010-trip-out-of-range", "error",
+       "trip/rtrip/depth outside their allowed ranges, or rtrip "
+       "contradicting a known trip."},
+      {"I011-bad-memref", "error",
+       "Malformed @sym[...] reference, bad attribute, or access size "
+       "outside {1,2,4,8,16}."},
+      {"I012-bad-probability", "error",
+       "An exit without prob=, or a probability outside [0, 1]."},
+      {"I013-operand-count", "error",
+       "Wrong operand arity (e.g. a 2-operand fma)."},
+      {"I014-class-mismatch", "error",
+       "An operand or guard register class is wrong at its use."},
+      {"I015-truncated", "error", "A loop body is not closed by '}'."},
+      {"I016-empty-loop", "error", "A loop contains no statements."},
+      {"I017-bad-guard", "error",
+       "A when() guard on an exit or loop-control instruction."},
+      {"I018-bad-index", "error",
+       "An ind() index on a non-memory op, or an indirect memref without "
+       "ind()."},
+      {"I019-phi-init-defined", "error",
+       "A phi's init operand is defined inside the loop."},
+      {"I020-bad-directive-arg", "error",
+       "An unparsable or out-of-range source/context directive value "
+       "(including 'array' extents)."},
+  };
+  return Catalog;
+}
+
+const DiagnosticCatalogEntry *
+metaopt::findDiagnosticEntry(std::string_view IdOrPrefix) {
+  if (IdOrPrefix.empty())
+    return nullptr;
+  for (const DiagnosticCatalogEntry &Entry : diagnosticCatalog()) {
+    std::string_view Id = Entry.Id;
+    if (Id.substr(0, IdOrPrefix.size()) != IdOrPrefix)
+      continue;
+    if (Id.size() == IdOrPrefix.size() || Id[IdOrPrefix.size()] == '-')
+      return &Entry;
+  }
+  return nullptr;
 }

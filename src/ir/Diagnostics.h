@@ -60,6 +60,14 @@ std::string renderDiagnostic(const Diagnostic &D);
 /// Renders one diagnostic as a single-line JSON object.
 std::string renderDiagnosticJson(const Diagnostic &D);
 
+/// Renders one diagnostic wrapped with the unit it was found in:
+///   {"origin":"<origin>","diagnostic":{...}}
+/// The one JSON shape every tool that sweeps multiple units
+/// (metaopt-lint, metaopt-import, CI sweeps) emits per diagnostic, so
+/// downstream consumers parse a single format.
+std::string renderDiagnosticJson(const Diagnostic &D,
+                                 std::string_view Origin);
+
 /// An ordered collection of diagnostics. Order is insertion order; callers
 /// that assemble per-loop reports in a stable loop order get deterministic
 /// rendering for free.
@@ -96,6 +104,26 @@ private:
 
 /// Escapes \p Str for inclusion inside a JSON string literal.
 std::string jsonEscape(std::string_view Str);
+
+/// One entry of the cross-family diagnostic catalog: docs/DIAGNOSTICS.md
+/// (and docs/IMPORT.md for the I series) rendered as data, so tools can
+/// explain any stable ID without shipping the docs. Severity is a display
+/// string because a few IDs emit at more than one level (e.g. L004).
+struct DiagnosticCatalogEntry {
+  const char *Id;          ///< Full stable ID, e.g. "L001-use-before-def".
+  const char *SevName;     ///< "error", "warning", "note", or a mix.
+  const char *Explanation; ///< The catalog's one-paragraph description.
+};
+
+/// The full catalog across every ID family — V### verifier, L###/A###
+/// lint, X### post-unroll invariants, I### importer — in family + ID
+/// order. metaopt-lint --explain renders entries from here; a unit test
+/// cross-checks it against every registered producer.
+const std::vector<DiagnosticCatalogEntry> &diagnosticCatalog();
+
+/// Entry for \p IdOrPrefix (full ID or "L001"-style hyphen-boundary
+/// prefix), or nullptr when the ID is unknown.
+const DiagnosticCatalogEntry *findDiagnosticEntry(std::string_view IdOrPrefix);
 
 } // namespace metaopt
 

@@ -1,0 +1,63 @@
+//===- ir/SymbolContext.h - Declared array context for a loop ---*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// Declarations the program context makes about a loop's memory symbols:
+/// the byte extent of the underlying array and the stride the surrounding
+/// code walks it with. The loop IR itself never carries this information —
+/// a MemRef names a symbol and its per-iteration advance, but nothing
+/// bounds the object behind the symbol. Extractors may know both, and the
+/// mloop interchange format records them with "array" directives
+/// (docs/IMPORT.md); the importer resolves them against the interned
+/// symbol ids and attaches a LoopSymbolContext to every ImportedLoop.
+///
+/// Consumers treat the context as *claims to check against*, not ground
+/// truth: the A-series lint passes (docs/DIAGNOSTICS.md) compare the
+/// symbolic access ranges proven by analysis/symbolic against the declared
+/// extents (A001) and strides (A004) and diagnose contradictions.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_IR_SYMBOLCONTEXT_H
+#define METAOPT_IR_SYMBOLCONTEXT_H
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace metaopt {
+
+/// One declared memory symbol.
+struct SymbolDecl {
+  int32_t Sym = 0;          ///< Interned symbol id in the lowered loop.
+  std::string Name;         ///< Declared name ("" for numeric symbols).
+  int64_t ExtentBytes = -1; ///< Object size in bytes, -1 when undeclared.
+  int64_t DeclaredStride = 0; ///< Stride the context claims, see HasStride.
+  bool HasStride = false;   ///< DeclaredStride was stated explicitly.
+
+  bool operator==(const SymbolDecl &Other) const = default;
+};
+
+/// The per-loop collection of symbol declarations, in declaration order.
+struct LoopSymbolContext {
+  std::vector<SymbolDecl> Decls;
+
+  bool empty() const { return Decls.empty(); }
+
+  /// The declaration for \p Sym, or nullptr when the context says nothing
+  /// about it.
+  const SymbolDecl *find(int32_t Sym) const {
+    for (const SymbolDecl &Decl : Decls)
+      if (Decl.Sym == Sym)
+        return &Decl;
+    return nullptr;
+  }
+};
+
+} // namespace metaopt
+
+#endif // METAOPT_IR_SYMBOLCONTEXT_H

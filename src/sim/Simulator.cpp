@@ -4,6 +4,7 @@
 
 #include "analysis/DependenceGraph.h"
 #include "analysis/Liveness.h"
+#include "analysis/symbolic/StrideInterval.h"
 #include "sched/ListScheduler.h"
 #include "sched/ModuloScheduler.h"
 #include "transform/MemoryOpt.h"
@@ -170,8 +171,13 @@ SimResult metaopt::simulateLoop(const Loop &L, unsigned Factor,
   Loop Unrolled = unrollLoop(L, Factor);
   // The memory cleanups unrolling enables (Section 3 of the paper):
   // store-to-load forwarding, redundant load elimination, wide-load
-  // pairing across the copies.
-  optimizeMemory(Unrolled);
+  // pairing across the copies. The symbolic analysis lets the pass act on
+  // proven guard facts and same-iteration disjointness instead of its
+  // conservative bail-outs (analysis/symbolic).
+  {
+    SymbolicAnalysis Symbolic(Unrolled);
+    optimizeMemory(Unrolled, &Symbolic);
+  }
 
   SimResult Result;
   double MainCycles = 0.0;
@@ -215,7 +221,10 @@ SimResult metaopt::simulateLoop(const Loop &L, unsigned Factor,
   double EpilogueCycles = 0.0;
   if (TripInfo.EpilogueIterations > 0) {
     Loop EpilogueLoop = L;
-    optimizeMemory(EpilogueLoop);
+    {
+      SymbolicAnalysis Symbolic(EpilogueLoop);
+      optimizeMemory(EpilogueLoop, &Symbolic);
+    }
     BodyCost Epilogue = listScheduledBodyCost(EpilogueLoop, Machine, Ctx);
     EpilogueCycles = Epilogue.PerIteration * TripInfo.EpilogueIterations +
                      Machine.config().MispredictPenalty + 2.0;

@@ -2,6 +2,8 @@
 
 #include "transform/MemoryOpt.h"
 
+#include "analysis/symbolic/Disjointness.h"
+
 #include <algorithm>
 #include <cassert>
 #include <cstdlib>
@@ -38,22 +40,39 @@ bool mayOverlap(const MemRef &A, const MemRef &B) {
   return Delta < std::max(A.SizeBytes, B.SizeBytes);
 }
 
-/// Availability tables for one forward walk.
+/// Availability tables for one forward walk. Entries remember the access
+/// summary of the instruction that produced them (null without a symbolic
+/// analysis) so a later store can be proven disjoint instead of killing.
 class AvailabilityState {
 public:
-  /// Kills every entry a write to \p Ref could touch, then (for a clean
+  AvailabilityState(const SymbolicAnalysis *SA, MemoryOptStats &Stats)
+      : SA(SA), Stats(Stats) {}
+
+  /// Kills every entry a write to \p Store could touch, then (for a clean
   /// direct store) records the stored value.
-  void onStore(const Instruction &Store) {
-    killOverlapping(Store.Mem);
+  void onStore(const Instruction &Store, const AccessSummary *Summary) {
+    // A store proven never to execute writes nothing: it invalidates no
+    // availability entry and provides no value.
+    if (Summary && Summary->Guard == PredFact::AlwaysFalse) {
+      ++Stats.DeadStoresIgnored;
+      return;
+    }
+    killOverlapping(Store.Mem, Summary);
+    bool Unpredicated = Store.Pred == NoReg;
+    if (!Unpredicated && Summary &&
+        Summary->Guard == PredFact::AlwaysTrue) {
+      Unpredicated = true;
+      ++Stats.PromotedGuards;
+    }
     // A narrow store truncates the register on the way to memory (int64
     // to int32, double to float), so the stored register does not hold
     // the bytes a later load of the slot would produce; only full-width
     // stores may forward. Found by differential fuzzing
     // (tests/fuzz_seeds/). Load-to-load redundancy stays width-agnostic:
     // two loads of one slot narrow identically.
-    if (!Store.Mem.Indirect && Store.Pred == NoReg &&
-        Store.Mem.SizeBytes == 8)
-      StoredValue[keyOf(Store.Mem)] = {Store.Operands[0], Store.Mem};
+    if (!Store.Mem.Indirect && Unpredicated && Store.Mem.SizeBytes == 8)
+      StoredValue[keyOf(Store.Mem)] = {Store.Operands[0], Store.Mem,
+                                       Summary};
   }
 
   void onCall() {
@@ -77,20 +96,30 @@ public:
     return NoReg;
   }
 
-  void recordLoad(const Instruction &Load) {
-    LoadedValue[keyOf(Load.Mem)] = {Load.Dest, Load.Mem};
+  void recordLoad(const Instruction &Load, const AccessSummary *Summary) {
+    LoadedValue[keyOf(Load.Mem)] = {Load.Dest, Load.Mem, Summary};
   }
 
 private:
   struct Entry {
     RegId Value = NoReg;
     MemRef Ref;
+    const AccessSummary *Summary = nullptr;
   };
 
-  void killOverlapping(const MemRef &Ref) {
+  void killOverlapping(const MemRef &Ref,
+                       const AccessSummary *StoreSummary) {
     auto Sweep = [&](std::map<AddressKey, Entry> &Table) {
       for (auto It = Table.begin(); It != Table.end();) {
-        if (mayOverlap(It->second.Ref, Ref))
+        bool Kill = mayOverlap(It->second.Ref, Ref);
+        // Same-iteration disjointness proof: the write cannot touch the
+        // bytes this entry holds, so the entry survives.
+        if (Kill && SA && StoreSummary && It->second.Summary &&
+            provesDisjoint(*SA, *It->second.Summary, *StoreSummary, 0)) {
+          Kill = false;
+          ++Stats.DisjointnessWins;
+        }
+        if (Kill)
           It = Table.erase(It);
         else
           ++It;
@@ -100,19 +129,22 @@ private:
     Sweep(LoadedValue);
   }
 
+  const SymbolicAnalysis *SA;
+  MemoryOptStats &Stats;
   std::map<AddressKey, Entry> StoredValue;
   std::map<AddressKey, Entry> LoadedValue;
 };
 
 } // namespace
 
-MemoryOptStats metaopt::optimizeMemory(Loop &L) {
+MemoryOptStats metaopt::optimizeMemory(Loop &L,
+                                       const SymbolicAnalysis *Symbolic) {
   MemoryOptStats Stats;
 
   //===------------------------------------------------------------------===
   // Pass 1: store-to-load forwarding and redundant load elimination.
   //===------------------------------------------------------------------===
-  AvailabilityState Avail;
+  AvailabilityState Avail(Symbolic, Stats);
   std::map<RegId, RegId> Replacement;
   auto Resolve = [&](RegId Reg) {
     while (true) {
@@ -123,10 +155,18 @@ MemoryOptStats metaopt::optimizeMemory(Loop &L) {
     }
   };
 
+  // Summaries ride along with the surviving instructions so pass 2 can
+  // consult the prover by post-rewrite body index.
   std::vector<Instruction> NewBody;
+  std::vector<const AccessSummary *> NewSummaries;
   NewBody.reserve(L.body().size());
-  for (Instruction Instr : L.body()) {
-    // Rewrite operands through the replacement map first.
+  NewSummaries.reserve(L.body().size());
+  for (uint32_t Index = 0; Index < L.body().size(); ++Index) {
+    Instruction Instr = L.body()[Index];
+    const AccessSummary *Summary =
+        Symbolic ? Symbolic->accessAt(Index) : nullptr;
+    // Rewrite operands through the replacement map first. (Replacements
+    // preserve values, so the pre-pass summaries remain accurate.)
     for (RegId &Operand : Instr.Operands)
       Operand = Resolve(Operand);
     if (Instr.Pred != NoReg)
@@ -135,15 +175,25 @@ MemoryOptStats metaopt::optimizeMemory(Loop &L) {
     if (Instr.isCall()) {
       Avail.onCall();
       NewBody.push_back(std::move(Instr));
+      NewSummaries.push_back(Summary);
       continue;
     }
     if (Instr.isStore()) {
-      Avail.onStore(Instr);
+      Avail.onStore(Instr, Summary);
       NewBody.push_back(std::move(Instr));
+      NewSummaries.push_back(Summary);
       continue;
     }
-    if (!Instr.isLoad() || Instr.Mem.Indirect || Instr.Pred != NoReg) {
+    bool Predicated = Instr.Pred != NoReg;
+    if (Predicated && Summary && Summary->Guard == PredFact::AlwaysTrue) {
+      // The guard is proven true on every iteration: the load always
+      // executes and its destination always holds the loaded bytes.
+      Predicated = false;
+      ++Stats.PromotedGuards;
+    }
+    if (!Instr.isLoad() || Instr.Mem.Indirect || Predicated) {
       NewBody.push_back(std::move(Instr));
+      NewSummaries.push_back(Summary);
       continue;
     }
 
@@ -158,8 +208,9 @@ MemoryOptStats metaopt::optimizeMemory(Loop &L) {
         ++Stats.RedundantLoads;
       continue;
     }
-    Avail.recordLoad(Instr);
+    Avail.recordLoad(Instr, Summary);
     NewBody.push_back(std::move(Instr));
+    NewSummaries.push_back(Summary);
   }
   L.body() = std::move(NewBody);
   for (PhiNode &Phi : L.phis())
@@ -174,7 +225,13 @@ MemoryOptStats metaopt::optimizeMemory(Loop &L) {
       Groups;
   for (uint32_t Index = 0; Index < L.body().size(); ++Index) {
     const Instruction &Instr = L.body()[Index];
-    if (!Instr.isLoad() || Instr.Mem.Indirect || Instr.Pred != NoReg ||
+    bool Predicated = Instr.Pred != NoReg;
+    if (Predicated && NewSummaries[Index] &&
+        NewSummaries[Index]->Guard == PredFact::AlwaysTrue) {
+      Predicated = false;
+      ++Stats.PromotedGuards;
+    }
+    if (!Instr.isLoad() || Instr.Mem.Indirect || Predicated ||
         Instr.Paired || Instr.Mem.SizeBytes != 8 || Instr.Mem.Stride == 0)
       continue;
     Groups[{Instr.Mem.BaseSym, Instr.Mem.Stride}].emplace_back(
@@ -182,15 +239,27 @@ MemoryOptStats metaopt::optimizeMemory(Loop &L) {
   }
 
   // A pair is only legal when no store to the same symbol sits between
-  // the two loads (the wide access would read stale bytes).
+  // the two loads (the wide access would read stale bytes) — unless the
+  // prover certifies the store touches neither load's bytes on any
+  // iteration.
   auto StoreBetween = [&](int32_t Sym, uint32_t Lo, uint32_t Hi) {
     for (uint32_t Index = Lo + 1; Index < Hi; ++Index) {
       const Instruction &Instr = L.body()[Index];
       if (Instr.isCall())
         return true;
-      if (Instr.isStore() &&
-          (Instr.Mem.BaseSym == Sym || Instr.Mem.Indirect))
-        return true;
+      if (!Instr.isStore() ||
+          (Instr.Mem.BaseSym != Sym && !Instr.Mem.Indirect))
+        continue;
+      if (Symbolic && NewSummaries[Index] && NewSummaries[Lo] &&
+          NewSummaries[Hi] &&
+          provesDisjoint(*Symbolic, *NewSummaries[Lo],
+                         *NewSummaries[Index], 0) &&
+          provesDisjoint(*Symbolic, *NewSummaries[Hi],
+                         *NewSummaries[Index], 0)) {
+        ++Stats.DisjointnessWins;
+        continue;
+      }
+      return true;
     }
     return false;
   };

@@ -20,6 +20,17 @@
 /// The simulator runs this pass right after unrolling, so these benefits
 /// (and their interaction with the unroll factor) are part of every label.
 ///
+/// When a SymbolicAnalysis of the loop is supplied, the pass upgrades its
+/// conservative bail-outs with the analysis's proofs (every proof is also
+/// replayed against the reference interpreter by the static-claims and
+/// memory-opt fuzz oracles):
+///  - a memory op whose guard is proven always-true participates as if it
+///    were unpredicated;
+///  - a store proven always-false never executes and invalidates nothing;
+///  - a store proven disjoint (same iteration) from an available load or
+///    stored value no longer kills that availability entry, and a store
+///    sitting between two pairable loads no longer blocks the pair.
+///
 //===----------------------------------------------------------------------===//
 
 #ifndef METAOPT_TRANSFORM_MEMORYOPT_H
@@ -29,17 +40,27 @@
 
 namespace metaopt {
 
+class SymbolicAnalysis;
+
 /// What the pass did (diagnostics/tests).
 struct MemoryOptStats {
   unsigned ForwardedLoads = 0; ///< Loads replaced by a stored value.
   unsigned RedundantLoads = 0; ///< Loads replaced by an earlier load.
   unsigned PairedLoads = 0;    ///< Loads merged into a wide access.
+  // Symbolic refinements; all zero when no analysis was supplied.
+  unsigned PromotedGuards = 0;    ///< Ops handled via always-true proofs.
+  unsigned DisjointnessWins = 0;  ///< Bail-outs skipped via disjointness.
+  unsigned DeadStoresIgnored = 0; ///< Always-false stores that killed
+                                  ///< nothing.
 };
 
 /// Optimizes \p L in place; the result remains well-formed. Only
 /// unpredicated direct references participate; indirect references and
-/// anything across a call are left alone.
-MemoryOptStats optimizeMemory(Loop &L);
+/// anything across a call are left alone. \p Symbolic, when non-null,
+/// must be an analysis of \p L in its current form; its proofs relax the
+/// conservative checks as described above.
+MemoryOptStats optimizeMemory(Loop &L,
+                              const SymbolicAnalysis *Symbolic = nullptr);
 
 } // namespace metaopt
 

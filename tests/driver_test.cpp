@@ -93,6 +93,43 @@ TEST(LabelCollectorTest, DeterministicAcrossRuns) {
   }
 }
 
+TEST(LabelCollectorTest, PruningPreservesTheDatasetAndReportsStats) {
+  std::vector<Benchmark> Corpus = buildCorpus(tinyCorpus());
+  LabelingOptions Off = tinyLabeling();
+  Off.PruneEquivalent = false;
+  LabelingOptions On = tinyLabeling();
+  LabelingStats StatsOff, StatsOn;
+  Dataset A = collectLabels(Corpus, Off, nullptr, &StatsOff);
+  Dataset B = collectLabels(Corpus, On, nullptr, &StatsOn);
+  // The canonical-form certificate (analysis/symbolic/Canonical.h): the
+  // pruned sweep produces the byte-identical dataset.
+  EXPECT_EQ(A.toCsv(), B.toCsv());
+  EXPECT_EQ(StatsOff.SimulationsPruned, 0u);
+  EXPECT_EQ(StatsOff.EquivalenceClasses, StatsOff.TotalLoops);
+  EXPECT_EQ(StatsOn.TotalLoops, StatsOff.TotalLoops);
+  EXPECT_GE(StatsOn.EquivalenceClasses, 1u);
+  EXPECT_LE(StatsOn.EquivalenceClasses, StatsOn.TotalLoops);
+  EXPECT_EQ(StatsOn.SimulationsRun + StatsOn.SimulationsPruned,
+            StatsOn.TotalLoops * MaxUnrollFactor);
+}
+
+TEST(LabelCollectorTest, EquivalentLoopsShareOneSimulationClass) {
+  // Clone a benchmark under a new name: every cloned loop is sim-
+  // equivalent to its original (the canonical form erases names), so the
+  // class count stays put while the loop count doubles.
+  std::vector<Benchmark> Corpus = buildCorpus(tinyCorpus());
+  std::vector<Benchmark> Doubled = {Corpus[0], Corpus[0]};
+  Doubled[1].Name = "clone." + Doubled[1].Name;
+
+  LabelingStats Stats;
+  collectLabels(Doubled, tinyLabeling(), nullptr, &Stats);
+  ASSERT_EQ(Stats.TotalLoops, 2 * Corpus[0].Loops.size());
+  EXPECT_LE(Stats.EquivalenceClasses, Corpus[0].Loops.size());
+  EXPECT_GE(Stats.SimulationsPruned,
+            Corpus[0].Loops.size() * MaxUnrollFactor);
+  EXPECT_GT(Stats.pruningRate(), 0.0);
+}
+
 TEST(LabelCollectorTest, SwpConfigurationDiffers) {
   std::vector<Benchmark> Corpus = buildCorpus(tinyCorpus());
   LabelingOptions NoSwp = tinyLabeling();

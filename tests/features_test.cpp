@@ -40,14 +40,14 @@ Loop makeDaxpy(int64_t Trip = 1024) {
 // Catalogue
 //===----------------------------------------------------------------------===//
 
-TEST(FeatureCatalogTest, ThirtyEightUniqueNames) {
+TEST(FeatureCatalogTest, FortyOneUniqueNames) {
   std::set<std::string> Names;
   for (unsigned I = 0; I < NumFeatures; ++I) {
     FeatureId Id = static_cast<FeatureId>(I);
     EXPECT_TRUE(Names.insert(featureName(Id)).second) << featureName(Id);
     EXPECT_NE(std::string(featureDescription(Id)), "");
   }
-  EXPECT_EQ(Names.size(), 38u);
+  EXPECT_EQ(Names.size(), 41u);
 }
 
 TEST(FeatureCatalogTest, FullSetCoversEverything) {
@@ -278,4 +278,46 @@ TEST(NormalizerTest, SubsetSelectsAndOrders) {
   // First output dimension must be NumMemOps (the subset's order).
   EXPECT_LT(Out[0], 0.0); // 22 below the fit mean 24.
   EXPECT_LT(Out[1], 0.0); // 11 below the fit mean 12.
+}
+
+//===----------------------------------------------------------------------===//
+// Symbolic-prover features
+//===----------------------------------------------------------------------===//
+
+TEST(FeatureExtractorTest, SymbolicProverFeatures) {
+  // daxpy: every same-symbol pair advances 8 bytes per iteration over
+  // disjoint slots, so every lag is proven disjoint.
+  FeatureVector F = extractFeatures(makeDaxpy());
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::MinSymbolicDepDistance),
+                   MaxUnrollFactor + 1.0);
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::ProvableDisjointFraction), 1.0);
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::ReachablePredicatedStores), 0.0);
+
+  // First-order recurrence a[i] = f(a[i-1]): the lag-1 store->load pair
+  // is a genuine carried dependence the prover must refuse.
+  LoopBuilder B("recur", SourceLanguage::C, 1, 256);
+  RegId Prev = B.load(RegClass::Float, {0, 8, -8, false, 8});
+  RegId Next = B.fadd(Prev, Prev);
+  B.store(Next, {0, 8, 0, false, 8});
+  FeatureVector R = extractFeatures(B.finalize());
+  EXPECT_DOUBLE_EQ(get(R, FeatureId::MinSymbolicDepDistance), 1.0);
+  EXPECT_LT(get(R, FeatureId::ProvableDisjointFraction), 1.0);
+}
+
+TEST(FeatureExtractorTest, ReachablePredicatedStoresExcludesProvenDead) {
+  LoopBuilder B("pred", SourceLanguage::C, 1, 256);
+  RegId X = B.load(RegClass::Float, {0, 8, 0, false, 8});
+  RegId Y = B.load(RegClass::Float, {1, 8, 0, false, 8});
+  RegId P = B.fcmp(X, Y); // Data-dependent: reachable.
+  B.setPredicate(P);
+  B.store(X, {2, 8, 0, false, 8});
+  B.clearPredicate();
+  RegId One = B.iconst(1);
+  RegId Two = B.iconst(2);
+  RegId Dead = B.icmp(Two, One); // 2 < 1: provably false.
+  B.setPredicate(Dead);
+  B.store(Y, {3, 8, 0, false, 8});
+  B.clearPredicate();
+  FeatureVector F = extractFeatures(B.finalize());
+  EXPECT_DOUBLE_EQ(get(F, FeatureId::ReachablePredicatedStores), 1.0);
 }

@@ -15,7 +15,9 @@
 #include "concurrency/ThreadPool.h"
 #include "fuzz/FuzzLoopGen.h"
 #include "fuzz/Fuzzer.h"
+#include "fuzz/Oracles.h"
 #include "fuzz/Shrinker.h"
+#include "ir/LoopBuilder.h"
 #include "ir/Printer.h"
 #include "ir/Verifier.h"
 
@@ -199,3 +201,114 @@ TEST(FuzzTest, ReproFileNameShape) {
 }
 
 } // namespace
+
+//===----------------------------------------------------------------------===//
+// static-claims oracle
+//===----------------------------------------------------------------------===//
+
+TEST(StaticClaimsOracleTest, RealAnalysisClaimsSurviveExecution) {
+  // A loop the analysis can say a lot about: a provably-true guard, a
+  // provably-dead store, stride-disjoint accesses, and the induction
+  // increment (a range-bounded value). Every claim must survive the
+  // traced execution, and the canonical-form certificate must hold.
+  LoopBuilder B("claimful", SourceLanguage::C, 1, 100);
+  RegId One = B.iconst(1);
+  RegId Two = B.iconst(2);
+  RegId Live = B.icmp(One, Two); // 1 < 2: always true.
+  RegId Dead = B.icmp(Two, One); // 2 < 1: always false.
+  RegId X = B.load(RegClass::Float, {0, 8, 0, false, 8});
+  B.setPredicate(Live);
+  B.store(X, {1, 8, 0, false, 8});
+  B.clearPredicate();
+  B.setPredicate(Dead);
+  B.store(X, {0, 8, 0, false, 8});
+  B.clearPredicate();
+  Loop L = B.finalize();
+  ASSERT_TRUE(isWellFormed(L));
+
+  SymbolicAnalysis Symbolic(L);
+  EXPECT_FALSE(Symbolic.claims().empty());
+  std::vector<OracleFailure> Out;
+  oracleStaticClaims(L, /*Seed=*/7, Out);
+  EXPECT_TRUE(Out.empty()) << Out.front().Detail;
+}
+
+TEST(StaticClaimsOracleTest, RefutesADeliberatelyUnsoundStubAnalysis) {
+  // The regression guarantee: if the symbolic analysis ever starts
+  // emitting wrong claims, the oracle must catch them. Stand in for that
+  // future bug with hand-written claims that are each concretely false.
+  LoopBuilder B("unsound", SourceLanguage::C, 1, 64);
+  RegId X = B.load(RegClass::Float, {0, 8, 0, false, 8}); // body[0]
+  B.store(X, {0, 8, 4, false, 8});                        // body[1]
+  RegId One = B.iconst(1);                                // body[2]
+  RegId Two = B.iconst(2);                                // body[3]
+  RegId Dead = B.icmp(Two, One);                          // body[4]
+  B.setPredicate(Dead);
+  B.store(X, {1, 8, 0, false, 8});                        // body[5]
+  B.clearPredicate();
+  Loop L = B.finalize();
+  ASSERT_TRUE(isWellFormed(L));
+
+  std::vector<StaticClaim> Stub;
+  // body[0] reads [8i, 8i+8) and body[1] writes [8i+4, 8i+12): they
+  // overlap on every iteration, so "same-iteration disjoint" is false.
+  StaticClaim Disjoint;
+  Disjoint.K = StaticClaim::Kind::Disjoint;
+  Disjoint.A = 0;
+  Disjoint.B = 1;
+  Disjoint.Lag = 0;
+  Stub.push_back(Disjoint);
+  // body[5]'s guard is 2 < 1: off on every iteration.
+  StaticClaim Guard;
+  Guard.K = StaticClaim::Kind::GuardAlwaysTrue;
+  Guard.A = 5;
+  Stub.push_back(Guard);
+  // body[2] defines the constant 1; [5, 9] excludes it.
+  StaticClaim Range;
+  Range.K = StaticClaim::Kind::RangeBound;
+  Range.Reg = One;
+  Range.Lo = 5;
+  Range.Hi = 9;
+  Stub.push_back(Range);
+
+  std::vector<OracleFailure> Out;
+  checkClaimsAgainstExecution(L, Stub, /*Seed=*/7, Out);
+  ASSERT_EQ(Out.size(), 3u);
+  for (const OracleFailure &Failure : Out) {
+    EXPECT_EQ(Failure.Oracle, "static-claims");
+    EXPECT_NE(Failure.Detail.find("refuted"), std::string::npos);
+  }
+  EXPECT_NE(Out[0].Detail.find("disjoint"), std::string::npos);
+  EXPECT_NE(Out[1].Detail.find("guard-always-true"), std::string::npos);
+  EXPECT_NE(Out[2].Detail.find("range"), std::string::npos);
+
+  // The real analysis on the same loop produces only sound claims.
+  SymbolicAnalysis Symbolic(L);
+  std::vector<OracleFailure> Sound;
+  checkClaimsAgainstExecution(L, Symbolic.claims(), /*Seed=*/7, Sound);
+  EXPECT_TRUE(Sound.empty()) << Sound.front().Detail;
+}
+
+TEST(StaticClaimsOracleTest, VacuousClaimsOnDeadGuardsAreNotRefuted) {
+  // A store that never executes participates in no overlap, however its
+  // address collides on paper: disjointness under an always-false guard
+  // must be accepted as vacuously true, mirroring provesDisjoint().
+  LoopBuilder B("vacuous", SourceLanguage::C, 1, 16);
+  RegId X = B.load(RegClass::Float, {0, 8, 0, false, 8}); // body[0]
+  RegId One = B.iconst(1);
+  RegId Two = B.iconst(2);
+  RegId Dead = B.icmp(Two, One);
+  B.setPredicate(Dead);
+  B.store(X, {0, 8, 0, false, 8}); // body[4]: same bytes as body[0].
+  B.clearPredicate();
+  Loop L = B.finalize();
+
+  StaticClaim Claim;
+  Claim.K = StaticClaim::Kind::Disjoint;
+  Claim.A = 0;
+  Claim.B = 4;
+  Claim.Lag = 0;
+  std::vector<OracleFailure> Out;
+  checkClaimsAgainstExecution(L, {Claim}, /*Seed=*/7, Out);
+  EXPECT_TRUE(Out.empty()) << Out.front().Detail;
+}

@@ -262,6 +262,61 @@ TEST(ImportLowering, DirectivesResetBetweenLoops) {
   EXPECT_EQ(Result.Loops[1].Prov.ImportFile, "two.mloop");
 }
 
+TEST(ImportLowering, ArrayDirectivesResolveToInternedSymbols) {
+  ImportResult Result = importLoops(
+      "mloop 1\n"
+      "array @a extent=1024 stride=8\n"
+      "array @b stride=16\n"
+      "array @unused extent=64\n"
+      "array @7 extent=256\n"
+      "loop \"k\" trip=64 {\n"
+      "  %x = load f64 @a[stride=8, offset=0, size=8]\n"
+      "  store f64 %x, @b[stride=8, offset=0, size=8]\n"
+      "  store f64 %x, @7[stride=8, offset=0, size=8]\n"
+      "}\n"
+      "loop \"next\" trip=8 {\n"
+      "  %y = load f64 @a[stride=8, offset=0, size=8]\n"
+      "}\n",
+      "arr.mloop");
+  ASSERT_TRUE(Result.succeeded()) << Result.Report.renderText();
+  ASSERT_EQ(Result.Loops.size(), 2u);
+  const LoopSymbolContext &Symbols = Result.Loops[0].Symbols;
+  // @unused is dropped; @a, @b resolve to interned ids; @7 is verbatim.
+  ASSERT_EQ(Symbols.Decls.size(), 3u);
+  const SymbolDecl *A = nullptr;
+  for (const SymbolDecl &Decl : Symbols.Decls)
+    if (Decl.Name == "a")
+      A = &Decl;
+  ASSERT_NE(A, nullptr);
+  EXPECT_EQ(A->ExtentBytes, 1024);
+  EXPECT_TRUE(A->HasStride);
+  EXPECT_EQ(A->DeclaredStride, 8);
+  ASSERT_NE(Symbols.find(7), nullptr);
+  EXPECT_EQ(Symbols.find(7)->ExtentBytes, 256);
+  EXPECT_FALSE(Symbols.find(7)->HasStride);
+  // Like every other directive, array declarations bind to the next
+  // loop only.
+  EXPECT_TRUE(Result.Loops[1].Symbols.empty());
+}
+
+TEST(ImportDiagnostics, ArrayDirectiveNegatives) {
+  // No keys at all.
+  expectRejected("mloop 1\narray @a\n" + wrap("  %a = const i64 1\n"),
+                 "I020");
+  // Unknown key.
+  expectRejected("mloop 1\narray @a size=8\n" +
+                     wrap("  %a = const i64 1\n"),
+                 "I020");
+  // Negative extent.
+  expectRejected("mloop 1\narray @a extent=-4\n" +
+                     wrap("  %a = const i64 1\n"),
+                 "I020");
+  // Duplicate declaration of one symbol.
+  expectRejected("mloop 1\narray @a extent=8\narray @a extent=16\n" +
+                     wrap("  %a = const i64 1\n"),
+                 "I020");
+}
+
 TEST(ImportLowering, StrictRejectsWholeFileLenientKeepsCleanLoops) {
   const char *Text = "mloop 1\n"
                      "loop \"good\" trip=8 {\n  %a = const i64 1\n}\n"

@@ -342,3 +342,69 @@ TEST(InterpTest, CorpusGoldenDigests) {
 }
 
 } // namespace
+
+TEST(InterpTest, TraceRecordsGuardsAddressesAndIntDests) {
+  LoopBuilder B("trace", SourceLanguage::C, 1, 3);
+  RegId One = B.iconst(1);
+  RegId Two = B.iconst(2);
+  RegId Dead = B.icmp(Two, One); // 2 < 1: false every iteration.
+  RegId X = B.load(RegClass::Float, {0, 8, 0, false, 8});
+  B.setPredicate(Dead);
+  B.store(X, {1, 8, 0, false, 8});
+  B.clearPredicate();
+  Loop L = B.finalize();
+
+  ExecTrace Trace;
+  ExecOptions Opts;
+  Opts.Trace = &Trace;
+  interpretLoop(L, Opts);
+
+  // Every body instruction of every iteration is recorded, in order.
+  ASSERT_EQ(Trace.Steps.size(), 3 * L.body().size());
+  for (int64_t Iter = 0; Iter < 3; ++Iter) {
+    size_t Base = static_cast<size_t>(Iter) * L.body().size();
+    const ExecTraceStep &Const = Trace.Steps[Base + 0];
+    EXPECT_EQ(Const.Iteration, Iter);
+    EXPECT_TRUE(Const.GuardOn);
+    EXPECT_TRUE(Const.HasIntDest);
+    EXPECT_EQ(Const.IntDest, 1);
+    EXPECT_FALSE(Const.IsMemory);
+
+    const ExecTraceStep &Ld = Trace.Steps[Base + 3];
+    EXPECT_TRUE(Ld.GuardOn);
+    EXPECT_TRUE(Ld.IsMemory);
+    EXPECT_EQ(Ld.Address, 8 * Iter); // Offset 0, stride 8.
+    EXPECT_FALSE(Ld.HasIntDest);     // Float destination.
+
+    const ExecTraceStep &St = Trace.Steps[Base + 4];
+    EXPECT_FALSE(St.GuardOn); // Predicated off every iteration.
+    EXPECT_FALSE(St.IsMemory);
+  }
+}
+
+TEST(InterpTest, TraceStopsAtEarlyExit) {
+  LoopBuilder B("traceexit", SourceLanguage::C, 1, 10);
+  RegId C = B.phi(RegClass::Int, "c");
+  RegId One = B.iconst(1);
+  RegId Next = B.iadd(C, One);
+  B.setPhiRecur(C, Next);
+  RegId Bound = B.liveIn(RegClass::Int, "bound");
+  RegId Hit = B.icmp(Bound, Next); // bound < c+1
+  B.exitIf(Hit, 0.1);
+  RegId X = B.load(RegClass::Float, {0, 8, 0, false, 8});
+  B.store(X, {1, 8, 0, false, 8});
+  Loop L = B.finalize();
+
+  ExecTrace Trace;
+  ExecOptions Opts;
+  Opts.Trace = &Trace;
+  Opts.LiveInOverrides[L.phis()[0].Init] = intVal(0);
+  Opts.LiveInOverrides[Bound] = intVal(3);
+  ExecResult R = interpretLoop(L, Opts);
+  ASSERT_TRUE(R.Exited);
+  // The firing ExitIf is the last recorded step; nothing after it ran.
+  ASSERT_FALSE(Trace.Steps.empty());
+  const ExecTraceStep &Last = Trace.Steps.back();
+  EXPECT_EQ(Last.BodyIndex, static_cast<uint32_t>(R.ExitBodyIndex));
+  EXPECT_EQ(Last.Iteration, R.ExitIteration);
+}

@@ -21,6 +21,10 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+#include <cstdio>
+#include <set>
+
 using namespace metaopt;
 
 namespace {
@@ -87,6 +91,25 @@ TEST(Diagnostics, RenderingCarriesAnchorAndId) {
 
 TEST(Diagnostics, JsonEscapesQuotesAndControlChars) {
   EXPECT_EQ(jsonEscape("a\"b\nc\\"), "a\\\"b\\nc\\\\");
+}
+
+TEST(Diagnostics, OriginWrappedJsonIsTheSharedSweepShape) {
+  // Golden: every multi-unit sweeper (metaopt-lint, metaopt-import)
+  // emits exactly this shape per diagnostic.
+  Diagnostic D;
+  D.Id = "A002-dead-predicated-store";
+  D.Sev = Severity::Warning;
+  D.LoopName = "k";
+  D.BodyIndex = 3;
+  D.Message = "store is provably dead";
+  EXPECT_EQ(renderDiagnosticJson(D, "corpus/imported/k.mloop"),
+            "{\"origin\":\"corpus/imported/k.mloop\",\"diagnostic\":"
+            "{\"id\": \"A002-dead-predicated-store\", "
+            "\"severity\": \"warning\", \"loop\": \"k\", \"instr\": 3, "
+            "\"message\": \"store is provably dead\"}}");
+  EXPECT_EQ(renderDiagnosticJson(D, "quo\"te"),
+            "{\"origin\":\"quo\\\"te\",\"diagnostic\":" +
+                renderDiagnosticJson(D) + "}");
 }
 
 TEST(Diagnostics, ReportCountsBySeverityAndId) {
@@ -222,8 +245,8 @@ TEST(SourceLocations, PhiLinesRecordedAndPropagatedThroughUnroll) {
 
 TEST(LintPasses, RegistryCoversAllIdsInOrder) {
   const std::vector<LintPass> &Passes = lintPasses();
-  ASSERT_EQ(Passes.size(), 8u);
-  EXPECT_STREQ(Passes.front().Id, diag::LintUseBeforeDef);
+  ASSERT_EQ(Passes.size(), 12u);
+  EXPECT_STREQ(Passes.front().Id, diag::LintContextOutOfBounds);
   EXPECT_STREQ(Passes.back().Id, diag::LintDepGraphLegality);
   for (size_t I = 1; I < Passes.size(); ++I)
     EXPECT_LT(std::string(Passes[I - 1].Id), std::string(Passes[I].Id));
@@ -289,7 +312,10 @@ TEST(LintPasses, L005DeadPredicate) {
                      "  %p_c = icmp %i_a, %i_a\n"
                      "  (%p_c) store %f_v, @0[stride=8, offset=0, size=8]\n";
   DiagnosticReport Report = lintLoop(parseOne(Text + Tail), lintOnly());
-  EXPECT_TRUE(firesExactly(Report, "L005")) << Report.renderText();
+  // The dataflow engine flags the constant guard (L005) and the symbolic
+  // analysis independently proves the guarded store dead (A002).
+  EXPECT_GE(Report.countId("L005"), 1u) << Report.renderText();
+  EXPECT_EQ(Report.countId("A002"), 1u) << Report.renderText();
 }
 
 TEST(LintPasses, L005ConstantPropagatesThroughCopies) {
@@ -347,6 +373,94 @@ TEST(LintPasses, L008DependenceLegality) {
   checkDependenceLegality(L, Graph, Stale);
   EXPECT_TRUE(firesExactly(Stale, "L008")) << Stale.renderText();
   EXPECT_TRUE(Stale.hasErrors());
+}
+
+//===----------------------------------------------------------------------===//
+// A-series: symbolic-analysis-backed passes, one bad loop per ID
+//===----------------------------------------------------------------------===//
+
+TEST(LintPasses, A001ContextOutOfBounds) {
+  // 128 iterations at stride 8 touch bytes [0, 1024); @0 declares only
+  // 512 of them. @1 is declared big enough and must stay silent.
+  std::string Text = "loop \"oob\" lang=C nest=1 trip=128 rtrip=128 {\n"
+                     "  %f_v = load @0[stride=8, offset=0, size=8]\n"
+                     "  store %f_v, @1[stride=8, offset=0, size=8]\n";
+  LoopSymbolContext Symbols;
+  Symbols.Decls.push_back({0, "a", 512, 0, false});
+  Symbols.Decls.push_back({1, "b", 1024, 0, false});
+  LintOptions Options = lintOnly();
+  Options.Symbols = &Symbols;
+  DiagnosticReport Report = lintLoop(parseOne(Text + Tail), Options);
+  EXPECT_EQ(Report.countId("A001"), 1u) << Report.renderText();
+  EXPECT_EQ(Report.diagnostics().front().BodyIndex, 0);
+
+  // Without any declared context the pass is vacuous.
+  DiagnosticReport Bare = lintLoop(parseOne(Text + Tail), lintOnly());
+  EXPECT_EQ(Bare.countId("A001"), 0u) << Bare.renderText();
+}
+
+TEST(LintPasses, A002DeadPredicatedStore) {
+  std::string Text = "loop \"deadstore\" lang=C nest=1 trip=64 rtrip=64 {\n"
+                     "  %f_v = load @0[stride=8, offset=0, size=8]\n"
+                     "  %p_g = fcmp %f_v, %f_v\n"
+                     "  (%p_g) store %f_v, @1[stride=8, offset=0, size=8]\n";
+  DiagnosticReport Report = lintLoop(parseOne(Text + Tail), lintOnly());
+  EXPECT_EQ(Report.countId("A002"), 1u) << Report.renderText();
+}
+
+TEST(LintPasses, A003OverflowProneIvArithmetic) {
+  // Folding the two constants wraps int64; the wrap must be reported at
+  // the iadd that originates it, not at every tainted user.
+  std::string Text =
+      "loop \"wrap\" lang=C nest=1 trip=64 rtrip=64 {\n"
+      "  %i_big = iconst 9223372036854775800\n"
+      "  %i_also = iconst 4611686018427387904\n"
+      "  %i_sum = iadd %i_big, %i_also\n"
+      "  %i_more = iadd %i_sum, %i_also\n"
+      "  %f_v = fcvt %i_more\n"
+      "  store %f_v, @0[stride=8, offset=0, size=8]\n";
+  DiagnosticReport Report = lintLoop(parseOne(Text + Tail), lintOnly());
+  EXPECT_EQ(Report.countId("A003"), 1u) << Report.renderText();
+}
+
+TEST(LintPasses, A004ContradictoryStrideDeclaration) {
+  std::string Text = "loop \"badstride\" lang=C nest=1 trip=64 rtrip=64 {\n"
+                     "  %f_v = load @0[stride=8, offset=0, size=8]\n"
+                     "  store %f_v, @1[stride=8, offset=0, size=8]\n";
+  LoopSymbolContext Symbols;
+  Symbols.Decls.push_back({0, "a", -1, 16, true});
+  Symbols.Decls.push_back({1, "b", -1, 8, true});
+  LintOptions Options = lintOnly();
+  Options.Symbols = &Symbols;
+  DiagnosticReport Report = lintLoop(parseOne(Text + Tail), Options);
+  EXPECT_EQ(Report.countId("A004"), 1u) << Report.renderText();
+}
+
+TEST(LintPasses, ASeriesStaysSilentOnCleanShapes) {
+  // The negative side of every A-series pass in one well-declared loop:
+  // in-bounds accesses (A001), a runtime-varying guard (A002), small
+  // constant arithmetic (A003), and truthful stride declarations (A004).
+  std::string Text =
+      "loop \"clean\" lang=C nest=1 trip=64 rtrip=64 {\n"
+      "  %f_v = load @0[stride=8, offset=0, size=8]\n"
+      "  %f_t = load @1[stride=8, offset=0, size=8]\n"
+      "  %p_g = fcmp %f_v, %f_t\n"
+      "  %i_c = iconst 3\n"
+      "  %i_d = iadd %i_c, %i_c\n"
+      "  %f_s = fcvt %i_d\n"
+      "  %f_r = fadd %f_v, %f_s\n"
+      "  (%p_g) store %f_r, @2[stride=8, offset=0, size=8]\n";
+  LoopSymbolContext Symbols;
+  Symbols.Decls.push_back({0, "a", 512, 8, true});
+  Symbols.Decls.push_back({1, "b", 512, 8, true});
+  Symbols.Decls.push_back({2, "c", 512, 8, true});
+  LintOptions Options = lintOnly();
+  Options.Symbols = &Symbols;
+  DiagnosticReport Report = lintLoop(parseOne(Text + Tail), Options);
+  EXPECT_EQ(Report.countId("A001"), 0u) << Report.renderText();
+  EXPECT_EQ(Report.countId("A002"), 0u) << Report.renderText();
+  EXPECT_EQ(Report.countId("A003"), 0u) << Report.renderText();
+  EXPECT_EQ(Report.countId("A004"), 0u) << Report.renderText();
 }
 
 TEST(LintPasses, PassFilterRunsOnlySelectedPasses) {
@@ -516,6 +630,84 @@ TEST(CorpusAudit, SweepIsDeterministicAcrossThreadCounts) {
 
   EXPECT_FALSE(Serial.empty()); // The corpus has warnings/notes.
   EXPECT_EQ(Serial, Parallel);
+}
+
+//===----------------------------------------------------------------------===//
+// Diagnostic catalog (metaopt-lint --explain)
+//===----------------------------------------------------------------------===//
+
+TEST(DiagnosticCatalog, CoversEveryRegisteredLintPass) {
+  // Every registered lint pass must have a catalog entry whose display
+  // severity includes the severity the pass is registered at.
+  for (const LintPass &Pass : lintPasses()) {
+    const DiagnosticCatalogEntry *Entry = findDiagnosticEntry(Pass.Id);
+    ASSERT_NE(Entry, nullptr) << "no catalog entry for " << Pass.Id;
+    EXPECT_STREQ(Entry->Id, Pass.Id) << "prefix lookup hit wrong entry";
+    EXPECT_NE(std::string_view(Entry->SevName).find(severityName(Pass.Sev)),
+              std::string_view::npos)
+        << Pass.Id << ": catalog says '" << Entry->SevName
+        << "' but the pass registers at " << severityName(Pass.Sev);
+  }
+}
+
+TEST(DiagnosticCatalog, CoversVerifierUnrollAndImportIds) {
+  const char *Ids[] = {
+      diag::RegOutOfRange,       diag::PhiUnsetReg,
+      diag::MultipleDef,         diag::PhiClassMismatch,
+      diag::PhiInitNotLiveIn,    diag::PhiSelfRecurrence,
+      diag::PhiRecurNotComputed, diag::DestArity,
+      diag::GuardNotPredicate,   diag::GuardBeforeDef,
+      diag::PredicatedControl,   diag::UseBeforeDef,
+      diag::OperandCount,        diag::OperandClass,
+      diag::MemSize,             diag::ExitProb,
+      diag::DestClass,           diag::LoopControl,
+      diag::UnrollShape,         diag::UnrollIsomorphism,
+      diag::UnrollStrideScaling, diag::UnrollLiveOut,
+      diag::UnrollTripAccounting};
+  for (const char *Id : Ids) {
+    const DiagnosticCatalogEntry *Entry = findDiagnosticEntry(Id);
+    ASSERT_NE(Entry, nullptr) << "no catalog entry for " << Id;
+    EXPECT_STREQ(Entry->Id, Id);
+    EXPECT_STREQ(Entry->SevName, "error");
+  }
+  // The importer's I-series: I000..I020, all errors.
+  for (int N = 0; N <= 20; ++N) {
+    char Prefix[5];
+    std::snprintf(Prefix, sizeof(Prefix), "I%03d", N);
+    const DiagnosticCatalogEntry *Entry = findDiagnosticEntry(Prefix);
+    ASSERT_NE(Entry, nullptr) << "no catalog entry for " << Prefix;
+    EXPECT_STREQ(Entry->SevName, "error");
+  }
+}
+
+TEST(DiagnosticCatalog, LookupUsesHyphenBoundaryPrefixes) {
+  const DiagnosticCatalogEntry *Full =
+      findDiagnosticEntry("L001-use-before-def");
+  const DiagnosticCatalogEntry *Short = findDiagnosticEntry("L001");
+  const DiagnosticCatalogEntry *Partial = findDiagnosticEntry("L001-use");
+  ASSERT_NE(Full, nullptr);
+  EXPECT_EQ(Full, Short);
+  EXPECT_EQ(Full, Partial);
+  EXPECT_EQ(findDiagnosticEntry("L001-us"), nullptr);
+  EXPECT_EQ(findDiagnosticEntry("L00"), nullptr);
+  EXPECT_EQ(findDiagnosticEntry("Z999"), nullptr);
+  EXPECT_EQ(findDiagnosticEntry(""), nullptr);
+}
+
+TEST(DiagnosticCatalog, IdsAreUniqueAndWellFormed) {
+  std::set<std::string> Seen;
+  for (const DiagnosticCatalogEntry &Entry : diagnosticCatalog()) {
+    std::string Id = Entry.Id;
+    EXPECT_TRUE(Seen.insert(Id).second) << "duplicate catalog id " << Id;
+    // "<letter><3 digits>-<slug>" as documented in docs/DIAGNOSTICS.md.
+    ASSERT_GE(Id.size(), 6u) << Id;
+    EXPECT_TRUE(std::isupper(static_cast<unsigned char>(Id[0]))) << Id;
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(Id[1]))) << Id;
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(Id[2]))) << Id;
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(Id[3]))) << Id;
+    EXPECT_EQ(Id[4], '-') << Id;
+    EXPECT_NE(Entry.Explanation[0], '\0') << Id << " has no explanation";
+  }
 }
 
 } // namespace

@@ -50,8 +50,7 @@ void reportText(const FileOutcome &Outcome) {
 void reportJson(const FileOutcome &Outcome) {
   const ImportResult &Result = Outcome.Result;
   for (const Diagnostic &D : Result.Report.diagnostics())
-    std::cout << "{\"file\":\"" << jsonEscape(Outcome.File)
-              << "\",\"diagnostic\":" << renderDiagnosticJson(D) << "}\n";
+    std::cout << renderDiagnosticJson(D, Outcome.File) << "\n";
   std::cout << "{\"file\":\"" << jsonEscape(Outcome.File)
             << "\",\"parsed\":" << Result.ParsedLoops
             << ",\"accepted\":" << Result.Loops.size()

@@ -19,6 +19,7 @@
 #include "concurrency/Parallel.h"
 #include "corpus/CorpusAudit.h"
 #include "import/Import.h"
+#include "ir/Diagnostics.h"
 #include "ir/Parser.h"
 #include "support/CommandLine.h"
 
@@ -57,17 +58,23 @@ std::vector<std::string> splitList(const std::string &Value) {
   return Parts;
 }
 
-/// One lintable unit with its provenance for report headers.
+/// One lintable unit with its provenance for report headers and, for
+/// imported loops, the declared symbol context the A-series passes check.
 struct Unit {
   std::string Origin; ///< File name or benchmark name.
   Loop TheLoop;
+  LoopSymbolContext Symbols;
 };
 
 int lintUnits(const std::vector<Unit> &Units, const ToolOptions &Options) {
   auto Start = std::chrono::steady_clock::now();
   std::vector<DiagnosticReport> Reports = parallelMap<DiagnosticReport>(
       Units.size(),
-      [&](size_t I) { return lintLoop(Units[I].TheLoop, Options.Lint); });
+      [&](size_t I) {
+        LintOptions Lint = Options.Lint;
+        Lint.Symbols = &Units[I].Symbols;
+        return lintLoop(Units[I].TheLoop, Lint);
+      });
   auto End = std::chrono::steady_clock::now();
 
   size_t Errors = 0, Warnings = 0, Notes = 0;
@@ -80,9 +87,7 @@ int lintUnits(const std::vector<Unit> &Units, const ToolOptions &Options) {
       continue;
     if (Options.Json) {
       for (const Diagnostic &D : Report.diagnostics())
-        std::cout << "{\"origin\":\"" << jsonEscape(Units[I].Origin)
-                  << "\",\"diagnostic\":" << renderDiagnosticJson(D)
-                  << "}\n";
+        std::cout << renderDiagnosticJson(D, Units[I].Origin) << "\n";
     } else {
       std::cout << "# " << Units[I].Origin << " / "
                 << Units[I].TheLoop.name() << "\n"
@@ -111,7 +116,7 @@ int runCorpus(const ToolOptions &Options) {
   std::vector<Unit> Units;
   for (const Benchmark &Bench : Corpus)
     for (const CorpusLoop &Entry : Bench.Loops)
-      Units.push_back({Bench.Name, Entry.TheLoop});
+      Units.push_back({Bench.Name, Entry.TheLoop, {}});
   return lintUnits(Units, Options);
 }
 
@@ -132,7 +137,7 @@ int runFiles(const ToolOptions &Options) {
         return 2;
       }
       for (ImportedLoop &L : Imported.Loops)
-        Units.push_back({File, std::move(L.TheLoop)});
+        Units.push_back({File, std::move(L.TheLoop), std::move(L.Symbols)});
       continue;
     }
     std::ifstream In(File);
@@ -149,7 +154,7 @@ int runFiles(const ToolOptions &Options) {
       return 2;
     }
     for (Loop &L : Parsed.Loops)
-      Units.push_back({File, std::move(L)});
+      Units.push_back({File, std::move(L), {}});
   }
   return lintUnits(Units, Options);
 }
@@ -171,6 +176,9 @@ int main(int Argc, char **Argv) {
              "worker threads (default: METAOPT_THREADS, else hardware "
              "concurrency)");
   Cli.flag("list-passes", "print the pass registry and exit");
+  Cli.option("explain", "id",
+             "print the catalog entry for a diagnostic ID (any family: "
+             "V/L/A/X/I) and exit");
   Cli.positionalHelp("[<file.loop|file.mloop> ...]",
                      "loop files to lint (.mloop files are imported "
                      "first, see docs/IMPORT.md)");
@@ -179,6 +187,19 @@ int main(int Argc, char **Argv) {
 
   if (Cli.has("list-passes")) {
     listPasses();
+    return 0;
+  }
+
+  if (Cli.has("explain")) {
+    std::string Id = Cli.getString("explain");
+    const DiagnosticCatalogEntry *Entry = findDiagnosticEntry(Id);
+    if (!Entry) {
+      std::cerr << "metaopt-lint: unknown diagnostic id '" << Id
+                << "' (see docs/DIAGNOSTICS.md for the catalog)\n";
+      return 2;
+    }
+    std::cout << Entry->Id << " (" << Entry->SevName << ")\n"
+              << Entry->Explanation << "\n";
     return 0;
   }
 
