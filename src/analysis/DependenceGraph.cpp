@@ -4,53 +4,72 @@
 
 #include <cassert>
 #include <cstdlib>
-#include <map>
+#include <limits>
 
 using namespace metaopt;
 
 DependenceGraph::DependenceGraph(const Loop &L) {
   NumNodes = L.body().size();
-  OutEdges.resize(NumNodes);
-  InEdges.resize(NumNodes);
+  Edges.reserve(NumNodes * 6);
   buildRegisterDeps(L);
   buildMemoryDeps(L);
   buildControlDeps(L);
+
+  // Adjacency is built in one pass after every edge exists, so each
+  // per-node list allocates exactly once at its final size instead of
+  // growing push_back by push_back during the build phases. Edge indices
+  // land in ascending order per node, exactly as incremental appends
+  // would have produced.
+  OutEdges.resize(NumNodes);
+  InEdges.resize(NumNodes);
+  std::vector<uint32_t> OutCount(NumNodes, 0), InCount(NumNodes, 0);
+  for (const DepEdge &E : Edges) {
+    ++OutCount[E.Src];
+    ++InCount[E.Dst];
+  }
+  for (size_t I = 0; I < NumNodes; ++I) {
+    OutEdges[I].reserve(OutCount[I]);
+    InEdges[I].reserve(InCount[I]);
+  }
+  for (uint32_t Index = 0; Index < Edges.size(); ++Index) {
+    OutEdges[Edges[Index].Src].push_back(Index);
+    InEdges[Edges[Index].Dst].push_back(Index);
+  }
 }
 
 void DependenceGraph::addEdge(uint32_t Src, uint32_t Dst, DepKind Kind,
                               uint32_t Distance, bool Speculatable) {
   assert(Src < NumNodes && Dst < NumNodes && "edge endpoint out of range");
-  uint32_t Index = static_cast<uint32_t>(Edges.size());
   Edges.push_back({Src, Dst, Kind, Distance, Speculatable});
-  OutEdges[Src].push_back(Index);
-  InEdges[Dst].push_back(Index);
 }
 
 void DependenceGraph::buildRegisterDeps(const Loop &L) {
-  // Map each register to its defining body instruction, if any.
-  std::map<RegId, uint32_t> DefIndex;
+  // Map each register to its defining body instruction, if any. Flat
+  // arrays indexed by RegId: this runs once per simulated body, and the
+  // tables are lookup-only (no iteration), so the dense representation
+  // changes nothing but the constant factor.
+  constexpr uint32_t NoIndex = std::numeric_limits<uint32_t>::max();
+  std::vector<uint32_t> DefIndex(L.numRegs(), NoIndex);
   for (uint32_t I = 0; I < NumNodes; ++I)
     if (L.body()[I].hasDest())
       DefIndex[L.body()[I].Dest] = I;
 
   // Phi destinations read the previous iteration's recurrence value.
   // PhiCarriedSource[dest] = body index defining the recurrence.
-  std::map<RegId, uint32_t> PhiCarriedSource;
+  std::vector<uint32_t> PhiCarriedSource(L.numRegs(), NoIndex);
   for (const PhiNode &Phi : L.phis()) {
-    auto It = DefIndex.find(Phi.Recur);
-    if (It != DefIndex.end())
-      PhiCarriedSource[Phi.Dest] = It->second;
+    if (Phi.Recur != NoReg && DefIndex[Phi.Recur] != NoIndex &&
+        Phi.Dest != NoReg)
+      PhiCarriedSource[Phi.Dest] = DefIndex[Phi.Recur];
   }
 
   auto AddUse = [&](RegId Reg, uint32_t User) {
-    auto Def = DefIndex.find(Reg);
-    if (Def != DefIndex.end()) {
-      addEdge(Def->second, User, DepKind::Data, /*Distance=*/0);
+    if (DefIndex[Reg] != NoIndex) {
+      addEdge(DefIndex[Reg], User, DepKind::Data, /*Distance=*/0);
       return;
     }
-    auto Carried = PhiCarriedSource.find(Reg);
-    if (Carried != PhiCarriedSource.end())
-      addEdge(Carried->second, User, DepKind::Data, /*Distance=*/1);
+    if (PhiCarriedSource[Reg] != NoIndex)
+      addEdge(PhiCarriedSource[Reg], User, DepKind::Data, /*Distance=*/1);
     // Otherwise the register is live-in: no intra-loop dependence.
   };
 

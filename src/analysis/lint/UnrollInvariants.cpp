@@ -95,26 +95,37 @@ void checkReplicas(const Loop &Original, const Loop &Unrolled,
                    unsigned Factor, const std::vector<size_t> &Replicated,
                    DiagnosticReport &Out) {
   size_t Width = Replicated.size();
+  // Original register -> this replica's register, reset per replica. A
+  // flat table keyed by original RegId replaces a node-allocating map:
+  // the audit runs after every unroll the labeling sweep performs, so its
+  // clean path must not allocate per instruction. Out-of-range original
+  // ids (a malformed input the checker still has to tolerate) fall back
+  // to a map.
+  std::vector<RegId> Renamed(Original.numRegs(), NoReg);
+  std::vector<char> Seen(Original.numRegs(), 0);
+  std::map<RegId, RegId> RenamedOutOfRange;
   for (unsigned Copy = 0; Copy < Factor; ++Copy) {
-    // Original register -> this replica's register. Defs are seeded as
-    // they appear; inputs (phi destinations, live-ins, values flowing in
-    // from the previous replica) are recorded at first use and must stay
-    // consistent afterwards.
-    std::map<RegId, RegId> Renamed;
+    // Defs are seeded as they appear; inputs (phi destinations, live-ins,
+    // values flowing in from the previous replica) are recorded at first
+    // use and must stay consistent afterwards.
+    std::fill(Seen.begin(), Seen.end(), 0);
+    RenamedOutOfRange.clear();
     for (size_t Slot = 0; Slot < Width; ++Slot) {
       const Instruction &Orig = Original.body()[Replicated[Slot]];
       size_t CloneIndex = static_cast<size_t>(Copy) * Width + Slot;
       const Instruction &Clone = Unrolled.body()[CloneIndex];
-      std::string Where = "replica " + std::to_string(Copy) +
-                          ", instruction " +
-                          std::to_string(Replicated[Slot]) + ": ";
+      // Diagnostic prefix, materialized only when a check fails.
+      auto Where = [&] {
+        return "replica " + std::to_string(Copy) + ", instruction " +
+               std::to_string(Replicated[Slot]) + ": ";
+      };
 
       if (Clone.Op != Orig.Op || Clone.Imm != Orig.Imm ||
           Clone.TakenProb != Orig.TakenProb ||
           Clone.Paired != Orig.Paired) {
         emitError(Unrolled, diag::UnrollIsomorphism,
                   static_cast<int>(CloneIndex),
-                  Where + "clone is not the same operation (opcode, "
+                  Where() + "clone is not the same operation (opcode, "
                           "immediate, exit probability, and pairing must "
                           "be preserved)",
                   Out);
@@ -125,7 +136,7 @@ void checkReplicas(const Loop &Original, const Loop &Unrolled,
           (Clone.Pred == NoReg) != (Orig.Pred == NoReg)) {
         emitError(Unrolled, diag::UnrollIsomorphism,
                   static_cast<int>(CloneIndex),
-                  Where + "clone changes operand, destination, or "
+                  Where() + "clone changes operand, destination, or "
                           "predication arity",
                   Out);
         continue;
@@ -133,18 +144,27 @@ void checkReplicas(const Loop &Original, const Loop &Unrolled,
 
       auto CheckWiring = [&](RegId OrigReg, RegId CloneReg,
                              const char *Role) {
-        auto It = Renamed.find(OrigReg);
-        if (It == Renamed.end()) {
-          Renamed.emplace(OrigReg, CloneReg);
-          return;
+        RegId Prior;
+        if (OrigReg < Renamed.size()) {
+          if (!Seen[OrigReg]) {
+            Seen[OrigReg] = 1;
+            Renamed[OrigReg] = CloneReg;
+            return;
+          }
+          Prior = Renamed[OrigReg];
+        } else {
+          auto [It, Inserted] = RenamedOutOfRange.emplace(OrigReg, CloneReg);
+          if (Inserted)
+            return;
+          Prior = It->second;
         }
-        if (It->second != CloneReg)
+        if (Prior != CloneReg)
           emitError(Unrolled, diag::UnrollIsomorphism,
                     static_cast<int>(CloneIndex),
-                    Where + std::string(Role) + " " +
+                    Where() + std::string(Role) + " " +
                         Original.regName(OrigReg) +
                         " is wired inconsistently within the replica (" +
-                        Unrolled.regName(It->second) + " vs " +
+                        Unrolled.regName(Prior) + " vs " +
                         Unrolled.regName(CloneReg) + ")",
                     Out);
       };
@@ -157,7 +177,7 @@ void checkReplicas(const Loop &Original, const Loop &Unrolled,
         if (Unrolled.regClass(Clone.Dest) != Original.regClass(Orig.Dest))
           emitError(Unrolled, diag::UnrollIsomorphism,
                     static_cast<int>(CloneIndex),
-                    Where + "destination register class changed",
+                    Where() + "destination register class changed",
                     Out);
       }
 
@@ -172,19 +192,19 @@ void checkReplicas(const Loop &Original, const Loop &Unrolled,
             Got.SizeBytes != Want.SizeBytes)
           emitError(Unrolled, diag::UnrollStrideScaling,
                     static_cast<int>(CloneIndex),
-                    Where + "memory base, width, or indirection changed",
+                    Where() + "memory base, width, or indirection changed",
                     Out);
         if (Got.Stride != WantStride)
           emitError(Unrolled, diag::UnrollStrideScaling,
                     static_cast<int>(CloneIndex),
-                    Where + "stride must scale by the factor (want " +
+                    Where() + "stride must scale by the factor (want " +
                         std::to_string(WantStride) + ", got " +
                         std::to_string(Got.Stride) + ")",
                     Out);
         if (Got.Offset != WantOffset)
           emitError(Unrolled, diag::UnrollStrideScaling,
                     static_cast<int>(CloneIndex),
-                    Where + "replica k must read offset + stride * k "
+                    Where() + "replica k must read offset + stride * k "
                             "(want " +
                         std::to_string(WantOffset) + ", got " +
                         std::to_string(Got.Offset) + ")",

@@ -19,17 +19,31 @@ using namespace metaopt;
 SimKey metaopt::simCacheKey(const Loop &L, unsigned Factor,
                             const MachineModel &Machine,
                             const SimContext &Ctx, bool EnableSwp) {
+  return simCacheKey(L, printLoop(L), Factor, Machine, Ctx, EnableSwp);
+}
+
+SimKey metaopt::simCacheKey(const Loop &L, const std::string &PrintedLoop,
+                            unsigned Factor, const MachineModel &Machine,
+                            const SimContext &Ctx, bool EnableSwp) {
   FingerprintHasher H;
   // Domain tag: a key-derivation change must never collide with the old
-  // scheme inside one persistent file generation.
-  H.str("metaopt-simcache-key-v1");
+  // scheme inside one persistent file generation. v2: exit probabilities
+  // are additionally hashed as exact IEEE-754 bits — the printed text
+  // truncates them to six significant digits, which could alias two loops
+  // whose exit-penalty terms differ below that precision.
+  H.str("metaopt-simcache-key-v2");
 
   // The loop, as its canonical textual print — the exact representation
   // the parser round-trips, covering name, language, nest level, trip and
   // runtime-trip counts, phis, predication, memory shapes, exit
   // probabilities, and pairing. Everything simulateLoop reads from the
-  // Loop is in this string.
-  H.str(printLoop(L));
+  // Loop is in this string (with the exit probabilities re-hashed exactly
+  // below). Hot callers print once per loop and reuse the text across the
+  // eight factor keys.
+  H.str(PrintedLoop);
+  for (const Instruction &Instr : L.body())
+    if (Instr.Op == Opcode::ExitIf)
+      H.f64(Instr.TakenProb);
 
   H.u64(Factor);
   H.boolean(EnableSwp);

@@ -42,7 +42,7 @@
 #ifndef METAOPT_CACHE_SIMCACHE_H
 #define METAOPT_CACHE_SIMCACHE_H
 
-#include "cache/Fingerprint.h"
+#include "support/Fingerprint.h"
 #include "sim/Simulator.h"
 
 #include <atomic>
@@ -70,6 +70,15 @@ struct SimKeyHash {
 SimKey simCacheKey(const Loop &L, unsigned Factor,
                    const MachineModel &Machine, const SimContext &Ctx,
                    bool EnableSwp);
+
+/// Same key, but with printLoop(L) precomputed by the caller. The printed
+/// text dominates the key-derivation cost, and every labeling sweep needs
+/// all eight factor keys of each loop — printing once and deriving eight
+/// keys from the same text keeps key derivation off the hot path's
+/// profile. \p PrintedLoop must be exactly printLoop(L).
+SimKey simCacheKey(const Loop &L, const std::string &PrintedLoop,
+                   unsigned Factor, const MachineModel &Machine,
+                   const SimContext &Ctx, bool EnableSwp);
 
 /// Cache counters. Totals are exact; under concurrency the individual
 /// counters are each exact but are sampled without a global lock.
@@ -114,7 +123,11 @@ SimCacheFileInfo inspectSimCacheFile(const std::string &Path);
 
 /// File-format version; bumped whenever the record layout or the key
 /// derivation changes so stale files are rejected instead of misread.
-constexpr uint64_t SimCacheFileVersion = 1;
+/// v2: key derivation gained exact exit-probability bits (domain tag
+/// "metaopt-simcache-key-v2"); v1 files hold keys no current lookup can
+/// produce, so they are rejected wholesale rather than carried as dead
+/// weight.
+constexpr uint64_t SimCacheFileVersion = 2;
 
 /// The cache handle. All member functions are thread-safe except where
 /// noted; a single instance is intended to be shared by every thread of a

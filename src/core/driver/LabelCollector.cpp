@@ -7,8 +7,12 @@
 #include "cache/SimCache.h"
 #include "concurrency/Parallel.h"
 #include "core/features/FeatureExtractor.h"
+#include "ir/Printer.h"
+#include "sim/SimCompile.h"
 #include "support/Statistics.h"
 
+#include <memory>
+#include <mutex>
 #include <unordered_map>
 
 using namespace metaopt;
@@ -143,21 +147,33 @@ Dataset metaopt::collectLabels(const std::vector<Benchmark> &Corpus,
       Loops.emplace_back(&Bench, &Entry);
 
   // Static pruning: partition the work-list into equivalence classes
-  // under the canonical sim form x every other simulateLoop input. Equal
-  // class keys certify equal SimResults at every factor
-  // (analysis/symbolic/Canonical.h — the certificate the static-claims
-  // fuzz oracle re-validates on every campaign case), so only the first
-  // loop of each class (its leader) is ever simulated. The class key is
-  // simCacheKey over the *canonicalized* loop, which covers the machine
-  // config, simulation context, and SWP flag for free.
+  // under the *context-free* canonical sim key (plus the register budgets
+  // when SWP is enabled, because the modulo scheduler reads them while
+  // scheduling). Equal keys certify that one context-independent compiled
+  // plan (sim/SimCompile.h) reproduces simulateLoop for every member
+  // under that member's own context — the certificate the static-claims
+  // fuzz oracle re-validates on every campaign case. The context must NOT
+  // be part of the key: every corpus loop carries its own randomized
+  // SimContext, so a context-keyed partition degenerates into singleton
+  // classes and prunes nothing (the regression this PR fixes — the bench
+  // reported 0 of 2808 simulations pruned).
   std::vector<uint32_t> LeaderSlot(Loops.size(), 0);
   std::vector<uint32_t> Leaders;
+  std::vector<LabeledLoop> Labeled;
+  SimBodyStatsCache BodyCache;
   if (Options.PruneEquivalent) {
     std::vector<SimKey> Keys =
         parallelMap<SimKey>(Loops.size(), [&](size_t I) {
-          return simCacheKey(canonicalSimForm(Loops[I].second->TheLoop), 1,
-                             Machine, Loops[I].second->Ctx,
-                             Options.EnableSwp);
+          Fingerprint Key = canonicalSimKey(Loops[I].second->TheLoop);
+          if (!Options.EnableSwp)
+            return Key;
+          FingerprintHasher H;
+          H.str("metaopt-labeling-class-key-swp-v1");
+          H.u64(Key.Lo);
+          H.u64(Key.Hi);
+          H.i64(Loops[I].second->Ctx.IntRegBudget);
+          H.i64(Loops[I].second->Ctx.FpRegBudget);
+          return H.digest();
         });
     std::unordered_map<SimKey, uint32_t, SimKeyHash> SlotOfKey;
     for (size_t I = 0; I < Loops.size(); ++I) {
@@ -167,29 +183,105 @@ Dataset metaopt::collectLabels(const std::vector<Benchmark> &Corpus,
         Leaders.push_back(static_cast<uint32_t>(I));
       LeaderSlot[I] = It->second;
     }
+
+    // One compiled plan per class, built lazily by whichever worker needs
+    // it first — always from the class leader, so the plan (and any
+    // diagnostic it throws) is identical at every thread count. Body
+    // schedules are additionally shared *across* classes through the
+    // structural BodyCache: classes that differ only in trip counts
+    // unroll to the same post-memopt bodies.
+    std::vector<LoopSimPlan> Plans(Leaders.size());
+    std::unique_ptr<std::once_flag[]> PlanOnce(
+        new std::once_flag[Leaders.size()]);
+    auto ClassPlan = [&](uint32_t Slot) -> const LoopSimPlan & {
+      std::call_once(PlanOnce[Slot], [&] {
+        const CorpusLoop &Leader = *Loops[Leaders[Slot]].second;
+        Plans[Slot] = compileLoopSim(Leader.TheLoop, Machine, Leader.Ctx,
+                                     Options.EnableSwp, &BodyCache);
+      });
+      return Plans[Slot];
+    };
+
+    SimCache &Cache = Options.Cache ? *Options.Cache : SimCache::global();
+
+    // One batched task per loop: derive all eight sim-cache keys from a
+    // single print of the loop, serve what the cache already holds, and
+    // evaluate the class plan under the loop's own context for the rest —
+    // inserting those results so the cache ends up with exactly the
+    // entries (same keys, same values) the unpruned sweep would produce.
+    // The heavy pipeline (unroll/memopt/schedule/liveness) runs once per
+    // class inside ClassPlan instead of once per (loop, factor).
+    std::vector<std::array<double, MaxUnrollFactor>> LoopCycles =
+        parallelMap<std::array<double, MaxUnrollFactor>>(
+            Loops.size(), [&](size_t I) {
+              const CorpusLoop &Entry = *Loops[I].second;
+              std::array<double, MaxUnrollFactor> Cycles = {};
+              if (!Cache.enabled()) {
+                const LoopSimPlan &Plan = ClassPlan(LeaderSlot[I]);
+                for (unsigned F = 1; F <= MaxUnrollFactor; ++F)
+                  Cycles[F - 1] =
+                      evaluatePlan(Plan, F, Machine, Entry.Ctx).Cycles;
+                return Cycles;
+              }
+              std::string Printed = printLoop(Entry.TheLoop);
+              std::array<SimKey, MaxUnrollFactor> SimKeys;
+              std::array<bool, MaxUnrollFactor> Hit = {};
+              unsigned Misses = 0;
+              for (unsigned F = 1; F <= MaxUnrollFactor; ++F) {
+                SimKeys[F - 1] =
+                    simCacheKey(Entry.TheLoop, Printed, F, Machine,
+                                Entry.Ctx, Options.EnableSwp);
+                if (std::optional<SimResult> Found =
+                        Cache.lookup(SimKeys[F - 1])) {
+                  Cycles[F - 1] = Found->Cycles;
+                  Hit[F - 1] = true;
+                } else {
+                  ++Misses;
+                }
+              }
+              if (Misses == 0)
+                return Cycles; // Warm cache: no plan needed at all.
+              const LoopSimPlan &Plan = ClassPlan(LeaderSlot[I]);
+              for (unsigned F = 1; F <= MaxUnrollFactor; ++F) {
+                if (Hit[F - 1])
+                  continue;
+                SimResult Result = evaluatePlan(Plan, F, Machine, Entry.Ctx);
+                Cache.insert(SimKeys[F - 1], Result);
+                Cycles[F - 1] = Result.Cycles;
+              }
+              return Cycles;
+            });
+
+    Labeled = parallelMap<LabeledLoop>(Loops.size(), [&](size_t I) {
+      return labelOneLoop(*Loops[I].first, *Loops[I].second, LoopCycles[I],
+                          Options);
+    });
   } else {
+    // Reference path, deliberately untouched: one cachedSimulateLoop per
+    // (loop, factor) through the full pipeline. This is the baseline the
+    // bench's speedup_vs_serial rows and the identity tests compare
+    // against.
     Leaders.resize(Loops.size());
     for (size_t I = 0; I < Loops.size(); ++I) {
       Leaders[I] = static_cast<uint32_t>(I);
       LeaderSlot[I] = static_cast<uint32_t>(I);
     }
+
+    // Phase 1: simulate each loop at every unroll factor.
+    std::vector<std::array<double, MaxUnrollFactor>> ClassCycles =
+        parallelMap<std::array<double, MaxUnrollFactor>>(
+            Leaders.size(), [&](size_t C) {
+              return simulateAllFactors(*Loops[Leaders[C]].second, Machine,
+                                        Options);
+            });
+
+    // Phase 2: label every loop from its cycles through its own noise
+    // stream and the paper's filters.
+    Labeled = parallelMap<LabeledLoop>(Loops.size(), [&](size_t I) {
+      return labelOneLoop(*Loops[I].first, *Loops[I].second,
+                          ClassCycles[LeaderSlot[I]], Options);
+    });
   }
-
-  // Phase 1: simulate each class leader at every unroll factor.
-  std::vector<std::array<double, MaxUnrollFactor>> ClassCycles =
-      parallelMap<std::array<double, MaxUnrollFactor>>(
-          Leaders.size(), [&](size_t C) {
-            return simulateAllFactors(*Loops[Leaders[C]].second, Machine,
-                                      Options);
-          });
-
-  // Phase 2: label every loop from its class's shared cycles through its
-  // own noise stream and the paper's filters.
-  std::vector<LabeledLoop> Labeled = parallelMap<LabeledLoop>(
-      Loops.size(), [&](size_t I) {
-        return labelOneLoop(*Loops[I].first, *Loops[I].second,
-                            ClassCycles[LeaderSlot[I]], Options);
-      });
 
   Dataset Data;
   for (LabeledLoop &L : Labeled)
@@ -203,6 +295,8 @@ Dataset metaopt::collectLabels(const std::vector<Benchmark> &Corpus,
     OutStats->SimulationsRun = Leaders.size() * MaxUnrollFactor;
     OutStats->SimulationsPruned =
         (Loops.size() - Leaders.size()) * MaxUnrollFactor;
+    OutStats->BodyStatsComputed = BodyCache.size();
+    OutStats->BodyStatsShared = BodyCache.hits();
   }
 
   // Warm-start later processes: flush new simulation results to the

@@ -40,14 +40,20 @@ struct LabelingOptions {
   /// selects the process-global SimCache::global(). The cached and
   /// uncached sweeps produce byte-identical datasets (cache/SimCache.h).
   SimCache *Cache = nullptr;
-  /// Static pruning of the labeling space: loops whose canonical sim form
-  /// (analysis/symbolic/Canonical.h) and simulation context coincide are
-  /// grouped into equivalence classes, one representative per class is
-  /// simulated at factors 1..8, and the cycles are shared across the
-  /// class *before* the sim cache is even consulted. Measurement noise is
-  /// applied per (benchmark, loop) name downstream of the simulator, so
-  /// pruned and unpruned sweeps produce byte-identical datasets (asserted
-  /// by tests/driver_test.cpp and measured in BENCH_pipeline.json).
+  /// Static pruning of the labeling space: loops with equal context-free
+  /// canonical sim keys (analysis/symbolic/Canonical.h) form an
+  /// equivalence class; the class leader is compiled ONCE into a
+  /// context-independent simulation plan (sim/SimCompile.h) and every
+  /// member evaluates that plan under its own SimContext — byte-identical
+  /// to simulating each member from scratch, per-(loop, factor) sim-cache
+  /// entries included. The context is deliberately NOT in the class key
+  /// (each corpus loop has a randomized context, so keying on it makes
+  /// every class a singleton and prunes nothing); register budgets are
+  /// folded in only under SWP, where the modulo scheduler reads them.
+  /// Measurement noise is applied per (benchmark, loop) name downstream
+  /// of the simulator, so pruned and unpruned sweeps produce
+  /// byte-identical datasets (asserted by tests/driver_test.cpp and
+  /// measured in BENCH_pipeline.json).
   bool PruneEquivalent = true;
 };
 
@@ -57,6 +63,14 @@ struct LabelingStats {
   size_t EquivalenceClasses = 0; ///< Distinct canonical-sim classes.
   size_t SimulationsRun = 0;     ///< simulateLoop requests issued.
   size_t SimulationsPruned = 0;  ///< Requests avoided by class sharing.
+  /// Body-level structural sharing inside the compiled fast path
+  /// (sim/SimCompile.h): unique post-memopt bodies actually scheduled,
+  /// and schedule/liveness computations avoided because a structurally
+  /// identical body (same canonical structure, any trip count) was
+  /// already in the per-sweep cache. Both are 0 when PruneEquivalent is
+  /// off or every simulation was served from the sim cache.
+  size_t BodyStatsComputed = 0;
+  size_t BodyStatsShared = 0;
   /// Fraction of the (loop, factor) simulation space pruned away.
   double pruningRate() const {
     size_t Total = SimulationsRun + SimulationsPruned;

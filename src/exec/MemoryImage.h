@@ -28,7 +28,7 @@
 #ifndef METAOPT_EXEC_MEMORYIMAGE_H
 #define METAOPT_EXEC_MEMORYIMAGE_H
 
-#include "cache/Fingerprint.h"
+#include "support/Fingerprint.h"
 
 #include <cstdint>
 #include <map>

@@ -20,7 +20,7 @@
 #ifndef METAOPT_IMPORT_IMPORTEDCORPUS_H
 #define METAOPT_IMPORT_IMPORTEDCORPUS_H
 
-#include "cache/Fingerprint.h"
+#include "support/Fingerprint.h"
 #include "corpus/BenchmarkSuite.h"
 #include "import/Import.h"
 

@@ -4,8 +4,6 @@
 
 #include "ir/Printer.h"
 
-#include <set>
-
 using namespace metaopt;
 
 namespace {
@@ -16,6 +14,7 @@ public:
       : L(L), Options(Options) {}
 
   DiagnosticReport run() {
+    computeFirstDefs();
     checkRegisterIds();
     checkSingleDefinitions();
     checkPhis();
@@ -76,11 +75,15 @@ private:
   }
 
   void checkRegisterIds() {
-    auto Check = [&](RegId Reg, const std::string &What, size_t BodyIndex) {
+    // The message is only materialized on the error path; passing the
+    // role as a literal keeps the (overwhelmingly common) clean case
+    // allocation-free.
+    auto Check = [&](RegId Reg, const char *What, size_t BodyIndex) {
       if (Reg == NoReg || validReg(Reg))
         return;
-      std::string Message =
-          What + " references out-of-range register " + std::to_string(Reg);
+      std::string Message = std::string(What) +
+                            " references out-of-range register " +
+                            std::to_string(Reg);
       if (BodyIndex != static_cast<size_t>(-1))
         errorAt(diag::RegOutOfRange, BodyIndex, Message);
       else
@@ -103,15 +106,20 @@ private:
   }
 
   void checkSingleDefinitions() {
-    std::set<RegId> Defined;
+    std::vector<char> Defined(L.numRegs(), 0);
+    auto Insert = [&](RegId Reg) {
+      if (Defined[Reg])
+        return false;
+      Defined[Reg] = 1;
+      return true;
+    };
     for (const PhiNode &Phi : L.phis())
-      if (validReg(Phi.Dest) && !Defined.insert(Phi.Dest).second)
+      if (validReg(Phi.Dest) && !Insert(Phi.Dest))
         error(diag::MultipleDef, "register " + L.regName(Phi.Dest) +
                                      " defined more than once");
     for (size_t I = 0; I < L.body().size(); ++I) {
       const Instruction &Instr = L.body()[I];
-      if (Instr.hasDest() && validReg(Instr.Dest) &&
-          !Defined.insert(Instr.Dest).second)
+      if (Instr.hasDest() && validReg(Instr.Dest) && !Insert(Instr.Dest))
         errorAt(diag::MultipleDef, I,
                 "register " + L.regName(Instr.Dest) +
                     " defined more than once");
@@ -126,7 +134,7 @@ private:
       if (L.regClass(Phi.Init) != RC || L.regClass(Phi.Recur) != RC)
         error(diag::PhiClassMismatch,
               "phi " + L.regName(Phi.Dest) + " mixes register classes");
-      if (!L.isLiveIn(Phi.Init))
+      if (!isLiveIn(Phi.Init))
         error(diag::PhiInitNotLiveIn,
               "phi " + L.regName(Phi.Dest) +
                   " initial value must be live-in");
@@ -134,26 +142,47 @@ private:
         error(diag::PhiSelfRecurrence,
               "phi " + L.regName(Phi.Dest) + " recurs on itself directly");
       // The recurrence source must be computed by the body.
-      bool DefinedInBody = false;
-      for (const Instruction &Instr : L.body())
-        if (Instr.Dest == Phi.Recur)
-          DefinedInBody = true;
-      if (!DefinedInBody && !L.isPhiDest(Phi.Recur))
+      bool DefinedInBody = FirstDef[Phi.Recur] != NoFirstDef;
+      if (!DefinedInBody && !PhiDest[Phi.Recur])
         error(diag::PhiRecurNotComputed,
               "phi " + L.regName(Phi.Dest) +
                   " recurrence source is not computed in the loop");
     }
   }
 
+  /// First body index defining each (in-range) register, or NoFirstDef,
+  /// plus a phi-destination bitmap. Computed once: Loop::isLiveIn and
+  /// Loop::isPhiDest rescan the body and phi list on every call, which
+  /// made operand checking quadratic in the body size.
+  static constexpr size_t NoFirstDef = static_cast<size_t>(-1);
+  std::vector<size_t> FirstDef;
+  std::vector<char> PhiDest;
+
+  void computeFirstDefs() {
+    FirstDef.assign(L.numRegs(), NoFirstDef);
+    for (size_t I = 0; I < L.body().size(); ++I) {
+      RegId Dest = L.body()[I].Dest;
+      if (Dest != NoReg && validReg(Dest) && FirstDef[Dest] == NoFirstDef)
+        FirstDef[Dest] = I;
+    }
+    PhiDest.assign(L.numRegs(), 0);
+    for (const PhiNode &Phi : L.phis())
+      if (validReg(Phi.Dest))
+        PhiDest[Phi.Dest] = 1;
+  }
+
+  /// Mirrors Loop::isLiveIn over the precomputed tables: not a phi
+  /// destination and never defined by the body.
+  bool isLiveIn(RegId Reg) const {
+    return !PhiDest[Reg] && FirstDef[Reg] == NoFirstDef;
+  }
+
   /// True when \p Reg may be read by instruction \p BodyIndex: live-in,
   /// phi destination, or defined earlier in the body.
   bool availableAt(RegId Reg, size_t BodyIndex) const {
-    if (L.isLiveIn(Reg) || L.isPhiDest(Reg))
+    if (PhiDest[Reg] || FirstDef[Reg] == NoFirstDef)
       return true;
-    for (size_t I = 0; I < BodyIndex; ++I)
-      if (L.body()[I].Dest == Reg)
-        return true;
-    return false;
+    return FirstDef[Reg] < BodyIndex;
   }
 
   void checkOperandClass(size_t I, RegId Operand, RegClass Expected) {

@@ -26,7 +26,7 @@
 #ifndef METAOPT_SERVE_MODELBUNDLE_H
 #define METAOPT_SERVE_MODELBUNDLE_H
 
-#include "cache/Fingerprint.h"
+#include "support/Fingerprint.h"
 #include "core/ml/Classifier.h"
 #include "corpus/BenchmarkSuite.h"
 

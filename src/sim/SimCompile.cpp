@@ -1,0 +1,649 @@
+//===- sim/SimCompile.cpp -------------------------------------------------===//
+//
+// The compiled simulation fast path. Every function here mirrors a piece
+// of sim/Simulator.cpp, sched/ListScheduler.cpp, or analysis/Liveness.cpp
+// and must stay bit-identical to it; tests/perf_test.cpp asserts
+// compile+evaluate == simulateLoop over the synthetic corpus and the fuzz
+// seed corpus. Floating-point expression order and integer promotions are
+// copied literally from the reference — do not "clean them up".
+//
+//===----------------------------------------------------------------------===//
+
+#include "sim/SimCompile.h"
+
+#include "analysis/DependenceGraph.h"
+#include "analysis/symbolic/Canonical.h"
+#include "analysis/symbolic/StrideInterval.h"
+#include "sched/ModuloScheduler.h"
+#include "sched/ScheduleValidate.h"
+#include "transform/MemoryOpt.h"
+#include "transform/Unroller.h"
+
+#include <algorithm>
+#include <cassert>
+#include <numeric>
+#include <stdexcept>
+
+using namespace metaopt;
+
+namespace {
+
+//===----------------------------------------------------------------------===//
+// Cost-model terms, replicated from the file-local helpers in
+// sim/Simulator.cpp (they are deliberately not exported: the reference
+// stays self-contained so it can anchor the identity tests).
+//===----------------------------------------------------------------------===//
+
+double alignmentTax(unsigned Factor) {
+  bool PowerOfTwo = (Factor & (Factor - 1)) == 0;
+  return PowerOfTwo ? 0.0 : 1.4;
+}
+
+double icachePenaltyPerIteration(int CodeBytes, const MachineModel &Machine,
+                                 const SimContext &Ctx) {
+  int Effective = std::min(Ctx.EffectiveIcacheBytes,
+                           Machine.config().L1ICapacityBytes);
+  if (CodeBytes <= Effective)
+    return 0.0;
+  int OverflowLines = (CodeBytes - Effective +
+                       Machine.config().L1ILineBytes - 1) /
+                      Machine.config().L1ILineBytes;
+  return static_cast<double>(OverflowLines) *
+         Machine.config().L1IMissCycles;
+}
+
+double dcacheStallPerIteration(unsigned UnpairedLoads,
+                               const SimContext &Ctx) {
+  return UnpairedLoads * Ctx.DcacheMissRate * Ctx.DcacheMissCycles *
+         Ctx.DcacheVisibleFraction;
+}
+
+double exitPenaltyPerIteration(double Probability, unsigned Exits,
+                               const MachineModel &Machine) {
+  return Probability * Machine.config().MispredictPenalty + 0.15 * Exits;
+}
+
+/// Per-cycle resource bookkeeping; replica of the file-local ResourceTable
+/// in sched/ListScheduler.cpp.
+class ResourceTable {
+public:
+  explicit ResourceTable(const MachineModel &Machine) : Machine(Machine) {}
+
+  bool tryIssue(const Instruction &Instr) {
+    if (!occupiesIssueSlot(Instr))
+      return true;
+    Opcode Op = Instr.Op;
+    if (Issued >= Machine.issueWidth())
+      return false;
+    UnitKind Primary = Machine.unitFor(Op);
+    if (take(Primary)) {
+      ++Issued;
+      return true;
+    }
+    if (Primary == UnitKind::Int && Machine.canUseMemUnit(Op) &&
+        take(UnitKind::Mem)) {
+      ++Issued;
+      return true;
+    }
+    return false;
+  }
+
+  void nextCycle() {
+    Used.fill(0);
+    Issued = 0;
+  }
+
+private:
+  bool take(UnitKind Kind) {
+    unsigned Index = static_cast<unsigned>(Kind);
+    if (Used[Index] >= Machine.unitCount(Kind))
+      return false;
+    ++Used[Index];
+    return true;
+  }
+
+  const MachineModel &Machine;
+  std::array<int, NumUnitKinds> Used = {};
+  int Issued = 0;
+};
+
+/// Reusable buffers for one compileLoopSim call: eight factors plus the
+/// epilogue schedule through the same arena, so the inner scheduler and
+/// liveness passes allocate only on the first body and high-water-mark
+/// growth afterwards.
+struct Scratch {
+  // Scheduler.
+  std::vector<int> Height;
+  std::vector<uint32_t> Prio;
+  std::vector<int> PredsLeft;
+  std::vector<uint32_t> EarliestCycle;
+  std::vector<uint32_t> ReadyFrom;
+  std::vector<char> Done;
+  std::vector<uint32_t> CycleOf;
+  std::vector<uint32_t> Order;
+  uint32_t Length = 0;
+  // Liveness.
+  std::vector<uint32_t> Position;
+  std::vector<uint8_t> RegFlags;
+  std::vector<uint32_t> DefPos;
+  std::vector<uint32_t> LastUse;
+  std::vector<int> DeltaInt;
+  std::vector<int> DeltaFloat;
+};
+
+constexpr uint32_t NoPos = std::numeric_limits<uint32_t>::max();
+
+constexpr uint8_t RegControl = 1;    ///< Dest/operand of loop control.
+constexpr uint8_t RegPhiDest = 2;    ///< Loop::isPhiDest.
+constexpr uint8_t RegDefined = 4;    ///< !Loop::isLiveIn.
+constexpr uint8_t RegAcrossBack = 8; ///< Phi recurrence source.
+
+//===----------------------------------------------------------------------===//
+// Fast list scheduler. Produces the identical Schedule to
+// sched/ListScheduler.cpp's listSchedule() without rebuilding and
+// re-sorting a Candidates vector every cycle: the tie-break (Height
+// descending, index ascending) is a strict total order, so one static
+// priority-sorted order scanned per cycle visits each cycle's candidate
+// set in exactly the reference's issue order. Two invariants carry the
+// equivalence proof:
+//
+//  - Cycle-start snapshot: the reference only considers nodes whose
+//    PredsLeft hit zero *before* the current cycle (Candidates is built
+//    from the Ready list at cycle start). ReadyFrom[Dst] = Cycle + 1,
+//    stamped when the count reaches zero mid-cycle, defers such nodes
+//    exactly one scan — without it, a delay-0 enforced edge would let the
+//    successor issue a cycle early.
+//
+//  - No mid-cycle constraint changes for eligible nodes: if a node is
+//    eligible this cycle, all its enforced predecessors were Done before
+//    the cycle began, so no issue during the scan can raise its
+//    EarliestCycle. Checking eligibility at visit time is therefore the
+//    same as checking at cycle start.
+//===----------------------------------------------------------------------===//
+
+void fastListSchedule(const Loop &L, const DependenceGraph &DG,
+                      const MachineModel &Machine, Scratch &S) {
+  size_t N = DG.numNodes();
+  S.CycleOf.assign(N, 0);
+  S.Order.clear();
+  S.Length = 0;
+  if (N == 0)
+    return;
+
+  std::vector<int> EffectiveLatency =
+      schedEffectiveLatencies(L, DG, Machine);
+
+  S.Height.assign(N, 0);
+  for (uint32_t Node = static_cast<uint32_t>(N); Node-- > 0;) {
+    S.Height[Node] = EffectiveLatency[Node];
+    for (uint32_t EdgeIdx : DG.successors(Node)) {
+      const DepEdge &Edge = DG.edge(EdgeIdx);
+      if (!schedEdgeEnforced(L, Edge))
+        continue;
+      int Delay = schedEdgeDelay(Edge, L, EffectiveLatency);
+      S.Height[Node] = std::max(S.Height[Node], Delay + S.Height[Edge.Dst]);
+    }
+  }
+
+  // The static priority order: every per-cycle Candidates sort in the
+  // reference is a filtered copy of this one permutation.
+  S.Prio.resize(N);
+  std::iota(S.Prio.begin(), S.Prio.end(), 0);
+  std::sort(S.Prio.begin(), S.Prio.end(), [&](uint32_t A, uint32_t B) {
+    if (S.Height[A] != S.Height[B])
+      return S.Height[A] > S.Height[B];
+    return A < B;
+  });
+
+  S.PredsLeft.assign(N, 0);
+  for (const DepEdge &Edge : DG.edges())
+    if (schedEdgeEnforced(L, Edge))
+      ++S.PredsLeft[Edge.Dst];
+
+  S.EarliestCycle.assign(N, 0);
+  S.ReadyFrom.assign(N, 0);
+  S.Done.assign(N, 0);
+
+  ResourceTable Resources(Machine);
+  size_t Scheduled = 0;
+  uint32_t Cycle = 0;
+  uint32_t CycleCap = static_cast<uint32_t>(64 * N + 1024);
+
+  // Two scan reductions on top of the reference-equivalent loop, neither
+  // of which can change an issue decision:
+  //  - Issued nodes are stably compacted out of the priority order; the
+  //    surviving nodes are visited in exactly the same relative order.
+  //  - A cycle in which no node passed the dependence/readiness checks
+  //    changed no state (tryIssue was never reached), so Cycle can jump
+  //    straight to the earliest ReadyFrom/EarliestCycle constraint among
+  //    dependence-free nodes instead of re-scanning every empty cycle.
+  size_t Active = N;
+  while (Scheduled < N && Cycle < CycleCap) {
+    bool AnyEligible = false;
+    bool AnyIssued = false;
+    uint32_t NextReady = std::numeric_limits<uint32_t>::max();
+    for (size_t PI = 0; PI < Active; ++PI) {
+      uint32_t Node = S.Prio[PI];
+      if (S.Done[Node] || S.PredsLeft[Node] != 0)
+        continue;
+      uint32_t ReadyAt = std::max(S.ReadyFrom[Node], S.EarliestCycle[Node]);
+      if (ReadyAt > Cycle) {
+        NextReady = std::min(NextReady, ReadyAt);
+        continue;
+      }
+      AnyEligible = true;
+      if (!Resources.tryIssue(L.body()[Node]))
+        continue;
+      S.Done[Node] = 1;
+      S.CycleOf[Node] = Cycle;
+      AnyIssued = true;
+      ++Scheduled;
+      for (uint32_t EdgeIdx : DG.successors(Node)) {
+        const DepEdge &Edge = DG.edge(EdgeIdx);
+        if (!schedEdgeEnforced(L, Edge))
+          continue;
+        uint32_t SuccReady =
+            Cycle +
+            static_cast<uint32_t>(schedEdgeDelay(Edge, L, EffectiveLatency));
+        S.EarliestCycle[Edge.Dst] =
+            std::max(S.EarliestCycle[Edge.Dst], SuccReady);
+        if (--S.PredsLeft[Edge.Dst] == 0)
+          S.ReadyFrom[Edge.Dst] = Cycle + 1;
+      }
+    }
+    if (AnyIssued) {
+      size_t W = 0;
+      for (size_t PI = 0; PI < Active; ++PI)
+        if (!S.Done[S.Prio[PI]])
+          S.Prio[W++] = S.Prio[PI];
+      Active = W;
+    }
+    Resources.nextCycle();
+    if (!AnyEligible && NextReady != std::numeric_limits<uint32_t>::max() &&
+        NextReady > Cycle + 1)
+      Cycle = NextReady;
+    else
+      ++Cycle;
+  }
+  assert(Scheduled == N && "fast list scheduler failed to place all ops");
+
+  S.Order.resize(N);
+  std::iota(S.Order.begin(), S.Order.end(), 0);
+  std::sort(S.Order.begin(), S.Order.end(), [&](uint32_t A, uint32_t B) {
+    if (S.CycleOf[A] != S.CycleOf[B])
+      return S.CycleOf[A] < S.CycleOf[B];
+    return A < B;
+  });
+  uint32_t LastCycle = 0;
+  for (uint32_t Node = 0; Node < N; ++Node)
+    LastCycle = std::max(LastCycle, S.CycleOf[Node]);
+  S.Length = LastCycle + 1;
+}
+
+/// Mirror of Simulator.cpp's listScheduledIterationCycles over the
+/// scratch schedule.
+double iterationInterval(const Loop &L, const DependenceGraph &DG,
+                         const MachineModel &Machine, const Scratch &S) {
+  double Interval = S.Length;
+  for (const DepEdge &Edge : DG.edges()) {
+    if (Edge.Distance == 0)
+      continue;
+    int Delay = 0;
+    switch (Edge.Kind) {
+    case DepKind::Data:
+      Delay = Machine.latency(L.body()[Edge.Src].Op);
+      break;
+    case DepKind::Memory:
+      Delay = 1;
+      break;
+    case DepKind::Control:
+      Delay = Machine.latency(L.body()[Edge.Src].Op);
+      break;
+    }
+    double Needed =
+        (static_cast<double>(S.CycleOf[Edge.Src]) + Delay -
+         S.CycleOf[Edge.Dst]) /
+        Edge.Distance;
+    Interval = std::max(Interval, Needed);
+  }
+  return Interval;
+}
+
+//===----------------------------------------------------------------------===//
+// Fast liveness: the per-class maxima of analyzeLiveness
+// (analysis/Liveness.cpp) via delta arrays instead of an O(positions x
+// intervals) sweep. Interval construction copies the reference case by
+// case: control registers excluded, live-ins skipped, phi destinations
+// live from 0, recurrence sources extended to N, unused ids skipped,
+// inclusive [Begin, End] with positions swept in [0, N).
+//===----------------------------------------------------------------------===//
+
+void fastLiveness(const Loop &L, Scratch &S, unsigned &MaxLiveInt,
+                  unsigned &MaxLiveFloat) {
+  const std::vector<Instruction> &Body = L.body();
+  size_t N = Body.size();
+  unsigned R = L.numRegs();
+  MaxLiveInt = 0;
+  MaxLiveFloat = 0;
+
+  S.Position.assign(N, 0);
+  if (S.Order.empty()) {
+    for (uint32_t Pos = 0; Pos < N; ++Pos)
+      S.Position[Pos] = Pos;
+  } else {
+    for (uint32_t Pos = 0; Pos < S.Order.size(); ++Pos)
+      S.Position[S.Order[Pos]] = Pos;
+  }
+
+  S.RegFlags.assign(R, 0);
+  S.DefPos.assign(R, NoPos);
+  S.LastUse.assign(R, NoPos);
+
+  for (const PhiNode &Phi : L.phis()) {
+    if (Phi.Recur != NoReg)
+      S.RegFlags[Phi.Recur] |= RegAcrossBack;
+    if (Phi.Dest != NoReg)
+      S.RegFlags[Phi.Dest] |= RegPhiDest | RegDefined;
+  }
+
+  for (uint32_t I = 0; I < N; ++I) {
+    const Instruction &Instr = Body[I];
+    if (Instr.hasDest()) {
+      S.RegFlags[Instr.Dest] |= RegDefined;
+      if (!Instr.isLoopControl())
+        S.DefPos[Instr.Dest] = S.Position[I];
+    }
+    if (Instr.isLoopControl()) {
+      if (Instr.hasDest())
+        S.RegFlags[Instr.Dest] |= RegControl;
+      for (RegId Operand : Instr.Operands)
+        S.RegFlags[Operand] |= RegControl;
+      continue;
+    }
+    uint32_t Pos = S.Position[I];
+    auto NoteUse = [&](RegId Reg) {
+      if (S.LastUse[Reg] == NoPos || S.LastUse[Reg] < Pos)
+        S.LastUse[Reg] = Pos;
+    };
+    for (RegId Operand : Instr.Operands)
+      NoteUse(Operand);
+    if (Instr.Pred != NoReg)
+      NoteUse(Instr.Pred);
+  }
+
+  uint32_t EndPos = static_cast<uint32_t>(N);
+  S.DeltaInt.assign(N + 2, 0);
+  S.DeltaFloat.assign(N + 2, 0);
+
+  for (RegId Reg = 0; Reg < R; ++Reg) {
+    uint8_t Flags = S.RegFlags[Reg];
+    if (Flags & RegControl)
+      continue;
+    if (!(Flags & RegDefined))
+      continue; // Live-in: whole-loop pressure is counted separately by
+                // the reference and never feeds the spill model.
+    uint32_t Begin = 0, End = 0;
+    if (Flags & RegPhiDest) {
+      Begin = 0;
+      End = S.LastUse[Reg] == NoPos ? 0 : S.LastUse[Reg];
+    } else {
+      if (S.DefPos[Reg] == NoPos)
+        continue; // Defined only by loop control: excluded via RegControl,
+                  // or an unused id the reference also skips.
+      Begin = S.DefPos[Reg];
+      End = S.LastUse[Reg] == NoPos ? Begin
+                                    : std::max(Begin, S.LastUse[Reg]);
+    }
+    if (Flags & RegAcrossBack)
+      End = EndPos;
+    switch (L.regClass(Reg)) {
+    case RegClass::Int:
+      ++S.DeltaInt[Begin];
+      --S.DeltaInt[End + 1];
+      break;
+    case RegClass::Float:
+      ++S.DeltaFloat[Begin];
+      --S.DeltaFloat[End + 1];
+      break;
+    case RegClass::Pred:
+      break; // The spill model only consumes the int/float maxima.
+    }
+  }
+
+  int LiveInt = 0, LiveFloat = 0;
+  for (uint32_t Pos = 0; Pos < EndPos; ++Pos) {
+    LiveInt += S.DeltaInt[Pos];
+    LiveFloat += S.DeltaFloat[Pos];
+    MaxLiveInt = std::max(MaxLiveInt, static_cast<unsigned>(LiveInt));
+    MaxLiveFloat = std::max(MaxLiveFloat, static_cast<unsigned>(LiveFloat));
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Body stats: schedule + liveness + static body counts, cached across
+// structurally identical bodies.
+//===----------------------------------------------------------------------===//
+
+SimBodyStats computeBodyStatsUncached(const Loop &L,
+                                      const MachineModel &Machine,
+                                      Scratch &S) {
+  SimBodyStats Stats;
+  Stats.BodyOps = L.body().size();
+  for (const Instruction &Instr : L.body()) {
+    if (Instr.isLoad() && !Instr.Paired)
+      ++Stats.UnpairedLoads;
+    if (Instr.Op == Opcode::ExitIf) {
+      Stats.ExitProbSum += Instr.TakenProb;
+      ++Stats.ExitCount;
+    }
+  }
+  DependenceGraph DG(L);
+  fastListSchedule(L, DG, Machine, S);
+  Stats.Length = S.Length;
+  Stats.Interval = iterationInterval(L, DG, Machine, S);
+  fastLiveness(L, S, Stats.MaxLiveInt, Stats.MaxLiveFloat);
+  return Stats;
+}
+
+SimBodyStats computeBodyStats(const Loop &L, const MachineModel &Machine,
+                              SimBodyStatsCache *Cache, Scratch &S) {
+  if (!Cache)
+    return computeBodyStatsUncached(L, Machine, S);
+  FingerprintHasher H;
+  H.str("metaopt-simbody-stats-key-v1");
+  hashCanonicalSimStructure(H, L);
+  Fingerprint Key = H.digest();
+  if (std::optional<SimBodyStats> Found = Cache->lookup(Key))
+    return *Found;
+  SimBodyStats Stats = computeBodyStatsUncached(L, Machine, S);
+  Cache->insert(Key, Stats);
+  return Stats;
+}
+
+/// The Ctx-dependent half of Simulator.cpp's listScheduledBodyCost,
+/// replayed over captured stats.
+struct EvaluatedBody {
+  double PerIteration = 0.0;
+  unsigned Spills = 0;
+  int CodeBytes = 0;
+};
+
+EvaluatedBody evaluateBodyCost(const SimBodyStats &Stats,
+                               const MachineModel &Machine,
+                               const SimContext &Ctx) {
+  unsigned IntBudget = static_cast<unsigned>(
+      std::min(Machine.config().IntRegs, Ctx.IntRegBudget));
+  unsigned FpBudget = static_cast<unsigned>(
+      std::min(Machine.config().FloatRegs, Ctx.FpRegBudget));
+  EvaluatedBody Cost;
+  if (Stats.MaxLiveInt > IntBudget)
+    Cost.Spills += Stats.MaxLiveInt - IntBudget;
+  if (Stats.MaxLiveFloat > FpBudget)
+    Cost.Spills += Stats.MaxLiveFloat - FpBudget;
+  Cost.CodeBytes = Machine.codeBytes(
+      static_cast<int>(Stats.BodyOps + 2 * Cost.Spills));
+  Cost.PerIteration =
+      Stats.Interval +
+      Cost.Spills * Machine.config().SpillCycles +
+      icachePenaltyPerIteration(Cost.CodeBytes, Machine, Ctx) +
+      dcacheStallPerIteration(Stats.UnpairedLoads, Ctx) +
+      exitPenaltyPerIteration(Stats.ExitProbSum, Stats.ExitCount, Machine);
+  return Cost;
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// SimBodyStatsCache
+//===----------------------------------------------------------------------===//
+
+std::optional<SimBodyStats>
+SimBodyStatsCache::lookup(const Fingerprint &Key) const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  auto It = Map.find(Key);
+  if (It == Map.end()) {
+    Misses.fetch_add(1, std::memory_order_relaxed);
+    return std::nullopt;
+  }
+  Hits.fetch_add(1, std::memory_order_relaxed);
+  return It->second;
+}
+
+void SimBodyStatsCache::insert(const Fingerprint &Key,
+                               const SimBodyStats &Stats) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  Map.emplace(Key, Stats);
+}
+
+size_t SimBodyStatsCache::size() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  return Map.size();
+}
+
+//===----------------------------------------------------------------------===//
+// compileLoopSim / evaluatePlan
+//===----------------------------------------------------------------------===//
+
+LoopSimPlan metaopt::compileLoopSim(const Loop &L,
+                                    const MachineModel &Machine,
+                                    const SimContext &Ctx, bool EnableSwp,
+                                    SimBodyStatsCache *Cache) {
+  int64_t Trip = L.runtimeTripCount();
+  // Same diagnostic (and same wording) the reference raises on the first
+  // simulateLoop call for this loop.
+  if (Trip < 0)
+    throw std::domain_error("simulateLoop: loop '" + L.name() +
+                            "' has no concrete runtime trip count");
+
+  LoopSimPlan Plan;
+  Plan.LoopName = L.name();
+  Plan.Trip = Trip;
+  Plan.HasKnownTrip = L.hasKnownTripCount();
+  Plan.Swp = EnableSwp;
+
+  Scratch S;
+  for (unsigned Factor = 1; Factor <= MaxUnrollFactor; ++Factor) {
+    Loop Unrolled = unrollLoop(L, Factor);
+    {
+      SymbolicAnalysis Symbolic(Unrolled);
+      optimizeMemory(Unrolled, &Symbolic);
+    }
+    CompiledFactor &CF = Plan.Factors[Factor - 1];
+    if (EnableSwp) {
+      DependenceGraph DG(Unrolled);
+      RegBudget Budget{Ctx.IntRegBudget, Ctx.FpRegBudget};
+      SwpResult Swp = moduloSchedule(Unrolled, DG, Machine, Budget);
+      if (Swp.Pipelined) {
+        CF.Pipelined = true;
+        CF.II = Swp.II;
+        CF.StageCount = Swp.StageCount;
+        CF.SwpSpills = Swp.SpillsPerIteration;
+        CF.Main.BodyOps = Unrolled.body().size();
+        for (const Instruction &Instr : Unrolled.body())
+          if (Instr.isLoad() && !Instr.Paired)
+            ++CF.Main.UnpairedLoads;
+      }
+    }
+    if (!CF.Pipelined)
+      CF.Main = computeBodyStats(Unrolled, Machine, Cache, S);
+  }
+
+  // One epilogue body serves every factor: unrolledTripInfo(Trip, F)
+  // leaves Trip % F leftover iterations of the *original* body, so the
+  // reference's per-factor memopt(L) recompute always lands on the same
+  // loop. Factor 1 never has an epilogue (Trip % 1 == 0).
+  for (unsigned Factor = 2; Factor <= MaxUnrollFactor; ++Factor) {
+    if (unrolledTripInfo(Trip, Factor).EpilogueIterations <= 0)
+      continue;
+    Loop EpilogueLoop = L;
+    {
+      SymbolicAnalysis Symbolic(EpilogueLoop);
+      optimizeMemory(EpilogueLoop, &Symbolic);
+    }
+    Plan.HasEpilogue = true;
+    Plan.Epilogue = computeBodyStats(EpilogueLoop, Machine, Cache, S);
+    break;
+  }
+  return Plan;
+}
+
+SimResult metaopt::evaluatePlan(const LoopSimPlan &Plan, unsigned Factor,
+                                const MachineModel &Machine,
+                                const SimContext &Ctx) {
+  if (Factor < 1 || Factor > MaxUnrollFactor)
+    throw std::invalid_argument(
+        "simulateLoop: unroll factor " + std::to_string(Factor) +
+        " for loop '" + Plan.LoopName + "' is outside [1, " +
+        std::to_string(MaxUnrollFactor) + "]");
+
+  UnrolledTripInfo TripInfo = unrolledTripInfo(Plan.Trip, Factor);
+  const CompiledFactor &CF = Plan.Factors[Factor - 1];
+
+  SimResult Result;
+  double MainCycles = 0.0;
+
+  if (CF.Pipelined) {
+    Result.UsedSwp = true;
+    Result.II = CF.II;
+    Result.SpillPairs = CF.SwpSpills;
+    Result.CodeBytes = Machine.codeBytes(
+        static_cast<int>(CF.Main.BodyOps + 2 * CF.SwpSpills));
+    double PerIteration =
+        CF.II + CF.SwpSpills * Machine.config().SpillCycles +
+        icachePenaltyPerIteration(Result.CodeBytes, Machine, Ctx) +
+        dcacheStallPerIteration(CF.Main.UnpairedLoads, Ctx) +
+        alignmentTax(Factor);
+    MainCycles = PerIteration * TripInfo.MainIterations +
+                 static_cast<double>(CF.StageCount - 1) * CF.II * 2.0;
+    Result.CyclesPerIteration = PerIteration / Factor;
+  } else {
+    EvaluatedBody Cost = evaluateBodyCost(CF.Main, Machine, Ctx);
+    Result.SpillPairs = Cost.Spills;
+    Result.ScheduleLength = CF.Main.Length;
+    Result.CodeBytes = Cost.CodeBytes;
+    double PerIteration = Cost.PerIteration + alignmentTax(Factor);
+    MainCycles = PerIteration * TripInfo.MainIterations;
+    Result.CyclesPerIteration = PerIteration / Factor;
+  }
+
+  double EpilogueCycles = 0.0;
+  if (TripInfo.EpilogueIterations > 0) {
+    assert(Plan.HasEpilogue && "plan compiled without its epilogue");
+    EvaluatedBody Epilogue = evaluateBodyCost(Plan.Epilogue, Machine, Ctx);
+    EpilogueCycles = Epilogue.PerIteration * TripInfo.EpilogueIterations +
+                     Machine.config().MispredictPenalty + 2.0;
+  }
+
+  double Overhead = 10.0;
+  if (Factor > 1 && !Plan.HasKnownTrip)
+    Overhead += 10.0 + Machine.config().MispredictPenalty;
+  Overhead += Machine.config().MispredictPenalty;
+  double ColdFraction = std::clamp(
+      64.0 / std::max(1, Ctx.EffectiveIcacheBytes), 0.01, 0.5);
+  Overhead += static_cast<double>(Result.CodeBytes) /
+              Machine.config().L1ILineBytes *
+              Machine.config().L1IMissCycles * ColdFraction;
+
+  Result.Cycles = MainCycles + EpilogueCycles + Overhead;
+  return Result;
+}

@@ -1,6 +1,6 @@
-//===- cache/Fingerprint.cpp ----------------------------------------------===//
+//===- support/Fingerprint.cpp ----------------------------------------------===//
 
-#include "cache/Fingerprint.h"
+#include "support/Fingerprint.h"
 
 #include <cstring>
 
@@ -27,9 +27,41 @@ void FingerprintHasher::word(uint64_t W) {
   Hi = mix(Hi + (W ^ 0x94d049bb133111ebULL));
 }
 
+void FingerprintHasher::absorbWord(uint64_t W) {
+  // Absorbs 8 little-endian bytes in one step, merging across a partial
+  // word if one is buffered: the low 8-PendingBytes bytes of W complete
+  // Pending, the high PendingBytes bytes start the next partial word.
+  // Byte-identical to feeding the 8 bytes individually.
+  if (PendingBytes == 0) {
+    word(W);
+    return;
+  }
+  unsigned Shift = 8 * PendingBytes;
+  word(Pending | (W << Shift));
+  Pending = W >> (64 - Shift);
+}
+
 void FingerprintHasher::bytes(const void *Data, size_t Size) {
   const unsigned char *Bytes = static_cast<const unsigned char *>(Data);
   TotalBytes += Size;
+  // Bulk path: absorb whole 8-byte groups word-at-a-time. The explicit
+  // little-endian assembly keeps the stream byte-identical to the
+  // byte-buffered tail on any host (compilers fold it to a single load
+  // on little-endian targets), and absorbWord merges across any partial
+  // word already buffered.
+  while (Size >= 8) {
+    uint64_t W = static_cast<uint64_t>(Bytes[0]) |
+                 static_cast<uint64_t>(Bytes[1]) << 8 |
+                 static_cast<uint64_t>(Bytes[2]) << 16 |
+                 static_cast<uint64_t>(Bytes[3]) << 24 |
+                 static_cast<uint64_t>(Bytes[4]) << 32 |
+                 static_cast<uint64_t>(Bytes[5]) << 40 |
+                 static_cast<uint64_t>(Bytes[6]) << 48 |
+                 static_cast<uint64_t>(Bytes[7]) << 56;
+    absorbWord(W);
+    Bytes += 8;
+    Size -= 8;
+  }
   for (size_t I = 0; I < Size; ++I) {
     Pending |= static_cast<uint64_t>(Bytes[I]) << (8 * PendingBytes);
     if (++PendingBytes == 8) {
@@ -46,10 +78,10 @@ void FingerprintHasher::str(std::string_view Str) {
 }
 
 void FingerprintHasher::u64(uint64_t Value) {
-  unsigned char Packed[8];
-  for (int I = 0; I < 8; ++I)
-    Packed[I] = static_cast<unsigned char>(Value >> (8 * I));
-  bytes(Packed, sizeof(Packed));
+  // Packing little-endian and re-assembling little-endian is the
+  // identity, so the value absorbs as one word with no byte shuffling.
+  TotalBytes += 8;
+  absorbWord(Value);
 }
 
 void FingerprintHasher::i64(int64_t Value) {

@@ -1,4 +1,4 @@
-//===- cache/Fingerprint.h - Streaming 128-bit fingerprints -----*- C++ -*-===//
+//===- support/Fingerprint.h - Streaming 128-bit fingerprints ---*- C++ -*-===//
 //
 // Part of the metaopt project, a reproduction of "Predicting Unroll Factors
 // Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
@@ -18,8 +18,8 @@
 ///
 //===----------------------------------------------------------------------===//
 
-#ifndef METAOPT_CACHE_FINGERPRINT_H
-#define METAOPT_CACHE_FINGERPRINT_H
+#ifndef METAOPT_SUPPORT_FINGERPRINT_H
+#define METAOPT_SUPPORT_FINGERPRINT_H
 
 #include <cstddef>
 #include <cstdint>
@@ -73,6 +73,7 @@ public:
 
 private:
   void word(uint64_t W);
+  void absorbWord(uint64_t W);
 
   uint64_t Lo = 0x9e3779b97f4a7c15ULL;
   uint64_t Hi = 0xbf58476d1ce4e5b9ULL;
@@ -83,4 +84,4 @@ private:
 
 } // namespace metaopt
 
-#endif // METAOPT_CACHE_FINGERPRINT_H
+#endif // METAOPT_SUPPORT_FINGERPRINT_H

@@ -4,7 +4,7 @@
 
 #include <atomic>
 #include <cassert>
-#include <map>
+#include <vector>
 
 using namespace metaopt;
 
@@ -74,29 +74,42 @@ bool metaopt::isSplittableReduction(const Loop &L, const PhiNode &Phi) {
 
 namespace {
 
-/// Carries the register renaming state across body copies.
+/// Carries the register renaming state across body copies. All tables are
+/// flat arrays indexed by source RegId (x copy where needed) with NoReg as
+/// the "absent" sentinel — unrollLoop runs 8x per simulated loop on the
+/// labeling hot path, and the node-keyed maps this class used to hold
+/// dominated its profile. The tables are lookup-only (never iterated), so
+/// the representation cannot change the output.
 class UnrollContext {
 public:
   UnrollContext(const Loop &Source, Loop &Target, unsigned Factor)
-      : Source(Source), Target(Target), Factor(Factor) {
-    for (const PhiNode &Phi : Source.phis())
+      : Source(Source), Target(Target),
+        LiveInMap(Source.numRegs(), NoReg),
+        PhiDestMap(Source.numRegs(), NoReg),
+        SplitPhiDest(static_cast<size_t>(Source.numRegs()) * Factor, NoReg),
+        IsPhiDest(Source.numRegs(), 0), RecurOf(Source.numRegs(), NoReg),
+        DefMap(static_cast<size_t>(Source.numRegs()) * Factor, NoReg),
+        NumRegs(Source.numRegs()), Factor(Factor) {
+    for (const PhiNode &Phi : Source.phis()) {
+      IsPhiDest[Phi.Dest] = 1;
       RecurOf[Phi.Dest] = Phi.Recur;
+    }
   }
 
   /// Declares that source phi \p Dest was split: copy k reads its own
   /// per-copy phi destination.
   void setSplitPhiDest(RegId SourceDest, unsigned Copy, RegId TargetDest) {
-    SplitPhiDest[{SourceDest, Copy}] = TargetDest;
+    SplitPhiDest[static_cast<size_t>(SourceDest) * Factor + Copy] =
+        TargetDest;
   }
 
   /// Maps a live-in register of the source into the target, creating it on
   /// first use.
   RegId mapLiveIn(RegId Reg) {
-    auto It = LiveInMap.find(Reg);
-    if (It != LiveInMap.end())
-      return It->second;
+    if (LiveInMap[Reg] != NoReg)
+      return LiveInMap[Reg];
     RegId NewReg = Target.addReg(Source.regClass(Reg), Source.regName(Reg));
-    LiveInMap.emplace(Reg, NewReg);
+    LiveInMap[Reg] = NewReg;
     return NewReg;
   }
 
@@ -107,30 +120,27 @@ public:
 
   /// Records that copy \p Copy renamed defined register \p Reg to \p New.
   void setDef(unsigned Copy, RegId Reg, RegId New) {
-    DefMap[Copy][Reg] = New;
+    DefMap[static_cast<size_t>(Copy) * NumRegs + Reg] = New;
   }
 
   /// Resolves the target register holding the value of source register
   /// \p Reg as seen by body copy \p Copy.
   RegId resolve(RegId Reg, unsigned Copy) {
-    auto Split = SplitPhiDest.find({Reg, Copy});
-    if (Split != SplitPhiDest.end())
-      return Split->second;
-    auto Recur = RecurOf.find(Reg);
-    if (Recur != RecurOf.end()) {
+    RegId Split = SplitPhiDest[static_cast<size_t>(Reg) * Factor + Copy];
+    if (Split != NoReg)
+      return Split;
+    if (IsPhiDest[Reg]) {
       // A phi destination: copy 0 reads the (single) target phi; copy k>0
       // reads the value the previous copy computed for the recurrence.
       if (Copy == 0) {
-        auto It = PhiDestMap.find(Reg);
-        assert(It != PhiDestMap.end() && "phi not pre-created");
-        return It->second;
+        assert(PhiDestMap[Reg] != NoReg && "phi not pre-created");
+        return PhiDestMap[Reg];
       }
-      return resolve(Recur->second, Copy - 1);
+      return resolve(RecurOf[Reg], Copy - 1);
     }
-    auto &Defs = DefMap[Copy];
-    auto Def = Defs.find(Reg);
-    if (Def != Defs.end())
-      return Def->second;
+    RegId Def = DefMap[static_cast<size_t>(Copy) * NumRegs + Reg];
+    if (Def != NoReg)
+      return Def;
     assert(Source.isLiveIn(Reg) &&
            "operand neither live-in, phi, nor defined in an earlier copy");
     return mapLiveIn(Reg);
@@ -139,12 +149,14 @@ public:
 private:
   const Loop &Source;
   Loop &Target;
-  [[maybe_unused]] unsigned Factor;
-  std::map<RegId, RegId> LiveInMap;
-  std::map<RegId, RegId> PhiDestMap;
-  std::map<std::pair<RegId, unsigned>, RegId> SplitPhiDest;
-  std::map<RegId, RegId> RecurOf;
-  std::map<unsigned, std::map<RegId, RegId>> DefMap;
+  std::vector<RegId> LiveInMap;
+  std::vector<RegId> PhiDestMap;
+  std::vector<RegId> SplitPhiDest; ///< [SourceDest * Factor + Copy].
+  std::vector<char> IsPhiDest;
+  std::vector<RegId> RecurOf;
+  std::vector<RegId> DefMap; ///< [Copy * NumRegs + Reg].
+  unsigned NumRegs;
+  unsigned Factor;
 };
 
 } // namespace

@@ -130,6 +130,38 @@ TEST(LabelCollectorTest, EquivalentLoopsShareOneSimulationClass) {
   EXPECT_GT(Stats.pruningRate(), 0.0);
 }
 
+TEST(LabelCollectorTest, ContextMutatedClonesStillShareClasses) {
+  // Regression for the dead-pruning bug: the class key used to fold in
+  // the per-loop SimContext, and since the corpus randomizes every
+  // loop's context, every equivalence class was a singleton (0 of 2808
+  // simulations pruned on the quick corpus). The context must stay OUT
+  // of the class key — structurally equivalent loops share one compiled
+  // plan even when their cache/budget contexts differ — while each
+  // member evaluates that plan under its own context, so the pruned
+  // sweep still matches the unpruned one byte for byte.
+  std::vector<Benchmark> Corpus = buildCorpus(tinyCorpus());
+  std::vector<Benchmark> Doubled = {Corpus[0], Corpus[0]};
+  Doubled[1].Name = "ctxclone." + Doubled[1].Name;
+  for (CorpusLoop &Entry : Doubled[1].Loops) {
+    Entry.Ctx.EffectiveIcacheBytes /= 2;
+    Entry.Ctx.DcacheMissRate *= 1.5;
+    Entry.Ctx.IntRegBudget -= 4;
+  }
+
+  LabelingOptions Off = tinyLabeling();
+  Off.PruneEquivalent = false;
+  LabelingStats Stats;
+  Dataset Pruned = collectLabels(Doubled, tinyLabeling(), nullptr, &Stats);
+  Dataset Unpruned = collectLabels(Doubled, Off);
+  EXPECT_EQ(Pruned.toCsv(), Unpruned.toCsv());
+  ASSERT_EQ(Stats.TotalLoops, 2 * Corpus[0].Loops.size());
+  // Every mutated clone still collides with its original.
+  EXPECT_LE(Stats.EquivalenceClasses, Corpus[0].Loops.size());
+  EXPECT_GE(Stats.SimulationsPruned,
+            Corpus[0].Loops.size() * MaxUnrollFactor);
+  EXPECT_GT(Stats.pruningRate(), 0.0);
+}
+
 TEST(LabelCollectorTest, SwpConfigurationDiffers) {
   std::vector<Benchmark> Corpus = buildCorpus(tinyCorpus());
   LabelingOptions NoSwp = tinyLabeling();

@@ -1,0 +1,169 @@
+//===- tests/perf_test.cpp - Labeling fast-path perf & identity -----------===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+// Guards the labeling fast path (sim/SimCompile.h) on two fronts:
+//
+//  * Byte-identity: the compiled plan evaluated at every factor must
+//    reproduce simulateLoop's SimResult bit for bit, over both a
+//    generated corpus slice and every promoted fuzz reproducer in
+//    tests/fuzz_seeds/ — the seeds are loops that broke an oracle once,
+//    so they are exactly the structures most likely to diverge.
+//
+//  * Throughput: the production labeling configuration (pruning on,
+//    4 threads) must beat the serial reference sweep by >= 1.5x on the
+//    quick corpus while producing the byte-identical dataset. The
+//    committed BENCH_pipeline.json records ~2.2x, so the floor leaves
+//    headroom for CI noise; see docs/PERF.md for the design.
+//
+// The suite carries the ctest label `perf` so the CI bench-smoke job can
+// run it in isolation (`ctest -L perf`) on a Release build.
+//
+//===----------------------------------------------------------------------===//
+
+#include "cache/SimCache.h"
+#include "concurrency/ThreadPool.h"
+#include "core/driver/LabelCollector.h"
+#include "corpus/BenchmarkSuite.h"
+#include "ir/Parser.h"
+#include "ir/Verifier.h"
+#include "machine/Machine.h"
+#include "sim/SimCompile.h"
+#include "sim/Simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#ifndef METAOPT_FUZZ_SEED_DIR
+#error "METAOPT_FUZZ_SEED_DIR must point at tests/fuzz_seeds"
+#endif
+
+using namespace metaopt;
+
+namespace {
+
+/// Asserts plan evaluation == simulateLoop at every factor, both SWP
+/// modes, under \p Ctx. \p Where names the loop in failure output.
+void expectFastPathMatches(const Loop &L, const MachineModel &Machine,
+                           const SimContext &Ctx, SimBodyStatsCache *Cache,
+                           const std::string &Where) {
+  for (bool Swp : {false, true}) {
+    LoopSimPlan Plan = compileLoopSim(L, Machine, Ctx, Swp, Cache);
+    for (unsigned Factor = 1; Factor <= MaxUnrollFactor; ++Factor) {
+      SimResult Ref = simulateLoop(L, Factor, Machine, Ctx, Swp);
+      SimResult Fast = evaluatePlan(Plan, Factor, Machine, Ctx);
+      EXPECT_TRUE(Ref == Fast)
+          << Where << " factor " << Factor << " swp " << Swp
+          << ": cycles " << Ref.Cycles << " vs " << Fast.Cycles;
+    }
+  }
+}
+
+double secondsSince(std::chrono::steady_clock::time_point Start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       Start)
+      .count();
+}
+
+/// One cold-cache labeling sweep; returns wall seconds, CSV via out-param.
+double timedSweep(const std::vector<Benchmark> &Corpus,
+                  bool PruneEquivalent, unsigned Threads,
+                  std::string *OutCsv) {
+  ThreadPool::setGlobalThreads(Threads);
+  SimCache RunCache;
+  LabelingOptions Options;
+  Options.PruneEquivalent = PruneEquivalent;
+  Options.Cache = &RunCache;
+  auto Start = std::chrono::steady_clock::now();
+  Dataset Data = collectLabels(Corpus, Options);
+  double Seconds = secondsSince(Start);
+  *OutCsv = Data.toCsv();
+  return Seconds;
+}
+
+} // namespace
+
+TEST(FastPathIdentity, MatchesReferenceOnGeneratedCorpus) {
+  CorpusOptions CorpusOpts;
+  CorpusOpts.MinLoopsPerBenchmark = 2;
+  CorpusOpts.MaxLoopsPerBenchmark = 4;
+  std::vector<Benchmark> Corpus = buildCorpus(CorpusOpts);
+  MachineModel Machine(itanium2Config());
+  SimBodyStatsCache Cache; // Shared: identity must survive body sharing.
+  size_t Checked = 0;
+  for (const Benchmark &Bench : Corpus) {
+    for (const CorpusLoop &Entry : Bench.Loops) {
+      expectFastPathMatches(Entry.TheLoop, Machine, Entry.Ctx, &Cache,
+                            Bench.Name + "/" + Entry.TheLoop.name());
+      ++Checked;
+    }
+  }
+  EXPECT_GT(Checked, 20u);
+  // The corpus repeats loop shapes, so the body cache must actually share.
+  EXPECT_GT(Cache.hits(), 0u);
+}
+
+TEST(FastPathIdentity, MatchesReferenceOnFuzzSeeds) {
+  namespace fs = std::filesystem;
+  fs::path Dir(METAOPT_FUZZ_SEED_DIR);
+  ASSERT_TRUE(fs::exists(Dir)) << Dir;
+  MachineModel Machine(itanium2Config());
+  SimContext Ctx;
+  SimBodyStatsCache Cache;
+  unsigned Compared = 0;
+  for (const fs::directory_entry &Entry : fs::directory_iterator(Dir)) {
+    if (Entry.path().extension() != ".loop")
+      continue;
+    std::ifstream In(Entry.path());
+    ASSERT_TRUE(In) << Entry.path();
+    std::ostringstream Buffer;
+    Buffer << In.rdbuf();
+    ParseResult Parsed =
+        parseLoops(Buffer.str(), Entry.path().filename().string());
+    ASSERT_TRUE(Parsed.succeeded()) << Parsed.Error;
+    for (const Loop &L : Parsed.Loops) {
+      if (!isWellFormed(L) || L.runtimeTripCount() < 0)
+        continue; // simulateLoop itself rejects these.
+      expectFastPathMatches(L, Machine, Ctx, &Cache,
+                            Entry.path().filename().string() + "/" +
+                                L.name());
+      ++Compared;
+    }
+  }
+  EXPECT_GT(Compared, 0u);
+}
+
+TEST(LabelingThroughput, ProductionBeatsSerialReferenceAt4Threads) {
+  std::vector<Benchmark> Corpus = buildCorpus(CorpusOptions{});
+
+  // Best-of-two per mode damps scheduler noise on busy CI machines; the
+  // floor (1.5x) sits well under the ~2.2x the bench records.
+  std::string SerialCsv, ProductionCsv;
+  double Serial = timedSweep(Corpus, /*PruneEquivalent=*/false,
+                             /*Threads=*/1, &SerialCsv);
+  {
+    std::string Again;
+    Serial = std::min(Serial, timedSweep(Corpus, false, 1, &Again));
+    ASSERT_EQ(SerialCsv, Again);
+  }
+  double Production = timedSweep(Corpus, /*PruneEquivalent=*/true,
+                                 /*Threads=*/4, &ProductionCsv);
+  {
+    std::string Again;
+    Production = std::min(Production, timedSweep(Corpus, true, 4, &Again));
+    ASSERT_EQ(ProductionCsv, Again);
+  }
+  ThreadPool::setGlobalThreads(ThreadPool::defaultThreadCount());
+
+  // The contract half: identical datasets.
+  EXPECT_EQ(SerialCsv, ProductionCsv);
+  // The throughput half: the whole point of the fast path.
+  ASSERT_GT(Production, 0.0);
+  EXPECT_GE(Serial / Production, 1.5)
+      << "serial " << Serial << "s vs production " << Production << "s";
+}

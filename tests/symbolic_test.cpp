@@ -498,6 +498,30 @@ TEST(Canonical, SurfaceDetailsCanonicalizeAway) {
   EXPECT_NE(canonicalSimText(A), canonicalSimText(D));
 }
 
+TEST(Canonical, SimKeyCollidesForHandBuiltEquivalentLoops) {
+  // The labeling pruner groups loops by canonicalSimKey, not by the
+  // printed canonical text, so the key itself must collide for loops
+  // that differ only in simulation-irrelevant surface detail. This is
+  // the class-key side of the PR-7 pruning bug (the key used to fold in
+  // the per-loop SimContext, making every class a singleton).
+  Loop A = surfaceVariant("first", SourceLanguage::C, 1, 0, 1, "p");
+  Loop B = surfaceVariant("second", SourceLanguage::Fortran, 3, 7, 2, "q");
+  EXPECT_EQ(canonicalSimKey(A), canonicalSimKey(B));
+
+  // Structural differences must keep distinct keys: a changed stride...
+  LoopBuilder C("third", SourceLanguage::C, 1, 256);
+  RegId Alpha = C.liveIn(RegClass::Float, "alpha");
+  RegId X = C.load(RegClass::Float, {0, /*Stride=*/16});
+  RegId Y = C.load(RegClass::Float, {1, /*Stride=*/8});
+  C.store(C.fma(Alpha, X, Y), {1, /*Stride=*/8});
+  EXPECT_FALSE(canonicalSimKey(A) == canonicalSimKey(C.finalize()));
+
+  // ...and a changed trip count (it feeds the simulated cost directly).
+  Loop D = surfaceVariant("fourth", SourceLanguage::C, 1, 0, 1, "p");
+  D.setTripCount(128);
+  EXPECT_FALSE(canonicalSimKey(A) == canonicalSimKey(D));
+}
+
 TEST(Canonical, SimulatorIsInvariantUnderCanonicalization) {
   Loop A = surfaceVariant("orig", SourceLanguage::Fortran90, 2, 5, 3, "v");
   Loop Canon = canonicalSimForm(A);
