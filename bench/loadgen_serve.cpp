@@ -3,10 +3,10 @@
 // Part of the metaopt project, a reproduction of "Predicting Unroll Factors
 // Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
 //
-// Drives a running metaopt-serve daemon with N concurrent closed-loop
-// clients (each sends a request, waits for the response, sends the next)
-// and reports throughput and client-observed latency percentiles as one
-// JSON row — the serving counterpart of the microbench_* harnesses.
+// Drives a running metaopt-serve daemon (or a metaopt-gateway fronting a
+// fleet) with concurrent closed-loop clients and reports throughput and
+// client-observed latency percentiles as one JSON row — the serving
+// counterpart of the microbench_* harnesses.
 //
 // The generator also enforces the serving correctness contract while it
 // measures: every response to the same request text must be byte-identical
@@ -14,22 +14,49 @@
 // the run fail (exit 1), so a throughput number from this harness is also
 // a determinism certificate.
 //
+// Two modes:
+//
+//  * Legacy (default): N clients x M requests each, byte-identity against
+//    a serial reference pass over the same endpoint. One "bench" row on
+//    stdout; used by tests/serve_smoke.sh.
+//
+//  * Soak (--soak): run for a wall-clock duration with a mixed workload —
+//    steady closed-loop clients, reconnecting clients, slow readers that
+//    dribble their reads, stallers that park a partial frame (expecting
+//    the server's read deadline to close them), and oversized senders
+//    (expecting bad-request + close). Optionally hot-swaps the served
+//    bundle mid-run (--swap-bundle/--swap-target) and confirms the fleet
+//    picked it up via health checksums. Emits one "serve_soak" experiment
+//    row (p50/p99/p999) on stdout and, with --bench=<name>, into
+//    BENCH_<name>.json for metaopt-benchcheck.
+//
 // Usage:
-//   loadgen_serve --socket=<path> [--clients=32] [--requests=50]
+//   loadgen_serve --socket=<addr> [--clients=32] [--requests=50]
 //                 [--scores] [--deadline-ms=<ms>] [<file.loop> ...]
+//   loadgen_serve --socket=<addr> --soak --duration-s=10 --label=steady
+//                 [--reference=<addr>] [--reconnectors=2] [--slow-readers=1]
+//                 [--stallers=1] [--oversized=1] [--oversized-bytes=<n>]
+//                 [--swap-bundle=<file> --swap-target=<live-path>]
+//                 [--bench=serve] [--bench-append]
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "serve/Client.h"
+#include "serve/Json.h"
+#include "serve/ModelBundle.h"
 #include "support/CommandLine.h"
 
 #include <algorithm>
 #include <atomic>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <mutex>
+#include <poll.h>
 #include <sstream>
+#include <sys/socket.h>
 #include <thread>
 #include <vector>
 
@@ -94,18 +121,470 @@ double percentile(std::vector<double> &Sorted, double P) {
   return Sorted[Rank];
 }
 
+//===----------------------------------------------------------------------===//
+// Soak mode
+//===----------------------------------------------------------------------===//
+
+using Clock = std::chrono::steady_clock;
+
+struct SoakConfig {
+  std::string Address;
+  std::string Reference;  ///< Direct worker for byte-identity (optional).
+  std::vector<std::string> LoopTexts;
+  bool WantScores = false;
+  int64_t DeadlineMs = 0;
+  int64_t DurationS = 10;
+  int64_t Steady = 4;
+  int64_t Reconnectors = 0;
+  int64_t SlowReaders = 0;
+  int64_t Stallers = 0;
+  int64_t Oversized = 0;
+  int64_t OversizedBytes = (1 << 20) + 1024;
+  std::string SwapBundle;  ///< Bundle file to promote mid-run.
+  std::string SwapTarget;  ///< Live path the worker fleet watches.
+  std::string Label = "steady";
+  Clock::time_point End;
+};
+
+/// Counters shared by every soak client thread.
+struct SoakState {
+  std::atomic<uint64_t> Completed{0};
+  std::atomic<uint64_t> Errors{0};
+  std::atomic<uint64_t> Reconnects{0};
+  std::atomic<uint64_t> ExpectedCloses{0};
+  std::atomic<uint64_t> OversizedRejects{0};
+  std::atomic<uint64_t> Mismatches{0};
+  std::atomic<uint64_t> BundleSwaps{0};
+
+  std::mutex Mutex;
+  std::vector<double> LatenciesMs;
+  std::string FirstError;
+
+  void recordLatency(double Ms) {
+    std::lock_guard<std::mutex> Lock(Mutex);
+    LatenciesMs.push_back(Ms);
+  }
+  void recordError(const std::string &Why) {
+    Errors.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> Lock(Mutex);
+    if (FirstError.empty())
+      FirstError = Why;
+  }
+};
+
+bool sendAll(int Fd, const char *Data, size_t Len) {
+  while (Len > 0) {
+    ssize_t N = ::send(Fd, Data, Len, MSG_NOSIGNAL);
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N <= 0)
+      return false;
+    Data += N;
+    Len -= static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// Checks one response against the reference (byte identity) or, without
+/// a reference, against the protocol (parses, status ok).
+void checkResponse(const SoakConfig &Config, SoakState &State,
+                   size_t LoopIndex, const std::string &Line,
+                   const std::vector<std::string> &Reference) {
+  if (!Reference.empty()) {
+    if (Line != Reference[LoopIndex]) {
+      State.Mismatches.fetch_add(1, std::memory_order_relaxed);
+      State.recordError("response diverged from the reference: " + Line);
+    }
+    return;
+  }
+  std::optional<JsonValue> Doc = parseJson(Line);
+  if (!Doc || Doc->getString("status") != "ok") {
+    State.Mismatches.fetch_add(1, std::memory_order_relaxed);
+    State.recordError("non-ok response under soak: " + Line);
+  }
+  (void)Config;
+}
+
+/// A steady closed-loop client; with \p ReconnectEvery > 0 it drops and
+/// re-establishes its connection every that-many requests.
+void steadyClient(const SoakConfig &Config, SoakState &State,
+                  const std::vector<std::string> &Reference, size_t Seed,
+                  int64_t ReconnectEvery) {
+  ServeClient Client;
+  std::string Error;
+  if (!Client.connectWithRetry(Config.Address, 2000, &Error)) {
+    State.recordError("connect: " + Error);
+    return;
+  }
+  size_t Sent = 0;
+  for (size_t R = Seed; Clock::now() < Config.End; ++R) {
+    if (ReconnectEvery > 0 &&
+        Sent == static_cast<size_t>(ReconnectEvery)) {
+      Client.close();
+      if (!Client.connectWithRetry(Config.Address, 2000, &Error)) {
+        State.recordError("reconnect: " + Error);
+        return;
+      }
+      State.Reconnects.fetch_add(1, std::memory_order_relaxed);
+      Sent = 0;
+    }
+    size_t LoopIndex = R % Config.LoopTexts.size();
+    WireRequest Request;
+    Request.TheOp = WireRequest::Op::Predict;
+    Request.LoopText = Config.LoopTexts[LoopIndex];
+    Request.WantScores = Config.WantScores;
+    Request.DeadlineMs = Config.DeadlineMs;
+    auto T0 = Clock::now();
+    std::optional<std::string> Line = Client.request(Request, &Error);
+    auto T1 = Clock::now();
+    if (!Line) {
+      State.recordError("request: " + Error);
+      return;
+    }
+    ++Sent;
+    State.Completed.fetch_add(1, std::memory_order_relaxed);
+    State.recordLatency(
+        std::chrono::duration<double, std::milli>(T1 - T0).count());
+    checkResponse(Config, State, LoopIndex, *Line, Reference);
+  }
+}
+
+/// A well-behaved but slow client: sends health requests and reads the
+/// response a few bytes at a time, exercising the server's partial-write
+/// path without tripping its write deadline.
+void slowReaderClient(const SoakConfig &Config, SoakState &State) {
+  WireRequest Health;
+  Health.TheOp = WireRequest::Op::Health;
+  std::string RequestLine = renderRequestLine(Health) + "\n";
+  while (Clock::now() < Config.End) {
+    ServeClient Client;
+    std::string Error;
+    if (!Client.connectWithRetry(Config.Address, 2000, &Error)) {
+      State.recordError("slow-reader connect: " + Error);
+      return;
+    }
+    auto T0 = Clock::now();
+    if (!sendAll(Client.fd(), RequestLine.data(), RequestLine.size())) {
+      State.recordError("slow-reader send failed");
+      return;
+    }
+    std::string Line;
+    bool Eof = false;
+    while (Clock::now() < Config.End + std::chrono::seconds(2)) {
+      char Chunk[8];
+      ssize_t N = ::recv(Client.fd(), Chunk, sizeof(Chunk), 0);
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0) {
+        Eof = true;
+        break;
+      }
+      Line.append(Chunk, static_cast<size_t>(N));
+      if (Line.find('\n') != std::string::npos)
+        break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    if (Eof || Line.find('\n') == std::string::npos) {
+      State.recordError("slow reader lost its connection mid-response");
+      return;
+    }
+    State.Completed.fetch_add(1, std::memory_order_relaxed);
+    State.recordLatency(std::chrono::duration<double, std::milli>(
+                            Clock::now() - T0)
+                            .count());
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  }
+}
+
+/// A misbehaving client that parks a partial frame and goes silent. The
+/// server's read deadline must eventually close the connection; each such
+/// close is counted as expected, not as an error.
+void stallerClient(const SoakConfig &Config, SoakState &State) {
+  static const char Partial[] = "{\"op\":\"heal";
+  while (Clock::now() < Config.End) {
+    ServeClient Client;
+    std::string Error;
+    if (!Client.connectWithRetry(Config.Address, 2000, &Error)) {
+      State.recordError("staller connect: " + Error);
+      return;
+    }
+    if (!sendAll(Client.fd(), Partial, sizeof(Partial) - 1))
+      continue; // Raced with shutdown; retry until the soak ends.
+    // Wait for the server to hang up on us.
+    while (Clock::now() < Config.End) {
+      struct pollfd Pfd = {Client.fd(), POLLIN, 0};
+      int Ready = ::poll(&Pfd, 1, 100);
+      if (Ready < 0 && errno == EINTR)
+        continue;
+      if (Ready <= 0)
+        continue;
+      char Chunk[64];
+      ssize_t N = ::recv(Client.fd(), Chunk, sizeof(Chunk), 0);
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0) {
+        State.ExpectedCloses.fetch_add(1, std::memory_order_relaxed);
+        break;
+      }
+      // A reject line before the close also counts as the hang-up path.
+    }
+  }
+}
+
+/// A misbehaving client that sends one oversized request line per round;
+/// the server must answer bad-request and close.
+void oversizedClient(const SoakConfig &Config, SoakState &State) {
+  std::string Giant(static_cast<size_t>(Config.OversizedBytes), 'a');
+  Giant += '\n';
+  while (Clock::now() < Config.End) {
+    ServeClient Client;
+    std::string Error;
+    if (!Client.connectWithRetry(Config.Address, 2000, &Error)) {
+      State.recordError("oversized connect: " + Error);
+      return;
+    }
+    // The server may slam the door mid-send; both a reject line and a
+    // straight close count as the rejection we are probing for.
+    (void)sendAll(Client.fd(), Giant.data(), Giant.size());
+    std::string Head;
+    while (Clock::now() < Config.End + std::chrono::seconds(2)) {
+      char Chunk[256];
+      ssize_t N = ::recv(Client.fd(), Chunk, sizeof(Chunk), 0);
+      if (N < 0 && errno == EINTR)
+        continue;
+      if (N <= 0)
+        break;
+      Head.append(Chunk, static_cast<size_t>(N));
+      if (Head.find('\n') != std::string::npos)
+        break;
+    }
+    if (!Head.empty() && Head.find("bad-request") == std::string::npos) {
+      State.recordError("oversized line was not rejected: " + Head);
+      return;
+    }
+    State.OversizedRejects.fetch_add(1, std::memory_order_relaxed);
+    std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  }
+}
+
+/// Reads the active bundle checksum(s) from one health response: the
+/// top-level checksum for a worker, or the healthy backends' checksums
+/// for a gateway. Returns true when the fleet (as visible through
+/// \p Address) has fully converged on \p Expected.
+bool fleetServesChecksum(const std::string &Address,
+                         const std::string &Expected) {
+  ServeClient Client;
+  if (!Client.connect(Address))
+    return false;
+  WireRequest Health;
+  Health.TheOp = WireRequest::Op::Health;
+  std::optional<std::string> Line = Client.request(Health);
+  if (!Line)
+    return false;
+  std::optional<JsonValue> Doc = parseJson(*Line);
+  if (!Doc)
+    return false;
+  std::string Direct = Doc->getString("bundle_checksum");
+  if (!Direct.empty())
+    return Direct == Expected;
+  const JsonValue *Backends = Doc->get("backends");
+  if (!Backends || !Backends->isArray())
+    return false;
+  size_t Healthy = 0;
+  for (const JsonValue &Backend : Backends->Items) {
+    if (!Backend.getBool("healthy", false))
+      continue;
+    ++Healthy;
+    if (Backend.getString("bundle_checksum") != Expected)
+      return false;
+  }
+  return Healthy > 0;
+}
+
+/// Promotes Config.SwapBundle to Config.SwapTarget (atomic tmp+rename)
+/// halfway through the soak, then polls health until every healthy
+/// serving process reports the new checksum.
+void bundleSwapper(const SoakConfig &Config, SoakState &State,
+                   Clock::time_point Start) {
+  std::string Error;
+  std::optional<ModelBundle> Swapped =
+      loadBundleFile(Config.SwapBundle, &Error);
+  if (!Swapped) {
+    State.recordError("swap bundle unloadable: " + Error);
+    return;
+  }
+  std::string Expected = bundleChecksumHex(*Swapped);
+
+  auto Halfway = Start + (Config.End - Start) / 2;
+  std::this_thread::sleep_until(Halfway);
+
+  // saveBundleFile publishes atomically (tmp + rename), so the watching
+  // workers see either the old complete bundle or the new one.
+  if (!saveBundleFile(*Swapped, Config.SwapTarget, &Error)) {
+    State.recordError("could not publish the swap bundle: " + Error);
+    return;
+  }
+
+  // The fleet must converge before the soak ends (plus a short grace
+  // period so slow reload polls are not a spurious failure).
+  auto Deadline = Config.End + std::chrono::seconds(10);
+  while (Clock::now() < Deadline) {
+    if (fleetServesChecksum(Config.Address, Expected)) {
+      State.BundleSwaps.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  State.recordError("fleet never converged on the swapped bundle");
+}
+
+int runSoak(SoakConfig Config, const std::string &BenchName,
+            bool BenchAppend) {
+  // Byte-identity reference (optional): one serial pass against a direct
+  // worker. Skipped when a mid-run swap is scheduled — the bytes then
+  // legitimately change under the clients' feet, so each response is
+  // instead validated as a well-formed ok response.
+  std::vector<std::string> Reference;
+  if (!Config.Reference.empty() && Config.SwapBundle.empty()) {
+    ServeClient Client;
+    std::string Error;
+    if (!Client.connectWithRetry(Config.Reference, 2000, &Error)) {
+      std::fprintf(stderr, "loadgen_serve: reference: %s\n", Error.c_str());
+      return 1;
+    }
+    for (const std::string &Text : Config.LoopTexts) {
+      WireRequest Request;
+      Request.TheOp = WireRequest::Op::Predict;
+      Request.LoopText = Text;
+      Request.WantScores = Config.WantScores;
+      Request.DeadlineMs = Config.DeadlineMs;
+      std::optional<std::string> Line = Client.request(Request, &Error);
+      if (!Line) {
+        std::fprintf(stderr, "loadgen_serve: reference pass: %s\n",
+                     Error.c_str());
+        return 1;
+      }
+      Reference.push_back(*Line);
+    }
+  }
+
+  SoakState State;
+  auto Start = Clock::now();
+  Config.End = Start + std::chrono::seconds(Config.DurationS);
+
+  std::vector<std::thread> Threads;
+  for (int64_t C = 0; C < Config.Steady; ++C)
+    Threads.emplace_back([&, C] {
+      steadyClient(Config, State, Reference, static_cast<size_t>(C), 0);
+    });
+  for (int64_t C = 0; C < Config.Reconnectors; ++C)
+    Threads.emplace_back([&, C] {
+      steadyClient(Config, State, Reference, static_cast<size_t>(C), 5);
+    });
+  for (int64_t C = 0; C < Config.SlowReaders; ++C)
+    Threads.emplace_back([&] { slowReaderClient(Config, State); });
+  for (int64_t C = 0; C < Config.Stallers; ++C)
+    Threads.emplace_back([&] { stallerClient(Config, State); });
+  for (int64_t C = 0; C < Config.Oversized; ++C)
+    Threads.emplace_back([&] { oversizedClient(Config, State); });
+  if (!Config.SwapBundle.empty())
+    Threads.emplace_back([&] { bundleSwapper(Config, State, Start); });
+  for (std::thread &T : Threads)
+    T.join();
+  double WallS =
+      std::chrono::duration<double>(Clock::now() - Start).count();
+
+  std::sort(State.LatenciesMs.begin(), State.LatenciesMs.end());
+  uint64_t Completed = State.Completed.load();
+  uint64_t Errors = State.Errors.load();
+  if (!Config.SwapBundle.empty() && State.BundleSwaps.load() == 0)
+    ++Errors; // recordError already captured the reason.
+  bool Matches = State.Mismatches.load() == 0;
+  int64_t TotalClients = Config.Steady + Config.Reconnectors +
+                         Config.SlowReaders + Config.Stallers +
+                         Config.Oversized;
+
+  char RowText[1024];
+  std::snprintf(
+      RowText, sizeof(RowText),
+      "{\"experiment\": \"serve_soak\", \"mode\": \"%s\", "
+      "\"duration_s\": %.1f, \"clients\": %lld, \"completed\": %llu, "
+      "\"errors\": %llu, \"reconnects\": %llu, \"expected_closes\": %llu, "
+      "\"oversized_rejects\": %llu, \"bundle_swaps\": %llu, "
+      "\"throughput_rps\": %.1f, \"p50_ms\": %.3f, \"p99_ms\": %.3f, "
+      "\"p999_ms\": %.3f, \"matches_reference\": %s}",
+      Config.Label.c_str(), WallS,
+      static_cast<long long>(TotalClients),
+      static_cast<unsigned long long>(Completed),
+      static_cast<unsigned long long>(Errors),
+      static_cast<unsigned long long>(State.Reconnects.load()),
+      static_cast<unsigned long long>(State.ExpectedCloses.load()),
+      static_cast<unsigned long long>(State.OversizedRejects.load()),
+      static_cast<unsigned long long>(State.BundleSwaps.load()),
+      WallS > 0 ? static_cast<double>(Completed) / WallS : 0.0,
+      percentile(State.LatenciesMs, 0.50),
+      percentile(State.LatenciesMs, 0.99),
+      percentile(State.LatenciesMs, 0.999), Matches ? "true" : "false");
+  std::printf("%s\n", RowText);
+
+  if (!BenchName.empty()) {
+    BenchJsonWriter Writer(BenchName, BenchAppend);
+    Writer.row(RowText);
+    if (!Writer.flush()) {
+      std::fprintf(stderr, "loadgen_serve: cannot write %s\n",
+                   Writer.path().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "loadgen_serve: row %s to %s\n",
+                 BenchAppend ? "appended" : "written",
+                 Writer.path().c_str());
+  }
+
+  if (Errors != 0) {
+    std::lock_guard<std::mutex> Lock(State.Mutex);
+    std::fprintf(stderr, "loadgen_serve: soak saw %llu error(s); first: %s\n",
+                 static_cast<unsigned long long>(Errors),
+                 State.FirstError.c_str());
+    return 1;
+  }
+  return 0;
+}
+
 } // namespace
 
 int main(int Argc, char **Argv) {
   CliParser Cli("loadgen_serve",
                 "Closed-loop load generator for metaopt-serve: N "
                 "concurrent clients,\nthroughput + latency percentiles "
-                "as a JSON row, with byte-identity checks.");
-  Cli.option("socket", "path", "daemon socket to connect to (required)");
+                "as a JSON row, with byte-identity checks.\n--soak runs "
+                "a sustained mixed workload (reconnects, slow readers,\n"
+                "stallers, oversized frames, optional mid-run bundle "
+                "hot-swap).");
+  Cli.option("socket", "addr",
+             "daemon address: unix socket path or host:port (required)");
   Cli.option("clients", "n", "concurrent client connections (default: 32)");
   Cli.option("requests", "n", "requests per client (default: 50)");
   Cli.flag("scores", "request per-factor scores");
   Cli.option("deadline-ms", "ms", "per-request deadline (default: none)");
+  Cli.flag("soak", "sustained mixed-workload mode (serve_soak row)");
+  Cli.option("duration-s", "s", "soak wall-clock duration (default: 10)");
+  Cli.option("label", "name", "soak row \"mode\" label (default: steady)");
+  Cli.option("reference", "addr",
+             "direct worker for the soak byte-identity reference");
+  Cli.option("reconnectors", "n", "soak clients that reconnect (default: 0)");
+  Cli.option("slow-readers", "n",
+             "soak clients that dribble reads (default: 0)");
+  Cli.option("stallers", "n",
+             "soak clients that park partial frames (default: 0)");
+  Cli.option("oversized", "n",
+             "soak clients that send oversized lines (default: 0)");
+  Cli.option("oversized-bytes", "n",
+             "size of an oversized line (default: 1 MiB + 1 KiB)");
+  Cli.option("swap-bundle", "file", "bundle to hot-swap in mid-soak");
+  Cli.option("swap-target", "path", "live bundle path the fleet watches");
+  Cli.option("bench", "name",
+             "also write the soak row to BENCH_<name>.json");
+  Cli.flag("bench-append", "append to the bench file instead of rewriting");
   Cli.positionalHelp("[<file.loop> ...]",
                      "loop files to cycle through (default: built-ins)");
   if (std::optional<int> Exit = Cli.parse(Argc, Argv))
@@ -141,6 +620,46 @@ int main(int Argc, char **Argv) {
   if (LoopTexts.empty())
     for (const char *Text : BuiltinLoops)
       LoopTexts.emplace_back(Text);
+
+  if (Cli.has("soak")) {
+    SoakConfig Config;
+    Config.Address = SocketPath;
+    Config.Reference = Cli.getString("reference");
+    Config.LoopTexts = LoopTexts;
+    Config.WantScores = WantScores;
+    Config.DeadlineMs = DeadlineMs;
+    Config.DurationS = Cli.getInt("duration-s", 10);
+    Config.Steady = Cli.has("clients") ? Clients : 4;
+    Config.Reconnectors = Cli.getInt("reconnectors", 0);
+    Config.SlowReaders = Cli.getInt("slow-readers", 0);
+    Config.Stallers = Cli.getInt("stallers", 0);
+    Config.Oversized = Cli.getInt("oversized", 0);
+    Config.OversizedBytes =
+        Cli.getInt("oversized-bytes", Config.OversizedBytes);
+    Config.SwapBundle = Cli.getString("swap-bundle");
+    Config.SwapTarget = Cli.getString("swap-target");
+    Config.Label = Cli.has("label") ? Cli.getString("label") : "steady";
+    if (Config.DurationS < 1 || Config.Steady < 0 ||
+        Config.Reconnectors < 0 || Config.SlowReaders < 0 ||
+        Config.Stallers < 0 || Config.Oversized < 0 ||
+        Config.OversizedBytes < 2) {
+      std::fprintf(stderr, "loadgen_serve: bad soak tuning\n");
+      return 2;
+    }
+    if (Config.SwapBundle.empty() != Config.SwapTarget.empty()) {
+      std::fprintf(stderr, "loadgen_serve: --swap-bundle and --swap-target "
+                           "go together\n");
+      return 2;
+    }
+    if (Config.Steady + Config.Reconnectors + Config.SlowReaders +
+            Config.Stallers + Config.Oversized <
+        1) {
+      std::fprintf(stderr, "loadgen_serve: soak needs at least one client\n");
+      return 2;
+    }
+    return runSoak(std::move(Config), Cli.getString("bench"),
+                   Cli.has("bench-append"));
+  }
 
   auto RequestFor = [&](size_t Index) {
     WireRequest Request;

@@ -5,7 +5,8 @@
 //
 // Wall-clock of the full-corpus lint sweep (analysis/lint via
 // corpus/CorpusAudit) across the work-stealing pool, printed as JSON rows
-// (one object per line). Also re-checks the determinism contract: every
+// (one object per line) and rewritten into BENCH_lint.json for
+// metaopt-benchcheck. Also re-checks the determinism contract: every
 // thread count must produce the byte-identical findings the serial sweep
 // produces, and the shipped corpus must stay error-free.
 //
@@ -14,6 +15,7 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "BenchCommon.h"
 #include "concurrency/ThreadPool.h"
 #include "corpus/CorpusAudit.h"
 #include "support/CommandLine.h"
@@ -67,6 +69,7 @@ int main(int Argc, char **Argv) {
 
   std::vector<Benchmark> Corpus = buildCorpus();
 
+  BenchJsonWriter Writer("lint");
   double BaselineSeconds = 0.0;
   std::string BaselineFindings;
   bool SeenBaseline = false;
@@ -84,15 +87,26 @@ int main(int Argc, char **Argv) {
     }
     bool Deterministic = Findings == BaselineFindings;
     double Speedup = BaselineSeconds > 0.0 ? BaselineSeconds / Seconds : 1.0;
-    std::printf("{\"experiment\": \"lint_sweep\", \"threads\": %u, "
-                "\"loops\": %zu, \"errors\": %zu, \"warnings\": %zu, "
-                "\"notes\": %zu, \"seconds\": %.3f, "
-                "\"speedup_vs_serial\": %.2f, "
-                "\"findings_match_serial\": %s}\n",
-                Threads, Result.LoopsAudited, Result.Errors, Result.Warnings,
-                Result.Notes, Seconds, Speedup,
-                Deterministic ? "true" : "false");
+    char Row[512];
+    std::snprintf(Row, sizeof(Row),
+                  "{\"experiment\": \"lint_sweep\", \"threads\": %u, "
+                  "\"loops\": %zu, \"errors\": %zu, \"warnings\": %zu, "
+                  "\"notes\": %zu, \"seconds\": %.3f, "
+                  "\"speedup_vs_serial\": %.2f, "
+                  "\"findings_match_serial\": %s}",
+                  Threads, Result.LoopsAudited, Result.Errors,
+                  Result.Warnings, Result.Notes, Seconds, Speedup,
+                  Deterministic ? "true" : "false");
+    std::printf("%s\n", Row);
     std::fflush(stdout);
+    Writer.row(Row);
   }
+  if (!Writer.flush()) {
+    std::fprintf(stderr, "microbench_lint: cannot write %s\n",
+                 Writer.path().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "microbench_lint: %zu rows -> %s\n", Writer.size(),
+               Writer.path().c_str());
   return 0;
 }

@@ -1,0 +1,315 @@
+//===- gateway/Gateway.cpp ------------------------------------------------===//
+
+#include "gateway/Gateway.h"
+
+#include "serve/Protocol.h"
+#include "support/CommandLine.h"
+
+#include <map>
+#include <thread>
+
+using namespace metaopt;
+
+namespace {
+
+/// Per-client-connection cache of backend connections, stored in
+/// LineConnection::User. Each client connection is served by exactly one
+/// transport thread, so the map needs no locking; tearing down the client
+/// connection drops its backend sockets with it.
+using BackendClientMap = std::map<size_t, std::unique_ptr<ServeClient>>;
+
+BackendClientMap &clientMapFor(LineConnection &Conn) {
+  if (!Conn.User)
+    Conn.User = std::make_shared<BackendClientMap>();
+  return *std::static_pointer_cast<BackendClientMap>(Conn.User);
+}
+
+} // namespace
+
+Gateway::Gateway(GatewayOptions Opts) : Options(std::move(Opts)) {
+  for (const std::string &Address : Options.Backends) {
+    Ring.addNode(Address, Options.VirtualNodes);
+    auto B = std::make_unique<Backend>();
+    B->Address = Address;
+    Backends.push_back(std::move(B));
+  }
+
+  TransportOptions T;
+  T.SocketPath = Options.SocketPath;
+  T.TcpHost = Options.TcpHost;
+  T.TcpPort = Options.TcpPort;
+  T.Backlog = Options.Backlog;
+  T.MaxRequestBytes = Options.MaxRequestBytes;
+  T.ReadTimeout = Options.ReadTimeout;
+  T.WriteTimeout = Options.WriteTimeout;
+  T.DrainTimeout = Options.DrainTimeout;
+  T.RejectResponse = renderErrorResponse(
+      "", "bad-request",
+      "request line exceeds " + std::to_string(Options.MaxRequestBytes) +
+          " bytes or is not line-delimited JSON");
+  T.ExternalStop = [this] { return Stop.load(std::memory_order_acquire); };
+  Transport = std::make_unique<LineServer>(
+      std::move(T), [this](const std::string &Line, LineConnection &Conn) {
+        return handleLine(Line, Conn);
+      });
+}
+
+Gateway::~Gateway() = default;
+
+bool Gateway::stopRequested() const {
+  return Stop.load(std::memory_order_acquire) || serverStopFlag();
+}
+
+void Gateway::requestStop() {
+  Stop.store(true, std::memory_order_release);
+  Transport->requestStop();
+}
+
+bool Gateway::run(std::string *Error) {
+  if (Backends.empty()) {
+    if (Error)
+      *Error = "gateway requires at least one backend";
+    return false;
+  }
+  // Probe once before accepting traffic so the first requests already
+  // know which backends are answering.
+  probeBackends();
+  std::thread Checker([this] { healthLoop(); });
+  bool Ok = Transport->run(Error);
+  Stop.store(true, std::memory_order_release);
+  Checker.join();
+  return Ok;
+}
+
+std::string Gateway::handleLine(const std::string &Line,
+                                LineConnection &Conn) {
+  std::string ParseError;
+  std::optional<WireRequest> Request = parseRequestLine(Line, &ParseError);
+  if (!Request)
+    return renderErrorResponse("", "malformed", ParseError);
+
+  switch (Request->TheOp) {
+  case WireRequest::Op::Health:
+    return renderGatewayHealth(Request->Id);
+  case WireRequest::Op::Stats:
+    return renderGatewayStats(Request->Id);
+  case WireRequest::Op::Shutdown:
+    requestStop();
+    return renderShutdownResponse(Request->Id);
+  case WireRequest::Op::Predict:
+    return handlePredict(*Request, Line, Conn);
+  }
+  return renderErrorResponse(Request->Id, "malformed", "unknown op");
+}
+
+std::string Gateway::handlePredict(const WireRequest &Request,
+                                   const std::string &Line,
+                                   LineConnection &Conn) {
+  // Admission control: refuse beyond MaxInFlight instead of queueing.
+  int64_t Now = InFlight.fetch_add(1, std::memory_order_acq_rel) + 1;
+  if (Options.MaxInFlight > 0 &&
+      Now > static_cast<int64_t>(Options.MaxInFlight)) {
+    InFlight.fetch_sub(1, std::memory_order_acq_rel);
+    OverloadedCount.fetch_add(1, std::memory_order_relaxed);
+    return renderErrorResponse(Request.Id, "overloaded",
+                               "gateway at capacity");
+  }
+  struct InFlightGuard {
+    std::atomic<int64_t> &Count;
+    ~InFlightGuard() { Count.fetch_sub(1, std::memory_order_acq_rel); }
+  } Guard{InFlight};
+
+  Predicts.fetch_add(1, std::memory_order_relaxed);
+
+  std::vector<size_t> Order = Ring.route(loopRoutingKey(Request.LoopText));
+  // Healthy backends first, preserving ring order within each class, so a
+  // known-down home shard does not eat a connect failure per request.
+  std::vector<size_t> Plan;
+  Plan.reserve(Order.size());
+  for (size_t Index : Order)
+    if (Backends[Index]->Healthy.load(std::memory_order_acquire))
+      Plan.push_back(Index);
+  for (size_t Index : Order)
+    if (!Backends[Index]->Healthy.load(std::memory_order_acquire))
+      Plan.push_back(Index);
+
+  BackendClientMap &Clients = clientMapFor(Conn);
+  size_t Attempts = 0;
+  for (size_t Index : Plan) {
+    Backend &B = *Backends[Index];
+    ++Attempts;
+
+    std::unique_ptr<ServeClient> &Slot = Clients[Index];
+    if (!Slot || !Slot->connected()) {
+      auto Fresh = std::make_unique<ServeClient>();
+      Fresh->setIoTimeout(Options.BackendIoTimeout);
+      if (!Fresh->connect(B.Address)) {
+        B.Failures.fetch_add(1, std::memory_order_relaxed);
+        B.Healthy.store(false, std::memory_order_release);
+        continue;
+      }
+      Slot = std::move(Fresh);
+    }
+
+    // Forward the client's request line verbatim and return the worker's
+    // response line verbatim: proxied responses stay byte-identical to a
+    // direct connection.
+    std::optional<std::string> Response = Slot->roundTrip(Line);
+    if (!Response) {
+      Slot.reset();
+      B.Failures.fetch_add(1, std::memory_order_relaxed);
+      B.Healthy.store(false, std::memory_order_release);
+      continue;
+    }
+
+    B.Routed.fetch_add(1, std::memory_order_relaxed);
+    ForwardedOk.fetch_add(1, std::memory_order_relaxed);
+    if (Attempts > 1)
+      Failovers.fetch_add(1, std::memory_order_relaxed);
+    return *Response;
+  }
+
+  UnavailableCount.fetch_add(1, std::memory_order_relaxed);
+  return renderErrorResponse(Request.Id, "unavailable",
+                             "no backend answered");
+}
+
+std::string Gateway::renderGatewayHealth(const std::string &Id) const {
+  size_t Healthy = 0;
+  for (const auto &B : Backends)
+    if (B->Healthy.load(std::memory_order_acquire))
+      ++Healthy;
+
+  const char *Status = Healthy == Backends.size() ? "ok"
+                       : Healthy > 0              ? "degraded"
+                                                  : "unavailable";
+  JsonWriter W;
+  W.beginObject();
+  W.key("op").str("health");
+  if (!Id.empty())
+    W.key("id").str(Id);
+  W.key("status").str(Status);
+  W.key("role").str("gateway");
+  W.key("server_version").str(metaoptVersion());
+  W.key("backends_total").number(static_cast<uint64_t>(Backends.size()));
+  W.key("backends_healthy").number(static_cast<uint64_t>(Healthy));
+  W.key("backends").beginArray();
+  for (const auto &B : Backends) {
+    W.beginObject();
+    W.key("address").str(B->Address);
+    W.key("healthy").boolean(B->Healthy.load(std::memory_order_acquire));
+    std::lock_guard<std::mutex> Lock(B->InfoMutex);
+    if (!B->BundleChecksum.empty())
+      W.key("bundle_checksum").str(B->BundleChecksum);
+    if (!B->Classifier.empty())
+      W.key("classifier").str(B->Classifier);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.take();
+}
+
+std::string Gateway::renderGatewayStats(const std::string &Id) const {
+  GatewayStatsSnapshot S = stats();
+  const TransportCounters &T = Transport->counters();
+
+  JsonWriter W;
+  W.beginObject();
+  W.key("op").str("stats");
+  if (!Id.empty())
+    W.key("id").str(Id);
+  W.key("status").str("ok");
+  W.key("role").str("gateway");
+  W.key("predicts").number(S.Predicts);
+  W.key("forwarded_ok").number(S.ForwardedOk);
+  W.key("failovers").number(S.Failovers);
+  W.key("unavailable").number(S.Unavailable);
+  W.key("overloaded").number(S.Overloaded);
+  W.key("in_flight").number(static_cast<int64_t>(S.InFlight));
+  W.key("connections_accepted")
+      .number(T.Accepted.load(std::memory_order_relaxed));
+  W.key("connections_open").number(T.Open.load(std::memory_order_relaxed));
+  W.key("oversized_rejected")
+      .number(T.OversizedRejected.load(std::memory_order_relaxed));
+  W.key("bad_frames").number(T.BadFrames.load(std::memory_order_relaxed));
+  W.key("read_timeouts")
+      .number(T.ReadTimeouts.load(std::memory_order_relaxed));
+  W.key("write_timeouts")
+      .number(T.WriteTimeouts.load(std::memory_order_relaxed));
+  W.key("backends").beginArray();
+  for (const GatewayBackendSnapshot &B : S.Backends) {
+    W.beginObject();
+    W.key("address").str(B.Address);
+    W.key("healthy").boolean(B.Healthy);
+    W.key("routed").number(B.Routed);
+    W.key("failures").number(B.Failures);
+    W.key("probes").number(B.Probes);
+    if (!B.BundleChecksum.empty())
+      W.key("bundle_checksum").str(B.BundleChecksum);
+    W.endObject();
+  }
+  W.endArray();
+  W.endObject();
+  return W.take();
+}
+
+GatewayStatsSnapshot Gateway::stats() const {
+  GatewayStatsSnapshot S;
+  S.Predicts = Predicts.load(std::memory_order_relaxed);
+  S.ForwardedOk = ForwardedOk.load(std::memory_order_relaxed);
+  S.Failovers = Failovers.load(std::memory_order_relaxed);
+  S.Unavailable = UnavailableCount.load(std::memory_order_relaxed);
+  S.Overloaded = OverloadedCount.load(std::memory_order_relaxed);
+  S.InFlight = InFlight.load(std::memory_order_acquire);
+  for (const auto &B : Backends) {
+    GatewayBackendSnapshot Out;
+    Out.Address = B->Address;
+    Out.Healthy = B->Healthy.load(std::memory_order_acquire);
+    Out.Routed = B->Routed.load(std::memory_order_relaxed);
+    Out.Failures = B->Failures.load(std::memory_order_relaxed);
+    Out.Probes = B->Probes.load(std::memory_order_relaxed);
+    std::lock_guard<std::mutex> Lock(B->InfoMutex);
+    Out.BundleChecksum = B->BundleChecksum;
+    Out.Classifier = B->Classifier;
+    S.Backends.push_back(std::move(Out));
+  }
+  return S;
+}
+
+void Gateway::probeBackends() {
+  WireRequest Probe;
+  Probe.TheOp = WireRequest::Op::Health;
+  Probe.Id = "gateway-probe";
+
+  for (auto &B : Backends) {
+    B->Probes.fetch_add(1, std::memory_order_relaxed);
+    ServeClient Client;
+    Client.setIoTimeout(Options.BackendIoTimeout);
+    bool Up = false;
+    if (Client.connect(B->Address)) {
+      if (std::optional<std::string> Line = Client.request(Probe)) {
+        if (std::optional<JsonValue> Doc = parseJson(*Line)) {
+          if (Doc->getString("status") == "ok") {
+            Up = true;
+            std::lock_guard<std::mutex> Lock(B->InfoMutex);
+            B->BundleChecksum = Doc->getString("bundle_checksum");
+            B->Classifier = Doc->getString("classifier");
+          }
+        }
+      }
+    }
+    B->Healthy.store(Up, std::memory_order_release);
+  }
+}
+
+void Gateway::healthLoop() {
+  auto NextProbe = std::chrono::steady_clock::now() + Options.HealthInterval;
+  while (!stopRequested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (std::chrono::steady_clock::now() < NextProbe)
+      continue;
+    NextProbe = std::chrono::steady_clock::now() + Options.HealthInterval;
+    probeBackends();
+  }
+}

@@ -1,0 +1,164 @@
+//===- gateway/Gateway.h - Sharded prediction gateway -----------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The scale-out tier of metaopt serving (docs/SERVING.md): a gateway
+/// daemon that fronts N prediction workers, speaking the same
+/// line-delimited JSON protocol to clients that the workers speak — a
+/// client cannot tell a gateway from a worker, and predict responses
+/// proxied through the gateway are byte-identical to a direct worker's
+/// (the request line is forwarded verbatim and the worker's response line
+/// returned verbatim).
+///
+/// Routing: each predict request is pinned to a shard by consistent
+/// hashing on the canonical loop fingerprint (gateway/HashRing.h), so
+/// repeated requests for the same loop hit the same worker and its warm
+/// state. When the home shard's connection fails, the request is retried
+/// on the next distinct backend in ring order (predictions are pure, so
+/// retry is always safe); a backend that fails is marked unhealthy until
+/// the background health checker — which also records each worker's
+/// bundle checksum — sees it answer again.
+///
+/// Backpressure: at most MaxInFlight predict requests are proxied at
+/// once; beyond that the gateway answers "overloaded" immediately rather
+/// than queueing unboundedly, mirroring the worker's admission contract.
+/// health / stats / shutdown address the gateway itself (stats aggregates
+/// per-backend routing counters and health states).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_GATEWAY_GATEWAY_H
+#define METAOPT_GATEWAY_GATEWAY_H
+
+#include "gateway/HashRing.h"
+#include "serve/Client.h"
+#include "serve/Transport.h"
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace metaopt {
+
+/// Gateway configuration.
+struct GatewayOptions {
+  /// Client-facing listeners (same semantics as ServerOptions).
+  std::string SocketPath;
+  std::string TcpHost = "127.0.0.1";
+  int TcpPort = -1;
+  int Backlog = 64;
+
+  /// Worker addresses (unix paths or host:port), in shard-index order.
+  std::vector<std::string> Backends;
+  /// Ring points per backend; more spreads load more evenly.
+  unsigned VirtualNodes = 64;
+
+  /// Health-probe cadence.
+  std::chrono::milliseconds HealthInterval{1000};
+  /// Per-round-trip bound on backend I/O, so one stuck worker cannot
+  /// wedge a proxied request forever.
+  std::chrono::milliseconds BackendIoTimeout{5000};
+
+  /// Admission control: most predict requests proxied concurrently.
+  size_t MaxInFlight = 256;
+
+  /// Framing hardening for the client-facing transport.
+  size_t MaxRequestBytes = 1 << 20;
+  std::chrono::milliseconds ReadTimeout{0};
+  std::chrono::milliseconds WriteTimeout{5000};
+  std::chrono::milliseconds DrainTimeout{5000};
+};
+
+/// Point-in-time view of one backend, inside GatewayStatsSnapshot.
+struct GatewayBackendSnapshot {
+  std::string Address;
+  bool Healthy = true;
+  uint64_t Routed = 0;   ///< Requests this backend answered.
+  uint64_t Failures = 0; ///< Connection/round-trip failures against it.
+  uint64_t Probes = 0;   ///< Health probes sent.
+  std::string BundleChecksum; ///< From its last healthy probe.
+  std::string Classifier;     ///< Likewise.
+};
+
+/// Point-in-time view of the gateway counters.
+struct GatewayStatsSnapshot {
+  uint64_t Predicts = 0;    ///< Predict requests admitted for proxying.
+  uint64_t ForwardedOk = 0; ///< ... answered by some backend.
+  uint64_t Failovers = 0;   ///< ... that needed more than one backend.
+  uint64_t Unavailable = 0; ///< ... no backend answered.
+  uint64_t Overloaded = 0;  ///< Refused at admission (MaxInFlight).
+  int64_t InFlight = 0;     ///< Currently proxied requests.
+  std::vector<GatewayBackendSnapshot> Backends;
+};
+
+/// One gateway daemon instance.
+class Gateway {
+public:
+  /// \p Options.Backends must be non-empty.
+  explicit Gateway(GatewayOptions Options);
+  ~Gateway();
+
+  Gateway(const Gateway &) = delete;
+  Gateway &operator=(const Gateway &) = delete;
+
+  /// Binds the listeners and proxies until stop is requested, then
+  /// drains. Returns false (with \p Error) only on setup failure.
+  bool run(std::string *Error = nullptr);
+
+  /// Asks a running run() to begin the drain. Safe from any thread.
+  void requestStop();
+
+  bool listening() const { return Transport->listening(); }
+  int boundTcpPort() const { return Transport->boundTcpPort(); }
+
+  GatewayStatsSnapshot stats() const;
+  const TransportCounters &transportCounters() const {
+    return Transport->counters();
+  }
+
+private:
+  struct Backend {
+    std::string Address;
+    std::atomic<bool> Healthy{true};
+    std::atomic<uint64_t> Routed{0};
+    std::atomic<uint64_t> Failures{0};
+    std::atomic<uint64_t> Probes{0};
+    mutable std::mutex InfoMutex;
+    std::string BundleChecksum; ///< Guarded by InfoMutex.
+    std::string Classifier;     ///< Guarded by InfoMutex.
+  };
+
+  bool stopRequested() const;
+  std::string handleLine(const std::string &Line, LineConnection &Conn);
+  std::string handlePredict(const WireRequest &Request,
+                            const std::string &Line, LineConnection &Conn);
+  std::string renderGatewayHealth(const std::string &Id) const;
+  std::string renderGatewayStats(const std::string &Id) const;
+  void probeBackends();
+  void healthLoop();
+
+  GatewayOptions Options;
+  HashRing Ring;
+  std::vector<std::unique_ptr<Backend>> Backends;
+  std::unique_ptr<LineServer> Transport;
+  std::atomic<bool> Stop{false};
+
+  std::atomic<uint64_t> Predicts{0};
+  std::atomic<uint64_t> ForwardedOk{0};
+  std::atomic<uint64_t> Failovers{0};
+  std::atomic<uint64_t> UnavailableCount{0};
+  std::atomic<uint64_t> OverloadedCount{0};
+  std::atomic<int64_t> InFlight{0};
+};
+
+} // namespace metaopt
+
+#endif // METAOPT_GATEWAY_GATEWAY_H

@@ -1,0 +1,75 @@
+//===- gateway/HashRing.h - Consistent-hash shard ring ----------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A consistent-hash ring over backend names, used by the gateway to pin
+/// each loop (by canonical fingerprint) to a worker so per-shard state —
+/// the worker's simulation cache, its classifier's memory locality — stays
+/// hot across repeated requests for the same loop. Each backend owns many
+/// virtual points on the ring (FingerprintHasher of name × replica), so
+/// load spreads evenly and removing one backend only remaps the keys it
+/// owned.
+///
+/// route() returns the full preference order (every distinct backend
+/// once, in ring order from the key's position): entry 0 is the home
+/// shard, the rest are the failover sequence the gateway walks when a
+/// backend is down — the same deterministic order on every gateway
+/// instance with the same backend list.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_GATEWAY_HASHRING_H
+#define METAOPT_GATEWAY_HASHRING_H
+
+#include "support/Fingerprint.h"
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace metaopt {
+
+/// Consistent-hash ring mapping 128-bit keys to backend indices.
+class HashRing {
+public:
+  /// Adds \p Name with \p VirtualNodes ring points. Backend order is the
+  /// index space route() reports.
+  void addNode(const std::string &Name, unsigned VirtualNodes = 64);
+
+  size_t nodeCount() const { return Nodes.size(); }
+  const std::string &nodeName(size_t Index) const { return Nodes[Index]; }
+
+  /// The preference order for \p Key: every backend index exactly once,
+  /// starting with the owner of the first ring point at or after the
+  /// key's position. Empty when the ring has no nodes.
+  std::vector<size_t> route(const Fingerprint &Key) const;
+
+private:
+  struct Point {
+    uint64_t Position;
+    size_t Node;
+    bool operator<(const Point &Other) const {
+      return Position != Other.Position ? Position < Other.Position
+                                        : Node < Other.Node;
+    }
+  };
+
+  std::vector<std::string> Nodes;
+  std::vector<Point> Points; ///< Sorted by position.
+};
+
+/// The routing key for a predict request: the fingerprint of the loop
+/// program's canonical text (printLoop of every parsed loop), so two
+/// textual spellings of the same program land on the same shard. Text
+/// that does not parse is fingerprinted raw — it still routes
+/// deterministically, and the backend renders the authoritative
+/// malformed response.
+Fingerprint loopRoutingKey(const std::string &LoopText);
+
+} // namespace metaopt
+
+#endif // METAOPT_GATEWAY_HASHRING_H

@@ -3,15 +3,40 @@
 #include "serve/Client.h"
 
 #include <cerrno>
-#include <chrono>
 #include <cstring>
 #include <thread>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
 #include <unistd.h>
 
 using namespace metaopt;
+
+bool metaopt::splitTcpAddress(const std::string &Address, std::string &Host,
+                              int &Port) {
+  // A unix path ("/run/x.sock", "./x.sock") never parses as host:port;
+  // require a ':' with an all-digit suffix and a non-path prefix.
+  if (Address.empty() || Address.front() == '/' || Address.front() == '.')
+    return false;
+  size_t Colon = Address.rfind(':');
+  if (Colon == std::string::npos || Colon == 0 ||
+      Colon + 1 >= Address.size())
+    return false;
+  int Value = 0;
+  for (size_t I = Colon + 1; I < Address.size(); ++I) {
+    if (Address[I] < '0' || Address[I] > '9')
+      return false;
+    Value = Value * 10 + (Address[I] - '0');
+    if (Value > 65535)
+      return false;
+  }
+  Host = Address.substr(0, Colon);
+  Port = Value;
+  return true;
+}
 
 ServeClient::~ServeClient() { close(); }
 
@@ -23,9 +48,23 @@ void ServeClient::close() {
   Buffer.clear();
 }
 
-bool ServeClient::connect(const std::string &SocketPath,
-                          std::string *Error) {
-  close();
+void ServeClient::setIoTimeout(std::chrono::milliseconds Timeout) {
+  IoTimeout = Timeout;
+  applyIoTimeout();
+}
+
+void ServeClient::applyIoTimeout() {
+  if (Fd < 0 || IoTimeout.count() <= 0)
+    return;
+  struct timeval Tv;
+  Tv.tv_sec = static_cast<time_t>(IoTimeout.count() / 1000);
+  Tv.tv_usec = static_cast<suseconds_t>((IoTimeout.count() % 1000) * 1000);
+  ::setsockopt(Fd, SOL_SOCKET, SO_RCVTIMEO, &Tv, sizeof(Tv));
+  ::setsockopt(Fd, SOL_SOCKET, SO_SNDTIMEO, &Tv, sizeof(Tv));
+}
+
+bool ServeClient::connectUnix(const std::string &SocketPath,
+                              std::string *Error) {
   sockaddr_un Addr = {};
   Addr.sun_family = AF_UNIX;
   if (SocketPath.size() >= sizeof(Addr.sun_path)) {
@@ -53,13 +92,56 @@ bool ServeClient::connect(const std::string &SocketPath,
   return true;
 }
 
-bool ServeClient::connectWithRetry(const std::string &SocketPath,
+bool ServeClient::connectTcp(const std::string &Host, int Port,
+                             std::string *Error) {
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port = htons(static_cast<uint16_t>(Port));
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    if (Error)
+      *Error = "bad TCP address '" + Host + "'";
+    return false;
+  }
+
+  Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Error)
+      *Error = std::string("socket(): ") + std::strerror(errno);
+    return false;
+  }
+  if (::connect(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) <
+      0) {
+    if (Error)
+      *Error = std::string("connect to ") + Host + ":" +
+               std::to_string(Port) + ": " + std::strerror(errno);
+    close();
+    return false;
+  }
+  // One request line per round trip: latency beats batching here.
+  int One = 1;
+  ::setsockopt(Fd, IPPROTO_TCP, TCP_NODELAY, &One, sizeof(One));
+  return true;
+}
+
+bool ServeClient::connect(const std::string &Address, std::string *Error) {
+  close();
+  std::string Host;
+  int Port = 0;
+  bool Connected = splitTcpAddress(Address, Host, Port)
+                       ? connectTcp(Host, Port, Error)
+                       : connectUnix(Address, Error);
+  if (Connected)
+    applyIoTimeout();
+  return Connected;
+}
+
+bool ServeClient::connectWithRetry(const std::string &Address,
                                    int TimeoutMs, std::string *Error) {
   auto Deadline = std::chrono::steady_clock::now() +
                   std::chrono::milliseconds(TimeoutMs);
   std::string LastError;
   do {
-    if (connect(SocketPath, &LastError))
+    if (connect(Address, &LastError))
       return true;
     std::this_thread::sleep_for(std::chrono::milliseconds(20));
   } while (std::chrono::steady_clock::now() < Deadline);

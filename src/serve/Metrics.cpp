@@ -58,16 +58,54 @@ double LatencyHistogram::percentileMicros(double P) const {
   return static_cast<double>(1ull << (BucketCount - 1));
 }
 
+void ServiceMetrics::recordAdmitted() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Received;
+  ++QueueDepth;
+}
+
+void ServiceMetrics::recordOverloaded() {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Overloaded;
+}
+
+void ServiceMetrics::recordDequeued(size_t N) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  ++Batches;
+  QueueDepth -= static_cast<int64_t>(N);
+  InFlight += static_cast<int64_t>(N);
+}
+
+void ServiceMetrics::recordFinished(Outcome TheOutcome, double Micros) {
+  std::lock_guard<std::mutex> Lock(Mutex);
+  --InFlight;
+  ++Completed;
+  switch (TheOutcome) {
+  case Outcome::Ok:
+    ++Ok;
+    break;
+  case Outcome::Malformed:
+    ++Malformed;
+    break;
+  case Outcome::DeadlineExceeded:
+    ++DeadlineExceeded;
+    break;
+  }
+  Latency.record(Micros);
+}
+
 ServiceStatsSnapshot ServiceMetrics::snapshot() const {
+  std::lock_guard<std::mutex> Lock(Mutex);
   ServiceStatsSnapshot S;
-  S.Received = Received.load(std::memory_order_relaxed);
-  S.Completed = Completed.load(std::memory_order_relaxed);
-  S.Ok = Ok.load(std::memory_order_relaxed);
-  S.Malformed = Malformed.load(std::memory_order_relaxed);
-  S.Overloaded = Overloaded.load(std::memory_order_relaxed);
-  S.DeadlineExceeded = DeadlineExceeded.load(std::memory_order_relaxed);
-  S.Batches = Batches.load(std::memory_order_relaxed);
-  S.QueueDepth = QueueDepth.load(std::memory_order_relaxed);
+  S.Received = Received;
+  S.Completed = Completed;
+  S.Ok = Ok;
+  S.Malformed = Malformed;
+  S.Overloaded = Overloaded;
+  S.DeadlineExceeded = DeadlineExceeded;
+  S.Batches = Batches;
+  S.QueueDepth = QueueDepth;
+  S.InFlight = InFlight;
   S.LatencySamples = Latency.count();
   S.MeanMicros = Latency.meanMicros();
   S.P50Micros = Latency.percentileMicros(0.50);

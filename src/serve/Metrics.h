@@ -6,13 +6,23 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// Lock-free operational metrics for the prediction service: atomic
-/// counters, a queue-depth gauge, and a log-bucketed latency histogram
-/// good enough for p50/p95/p99 dashboards. Recording is wait-free (one
-/// relaxed fetch_add per event) so the hot path never serializes on
-/// metrics; snapshots are taken by the stats endpoint and the load
-/// generator and are only approximately consistent across counters, which
-/// is the usual contract for operational telemetry.
+/// Operational metrics for the prediction service: request counters, the
+/// queue-depth and in-flight gauges, and a log-bucketed latency histogram
+/// good enough for p50/p95/p99 dashboards.
+///
+/// Counters and histogram are updated and snapshotted under one short
+/// mutex, so a ServiceStatsSnapshot is *exactly* consistent — never a
+/// torn read across counters. The invariants every snapshot satisfies
+/// (and tests/serve_test.cpp asserts under concurrent load):
+///
+///   Received  == Completed + QueueDepth + InFlight
+///   Completed == Ok + Malformed + DeadlineExceeded
+///   LatencySamples == Completed
+///
+/// The writers are the dispatcher thread plus submitting connection
+/// threads, each doing a handful of plain increments per request, so the
+/// uncontended mutex costs nanoseconds against a prediction that costs
+/// microseconds — consistency here is free.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -22,6 +32,7 @@
 #include <array>
 #include <atomic>
 #include <cstdint>
+#include <mutex>
 
 namespace metaopt {
 
@@ -54,16 +65,18 @@ private:
 };
 
 /// Point-in-time view of the service counters, as reported by the stats
-/// endpoint.
+/// endpoint. Internally consistent: the invariants documented on
+/// ServiceMetrics hold exactly, for every snapshot.
 struct ServiceStatsSnapshot {
   uint64_t Received = 0;   ///< Requests admitted to the queue.
-  uint64_t Completed = 0;  ///< Requests answered (any status).
+  uint64_t Completed = 0;  ///< Requests answered (ok/malformed/deadline).
   uint64_t Ok = 0;         ///< ... with status ok.
   uint64_t Malformed = 0;  ///< ... rejected by parser/verifier.
   uint64_t Overloaded = 0; ///< Refused at admission (queue full).
   uint64_t DeadlineExceeded = 0; ///< Expired before a worker got to them.
   uint64_t Batches = 0;    ///< Dispatcher batches executed.
   int64_t QueueDepth = 0;  ///< Requests currently queued.
+  int64_t InFlight = 0;    ///< Requests dequeued but not yet answered.
   uint64_t LatencySamples = 0;
   double MeanMicros = 0;
   double P50Micros = 0;
@@ -71,21 +84,46 @@ struct ServiceStatsSnapshot {
   double P99Micros = 0;
 };
 
-/// The live counters behind a ServiceStatsSnapshot. Members are public:
-/// the service increments them directly from its hot path.
-struct ServiceMetrics {
-  std::atomic<uint64_t> Received{0};
-  std::atomic<uint64_t> Completed{0};
-  std::atomic<uint64_t> Ok{0};
-  std::atomic<uint64_t> Malformed{0};
-  std::atomic<uint64_t> Overloaded{0};
-  std::atomic<uint64_t> DeadlineExceeded{0};
-  std::atomic<uint64_t> Batches{0};
-  std::atomic<int64_t> QueueDepth{0};
-  /// Admission-to-response latency of completed requests.
-  LatencyHistogram Latency;
+/// The live counters behind a ServiceStatsSnapshot. The service records
+/// lifecycle events through the methods below; every update and the
+/// snapshot happen under one mutex, so snapshots can never observe a
+/// request "between" counters (e.g. dequeued but neither in flight nor
+/// completed).
+class ServiceMetrics {
+public:
+  /// Terminal disposition of an admitted request.
+  enum class Outcome { Ok, Malformed, DeadlineExceeded };
+
+  /// One request admitted to the queue.
+  void recordAdmitted();
+
+  /// One request refused at admission because the queue was full.
+  void recordOverloaded();
+
+  /// One dispatcher batch of \p N requests moved queue → in-flight.
+  void recordDequeued(size_t N);
+
+  /// One in-flight request answered, with its admission-to-response
+  /// latency.
+  void recordFinished(Outcome TheOutcome, double Micros);
 
   ServiceStatsSnapshot snapshot() const;
+
+private:
+  mutable std::mutex Mutex;
+  uint64_t Received = 0;
+  uint64_t Completed = 0;
+  uint64_t Ok = 0;
+  uint64_t Malformed = 0;
+  uint64_t Overloaded = 0;
+  uint64_t DeadlineExceeded = 0;
+  uint64_t Batches = 0;
+  int64_t QueueDepth = 0;
+  int64_t InFlight = 0;
+  /// Admission-to-response latency of completed requests. Guarded by
+  /// Mutex like the counters (its internal atomics are then redundant,
+  /// but keep the class usable standalone).
+  LatencyHistogram Latency;
 };
 
 } // namespace metaopt

@@ -469,3 +469,10 @@ std::string metaopt::fingerprintHex(const Fingerprint &Print) {
                 static_cast<unsigned long long>(Print.Lo));
   return Buffer;
 }
+
+std::string metaopt::bundleChecksumHex(const ModelBundle &Bundle) {
+  std::string Bytes = serializeBundle(Bundle);
+  FingerprintHasher H;
+  H.bytes(Bytes.data(), Bytes.size());
+  return fingerprintHex(H.digest());
+}

@@ -117,6 +117,13 @@ Fingerprint corpusFingerprint(const std::vector<Benchmark> &Corpus);
 /// Renders a Fingerprint as 32 lowercase hex characters (Hi then Lo).
 std::string fingerprintHex(const Fingerprint &Print);
 
+/// Content checksum of a bundle: the fingerprint of its canonical
+/// serialization, as 32 hex characters. Because serializeBundle() is
+/// deterministic, two bundles have equal checksums exactly when they are
+/// byte-identical artifacts — this is the revision tag the worker's
+/// health endpoint reports and the hot-reload watcher compares.
+std::string bundleChecksumHex(const ModelBundle &Bundle);
+
 } // namespace metaopt
 
 #endif // METAOPT_SERVE_MODELBUNDLE_H

@@ -30,6 +30,7 @@ const char *metaopt::predictStatusName(PredictStatus Status) {
 PredictionService::PredictionService(ModelBundle BundleIn,
                                      PredictionServiceOptions OptionsIn)
     : Bundle(std::move(BundleIn)), Options(OptionsIn) {
+  BundleChecksum = bundleChecksumHex(Bundle);
   Model = Bundle.instantiate();
   if (!Model)
     throw std::runtime_error(
@@ -103,19 +104,18 @@ PredictionService::submit(PredictRequest Request) {
       PredictResponse Response;
       Response.Status = PredictStatus::ShuttingDown;
       Response.Error = "service is shutting down";
-      finish(Item, std::move(Response));
+      Item.Promise.set_value(std::move(Response));
       return Future;
     }
     if (Queue.size() >= Options.MaxQueue) {
-      Metrics.Overloaded.fetch_add(1, std::memory_order_relaxed);
+      Metrics.recordOverloaded();
       PredictResponse Response;
       Response.Status = PredictStatus::Overloaded;
       Response.Error = "admission queue is full";
-      finish(Item, std::move(Response));
+      Item.Promise.set_value(std::move(Response));
       return Future;
     }
-    Metrics.Received.fetch_add(1, std::memory_order_relaxed);
-    Metrics.QueueDepth.fetch_add(1, std::memory_order_relaxed);
+    Metrics.recordAdmitted();
     Queue.push_back(std::move(Item));
   }
   QueueCv.notify_one();
@@ -126,29 +126,26 @@ PredictResponse PredictionService::predict(PredictRequest Request) {
   return submit(std::move(Request)).get();
 }
 
+/// Answers one dequeued (in-flight) request: records its terminal outcome
+/// and latency in one consistent metrics update, then fulfills the
+/// promise. Admission refusals never reach here — they are answered in
+/// submit() without touching the in-flight accounting.
 void PredictionService::finish(Pending &Item, PredictResponse Response) {
-  bool Counted = Response.Status != PredictStatus::Overloaded &&
-                 Response.Status != PredictStatus::ShuttingDown;
-  if (Counted) {
-    Metrics.Completed.fetch_add(1, std::memory_order_relaxed);
-    switch (Response.Status) {
-    case PredictStatus::Ok:
-      Metrics.Ok.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case PredictStatus::Malformed:
-      Metrics.Malformed.fetch_add(1, std::memory_order_relaxed);
-      break;
-    case PredictStatus::DeadlineExceeded:
-      Metrics.DeadlineExceeded.fetch_add(1, std::memory_order_relaxed);
-      break;
-    default:
-      break;
-    }
-    double Micros = std::chrono::duration<double, std::micro>(
-                        std::chrono::steady_clock::now() - Item.Enqueued)
-                        .count();
-    Metrics.Latency.record(Micros);
+  ServiceMetrics::Outcome TheOutcome = ServiceMetrics::Outcome::Ok;
+  switch (Response.Status) {
+  case PredictStatus::Malformed:
+    TheOutcome = ServiceMetrics::Outcome::Malformed;
+    break;
+  case PredictStatus::DeadlineExceeded:
+    TheOutcome = ServiceMetrics::Outcome::DeadlineExceeded;
+    break;
+  default:
+    break;
   }
+  double Micros = std::chrono::duration<double, std::micro>(
+                      std::chrono::steady_clock::now() - Item.Enqueued)
+                      .count();
+  Metrics.recordFinished(TheOutcome, Micros);
   Item.Promise.set_value(std::move(Response));
 }
 
@@ -178,12 +175,11 @@ void PredictionService::dispatchLoop() {
         Batch.push_back(std::move(Queue.front()));
         Queue.pop_front();
       }
-      Metrics.QueueDepth.fetch_sub(static_cast<int64_t>(Take),
-                                   std::memory_order_relaxed);
+      if (Take > 0)
+        Metrics.recordDequeued(Take);
     }
     if (Batch.empty())
       continue;
-    Metrics.Batches.fetch_add(1, std::memory_order_relaxed);
 
     auto Now = std::chrono::steady_clock::now();
     std::vector<PredictResponse> Responses = parallelMap<PredictResponse>(

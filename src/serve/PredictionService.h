@@ -132,6 +132,11 @@ public:
   const Classifier &classifier() const { return *Model; }
   ServiceStatsSnapshot stats() const { return Metrics.snapshot(); }
 
+  /// Content checksum of the served bundle (bundleChecksumHex), exposed
+  /// by the health endpoint so operators and the gateway can tell which
+  /// model revision a worker is actually serving.
+  const std::string &bundleChecksum() const { return BundleChecksum; }
+
 private:
   struct Pending {
     PredictRequest Request;
@@ -143,6 +148,7 @@ private:
   void finish(Pending &Item, PredictResponse Response);
 
   ModelBundle Bundle;
+  std::string BundleChecksum;
   std::unique_ptr<Classifier> Model;
   PredictionServiceOptions Options;
   ServiceMetrics Metrics;

@@ -141,12 +141,15 @@ std::string metaopt::renderErrorResponse(const std::string &Id,
 }
 
 std::string metaopt::renderHealthResponse(const std::string &Id,
-                                          const ModelBundle &Bundle) {
+                                          const ModelBundle &Bundle,
+                                          const std::string &BundleChecksum) {
   const BundleProvenance &Prov = Bundle.Provenance;
   JsonWriter W;
   W.beginObject();
   W.key("op").str("health");
   writeIdAndStatus(W, Id, "ok");
+  if (!BundleChecksum.empty())
+    W.key("bundle_checksum").str(BundleChecksum);
   W.key("classifier").str(Prov.ClassifierName);
   W.key("machine").str(Prov.MachineName);
   W.key("swp").boolean(Prov.EnableSwp);
@@ -163,8 +166,7 @@ std::string metaopt::renderHealthResponse(const std::string &Id,
 std::string
 metaopt::renderStatsResponse(const std::string &Id,
                              const ServiceStatsSnapshot &Stats,
-                             uint64_t ConnectionsAccepted,
-                             uint64_t ConnectionsOpen) {
+                             const ServerStatsExtra &Extra) {
   JsonWriter W;
   W.beginObject();
   W.key("op").str("stats");
@@ -177,13 +179,20 @@ metaopt::renderStatsResponse(const std::string &Id,
   W.key("deadline_exceeded").number(Stats.DeadlineExceeded);
   W.key("batches").number(Stats.Batches);
   W.key("queue_depth").number(static_cast<int64_t>(Stats.QueueDepth));
+  W.key("in_flight").number(static_cast<int64_t>(Stats.InFlight));
   W.key("latency_samples").number(Stats.LatencySamples);
   W.key("latency_mean_us").number(Stats.MeanMicros);
   W.key("latency_p50_us").number(Stats.P50Micros);
   W.key("latency_p95_us").number(Stats.P95Micros);
   W.key("latency_p99_us").number(Stats.P99Micros);
-  W.key("connections_accepted").number(ConnectionsAccepted);
-  W.key("connections_open").number(ConnectionsOpen);
+  W.key("connections_accepted").number(Extra.ConnectionsAccepted);
+  W.key("connections_open").number(Extra.ConnectionsOpen);
+  W.key("oversized_rejected").number(Extra.OversizedRejected);
+  W.key("bad_frames").number(Extra.BadFrames);
+  W.key("read_timeouts").number(Extra.ReadTimeouts);
+  W.key("write_timeouts").number(Extra.WriteTimeouts);
+  W.key("reloads").number(Extra.Reloads);
+  W.key("reloads_rejected").number(Extra.ReloadsRejected);
   W.endObject();
   return W.take();
 }

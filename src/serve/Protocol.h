@@ -68,15 +68,32 @@ std::string renderErrorResponse(const std::string &Id,
                                 std::string_view Error);
 
 /// Renders the health response: the model's identity and provenance.
+/// \p BundleChecksum (bundleChecksumHex of the active bundle) is emitted
+/// as "bundle_checksum" when non-empty — the revision tag the gateway's
+/// health checker and the hot-reload soak compare across workers.
 std::string renderHealthResponse(const std::string &Id,
-                                 const ModelBundle &Bundle);
+                                 const ModelBundle &Bundle,
+                                 const std::string &BundleChecksum = "");
+
+/// Server-level counters reported beside the service snapshot in stats:
+/// connection accounting, transport-hardening rejections
+/// (serve/Transport.h), and hot-reload outcomes.
+struct ServerStatsExtra {
+  uint64_t ConnectionsAccepted = 0;
+  uint64_t ConnectionsOpen = 0;
+  uint64_t OversizedRejected = 0;
+  uint64_t BadFrames = 0;
+  uint64_t ReadTimeouts = 0;
+  uint64_t WriteTimeouts = 0;
+  uint64_t Reloads = 0;
+  uint64_t ReloadsRejected = 0;
+};
 
 /// Renders the stats response from a metrics snapshot plus the
-/// server-level connection counters.
+/// server-level counters.
 std::string renderStatsResponse(const std::string &Id,
                                 const ServiceStatsSnapshot &Stats,
-                                uint64_t ConnectionsAccepted,
-                                uint64_t ConnectionsOpen);
+                                const ServerStatsExtra &Extra);
 
 /// Renders the acknowledgement to a shutdown request.
 std::string renderShutdownResponse(const std::string &Id);

@@ -4,26 +4,64 @@
 
 #include "serve/Protocol.h"
 
-#include <cerrno>
-#include <cstring>
-#include <filesystem>
-
-#include <poll.h>
-#include <sys/socket.h>
-#include <sys/un.h>
-#include <unistd.h>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
 
 using namespace metaopt;
 
-std::atomic<bool> &metaopt::serverStopFlag() {
-  static std::atomic<bool> Flag{false};
-  return Flag;
+namespace {
+
+/// Reads a whole file into \p Out; false when it cannot be opened.
+bool readFileBytes(const std::string &Path, std::string &Out) {
+  std::ifstream In(Path, std::ios::binary);
+  if (!In)
+    return false;
+  std::ostringstream Buffer;
+  Buffer << In.rdbuf();
+  Out = Buffer.str();
+  return static_cast<bool>(In) || In.eof();
 }
+
+Fingerprint fingerprintBytes(const std::string &Bytes) {
+  FingerprintHasher H;
+  H.bytes(Bytes.data(), Bytes.size());
+  return H.digest();
+}
+
+} // namespace
 
 Server::Server(ModelBundle Bundle, ServerOptions OptionsIn)
     : Options(std::move(OptionsIn)) {
-  Service = std::make_unique<PredictionService>(std::move(Bundle),
-                                                Options.Service);
+  Service =
+      std::make_shared<PredictionService>(std::move(Bundle), Options.Service);
+  if (!Options.BundlePath.empty())
+    // The watched file was produced by saveBundleFile, whose bytes are
+    // serializeBundle's output — so the serving bundle's canonical
+    // serialization is the baseline the watcher diffs against.
+    WatchedFp = fingerprintBytes(serializeBundle(Service->bundle()));
+
+  TransportOptions Transp;
+  Transp.SocketPath = Options.SocketPath;
+  Transp.TcpHost = Options.TcpHost;
+  Transp.TcpPort = Options.TcpPort;
+  Transp.Backlog = Options.Backlog;
+  Transp.MaxRequestBytes = Options.MaxRequestBytes;
+  Transp.ReadTimeout = Options.ReadTimeout;
+  Transp.WriteTimeout = Options.WriteTimeout;
+  Transp.DrainTimeout = Options.DrainTimeout;
+  Transp.RejectResponse = renderErrorResponse(
+      "", "bad-request",
+      "request line exceeds " + std::to_string(Options.MaxRequestBytes) +
+          " bytes or is not line-delimited JSON");
+  Transp.ExternalStop = [this] {
+    return Stop.load(std::memory_order_acquire);
+  };
+  Transport = std::make_unique<LineServer>(
+      std::move(Transp),
+      [this](const std::string &Line, LineConnection &) {
+        return handleLine(Line);
+      });
 }
 
 Server::~Server() {
@@ -39,26 +77,18 @@ bool Server::stopRequested() const {
 
 void Server::requestStop() { Stop.store(true, std::memory_order_release); }
 
-namespace {
+bool Server::listening() const { return Transport->listening(); }
 
-/// Writes all of \p Line plus a newline; false when the peer vanished.
-bool writeLine(int Fd, const std::string &Line) {
-  std::string Framed = Line + "\n";
-  size_t Sent = 0;
-  while (Sent < Framed.size()) {
-    ssize_t N = ::send(Fd, Framed.data() + Sent, Framed.size() - Sent,
-                       MSG_NOSIGNAL);
-    if (N < 0) {
-      if (errno == EINTR)
-        continue;
-      return false;
-    }
-    Sent += static_cast<size_t>(N);
-  }
-  return true;
+int Server::boundTcpPort() const { return Transport->boundTcpPort(); }
+
+uint64_t Server::connectionsAccepted() const {
+  return Transport->counters().Accepted.load(std::memory_order_relaxed);
 }
 
-} // namespace
+std::shared_ptr<PredictionService> Server::service() const {
+  std::lock_guard<std::mutex> Lock(ServiceMutex);
+  return Service;
+}
 
 std::string Server::handleLine(const std::string &Line) {
   std::string ParseError;
@@ -67,12 +97,25 @@ std::string Server::handleLine(const std::string &Line) {
     return renderErrorResponse("", "bad-request", ParseError);
 
   switch (Request->TheOp) {
-  case WireRequest::Op::Health:
-    return renderHealthResponse(Request->Id, Service->bundle());
-  case WireRequest::Op::Stats:
-    return renderStatsResponse(Request->Id, Service->stats(),
-                               Accepted.load(std::memory_order_relaxed),
-                               Open.load(std::memory_order_relaxed));
+  case WireRequest::Op::Health: {
+    std::shared_ptr<PredictionService> Svc = service();
+    return renderHealthResponse(Request->Id, Svc->bundle(),
+                                Svc->bundleChecksum());
+  }
+  case WireRequest::Op::Stats: {
+    const TransportCounters &C = Transport->counters();
+    ServerStatsExtra Extra;
+    Extra.ConnectionsAccepted = C.Accepted.load(std::memory_order_relaxed);
+    Extra.ConnectionsOpen = C.Open.load(std::memory_order_relaxed);
+    Extra.OversizedRejected =
+        C.OversizedRejected.load(std::memory_order_relaxed);
+    Extra.BadFrames = C.BadFrames.load(std::memory_order_relaxed);
+    Extra.ReadTimeouts = C.ReadTimeouts.load(std::memory_order_relaxed);
+    Extra.WriteTimeouts = C.WriteTimeouts.load(std::memory_order_relaxed);
+    Extra.Reloads = Reloads.load(std::memory_order_relaxed);
+    Extra.ReloadsRejected = ReloadsRejected.load(std::memory_order_relaxed);
+    return renderStatsResponse(Request->Id, service()->stats(), Extra);
+  }
   case WireRequest::Op::Shutdown:
     requestStop();
     return renderShutdownResponse(Request->Id);
@@ -86,169 +129,92 @@ std::string Server::handleLine(const std::string &Line) {
   if (Request->DeadlineMs > 0)
     Predict.Deadline = std::chrono::steady_clock::now() +
                        std::chrono::milliseconds(Request->DeadlineMs);
-  PredictResponse Response = Service->predict(std::move(Predict));
+
+  // A request refused with ShuttingDown because it raced a hot-reload
+  // swap is retried on the replacement service — reloads lose zero
+  // in-flight responses. When the whole daemon is stopping, service()
+  // is unchanged and the refusal stands.
+  std::shared_ptr<PredictionService> Svc = service();
+  PredictResponse Response = Svc->predict(Predict);
+  while (Response.Status == PredictStatus::ShuttingDown) {
+    std::shared_ptr<PredictionService> Now = service();
+    if (Now == Svc)
+      break;
+    Svc = std::move(Now);
+    Response = Svc->predict(Predict);
+  }
   return renderPredictResponse(Request->Id, Response);
 }
 
-void Server::handleConnection(Connection &Conn) {
-  Open.fetch_add(1, std::memory_order_relaxed);
-  std::string Buffer;
-  char Chunk[1 << 14];
-  bool Alive = true;
+void Server::reloadLoop() {
+  auto NextPoll = std::chrono::steady_clock::now() + Options.ReloadPoll;
+  while (!stopRequested()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    if (std::chrono::steady_clock::now() < NextPoll)
+      continue;
+    NextPoll = std::chrono::steady_clock::now() + Options.ReloadPoll;
 
-  while (Alive) {
-    // Serve every complete line already buffered. A request accepted
-    // here is always answered before the connection can close — the
-    // zero-dropped-responses half of the drain contract.
-    size_t Newline;
-    while (Alive && (Newline = Buffer.find('\n')) != std::string::npos) {
-      std::string Line = Buffer.substr(0, Newline);
-      Buffer.erase(0, Newline + 1);
-      if (!Line.empty() && Line.back() == '\r')
-        Line.pop_back();
-      if (Line.empty())
-        continue;
-      Alive = writeLine(Conn.Fd, handleLine(Line));
+    std::string Bytes;
+    if (!readFileBytes(Options.BundlePath, Bytes) || Bytes.empty())
+      continue; // Mid-publish or missing; the next poll will see it.
+    Fingerprint Fp = fingerprintBytes(Bytes);
+    if (Fp == WatchedFp)
+      continue;
+    // Remember the content we judged even when it is rejected, so a bad
+    // artifact is reported once rather than every poll.
+    WatchedFp = Fp;
+
+    std::string Error;
+    std::optional<ModelBundle> Parsed = parseBundle(Bytes, &Error);
+    if (!Parsed) {
+      ReloadsRejected.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(stderr,
+                   "metaopt-serve: rejecting reload of '%s': %s\n",
+                   Options.BundlePath.c_str(), Error.c_str());
+      continue;
     }
-    if (!Alive)
-      break;
-
-    // During a drain, close as soon as the client has no partial request
-    // buffered; anything already sent was answered above.
-    if (stopRequested() && Buffer.empty())
-      break;
-
-    struct pollfd Pfd = {Conn.Fd, POLLIN, 0};
-    int Ready = ::poll(&Pfd, 1, 200);
-    if (Ready < 0 && errno != EINTR)
-      break;
-    if (Ready <= 0)
-      continue; // Timeout (recheck the stop flag) or EINTR.
-
-    ssize_t N = ::recv(Conn.Fd, Chunk, sizeof(Chunk), 0);
-    if (N == 0)
-      break; // Peer closed.
-    if (N < 0) {
-      if (errno == EINTR)
-        continue;
-      break;
+    std::shared_ptr<PredictionService> Fresh;
+    try {
+      Fresh = std::make_shared<PredictionService>(std::move(*Parsed),
+                                                  Options.Service);
+    } catch (const std::exception &Ex) {
+      ReloadsRejected.fetch_add(1, std::memory_order_relaxed);
+      std::fprintf(stderr,
+                   "metaopt-serve: rejecting reload of '%s': %s\n",
+                   Options.BundlePath.c_str(), Ex.what());
+      continue;
     }
-    Buffer.append(Chunk, static_cast<size_t>(N));
+
+    std::shared_ptr<PredictionService> Old;
+    {
+      std::lock_guard<std::mutex> Lock(ServiceMutex);
+      Old = std::move(Service);
+      Service = Fresh;
+    }
+    Reloads.fetch_add(1, std::memory_order_relaxed);
+    std::fprintf(stderr, "metaopt-serve: reloaded bundle '%s' (%s)\n",
+                 Options.BundlePath.c_str(),
+                 Fresh->bundleChecksum().c_str());
+    // Drain the displaced service: everything it admitted is answered by
+    // the model that admitted it; stragglers refused with ShuttingDown
+    // are retried on the new service by handleLine.
+    Old->shutdown();
   }
-
-  ::close(Conn.Fd);
-  Conn.Fd = -1;
-  Open.fetch_sub(1, std::memory_order_relaxed);
-  Conn.Done.store(true, std::memory_order_release);
 }
 
 bool Server::run(std::string *Error) {
-  if (Options.SocketPath.empty()) {
-    if (Error)
-      *Error = "no socket path configured";
-    return false;
-  }
-  sockaddr_un Addr = {};
-  Addr.sun_family = AF_UNIX;
-  if (Options.SocketPath.size() >= sizeof(Addr.sun_path)) {
-    if (Error)
-      *Error = "socket path is too long for sockaddr_un";
-    return false;
-  }
-  std::strncpy(Addr.sun_path, Options.SocketPath.c_str(),
-               sizeof(Addr.sun_path) - 1);
+  std::thread Reloader;
+  if (!Options.BundlePath.empty() && Options.ReloadPoll.count() > 0)
+    Reloader = std::thread([this] { reloadLoop(); });
 
-  int ListenFd = ::socket(AF_UNIX, SOCK_STREAM, 0);
-  if (ListenFd < 0) {
-    if (Error)
-      *Error = std::string("socket(): ") + std::strerror(errno);
-    return false;
-  }
+  bool Served = Transport->run(Error);
 
-  // A stale socket file from a crashed predecessor would make bind fail;
-  // remove it. A *live* predecessor also loses its file, but two daemons
-  // on one path is an operator error either way.
-  ::unlink(Options.SocketPath.c_str());
-
-  if (::bind(ListenFd, reinterpret_cast<sockaddr *>(&Addr),
-             sizeof(Addr)) < 0 ||
-      ::listen(ListenFd, Options.Backlog) < 0) {
-    if (Error)
-      *Error = std::string("bind/listen on '") + Options.SocketPath +
-               "': " + std::strerror(errno);
-    ::close(ListenFd);
-    return false;
-  }
-  Listening.store(true, std::memory_order_release);
-
-  while (!stopRequested()) {
-    struct pollfd Pfd = {ListenFd, POLLIN, 0};
-    int Ready = ::poll(&Pfd, 1, 200);
-    if (Ready < 0 && errno != EINTR)
-      break;
-    if (Ready <= 0)
-      continue;
-
-    int ClientFd = ::accept(ListenFd, nullptr, nullptr);
-    if (ClientFd < 0)
-      continue;
-    Accepted.fetch_add(1, std::memory_order_relaxed);
-
-    auto Conn = std::make_unique<Connection>();
-    Conn->Fd = ClientFd;
-    Connection *Raw = Conn.get();
-    Raw->Worker = std::thread([this, Raw] { handleConnection(*Raw); });
-    {
-      std::lock_guard<std::mutex> Lock(ConnectionsMutex);
-      // Reap finished connections so a long-lived daemon does not
-      // accumulate joinable threads.
-      for (auto &Existing : Connections)
-        if (Existing->Done.load(std::memory_order_acquire) &&
-            Existing->Worker.joinable())
-          Existing->Worker.join();
-      std::erase_if(Connections, [](const auto &C) {
-        return C->Done.load(std::memory_order_acquire) &&
-               !C->Worker.joinable();
-      });
-      Connections.push_back(std::move(Conn));
-    }
-  }
-
-  // Drain: stop accepting, then wait for the connection threads. Each
-  // thread exits once its client closes or, during the drain, as soon as
-  // it has no buffered request — after answering everything it accepted.
-  ::close(ListenFd);
-  ::unlink(Options.SocketPath.c_str());
-
-  auto DrainDeadline =
-      std::chrono::steady_clock::now() + Options.DrainTimeout;
-  while (std::chrono::steady_clock::now() < DrainDeadline) {
-    bool AllDone = true;
-    {
-      std::lock_guard<std::mutex> Lock(ConnectionsMutex);
-      for (auto &Conn : Connections)
-        AllDone &= Conn->Done.load(std::memory_order_acquire);
-    }
-    if (AllDone)
-      break;
-    std::this_thread::sleep_for(std::chrono::milliseconds(10));
-  }
-  {
-    // Force the stragglers' sockets shut; their threads then exit.
-    std::lock_guard<std::mutex> Lock(ConnectionsMutex);
-    for (auto &Conn : Connections)
-      if (!Conn->Done.load(std::memory_order_acquire) && Conn->Fd >= 0)
-        ::shutdown(Conn->Fd, SHUT_RDWR);
-  }
-  {
-    std::lock_guard<std::mutex> Lock(ConnectionsMutex);
-    for (auto &Conn : Connections)
-      if (Conn->Worker.joinable())
-        Conn->Worker.join();
-    Connections.clear();
-  }
-
-  Service->shutdown();
-  Listening.store(false, std::memory_order_release);
-  return true;
+  // The transport only returns after the drain; make sure the watcher
+  // exits too (run() may have ended on a transport error rather than a
+  // stop request).
+  Stop.store(true, std::memory_order_release);
+  if (Reloader.joinable())
+    Reloader.join();
+  service()->shutdown();
+  return Served;
 }

@@ -1,4 +1,4 @@
-//===- serve/Server.h - Unix-socket prediction daemon -----------*- C++ -*-===//
+//===- serve/Server.h - Prediction worker daemon ----------------*- C++ -*-===//
 //
 // Part of the metaopt project, a reproduction of "Predicting Unroll Factors
 // Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
@@ -6,22 +6,27 @@
 //===----------------------------------------------------------------------===//
 ///
 /// \file
-/// The transport layer of metaopt-serve: a unix-domain stream socket
-/// speaking the line-delimited JSON protocol (serve/Protocol.h), one
-/// thread per connection, all predictions funneled through one shared
-/// PredictionService so requests from different connections batch
-/// together.
+/// The prediction worker behind metaopt-serve: a LineServer
+/// (serve/Transport.h) speaking the line-delimited JSON protocol
+/// (serve/Protocol.h) over a unix-domain socket, a TCP socket, or both,
+/// with all predictions funneled through one shared PredictionService so
+/// requests from different connections batch together.
 ///
-/// Shutdown is drain-then-stop: once stop is requested (requestStop(), a
-/// client shutdown op, or a signal handler setting serverStopFlag()), the
-/// listener stops accepting, every in-flight request is still answered,
-/// idle connections are closed, and run() returns only when the last
-/// response has been written — the "zero dropped responses" contract the
-/// smoke test asserts. Connections that keep submitting during the drain
-/// are closed after their next response. DrainTimeout bounds how long a
-/// stuck client can hold the process; on expiry remaining sockets are
-/// forcibly shut down (still never dropping a response that was already
-/// being computed... the write simply fails if the client vanished).
+/// Shutdown is drain-then-stop, as documented on LineServer: every
+/// request the transport accepted is answered before run() returns — the
+/// "zero dropped responses" contract the smoke and soak tests assert.
+///
+/// Hot reload: when BundlePath is set, a watcher thread fingerprints the
+/// file every ReloadPoll. On a content change it parses and validates the
+/// new bundle off to the side (a corrupt artifact is rejected and the old
+/// model keeps serving), constructs a fresh PredictionService, atomically
+/// swaps it in, and drains the old service so its queued requests are all
+/// answered by the model that admitted them. A request that races the
+/// swap and gets refused with ShuttingDown is transparently retried on
+/// the new service — in-flight clients never observe the reload except as
+/// a changed "bundle_checksum" in health. Swaps are zero-downtime: the
+/// listener, connections, and admission queue of the new service stay
+/// live throughout.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -29,30 +34,40 @@
 #define METAOPT_SERVE_SERVER_H
 
 #include "serve/PredictionService.h"
+#include "serve/Transport.h"
 
 #include <atomic>
 #include <chrono>
 #include <memory>
 #include <string>
 #include <thread>
-#include <vector>
 
 namespace metaopt {
 
 /// Daemon configuration.
 struct ServerOptions {
+  /// Unix-domain listener path; empty disables it (TCP only).
   std::string SocketPath;
+  /// TCP listener; TcpPort < 0 disables it, 0 binds an ephemeral port.
+  std::string TcpHost = "127.0.0.1";
+  int TcpPort = -1;
+
   PredictionServiceOptions Service;
+
   /// How long the drain waits for open connections to finish before
   /// forcibly shutting their sockets.
   std::chrono::milliseconds DrainTimeout{5000};
   int Backlog = 64;
-};
 
-/// Process-wide stop flag polled by every running Server's accept loop.
-/// Lock-free, so a SIGTERM/SIGINT handler may set it directly — that is
-/// the daemon's graceful-shutdown path.
-std::atomic<bool> &serverStopFlag();
+  /// Framing hardening (serve/Transport.h).
+  size_t MaxRequestBytes = 1 << 20;
+  std::chrono::milliseconds ReadTimeout{0};
+  std::chrono::milliseconds WriteTimeout{5000};
+
+  /// When non-empty, watch this bundle file and hot-reload on change.
+  std::string BundlePath;
+  std::chrono::milliseconds ReloadPoll{500};
+};
 
 /// One serving daemon instance.
 class Server {
@@ -65,7 +80,7 @@ public:
   Server(const Server &) = delete;
   Server &operator=(const Server &) = delete;
 
-  /// Binds the socket and serves until stop is requested, then drains.
+  /// Binds the listeners and serves until stop is requested, then drains.
   /// Returns false (with \p Error) only on setup failure; a served-then-
   /// drained run returns true. Blocking — daemons call it from main(),
   /// tests from a helper thread.
@@ -75,36 +90,47 @@ public:
   void requestStop();
 
   /// True from successful bind until run() returns.
-  bool listening() const { return Listening.load(std::memory_order_acquire); }
+  bool listening() const;
 
-  ServiceStatsSnapshot stats() const { return Service->stats(); }
-  uint64_t connectionsAccepted() const {
-    return Accepted.load(std::memory_order_relaxed);
-  }
+  /// The TCP listener's bound port once listening() is true; -1 when no
+  /// TCP listener is configured.
+  int boundTcpPort() const;
+
+  ServiceStatsSnapshot stats() const { return service()->stats(); }
+  uint64_t connectionsAccepted() const;
   const std::string &socketPath() const { return Options.SocketPath; }
-  const ModelBundle &bundle() const { return Service->bundle(); }
+
+  /// The active service (swapped atomically by a hot reload). Callers
+  /// must hold the shared_ptr across any use of the bundle or classifier.
+  std::shared_ptr<PredictionService> service() const;
+
+  /// Provenance snapshot of the currently active bundle.
+  BundleProvenance provenance() const { return service()->bundle().Provenance; }
+
+  /// Checksum of the currently active bundle (bundleChecksumHex).
+  std::string bundleChecksum() const { return service()->bundleChecksum(); }
+
+  /// Completed hot reloads / rejected reload attempts so far.
+  uint64_t reloads() const { return Reloads.load(std::memory_order_relaxed); }
+  uint64_t reloadsRejected() const {
+    return ReloadsRejected.load(std::memory_order_relaxed);
+  }
 
 private:
-  struct Connection {
-    int Fd = -1;
-    std::thread Worker;
-    std::atomic<bool> Done{false};
-  };
-
   bool stopRequested() const;
-  void handleConnection(Connection &Conn);
   /// Serves one request line; returns the response to write.
   std::string handleLine(const std::string &Line);
+  void reloadLoop();
 
   ServerOptions Options;
-  std::unique_ptr<PredictionService> Service;
+  mutable std::mutex ServiceMutex;
+  std::shared_ptr<PredictionService> Service;
+  std::unique_ptr<LineServer> Transport;
   std::atomic<bool> Stop{false};
-  std::atomic<bool> Listening{false};
-  std::atomic<uint64_t> Accepted{0};
-  std::atomic<uint64_t> Open{0};
-
-  std::mutex ConnectionsMutex;
-  std::vector<std::unique_ptr<Connection>> Connections;
+  std::atomic<uint64_t> Reloads{0};
+  std::atomic<uint64_t> ReloadsRejected{0};
+  /// Fingerprint of the watched bundle file's last seen content.
+  Fingerprint WatchedFp;
 };
 
 } // namespace metaopt

@@ -1,0 +1,347 @@
+//===- serve/Transport.cpp ------------------------------------------------===//
+
+#include "serve/Transport.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+using namespace metaopt;
+
+std::atomic<bool> &metaopt::serverStopFlag() {
+  static std::atomic<bool> Flag{false};
+  return Flag;
+}
+
+LineServer::LineServer(TransportOptions OptionsIn, Handler HandleIn)
+    : Options(std::move(OptionsIn)), Handle(std::move(HandleIn)) {}
+
+LineServer::~LineServer() { requestStop(); }
+
+void LineServer::requestStop() { Stop.store(true, std::memory_order_release); }
+
+bool LineServer::stopRequested() const {
+  return Stop.load(std::memory_order_acquire) ||
+         serverStopFlag().load(std::memory_order_acquire) ||
+         (Options.ExternalStop && Options.ExternalStop());
+}
+
+/// Writes all of \p Line plus a newline, bounded by WriteTimeout; false
+/// when the peer vanished or would not drain its socket in time (the
+/// slow-reader guard).
+bool LineServer::writeLine(int Fd, const std::string &Line) {
+  std::string Framed = Line + "\n";
+  size_t Sent = 0;
+  bool Bounded = Options.WriteTimeout.count() > 0;
+  auto Deadline = std::chrono::steady_clock::now() + Options.WriteTimeout;
+  while (Sent < Framed.size()) {
+    ssize_t N = ::send(Fd, Framed.data() + Sent, Framed.size() - Sent,
+                       MSG_NOSIGNAL | (Bounded ? MSG_DONTWAIT : 0));
+    if (N > 0) {
+      Sent += static_cast<size_t>(N);
+      continue;
+    }
+    if (N < 0 && errno == EINTR)
+      continue;
+    if (N < 0 && Bounded && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      auto Now = std::chrono::steady_clock::now();
+      if (Now >= Deadline) {
+        Counters.WriteTimeouts.fetch_add(1, std::memory_order_relaxed);
+        return false;
+      }
+      int WaitMs = static_cast<int>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(Deadline -
+                                                                Now)
+              .count());
+      struct pollfd Pfd = {Fd, POLLOUT, 0};
+      int Ready = ::poll(&Pfd, 1, WaitMs < 1 ? 1 : WaitMs);
+      if (Ready < 0 && errno != EINTR)
+        return false;
+      continue;
+    }
+    return false;
+  }
+  return true;
+}
+
+void LineServer::handleConnection(Connection &Conn) {
+  Counters.Open.fetch_add(1, std::memory_order_relaxed);
+  std::string Buffer;
+  char Chunk[1 << 14];
+  bool Alive = true;
+  // When the buffer holds a partial frame, the moment it last made
+  // progress; the read deadline measures from here.
+  auto PartialSince = std::chrono::steady_clock::now();
+
+  // Best-effort rejection line before closing on a framing violation.
+  auto Reject = [&] {
+    if (!Options.RejectResponse.empty())
+      writeLine(Conn.Fd, Options.RejectResponse);
+  };
+
+  while (Alive) {
+    // Serve every complete line already buffered. A request accepted
+    // here is always answered before the connection can close — the
+    // zero-dropped-responses half of the drain contract.
+    size_t Newline;
+    while (Alive && (Newline = Buffer.find('\n')) != std::string::npos) {
+      std::string Line = Buffer.substr(0, Newline);
+      Buffer.erase(0, Newline + 1);
+      if (!Line.empty() && Line.back() == '\r')
+        Line.pop_back();
+      if (Line.empty())
+        continue;
+      if (Line.size() > Options.MaxRequestBytes) {
+        Counters.OversizedRejected.fetch_add(1, std::memory_order_relaxed);
+        Reject();
+        Alive = false;
+        break;
+      }
+      if (Line.find('\0') != std::string::npos) {
+        // NUL can never appear in line-delimited JSON; treat it as a
+        // framing violation rather than handing garbage to the handler.
+        Counters.BadFrames.fetch_add(1, std::memory_order_relaxed);
+        Reject();
+        Alive = false;
+        break;
+      }
+      Counters.LinesServed.fetch_add(1, std::memory_order_relaxed);
+      Alive = writeLine(Conn.Fd, Handle(Line, Conn.Slot));
+    }
+    if (!Alive)
+      break;
+
+    // A partial frame already longer than the limit can never become a
+    // legal request; reject it without waiting for the newline.
+    if (Buffer.size() > Options.MaxRequestBytes) {
+      Counters.OversizedRejected.fetch_add(1, std::memory_order_relaxed);
+      Reject();
+      break;
+    }
+
+    // During a drain, close as soon as the client has no partial request
+    // buffered; anything already sent was answered above.
+    if (stopRequested() && Buffer.empty())
+      break;
+
+    // The read deadline: a stalled partial frame is a dead or hostile
+    // peer holding a connection thread; close it.
+    if (Options.ReadTimeout.count() > 0 && !Buffer.empty() &&
+        std::chrono::steady_clock::now() - PartialSince >
+            Options.ReadTimeout) {
+      Counters.ReadTimeouts.fetch_add(1, std::memory_order_relaxed);
+      break;
+    }
+
+    struct pollfd Pfd = {Conn.Fd, POLLIN, 0};
+    int Ready = ::poll(&Pfd, 1, 200);
+    if (Ready < 0 && errno != EINTR)
+      break;
+    if (Ready <= 0)
+      continue; // Timeout (recheck stop/read deadlines) or EINTR.
+
+    ssize_t N = ::recv(Conn.Fd, Chunk, sizeof(Chunk), 0);
+    if (N == 0)
+      break; // Peer closed.
+    if (N < 0) {
+      if (errno == EINTR)
+        continue;
+      break;
+    }
+    if (Buffer.empty())
+      PartialSince = std::chrono::steady_clock::now();
+    Buffer.append(Chunk, static_cast<size_t>(N));
+  }
+
+  ::close(Conn.Fd);
+  Conn.Fd = -1;
+  Counters.Open.fetch_sub(1, std::memory_order_relaxed);
+  Conn.Done.store(true, std::memory_order_release);
+}
+
+int LineServer::openUnixListener(std::string *Error) {
+  sockaddr_un Addr = {};
+  Addr.sun_family = AF_UNIX;
+  if (Options.SocketPath.size() >= sizeof(Addr.sun_path)) {
+    if (Error)
+      *Error = "socket path is too long for sockaddr_un";
+    return -1;
+  }
+  std::strncpy(Addr.sun_path, Options.SocketPath.c_str(),
+               sizeof(Addr.sun_path) - 1);
+
+  int Fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Error)
+      *Error = std::string("socket(): ") + std::strerror(errno);
+    return -1;
+  }
+
+  // A stale socket file from a crashed predecessor would make bind fail;
+  // remove it. A *live* predecessor also loses its file, but two daemons
+  // on one path is an operator error either way.
+  ::unlink(Options.SocketPath.c_str());
+
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(Fd, Options.Backlog) < 0) {
+    if (Error)
+      *Error = std::string("bind/listen on '") + Options.SocketPath +
+               "': " + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+  return Fd;
+}
+
+int LineServer::openTcpListener(std::string *Error) {
+  sockaddr_in Addr = {};
+  Addr.sin_family = AF_INET;
+  Addr.sin_port =
+      htons(static_cast<uint16_t>(Options.TcpPort < 0 ? 0 : Options.TcpPort));
+  const std::string &Host =
+      Options.TcpHost.empty() ? std::string("0.0.0.0") : Options.TcpHost;
+  if (::inet_pton(AF_INET, Host.c_str(), &Addr.sin_addr) != 1) {
+    if (Error)
+      *Error = "bad TCP listen address '" + Host + "'";
+    return -1;
+  }
+
+  int Fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (Fd < 0) {
+    if (Error)
+      *Error = std::string("socket(): ") + std::strerror(errno);
+    return -1;
+  }
+  int One = 1;
+  ::setsockopt(Fd, SOL_SOCKET, SO_REUSEADDR, &One, sizeof(One));
+
+  if (::bind(Fd, reinterpret_cast<sockaddr *>(&Addr), sizeof(Addr)) < 0 ||
+      ::listen(Fd, Options.Backlog) < 0) {
+    if (Error)
+      *Error = std::string("bind/listen on ") + Host + ":" +
+               std::to_string(Options.TcpPort) + ": " + std::strerror(errno);
+    ::close(Fd);
+    return -1;
+  }
+
+  sockaddr_in Bound = {};
+  socklen_t Len = sizeof(Bound);
+  if (::getsockname(Fd, reinterpret_cast<sockaddr *>(&Bound), &Len) == 0)
+    TcpPort.store(ntohs(Bound.sin_port), std::memory_order_release);
+  return Fd;
+}
+
+bool LineServer::run(std::string *Error) {
+  bool WantUnix = !Options.SocketPath.empty();
+  bool WantTcp = Options.TcpPort >= 0;
+  if (!WantUnix && !WantTcp) {
+    if (Error)
+      *Error = "no listener configured (need a socket path or a TCP port)";
+    return false;
+  }
+
+  std::vector<int> ListenFds;
+  if (WantUnix) {
+    int Fd = openUnixListener(Error);
+    if (Fd < 0)
+      return false;
+    ListenFds.push_back(Fd);
+  }
+  if (WantTcp) {
+    int Fd = openTcpListener(Error);
+    if (Fd < 0) {
+      for (int Open : ListenFds)
+        ::close(Open);
+      if (WantUnix)
+        ::unlink(Options.SocketPath.c_str());
+      return false;
+    }
+    ListenFds.push_back(Fd);
+  }
+  Listening.store(true, std::memory_order_release);
+
+  while (!stopRequested()) {
+    std::vector<struct pollfd> Pfds;
+    Pfds.reserve(ListenFds.size());
+    for (int Fd : ListenFds)
+      Pfds.push_back({Fd, POLLIN, 0});
+    int Ready = ::poll(Pfds.data(), Pfds.size(), 200);
+    if (Ready < 0 && errno != EINTR)
+      break;
+    if (Ready <= 0)
+      continue;
+
+    for (const struct pollfd &Pfd : Pfds) {
+      if (!(Pfd.revents & POLLIN))
+        continue;
+      int ClientFd = ::accept(Pfd.fd, nullptr, nullptr);
+      if (ClientFd < 0)
+        continue;
+      Counters.Accepted.fetch_add(1, std::memory_order_relaxed);
+
+      auto Conn = std::make_unique<Connection>();
+      Conn->Fd = ClientFd;
+      Connection *Raw = Conn.get();
+      Raw->Worker = std::thread([this, Raw] { handleConnection(*Raw); });
+      {
+        std::lock_guard<std::mutex> Lock(ConnectionsMutex);
+        // Reap finished connections so a long-lived daemon does not
+        // accumulate joinable threads.
+        for (auto &Existing : Connections)
+          if (Existing->Done.load(std::memory_order_acquire) &&
+              Existing->Worker.joinable())
+            Existing->Worker.join();
+        std::erase_if(Connections, [](const auto &C) {
+          return C->Done.load(std::memory_order_acquire) &&
+                 !C->Worker.joinable();
+        });
+        Connections.push_back(std::move(Conn));
+      }
+    }
+  }
+
+  // Drain: stop accepting, then wait for the connection threads. Each
+  // thread exits once its client closes or, during the drain, as soon as
+  // it has no buffered request — after answering everything it accepted.
+  for (int Fd : ListenFds)
+    ::close(Fd);
+  if (WantUnix)
+    ::unlink(Options.SocketPath.c_str());
+
+  auto DrainDeadline = std::chrono::steady_clock::now() + Options.DrainTimeout;
+  while (std::chrono::steady_clock::now() < DrainDeadline) {
+    bool AllDone = true;
+    {
+      std::lock_guard<std::mutex> Lock(ConnectionsMutex);
+      for (auto &Conn : Connections)
+        AllDone &= Conn->Done.load(std::memory_order_acquire);
+    }
+    if (AllDone)
+      break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  {
+    // Force the stragglers' sockets shut; their threads then exit.
+    std::lock_guard<std::mutex> Lock(ConnectionsMutex);
+    for (auto &Conn : Connections)
+      if (!Conn->Done.load(std::memory_order_acquire) && Conn->Fd >= 0)
+        ::shutdown(Conn->Fd, SHUT_RDWR);
+  }
+  {
+    std::lock_guard<std::mutex> Lock(ConnectionsMutex);
+    for (auto &Conn : Connections)
+      if (Conn->Worker.joinable())
+        Conn->Worker.join();
+    Connections.clear();
+  }
+
+  Listening.store(false, std::memory_order_release);
+  return true;
+}

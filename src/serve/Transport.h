@@ -1,0 +1,174 @@
+//===- serve/Transport.h - Line-delimited socket transport ------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// The shared socket transport under the serving tier: LineServer accepts
+/// connections on a unix-domain socket, a TCP socket, or both, reads
+/// newline-delimited request lines, and answers each through a
+/// caller-supplied handler — one response line per request line, in order.
+/// Both the worker daemon (serve/Server.h) and the sharded gateway
+/// (gateway/Gateway.h) are thin handlers on top of this class, so framing
+/// behavior cannot drift between them.
+///
+/// The transport hardens the framing edge against misbehaving peers:
+///
+///  * oversized requests — a line (terminated or not) longer than
+///    MaxRequestBytes is answered with the configured rejection line and
+///    the connection is closed, bounding per-connection memory;
+///  * read deadlines — a connection holding a *partial* frame longer than
+///    ReadTimeout is closed (an idle connection with no buffered bytes may
+///    stay open indefinitely);
+///  * slow readers — each response write must complete within
+///    WriteTimeout or the connection is closed, so one unread socket
+///    cannot wedge a connection thread forever;
+///  * embedded NUL — a NUL byte inside a request line is a framing
+///    violation (it can never appear in line-delimited JSON); the
+///    connection is answered with the rejection line and closed.
+///
+/// Shutdown is drain-then-stop, inherited verbatim from the original
+/// single-socket server: once the stop predicate fires the listeners stop
+/// accepting, every request already read is still answered, and run()
+/// returns only when the last connection thread has exited (DrainTimeout
+/// bounds how long a stuck peer can hold the process).
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_SERVE_TRANSPORT_H
+#define METAOPT_SERVE_TRANSPORT_H
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace metaopt {
+
+/// Process-wide stop flag polled by every running LineServer's accept
+/// loop. Lock-free, so a SIGTERM/SIGINT handler may set it directly —
+/// that is the daemons' graceful-shutdown path.
+std::atomic<bool> &serverStopFlag();
+
+/// Transport configuration. At least one of SocketPath / TcpPort must be
+/// set.
+struct TransportOptions {
+  /// Unix-domain listener path; empty disables the unix listener.
+  std::string SocketPath;
+  /// TCP listener address; TcpPort < 0 disables the TCP listener, 0 binds
+  /// an ephemeral port (read it back with boundTcpPort()).
+  std::string TcpHost = "127.0.0.1";
+  int TcpPort = -1;
+  int Backlog = 64;
+
+  /// Longest accepted request line; longer input is rejected and the
+  /// connection closed.
+  size_t MaxRequestBytes = 1 << 20;
+  /// How long a partial frame may sit without progress before the
+  /// connection is closed. Zero disables the deadline.
+  std::chrono::milliseconds ReadTimeout{0};
+  /// How long one response write may block on a slow reader. Zero
+  /// disables the deadline (writes may block indefinitely).
+  std::chrono::milliseconds WriteTimeout{5000};
+  /// Shutdown grace for open connections before their sockets are
+  /// forcibly shut down.
+  std::chrono::milliseconds DrainTimeout{5000};
+
+  /// Response line written (best-effort) before closing a connection that
+  /// sent an oversized or NUL-bearing frame; empty = close silently.
+  std::string RejectResponse;
+
+  /// Extra stop condition checked alongside requestStop() and
+  /// serverStopFlag(); the owner points this at its own stop state.
+  std::function<bool()> ExternalStop;
+};
+
+/// Transport-level counters, readable while the server runs.
+struct TransportCounters {
+  std::atomic<uint64_t> Accepted{0};
+  std::atomic<uint64_t> Open{0};
+  std::atomic<uint64_t> LinesServed{0};
+  std::atomic<uint64_t> OversizedRejected{0};
+  /// Frames rejected for an embedded NUL byte.
+  std::atomic<uint64_t> BadFrames{0};
+  std::atomic<uint64_t> ReadTimeouts{0};
+  std::atomic<uint64_t> WriteTimeouts{0};
+};
+
+/// Per-connection state handed to the handler alongside each line. The
+/// transport owns the lifetime; User is an opaque slot for handler state
+/// that should live as long as the connection (e.g. the gateway's cached
+/// backend connections). Handlers run on the connection's own thread, so
+/// no synchronization is needed for User.
+struct LineConnection {
+  std::shared_ptr<void> User;
+};
+
+/// A line-delimited request/response server over unix and/or TCP stream
+/// sockets, one thread per connection.
+class LineServer {
+public:
+  /// Handler for one request line (newline stripped, never empty, never
+  /// containing NUL); returns the response line (no trailing newline).
+  using Handler =
+      std::function<std::string(const std::string &Line, LineConnection &)>;
+
+  LineServer(TransportOptions Options, Handler Handle);
+  ~LineServer();
+
+  LineServer(const LineServer &) = delete;
+  LineServer &operator=(const LineServer &) = delete;
+
+  /// Binds the configured listeners and serves until stop is requested,
+  /// then drains. Returns false (with \p Error) only on setup failure.
+  /// Blocking — daemons call it from main(), tests from a helper thread.
+  bool run(std::string *Error = nullptr);
+
+  /// Asks a running run() to begin the drain. Safe from any thread.
+  void requestStop();
+
+  /// True from successful bind until run() returns.
+  bool listening() const { return Listening.load(std::memory_order_acquire); }
+
+  /// The TCP listener's bound port (after listening() turns true);
+  /// -1 when no TCP listener is configured. This is how tests bind
+  /// port 0 and discover the ephemeral port.
+  int boundTcpPort() const { return TcpPort.load(std::memory_order_acquire); }
+
+  const TransportCounters &counters() const { return Counters; }
+
+private:
+  struct Connection {
+    int Fd = -1;
+    std::thread Worker;
+    std::atomic<bool> Done{false};
+    LineConnection Slot;
+  };
+
+  bool stopRequested() const;
+  void handleConnection(Connection &Conn);
+  bool writeLine(int Fd, const std::string &Line);
+  int openUnixListener(std::string *Error);
+  int openTcpListener(std::string *Error);
+
+  TransportOptions Options;
+  Handler Handle;
+  std::atomic<bool> Stop{false};
+  std::atomic<bool> Listening{false};
+  std::atomic<int> TcpPort{-1};
+  TransportCounters Counters;
+
+  std::mutex ConnectionsMutex;
+  std::vector<std::unique_ptr<Connection>> Connections;
+};
+
+} // namespace metaopt
+
+#endif // METAOPT_SERVE_TRANSPORT_H

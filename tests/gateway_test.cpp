@@ -1,0 +1,411 @@
+//===- tests/gateway_test.cpp - Consistent hashing and the gateway --------===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+// Covers the scale-out tier: the consistent-hash ring (determinism,
+// balance, minimal remap on node removal), the canonical loop routing
+// key, and a full in-process gateway fronting two TCP workers — byte
+// identity against a direct worker connection, failover when a worker
+// dies, and the gateway's own health/stats/shutdown surface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ml/NearNeighbor.h"
+#include "gateway/Gateway.h"
+#include "gateway/HashRing.h"
+#include "serve/Client.h"
+#include "serve/Server.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <map>
+#include <thread>
+#include <unistd.h>
+
+using namespace metaopt;
+
+namespace {
+
+Dataset cleanDataset(size_t N, uint64_t Seed) {
+  Rng Generator(Seed);
+  Dataset Data;
+  for (size_t I = 0; I < N; ++I) {
+    Example Ex;
+    Ex.Features.fill(0.0);
+    double F0 = Generator.nextGaussian();
+    double F1 = Generator.nextGaussian();
+    Ex.Features[0] = F0;
+    Ex.Features[1] = F1;
+    Ex.Features[2] = Generator.nextGaussian() * 10.0;
+    Ex.Label = 1 + (F0 > 0 ? 1 : 0) + (F1 > 0 ? 2 : 0);
+    for (unsigned F = 0; F < MaxUnrollFactor; ++F)
+      Ex.CyclesPerFactor[F] = 1000.0 + 10.0 * F;
+    Ex.LoopName = "loop" + std::to_string(I);
+    Ex.BenchmarkName = "bench" + std::to_string(I % 4);
+    Data.add(std::move(Ex));
+  }
+  return Data;
+}
+
+ModelBundle makeNnBundle(size_t N = 80, uint64_t Seed = 7) {
+  Dataset Data = cleanDataset(N, Seed);
+  FeatureSet Features = {static_cast<FeatureId>(0),
+                         static_cast<FeatureId>(1),
+                         static_cast<FeatureId>(2)};
+  NearNeighborClassifier Nn(Features);
+  Nn.train(Data);
+  ModelBundle Bundle;
+  Bundle.Provenance.ClassifierName = Nn.name();
+  Bundle.Provenance.CreatedBy = "gateway_test";
+  Bundle.Provenance.TrainingExamples = N;
+  Bundle.Features = Features;
+  Bundle.ClassifierBlob = Nn.serialize();
+  return Bundle;
+}
+
+std::string freshDir(const std::string &Name) {
+  std::string Dir = ::testing::TempDir() + "/metaopt_gateway_test_" +
+                    std::to_string(::getpid()) + "_" + Name;
+  std::filesystem::remove_all(Dir);
+  std::filesystem::create_directories(Dir);
+  return Dir;
+}
+
+const char *LoopA = R"(loop "g.axpy" lang=C nest=1 trip=1024 rtrip=1024 {
+  %f_x = load @0[stride=8, offset=0, size=8]
+  %f_y = load @1[stride=8, offset=0, size=8]
+  %f_ax = fmul %f_x, %f_a
+  %f_s = fadd %f_ax, %f_y
+  store %f_s, @1[stride=8, offset=0, size=8]
+  %i_iv.next = iv_add %i_iv
+  %p_iv.cond = iv_cmp %i_iv.next
+  back_br %p_iv.cond
+}
+)";
+
+const char *LoopB = R"(loop "g.scan" lang=C nest=1 trip=-1 rtrip=500 {
+  %i_v = load @0[stride=4, offset=0, size=4]
+  %p_hit = icmp %i_v, %i_needle
+  exit_if %p_hit prob=0.01
+  %i_iv.next = iv_add %i_iv
+  %p_iv.cond = iv_cmp %i_iv.next
+  back_br %p_iv.cond
+}
+)";
+
+/// A synthetic key: distinct fingerprints for distinct inputs.
+Fingerprint keyOf(uint64_t I) {
+  FingerprintHasher H;
+  H.str("gateway-test-key");
+  H.u64(I);
+  return H.digest();
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// HashRing
+//===----------------------------------------------------------------------===//
+
+TEST(HashRingTest, RouteIsADeterministicPermutationOfAllNodes) {
+  HashRing Ring;
+  for (const char *Name : {"w0", "w1", "w2", "w3"})
+    Ring.addNode(Name);
+  ASSERT_EQ(Ring.nodeCount(), 4u);
+
+  HashRing Same;
+  for (const char *Name : {"w0", "w1", "w2", "w3"})
+    Same.addNode(Name);
+
+  for (uint64_t I = 0; I < 500; ++I) {
+    std::vector<size_t> Order = Ring.route(keyOf(I));
+    ASSERT_EQ(Order.size(), 4u);
+    std::vector<bool> Seen(4, false);
+    for (size_t Node : Order) {
+      ASSERT_LT(Node, 4u);
+      EXPECT_FALSE(Seen[Node]) << "node repeated in preference order";
+      Seen[Node] = true;
+    }
+    // Same backend list on another gateway instance: same routing.
+    EXPECT_EQ(Order, Same.route(keyOf(I)));
+  }
+}
+
+TEST(HashRingTest, VirtualNodesSpreadLoadRoughlyEvenly) {
+  HashRing Ring;
+  for (const char *Name : {"w0", "w1", "w2", "w3"})
+    Ring.addNode(Name);
+
+  std::map<size_t, unsigned> Hits;
+  constexpr unsigned Keys = 4000;
+  for (uint64_t I = 0; I < Keys; ++I)
+    Hits[Ring.route(keyOf(I))[0]]++;
+  ASSERT_EQ(Hits.size(), 4u);
+  for (const auto &[Node, Count] : Hits) {
+    // Fair share is 25%; 64 vnodes keeps every node within a loose band.
+    EXPECT_GT(Count, Keys / 10) << "node " << Node;
+    EXPECT_LT(Count, Keys / 2) << "node " << Node;
+  }
+}
+
+TEST(HashRingTest, RemovingANodeOnlyRemapsItsOwnKeys) {
+  HashRing Full;
+  for (const char *Name : {"w0", "w1", "w2"})
+    Full.addNode(Name);
+  HashRing Reduced;
+  for (const char *Name : {"w0", "w1"})
+    Reduced.addNode(Name);
+
+  unsigned Kept = 0, Remapped = 0;
+  for (uint64_t I = 0; I < 2000; ++I) {
+    size_t Before = Full.route(keyOf(I))[0];
+    size_t After = Reduced.route(keyOf(I))[0];
+    if (Before == 2) {
+      ++Remapped; // Keys of the removed node must land somewhere else.
+      EXPECT_LT(After, 2u);
+    } else {
+      // Keys of surviving nodes keep their home shard.
+      EXPECT_EQ(After, Before);
+      ++Kept;
+    }
+  }
+  EXPECT_GT(Kept, 0u);
+  EXPECT_GT(Remapped, 0u);
+}
+
+TEST(HashRingTest, LoopRoutingKeyIsCanonical) {
+  // Formatting-only differences (comments, blank lines) must not change
+  // the shard: the key hashes the parsed program's canonical print.
+  std::string Reformatted = std::string("# a comment\n\n") + LoopA;
+  EXPECT_EQ(fingerprintHex(loopRoutingKey(LoopA)),
+            fingerprintHex(loopRoutingKey(Reformatted)));
+  EXPECT_NE(fingerprintHex(loopRoutingKey(LoopA)),
+            fingerprintHex(loopRoutingKey(LoopB)));
+  // Unparseable text still routes deterministically.
+  EXPECT_EQ(fingerprintHex(loopRoutingKey("not a loop")),
+            fingerprintHex(loopRoutingKey("not a loop")));
+}
+
+//===----------------------------------------------------------------------===//
+// Gateway against live workers
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Two TCP workers plus a gateway fronting them, all in-process.
+class GatewayFixture {
+public:
+  explicit GatewayFixture(GatewayOptions GwOptions = {}) {
+    serverStopFlag().store(false);
+    Dir = freshDir("gateway");
+
+    for (int W = 0; W < 2; ++W) {
+      ServerOptions Options;
+      Options.TcpPort = 0; // Ephemeral.
+      Workers.push_back(
+          std::make_unique<Server>(makeNnBundle(), Options));
+      Server *Worker = Workers.back().get();
+      WorkerThreads.emplace_back([Worker] { Worker->run(); });
+      for (int I = 0; I < 500 && !Worker->listening(); ++I)
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      Addresses.push_back("127.0.0.1:" +
+                          std::to_string(Worker->boundTcpPort()));
+    }
+
+    GwOptions.SocketPath = Dir + "/gw.sock";
+    GwOptions.Backends = Addresses;
+    GwOptions.HealthInterval = std::chrono::milliseconds(100);
+    Path = GwOptions.SocketPath;
+    Gate = std::make_unique<Gateway>(std::move(GwOptions));
+    GatewayThread = std::thread([this] { Ok = Gate->run(&Error); });
+    for (int I = 0; I < 500 && !Gate->listening(); ++I)
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+
+  ~GatewayFixture() {
+    Gate->requestStop();
+    if (GatewayThread.joinable())
+      GatewayThread.join();
+    for (auto &Worker : Workers)
+      Worker->requestStop();
+    for (std::thread &T : WorkerThreads)
+      if (T.joinable())
+        T.join();
+  }
+
+  std::string Dir;
+  std::string Path;
+  std::vector<std::string> Addresses;
+  std::vector<std::unique_ptr<Server>> Workers;
+  std::vector<std::thread> WorkerThreads;
+  std::unique_ptr<Gateway> Gate;
+  std::thread GatewayThread;
+  bool Ok = false;
+  std::string Error;
+};
+
+} // namespace
+
+TEST(GatewayTest, ProxiedResponsesAreByteIdenticalToADirectWorker) {
+  GatewayFixture Fixture;
+  ASSERT_TRUE(Fixture.Gate->listening()) << Fixture.Error;
+
+  std::vector<WireRequest> Requests;
+  for (const char *Text : {LoopA, LoopB}) {
+    WireRequest Predict;
+    Predict.TheOp = WireRequest::Op::Predict;
+    Predict.Id = "req";
+    Predict.LoopText = Text;
+    Predict.WantScores = true;
+    Requests.push_back(Predict);
+  }
+
+  // Direct single-worker reference: every worker serves the same bundle,
+  // so any worker is a valid reference for every request.
+  std::vector<std::string> Reference;
+  {
+    ServeClient Direct;
+    ASSERT_TRUE(Direct.connectWithRetry(Fixture.Addresses[0], 2000));
+    for (const WireRequest &Request : Requests) {
+      std::optional<std::string> Line = Direct.request(Request);
+      ASSERT_TRUE(Line.has_value());
+      Reference.push_back(*Line);
+    }
+  }
+
+  ServeClient ViaGateway;
+  std::string Error;
+  ASSERT_TRUE(ViaGateway.connectWithRetry(Fixture.Path, 2000, &Error))
+      << Error;
+  for (int Round = 0; Round < 5; ++Round)
+    for (size_t I = 0; I < Requests.size(); ++I) {
+      std::optional<std::string> Line = ViaGateway.request(Requests[I]);
+      ASSERT_TRUE(Line.has_value());
+      EXPECT_EQ(*Line, Reference[I]);
+    }
+
+  // Sharding is sticky: each distinct loop went to exactly one backend.
+  GatewayStatsSnapshot Stats = Fixture.Gate->stats();
+  EXPECT_EQ(Stats.ForwardedOk, 10u);
+  EXPECT_EQ(Stats.Unavailable, 0u);
+  EXPECT_EQ(Stats.Failovers, 0u);
+}
+
+TEST(GatewayTest, HealthAggregatesTheFleet) {
+  GatewayFixture Fixture;
+  ASSERT_TRUE(Fixture.Gate->listening()) << Fixture.Error;
+
+  ServeClient Client;
+  ASSERT_TRUE(Client.connectWithRetry(Fixture.Path, 2000));
+  WireRequest Health;
+  Health.TheOp = WireRequest::Op::Health;
+  std::optional<std::string> Line = Client.request(Health);
+  ASSERT_TRUE(Line.has_value());
+  std::optional<JsonValue> Doc = parseJson(*Line);
+  ASSERT_TRUE(Doc.has_value()) << *Line;
+  EXPECT_EQ(Doc->getString("status"), "ok");
+  EXPECT_EQ(Doc->getString("role"), "gateway");
+  EXPECT_EQ(Doc->getInt("backends_total", 0), 2);
+  EXPECT_EQ(Doc->getInt("backends_healthy", 0), 2);
+  const JsonValue *Backends = Doc->get("backends");
+  ASSERT_NE(Backends, nullptr);
+  ASSERT_EQ(Backends->Items.size(), 2u);
+  // The initial probe recorded every worker's bundle revision.
+  for (const JsonValue &Backend : Backends->Items) {
+    EXPECT_TRUE(Backend.getBool("healthy", false));
+    EXPECT_FALSE(Backend.getString("bundle_checksum").empty());
+  }
+
+  WireRequest Stats;
+  Stats.TheOp = WireRequest::Op::Stats;
+  Line = Client.request(Stats);
+  ASSERT_TRUE(Line.has_value());
+  Doc = parseJson(*Line);
+  ASSERT_TRUE(Doc.has_value()) << *Line;
+  EXPECT_EQ(Doc->getString("role"), "gateway");
+  EXPECT_EQ(Doc->getInt("overloaded", -1), 0);
+  EXPECT_EQ(Doc->getInt("in_flight", -1), 0);
+}
+
+TEST(GatewayTest, FailsOverWhenAWorkerDiesAndReportsDegraded) {
+  GatewayFixture Fixture;
+  ASSERT_TRUE(Fixture.Gate->listening()) << Fixture.Error;
+
+  // Kill worker 0 (drain, socket gone).
+  Fixture.Workers[0]->requestStop();
+  Fixture.WorkerThreads[0].join();
+
+  // Every request must still be answered ok by the surviving worker —
+  // including the ones whose home shard just died.
+  ServeClient Client;
+  ASSERT_TRUE(Client.connectWithRetry(Fixture.Path, 2000));
+  for (int I = 0; I < 20; ++I) {
+    WireRequest Predict;
+    Predict.TheOp = WireRequest::Op::Predict;
+    // Distinct loops (varying trip count) spread across both shards.
+    std::string Text = LoopA;
+    size_t At = Text.find("trip=1024");
+    Text.replace(At, 9, "trip=" + std::to_string(64 + I));
+    Predict.LoopText = Text;
+    std::optional<std::string> Line = Client.request(Predict);
+    ASSERT_TRUE(Line.has_value());
+    std::optional<JsonValue> Doc = parseJson(*Line);
+    ASSERT_TRUE(Doc.has_value());
+    EXPECT_EQ(Doc->getString("status"), "ok") << *Line;
+  }
+
+  GatewayStatsSnapshot Stats = Fixture.Gate->stats();
+  EXPECT_EQ(Stats.Unavailable, 0u);
+  EXPECT_EQ(Stats.ForwardedOk, 20u);
+
+  // The health checker marks the dead worker down within its cadence.
+  bool Degraded = false;
+  ServeClient Probe;
+  ASSERT_TRUE(Probe.connectWithRetry(Fixture.Path, 2000));
+  for (int I = 0; I < 100 && !Degraded; ++I) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    WireRequest Health;
+    Health.TheOp = WireRequest::Op::Health;
+    std::optional<std::string> Line = Probe.request(Health);
+    ASSERT_TRUE(Line.has_value());
+    std::optional<JsonValue> Doc = parseJson(*Line);
+    ASSERT_TRUE(Doc.has_value());
+    Degraded = Doc->getString("status") == "degraded" &&
+               Doc->getInt("backends_healthy", 0) == 1;
+  }
+  EXPECT_TRUE(Degraded);
+}
+
+TEST(GatewayTest, ShutdownOpDrainsTheGatewayOnly) {
+  GatewayFixture Fixture;
+  ASSERT_TRUE(Fixture.Gate->listening()) << Fixture.Error;
+
+  ServeClient Client;
+  ASSERT_TRUE(Client.connectWithRetry(Fixture.Path, 2000));
+  WireRequest Shutdown;
+  Shutdown.TheOp = WireRequest::Op::Shutdown;
+  std::optional<std::string> Line = Client.request(Shutdown);
+  ASSERT_TRUE(Line.has_value());
+  std::optional<JsonValue> Doc = parseJson(*Line);
+  ASSERT_TRUE(Doc.has_value());
+  EXPECT_EQ(Doc->getString("status"), "ok");
+  Client.close();
+
+  if (Fixture.GatewayThread.joinable())
+    Fixture.GatewayThread.join();
+  EXPECT_TRUE(Fixture.Ok) << Fixture.Error;
+
+  // The workers are untouched: a direct connection still predicts.
+  ServeClient Direct;
+  ASSERT_TRUE(Direct.connectWithRetry(Fixture.Addresses[1], 2000));
+  WireRequest Predict;
+  Predict.TheOp = WireRequest::Op::Predict;
+  Predict.LoopText = LoopB;
+  Line = Direct.request(Predict);
+  ASSERT_TRUE(Line.has_value());
+  Doc = parseJson(*Line);
+  ASSERT_TRUE(Doc.has_value());
+  EXPECT_EQ(Doc->getString("status"), "ok");
+}

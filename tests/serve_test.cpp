@@ -25,9 +25,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <cerrno>
 #include <filesystem>
 #include <fstream>
 #include <thread>
+
+#include <sys/socket.h>
 #include <unistd.h>
 
 using namespace metaopt;
@@ -600,8 +604,14 @@ TEST(ProtocolTest, ResponsesAreParseableJson) {
 
   EXPECT_TRUE(parseJson(renderHealthResponse("", Service.bundle()))
                   .has_value());
+  EXPECT_TRUE(parseJson(renderHealthResponse("", Service.bundle(),
+                                             Service.bundleChecksum()))
+                  .has_value());
+  ServerStatsExtra Extra;
+  Extra.ConnectionsAccepted = 3;
+  Extra.ConnectionsOpen = 1;
   EXPECT_TRUE(
-      parseJson(renderStatsResponse("", Service.stats(), 3, 1)).has_value());
+      parseJson(renderStatsResponse("", Service.stats(), Extra)).has_value());
   EXPECT_TRUE(parseJson(renderErrorResponse("", "bad-request", "why"))
                   .has_value());
 }
@@ -609,6 +619,57 @@ TEST(ProtocolTest, ResponsesAreParseableJson) {
 //===----------------------------------------------------------------------===//
 // Latency histogram
 //===----------------------------------------------------------------------===//
+
+TEST(MetricsTest, SnapshotsAreNeverTornUnderConcurrentLoad) {
+  PredictionServiceOptions Options;
+  Options.MaxBatch = 4;
+  Options.BatchLinger = std::chrono::microseconds(200);
+  PredictionService Service(makeNnBundle(), Options);
+
+  // A sampler races the load and asserts the documented snapshot
+  // invariants; with torn (per-counter atomic) reads these fail within a
+  // handful of samples.
+  std::atomic<bool> Done{false};
+  std::atomic<int> Violations{0};
+  std::thread Sampler([&] {
+    while (!Done.load(std::memory_order_acquire)) {
+      ServiceStatsSnapshot S = Service.stats();
+      if (S.Received != S.Completed + static_cast<uint64_t>(S.QueueDepth) +
+                            static_cast<uint64_t>(S.InFlight))
+        ++Violations;
+      if (S.Completed != S.Ok + S.Malformed + S.DeadlineExceeded)
+        ++Violations;
+      if (S.LatencySamples != S.Completed)
+        ++Violations;
+    }
+  });
+
+  constexpr int ThreadCount = 6;
+  constexpr int PerThread = 50;
+  std::vector<std::thread> Threads;
+  for (int T = 0; T < ThreadCount; ++T)
+    Threads.emplace_back([&] {
+      for (int I = 0; I < PerThread; ++I) {
+        PredictRequest Request;
+        Request.LoopText = (I % 5 == 0) ? "not a loop" : ValidLoop;
+        Service.predict(Request);
+      }
+    });
+  for (std::thread &T : Threads)
+    T.join();
+  Done.store(true, std::memory_order_release);
+  Sampler.join();
+  EXPECT_EQ(Violations.load(), 0);
+
+  ServiceStatsSnapshot Final = Service.stats();
+  EXPECT_EQ(Final.QueueDepth, 0);
+  EXPECT_EQ(Final.InFlight, 0);
+  EXPECT_EQ(Final.Received, Final.Completed);
+  EXPECT_EQ(Final.Received,
+            static_cast<uint64_t>(ThreadCount) * PerThread);
+  EXPECT_EQ(Final.LatencySamples, Final.Completed);
+  EXPECT_GT(Final.Malformed, 0u);
+}
 
 TEST(MetricsTest, HistogramPercentilesAreMonotoneAndBounded) {
   LatencyHistogram Hist;
@@ -769,4 +830,362 @@ TEST(ServerTest, ShutdownOpDrainsAndStopsTheDaemon) {
   EXPECT_TRUE(Fixture.Ok) << Fixture.Error;
   // A drained daemon removes its socket file.
   EXPECT_FALSE(std::filesystem::exists(Fixture.Path));
+}
+
+//===----------------------------------------------------------------------===//
+// Transport hardening: TCP, framing edges, deadlines
+//===----------------------------------------------------------------------===//
+
+namespace {
+
+/// Reads one '\n'-terminated line from a raw socket. False on EOF or
+/// error (the server closed the connection).
+bool readLineRaw(int Fd, std::string &Out) {
+  Out.clear();
+  char C;
+  while (true) {
+    ssize_t N = ::recv(Fd, &C, 1, 0);
+    if (N <= 0)
+      return false;
+    if (C == '\n')
+      return true;
+    Out.push_back(C);
+  }
+}
+
+bool sendAll(int Fd, const std::string &Bytes) {
+  size_t Sent = 0;
+  while (Sent < Bytes.size()) {
+    ssize_t N = ::send(Fd, Bytes.data() + Sent, Bytes.size() - Sent,
+                       MSG_NOSIGNAL);
+    if (N <= 0)
+      return false;
+    Sent += static_cast<size_t>(N);
+  }
+  return true;
+}
+
+/// One server-side counter from a fresh stats connection.
+int64_t statsCounter(const std::string &SocketPath, const char *Key) {
+  ServeClient Probe;
+  if (!Probe.connectWithRetry(SocketPath, 2000))
+    return -1;
+  WireRequest Stats;
+  Stats.TheOp = WireRequest::Op::Stats;
+  std::optional<std::string> Line = Probe.request(Stats);
+  if (!Line)
+    return -1;
+  std::optional<JsonValue> Doc = parseJson(*Line);
+  return Doc ? Doc->getInt(Key, -1) : -1;
+}
+
+} // namespace
+
+TEST(TransportTest, TcpListenerServesTheSameProtocolByteForByte) {
+  ServerOptions Options;
+  Options.TcpPort = 0; // Ephemeral.
+  ServerFixture Fixture(Options);
+  ASSERT_TRUE(Fixture.Daemon->listening()) << Fixture.Error;
+  int Port = Fixture.Daemon->boundTcpPort();
+  ASSERT_GT(Port, 0);
+
+  WireRequest Predict;
+  Predict.TheOp = WireRequest::Op::Predict;
+  Predict.LoopText = ValidLoop;
+  Predict.WantScores = true;
+
+  ServeClient UnixClient, TcpClient;
+  std::string Error;
+  ASSERT_TRUE(UnixClient.connectWithRetry(Fixture.Path, 2000, &Error))
+      << Error;
+  ASSERT_TRUE(TcpClient.connectWithRetry(
+      "127.0.0.1:" + std::to_string(Port), 2000, &Error))
+      << Error;
+
+  std::optional<std::string> ViaUnix = UnixClient.request(Predict, &Error);
+  std::optional<std::string> ViaTcp = TcpClient.request(Predict, &Error);
+  ASSERT_TRUE(ViaUnix.has_value()) << Error;
+  ASSERT_TRUE(ViaTcp.has_value()) << Error;
+  // The transport must be invisible in the bytes.
+  EXPECT_EQ(*ViaUnix, *ViaTcp);
+  std::optional<JsonValue> Doc = parseJson(*ViaTcp);
+  ASSERT_TRUE(Doc.has_value());
+  EXPECT_EQ(Doc->getString("status"), "ok");
+}
+
+TEST(TransportTest, PartialFramesAcrossReadsAndCrlfAreOneRequest) {
+  ServerFixture Fixture;
+  ASSERT_TRUE(Fixture.Daemon->listening()) << Fixture.Error;
+
+  ServeClient Client;
+  std::string Error;
+  ASSERT_TRUE(Client.connectWithRetry(Fixture.Path, 2000, &Error)) << Error;
+
+  WireRequest Health;
+  Health.TheOp = WireRequest::Op::Health;
+  std::string Line = renderRequestLine(Health);
+  std::optional<std::string> Reference = Client.request(Health, &Error);
+  ASSERT_TRUE(Reference.has_value()) << Error;
+
+  // Dribble the same request a few bytes per write: the server must
+  // reassemble it into exactly one request.
+  int Fd = Client.fd();
+  std::string Framed = Line + "\n";
+  for (size_t I = 0; I < Framed.size(); I += 7) {
+    ASSERT_TRUE(sendAll(Fd, Framed.substr(I, 7)));
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  std::string Out;
+  ASSERT_TRUE(readLineRaw(Fd, Out));
+  EXPECT_EQ(Out, *Reference);
+
+  // CRLF framing (and a leading blank line) serves the same response as
+  // bare LF.
+  ASSERT_TRUE(sendAll(Fd, "\r\n" + Line + "\r\n"));
+  ASSERT_TRUE(readLineRaw(Fd, Out));
+  EXPECT_EQ(Out, *Reference);
+
+  // Two requests in one write are two responses.
+  ASSERT_TRUE(sendAll(Fd, Framed + Framed));
+  ASSERT_TRUE(readLineRaw(Fd, Out));
+  EXPECT_EQ(Out, *Reference);
+  ASSERT_TRUE(readLineRaw(Fd, Out));
+  EXPECT_EQ(Out, *Reference);
+}
+
+TEST(TransportTest, OversizedRequestLineIsRejectedThenClosed) {
+  ServerOptions Options;
+  Options.MaxRequestBytes = 1024;
+  ServerFixture Fixture(Options);
+  ASSERT_TRUE(Fixture.Daemon->listening()) << Fixture.Error;
+
+  ServeClient Client;
+  ASSERT_TRUE(Client.connectWithRetry(Fixture.Path, 2000));
+  int Fd = Client.fd();
+  ASSERT_TRUE(sendAll(Fd, std::string(4096, 'a') + "\n"));
+
+  std::string Out;
+  ASSERT_TRUE(readLineRaw(Fd, Out));
+  std::optional<JsonValue> Doc = parseJson(Out);
+  ASSERT_TRUE(Doc.has_value()) << Out;
+  EXPECT_EQ(Doc->getString("status"), "bad-request");
+  // The connection does not survive a framing violation.
+  EXPECT_FALSE(readLineRaw(Fd, Out));
+
+  EXPECT_GE(statsCounter(Fixture.Path, "oversized_rejected"), 1);
+}
+
+TEST(TransportTest, EmbeddedNulIsAFramingViolation) {
+  ServerFixture Fixture;
+  ASSERT_TRUE(Fixture.Daemon->listening()) << Fixture.Error;
+
+  ServeClient Client;
+  ASSERT_TRUE(Client.connectWithRetry(Fixture.Path, 2000));
+  int Fd = Client.fd();
+  std::string Evil = "{\"op\":\"health\"}";
+  Evil += '\0';
+  Evil += "\n";
+  ASSERT_TRUE(sendAll(Fd, Evil));
+
+  std::string Out;
+  ASSERT_TRUE(readLineRaw(Fd, Out));
+  std::optional<JsonValue> Doc = parseJson(Out);
+  ASSERT_TRUE(Doc.has_value()) << Out;
+  EXPECT_EQ(Doc->getString("status"), "bad-request");
+  EXPECT_FALSE(readLineRaw(Fd, Out));
+
+  EXPECT_GE(statsCounter(Fixture.Path, "bad_frames"), 1);
+}
+
+TEST(TransportTest, StalledPartialFrameIsClosedAfterReadTimeout) {
+  ServerOptions Options;
+  Options.ReadTimeout = std::chrono::milliseconds(200);
+  ServerFixture Fixture(Options);
+  ASSERT_TRUE(Fixture.Daemon->listening()) << Fixture.Error;
+
+  ServeClient Client;
+  ASSERT_TRUE(Client.connectWithRetry(Fixture.Path, 2000));
+  int Fd = Client.fd();
+  // A frame that never finishes: the read deadline must reclaim the
+  // connection (EOF, no response line).
+  ASSERT_TRUE(sendAll(Fd, "{\"op\":"));
+  auto Start = std::chrono::steady_clock::now();
+  std::string Out;
+  EXPECT_FALSE(readLineRaw(Fd, Out));
+  auto Elapsed = std::chrono::steady_clock::now() - Start;
+  EXPECT_LT(Elapsed, std::chrono::seconds(10));
+
+  EXPECT_GE(statsCounter(Fixture.Path, "read_timeouts"), 1);
+}
+
+TEST(TransportTest, SlowReaderIsDisconnectedByTheWriteDeadline) {
+  ServerOptions Options;
+  Options.WriteTimeout = std::chrono::milliseconds(150);
+  ServerFixture Fixture(Options);
+  ASSERT_TRUE(Fixture.Daemon->listening()) << Fixture.Error;
+
+  ServeClient Client;
+  ASSERT_TRUE(Client.connectWithRetry(Fixture.Path, 2000));
+  int Fd = Client.fd();
+
+  // Pipeline requests without ever reading a response until every socket
+  // buffer in the loop is full and our own send would block — at that
+  // point the server is wedged mid-write on a full buffer and its write
+  // deadline must disconnect us.
+  std::string Framed = renderRequestLine([] {
+    WireRequest Health;
+    Health.TheOp = WireRequest::Op::Health;
+    return Health;
+  }()) + "\n";
+  bool WouldBlock = false;
+  for (int I = 0; I < 200000 && !WouldBlock; ++I) {
+    ssize_t N = ::send(Fd, Framed.data(), Framed.size(),
+                       MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (N < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK)
+        WouldBlock = true;
+      else
+        break;
+    }
+  }
+  ASSERT_TRUE(WouldBlock);
+
+  // Wait (bounded) for the deadline to fire, then confirm via stats.
+  int64_t Timeouts = 0;
+  for (int I = 0; I < 200 && Timeouts < 1; ++I) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    Timeouts = statsCounter(Fixture.Path, "write_timeouts");
+  }
+  EXPECT_GE(Timeouts, 1);
+
+  // Draining what the server managed to send ends in EOF.
+  std::string Out;
+  while (readLineRaw(Fd, Out)) {
+  }
+}
+
+//===----------------------------------------------------------------------===//
+// Hot reload
+//===----------------------------------------------------------------------===//
+
+TEST(ServerTest, HotReloadSwapsTheBundleWithZeroDroppedResponses) {
+  std::string Dir = freshDir("reload");
+  std::string Path = Dir + "/live.bundle";
+  ModelBundle BundleA = makeNnBundle(80, 7);
+  ASSERT_TRUE(saveBundleFile(BundleA, Path));
+  std::optional<ModelBundle> Loaded = loadBundleFile(Path);
+  ASSERT_TRUE(Loaded.has_value());
+
+  serverStopFlag().store(false);
+  ServerOptions Options;
+  Options.SocketPath = Dir + "/mo.sock";
+  Options.BundlePath = Path;
+  Options.ReloadPoll = std::chrono::milliseconds(30);
+  Server Daemon(std::move(*Loaded), Options);
+  std::string RunError;
+  bool RunOk = false;
+  std::thread Runner([&] { RunOk = Daemon.run(&RunError); });
+  for (int I = 0; I < 500 && !Daemon.listening(); ++I)
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_TRUE(Daemon.listening()) << RunError;
+
+  std::string ChecksumA = Daemon.bundleChecksum();
+  EXPECT_EQ(ChecksumA, bundleChecksumHex(BundleA));
+
+  // Hammer predictions across the swap: every response must be ok — a
+  // reload may never drop or error an in-flight request.
+  std::atomic<bool> Done{false};
+  std::atomic<int> Errors{0};
+  std::atomic<uint64_t> Served{0};
+  std::vector<std::thread> Clients;
+  for (int C = 0; C < 4; ++C)
+    Clients.emplace_back([&] {
+      ServeClient Client;
+      if (!Client.connectWithRetry(Options.SocketPath, 2000)) {
+        ++Errors;
+        return;
+      }
+      WireRequest Predict;
+      Predict.TheOp = WireRequest::Op::Predict;
+      Predict.LoopText = ValidLoop;
+      while (!Done.load(std::memory_order_acquire)) {
+        std::optional<std::string> Line = Client.request(Predict);
+        if (!Line) {
+          ++Errors;
+          return;
+        }
+        std::optional<JsonValue> Doc = parseJson(*Line);
+        if (!Doc || Doc->getString("status") != "ok") {
+          ++Errors;
+          return;
+        }
+        ++Served;
+      }
+    });
+
+  ModelBundle BundleB = makeNnBundle(120, 99);
+  std::string ChecksumB = bundleChecksumHex(BundleB);
+  ASSERT_NE(ChecksumA, ChecksumB);
+  ASSERT_TRUE(saveBundleFile(BundleB, Path));
+
+  bool Swapped = false;
+  for (int I = 0; I < 1000 && !Swapped; ++I) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    Swapped = Daemon.bundleChecksum() == ChecksumB;
+  }
+  // Let the hammer observe the post-swap service for a while.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  Done.store(true, std::memory_order_release);
+  for (std::thread &T : Clients)
+    T.join();
+
+  EXPECT_TRUE(Swapped);
+  EXPECT_EQ(Errors.load(), 0);
+  EXPECT_GT(Served.load(), 0u);
+  EXPECT_EQ(Daemon.reloads(), 1u);
+  EXPECT_EQ(Daemon.reloadsRejected(), 0u);
+
+  // Health reports the new revision.
+  {
+    ServeClient Probe;
+    ASSERT_TRUE(Probe.connectWithRetry(Options.SocketPath, 2000));
+    WireRequest Health;
+    Health.TheOp = WireRequest::Op::Health;
+    std::optional<std::string> Line = Probe.request(Health);
+    ASSERT_TRUE(Line.has_value());
+    std::optional<JsonValue> Doc = parseJson(*Line);
+    ASSERT_TRUE(Doc.has_value());
+    EXPECT_EQ(Doc->getString("bundle_checksum"), ChecksumB);
+  }
+  EXPECT_GE(statsCounter(Options.SocketPath, "reloads"), 1);
+
+  // A corrupt artifact is rejected; the good model keeps serving.
+  {
+    std::ofstream Out(Path, std::ios::trunc | std::ios::binary);
+    Out << "garbage";
+  }
+  bool Rejected = false;
+  for (int I = 0; I < 1000 && !Rejected; ++I) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    Rejected = Daemon.reloadsRejected() >= 1;
+  }
+  EXPECT_TRUE(Rejected);
+  EXPECT_EQ(Daemon.bundleChecksum(), ChecksumB);
+  EXPECT_EQ(Daemon.reloads(), 1u);
+  {
+    ServeClient Probe;
+    ASSERT_TRUE(Probe.connectWithRetry(Options.SocketPath, 2000));
+    WireRequest Predict;
+    Predict.TheOp = WireRequest::Op::Predict;
+    Predict.LoopText = ValidLoop;
+    std::optional<std::string> Line = Probe.request(Predict);
+    ASSERT_TRUE(Line.has_value());
+    std::optional<JsonValue> Doc = parseJson(*Line);
+    ASSERT_TRUE(Doc.has_value());
+    EXPECT_EQ(Doc->getString("status"), "ok");
+  }
+
+  Daemon.requestStop();
+  Runner.join();
+  EXPECT_TRUE(RunOk) << RunError;
 }

@@ -12,22 +12,26 @@
 ///
 ///  * every row must parse as a flat JSON object and carry the required
 ///    keys for its experiment;
-///  * every byte-identity flag present (csv_matches_serial,
-///    csv_matches_unpruned, csv_matches_uncached) must be true — these
-///    are correctness contracts, not metrics;
+///  * every identity flag present must be true — any boolean key whose
+///    name contains "match" (csv_matches_serial, matches_reference,
+///    findings_match_serial, ...) is a correctness contract, not a
+///    metric;
 ///  * every floor row in the --floor file must match at least one bench
 ///    row and that row must meet the floor.
 ///
 /// A floor file is the same flat-JSON-rows format. In a floor row, a
-/// key named `min_<metric>` asserts `row.<metric> >= value` on the
-/// matched row; every other key is an exact-match selector. So
+/// key named `min_<metric>` asserts `row.<metric> >= value` and a key
+/// named `max_<metric>` asserts `row.<metric> <= value` on the matched
+/// row; every other key is an exact-match selector. So
 ///
 ///   {"experiment": "labeling", "mode": "production", "threads": 4,
 ///    "min_speedup_vs_serial": 1.50}
 ///
 /// fails the run unless a production labeling row at 4 threads exists
 /// with speedup_vs_serial >= 1.5 (bench/perf_floor.json is the floor
-/// CI enforces). Exit status: 0 clean, 1 any validation failure.
+/// the CI bench-smoke job enforces; bench/serve_floor.json gates the
+/// serving soak, e.g. {"experiment": "serve_soak", "max_errors": 0}).
+/// Exit status: 0 clean, 1 any validation failure.
 ///
 /// Usage:
 ///   metaopt-benchcheck --floor=bench/perf_floor.json BENCH_pipeline.json
@@ -190,6 +194,16 @@ const std::map<std::string, std::vector<std::string>> &requiredKeys() {
        {"phase", "seconds", "speedup_vs_cold", "cache_hits",
         "cache_misses", "cache_inserts", "cache_entries",
         "persistent_loaded", "csv_matches_uncached"}},
+      {"serve_soak",
+       {"mode", "duration_s", "clients", "completed", "errors",
+        "reconnects", "expected_closes", "oversized_rejects",
+        "bundle_swaps", "throughput_rps", "p50_ms", "p99_ms", "p999_ms",
+        "matches_reference"}},
+      {"lint_sweep",
+       {"threads", "loops", "errors", "warnings", "notes", "seconds",
+        "speedup_vs_serial", "findings_match_serial"}},
+      {"classifier_microbench",
+       {"benchmark", "iterations", "real_ns", "cpu_ns"}},
   };
   return Schema;
 }
@@ -273,28 +287,34 @@ int main(int Argc, char **Argv) {
                      describeRow(R).c_str());
         ++Failures;
       }
-    // Byte-identity flags are contracts: false is always a failure.
-    for (const auto &[Key, V] : R)
-      if (Key.rfind("csv_matches_", 0) == 0 &&
-          (V.K != Value::Bool || !V.B)) {
+    // Identity flags are contracts: false is always a failure. The
+    // csv_matches_* family must additionally be boolean; any other key
+    // naming a match is only held to the contract when it is one.
+    for (const auto &[Key, V] : R) {
+      bool Contract =
+          Key.rfind("csv_matches_", 0) == 0 ||
+          (Key.find("match") != std::string::npos && V.K == Value::Bool);
+      if (Contract && (V.K != Value::Bool || !V.B)) {
         std::fprintf(stderr, "identity contract broken (%s): %s\n",
                      Key.c_str(), describeRow(R).c_str());
         ++Failures;
       }
+    }
   }
 
-  // Floors: each floor row must match a bench row meeting every min_*.
+  // Floors: each floor row must match a bench row meeting every min_*
+  // floor and max_* ceiling; the remaining keys are exact-match
+  // selectors.
   if (Cli.has("floor")) {
     std::vector<Row> Floors;
     if (!readRows(Cli.getString("floor"), Floors, Failures))
       return 1;
     for (const Row &Floor : Floors) {
       bool Matched = false;
-      std::string Nearest;
       for (const Row &R : Rows) {
         bool Selected = true;
         for (const auto &[Key, V] : Floor) {
-          if (Key.rfind("min_", 0) == 0)
+          if (Key.rfind("min_", 0) == 0 || Key.rfind("max_", 0) == 0)
             continue;
           auto It = R.find(Key);
           if (It == R.end() || !valuesMatch(It->second, V)) {
@@ -306,7 +326,9 @@ int main(int Argc, char **Argv) {
           continue;
         Matched = true;
         for (const auto &[Key, V] : Floor) {
-          if (Key.rfind("min_", 0) != 0)
+          bool IsMin = Key.rfind("min_", 0) == 0;
+          bool IsMax = Key.rfind("max_", 0) == 0;
+          if (!IsMin && !IsMax)
             continue;
           std::string Metric = Key.substr(4);
           auto It = R.find(Metric);
@@ -314,9 +336,15 @@ int main(int Argc, char **Argv) {
             std::fprintf(stderr, "floor metric \"%s\" absent: %s\n",
                          Metric.c_str(), describeRow(R).c_str());
             ++Failures;
-          } else if (It->second.N < V.N) {
+          } else if (IsMin && It->second.N < V.N) {
             std::fprintf(stderr,
                          "floor violated: %s = %.3f < %.3f in %s\n",
+                         Metric.c_str(), It->second.N, V.N,
+                         describeRow(R).c_str());
+            ++Failures;
+          } else if (IsMax && It->second.N > V.N) {
+            std::fprintf(stderr,
+                         "ceiling violated: %s = %.3f > %.3f in %s\n",
                          Metric.c_str(), It->second.N, V.N,
                          describeRow(R).c_str());
             ++Failures;

@@ -8,7 +8,8 @@
 /// \file
 /// Command-line client for metaopt-serve: sends loop files for
 /// prediction (one predict request per file), or a health / stats /
-/// shutdown request, over the daemon's unix socket. --json prints the
+/// shutdown request, over the daemon's unix socket or TCP endpoint
+/// (a worker or a gateway — the protocol is identical). --json prints the
 /// daemon's response lines verbatim (the smoke test diffs these across
 /// concurrent clients); the default rendering is human-readable.
 /// Exit status: 0 on an ok response, 1 when the daemon rejected the
@@ -71,7 +72,9 @@ int main(int Argc, char **Argv) {
                 "Queries a running metaopt-serve daemon: predicts unroll "
                 "factors for\nloop files, or sends a health / stats / "
                 "shutdown request.");
-  Cli.option("socket", "path", "daemon socket to connect to (required)");
+  Cli.option("socket", "addr",
+             "daemon address: unix socket path or host:port "
+             "(worker or gateway; required)");
   Cli.flag("scores", "request per-factor scores with each prediction");
   Cli.option("deadline-ms", "ms", "per-request deadline (default: none)");
   Cli.option("connect-timeout-ms", "ms",

@@ -7,10 +7,12 @@
 ///
 /// \file
 /// The serving daemon: loads a model bundle published by metaopt-train,
-/// binds a unix-domain socket, and answers line-delimited JSON predict /
-/// health / stats requests (docs/SERVING.md) with request batching on the
-/// work-stealing pool. SIGTERM and SIGINT trigger a graceful drain: stop
-/// accepting, answer everything in flight, then exit 0.
+/// binds a unix-domain socket and/or a TCP port, and answers
+/// line-delimited JSON predict / health / stats requests (docs/SERVING.md)
+/// with request batching on the work-stealing pool. With --reload-poll-ms
+/// it watches the bundle file and hot-swaps a changed model with zero
+/// downtime. SIGTERM and SIGINT trigger a graceful drain: stop accepting,
+/// answer everything in flight, then exit 0.
 ///
 //===----------------------------------------------------------------------===//
 
@@ -37,7 +39,23 @@ int main(int Argc, char **Argv) {
   Cli.option("bundle", "bundle.bin",
              "model bundle to serve (required; see metaopt-train)");
   Cli.option("socket", "path",
-             "unix-domain socket path to listen on (required)");
+             "unix-domain socket path to listen on");
+  Cli.option("tcp-port", "port",
+             "TCP port to listen on (0 = ephemeral; default: off)");
+  Cli.option("tcp-host", "host",
+             "TCP bind address (default: 127.0.0.1)");
+  Cli.option("reload-poll-ms", "ms",
+             "watch the bundle file and hot-reload on change, polling "
+             "every ms (0 = off; default: 0)");
+  Cli.option("max-request-bytes", "n",
+             "reject request lines longer than n bytes "
+             "(default: 1048576)");
+  Cli.option("read-timeout-ms", "ms",
+             "close a connection stalled mid-frame after ms "
+             "(0 = never; default: 0)");
+  Cli.option("write-timeout-ms", "ms",
+             "close a connection that will not read its responses "
+             "after ms (default: 5000)");
   Cli.option("batch-max", "n", "max requests per batch (default: 16)");
   Cli.option("queue-max", "n",
              "admission-queue capacity; beyond it requests are refused "
@@ -54,9 +72,11 @@ int main(int Argc, char **Argv) {
 
   std::string BundlePath = Cli.getString("bundle");
   std::string SocketPath = Cli.getString("socket");
-  if (BundlePath.empty() || SocketPath.empty()) {
+  int64_t TcpPort = Cli.has("tcp-port") ? Cli.getInt("tcp-port", -1) : -1;
+  if (BundlePath.empty() || (SocketPath.empty() && TcpPort < 0)) {
     std::fprintf(stderr,
-                 "metaopt-serve: --bundle and --socket are required\n%s",
+                 "metaopt-serve: --bundle and a listener (--socket "
+                 "and/or --tcp-port) are required\n%s",
                  Cli.usage().c_str());
     return 2;
   }
@@ -64,7 +84,13 @@ int main(int Argc, char **Argv) {
   int64_t QueueMax = Cli.getInt("queue-max", 1024);
   int64_t LingerUs = Cli.getInt("linger-us", 200);
   int64_t DrainMs = Cli.getInt("drain-ms", 5000);
-  if (BatchMax < 1 || QueueMax < 1 || LingerUs < 0 || DrainMs < 0) {
+  int64_t ReloadPollMs = Cli.getInt("reload-poll-ms", 0);
+  int64_t MaxRequestBytes = Cli.getInt("max-request-bytes", 1 << 20);
+  int64_t ReadTimeoutMs = Cli.getInt("read-timeout-ms", 0);
+  int64_t WriteTimeoutMs = Cli.getInt("write-timeout-ms", 5000);
+  if (BatchMax < 1 || QueueMax < 1 || LingerUs < 0 || DrainMs < 0 ||
+      ReloadPollMs < 0 || MaxRequestBytes < 1 || ReadTimeoutMs < 0 ||
+      WriteTimeoutMs < 0 || TcpPort > 65535) {
     std::fprintf(stderr, "metaopt-serve: bad tuning option\n");
     return 2;
   }
@@ -88,10 +114,19 @@ int main(int Argc, char **Argv) {
 
   ServerOptions Options;
   Options.SocketPath = SocketPath;
+  Options.TcpHost = Cli.getString("tcp-host", "127.0.0.1");
+  Options.TcpPort = static_cast<int>(TcpPort);
   Options.Service.MaxBatch = static_cast<size_t>(BatchMax);
   Options.Service.MaxQueue = static_cast<size_t>(QueueMax);
   Options.Service.BatchLinger = std::chrono::microseconds(LingerUs);
   Options.DrainTimeout = std::chrono::milliseconds(DrainMs);
+  Options.MaxRequestBytes = static_cast<size_t>(MaxRequestBytes);
+  Options.ReadTimeout = std::chrono::milliseconds(ReadTimeoutMs);
+  Options.WriteTimeout = std::chrono::milliseconds(WriteTimeoutMs);
+  if (ReloadPollMs > 0) {
+    Options.BundlePath = BundlePath;
+    Options.ReloadPoll = std::chrono::milliseconds(ReloadPollMs);
+  }
 
   std::signal(SIGTERM, onStopSignal);
   std::signal(SIGINT, onStopSignal);
@@ -99,13 +134,22 @@ int main(int Argc, char **Argv) {
 
   try {
     Server Daemon(std::move(*Bundle), Options);
+    BundleProvenance Prov = Daemon.provenance();
+    std::string Where = SocketPath;
+    if (TcpPort >= 0) {
+      // The ephemeral port is only known once run() binds; scripts that
+      // need a predictable port pass one explicitly.
+      std::string Tcp = Options.TcpHost + ":" +
+                        (TcpPort > 0 ? std::to_string(TcpPort)
+                                     : std::string("<ephemeral>"));
+      Where = Where.empty() ? Tcp : Where + " and " + Tcp;
+    }
     std::fprintf(stderr,
                  "metaopt-serve: serving %s model (%llu training "
                  "examples) on %s\n",
-                 Daemon.bundle().Provenance.ClassifierName.c_str(),
-                 static_cast<unsigned long long>(
-                     Daemon.bundle().Provenance.TrainingExamples),
-                 SocketPath.c_str());
+                 Prov.ClassifierName.c_str(),
+                 static_cast<unsigned long long>(Prov.TrainingExamples),
+                 Where.c_str());
     if (!Daemon.run(&Error)) {
       std::fprintf(stderr, "metaopt-serve: %s\n", Error.c_str());
       return 1;
