@@ -18,7 +18,9 @@
 #include "cache/SimCache.h"
 #include "core/driver/Pipeline.h"
 #include "core/features/FeatureExtractor.h"
+#include "core/ml/Forest.h"
 #include "core/ml/Lsh.h"
+#include "core/ml/Mlp.h"
 #include "core/ml/NearNeighbor.h"
 #include "core/ml/OutputCode.h"
 #include "sched/IterativeModulo.h"
@@ -168,6 +170,62 @@ static void BM_SvmPredict(benchmark::State &State) {
     benchmark::DoNotOptimize(Svm.predict(Query));
 }
 BENCHMARK(BM_SvmPredict)->Unit(benchmark::kMicrosecond);
+
+/// Model-zoo MLP: seeded-Adam training at the paper's database scale.
+static void BM_MlpTrain(benchmark::State &State) {
+  Dataset Data = inflatedDataset(static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    MlpClassifier Mlp(paperReducedFeatureSet());
+    Mlp.train(Data);
+    benchmark::DoNotOptimize(&Mlp);
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_MlpTrain)
+    ->Arg(250)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oN);
+
+/// One MLP prediction: two dense layers plus a softmax.
+static void BM_MlpPredict(benchmark::State &State) {
+  Dataset Data = inflatedDataset(1000);
+  MlpClassifier Mlp(paperReducedFeatureSet());
+  Mlp.train(Data);
+  FeatureVector Query = Data[7].Features;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Mlp.predict(Query));
+}
+BENCHMARK(BM_MlpPredict)->Unit(benchmark::kMicrosecond);
+
+/// Model-zoo random forest: 16 seeded bootstrap CART trees.
+static void BM_ForestTrain(benchmark::State &State) {
+  Dataset Data = inflatedDataset(static_cast<size_t>(State.range(0)));
+  for (auto _ : State) {
+    RandomForestClassifier Forest(paperReducedFeatureSet());
+    Forest.train(Data);
+    benchmark::DoNotOptimize(Forest.numTrees());
+  }
+  State.SetComplexityN(State.range(0));
+}
+BENCHMARK(BM_ForestTrain)
+    ->Arg(250)
+    ->Arg(500)
+    ->Arg(1000)
+    ->Unit(benchmark::kMillisecond)
+    ->Complexity(benchmark::oNLogN);
+
+/// One forest prediction: 16 tree walks plus the majority vote.
+static void BM_ForestPredict(benchmark::State &State) {
+  Dataset Data = inflatedDataset(1000);
+  RandomForestClassifier Forest(paperReducedFeatureSet());
+  Forest.train(Data);
+  FeatureVector Query = Data[7].Features;
+  for (auto _ : State)
+    benchmark::DoNotOptimize(Forest.predict(Query));
+}
+BENCHMARK(BM_ForestPredict)->Unit(benchmark::kMicrosecond);
 
 /// Compile-time cost of extracting the 38 features from a loop ("lookup
 /// time is far outweighed by compiler fixed-point dataflow analyses").

@@ -21,16 +21,17 @@ using namespace metaopt;
 int main(int Argc, char **Argv) {
   CommandLine Args(Argc, Argv);
   printBenchHeader("Table 4",
-                   "greedy forward feature selection, NN vs SVM training "
-                   "error");
+                   "greedy forward feature selection: NN, SVM, MLP, and "
+                   "random-forest training error");
 
   std::unique_ptr<Pipeline> Pipe = makePipeline(Args);
   const Dataset &Data = Pipe->dataset(/*EnableSwp=*/false);
   unsigned Steps = static_cast<unsigned>(Args.getInt("steps", 5));
 
-  // NN greedy runs on the full dataset (leave-self-out 1-NN); the SVM
-  // column retrains an LS-SVM per candidate feature, so it uses a
-  // subsample to stay tractable (38 features x 5 steps solves).
+  // NN greedy runs on the full dataset (leave-self-out 1-NN); the SVM,
+  // MLP, and forest columns retrain a model per candidate feature, so
+  // they use a subsample to stay tractable (38 features x 5 steps
+  // retrains each).
   Rng Subsampler(11);
   Dataset SvmData = Data.subsample(
       static_cast<size_t>(Args.getInt("svm-cap", 500)), Subsampler);
@@ -38,14 +39,22 @@ int main(int Argc, char **Argv) {
   auto NnSteps = greedyFeatureSelection(Data, nearNeighborTrainError,
                                         Steps);
   auto SvmSteps = greedyFeatureSelection(SvmData, svmTrainError, Steps);
+  auto MlpSteps = greedyFeatureSelection(SvmData, mlpTrainError, Steps);
+  auto ForestSteps =
+      greedyFeatureSelection(SvmData, forestTrainError, Steps);
 
   TablePrinter Table("Greedy feature selection");
-  Table.addHeader({"Rank", "NN", "Error", "SVM", "Error"});
+  Table.addHeader({"Rank", "NN", "Error", "SVM", "Error", "MLP", "Error",
+                   "Forest", "Error"});
   for (unsigned R = 0; R < Steps; ++R)
     Table.addRow({std::to_string(R + 1), featureName(NnSteps[R].Feature),
                   formatDouble(NnSteps[R].TrainError, 2),
                   featureName(SvmSteps[R].Feature),
-                  formatDouble(SvmSteps[R].TrainError, 2)});
+                  formatDouble(SvmSteps[R].TrainError, 2),
+                  featureName(MlpSteps[R].Feature),
+                  formatDouble(MlpSteps[R].TrainError, 2),
+                  featureName(ForestSteps[R].Feature),
+                  formatDouble(ForestSteps[R].TrainError, 2)});
   Table.print();
 
   std::printf("\nShape checks:\n");
@@ -57,7 +66,9 @@ int main(int Argc, char **Argv) {
                   ErrorsDecrease ? "yes" : "no");
   bool ListsDiffer = false;
   for (unsigned R = 0; R < Steps; ++R)
-    ListsDiffer |= NnSteps[R].Feature != SvmSteps[R].Feature;
+    ListsDiffer |= NnSteps[R].Feature != SvmSteps[R].Feature ||
+                   NnSteps[R].Feature != MlpSteps[R].Feature ||
+                   NnSteps[R].Feature != ForestSteps[R].Feature;
   printComparison("classifier choice affects the selected list", "yes",
                   ListsDiffer ? "yes" : "no");
   printComparison("paper's observation: numOps ranks below the top",

@@ -34,7 +34,9 @@
 #include "core/ml/CrossValidation.h"
 #include "core/ml/DecisionTree.h"
 #include "core/ml/Evaluation.h"
+#include "core/ml/Forest.h"
 #include "core/ml/Lsh.h"
+#include "core/ml/Mlp.h"
 #include "core/ml/Regression.h"
 #include "import/ImportedCorpus.h"
 
@@ -278,6 +280,29 @@ int main(int Argc, char **Argv) {
       Loocv.push_back(static_cast<unsigned>(
           std::clamp<long>(std::lround(Value), 1, MaxUnrollFactor)));
     AddRow("kernel ridge regression (Sec. 8)", Loocv, PredictAll(Krr));
+  }
+
+  // The model zoo: MLP and random forest, brute-force LOOCV like the
+  // tree (both retrain deterministically from a fixed seed per fold).
+  {
+    MlpClassifier Mlp(Features);
+    std::vector<unsigned> Loocv = bruteForceLoocv(
+        [](const FeatureSet &F) {
+          return std::make_unique<MlpClassifier>(F);
+        },
+        Features, Train);
+    Mlp.train(Train);
+    AddRow("MLP (model zoo)", Loocv, PredictAll(Mlp));
+  }
+  {
+    RandomForestClassifier Forest(Features);
+    std::vector<unsigned> Loocv = bruteForceLoocv(
+        [](const FeatureSet &F) {
+          return std::make_unique<RandomForestClassifier>(F);
+        },
+        Features, Train);
+    Forest.train(Train);
+    AddRow("random forest (model zoo)", Loocv, PredictAll(Forest));
   }
 
   // Calibration rows: the oracle (predict the measured label - upper

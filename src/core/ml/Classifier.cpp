@@ -3,7 +3,9 @@
 #include "core/ml/Classifier.h"
 
 #include "core/ml/DecisionTree.h"
+#include "core/ml/Forest.h"
 #include "core/ml/Lsh.h"
+#include "core/ml/Mlp.h"
 #include "core/ml/NearNeighbor.h"
 #include "core/ml/OutputCode.h"
 #include "core/ml/Regression.h"
@@ -79,6 +81,18 @@ void registerBuiltins(LoaderRegistry &R) {
       [](const std::string &Text) -> std::unique_ptr<Classifier> {
     if (auto Krr = KrrUnrollRegressor::deserialize(Text))
       return std::make_unique<KrrUnrollRegressor>(std::move(*Krr));
+    return nullptr;
+  };
+  R.Loaders["mlp"] =
+      [](const std::string &Text) -> std::unique_ptr<Classifier> {
+    if (auto Mlp = MlpClassifier::deserialize(Text))
+      return std::make_unique<MlpClassifier>(std::move(*Mlp));
+    return nullptr;
+  };
+  R.Loaders["random-forest"] =
+      [](const std::string &Text) -> std::unique_ptr<Classifier> {
+    if (auto Forest = RandomForestClassifier::deserialize(Text))
+      return std::make_unique<RandomForestClassifier>(std::move(*Forest));
     return nullptr;
   };
 }

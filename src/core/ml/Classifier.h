@@ -84,7 +84,7 @@ using ClassifierLoader =
 /// Registers \p Loader under \p Name (a Classifier::name() value).
 /// Registering the same name again replaces the previous loader. The
 /// built-in classifiers (near-neighbor, svm, svm-ecoc, decision-tree,
-/// lsh-nn, krr-regression) are pre-registered.
+/// lsh-nn, krr-regression, mlp, random-forest) are pre-registered.
 void registerClassifierLoader(const std::string &Name,
                               ClassifierLoader Loader);
 

@@ -3,6 +3,8 @@
 #include "core/ml/FeatureSelection.h"
 
 #include "concurrency/Parallel.h"
+#include "core/ml/Forest.h"
+#include "core/ml/Mlp.h"
 #include "core/ml/NearNeighbor.h"
 #include "core/ml/OutputCode.h"
 
@@ -154,6 +156,24 @@ double metaopt::svmTrainError(const FeatureSet &Features,
   if (Data.empty())
     return 1.0;
   SvmClassifier Classifier(Features);
+  Classifier.train(Data);
+  return 1.0 - Classifier.accuracyOn(Data);
+}
+
+double metaopt::mlpTrainError(const FeatureSet &Features,
+                              const Dataset &Data) {
+  if (Data.empty())
+    return 1.0;
+  MlpClassifier Classifier(Features);
+  Classifier.train(Data);
+  return 1.0 - Classifier.accuracyOn(Data);
+}
+
+double metaopt::forestTrainError(const FeatureSet &Features,
+                                 const Dataset &Data) {
+  if (Data.empty())
+    return 1.0;
+  RandomForestClassifier Classifier(Features);
   Classifier.train(Data);
   return 1.0 - Classifier.accuracyOn(Data);
 }

@@ -63,6 +63,12 @@ double nearNeighborTrainError(const FeatureSet &Features,
 /// Table 4's SVM column: LS-SVM training-set error.
 double svmTrainError(const FeatureSet &Features, const Dataset &Data);
 
+/// Model-zoo greedy columns: MLP and random-forest training-set error.
+/// Both retrain a fresh, default-configured model per call, so they are
+/// safe under the concurrent candidate scan like the two above.
+double mlpTrainError(const FeatureSet &Features, const Dataset &Data);
+double forestTrainError(const FeatureSet &Features, const Dataset &Data);
+
 } // namespace metaopt
 
 #endif // METAOPT_CORE_ML_FEATURESELECTION_H

@@ -1,0 +1,296 @@
+//===- core/ml/Forest.cpp -------------------------------------------------===//
+
+#include "core/ml/Forest.h"
+
+#include "concurrency/Parallel.h"
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace metaopt;
+
+RandomForestClassifier::RandomForestClassifier(FeatureSet FeaturesIn,
+                                               RandomForestOptions OptionsIn)
+    : Features(std::move(FeaturesIn)), Options(OptionsIn) {
+  assert(!Features.empty() && "feature set must not be empty");
+  assert(Options.NumTrees >= 1 && "forest needs at least one tree");
+  assert(Options.FeatureFraction > 0.0 && Options.FeatureFraction <= 1.0 &&
+         "feature fraction outside (0, 1]");
+}
+
+std::string RandomForestClassifier::name() const { return "random-forest"; }
+
+void RandomForestClassifier::train(const Dataset &Train) {
+  assert(!Train.empty() && "cannot train on an empty dataset");
+  // Each tree depends only on (Seed, TreeIndex), never on which thread
+  // grows it, and parallelMap orders results by index — so the trained
+  // forest (and its serialization) is byte-identical at any --threads.
+  std::vector<std::optional<DecisionTreeClassifier>> Grown =
+      parallelMap<std::optional<DecisionTreeClassifier>>(
+          Options.NumTrees, [&](size_t TreeIndex) {
+            Rng Stream = Rng::splitStream(Options.Seed, TreeIndex);
+
+            // Random feature subspace: shuffle, truncate, re-sort by id so
+            // the subset (not its order) is what varies per tree.
+            FeatureSet Subset = Features;
+            Stream.shuffle(Subset);
+            // ceil, not round: a fraction of a small feature set must not
+            // starve a tree below the features the rule actually needs.
+            size_t Keep = std::max<size_t>(
+                1, static_cast<size_t>(
+                       std::ceil(Options.FeatureFraction *
+                                 static_cast<double>(Subset.size()))));
+            Subset.resize(std::min(Keep, Subset.size()));
+            std::sort(Subset.begin(), Subset.end());
+
+            // Bootstrap: n draws with replacement.
+            Dataset Sample;
+            for (size_t Draw = 0; Draw < Train.size(); ++Draw)
+              Sample.add(Train[Stream.nextBelow(Train.size())]);
+
+            DecisionTreeClassifier Tree(Subset, Options.Tree);
+            Tree.train(Sample);
+            return std::optional<DecisionTreeClassifier>(std::move(Tree));
+          });
+  Trees.clear();
+  Trees.reserve(Grown.size());
+  for (std::optional<DecisionTreeClassifier> &Tree : Grown)
+    Trees.push_back(std::move(*Tree));
+}
+
+std::array<double, MaxUnrollFactor>
+RandomForestClassifier::scores(const FeatureVector &FeaturesIn) const {
+  assert(!Trees.empty() && "classifier queried before training");
+  std::array<double, MaxUnrollFactor> Votes = {};
+  for (const DecisionTreeClassifier &Tree : Trees)
+    Votes[Tree.predict(FeaturesIn) - 1] += 1.0;
+  for (double &Vote : Votes)
+    Vote /= Trees.size();
+  return Votes;
+}
+
+unsigned
+RandomForestClassifier::predict(const FeatureVector &FeaturesIn) const {
+  std::array<double, MaxUnrollFactor> Votes = scores(FeaturesIn);
+  // Strict comparison: vote ties resolve to the lowest (safest) factor.
+  unsigned Best = 0;
+  for (unsigned Class = 1; Class < MaxUnrollFactor; ++Class)
+    if (Votes[Class] > Votes[Best])
+      Best = Class;
+  return Best + 1;
+}
+
+std::string RandomForestClassifier::serialize() const {
+  assert(!Trees.empty() && "serialize() requires a trained classifier");
+  char Buffer[128];
+  std::string Out = "forest-model 1\n";
+  std::snprintf(Buffer, sizeof(Buffer), "options %u %.17g %llu\n",
+                Options.NumTrees, Options.FeatureFraction,
+                static_cast<unsigned long long>(Options.Seed));
+  Out += Buffer;
+  std::snprintf(Buffer, sizeof(Buffer), "limits %u %u %.17g\n",
+                Options.Tree.MaxDepth, Options.Tree.MinLeafSize,
+                Options.Tree.PurityThreshold);
+  Out += Buffer;
+  // The forest-level feature set is not recoverable from the trees (each
+  // sees only its subspace), so it rides along explicitly.
+  Out += "features " + std::to_string(Features.size());
+  for (FeatureId Id : Features)
+    Out += " " + std::to_string(static_cast<unsigned>(Id));
+  Out += "\n";
+  Out += "trees " + std::to_string(Trees.size()) + "\n";
+  for (size_t TreeIndex = 0; TreeIndex < Trees.size(); ++TreeIndex) {
+    std::string Blob = Trees[TreeIndex].serialize();
+    // Frame each embedded blob by its line count so the loader can slice
+    // without understanding the dtree format.
+    size_t NumLines =
+        static_cast<size_t>(std::count(Blob.begin(), Blob.end(), '\n'));
+    Out += "tree " + std::to_string(TreeIndex) + " lines " +
+           std::to_string(NumLines) + "\n";
+    Out += Blob;
+  }
+  std::snprintf(Buffer, sizeof(Buffer), "checksum %016llx\n",
+                static_cast<unsigned long long>(Rng::hashString(Out)));
+  Out += Buffer;
+  return Out;
+}
+
+namespace {
+
+std::optional<uint64_t> parseU64(const std::string &Str) {
+  if (Str.empty() || Str[0] == '-')
+    return std::nullopt;
+  char *End = nullptr;
+  errno = 0;
+  uint64_t Value = std::strtoull(Str.c_str(), &End, 10);
+  if (errno != 0 || End != Str.c_str() + Str.size())
+    return std::nullopt;
+  return Value;
+}
+
+std::optional<uint64_t> parseHex64(const std::string &Str) {
+  if (Str.empty())
+    return std::nullopt;
+  char *End = nullptr;
+  errno = 0;
+  uint64_t Value = std::strtoull(Str.c_str(), &End, 16);
+  if (errno != 0 || End != Str.c_str() + Str.size())
+    return std::nullopt;
+  return Value;
+}
+
+void fail(std::string *Error, const char *Message) {
+  if (Error)
+    *Error = Message;
+}
+
+} // namespace
+
+std::optional<RandomForestClassifier>
+RandomForestClassifier::deserialize(const std::string &Text,
+                                    std::string *Error) {
+  size_t ChecksumPos = Text.rfind("\nchecksum ");
+  if (ChecksumPos == std::string::npos) {
+    fail(Error, "forest: missing checksum line (truncated model?)");
+    return std::nullopt;
+  }
+  std::string Body = Text.substr(0, ChecksumPos + 1);
+  std::vector<std::string> TailParts =
+      splitWhitespace(Text.substr(ChecksumPos + 1));
+  std::optional<uint64_t> Stored =
+      TailParts.size() == 2 ? parseHex64(TailParts[1]) : std::nullopt;
+  if (!Stored) {
+    fail(Error, "forest: malformed checksum line");
+    return std::nullopt;
+  }
+  if (*Stored != Rng::hashString(Body)) {
+    fail(Error, "forest: checksum mismatch (corrupt or tampered model)");
+    return std::nullopt;
+  }
+
+  std::vector<std::string> Lines = split(Body, '\n');
+  if (Lines.size() < 5 || trim(Lines[0]) != "forest-model 1") {
+    fail(Error, "forest: unrecognized header");
+    return std::nullopt;
+  }
+  std::vector<std::string> Opts = splitWhitespace(Lines[1]);
+  if (Opts.size() != 4 || Opts[0] != "options") {
+    fail(Error, "forest: malformed options line");
+    return std::nullopt;
+  }
+  auto NumTrees = parseInt(Opts[1]);
+  auto FeatureFraction = parseDouble(Opts[2]);
+  auto Seed = parseU64(Opts[3]);
+  if (!NumTrees || !FeatureFraction || !Seed || *NumTrees < 1 ||
+      *FeatureFraction <= 0.0 || *FeatureFraction > 1.0) {
+    fail(Error, "forest: malformed options line");
+    return std::nullopt;
+  }
+  std::vector<std::string> Limits = splitWhitespace(Lines[2]);
+  if (Limits.size() != 4 || Limits[0] != "limits") {
+    fail(Error, "forest: malformed limits line");
+    return std::nullopt;
+  }
+  auto MaxDepth = parseInt(Limits[1]);
+  auto MinLeafSize = parseInt(Limits[2]);
+  auto PurityThreshold = parseDouble(Limits[3]);
+  if (!MaxDepth || !MinLeafSize || !PurityThreshold || *MaxDepth < 1 ||
+      *MinLeafSize < 1) {
+    fail(Error, "forest: malformed limits line");
+    return std::nullopt;
+  }
+  std::vector<std::string> FeatureParts = splitWhitespace(Lines[3]);
+  if (FeatureParts.size() < 2 || FeatureParts[0] != "features") {
+    fail(Error, "forest: malformed features line");
+    return std::nullopt;
+  }
+  auto NumFeaturesListed = parseInt(FeatureParts[1]);
+  if (!NumFeaturesListed || *NumFeaturesListed < 1 ||
+      FeatureParts.size() != static_cast<size_t>(*NumFeaturesListed) + 2) {
+    fail(Error, "forest: malformed features line");
+    return std::nullopt;
+  }
+  FeatureSet ForestFeatures;
+  for (size_t I = 2; I < FeatureParts.size(); ++I) {
+    auto Id = parseInt(FeatureParts[I]);
+    if (!Id || *Id < 0 || *Id >= static_cast<int64_t>(NumFeatures)) {
+      fail(Error, "forest: feature id out of range");
+      return std::nullopt;
+    }
+    ForestFeatures.push_back(static_cast<FeatureId>(*Id));
+  }
+
+  std::vector<std::string> TreesHeader = splitWhitespace(Lines[4]);
+  if (TreesHeader.size() != 2 || TreesHeader[0] != "trees") {
+    fail(Error, "forest: malformed trees header");
+    return std::nullopt;
+  }
+  auto TreeCount = parseInt(TreesHeader[1]);
+  // A forest claiming zero, negative, or absurdly many trees is rejected
+  // before any allocation happens.
+  if (!TreeCount || *TreeCount < 1 || *TreeCount > 4096 ||
+      *TreeCount != *NumTrees) {
+    fail(Error, "forest: bad tree count");
+    return std::nullopt;
+  }
+
+  std::vector<DecisionTreeClassifier> Trees;
+  size_t Index = 5;
+  for (int64_t TreeIndex = 0; TreeIndex < *TreeCount; ++TreeIndex) {
+    if (Lines.size() <= Index) {
+      fail(Error, "forest: truncated model (missing tree frame)");
+      return std::nullopt;
+    }
+    std::vector<std::string> Frame = splitWhitespace(Lines[Index]);
+    ++Index;
+    if (Frame.size() != 4 || Frame[0] != "tree" || Frame[2] != "lines") {
+      fail(Error, "forest: malformed tree frame");
+      return std::nullopt;
+    }
+    auto FrameIndex = parseInt(Frame[1]);
+    auto FrameLines = parseInt(Frame[3]);
+    if (!FrameIndex || !FrameLines || *FrameIndex != TreeIndex ||
+        *FrameLines < 1) {
+      fail(Error, "forest: malformed tree frame");
+      return std::nullopt;
+    }
+    if (Lines.size() < Index + static_cast<size_t>(*FrameLines)) {
+      fail(Error, "forest: truncated model (tree frame overruns blob)");
+      return std::nullopt;
+    }
+    std::string Blob;
+    for (int64_t I = 0; I < *FrameLines; ++I)
+      Blob += Lines[Index + static_cast<size_t>(I)] + "\n";
+    Index += static_cast<size_t>(*FrameLines);
+    std::optional<DecisionTreeClassifier> Tree =
+        DecisionTreeClassifier::deserialize(Blob);
+    if (!Tree) {
+      fail(Error, "forest: embedded tree rejected");
+      return std::nullopt;
+    }
+    Trees.push_back(std::move(*Tree));
+  }
+  // Nothing may trail the last tree inside the checksummed body.
+  for (; Index < Lines.size(); ++Index)
+    if (!trim(Lines[Index]).empty()) {
+      fail(Error, "forest: trailing garbage after last tree");
+      return std::nullopt;
+    }
+
+  RandomForestOptions Options;
+  Options.NumTrees = static_cast<unsigned>(*NumTrees);
+  Options.FeatureFraction = *FeatureFraction;
+  Options.Seed = *Seed;
+  Options.Tree.MaxDepth = static_cast<unsigned>(*MaxDepth);
+  Options.Tree.MinLeafSize = static_cast<unsigned>(*MinLeafSize);
+  Options.Tree.PurityThreshold = *PurityThreshold;
+
+  RandomForestClassifier Result(std::move(ForestFeatures), Options);
+  Result.Trees = std::move(Trees);
+  return Result;
+}

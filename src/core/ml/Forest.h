@@ -1,0 +1,78 @@
+//===- core/ml/Forest.h - Random forest over CART trees ---------*- C++ -*-===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+//===----------------------------------------------------------------------===//
+///
+/// \file
+/// A random forest: NumTrees CART trees (the existing DecisionTree
+/// machinery), each grown on a seeded bootstrap resample of the training
+/// set over a seeded random feature subset, voting by majority with ties
+/// resolved toward the lowest factor. Monsifrot et al. used boosted trees
+/// for the binary unroll decision; the ensemble is the tree-family
+/// comparator the ROADMAP's model-zoo item asks for.
+///
+/// Determinism contract: tree t's bootstrap and feature subset are drawn
+/// from Rng::splitStream(Seed, t) — a pure function of (Seed, t) — so the
+/// trees may be trained on any number of threads (parallelMap) and the
+/// serialized model is byte-identical regardless.
+///
+//===----------------------------------------------------------------------===//
+
+#ifndef METAOPT_CORE_ML_FOREST_H
+#define METAOPT_CORE_ML_FOREST_H
+
+#include "core/ml/DecisionTree.h"
+
+#include <cstdint>
+#include <optional>
+
+namespace metaopt {
+
+/// Ensemble shape and seeding.
+struct RandomForestOptions {
+  unsigned NumTrees = 16;
+  /// Fraction of the classifier's feature set each tree sees (at least
+  /// one feature survives).
+  double FeatureFraction = 0.6;
+  /// Base seed for per-tree bootstrap + feature subsampling.
+  uint64_t Seed = 0x04e57;
+  /// Growth limits shared by every tree.
+  DecisionTreeOptions Tree;
+};
+
+/// Bagged CART ensemble with per-tree feature subspaces.
+class RandomForestClassifier : public Classifier {
+public:
+  explicit RandomForestClassifier(FeatureSet Features,
+                                  RandomForestOptions Options = {});
+
+  std::string name() const override;
+  void train(const Dataset &Train) override;
+  unsigned predict(const FeatureVector &Features) const override;
+  /// Vote fractions per factor.
+  std::array<double, MaxUnrollFactor>
+  scores(const FeatureVector &Features) const override;
+
+  /// Serializes options plus every member tree's own blob (framed by line
+  /// counts), with a trailing FNV-1a checksum line.
+  std::string serialize() const override;
+
+  /// Restores a serialized forest. On failure returns std::nullopt and,
+  /// when \p Error is non-null, stores a one-line diagnostic (bad tree
+  /// count, truncation, checksum mismatch, ...).
+  static std::optional<RandomForestClassifier>
+  deserialize(const std::string &Text, std::string *Error = nullptr);
+
+  size_t numTrees() const { return Trees.size(); }
+
+private:
+  FeatureSet Features;
+  RandomForestOptions Options;
+  std::vector<DecisionTreeClassifier> Trees;
+};
+
+} // namespace metaopt
+
+#endif // METAOPT_CORE_ML_FOREST_H

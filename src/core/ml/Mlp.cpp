@@ -1,0 +1,569 @@
+//===- core/ml/Mlp.cpp ----------------------------------------------------===//
+
+#include "core/ml/Mlp.h"
+
+#include "support/Rng.h"
+#include "support/StringUtils.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+using namespace metaopt;
+
+MlpClassifier::MlpClassifier(FeatureSet FeaturesIn, MlpOptions OptionsIn)
+    : Features(std::move(FeaturesIn)), Options(std::move(OptionsIn)) {
+  assert(!Features.empty() && "feature set must not be empty");
+  assert(!Options.HiddenSizes.empty() && Options.HiddenSizes.size() <= 2 &&
+         "1 or 2 hidden layers");
+  assert(Options.BatchSize >= 1 && "degenerate batch size");
+}
+
+std::string MlpClassifier::name() const { return "mlp"; }
+
+namespace {
+
+/// Parses an unsigned 64-bit decimal with no trailing garbage (seeds can
+/// exceed int64, so parseInt() is not enough).
+std::optional<uint64_t> parseU64(const std::string &Str) {
+  if (Str.empty() || Str[0] == '-')
+    return std::nullopt;
+  char *End = nullptr;
+  errno = 0;
+  uint64_t Value = std::strtoull(Str.c_str(), &End, 10);
+  if (errno != 0 || End != Str.c_str() + Str.size())
+    return std::nullopt;
+  return Value;
+}
+
+/// Parses a 64-bit hex word (the checksum line payload).
+std::optional<uint64_t> parseHex64(const std::string &Str) {
+  if (Str.empty())
+    return std::nullopt;
+  char *End = nullptr;
+  errno = 0;
+  uint64_t Value = std::strtoull(Str.c_str(), &End, 16);
+  if (errno != 0 || End != Str.c_str() + Str.size())
+    return std::nullopt;
+  return Value;
+}
+
+void fail(std::string *Error, const char *Message) {
+  if (Error)
+    *Error = Message;
+}
+
+} // namespace
+
+void MlpClassifier::initializeWeights() {
+  // He-normal init sized by fan-in; one dedicated stream (index 0) so the
+  // epoch shuffles (indices 1..Epochs) never perturb it.
+  Rng Init = Rng::splitStream(Options.Seed, 0);
+  std::vector<unsigned> Sizes;
+  Sizes.push_back(static_cast<unsigned>(Norm.dimension()));
+  for (unsigned Hidden : Options.HiddenSizes)
+    Sizes.push_back(Hidden);
+  Sizes.push_back(MaxUnrollFactor);
+
+  Weights.clear();
+  Biases.clear();
+  for (size_t Layer = 0; Layer + 1 < Sizes.size(); ++Layer) {
+    unsigned FanIn = Sizes[Layer];
+    unsigned FanOut = Sizes[Layer + 1];
+    double StdDev = std::sqrt(2.0 / FanIn);
+    Matrix W(FanOut, FanIn);
+    for (size_t Row = 0; Row < FanOut; ++Row)
+      for (size_t Col = 0; Col < FanIn; ++Col)
+        W.at(Row, Col) = Init.nextGaussian(0.0, StdDev);
+    Weights.push_back(std::move(W));
+    Biases.emplace_back(FanOut, 0.0);
+  }
+}
+
+std::vector<Matrix> MlpClassifier::forward(const Matrix &Batch,
+                                           Matrix &Probs) const {
+  // Inputs[l] is what layer l consumes: Inputs[0] is the batch itself,
+  // Inputs[l>0] the ReLU activations of layer l-1.
+  std::vector<Matrix> Inputs;
+  Inputs.reserve(Weights.size());
+  Inputs.push_back(Batch);
+  for (size_t Layer = 0; Layer < Weights.size(); ++Layer) {
+    Matrix Z = Inputs.back().multiply(Weights[Layer].transpose());
+    for (size_t Row = 0; Row < Z.rows(); ++Row) {
+      double *RowPtr = Z.rowPtr(Row);
+      for (size_t Col = 0; Col < Z.cols(); ++Col)
+        RowPtr[Col] += Biases[Layer][Col];
+    }
+    if (Layer + 1 == Weights.size()) {
+      // Row-wise stable softmax.
+      Probs = std::move(Z);
+      for (size_t Row = 0; Row < Probs.rows(); ++Row) {
+        double *RowPtr = Probs.rowPtr(Row);
+        double Max = RowPtr[0];
+        for (size_t Col = 1; Col < Probs.cols(); ++Col)
+          Max = std::max(Max, RowPtr[Col]);
+        double Sum = 0.0;
+        for (size_t Col = 0; Col < Probs.cols(); ++Col) {
+          RowPtr[Col] = std::exp(RowPtr[Col] - Max);
+          Sum += RowPtr[Col];
+        }
+        for (size_t Col = 0; Col < Probs.cols(); ++Col)
+          RowPtr[Col] /= Sum;
+      }
+    } else {
+      for (size_t Row = 0; Row < Z.rows(); ++Row) {
+        double *RowPtr = Z.rowPtr(Row);
+        for (size_t Col = 0; Col < Z.cols(); ++Col)
+          RowPtr[Col] = std::max(0.0, RowPtr[Col]);
+      }
+      Inputs.push_back(std::move(Z));
+    }
+  }
+  return Inputs;
+}
+
+double MlpClassifier::lossAndGradient(
+    const std::vector<std::vector<double>> &Points,
+    const std::vector<unsigned> &Labels, std::vector<Matrix> *WeightGrads,
+    std::vector<std::vector<double>> *BiasGrads) const {
+  assert(!Points.empty() && Points.size() == Labels.size());
+  size_t BatchRows = Points.size();
+  Matrix Batch(BatchRows, Norm.dimension());
+  for (size_t Row = 0; Row < BatchRows; ++Row)
+    std::copy(Points[Row].begin(), Points[Row].end(), Batch.rowPtr(Row));
+
+  Matrix Probs;
+  std::vector<Matrix> Inputs = forward(Batch, Probs);
+
+  double Loss = 0.0;
+  for (size_t Row = 0; Row < BatchRows; ++Row)
+    Loss -= std::log(std::max(Probs.at(Row, Labels[Row] - 1), 1e-300));
+  Loss /= BatchRows;
+  for (const Matrix &W : Weights) {
+    double SumSquares = 0.0;
+    for (size_t Row = 0; Row < W.rows(); ++Row) {
+      const double *RowPtr = W.rowPtr(Row);
+      for (size_t Col = 0; Col < W.cols(); ++Col)
+        SumSquares += RowPtr[Col] * RowPtr[Col];
+    }
+    Loss += 0.5 * Options.WeightDecay * SumSquares;
+  }
+  if (!WeightGrads)
+    return Loss;
+
+  WeightGrads->assign(Weights.size(), Matrix());
+  BiasGrads->assign(Weights.size(), {});
+  // dLoss/dZ for the softmax layer is (P - onehot) / batch.
+  Matrix Delta = std::move(Probs);
+  for (size_t Row = 0; Row < BatchRows; ++Row) {
+    double *RowPtr = Delta.rowPtr(Row);
+    RowPtr[Labels[Row] - 1] -= 1.0;
+    for (size_t Col = 0; Col < Delta.cols(); ++Col)
+      RowPtr[Col] /= BatchRows;
+  }
+  for (size_t Layer = Weights.size(); Layer-- > 0;) {
+    Matrix Grad = Delta.transpose().multiply(Inputs[Layer]);
+    for (size_t Row = 0; Row < Grad.rows(); ++Row) {
+      double *GradRow = Grad.rowPtr(Row);
+      const double *WRow = Weights[Layer].rowPtr(Row);
+      for (size_t Col = 0; Col < Grad.cols(); ++Col)
+        GradRow[Col] += Options.WeightDecay * WRow[Col];
+    }
+    (*WeightGrads)[Layer] = std::move(Grad);
+    std::vector<double> BiasGrad(Delta.cols(), 0.0);
+    for (size_t Row = 0; Row < Delta.rows(); ++Row) {
+      const double *RowPtr = Delta.rowPtr(Row);
+      for (size_t Col = 0; Col < Delta.cols(); ++Col)
+        BiasGrad[Col] += RowPtr[Col];
+    }
+    (*BiasGrads)[Layer] = std::move(BiasGrad);
+    if (Layer == 0)
+      break;
+    // Propagate through the weights, then gate by the ReLU mask of the
+    // previous layer's activations (Inputs[Layer] > 0 iff its Z was > 0).
+    Matrix Upstream = Delta.multiply(Weights[Layer]);
+    for (size_t Row = 0; Row < Upstream.rows(); ++Row) {
+      double *UpRow = Upstream.rowPtr(Row);
+      const double *ActRow = Inputs[Layer].rowPtr(Row);
+      for (size_t Col = 0; Col < Upstream.cols(); ++Col)
+        if (ActRow[Col] <= 0.0)
+          UpRow[Col] = 0.0;
+    }
+    Delta = std::move(Upstream);
+  }
+  return Loss;
+}
+
+void MlpClassifier::train(const Dataset &Train) {
+  assert(!Train.empty() && "cannot train on an empty dataset");
+  Norm.fit(Train.featureMatrix(), Features);
+  initializeWeights();
+
+  std::vector<std::vector<double>> Points;
+  std::vector<unsigned> Labels;
+  Points.reserve(Train.size());
+  Labels.reserve(Train.size());
+  for (const Example &Ex : Train.examples()) {
+    Points.push_back(Norm.apply(Ex.Features));
+    Labels.push_back(Ex.Label);
+  }
+
+  std::vector<double> Params = parameters();
+  std::vector<double> FirstMoment(Params.size(), 0.0);
+  std::vector<double> SecondMoment(Params.size(), 0.0);
+  uint64_t Step = 0;
+
+  std::vector<uint32_t> Order(Points.size());
+  for (uint32_t I = 0; I < Points.size(); ++I)
+    Order[I] = I;
+
+  std::vector<std::vector<double>> BatchPoints;
+  std::vector<unsigned> BatchLabels;
+  std::vector<Matrix> WeightGrads;
+  std::vector<std::vector<double>> BiasGrads;
+  for (unsigned Epoch = 0; Epoch < Options.Epochs; ++Epoch) {
+    // One decorrelated stream per epoch keyed by the stable epoch index:
+    // the visit order never depends on thread count or prior epochs.
+    Rng Shuffler = Rng::splitStream(Options.Seed, 1 + Epoch);
+    Shuffler.shuffle(Order);
+    for (size_t Begin = 0; Begin < Order.size();
+         Begin += Options.BatchSize) {
+      size_t End = std::min(Order.size(),
+                            Begin + static_cast<size_t>(Options.BatchSize));
+      BatchPoints.clear();
+      BatchLabels.clear();
+      for (size_t I = Begin; I < End; ++I) {
+        BatchPoints.push_back(Points[Order[I]]);
+        BatchLabels.push_back(Labels[Order[I]]);
+      }
+      lossAndGradient(BatchPoints, BatchLabels, &WeightGrads, &BiasGrads);
+
+      // Flatten the gradients in parameters() order and take one Adam
+      // step with bias correction.
+      size_t Offset = 0;
+      ++Step;
+      double Correction1 = 1.0 - std::pow(Options.Beta1, double(Step));
+      double Correction2 = 1.0 - std::pow(Options.Beta2, double(Step));
+      auto adamStep = [&](double Gradient) {
+        FirstMoment[Offset] = Options.Beta1 * FirstMoment[Offset] +
+                              (1.0 - Options.Beta1) * Gradient;
+        SecondMoment[Offset] = Options.Beta2 * SecondMoment[Offset] +
+                               (1.0 - Options.Beta2) * Gradient * Gradient;
+        double MHat = FirstMoment[Offset] / Correction1;
+        double VHat = SecondMoment[Offset] / Correction2;
+        Params[Offset] -=
+            Options.LearningRate * MHat / (std::sqrt(VHat) + Options.Epsilon);
+        ++Offset;
+      };
+      for (size_t Layer = 0; Layer < Weights.size(); ++Layer) {
+        const Matrix &Grad = WeightGrads[Layer];
+        for (size_t Row = 0; Row < Grad.rows(); ++Row) {
+          const double *RowPtr = Grad.rowPtr(Row);
+          for (size_t Col = 0; Col < Grad.cols(); ++Col)
+            adamStep(RowPtr[Col]);
+        }
+        for (double Gradient : BiasGrads[Layer])
+          adamStep(Gradient);
+      }
+      assert(Offset == Params.size() && "gradient/parameter layout skew");
+      setParameters(Params);
+    }
+  }
+}
+
+std::array<double, MaxUnrollFactor>
+MlpClassifier::scores(const FeatureVector &FeaturesIn) const {
+  assert(!Weights.empty() && "classifier queried before training");
+  std::vector<double> Query = Norm.apply(FeaturesIn);
+  Matrix Batch(1, Query.size());
+  std::copy(Query.begin(), Query.end(), Batch.rowPtr(0));
+  Matrix Probs;
+  forward(Batch, Probs);
+  std::array<double, MaxUnrollFactor> Scores = {};
+  for (unsigned Class = 0; Class < MaxUnrollFactor; ++Class)
+    Scores[Class] = Probs.at(0, Class);
+  return Scores;
+}
+
+unsigned MlpClassifier::predict(const FeatureVector &FeaturesIn) const {
+  std::array<double, MaxUnrollFactor> Scores = scores(FeaturesIn);
+  // Strict comparison: ties resolve to the lowest (safest) factor.
+  unsigned Best = 0;
+  for (unsigned Class = 1; Class < MaxUnrollFactor; ++Class)
+    if (Scores[Class] > Scores[Best])
+      Best = Class;
+  return Best + 1;
+}
+
+std::vector<double> MlpClassifier::parameters() const {
+  assert(!Weights.empty() && "parameters() requires initialized weights");
+  std::vector<double> Flat;
+  for (size_t Layer = 0; Layer < Weights.size(); ++Layer) {
+    const Matrix &W = Weights[Layer];
+    for (size_t Row = 0; Row < W.rows(); ++Row) {
+      const double *RowPtr = W.rowPtr(Row);
+      Flat.insert(Flat.end(), RowPtr, RowPtr + W.cols());
+    }
+    Flat.insert(Flat.end(), Biases[Layer].begin(), Biases[Layer].end());
+  }
+  return Flat;
+}
+
+void MlpClassifier::setParameters(const std::vector<double> &Flat) {
+  size_t Offset = 0;
+  for (size_t Layer = 0; Layer < Weights.size(); ++Layer) {
+    Matrix &W = Weights[Layer];
+    for (size_t Row = 0; Row < W.rows(); ++Row) {
+      assert(Offset + W.cols() <= Flat.size() && "parameter vector too short");
+      std::copy(Flat.begin() + Offset, Flat.begin() + Offset + W.cols(),
+                W.rowPtr(Row));
+      Offset += W.cols();
+    }
+    assert(Offset + Biases[Layer].size() <= Flat.size());
+    std::copy(Flat.begin() + Offset,
+              Flat.begin() + Offset + Biases[Layer].size(),
+              Biases[Layer].begin());
+    Offset += Biases[Layer].size();
+  }
+  assert(Offset == Flat.size() && "parameter vector size mismatch");
+}
+
+double MlpClassifier::lossOn(const Dataset &Data) const {
+  assert(!Weights.empty() && "lossOn() requires initialized weights");
+  std::vector<std::vector<double>> Points;
+  std::vector<unsigned> Labels;
+  for (const Example &Ex : Data.examples()) {
+    Points.push_back(Norm.apply(Ex.Features));
+    Labels.push_back(Ex.Label);
+  }
+  return lossAndGradient(Points, Labels, nullptr, nullptr);
+}
+
+std::vector<double> MlpClassifier::lossGradient(const Dataset &Data) const {
+  assert(!Weights.empty() && "lossGradient() requires initialized weights");
+  std::vector<std::vector<double>> Points;
+  std::vector<unsigned> Labels;
+  for (const Example &Ex : Data.examples()) {
+    Points.push_back(Norm.apply(Ex.Features));
+    Labels.push_back(Ex.Label);
+  }
+  std::vector<Matrix> WeightGrads;
+  std::vector<std::vector<double>> BiasGrads;
+  lossAndGradient(Points, Labels, &WeightGrads, &BiasGrads);
+  std::vector<double> Flat;
+  for (size_t Layer = 0; Layer < WeightGrads.size(); ++Layer) {
+    const Matrix &Grad = WeightGrads[Layer];
+    for (size_t Row = 0; Row < Grad.rows(); ++Row) {
+      const double *RowPtr = Grad.rowPtr(Row);
+      Flat.insert(Flat.end(), RowPtr, RowPtr + Grad.cols());
+    }
+    Flat.insert(Flat.end(), BiasGrads[Layer].begin(), BiasGrads[Layer].end());
+  }
+  return Flat;
+}
+
+std::string MlpClassifier::serialize() const {
+  assert(!Weights.empty() && "serialize() requires a trained classifier");
+  char Buffer[256];
+  std::string Out = "mlp-model 1\n";
+  std::snprintf(Buffer, sizeof(Buffer),
+                "options %u %u %.17g %.17g %.17g %.17g %.17g %llu\n",
+                Options.Epochs, Options.BatchSize, Options.LearningRate,
+                Options.Beta1, Options.Beta2, Options.Epsilon,
+                Options.WeightDecay,
+                static_cast<unsigned long long>(Options.Seed));
+  Out += Buffer;
+  Out += Norm.serialize();
+  Out += "layers " + std::to_string(Weights.size()) + "\n";
+  for (size_t Layer = 0; Layer < Weights.size(); ++Layer) {
+    const Matrix &W = Weights[Layer];
+    Out += "layer " + std::to_string(Layer) + " " + std::to_string(W.rows()) +
+           " " + std::to_string(W.cols()) + "\n";
+    for (size_t Row = 0; Row < W.rows(); ++Row) {
+      const double *RowPtr = W.rowPtr(Row);
+      for (size_t Col = 0; Col < W.cols(); ++Col) {
+        std::snprintf(Buffer, sizeof(Buffer), "%s%.17g",
+                      Col == 0 ? "" : " ", RowPtr[Col]);
+        Out += Buffer;
+      }
+      Out += "\n";
+    }
+    Out += "bias";
+    for (double Bias : Biases[Layer]) {
+      std::snprintf(Buffer, sizeof(Buffer), " %.17g", Bias);
+      Out += Buffer;
+    }
+    Out += "\n";
+  }
+  // The checksum covers every preceding byte, so truncation or a flipped
+  // digit anywhere above is caught at load time.
+  std::snprintf(Buffer, sizeof(Buffer), "checksum %016llx\n",
+                static_cast<unsigned long long>(Rng::hashString(Out)));
+  Out += Buffer;
+  return Out;
+}
+
+std::optional<MlpClassifier>
+MlpClassifier::deserialize(const std::string &Text, std::string *Error) {
+  size_t ChecksumPos = Text.rfind("\nchecksum ");
+  if (ChecksumPos == std::string::npos) {
+    fail(Error, "mlp: missing checksum line (truncated model?)");
+    return std::nullopt;
+  }
+  std::string Body = Text.substr(0, ChecksumPos + 1);
+  std::vector<std::string> TailParts =
+      splitWhitespace(Text.substr(ChecksumPos + 1));
+  std::optional<uint64_t> Stored =
+      TailParts.size() == 2 ? parseHex64(TailParts[1]) : std::nullopt;
+  if (!Stored) {
+    fail(Error, "mlp: malformed checksum line");
+    return std::nullopt;
+  }
+  if (*Stored != Rng::hashString(Body)) {
+    fail(Error, "mlp: checksum mismatch (corrupt or tampered model)");
+    return std::nullopt;
+  }
+
+  std::vector<std::string> Lines = split(Body, '\n');
+  if (Lines.size() < 4 || trim(Lines[0]) != "mlp-model 1") {
+    fail(Error, "mlp: unrecognized header");
+    return std::nullopt;
+  }
+  std::vector<std::string> Opts = splitWhitespace(Lines[1]);
+  if (Opts.size() != 9 || Opts[0] != "options") {
+    fail(Error, "mlp: malformed options line");
+    return std::nullopt;
+  }
+  auto Epochs = parseInt(Opts[1]);
+  auto BatchSize = parseInt(Opts[2]);
+  auto LearningRate = parseDouble(Opts[3]);
+  auto Beta1 = parseDouble(Opts[4]);
+  auto Beta2 = parseDouble(Opts[5]);
+  auto Epsilon = parseDouble(Opts[6]);
+  auto WeightDecay = parseDouble(Opts[7]);
+  auto Seed = parseU64(Opts[8]);
+  if (!Epochs || !BatchSize || !LearningRate || !Beta1 || !Beta2 ||
+      !Epsilon || !WeightDecay || !Seed || *Epochs < 0 || *BatchSize < 1) {
+    fail(Error, "mlp: malformed options line");
+    return std::nullopt;
+  }
+
+  size_t Index = 2;
+  std::optional<Normalizer> Norm = parseNormalizerBlock(Lines, Index);
+  if (!Norm) {
+    fail(Error, "mlp: malformed normalizer block");
+    return std::nullopt;
+  }
+  if (Lines.size() <= Index) {
+    fail(Error, "mlp: truncated model (missing layers header)");
+    return std::nullopt;
+  }
+  std::vector<std::string> LayersHeader = splitWhitespace(Lines[Index]);
+  ++Index;
+  if (LayersHeader.size() != 2 || LayersHeader[0] != "layers") {
+    fail(Error, "mlp: malformed layers header");
+    return std::nullopt;
+  }
+  auto NumLayers = parseInt(LayersHeader[1]);
+  // 1-2 hidden layers plus the softmax layer.
+  if (!NumLayers || *NumLayers < 2 || *NumLayers > 3) {
+    fail(Error, "mlp: bad layer count");
+    return std::nullopt;
+  }
+
+  std::vector<Matrix> Weights;
+  std::vector<std::vector<double>> Biases;
+  size_t PreviousOut = Norm->dimension();
+  for (int64_t Layer = 0; Layer < *NumLayers; ++Layer) {
+    if (Lines.size() <= Index) {
+      fail(Error, "mlp: truncated model (missing layer header)");
+      return std::nullopt;
+    }
+    std::vector<std::string> Shape = splitWhitespace(Lines[Index]);
+    ++Index;
+    if (Shape.size() != 4 || Shape[0] != "layer") {
+      fail(Error, "mlp: malformed layer header");
+      return std::nullopt;
+    }
+    auto LayerIndex = parseInt(Shape[1]);
+    auto FanOut = parseInt(Shape[2]);
+    auto FanIn = parseInt(Shape[3]);
+    if (!LayerIndex || !FanOut || !FanIn || *LayerIndex != Layer) {
+      fail(Error, "mlp: malformed layer header");
+      return std::nullopt;
+    }
+    bool IsLast = Layer + 1 == *NumLayers;
+    if (*FanIn < 1 || *FanOut < 1 ||
+        static_cast<size_t>(*FanIn) != PreviousOut ||
+        (IsLast &&
+         *FanOut != static_cast<int64_t>(MaxUnrollFactor))) {
+      fail(Error, "mlp: bad layer shape");
+      return std::nullopt;
+    }
+    Matrix W(static_cast<size_t>(*FanOut), static_cast<size_t>(*FanIn));
+    for (int64_t Row = 0; Row < *FanOut; ++Row) {
+      if (Lines.size() <= Index) {
+        fail(Error, "mlp: truncated model (missing weight row)");
+        return std::nullopt;
+      }
+      std::vector<std::string> Values = splitWhitespace(Lines[Index]);
+      ++Index;
+      if (Values.size() != static_cast<size_t>(*FanIn)) {
+        fail(Error, "mlp: bad layer shape (weight row width)");
+        return std::nullopt;
+      }
+      for (int64_t Col = 0; Col < *FanIn; ++Col) {
+        auto Value = parseDouble(Values[Col]);
+        if (!Value) {
+          fail(Error, "mlp: malformed weight value");
+          return std::nullopt;
+        }
+        W.at(static_cast<size_t>(Row), static_cast<size_t>(Col)) = *Value;
+      }
+    }
+    if (Lines.size() <= Index) {
+      fail(Error, "mlp: truncated model (missing bias line)");
+      return std::nullopt;
+    }
+    std::vector<std::string> BiasParts = splitWhitespace(Lines[Index]);
+    ++Index;
+    if (BiasParts.size() != static_cast<size_t>(*FanOut) + 1 ||
+        BiasParts[0] != "bias") {
+      fail(Error, "mlp: bad layer shape (bias width)");
+      return std::nullopt;
+    }
+    std::vector<double> Bias;
+    for (size_t I = 1; I < BiasParts.size(); ++I) {
+      auto Value = parseDouble(BiasParts[I]);
+      if (!Value) {
+        fail(Error, "mlp: malformed bias value");
+        return std::nullopt;
+      }
+      Bias.push_back(*Value);
+    }
+    PreviousOut = static_cast<size_t>(*FanOut);
+    Weights.push_back(std::move(W));
+    Biases.push_back(std::move(Bias));
+  }
+
+  MlpOptions Options;
+  Options.HiddenSizes.clear();
+  for (size_t Layer = 0; Layer + 1 < Weights.size(); ++Layer)
+    Options.HiddenSizes.push_back(static_cast<unsigned>(Weights[Layer].rows()));
+  Options.Epochs = static_cast<unsigned>(*Epochs);
+  Options.BatchSize = static_cast<unsigned>(*BatchSize);
+  Options.LearningRate = *LearningRate;
+  Options.Beta1 = *Beta1;
+  Options.Beta2 = *Beta2;
+  Options.Epsilon = *Epsilon;
+  Options.WeightDecay = *WeightDecay;
+  Options.Seed = *Seed;
+
+  MlpClassifier Result(Norm->featureSet(), Options);
+  Result.Norm = std::move(*Norm);
+  Result.Weights = std::move(Weights);
+  Result.Biases = std::move(Biases);
+  return Result;
+}

@@ -8,6 +8,8 @@
 #include "cache/SimCache.h"
 #include "core/features/FeatureExtractor.h"
 #include "core/ml/Dataset.h"
+#include "core/ml/Forest.h"
+#include "core/ml/Mlp.h"
 #include "core/ml/NearNeighbor.h"
 #include "exec/Interpreter.h"
 #include "import/Export.h"
@@ -503,11 +505,18 @@ void metaopt::oracleSimCache(const Loop &L, std::vector<OracleFailure> &Out) {
 
 namespace {
 
-/// One NN model trained on synthetic data, serialized through the bundle
-/// container and restored — built once per process, shared by every loop.
+/// One trained model per zoo family (NN, MLP, random forest), each
+/// serialized through the bundle container and restored — built once per
+/// process, shared by every loop. Every family must survive the
+/// round-trip bit-exactly, so a new classifier added to the registry
+/// gets fuzz coverage by being listed here.
 struct BundleFixture {
-  std::unique_ptr<Classifier> Original;
-  std::unique_ptr<Classifier> Restored;
+  struct Family {
+    std::string Name;
+    std::unique_ptr<Classifier> Original;
+    std::unique_ptr<Classifier> Restored;
+  };
+  std::vector<Family> Families;
   std::string Error;
 
   BundleFixture() {
@@ -526,31 +535,40 @@ struct BundleFixture {
       Ex.BenchmarkName = "fuzz";
       Train.add(Ex);
     }
-    auto Nn = std::make_unique<NearNeighborClassifier>(Features);
-    Nn->train(Train);
+    std::vector<std::unique_ptr<Classifier>> Models;
+    Models.push_back(std::make_unique<NearNeighborClassifier>(Features));
+    Models.push_back(std::make_unique<MlpClassifier>(Features));
+    Models.push_back(std::make_unique<RandomForestClassifier>(Features));
+    for (std::unique_ptr<Classifier> &Model : Models) {
+      Model->train(Train);
 
-    ModelBundle Bundle;
-    Bundle.Provenance.ClassifierName = Nn->name();
-    Bundle.Provenance.CreatedBy = "metaopt-fuzz";
-    Bundle.Provenance.MachineName = "itanium2";
-    Bundle.Provenance.TrainingExamples = Train.size();
-    Bundle.Provenance.CvMethod = "none";
-    Bundle.Features = Features;
-    Bundle.ClassifierBlob = Nn->serialize();
+      ModelBundle Bundle;
+      Bundle.Provenance.ClassifierName = Model->name();
+      Bundle.Provenance.CreatedBy = "metaopt-fuzz";
+      Bundle.Provenance.MachineName = "itanium2";
+      Bundle.Provenance.TrainingExamples = Train.size();
+      Bundle.Provenance.CvMethod = "none";
+      Bundle.Features = Features;
+      Bundle.ClassifierBlob = Model->serialize();
 
-    std::string Text = serializeBundle(Bundle);
-    std::string ParseError;
-    auto Back = parseBundle(Text, &ParseError);
-    if (!Back) {
-      Error = "serializeBundle output rejected: " + ParseError;
-      return;
+      std::string Text = serializeBundle(Bundle);
+      std::string ParseError;
+      auto Back = parseBundle(Text, &ParseError);
+      if (!Back) {
+        Error = Model->name() +
+                ": serializeBundle output rejected: " + ParseError;
+        return;
+      }
+      Family F;
+      F.Name = Model->name();
+      F.Restored = Back->instantiate();
+      if (!F.Restored) {
+        Error = F.Name + ": round-tripped bundle failed to instantiate";
+        return;
+      }
+      F.Original = std::move(Model);
+      Families.push_back(std::move(F));
     }
-    Restored = Back->instantiate();
-    if (!Restored) {
-      Error = "round-tripped bundle failed to instantiate";
-      return;
-    }
-    Original = std::move(Nn);
   }
 };
 
@@ -563,23 +581,26 @@ void metaopt::oracleBundle(const Loop &L, std::vector<OracleFailure> &Out) {
     return;
   }
   FeatureVector Features = extractFeatures(L);
-  unsigned Want = Fixture.Original->predict(Features);
-  unsigned Got = Fixture.Restored->predict(Features);
-  if (Want != Got) {
-    fail(Out, "bundle",
-         "round-tripped classifier predicts " + std::to_string(Got) +
-             ", original predicts " + std::to_string(Want));
-    return;
-  }
-  auto WantScores = Fixture.Original->scores(Features);
-  auto GotScores = Fixture.Restored->scores(Features);
-  for (unsigned F = 0; F < MaxUnrollFactor; ++F)
-    if (WantScores[F] != GotScores[F]) {
+  for (const BundleFixture::Family &Fam : Fixture.Families) {
+    unsigned Want = Fam.Original->predict(Features);
+    unsigned Got = Fam.Restored->predict(Features);
+    if (Want != Got) {
       fail(Out, "bundle",
-           "score for factor " + std::to_string(F + 1) +
-               " differs after round-trip");
+           Fam.Name + ": round-tripped classifier predicts " +
+               std::to_string(Got) + ", original predicts " +
+               std::to_string(Want));
       return;
     }
+    auto WantScores = Fam.Original->scores(Features);
+    auto GotScores = Fam.Restored->scores(Features);
+    for (unsigned F = 0; F < MaxUnrollFactor; ++F)
+      if (WantScores[F] != GotScores[F]) {
+        fail(Out, "bundle",
+             Fam.Name + ": score for factor " + std::to_string(F + 1) +
+                 " differs after round-trip");
+        return;
+      }
+  }
 }
 
 //===----------------------------------------------------------------------===//

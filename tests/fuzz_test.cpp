@@ -186,8 +186,9 @@ TEST(FuzzTest, PromotedSeedsReplayClean) {
                     << Failure.Oracle << "] " << Failure.Detail;
     ++Replayed;
   }
-  // The two bug families this PR fixed must stay covered.
-  EXPECT_GE(Replayed, 6u);
+  // The two fixed bug families plus the model-zoo bundle coverage seed
+  // must stay committed.
+  EXPECT_GE(Replayed, 7u);
 }
 
 /// reproFileName is filesystem-safe and self-describing.

@@ -10,9 +10,12 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "concurrency/ThreadPool.h"
 #include "core/driver/OutlierTriage.h"
 #include "core/ml/DecisionTree.h"
+#include "core/ml/Forest.h"
 #include "core/ml/Lsh.h"
+#include "core/ml/Mlp.h"
 #include "core/ml/NearNeighbor.h"
 #include "core/ml/Regression.h"
 
@@ -144,6 +147,102 @@ TEST(DecisionTreeTest, MinLeafSizeStopsGrowth) {
   Fine.train(Train);
   Coarse.train(Train);
   EXPECT_GT(Fine.numNodes(), Coarse.numNodes());
+}
+
+//===----------------------------------------------------------------------===//
+// Random forest
+//===----------------------------------------------------------------------===//
+
+TEST(RandomForestTest, LearnsCleanRule) {
+  Dataset Train = cleanDataset(400, 90);
+  Dataset Test = cleanDataset(150, 91);
+  RandomForestClassifier Forest(firstTwoFeatures());
+  Forest.train(Train);
+  EXPECT_GT(Forest.accuracyOn(Test), 0.9);
+  EXPECT_EQ(Forest.numTrees(), RandomForestOptions().NumTrees);
+}
+
+TEST(RandomForestTest, BeatsASingleTreeOnNoisyData) {
+  // Bagging's raison d'être: averaging over bootstrap resamples smooths
+  // out label noise a single greedy tree overfits to.
+  Dataset Train = cleanDataset(400, 92, /*LabelNoise=*/0.35);
+  Dataset Test = cleanDataset(200, 93);
+  DecisionTreeOptions Deep;
+  Deep.MaxDepth = 12;
+  Deep.MinLeafSize = 1;
+  Deep.PurityThreshold = 1.0;
+  DecisionTreeClassifier Tree(firstTwoFeatures(), Deep);
+  RandomForestOptions Options;
+  Options.Tree = Deep;
+  RandomForestClassifier Forest(firstTwoFeatures(), Options);
+  Tree.train(Train);
+  Forest.train(Train);
+  EXPECT_GE(Forest.accuracyOn(Test) + 1e-9, Tree.accuracyOn(Test));
+}
+
+TEST(RandomForestTest, ScoresAreVoteFractions) {
+  Dataset Train = cleanDataset(300, 94);
+  Dataset Queries = cleanDataset(30, 95);
+  RandomForestClassifier Forest(firstTwoFeatures());
+  Forest.train(Train);
+  for (const Example &Ex : Queries.examples()) {
+    auto Scores = Forest.scores(Ex.Features);
+    double Sum = 0.0;
+    for (double Score : Scores) {
+      EXPECT_GE(Score, 0.0);
+      Sum += Score;
+    }
+    EXPECT_NEAR(Sum, 1.0, 1e-12);
+    // Each entry is a multiple of 1/NumTrees.
+    for (double Score : Scores) {
+      double Scaled = Score * Forest.numTrees();
+      EXPECT_NEAR(Scaled, std::round(Scaled), 1e-9);
+    }
+  }
+}
+
+TEST(RandomForestTest, FeatureFractionOneUsesAllFeatures) {
+  Dataset Train = cleanDataset(200, 96);
+  RandomForestOptions Options;
+  Options.FeatureFraction = 1.0;
+  Options.NumTrees = 4;
+  RandomForestClassifier Forest(firstTwoFeatures(), Options);
+  Forest.train(Train);
+  // With the full feature set and a strong rule, the forest must be
+  // essentially as accurate as a single full tree.
+  EXPECT_GT(Forest.accuracyOn(Train), 0.9);
+}
+
+//===----------------------------------------------------------------------===//
+// Thread-count byte identity (the model-zoo determinism contract)
+//===----------------------------------------------------------------------===//
+
+TEST(ModelZooDeterminismTest, ForestBytesIdenticalAtOneVsManyThreads) {
+  Dataset Train = cleanDataset(300, 97, /*LabelNoise=*/0.1);
+  auto trainSerialized = [&](unsigned Threads) {
+    ThreadPool::setGlobalThreads(Threads);
+    RandomForestClassifier Forest(firstFourFeatures());
+    Forest.train(Train);
+    return Forest.serialize();
+  };
+  std::string OneThread = trainSerialized(1);
+  std::string FourThreads = trainSerialized(4);
+  ThreadPool::setGlobalThreads(0); // Restore the default pool.
+  EXPECT_EQ(OneThread, FourThreads);
+}
+
+TEST(ModelZooDeterminismTest, MlpBytesIdenticalAtOneVsManyThreads) {
+  Dataset Train = cleanDataset(300, 98, /*LabelNoise=*/0.1);
+  auto trainSerialized = [&](unsigned Threads) {
+    ThreadPool::setGlobalThreads(Threads);
+    MlpClassifier Mlp(firstFourFeatures());
+    Mlp.train(Train);
+    return Mlp.serialize();
+  };
+  std::string OneThread = trainSerialized(1);
+  std::string FourThreads = trainSerialized(4);
+  ThreadPool::setGlobalThreads(0); // Restore the default pool.
+  EXPECT_EQ(OneThread, FourThreads);
 }
 
 //===----------------------------------------------------------------------===//

@@ -1,0 +1,212 @@
+//===- tests/mlp_test.cpp - Tests for the MLP classifier ------------------===//
+//
+// Part of the metaopt project, a reproduction of "Predicting Unroll Factors
+// Using Supervised Classification" (Stephenson & Amarasinghe, CGO 2005).
+//
+// The backprop correctness tier for the model zoo's MLP: per-layer
+// finite-difference gradient checks over several random seeds, convergence
+// on a separable toy corpus, the seeded-Adam determinism contract, and the
+// softmax score surface.
+//
+//===----------------------------------------------------------------------===//
+
+#include "core/ml/Mlp.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+using namespace metaopt;
+
+namespace {
+
+/// Same synthetic dataset family as ml_test: label = 1 + (f0>0) + 2*(f1>0).
+Dataset cleanDataset(size_t N, uint64_t Seed, double LabelNoise = 0.0) {
+  Rng Generator(Seed);
+  Dataset Data;
+  for (size_t I = 0; I < N; ++I) {
+    Example Ex;
+    Ex.Features.fill(0.0);
+    double F0 = Generator.nextGaussian();
+    double F1 = Generator.nextGaussian();
+    Ex.Features[0] = F0;
+    Ex.Features[1] = F1;
+    Ex.Features[2] = Generator.nextGaussian() * 10.0;
+    Ex.Features[3] = Generator.nextGaussian() * 0.1;
+    unsigned Label = 1 + (F0 > 0 ? 1 : 0) + (F1 > 0 ? 2 : 0);
+    if (Generator.nextBool(LabelNoise))
+      Label = 1 + static_cast<unsigned>(Generator.nextBelow(4));
+    Ex.Label = Label;
+    Ex.CyclesPerFactor.fill(1000.0);
+    Ex.LoopName = "loop" + std::to_string(I);
+    Ex.BenchmarkName = "bench" + std::to_string(I % 5);
+    Data.add(std::move(Ex));
+  }
+  return Data;
+}
+
+FeatureSet firstTwoFeatures() {
+  return {static_cast<FeatureId>(0), static_cast<FeatureId>(1)};
+}
+
+FeatureSet firstFourFeatures() {
+  return {static_cast<FeatureId>(0), static_cast<FeatureId>(1),
+          static_cast<FeatureId>(2), static_cast<FeatureId>(3)};
+}
+
+/// An MLP with freshly initialized (untrained) weights: Epochs=0 fits the
+/// normalizer and draws the seeded init without taking any Adam step.
+MlpClassifier initializedMlp(const Dataset &Data, std::vector<unsigned> Hidden,
+                             uint64_t Seed) {
+  MlpOptions Options;
+  Options.HiddenSizes = std::move(Hidden);
+  Options.Epochs = 0;
+  Options.Seed = Seed;
+  MlpClassifier Mlp(firstTwoFeatures(), Options);
+  Mlp.train(Data);
+  return Mlp;
+}
+
+/// Checks every parameter's analytic gradient against a central finite
+/// difference of lossOn(). Covers all layers, since parameters() spans
+/// them all. The parameters are first jittered away from zero: freshly
+/// initialized biases are exactly 0, which can park a whole layer's
+/// pre-activations exactly on the ReLU kink (an example whose previous
+/// layer is fully inactive contributes z = b = 0), where the loss is
+/// genuinely non-differentiable and no finite difference can agree.
+void checkGradients(MlpClassifier &Mlp, const Dataset &Data, uint64_t Seed) {
+  std::vector<double> Initial = Mlp.parameters();
+  Rng Jitter(Seed);
+  for (double &Param : Initial)
+    Param += Jitter.nextDoubleInRange(0.01, 0.05);
+  Mlp.setParameters(Initial);
+
+  const std::vector<double> Analytic = Mlp.lossGradient(Data);
+  std::vector<double> Params = Mlp.parameters();
+  ASSERT_EQ(Analytic.size(), Params.size());
+  const double Eps = 1e-6;
+  for (size_t I = 0; I < Params.size(); ++I) {
+    double Saved = Params[I];
+    Params[I] = Saved + Eps;
+    Mlp.setParameters(Params);
+    double LossPlus = Mlp.lossOn(Data);
+    Params[I] = Saved - Eps;
+    Mlp.setParameters(Params);
+    double LossMinus = Mlp.lossOn(Data);
+    Params[I] = Saved;
+    double Numeric = (LossPlus - LossMinus) / (2.0 * Eps);
+    // Absolute floor for near-zero gradients, relative bound otherwise.
+    EXPECT_NEAR(Analytic[I], Numeric, 1e-5 + 1e-4 * std::abs(Numeric))
+        << "parameter index " << I;
+  }
+  Mlp.setParameters(Params);
+}
+
+} // namespace
+
+//===----------------------------------------------------------------------===//
+// Finite-difference gradient checks
+//===----------------------------------------------------------------------===//
+
+TEST(MlpGradientTest, OneHiddenLayerMatchesFiniteDifferences) {
+  for (uint64_t Seed : {11u, 12u, 13u}) {
+    Dataset Data = cleanDataset(40, 100 + Seed);
+    MlpClassifier Mlp = initializedMlp(Data, {5}, Seed);
+    ASSERT_EQ(Mlp.numLayers(), 2u);
+    checkGradients(Mlp, Data, Seed * 7);
+  }
+}
+
+TEST(MlpGradientTest, TwoHiddenLayersMatchFiniteDifferences) {
+  for (uint64_t Seed : {21u, 22u, 23u}) {
+    Dataset Data = cleanDataset(40, 200 + Seed);
+    MlpClassifier Mlp = initializedMlp(Data, {6, 4}, Seed);
+    ASSERT_EQ(Mlp.numLayers(), 3u);
+    checkGradients(Mlp, Data, Seed * 9);
+  }
+}
+
+TEST(MlpGradientTest, WeightDecayTermIsDifferentiatedToo) {
+  Dataset Data = cleanDataset(30, 300);
+  MlpOptions Options;
+  Options.HiddenSizes = {4};
+  Options.Epochs = 0;
+  Options.WeightDecay = 0.1; // Large enough to dominate rounding noise.
+  Options.Seed = 31;
+  MlpClassifier Mlp(firstTwoFeatures(), Options);
+  Mlp.train(Data);
+  checkGradients(Mlp, Data, 33);
+}
+
+//===----------------------------------------------------------------------===//
+// Convergence on a separable toy corpus
+//===----------------------------------------------------------------------===//
+
+TEST(MlpTrainingTest, ConvergesOnSeparableData) {
+  Dataset Train = cleanDataset(400, 40);
+  Dataset Test = cleanDataset(150, 41);
+  MlpClassifier Mlp(firstTwoFeatures());
+  Mlp.train(Train);
+  EXPECT_GT(Mlp.accuracyOn(Test), 0.9);
+}
+
+TEST(MlpTrainingTest, TrainingReducesTheLoss) {
+  Dataset Train = cleanDataset(300, 42);
+  MlpClassifier Untrained = initializedMlp(Train, {24}, 7);
+  MlpClassifier Trained(firstTwoFeatures());
+  Trained.train(Train);
+  EXPECT_LT(Trained.lossOn(Train), 0.5 * Untrained.lossOn(Train));
+}
+
+TEST(MlpTrainingTest, IgnoresDistractorFeatures) {
+  Dataset Train = cleanDataset(400, 43);
+  Dataset Test = cleanDataset(150, 44);
+  MlpClassifier Mlp(firstFourFeatures());
+  Mlp.train(Train);
+  EXPECT_GT(Mlp.accuracyOn(Test), 0.85);
+}
+
+//===----------------------------------------------------------------------===//
+// Determinism and the score surface
+//===----------------------------------------------------------------------===//
+
+TEST(MlpDeterminismTest, SameSeedSameBytes) {
+  Dataset Train = cleanDataset(200, 50);
+  MlpClassifier A(firstTwoFeatures());
+  MlpClassifier B(firstTwoFeatures());
+  A.train(Train);
+  B.train(Train);
+  EXPECT_EQ(A.serialize(), B.serialize());
+}
+
+TEST(MlpDeterminismTest, DifferentSeedsDiverge) {
+  Dataset Train = cleanDataset(200, 51);
+  MlpOptions OtherSeed;
+  OtherSeed.Seed = 0xdecafbad;
+  MlpClassifier A(firstTwoFeatures());
+  MlpClassifier B(firstTwoFeatures(), OtherSeed);
+  A.train(Train);
+  B.train(Train);
+  EXPECT_NE(A.serialize(), B.serialize());
+}
+
+TEST(MlpScoresTest, ScoresAreASoftmaxAndArgmaxMatchesPredict) {
+  Dataset Train = cleanDataset(300, 52);
+  Dataset Queries = cleanDataset(40, 53);
+  MlpClassifier Mlp(firstTwoFeatures());
+  Mlp.train(Train);
+  for (const Example &Ex : Queries.examples()) {
+    auto Scores = Mlp.scores(Ex.Features);
+    double Sum = 0.0;
+    for (double Score : Scores) {
+      EXPECT_GE(Score, 0.0);
+      Sum += Score;
+    }
+    EXPECT_NEAR(Sum, 1.0, 1e-9);
+    unsigned Best = 0;
+    for (unsigned Class = 1; Class < MaxUnrollFactor; ++Class)
+      if (Scores[Class] > Scores[Best])
+        Best = Class;
+    EXPECT_EQ(Best + 1, Mlp.predict(Ex.Features));
+  }
+}

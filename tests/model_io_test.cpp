@@ -13,10 +13,15 @@
 #include "core/ml/CrossValidation.h"
 #include "core/ml/DecisionTree.h"
 #include "core/ml/Evaluation.h"
+#include "core/ml/Forest.h"
 #include "core/ml/Lsh.h"
+#include "core/ml/Mlp.h"
 #include "core/ml/NearNeighbor.h"
 #include "core/ml/OutputCode.h"
 #include "core/ml/Regression.h"
+#include "support/Rng.h"
+
+#include <cstdio>
 
 #include <algorithm>
 
@@ -56,6 +61,23 @@ Dataset cleanDataset(size_t N, uint64_t Seed, double LabelNoise = 0.0) {
 
 FeatureSet firstTwoFeatures() {
   return {static_cast<FeatureId>(0), static_cast<FeatureId>(1)};
+}
+
+/// Strips the trailing checksum line of an mlp/forest blob so a test can
+/// mutate the body, then reseals it with a freshly computed checksum —
+/// the way to probe structural validation beneath the checksum layer.
+std::string resealChecksum(const std::string &Blob,
+                           const std::string &From, const std::string &To) {
+  size_t ChecksumPos = Blob.rfind("\nchecksum ");
+  EXPECT_NE(ChecksumPos, std::string::npos);
+  std::string Body = Blob.substr(0, ChecksumPos + 1);
+  size_t At = Body.find(From);
+  EXPECT_NE(At, std::string::npos) << From;
+  Body.replace(At, From.size(), To);
+  char Buffer[64];
+  std::snprintf(Buffer, sizeof(Buffer), "checksum %016llx\n",
+                static_cast<unsigned long long>(Rng::hashString(Body)));
+  return Body + Buffer;
 }
 
 } // namespace
@@ -330,6 +352,189 @@ TEST(KrrIoTest, RejectsCorruptedInput) {
 }
 
 //===----------------------------------------------------------------------===//
+// MLP serialization
+//===----------------------------------------------------------------------===//
+
+TEST(MlpIoTest, RoundTripPredictsIdentically) {
+  Dataset Train = cleanDataset(150, 25, 0.1);
+  MlpClassifier Mlp(firstTwoFeatures());
+  Mlp.train(Train);
+  std::optional<MlpClassifier> Loaded =
+      MlpClassifier::deserialize(Mlp.serialize());
+  ASSERT_TRUE(Loaded.has_value());
+  Dataset Queries = cleanDataset(120, 26);
+  for (const Example &Ex : Queries.examples()) {
+    EXPECT_EQ(Loaded->predict(Ex.Features), Mlp.predict(Ex.Features));
+    auto A = Mlp.scores(Ex.Features);
+    auto B = Loaded->scores(Ex.Features);
+    for (unsigned F = 0; F < MaxUnrollFactor; ++F)
+      EXPECT_EQ(A[F], B[F]); // Bit-exact via %.17g.
+  }
+}
+
+TEST(MlpIoTest, SerializationIsStable) {
+  Dataset Train = cleanDataset(80, 27);
+  MlpClassifier Mlp(firstTwoFeatures());
+  Mlp.train(Train);
+  std::string First = Mlp.serialize();
+  std::optional<MlpClassifier> Loaded = MlpClassifier::deserialize(First);
+  ASSERT_TRUE(Loaded.has_value());
+  EXPECT_EQ(Loaded->serialize(), First);
+}
+
+TEST(MlpIoTest, RejectsTruncatedInputWithDiagnostic) {
+  Dataset Train = cleanDataset(60, 28);
+  MlpClassifier Mlp(firstTwoFeatures());
+  Mlp.train(Train);
+  std::string Good = Mlp.serialize();
+  std::string Error;
+  EXPECT_FALSE(MlpClassifier::deserialize("", &Error).has_value());
+  EXPECT_FALSE(Error.empty());
+  Error.clear();
+  EXPECT_FALSE(MlpClassifier::deserialize(Good.substr(0, Good.size() / 2),
+                                          &Error)
+                   .has_value());
+  EXPECT_NE(Error.find("truncated"), std::string::npos) << Error;
+}
+
+TEST(MlpIoTest, RejectsChecksumTamperWithDiagnostic) {
+  Dataset Train = cleanDataset(60, 29);
+  MlpClassifier Mlp(firstTwoFeatures());
+  Mlp.train(Train);
+  std::string Tampered = Mlp.serialize();
+  // Flip one byte of the body (the options keyword) without resealing.
+  size_t At = Tampered.find("options");
+  ASSERT_NE(At, std::string::npos);
+  Tampered[At] = 'O';
+  std::string Error;
+  EXPECT_FALSE(MlpClassifier::deserialize(Tampered, &Error).has_value());
+  EXPECT_NE(Error.find("checksum mismatch"), std::string::npos) << Error;
+}
+
+TEST(MlpIoTest, RejectsBadLayerShapeWithDiagnostic) {
+  Dataset Train = cleanDataset(60, 30);
+  MlpClassifier Mlp(firstTwoFeatures());
+  Mlp.train(Train);
+  std::string Good = Mlp.serialize();
+  // Claim the first layer consumes 3 inputs when the normalizer emits 2;
+  // the checksum is resealed, so the structural check must catch it.
+  std::string BadShape = resealChecksum(Good, "layer 0 24 2", "layer 0 24 3");
+  std::string Error;
+  EXPECT_FALSE(MlpClassifier::deserialize(BadShape, &Error).has_value());
+  EXPECT_NE(Error.find("bad layer shape"), std::string::npos) << Error;
+}
+
+TEST(MlpIoTest, RejectsBadLayerCountWithDiagnostic) {
+  Dataset Train = cleanDataset(60, 31);
+  MlpClassifier Mlp(firstTwoFeatures());
+  Mlp.train(Train);
+  std::string BadCount =
+      resealChecksum(Mlp.serialize(), "layers 2", "layers 9");
+  std::string Error;
+  EXPECT_FALSE(MlpClassifier::deserialize(BadCount, &Error).has_value());
+  EXPECT_NE(Error.find("layer count"), std::string::npos) << Error;
+}
+
+//===----------------------------------------------------------------------===//
+// Random forest serialization
+//===----------------------------------------------------------------------===//
+
+TEST(ForestIoTest, RoundTripPredictsIdentically) {
+  Dataset Train = cleanDataset(150, 32, 0.1);
+  RandomForestClassifier Forest(firstTwoFeatures());
+  Forest.train(Train);
+  std::optional<RandomForestClassifier> Loaded =
+      RandomForestClassifier::deserialize(Forest.serialize());
+  ASSERT_TRUE(Loaded.has_value());
+  EXPECT_EQ(Loaded->numTrees(), Forest.numTrees());
+  Dataset Queries = cleanDataset(120, 33);
+  for (const Example &Ex : Queries.examples()) {
+    EXPECT_EQ(Loaded->predict(Ex.Features), Forest.predict(Ex.Features));
+    auto A = Forest.scores(Ex.Features);
+    auto B = Loaded->scores(Ex.Features);
+    for (unsigned F = 0; F < MaxUnrollFactor; ++F)
+      EXPECT_EQ(A[F], B[F]);
+  }
+}
+
+TEST(ForestIoTest, SerializationIsStable) {
+  Dataset Train = cleanDataset(80, 34);
+  RandomForestClassifier Forest(firstTwoFeatures());
+  Forest.train(Train);
+  std::string First = Forest.serialize();
+  std::optional<RandomForestClassifier> Loaded =
+      RandomForestClassifier::deserialize(First);
+  ASSERT_TRUE(Loaded.has_value());
+  EXPECT_EQ(Loaded->serialize(), First);
+}
+
+TEST(ForestIoTest, RejectsTruncatedInputWithDiagnostic) {
+  Dataset Train = cleanDataset(60, 35);
+  RandomForestClassifier Forest(firstTwoFeatures());
+  Forest.train(Train);
+  std::string Good = Forest.serialize();
+  std::string Error;
+  EXPECT_FALSE(RandomForestClassifier::deserialize("", &Error).has_value());
+  EXPECT_FALSE(Error.empty());
+  Error.clear();
+  EXPECT_FALSE(
+      RandomForestClassifier::deserialize(Good.substr(0, Good.size() / 2),
+                                          &Error)
+          .has_value());
+  EXPECT_NE(Error.find("truncated"), std::string::npos) << Error;
+}
+
+TEST(ForestIoTest, RejectsChecksumTamperWithDiagnostic) {
+  Dataset Train = cleanDataset(60, 36);
+  RandomForestClassifier Forest(firstTwoFeatures());
+  Forest.train(Train);
+  std::string Tampered = Forest.serialize();
+  size_t At = Tampered.find("options");
+  ASSERT_NE(At, std::string::npos);
+  Tampered[At] = 'O';
+  std::string Error;
+  EXPECT_FALSE(
+      RandomForestClassifier::deserialize(Tampered, &Error).has_value());
+  EXPECT_NE(Error.find("checksum mismatch"), std::string::npos) << Error;
+}
+
+TEST(ForestIoTest, RejectsBadTreeCountWithDiagnostic) {
+  Dataset Train = cleanDataset(60, 37);
+  RandomForestOptions Options;
+  Options.NumTrees = 4;
+  RandomForestClassifier Forest(firstTwoFeatures(), Options);
+  Forest.train(Train);
+  std::string Good = Forest.serialize();
+  std::string Error;
+  // Zero trees, resealed: structurally invalid.
+  EXPECT_FALSE(RandomForestClassifier::deserialize(
+                   resealChecksum(Good, "trees 4\n", "trees 0\n"), &Error)
+                   .has_value());
+  EXPECT_NE(Error.find("tree count"), std::string::npos) << Error;
+  // A count disagreeing with the options header is equally rejected.
+  Error.clear();
+  EXPECT_FALSE(RandomForestClassifier::deserialize(
+                   resealChecksum(Good, "trees 4\n", "trees 3\n"), &Error)
+                   .has_value());
+  EXPECT_NE(Error.find("tree count"), std::string::npos) << Error;
+}
+
+TEST(ForestIoTest, RejectsTamperedEmbeddedTreeWithDiagnostic) {
+  Dataset Train = cleanDataset(60, 38);
+  RandomForestOptions Options;
+  Options.NumTrees = 2;
+  RandomForestClassifier Forest(firstTwoFeatures(), Options);
+  Forest.train(Train);
+  // Corrupt the first embedded tree's header; the frame still parses, so
+  // the failure must come from the per-tree deserializer.
+  std::string Bad = resealChecksum(Forest.serialize(), "dtree-model 1",
+                                   "dtree-model 9");
+  std::string Error;
+  EXPECT_FALSE(RandomForestClassifier::deserialize(Bad, &Error).has_value());
+  EXPECT_NE(Error.find("tree"), std::string::npos) << Error;
+}
+
+//===----------------------------------------------------------------------===//
 // Loader registry
 //===----------------------------------------------------------------------===//
 
@@ -337,7 +542,7 @@ TEST(RegistryTest, AllBuiltinsAreRegistered) {
   std::vector<std::string> Names = registeredClassifierNames();
   for (const char *Expected :
        {"near-neighbor", "svm", "svm-ecoc", "decision-tree", "lsh-nn",
-        "krr-regression"})
+        "krr-regression", "mlp", "random-forest"})
     EXPECT_NE(std::find(Names.begin(), Names.end(), Expected),
               Names.end())
         << "missing loader for " << Expected;
@@ -355,6 +560,9 @@ TEST(RegistryTest, RestoresEveryBuiltinPolymorphically) {
       std::make_unique<LshNearNeighborClassifier>(firstTwoFeatures()));
   Trained.push_back(
       std::make_unique<KrrUnrollRegressor>(firstTwoFeatures()));
+  Trained.push_back(std::make_unique<MlpClassifier>(firstTwoFeatures()));
+  Trained.push_back(
+      std::make_unique<RandomForestClassifier>(firstTwoFeatures()));
   Dataset Queries = cleanDataset(60, 24);
   for (const auto &Model : Trained) {
     Model->train(Train);

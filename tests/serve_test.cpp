@@ -12,8 +12,11 @@
 //
 //===----------------------------------------------------------------------===//
 
+#include "concurrency/ThreadPool.h"
 #include "core/driver/Pipeline.h"
 #include "core/features/FeatureExtractor.h"
+#include "core/ml/Forest.h"
+#include "core/ml/Mlp.h"
 #include "core/ml/NearNeighbor.h"
 #include "core/ml/OutputCode.h"
 #include "serve/Client.h"
@@ -79,6 +82,30 @@ ModelBundle makeNnBundle(size_t N = 80, uint64_t Seed = 7) {
   Bundle.Provenance.CvMethod = "none";
   Bundle.Features = firstThreeFeatures();
   Bundle.ClassifierBlob = Nn.serialize();
+  return Bundle;
+}
+
+/// A trained model-zoo bundle ("mlp" or "random-forest") over the same
+/// synthetic dataset as makeNnBundle.
+ModelBundle makeZooBundle(const std::string &Name, size_t N = 80,
+                          uint64_t Seed = 7) {
+  Dataset Data = cleanDataset(N, Seed);
+  std::unique_ptr<Classifier> Model;
+  if (Name == "mlp")
+    Model = std::make_unique<MlpClassifier>(firstThreeFeatures());
+  else
+    Model = std::make_unique<RandomForestClassifier>(firstThreeFeatures());
+  Model->train(Data);
+  ModelBundle Bundle;
+  Bundle.Provenance.ClassifierName = Model->name();
+  Bundle.Provenance.CreatedBy = "serve_test";
+  Bundle.Provenance.MachineName = "itanium2";
+  Bundle.Provenance.CorpusSeed = Seed;
+  Bundle.Provenance.CorpusFingerprint = "deadbeef";
+  Bundle.Provenance.TrainingExamples = N;
+  Bundle.Provenance.CvMethod = "none";
+  Bundle.Features = firstThreeFeatures();
+  Bundle.ClassifierBlob = Model->serialize();
   return Bundle;
 }
 
@@ -440,6 +467,61 @@ TEST(PredictionServiceTest, BatchedConcurrentEqualsSerialByteForByte) {
   ServiceStatsSnapshot Stats = Service.stats();
   EXPECT_EQ(Stats.Ok, static_cast<uint64_t>(ThreadCount * PerThread));
   EXPECT_GT(Stats.Batches, 0u);
+}
+
+TEST(PredictionServiceTest, ModelZooFamiliesServeByteIdentically) {
+  // Both model-zoo families must serve through the exact same byte-identity
+  // contract as the near-neighbor baseline: the bundle trained at one thread
+  // equals the bundle trained at many, and batched predictions render the
+  // same JSON as serial ones.
+  for (const char *Family : {"mlp", "random-forest"}) {
+    SCOPED_TRACE(Family);
+    ThreadPool::setGlobalThreads(1);
+    ModelBundle Narrow = makeZooBundle(Family);
+    ThreadPool::setGlobalThreads(4);
+    ModelBundle Wide = makeZooBundle(Family);
+    ThreadPool::setGlobalThreads(0); // Restore the default pool.
+    EXPECT_EQ(serializeBundle(Narrow), serializeBundle(Wide));
+
+    PredictionServiceOptions Options;
+    Options.MaxBatch = 4;
+    Options.BatchLinger = std::chrono::microseconds(200);
+    PredictionService Service(Wide, Options);
+
+    std::vector<std::string> Texts = {ValidLoop, SecondLoop,
+                                      std::string(ValidLoop) + SecondLoop};
+    std::vector<std::string> Reference;
+    for (const std::string &Text : Texts) {
+      PredictRequest Request;
+      Request.LoopText = Text;
+      Request.WantScores = true;
+      PredictResponse Response = Service.predictUnbatched(Request);
+      ASSERT_EQ(Response.Status, PredictStatus::Ok);
+      Reference.push_back(renderPredictResponse("", Response));
+    }
+
+    constexpr int ThreadCount = 4;
+    constexpr int PerThread = 10;
+    std::vector<std::thread> Threads;
+    std::vector<int> Mismatches(ThreadCount, 0);
+    for (int T = 0; T < ThreadCount; ++T)
+      Threads.emplace_back([&, T] {
+        for (int I = 0; I < PerThread; ++I) {
+          size_t Which = static_cast<size_t>(I) % Texts.size();
+          PredictRequest Request;
+          Request.LoopText = Texts[Which];
+          Request.WantScores = true;
+          std::string Rendered =
+              renderPredictResponse("", Service.predict(Request));
+          if (Rendered != Reference[Which])
+            ++Mismatches[T];
+        }
+      });
+    for (std::thread &T : Threads)
+      T.join();
+    for (int T = 0; T < ThreadCount; ++T)
+      EXPECT_EQ(Mismatches[T], 0) << "thread " << T;
+  }
 }
 
 TEST(PredictionServiceTest, RejectsMalformedInputWithDiagnostics) {

@@ -51,9 +51,11 @@ using namespace metaopt;
 
 namespace {
 
-/// One flat JSON scalar: string, number, or boolean.
+/// One flat JSON scalar: string, number, boolean, or null (the
+/// generalization bench serializes the missing LOOCV side of its
+/// calibration rows as null).
 struct Value {
-  enum Kind { Str, Num, Bool } K = Str;
+  enum Kind { Str, Num, Bool, Null } K = Str;
   std::string S;
   double N = 0.0;
   bool B = false;
@@ -66,6 +68,8 @@ struct Value {
       return std::to_string(N);
     case Bool:
       return B ? "true" : "false";
+    case Null:
+      return "null";
     }
     return "?";
   }
@@ -129,6 +133,9 @@ bool parseRow(const std::string &Line, Row &Out, std::string &Error) {
       V.K = Value::Bool;
       V.B = false;
       I += 5;
+    } else if (Line.compare(I, 4, "null") == 0) {
+      V.K = Value::Null;
+      I += 4;
     } else {
       const char *Begin = Line.c_str() + I;
       char *End = nullptr;
@@ -204,6 +211,13 @@ const std::map<std::string, std::vector<std::string>> &requiredKeys() {
         "speedup_vs_serial", "findings_match_serial"}},
       {"classifier_microbench",
        {"benchmark", "iterations", "real_ns", "cpu_ns"}},
+      {"generalization",
+       {"classifier", "loocv_accuracy", "imported_accuracy",
+        "imported_top2", "imported_mean_cost", "imported_speedup", "gap",
+        "imported_fingerprint"}},
+      {"generalization_corpus",
+       {"synthetic_loops", "imported_loops", "imported_pass_filters",
+        "imported_fingerprint"}},
   };
   return Schema;
 }
@@ -218,6 +232,8 @@ bool valuesMatch(const Value &A, const Value &B) {
     return A.N == B.N;
   case Value::Bool:
     return A.B == B.B;
+  case Value::Null:
+    return true;
   }
   return false;
 }

@@ -19,7 +19,9 @@
 #include "core/driver/Pipeline.h"
 #include "core/ml/CrossValidation.h"
 #include "core/ml/DecisionTree.h"
+#include "core/ml/Forest.h"
 #include "core/ml/Lsh.h"
+#include "core/ml/Mlp.h"
 #include "core/ml/Regression.h"
 #include "serve/ModelBundle.h"
 #include "support/CommandLine.h"
@@ -67,7 +69,8 @@ int main(int Argc, char **Argv) {
                 "corpus and publishes\nit as a model bundle for "
                 "metaopt-serve (docs/SERVING.md).");
   Cli.option("out", "bundle.bin", "where to publish the bundle (required)");
-  Cli.option("classifier", "nn|svm|decision-tree|lsh-nn|krr-regression",
+  Cli.option("classifier",
+             "nn|svm|decision-tree|lsh-nn|krr-regression|mlp|random-forest",
              "classifier to train (default: nn, the near-neighbor model)");
   Cli.flag("swp", "label with software pipelining enabled (Figure 5)");
   Cli.option("features", "paper|full",
@@ -109,10 +112,12 @@ int main(int Argc, char **Argv) {
   std::string ClassifierName = Cli.getString("classifier", "nn");
   if (ClassifierName != "nn" && ClassifierName != "svm" &&
       ClassifierName != "decision-tree" && ClassifierName != "lsh-nn" &&
-      ClassifierName != "krr-regression") {
+      ClassifierName != "krr-regression" && ClassifierName != "mlp" &&
+      ClassifierName != "random-forest") {
     std::fprintf(stderr,
                  "metaopt-train: --classifier must be one of nn, svm, "
-                 "decision-tree, lsh-nn, krr-regression\n");
+                 "decision-tree, lsh-nn, krr-regression, mlp, "
+                 "random-forest\n");
     return 2;
   }
   std::string FeaturesName = Cli.getString("features", "paper");
@@ -192,6 +197,10 @@ int main(int Argc, char **Argv) {
         return std::make_unique<DecisionTreeClassifier>(Subset);
       if (ClassifierName == "lsh-nn")
         return std::make_unique<LshNearNeighborClassifier>(Subset);
+      if (ClassifierName == "mlp")
+        return std::make_unique<MlpClassifier>(Subset);
+      if (ClassifierName == "random-forest")
+        return std::make_unique<RandomForestClassifier>(Subset);
       return std::make_unique<KrrUnrollRegressor>(Subset);
     };
     Trained = Factory(Features);
